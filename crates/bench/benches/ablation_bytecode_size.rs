@@ -1,0 +1,101 @@
+//! A1 — ablation: how dispute cost scales with the *size* of the signed
+//! off-chain contract.
+//!
+//! `deployVerifiedInstance` pays for (a) the bytecode as calldata,
+//! (b) keccak over it, (c) CREATE execution, and (d) the 200 gas/byte
+//! code deposit of the runtime. We inflate the off-chain contract with
+//! padding functions and measure the gas growth per byte.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::fmt_gas;
+use sc_chain::Testnet;
+use sc_contracts::gen::padded_offchain_source;
+use sc_contracts::{OnChainContract, Timeline};
+use sc_core::SignedCopy;
+use sc_lang::compile;
+use sc_primitives::abi::Value;
+use sc_primitives::{ether, U256};
+
+/// Runs one dispute-deploy against a padded off-chain contract; returns
+/// (initcode bytes, gas of deployVerifiedInstance).
+fn measure(padding: usize) -> (usize, u64) {
+    let mut net = Testnet::new();
+    let alice = net.funded_wallet("alice", ether(1000));
+    let bob = net.funded_wallet("bob", ether(1000));
+    let tl = Timeline::starting_at(net.now(), 3600);
+    let on = OnChainContract::new();
+    let onchain = net
+        .deploy(&alice, on.initcode(alice.address, bob.address, tl), U256::ZERO, 5_000_000)
+        .unwrap()
+        .contract_address
+        .unwrap();
+    for w in [&alice, &bob] {
+        assert!(net.execute(w, onchain, ether(1), on.deposit(), 300_000).unwrap().success);
+    }
+
+    let off = compile(&padded_offchain_source(padding), "offChain").expect("padded compiles");
+    let initcode = off
+        .initcode(&[
+            Value::Address(alice.address),
+            Value::Address(bob.address),
+            Value::Uint(U256::from_u64(1)),
+            Value::Uint(U256::from_u64(2)),
+            Value::Uint(U256::from_u64(16)),
+        ])
+        .unwrap();
+    let copy = SignedCopy::create(initcode.clone(), &[&alice.key, &bob.key]);
+
+    net.advance_time(4 * 3600);
+    let data = on.deploy_verified_instance(&copy.bytecode, &copy.signatures[0], &copy.signatures[1]);
+    let r = net
+        .execute(&bob, onchain, U256::ZERO, data, 7_900_000)
+        .unwrap();
+    assert!(r.success, "padding {padding}: {:?}", r.failure);
+    (initcode.len(), r.gas_used)
+}
+
+fn print_ablation() {
+    println!();
+    println!("=== A1 — deployVerifiedInstance gas vs signed bytecode size ===");
+    println!(
+        "  {:>10} {:>14} {:>16} {:>12}",
+        "padding", "bytecode (B)", "gas", "gas/byte"
+    );
+    let mut points = Vec::new();
+    for padding in [0usize, 4, 8, 16, 32, 64] {
+        let (bytes, gas) = measure(padding);
+        println!(
+            "  {:>10} {:>14} {:>16} {:>12.1}",
+            padding,
+            bytes,
+            fmt_gas(gas),
+            gas as f64 / bytes as f64
+        );
+        points.push((bytes as f64, gas as f64));
+    }
+    // Least-squares slope: should be ≈ 200 (code deposit) + 68 (calldata)
+    // + ~9 (keccak + CREATE memory) per byte ≈ 270–300.
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    println!("  marginal cost: {slope:.1} gas per byte of signed contract");
+    println!();
+    assert!(
+        (150.0..400.0).contains(&slope),
+        "marginal gas/byte {slope} outside the code-deposit + calldata band"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_ablation();
+    let mut group = c.benchmark_group("ablation_bytecode_size");
+    group.sample_size(10);
+    group.bench_function("dispute_deploy_padding32", |b| b.iter(|| measure(32)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

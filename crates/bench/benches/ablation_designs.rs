@@ -1,0 +1,98 @@
+//! A4 — ablation: the two stage-3 designs compared.
+//!
+//! The paper's published contracts settle by *loser concession*
+//! (`reassign()`); the paper's text describes *representative submission
+//! with a challenge period*. Both are implemented in this repository —
+//! this bench quantifies the trade:
+//!
+//! * concession needs one tx on the happy path but cannot finalize
+//!   without the loser's cooperation (hence the T3 deadline);
+//! * submit/challenge finalizes unilaterally after the window but costs
+//!   an extra tx and a larger on-chain contract, and adds the
+//!   watch-or-lose liveness assumption.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::{fmt_gas, run_game, secrets_bob_wins};
+use sc_core::{ChallengeGame, Strategy, SubmitStrategy, WatchStrategy};
+
+fn print_ablation() {
+    let weight = 256;
+
+    // Concession design (the paper's Algorithms 2–6).
+    let honest = run_game(Strategy::Honest, Strategy::Honest, weight);
+    let disputed = run_game(Strategy::SilentLoser, Strategy::Honest, weight);
+
+    // Submit/challenge design (extension).
+    let (_g, quiet) = ChallengeGame::new(secrets_bob_wins(weight), 1800)
+        .run(SubmitStrategy::Truthful, WatchStrategy::Vigilant);
+    let (_g, fought) = ChallengeGame::new(secrets_bob_wins(weight), 1800)
+        .run(SubmitStrategy::False, WatchStrategy::Vigilant);
+
+    println!();
+    println!("=== A4 — stage-3 designs: concession vs submit/challenge (weight {weight}) ===");
+    println!("  {:<44} {:>14}", "path", "total gas");
+    println!(
+        "  {:<44} {:>14}",
+        "concession, honest (deploy+deposits+reassign)",
+        fmt_gas(honest.report.total_gas())
+    );
+    println!(
+        "  {:<44} {:>14}",
+        "concession, disputed (+verified instance)",
+        fmt_gas(disputed.report.total_gas())
+    );
+    println!(
+        "  {:<44} {:>14}",
+        "submit/challenge, unchallenged (+finalize)",
+        fmt_gas(quiet.total_gas())
+    );
+    println!(
+        "  {:<44} {:>14}",
+        "submit/challenge, challenged (+penalty)",
+        fmt_gas(fought.total_gas())
+    );
+    println!();
+    println!("  happy-path premium of the challenge design: {} gas",
+        fmt_gas(quiet.total_gas().saturating_sub(honest.report.total_gas())));
+    println!(
+        "  unlike concession, the challenge design finalizes without the loser: "
+    );
+    println!("  submitResult {} + finalize {} gas",
+        fmt_gas(quiet.gas_of("submitResult").unwrap_or(0)),
+        fmt_gas(quiet.gas_of("finalize").unwrap_or(0)));
+    println!();
+
+    // Shape assertions.
+    assert!(
+        quiet.total_gas() > honest.report.total_gas(),
+        "the challenge design pays a happy-path premium"
+    );
+    assert!(fought.total_gas() > quiet.total_gas() + 150_000);
+    assert!(disputed.report.total_gas() > honest.report.total_gas() + 150_000);
+}
+
+fn bench(c: &mut Criterion) {
+    print_ablation();
+    let mut group = c.benchmark_group("ablation_designs");
+    group.sample_size(10);
+    group.bench_function("challenge_design_unchallenged", |b| {
+        b.iter(|| {
+            ChallengeGame::new(secrets_bob_wins(256), 1800)
+                .run(SubmitStrategy::Truthful, WatchStrategy::Vigilant)
+                .1
+                .total_gas()
+        })
+    });
+    group.bench_function("challenge_design_fought", |b| {
+        b.iter(|| {
+            ChallengeGame::new(secrets_bob_wins(256), 1800)
+                .run(SubmitStrategy::False, WatchStrategy::Vigilant)
+                .1
+                .total_gas()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Microbenchmarks of the substrate itself: hashing, ECDSA, the EVM
+//! interpreter, and the MiniSol compiler. Not a paper artifact — these
+//! track the performance of the reproduction stack.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use sc_crypto::ecdsa::PrivateKey;
+use sc_crypto::{keccak256, recover_address};
+use sc_evm::host::{Env, MockHost};
+use sc_evm::{Asm, CallParams, Evm, Op};
+use sc_lang::compile;
+use sc_primitives::{Address, U256};
+
+fn crypto_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    for size in [32usize, 1024, 65_536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("keccak256/{size}"), |b| {
+            b.iter(|| keccak256(std::hint::black_box(&data)))
+        });
+    }
+    group.finish();
+
+    let key = PrivateKey::from_seed("bench");
+    let digest = keccak256(b"payload");
+    let sig = key.sign(digest);
+    let mut group = c.benchmark_group("ecdsa");
+    group.bench_function("sign", |b| b.iter(|| key.sign(std::hint::black_box(digest))));
+    group.bench_function("verify", |b| {
+        b.iter(|| key.public_key().verify(digest, std::hint::black_box(&sig)))
+    });
+    group.bench_function("recover", |b| {
+        b.iter(|| recover_address(digest, std::hint::black_box(&sig)).unwrap())
+    });
+    group.finish();
+}
+
+fn evm_benches(c: &mut Criterion) {
+    // A tight arithmetic loop: countdown from N.
+    let mut a = Asm::new();
+    a.push_u64(10_000); // counter
+    a.label("loop");
+    a.push_u64(1);
+    a.op(Op::Dup2)
+        .op(Op::Sub) // counter - 1
+        .op(Op::Swap1)
+        .op(Op::Pop); // replace counter
+    a.op(Op::Dup1);
+    a.jumpi("loop");
+    a.op(Op::Stop);
+    let code = a.assemble().unwrap();
+
+    let mut group = c.benchmark_group("evm");
+    group.bench_function("interpreter_10k_iterations", |b| {
+        b.iter_batched(
+            || {
+                let mut host = MockHost::new();
+                host.install(Address([0xcc; 20]), code.clone());
+                host.fund(Address([1; 20]), sc_primitives::ether(1));
+                host
+            },
+            |mut host| {
+                let out = Evm::new(&mut host, Env::default()).call(CallParams::transact(
+                    Address([1; 20]),
+                    Address([0xcc; 20]),
+                    U256::ZERO,
+                    vec![],
+                    50_000_000,
+                ));
+                assert!(out.success, "{:?}", out.error);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn compiler_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minisol");
+    group.bench_function("compile_onchain_contract", |b| {
+        b.iter(|| compile(sc_contracts::ONCHAIN_SRC, "onChain").unwrap())
+    });
+    group.bench_function("compile_offchain_contract", |b| {
+        b.iter(|| compile(sc_contracts::OFFCHAIN_SRC, "offChain").unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, crypto_benches, evm_benches, compiler_benches);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Blocks and transaction receipts.
+
+use crate::tx::SignedTransaction;
+use sc_crypto::keccak256;
+use sc_evm::host::LogEntry;
+use sc_evm::VmError;
+use sc_primitives::rlp::{self, Item};
+use sc_primitives::{Address, H256};
+
+/// Why a transaction failed (mirrors what a node's RPC would surface).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureReason {
+    /// Execution reverted, with the revert payload.
+    Reverted(Vec<u8>),
+    /// A hard VM error.
+    VmError(VmError),
+    /// Value transfer lacked funds at execution time.
+    InsufficientBalance,
+}
+
+/// Execution receipt for one transaction.
+#[derive(Clone, Debug)]
+pub struct Receipt {
+    /// Hash of the transaction.
+    pub tx_hash: H256,
+    /// Block that included it.
+    pub block_number: u64,
+    /// Index within the block.
+    pub tx_index: usize,
+    /// True iff execution succeeded.
+    pub success: bool,
+    /// Gas charged to the sender (after refunds).
+    pub gas_used: u64,
+    /// Address of the created contract, for creation transactions.
+    pub contract_address: Option<Address>,
+    /// Logs emitted.
+    pub logs: Vec<LogEntry>,
+    /// Return data (or revert payload).
+    pub output: Vec<u8>,
+    /// Failure detail when `success` is false.
+    pub failure: Option<FailureReason>,
+}
+
+/// A mined block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Height.
+    pub number: u64,
+    /// Unix timestamp.
+    pub timestamp: u64,
+    /// Hash of the parent block.
+    pub parent_hash: H256,
+    /// This block's hash.
+    pub hash: H256,
+    /// Included transactions.
+    pub transactions: Vec<SignedTransaction>,
+    /// Total gas used by the block.
+    pub gas_used: u64,
+}
+
+impl Block {
+    /// Computes a block hash from header-ish fields and the tx list.
+    pub fn compute_hash(
+        number: u64,
+        timestamp: u64,
+        parent_hash: H256,
+        transactions: &[SignedTransaction],
+    ) -> H256 {
+        let tx_hashes: Vec<Item> = transactions
+            .iter()
+            .map(|t| Item::bytes(t.hash().0.to_vec()))
+            .collect();
+        let payload = rlp::encode_list(&[
+            Item::u64(number),
+            Item::u64(timestamp),
+            Item::bytes(parent_hash.0.to_vec()),
+            Item::List(tx_hashes),
+        ]);
+        keccak256(&payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_hash_depends_on_contents() {
+        let h1 = Block::compute_hash(1, 100, H256::ZERO, &[]);
+        let h2 = Block::compute_hash(2, 100, H256::ZERO, &[]);
+        let h3 = Block::compute_hash(1, 101, H256::ZERO, &[]);
+        assert_ne!(h1, h2);
+        assert_ne!(h1, h3);
+        assert_eq!(h1, Block::compute_hash(1, 100, H256::ZERO, &[]));
+    }
+}

@@ -1,0 +1,23 @@
+//! A deterministic, single-node Ethereum-style chain simulator.
+//!
+//! Stands in for the Kovan testnet of the paper's evaluation: accounts and
+//! world state, ECDSA-signed transactions with sender recovery, instant
+//! sealing with controllable timestamps, receipts, and exact Yellow-Paper
+//! gas settlement (intrinsic gas, refund cap, miner payment).
+//!
+//! * [`state`] — journaled [`state::WorldState`] implementing `sc_evm::Host`.
+//! * [`tx`] — transactions, signing, [`tx::Wallet`].
+//! * [`block`] — blocks and [`block::Receipt`]s.
+//! * [`testnet`] — the [`testnet::Testnet`] facade.
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod state;
+pub mod testnet;
+pub mod tx;
+
+pub use block::{Block, FailureReason, Receipt};
+pub use state::{Account, WorldState};
+pub use testnet::{ChainConfig, Testnet, TxError};
+pub use tx::{SignedTransaction, Transaction, Wallet};

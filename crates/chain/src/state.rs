@@ -1,0 +1,297 @@
+//! Journaled world state: the chain's implementation of [`sc_evm::Host`].
+
+use sc_evm::host::{Host, LogEntry};
+use sc_primitives::{Address, H256, U256};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A single account: EOA (no code) or contract account.
+#[derive(Clone, Debug, Default)]
+pub struct Account {
+    /// Transaction / creation counter.
+    pub nonce: u64,
+    /// Balance in wei.
+    pub balance: U256,
+    /// Runtime code (empty for EOAs).
+    pub code: Arc<Vec<u8>>,
+    /// Contract storage.
+    pub storage: HashMap<U256, U256>,
+}
+
+impl Account {
+    /// True iff the account is distinguishable from a nonexistent one.
+    pub fn exists(&self) -> bool {
+        self.nonce != 0 || !self.balance.is_zero() || !self.code.is_empty()
+    }
+}
+
+/// Reversible operations recorded while executing a transaction.
+enum JournalOp {
+    Balance(Address, U256),
+    Nonce(Address, u64),
+    Storage(Address, U256, U256),
+    Code(Address, Arc<Vec<u8>>),
+    AccountCreated(Address),
+    Log,
+    Refund(u64),
+}
+
+/// The full world state with a transaction-scoped journal.
+///
+/// Mutations during EVM execution are journaled so nested call frames can
+/// roll back precisely; [`WorldState::clear_tx_scratch`] resets the
+/// journal, log buffer and refund counter between transactions.
+#[derive(Default)]
+pub struct WorldState {
+    accounts: HashMap<Address, Account>,
+    /// Logs emitted by the transaction currently executing.
+    pub tx_logs: Vec<LogEntry>,
+    /// Gas refund accumulated by the current transaction.
+    pub tx_refund: u64,
+    journal: Vec<JournalOp>,
+    /// Hashes of past blocks for `BLOCKHASH` (maintained by the chain).
+    pub block_hashes: HashMap<u64, H256>,
+}
+
+impl WorldState {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read-only account view.
+    pub fn account(&self, a: Address) -> Option<&Account> {
+        self.accounts.get(&a)
+    }
+
+    /// Mints `amount` wei to an address outside any journal (genesis
+    /// allocation / faucet).
+    pub fn mint(&mut self, a: Address, amount: U256) {
+        let acct = self.accounts.entry(a).or_default();
+        acct.balance = acct.balance.wrapping_add(amount);
+    }
+
+    /// Installs code directly (genesis-style; bypasses the journal).
+    pub fn install_code(&mut self, a: Address, code: Vec<u8>) {
+        let acct = self.accounts.entry(a).or_default();
+        acct.code = Arc::new(code);
+        if acct.nonce == 0 {
+            acct.nonce = 1;
+        }
+    }
+
+    /// Drops per-transaction scratch (journal, logs, refund). Called by the
+    /// chain between transactions once effects are final.
+    pub fn clear_tx_scratch(&mut self) -> (Vec<LogEntry>, u64) {
+        self.journal.clear();
+        let refund = self.tx_refund;
+        self.tx_refund = 0;
+        (std::mem::take(&mut self.tx_logs), refund)
+    }
+
+    /// Number of existing accounts (diagnostics).
+    pub fn account_count(&self) -> usize {
+        self.accounts.values().filter(|a| a.exists()).count()
+    }
+
+    fn entry(&mut self, a: Address) -> &mut Account {
+        self.accounts.entry(a).or_default()
+    }
+}
+
+impl Host for WorldState {
+    fn balance(&self, a: Address) -> U256 {
+        self.accounts.get(&a).map_or(U256::ZERO, |acct| acct.balance)
+    }
+
+    fn code(&self, a: Address) -> Arc<Vec<u8>> {
+        self.accounts
+            .get(&a)
+            .map_or_else(Default::default, |acct| acct.code.clone())
+    }
+
+    fn storage(&self, a: Address, key: U256) -> U256 {
+        self.accounts
+            .get(&a)
+            .and_then(|acct| acct.storage.get(&key).copied())
+            .unwrap_or(U256::ZERO)
+    }
+
+    fn set_storage(&mut self, a: Address, key: U256, value: U256) {
+        let prev = self.storage(a, key);
+        self.journal.push(JournalOp::Storage(a, key, prev));
+        self.entry(a).storage.insert(key, value);
+    }
+
+    fn nonce(&self, a: Address) -> u64 {
+        self.accounts.get(&a).map_or(0, |acct| acct.nonce)
+    }
+
+    fn bump_nonce(&mut self, a: Address) {
+        let prev = self.nonce(a);
+        self.journal.push(JournalOp::Nonce(a, prev));
+        self.entry(a).nonce = prev + 1;
+    }
+
+    fn account_exists(&self, a: Address) -> bool {
+        self.accounts.get(&a).is_some_and(Account::exists)
+    }
+
+    fn create_contract(&mut self, a: Address) -> bool {
+        let acct = self.entry(a);
+        if acct.nonce != 0 || !acct.code.is_empty() {
+            return false;
+        }
+        self.journal.push(JournalOp::AccountCreated(a));
+        let acct = self.entry(a);
+        acct.nonce = 1;
+        acct.storage.clear();
+        true
+    }
+
+    fn set_code(&mut self, a: Address, code: Vec<u8>) {
+        let prev = self.code(a);
+        self.journal.push(JournalOp::Code(a, prev));
+        self.entry(a).code = Arc::new(code);
+    }
+
+    fn transfer(&mut self, from: Address, to: Address, value: U256) -> bool {
+        let from_bal = self.balance(from);
+        if from_bal < value {
+            return false;
+        }
+        if from == to {
+            // Self-transfer: only the balance check matters.
+            return true;
+        }
+        self.journal.push(JournalOp::Balance(from, from_bal));
+        let to_bal = self.balance(to);
+        self.journal.push(JournalOp::Balance(to, to_bal));
+        self.entry(from).balance = from_bal.wrapping_sub(value);
+        self.entry(to).balance = to_bal.wrapping_add(value);
+        true
+    }
+
+    fn snapshot(&mut self) -> usize {
+        self.journal.len()
+    }
+
+    fn revert(&mut self, snapshot: usize) {
+        while self.journal.len() > snapshot {
+            match self.journal.pop().expect("journal entry") {
+                JournalOp::Balance(a, v) => self.entry(a).balance = v,
+                JournalOp::Nonce(a, v) => self.entry(a).nonce = v,
+                JournalOp::Storage(a, k, v) => {
+                    if v.is_zero() {
+                        self.entry(a).storage.remove(&k);
+                    } else {
+                        self.entry(a).storage.insert(k, v);
+                    }
+                }
+                JournalOp::Code(a, c) => self.entry(a).code = c,
+                JournalOp::AccountCreated(a) => {
+                    let acct = self.entry(a);
+                    acct.nonce = 0;
+                    acct.storage.clear();
+                }
+                JournalOp::Log => {
+                    self.tx_logs.pop();
+                }
+                JournalOp::Refund(prev) => self.tx_refund = prev,
+            }
+        }
+    }
+
+    fn log(&mut self, entry: LogEntry) {
+        self.journal.push(JournalOp::Log);
+        self.tx_logs.push(entry);
+    }
+
+    fn block_hash(&self, number: u64) -> H256 {
+        self.block_hashes.get(&number).copied().unwrap_or(H256::ZERO)
+    }
+
+    fn add_refund(&mut self, amount: u64) {
+        self.journal.push(JournalOp::Refund(self.tx_refund));
+        self.tx_refund += amount;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(b: u8) -> Address {
+        Address([b; 20])
+    }
+
+    #[test]
+    fn mint_and_balance() {
+        let mut s = WorldState::new();
+        s.mint(addr(1), U256::from_u64(100));
+        s.mint(addr(1), U256::from_u64(20));
+        assert_eq!(s.balance(addr(1)), U256::from_u64(120));
+    }
+
+    #[test]
+    fn journal_roundtrip_across_all_ops() {
+        let mut s = WorldState::new();
+        s.mint(addr(1), U256::from_u64(100));
+        let snap = s.snapshot();
+        s.transfer(addr(1), addr(2), U256::from_u64(30));
+        s.bump_nonce(addr(1));
+        s.set_storage(addr(3), U256::ONE, U256::from_u64(9));
+        s.create_contract(addr(4));
+        s.set_code(addr(4), vec![1, 2, 3]);
+        s.log(LogEntry {
+            address: addr(4),
+            topics: vec![],
+            data: vec![],
+        });
+        s.add_refund(15_000);
+        s.revert(snap);
+        assert_eq!(s.balance(addr(1)), U256::from_u64(100));
+        assert_eq!(s.balance(addr(2)), U256::ZERO);
+        assert_eq!(s.nonce(addr(1)), 0);
+        assert_eq!(s.storage(addr(3), U256::ONE), U256::ZERO);
+        assert!(!s.account_exists(addr(4)));
+        assert!(s.code(addr(4)).is_empty());
+        assert!(s.tx_logs.is_empty());
+        assert_eq!(s.tx_refund, 0);
+    }
+
+    #[test]
+    fn storage_revert_to_zero_removes_entry() {
+        let mut s = WorldState::new();
+        let snap = s.snapshot();
+        s.set_storage(addr(1), U256::ONE, U256::from_u64(5));
+        s.revert(snap);
+        assert!(s.account(addr(1)).is_none_or(|a| a.storage.is_empty()));
+    }
+
+    #[test]
+    fn clear_tx_scratch_returns_logs_and_refund() {
+        let mut s = WorldState::new();
+        s.log(LogEntry {
+            address: addr(1),
+            topics: vec![],
+            data: vec![7],
+        });
+        s.add_refund(42);
+        let (logs, refund) = s.clear_tx_scratch();
+        assert_eq!(logs.len(), 1);
+        assert_eq!(refund, 42);
+        assert_eq!(s.tx_refund, 0);
+        assert!(s.tx_logs.is_empty());
+    }
+
+    #[test]
+    fn exists_semantics() {
+        let mut s = WorldState::new();
+        assert!(!s.account_exists(addr(9)));
+        s.mint(addr(9), U256::ONE);
+        assert!(s.account_exists(addr(9)));
+        s.mint(addr(8), U256::ZERO);
+        assert!(!s.account_exists(addr(8)), "zero-balance touch is not existence");
+    }
+}

@@ -1,0 +1,738 @@
+//! A single-node Ethereum-style test network ("Kovan simulator").
+//!
+//! Deterministic, in-process, instant-sealing: every submitted transaction
+//! lands in the next mined block, blocks carry a controllable timestamp
+//! (the paper's betting windows T0..T3 are driven by `block.timestamp`),
+//! and gas accounting follows the Yellow-Paper rules end to end:
+//! intrinsic gas, execution, the refund cap of `gas_used / 2`, and miner
+//! payment.
+
+use crate::block::{Block, FailureReason, Receipt};
+use crate::state::WorldState;
+use crate::tx::{SignedTransaction, Transaction, Wallet};
+use sc_evm::gas;
+use sc_evm::host::{BlockEnv, Env, Host, TxEnv};
+use sc_evm::{CallParams, Evm};
+use sc_primitives::{Address, H256, U256};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Transaction admission errors (mempool-level rejections).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxError {
+    /// Signature did not recover.
+    BadSignature,
+    /// Nonce does not match the account's next nonce.
+    BadNonce {
+        /// Nonce required by the account state.
+        expected: u64,
+        /// Nonce carried by the transaction.
+        got: u64,
+    },
+    /// Balance cannot cover `value + gas_limit * gas_price`.
+    InsufficientFunds,
+    /// `gas_limit` below the intrinsic cost of the payload.
+    IntrinsicGasTooLow {
+        /// The computed intrinsic cost.
+        required: u64,
+    },
+    /// `gas_limit` above the block gas limit.
+    ExceedsBlockGasLimit,
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::BadSignature => write!(f, "invalid signature"),
+            TxError::BadNonce { expected, got } => {
+                write!(f, "bad nonce: expected {expected}, got {got}")
+            }
+            TxError::InsufficientFunds => write!(f, "insufficient funds for gas * price + value"),
+            TxError::IntrinsicGasTooLow { required } => {
+                write!(f, "intrinsic gas too low: need {required}")
+            }
+            TxError::ExceedsBlockGasLimit => write!(f, "gas limit exceeds block gas limit"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// Configuration of the simulated network.
+#[derive(Clone, Debug)]
+pub struct ChainConfig {
+    /// Seconds between blocks (Kovan used 4s).
+    pub block_interval: u64,
+    /// Block gas limit.
+    pub block_gas_limit: u64,
+    /// Miner beneficiary.
+    pub coinbase: Address,
+    /// Genesis timestamp.
+    pub genesis_timestamp: u64,
+    /// Gas price assumed by the convenience senders.
+    pub default_gas_price: U256,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig {
+            block_interval: 4,
+            block_gas_limit: 8_000_000,
+            coinbase: Address([0xc0; 20]),
+            genesis_timestamp: 1_550_000_000, // Feb 2019, the paper's era
+            default_gas_price: sc_primitives::gwei(1),
+        }
+    }
+}
+
+/// The simulated chain.
+pub struct Testnet {
+    /// World state (public for inspection in tests and benchmarks).
+    pub state: WorldState,
+    config: ChainConfig,
+    blocks: Vec<Block>,
+    pending: Vec<SignedTransaction>,
+    receipts: HashMap<H256, Receipt>,
+    time: u64,
+}
+
+impl Testnet {
+    /// Boots a chain with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(ChainConfig::default())
+    }
+
+    /// Boots a chain with a custom configuration.
+    pub fn with_config(config: ChainConfig) -> Self {
+        let genesis = Block {
+            number: 0,
+            timestamp: config.genesis_timestamp,
+            parent_hash: H256::ZERO,
+            hash: Block::compute_hash(0, config.genesis_timestamp, H256::ZERO, &[]),
+            transactions: Vec::new(),
+            gas_used: 0,
+        };
+        let mut state = WorldState::new();
+        state.block_hashes.insert(0, genesis.hash);
+        Testnet {
+            state,
+            time: config.genesis_timestamp,
+            config,
+            blocks: vec![genesis],
+            pending: Vec::new(),
+            receipts: HashMap::new(),
+        }
+    }
+
+    /// The chain configuration.
+    pub fn config(&self) -> &ChainConfig {
+        &self.config
+    }
+
+    /// Current head block.
+    pub fn head(&self) -> &Block {
+        self.blocks.last().expect("genesis always present")
+    }
+
+    /// Block by number.
+    pub fn block(&self, number: u64) -> Option<&Block> {
+        self.blocks.get(number as usize)
+    }
+
+    /// Receipt by transaction hash.
+    pub fn receipt(&self, tx_hash: H256) -> Option<&Receipt> {
+        self.receipts.get(&tx_hash)
+    }
+
+    /// All receipts in a block, in transaction order.
+    pub fn receipts_in_block(&self, number: u64) -> Vec<&Receipt> {
+        let Some(block) = self.block(number) else {
+            return Vec::new();
+        };
+        let mut out: Vec<&Receipt> = block
+            .transactions
+            .iter()
+            .filter_map(|t| self.receipts.get(&t.hash()))
+            .collect();
+        out.sort_by_key(|r| r.tx_index);
+        out
+    }
+
+    /// Log query in the spirit of `eth_getLogs`: all logs in the block
+    /// range `[from, to]`, optionally filtered by emitting address.
+    pub fn logs(
+        &self,
+        from: u64,
+        to: u64,
+        address: Option<Address>,
+    ) -> Vec<sc_evm::LogEntry> {
+        let mut out = Vec::new();
+        for n in from..=to.min(self.head().number) {
+            for receipt in self.receipts_in_block(n) {
+                for log in &receipt.logs {
+                    if address.is_none_or(|a| a == log.address) {
+                        out.push(log.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The timestamp the *next* block will carry.
+    pub fn now(&self) -> u64 {
+        self.time + self.config.block_interval
+    }
+
+    /// Jumps the clock forward (models waiting for T1/T2/T3).
+    pub fn advance_time(&mut self, seconds: u64) {
+        self.time += seconds;
+    }
+
+    /// Mints balance (faucet / genesis allocation).
+    pub fn faucet(&mut self, a: Address, amount: U256) {
+        self.state.mint(a, amount);
+    }
+
+    /// Creates a funded deterministic wallet.
+    pub fn funded_wallet(&mut self, seed: &str, balance: U256) -> Wallet {
+        let w = Wallet::from_seed(seed);
+        self.faucet(w.address, balance);
+        w
+    }
+
+    /// Next valid nonce for an address (pending txs not counted).
+    pub fn nonce_of(&self, a: Address) -> u64 {
+        self.state.nonce(a)
+    }
+
+    /// Balance lookup.
+    pub fn balance_of(&self, a: Address) -> U256 {
+        self.state.balance(a)
+    }
+
+    /// Deployed code lookup.
+    pub fn code_at(&self, a: Address) -> Vec<u8> {
+        self.state.code(a).as_ref().clone()
+    }
+
+    /// Storage lookup.
+    pub fn storage_at(&self, a: Address, key: U256) -> U256 {
+        self.state.storage(a, key)
+    }
+
+    /// Validates and enqueues a signed transaction.
+    pub fn submit(&mut self, signed: SignedTransaction) -> Result<H256, TxError> {
+        let sender = signed.sender().map_err(|_| TxError::BadSignature)?;
+        let expected = self.effective_nonce(sender);
+        if signed.tx.nonce != expected {
+            return Err(TxError::BadNonce {
+                expected,
+                got: signed.tx.nonce,
+            });
+        }
+        if signed.tx.gas_limit > self.config.block_gas_limit {
+            return Err(TxError::ExceedsBlockGasLimit);
+        }
+        let intrinsic = gas::tx_intrinsic_gas(&signed.tx.data, signed.tx.is_create());
+        if signed.tx.gas_limit < intrinsic {
+            return Err(TxError::IntrinsicGasTooLow {
+                required: intrinsic,
+            });
+        }
+        let upfront = U256::from_u64(signed.tx.gas_limit)
+            .wrapping_mul(signed.tx.gas_price)
+            .wrapping_add(signed.tx.value);
+        if self.state.balance(sender) < upfront {
+            return Err(TxError::InsufficientFunds);
+        }
+        let hash = signed.hash();
+        self.pending.push(signed);
+        Ok(hash)
+    }
+
+    /// Next nonce accounting for queued pending transactions.
+    fn effective_nonce(&self, sender: Address) -> u64 {
+        let base = self.state.nonce(sender);
+        let queued = self
+            .pending
+            .iter()
+            .filter(|t| t.sender().map(|s| s == sender).unwrap_or(false))
+            .count() as u64;
+        base + queued
+    }
+
+    /// Mines all pending transactions into a new block and returns it.
+    pub fn mine_block(&mut self) -> Block {
+        self.time += self.config.block_interval;
+        let number = self.head().number + 1;
+        let timestamp = self.time;
+        let parent_hash = self.head().hash;
+        let txs = std::mem::take(&mut self.pending);
+
+        let mut receipts = Vec::new();
+        let mut block_gas = 0u64;
+        for (index, signed) in txs.iter().enumerate() {
+            let mut receipt = self.execute_transaction(signed, number, timestamp);
+            receipt.tx_index = index;
+            block_gas += receipt.gas_used;
+            receipts.push(receipt);
+        }
+
+        let block = Block {
+            number,
+            timestamp,
+            parent_hash,
+            hash: Block::compute_hash(number, timestamp, parent_hash, &txs),
+            transactions: txs,
+            gas_used: block_gas,
+        };
+        self.state.block_hashes.insert(number, block.hash);
+        for r in receipts {
+            self.receipts.insert(r.tx_hash, r);
+        }
+        self.blocks.push(block.clone());
+        block
+    }
+
+    /// Executes one transaction against the state (validation already done
+    /// at submission; re-checked defensively here).
+    fn execute_transaction(
+        &mut self,
+        signed: &SignedTransaction,
+        block_number: u64,
+        timestamp: u64,
+    ) -> Receipt {
+        let tx = &signed.tx;
+        let sender = signed.sender().expect("validated at submit");
+        let tx_hash = signed.hash();
+
+        // Buy gas.
+        let gas_cost = U256::from_u64(tx.gas_limit).wrapping_mul(tx.gas_price);
+        let paid = self.state.transfer(sender, self.config.coinbase, gas_cost);
+        debug_assert!(paid, "upfront balance validated at submit");
+
+        let intrinsic = gas::tx_intrinsic_gas(&tx.data, tx.is_create());
+        let exec_gas = tx.gas_limit - intrinsic;
+
+        let env = Env {
+            block: BlockEnv {
+                number: block_number,
+                timestamp,
+                coinbase: self.config.coinbase,
+                difficulty: U256::from_u64(1),
+                gas_limit: self.config.block_gas_limit,
+            },
+            tx: TxEnv {
+                origin: sender,
+                gas_price: tx.gas_price,
+            },
+        };
+
+        let (success, gas_left, output, contract_address, failure) = if tx.is_create() {
+            let mut evm = Evm::new(&mut self.state, env);
+            let out = evm.create(sender, tx.value, tx.data.clone(), exec_gas);
+            let failure = if out.success {
+                None
+            } else if let Some(err) = out.error.clone() {
+                Some(FailureReason::VmError(err))
+            } else if !out.output.is_empty() || out.gas_left > 0 {
+                Some(FailureReason::Reverted(out.output.clone()))
+            } else {
+                Some(FailureReason::InsufficientBalance)
+            };
+            (out.success, out.gas_left, out.output, out.address, failure)
+        } else {
+            // Nonce bump happens before execution for calls (creates bump
+            // inside the EVM so the address derivation sees the old nonce).
+            self.state.bump_nonce(sender);
+            let to = tx.to.expect("call tx");
+            let mut evm = Evm::new(&mut self.state, env);
+            let out = evm.call(CallParams::transact(
+                sender,
+                to,
+                tx.value,
+                tx.data.clone(),
+                exec_gas,
+            ));
+            let failure = if out.success {
+                None
+            } else if out.reverted {
+                Some(FailureReason::Reverted(out.output.clone()))
+            } else if let Some(err) = out.error.clone() {
+                Some(FailureReason::VmError(err))
+            } else {
+                Some(FailureReason::InsufficientBalance)
+            };
+            (out.success, out.gas_left, out.output, None, failure)
+        };
+
+        // Settle gas: refund capped at half of what was used.
+        let (logs, refund_counter) = self.state.clear_tx_scratch();
+        let gas_used_pre_refund = tx.gas_limit - gas_left;
+        let refund = refund_counter.min(gas_used_pre_refund / 2);
+        let gas_used = gas_used_pre_refund - refund;
+        let reimbursement =
+            U256::from_u64(tx.gas_limit - gas_used).wrapping_mul(tx.gas_price);
+        let repaid = self
+            .state
+            .transfer(self.config.coinbase, sender, reimbursement);
+        debug_assert!(repaid, "coinbase holds the upfront payment");
+
+        // For creates, a failed execution must still bump the sender nonce
+        // (the EVM bumps it inside create(); on hard pre-flight failures it
+        // may not have run — normalize here).
+        if tx.is_create() && self.state.nonce(sender) == tx.nonce {
+            self.state.bump_nonce(sender);
+        }
+
+        Receipt {
+            tx_hash,
+            block_number,
+            tx_index: 0,
+            success,
+            gas_used,
+            contract_address: if success { contract_address } else { None },
+            logs: if success { logs } else { Vec::new() },
+            output,
+            failure,
+        }
+    }
+
+    // ---- convenience API (sign + submit + mine in one shot) ----
+
+    /// Sends a call transaction from `wallet` and mines it immediately.
+    pub fn execute(
+        &mut self,
+        wallet: &Wallet,
+        to: Address,
+        value: U256,
+        data: Vec<u8>,
+        gas_limit: u64,
+    ) -> Result<Receipt, TxError> {
+        let tx = Transaction {
+            nonce: self.effective_nonce(wallet.address),
+            gas_price: self.config.default_gas_price,
+            gas_limit,
+            to: Some(to),
+            value,
+            data,
+        };
+        let hash = self.submit(tx.sign(&wallet.key))?;
+        self.mine_block();
+        Ok(self.receipts[&hash].clone())
+    }
+
+    /// Deploys a contract from initcode and mines immediately.
+    pub fn deploy(
+        &mut self,
+        wallet: &Wallet,
+        initcode: Vec<u8>,
+        value: U256,
+        gas_limit: u64,
+    ) -> Result<Receipt, TxError> {
+        let tx = Transaction {
+            nonce: self.effective_nonce(wallet.address),
+            gas_price: self.config.default_gas_price,
+            gas_limit,
+            to: None,
+            value,
+            data: initcode,
+        };
+        let hash = self.submit(tx.sign(&wallet.key))?;
+        self.mine_block();
+        Ok(self.receipts[&hash].clone())
+    }
+
+    /// Dry-runs a transaction under a gas profiler: executes exactly like
+    /// a value-bearing call (including storage writes) but rolls all
+    /// state back, returning the per-opcode gas breakdown and the
+    /// execution-gas consumption (intrinsic gas not included).
+    pub fn profile_call(
+        &mut self,
+        from: Address,
+        to: Address,
+        value: U256,
+        data: Vec<u8>,
+        gas: u64,
+    ) -> (sc_evm::GasProfiler, u64) {
+        let env = Env {
+            block: BlockEnv {
+                number: self.head().number + 1,
+                timestamp: self.now(),
+                coinbase: self.config.coinbase,
+                difficulty: U256::from_u64(1),
+                gas_limit: self.config.block_gas_limit,
+            },
+            tx: TxEnv {
+                origin: from,
+                gas_price: U256::ZERO,
+            },
+        };
+        let snapshot = self.state.snapshot();
+        let mut profiler = sc_evm::GasProfiler::new();
+        let out = Evm::with_inspector(&mut self.state, env, &mut profiler).call(
+            CallParams::transact(from, to, value, data, gas),
+        );
+        self.state.revert(snapshot);
+        self.state.clear_tx_scratch();
+        (profiler, gas - out.gas_left)
+    }
+
+    /// Read-only call (like `eth_call`): state changes are discarded.
+    pub fn call(&mut self, from: Address, to: Address, data: Vec<u8>) -> Vec<u8> {
+        let env = Env {
+            block: BlockEnv {
+                number: self.head().number + 1,
+                timestamp: self.now(),
+                coinbase: self.config.coinbase,
+                difficulty: U256::from_u64(1),
+                gas_limit: self.config.block_gas_limit,
+            },
+            tx: TxEnv {
+                origin: from,
+                gas_price: U256::ZERO,
+            },
+        };
+        let snapshot = self.state.snapshot();
+        let mut evm = Evm::new(&mut self.state, env);
+        let out = evm.call(CallParams {
+            caller: from,
+            address: to,
+            code_address: to,
+            apparent_value: U256::ZERO,
+            transfer_value: None,
+            data,
+            gas: self.config.block_gas_limit,
+            is_static: false,
+        });
+        self.state.revert(snapshot);
+        self.state.clear_tx_scratch();
+        out.output
+    }
+}
+
+impl Default for Testnet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_primitives::ether;
+
+    #[test]
+    fn simple_transfer_charges_exact_gas() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        let bob = Wallet::from_seed("bob");
+        let receipt = net
+            .execute(&alice, bob.address, ether(1), vec![], 100_000)
+            .unwrap();
+        assert!(receipt.success);
+        assert_eq!(receipt.gas_used, 21_000, "plain transfer is exactly Gtx");
+        assert_eq!(net.balance_of(bob.address), ether(1));
+        let spent = ether(10).wrapping_sub(net.balance_of(alice.address));
+        let expected = ether(1).wrapping_add(U256::from_u64(21_000).wrapping_mul(sc_primitives::gwei(1)));
+        assert_eq!(spent, expected);
+    }
+
+    #[test]
+    fn miner_earns_the_fee() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        let coinbase = net.config().coinbase;
+        net.execute(&alice, Address([9; 20]), ether(1), vec![], 100_000)
+            .unwrap();
+        assert_eq!(
+            net.balance_of(coinbase),
+            U256::from_u64(21_000).wrapping_mul(sc_primitives::gwei(1))
+        );
+    }
+
+    #[test]
+    fn nonce_sequencing_and_rejection() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        let tx = Transaction {
+            nonce: 5,
+            gas_price: sc_primitives::gwei(1),
+            gas_limit: 21_000,
+            to: Some(Address([9; 20])),
+            value: U256::ZERO,
+            data: vec![],
+        };
+        let err = net.submit(tx.sign(&alice.key)).unwrap_err();
+        assert_eq!(err, TxError::BadNonce { expected: 0, got: 5 });
+    }
+
+    #[test]
+    fn pending_txs_count_toward_nonce() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        for i in 0..3 {
+            let tx = Transaction {
+                nonce: i,
+                gas_price: sc_primitives::gwei(1),
+                gas_limit: 21_000,
+                to: Some(Address([9; 20])),
+                value: U256::from_u64(1),
+                data: vec![],
+            };
+            net.submit(tx.sign(&alice.key)).unwrap();
+        }
+        let block = net.mine_block();
+        assert_eq!(block.transactions.len(), 3);
+        assert_eq!(net.nonce_of(alice.address), 3);
+    }
+
+    #[test]
+    fn intrinsic_gas_enforced() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        let tx = Transaction {
+            nonce: 0,
+            gas_price: sc_primitives::gwei(1),
+            gas_limit: 21_000, // too low: data costs extra
+            to: Some(Address([9; 20])),
+            value: U256::ZERO,
+            data: vec![0xff; 10],
+        };
+        let err = net.submit(tx.sign(&alice.key)).unwrap_err();
+        assert_eq!(
+            err,
+            TxError::IntrinsicGasTooLow {
+                required: 21_000 + 68 * 10
+            }
+        );
+    }
+
+    #[test]
+    fn insufficient_funds_rejected_at_submit() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", U256::from_u64(1000));
+        let tx = Transaction {
+            nonce: 0,
+            gas_price: sc_primitives::gwei(1),
+            gas_limit: 21_000,
+            to: Some(Address([9; 20])),
+            value: U256::ZERO,
+            data: vec![],
+        };
+        assert_eq!(net.submit(tx.sign(&alice.key)).unwrap_err(), TxError::InsufficientFunds);
+    }
+
+    #[test]
+    fn timestamps_advance_per_block_and_by_request() {
+        let mut net = Testnet::new();
+        let t0 = net.head().timestamp;
+        let b1 = net.mine_block();
+        assert_eq!(b1.timestamp, t0 + 4);
+        net.advance_time(3600);
+        let b2 = net.mine_block();
+        assert_eq!(b2.timestamp, t0 + 4 + 3600 + 4);
+    }
+
+    #[test]
+    fn deploy_runs_initcode_and_records_address() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        let runtime = vec![0x60, 0x2a, 0x60, 0x00, 0x52, 0x60, 0x20, 0x60, 0x00, 0xf3]; // returns 42
+        let initcode = sc_evm::wrap_initcode(&runtime);
+        let receipt = net.deploy(&alice, initcode, U256::ZERO, 200_000).unwrap();
+        assert!(receipt.success);
+        let addr = receipt.contract_address.unwrap();
+        assert_eq!(net.code_at(addr), runtime);
+        // Call it read-only.
+        let out = net.call(alice.address, addr, vec![]);
+        assert_eq!(U256::from_be_slice(&out), U256::from_u64(42));
+        // Gas: intrinsic(create, data) + exec + deposit — sanity: > 53000.
+        assert!(receipt.gas_used > 53_000);
+    }
+
+    #[test]
+    fn failed_tx_still_charges_gas_and_bumps_nonce() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        // Deploy a contract that always reverts.
+        let runtime = vec![0x60, 0x00, 0x60, 0x00, 0xfd];
+        let initcode = sc_evm::wrap_initcode(&runtime);
+        let r = net.deploy(&alice, initcode, U256::ZERO, 200_000).unwrap();
+        let target = r.contract_address.unwrap();
+        let before = net.balance_of(alice.address);
+        let receipt = net
+            .execute(&alice, target, U256::ZERO, vec![], 100_000)
+            .unwrap();
+        assert!(!receipt.success);
+        assert!(matches!(receipt.failure, Some(FailureReason::Reverted(_))));
+        assert!(net.balance_of(alice.address) < before, "gas was charged");
+        assert_eq!(net.nonce_of(alice.address), 2);
+    }
+
+    #[test]
+    fn refund_capped_at_half_of_gas_used() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        // Contract: SSTORE(0,1) on first call; SSTORE(0,0) on second call
+        // clears and earns a 15000 refund, but gas_used/2 caps it.
+        // code: PUSH1 0 SLOAD ISZERO PUSH1 1 AND ... simpler: calldata
+        // selects the value: SSTORE(0, CALLDATALOAD(0)).
+        let runtime = vec![0x60, 0x00, 0x35, 0x60, 0x00, 0x55, 0x00];
+        let initcode = sc_evm::wrap_initcode(&runtime);
+        let target = net
+            .deploy(&alice, initcode, U256::ZERO, 200_000)
+            .unwrap()
+            .contract_address
+            .unwrap();
+        let one = U256::ONE.to_be_bytes().to_vec();
+        let r1 = net.execute(&alice, target, U256::ZERO, one, 100_000).unwrap();
+        assert!(r1.success);
+        let zero = U256::ZERO.to_be_bytes().to_vec();
+        let r2 = net.execute(&alice, target, U256::ZERO, zero, 100_000).unwrap();
+        assert!(r2.success);
+        // Without refund r2 would use 21000 + 32*4 (zero calldata) + exec:
+        // PUSH1+CALLDATALOAD+PUSH1 (3 gas each) + SSTORE-reset (5000).
+        // The 15000 clear refund is capped to half of that.
+        let pre_refund = 21_000 + 32 * 4 + 3 + 3 + 3 + 5_000;
+        assert_eq!(r2.gas_used, pre_refund - pre_refund / 2);
+    }
+
+    #[test]
+    fn eth_call_does_not_mutate_state() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        // Contract that SSTOREs then returns.
+        let runtime = vec![0x60, 0x07, 0x60, 0x00, 0x55, 0x00];
+        let initcode = sc_evm::wrap_initcode(&runtime);
+        let target = net
+            .deploy(&alice, initcode, U256::ZERO, 200_000)
+            .unwrap()
+            .contract_address
+            .unwrap();
+        net.call(alice.address, target, vec![]);
+        assert_eq!(net.storage_at(target, U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn block_hashes_linked() {
+        let mut net = Testnet::new();
+        let b1 = net.mine_block();
+        let b2 = net.mine_block();
+        assert_eq!(b2.parent_hash, b1.hash);
+        assert_eq!(net.block(1).unwrap().hash, b1.hash);
+    }
+
+    #[test]
+    fn create_tx_failure_consumes_nonce() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        // Initcode that immediately reverts.
+        let initcode = vec![0x60, 0x00, 0x60, 0x00, 0xfd];
+        let receipt = net.deploy(&alice, initcode, U256::ZERO, 100_000).unwrap();
+        assert!(!receipt.success);
+        assert!(receipt.contract_address.is_none());
+        assert_eq!(net.nonce_of(alice.address), 1);
+    }
+}

@@ -1,0 +1,319 @@
+//! The submit/challenge variant of the on-chain contract (extension).
+//!
+//! The paper's third stage describes a mechanism the published contracts
+//! (Algorithms 2–6) do not actually implement: "a representative of the
+//! participants \[submits\] the result … leaving a challenge period …
+//! during which all other participants can challenge the result with the
+//! signed copy of the off-chain contract", plus the remark that heavy
+//! `reveal()` functions make security deposits "mandatory … so that the
+//! honest participant paying for dispute resolution can receive
+//! compensation from dishonest participants."
+//!
+//! This module ships that design as a MiniSol contract:
+//!
+//! * deposits are `1 ether` stake + `0.1 ether` security deposit;
+//! * after T2 either participant may `submitResult(winner)`;
+//! * an unchallenged result can be `finalize()`d after the challenge
+//!   window, refunding both security deposits;
+//! * during the window, the counterparty can `challenge()` with the
+//!   signed copy — the verified instance recomputes `reveal()` and
+//!   `enforceChallengedResolution` compares it with the submission: a
+//!   false submitter forfeits their security deposit to the challenger
+//!   (compensating the dispute gas), an honest submitter keeps theirs.
+
+use crate::{BetSecrets, Timeline};
+use sc_lang::{compile, CompiledContract};
+use sc_primitives::abi::Value;
+use sc_primitives::{Address, U256};
+
+/// MiniSol source of the challenge-period on-chain contract.
+pub const CHALLENGE_ONCHAIN_SRC: &str = r#"
+pragma solidity ^0.4.24;
+
+contract onChainChallenge {
+    address[2] participant;
+    mapping(address => uint256) accountBalance;
+    mapping(address => uint256) securityDeposit;
+    uint256 T1;
+    uint256 T2;
+    uint256 challengeWindow;
+    address public deployedAddr;
+
+    // Result proposal state.
+    bool proposed;
+    bool proposedWinner;
+    address proposer;
+    uint256 proposedAt;
+    bool settled;
+
+    constructor(address a, address b, uint256 t1, uint256 t2, uint256 window) public {
+        participant[0] = a;
+        participant[1] = b;
+        T1 = t1;
+        T2 = t2;
+        challengeWindow = window;
+    }
+
+    modifier certifiedparticipantOnly {
+        require(msg.sender == participant[0] || msg.sender == participant[1]);
+        _;
+    }
+    modifier beforeT1 { require(block.timestamp < T1); _; }
+    modifier afterT2 { require(block.timestamp >= T2); _; }
+    modifier amountMet {
+        require(accountBalance[participant[0]] == 1 ether && accountBalance[participant[1]] == 1 ether);
+        _;
+    }
+    modifier notSettled { require(!settled); _; }
+    modifier deployedAddrOnly { require(msg.sender == deployedAddr); _; }
+
+    // Stake (1 ether) + security deposit (0.1 ether) in one payment.
+    function deposit() public payable beforeT1 certifiedparticipantOnly {
+        require(msg.value == 1100000000000000000);
+        require(accountBalance[msg.sender] == 0);
+        accountBalance[msg.sender] = 1 ether;
+        securityDeposit[msg.sender] = 100000000000000000;
+    }
+
+    function refundRoundOne() public beforeT1 certifiedparticipantOnly {
+        uint256 amt = accountBalance[msg.sender] + securityDeposit[msg.sender];
+        require(amt > 0);
+        accountBalance[msg.sender] = 0;
+        securityDeposit[msg.sender] = 0;
+        msg.sender.transfer(amt);
+    }
+
+    // The representative submits the off-chain result; the challenge
+    // window opens.
+    function submitResult(bool winner) public afterT2 certifiedparticipantOnly amountMet notSettled {
+        require(!proposed);
+        proposed = true;
+        proposedWinner = winner;
+        proposer = msg.sender;
+        proposedAt = block.timestamp;
+    }
+
+    // Unchallenged after the window: pay out and refund both security
+    // deposits.
+    function finalize() public certifiedparticipantOnly notSettled {
+        require(proposed);
+        require(block.timestamp >= proposedAt + challengeWindow);
+        settled = true;
+        uint256 total = accountBalance[participant[0]] + accountBalance[participant[1]];
+        accountBalance[participant[0]] = 0;
+        accountBalance[participant[1]] = 0;
+        uint256 sd0 = securityDeposit[participant[0]];
+        uint256 sd1 = securityDeposit[participant[1]];
+        securityDeposit[participant[0]] = 0;
+        securityDeposit[participant[1]] = 0;
+        if (proposedWinner == true) {
+            participant[1].transfer(total + sd1);
+        } else {
+            participant[0].transfer(total + sd0);
+        }
+        if (proposedWinner == true) {
+            if (sd0 > 0) { participant[0].transfer(sd0); }
+        } else {
+            if (sd1 > 0) { participant[1].transfer(sd1); }
+        }
+    }
+
+    // A challenger reveals the signed copy during the window.
+    function challenge(bytes memory bytecode, uint8 va, bytes32 ra, bytes32 sa, uint8 vb, bytes32 rb, bytes32 sb) public certifiedparticipantOnly amountMet notSettled {
+        require(proposed);
+        require(block.timestamp < proposedAt + challengeWindow);
+        bytes32 h_bytecode = keccak256(bytecode);
+        address a = ecrecover(h_bytecode, va, ra, sa);
+        address b = ecrecover(h_bytecode, vb, rb, sb);
+        require(a == participant[0] && b == participant[1]);
+        address addr = create(bytecode);
+        require(addr != address(0));
+        deployedAddr = addr;
+    }
+
+    // Called back by the verified instance with the recomputed truth.
+    // Penalty rule: once the dispute machinery runs, the truth-loser
+    // forfeits their security deposit to the truth-winner — whether they
+    // caused the dispute by lying as the submitter or by challenging a
+    // truthful submission. This funds the honest party's dispute gas,
+    // the compensation the paper calls for.
+    function enforceChallengedResolution(bool winner) external deployedAddrOnly notSettled {
+        settled = true;
+        uint256 total = accountBalance[participant[0]] + accountBalance[participant[1]];
+        accountBalance[participant[0]] = 0;
+        accountBalance[participant[1]] = 0;
+        uint256 sds = securityDeposit[participant[0]] + securityDeposit[participant[1]];
+        securityDeposit[participant[0]] = 0;
+        securityDeposit[participant[1]] = 0;
+        if (winner == true) {
+            participant[1].transfer(total + sds);
+        } else {
+            participant[0].transfer(total + sds);
+        }
+    }
+}
+"#;
+
+/// MiniSol source of the off-chain contract matching the challenge
+/// variant (same `reveal()`, different callback name).
+pub const CHALLENGE_OFFCHAIN_SRC: &str = r#"
+pragma solidity ^0.4.24;
+
+interface OnChainChallengeContract {
+    function enforceChallengedResolution(bool winner) external;
+}
+
+contract offChainChallenge {
+    address[2] participant;
+    uint256 secretA;
+    uint256 secretB;
+    uint256 weight;
+
+    constructor(address a, address b, uint256 sa, uint256 sb, uint256 w) public {
+        participant[0] = a;
+        participant[1] = b;
+        secretA = sa;
+        secretB = sb;
+        weight = w;
+    }
+
+    modifier certifiedparticipantOnly {
+        require(msg.sender == participant[0] || msg.sender == participant[1]);
+        _;
+    }
+
+    function reveal() private returns (bool) {
+        uint256 acc = secretA + secretB;
+        uint256 i = 0;
+        while (i < weight) {
+            acc = acc * 2654435761 + i;
+            i = i + 1;
+        }
+        return acc % 2 == 1;
+    }
+
+    function returnDisputeResolution(address addr) public certifiedparticipantOnly {
+        OnChainChallengeContract(addr).enforceChallengedResolution(reveal());
+    }
+}
+"#;
+
+/// The stake every participant locks (1 ether).
+pub fn stake() -> U256 {
+    sc_primitives::ether(1)
+}
+
+/// The security deposit (0.1 ether) that funds dispute compensation.
+pub fn security_deposit() -> U256 {
+    U256::from_u128(100_000_000_000_000_000)
+}
+
+/// Storage slot of `deployedAddr` in the challenge contract
+/// (participants 0–1, two mappings 2–3, T1 4, T2 5, window 6).
+pub const CHALLENGE_DEPLOYED_ADDR_SLOT: u64 = 7;
+
+/// Compiled challenge-period contract pair with calldata builders.
+#[derive(Clone)]
+pub struct ChallengeContracts {
+    /// The on-chain side.
+    pub onchain: CompiledContract,
+    /// The off-chain side (what gets signed).
+    pub offchain: CompiledContract,
+}
+
+impl ChallengeContracts {
+    /// Compiles both sides.
+    pub fn new() -> Self {
+        ChallengeContracts {
+            onchain: compile(CHALLENGE_ONCHAIN_SRC, "onChainChallenge")
+                .expect("challenge onchain compiles"),
+            offchain: compile(CHALLENGE_OFFCHAIN_SRC, "offChainChallenge")
+                .expect("challenge offchain compiles"),
+        }
+    }
+
+    /// On-chain initcode. `window` is the challenge period in seconds.
+    pub fn onchain_initcode(
+        &self,
+        alice: Address,
+        bob: Address,
+        tl: Timeline,
+        window: u64,
+    ) -> Vec<u8> {
+        self.onchain
+            .initcode(&[
+                Value::Address(alice),
+                Value::Address(bob),
+                Value::Uint(U256::from_u64(tl.t1)),
+                Value::Uint(U256::from_u64(tl.t2)),
+                Value::Uint(U256::from_u64(window)),
+            ])
+            .expect("ctor args")
+    }
+
+    /// Off-chain initcode (the artifact the participants sign).
+    pub fn offchain_initcode(&self, alice: Address, bob: Address, secrets: BetSecrets) -> Vec<u8> {
+        self.offchain
+            .initcode(&[
+                Value::Address(alice),
+                Value::Address(bob),
+                Value::Uint(secrets.secret_a),
+                Value::Uint(secrets.secret_b),
+                Value::Uint(U256::from_u64(secrets.weight)),
+            ])
+            .expect("ctor args")
+    }
+
+    /// `deposit()` calldata (send `stake() + security_deposit()`).
+    pub fn deposit(&self) -> Vec<u8> {
+        self.onchain.calldata("deposit", &[]).expect("abi")
+    }
+
+    /// `submitResult(winner)` calldata.
+    pub fn submit_result(&self, winner_is_bob: bool) -> Vec<u8> {
+        self.onchain
+            .calldata("submitResult", &[Value::Bool(winner_is_bob)])
+            .expect("abi")
+    }
+
+    /// `finalize()` calldata.
+    pub fn finalize(&self) -> Vec<u8> {
+        self.onchain.calldata("finalize", &[]).expect("abi")
+    }
+
+    /// `challenge(bytecode, sigs…)` calldata.
+    pub fn challenge(
+        &self,
+        bytecode: &[u8],
+        sig_a: &sc_crypto::Signature,
+        sig_b: &sc_crypto::Signature,
+    ) -> Vec<u8> {
+        self.onchain
+            .calldata(
+                "challenge",
+                &[
+                    Value::Bytes(bytecode.to_vec()),
+                    Value::Uint(U256::from_u64(sig_a.v as u64)),
+                    Value::Bytes32(sig_a.r),
+                    Value::Bytes32(sig_a.s),
+                    Value::Uint(U256::from_u64(sig_b.v as u64)),
+                    Value::Bytes32(sig_b.r),
+                    Value::Bytes32(sig_b.s),
+                ],
+            )
+            .expect("abi")
+    }
+
+    /// `returnDisputeResolution(onchain)` calldata for the instance.
+    pub fn return_dispute_resolution(&self, onchain: Address) -> Vec<u8> {
+        self.offchain
+            .calldata("returnDisputeResolution", &[Value::Address(onchain)])
+            .expect("abi")
+    }
+}
+
+impl Default for ChallengeContracts {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,518 @@
+//! The paper's betting contracts, compiled from MiniSol, with typed
+//! wrappers for building deployments and calldata.
+//!
+//! * [`OnChainContract`] — Algorithm 2 (+ extra functions of Algorithms
+//!   5–6): deposits, refunds, reassignment, `deployVerifiedInstance`,
+//!   `enforceDisputeResolution`.
+//! * [`OffChainContract`] — Algorithm 3: the private `reveal()` plus
+//!   `returnDisputeResolution`. Its **initcode** (with the participants,
+//!   secrets and workload weight baked in) is what the participants sign.
+//! * [`MonolithicContract`] — the all-on-chain baseline used by the
+//!   Fig. 1 model-comparison experiment.
+
+#![warn(missing_docs)]
+
+pub mod challenge;
+pub mod gen;
+pub mod sources;
+
+use sc_lang::{compile, CompiledContract};
+use sc_primitives::abi::Value;
+use sc_primitives::{Address, U256};
+
+pub use sources::{MONOLITHIC_SRC, OFFCHAIN_SRC, ONCHAIN_SRC};
+
+/// The betting-window timestamps of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timeline {
+    /// Deposit deadline.
+    pub t1: u64,
+    /// Refund-round-two deadline.
+    pub t2: u64,
+    /// Voluntary-reassign deadline; disputes open after this.
+    pub t3: u64,
+}
+
+impl Timeline {
+    /// A timeline with the given phase length starting at `t0`.
+    pub fn starting_at(t0: u64, phase: u64) -> Timeline {
+        Timeline {
+            t1: t0 + phase,
+            t2: t0 + 2 * phase,
+            t3: t0 + 3 * phase,
+        }
+    }
+}
+
+/// The private betting rule: secrets contributed by each party plus the
+/// computational weight of `reveal()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BetSecrets {
+    /// Alice's secret input.
+    pub secret_a: U256,
+    /// Bob's secret input.
+    pub secret_b: U256,
+    /// Iterations of the mixing loop (the "heavy" in heavy/private).
+    pub weight: u64,
+}
+
+impl BetSecrets {
+    /// Reference (native Rust) implementation of the contract's
+    /// `reveal()`: `true` means participant 1 (Bob) wins.
+    pub fn winner_is_bob(&self) -> bool {
+        let mut acc = self.secret_a.wrapping_add(self.secret_b);
+        let mult = U256::from_u64(2_654_435_761);
+        for i in 0..self.weight {
+            acc = acc.wrapping_mul(mult).wrapping_add(U256::from_u64(i));
+        }
+        acc.bit(0)
+    }
+}
+
+/// Compiled on-chain contract with calldata builders.
+#[derive(Clone)]
+pub struct OnChainContract {
+    /// The compiled artifact.
+    pub compiled: CompiledContract,
+}
+
+/// Storage slot of `deployedAddr` in the on-chain contract
+/// (participant\[2\] → slots 0–1, mapping → 2, T1–T3 → 3–5).
+pub const DEPLOYED_ADDR_SLOT: u64 = 6;
+
+impl OnChainContract {
+    /// Compiles the on-chain contract.
+    pub fn new() -> Self {
+        OnChainContract {
+            compiled: compile(ONCHAIN_SRC, "onChain").expect("onChain source compiles"),
+        }
+    }
+
+    /// Initcode deploying the contract for two participants and a
+    /// timeline.
+    pub fn initcode(&self, alice: Address, bob: Address, tl: Timeline) -> Vec<u8> {
+        self.compiled
+            .initcode(&[
+                Value::Address(alice),
+                Value::Address(bob),
+                Value::Uint(U256::from_u64(tl.t1)),
+                Value::Uint(U256::from_u64(tl.t2)),
+                Value::Uint(U256::from_u64(tl.t3)),
+            ])
+            .expect("constructor args match")
+    }
+
+    /// `deposit()` calldata.
+    pub fn deposit(&self) -> Vec<u8> {
+        self.compiled.calldata("deposit", &[]).expect("abi")
+    }
+
+    /// `refundRoundOne()` calldata.
+    pub fn refund_round_one(&self) -> Vec<u8> {
+        self.compiled.calldata("refundRoundOne", &[]).expect("abi")
+    }
+
+    /// `refundRoundTwo()` calldata.
+    pub fn refund_round_two(&self) -> Vec<u8> {
+        self.compiled.calldata("refundRoundTwo", &[]).expect("abi")
+    }
+
+    /// `reassign()` calldata.
+    pub fn reassign(&self) -> Vec<u8> {
+        self.compiled.calldata("reassign", &[]).expect("abi")
+    }
+
+    /// `deployVerifiedInstance(bytecode, va, ra, sa, vb, rb, sb)` calldata
+    /// from the signed copy.
+    pub fn deploy_verified_instance(
+        &self,
+        bytecode: &[u8],
+        sig_a: &sc_crypto::Signature,
+        sig_b: &sc_crypto::Signature,
+    ) -> Vec<u8> {
+        self.compiled
+            .calldata(
+                "deployVerifiedInstance",
+                &[
+                    Value::Bytes(bytecode.to_vec()),
+                    Value::Uint(U256::from_u64(sig_a.v as u64)),
+                    Value::Bytes32(sig_a.r),
+                    Value::Bytes32(sig_a.s),
+                    Value::Uint(U256::from_u64(sig_b.v as u64)),
+                    Value::Bytes32(sig_b.r),
+                    Value::Bytes32(sig_b.s),
+                ],
+            )
+            .expect("abi")
+    }
+}
+
+impl Default for OnChainContract {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Compiled off-chain contract with builders for the signed copy.
+#[derive(Clone)]
+pub struct OffChainContract {
+    /// The compiled artifact.
+    pub compiled: CompiledContract,
+}
+
+impl OffChainContract {
+    /// Compiles the off-chain contract.
+    pub fn new() -> Self {
+        OffChainContract {
+            compiled: compile(OFFCHAIN_SRC, "offChain").expect("offChain source compiles"),
+        }
+    }
+
+    /// The initcode that the participants sign: contract code with the
+    /// participants, secrets and weight baked in.
+    pub fn initcode(&self, alice: Address, bob: Address, secrets: BetSecrets) -> Vec<u8> {
+        self.compiled
+            .initcode(&[
+                Value::Address(alice),
+                Value::Address(bob),
+                Value::Uint(secrets.secret_a),
+                Value::Uint(secrets.secret_b),
+                Value::Uint(U256::from_u64(secrets.weight)),
+            ])
+            .expect("constructor args match")
+    }
+
+    /// `returnDisputeResolution(onChainAddr)` calldata.
+    pub fn return_dispute_resolution(&self, onchain: Address) -> Vec<u8> {
+        self.compiled
+            .calldata("returnDisputeResolution", &[Value::Address(onchain)])
+            .expect("abi")
+    }
+}
+
+impl Default for OffChainContract {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Compiled all-on-chain baseline.
+#[derive(Clone)]
+pub struct MonolithicContract {
+    /// The compiled artifact.
+    pub compiled: CompiledContract,
+}
+
+impl MonolithicContract {
+    /// Compiles the baseline contract.
+    pub fn new() -> Self {
+        MonolithicContract {
+            compiled: compile(MONOLITHIC_SRC, "monolithic").expect("monolithic source compiles"),
+        }
+    }
+
+    /// Initcode with timeline and (publicly visible!) secrets + weight.
+    pub fn initcode(
+        &self,
+        alice: Address,
+        bob: Address,
+        tl: Timeline,
+        secrets: BetSecrets,
+    ) -> Vec<u8> {
+        self.compiled
+            .initcode(&[
+                Value::Address(alice),
+                Value::Address(bob),
+                Value::Uint(U256::from_u64(tl.t1)),
+                Value::Uint(U256::from_u64(tl.t2)),
+                Value::Uint(U256::from_u64(tl.t3)),
+                Value::Uint(secrets.secret_a),
+                Value::Uint(secrets.secret_b),
+                Value::Uint(U256::from_u64(secrets.weight)),
+            ])
+            .expect("constructor args match")
+    }
+
+    /// `deposit()` calldata.
+    pub fn deposit(&self) -> Vec<u8> {
+        self.compiled.calldata("deposit", &[]).expect("abi")
+    }
+
+    /// `settle()` calldata — miners recompute `reveal()` here.
+    pub fn settle(&self) -> Vec<u8> {
+        self.compiled.calldata("settle", &[]).expect("abi")
+    }
+
+    /// `refundRoundOne()` calldata.
+    pub fn refund_round_one(&self) -> Vec<u8> {
+        self.compiled.calldata("refundRoundOne", &[]).expect("abi")
+    }
+
+    /// `refundRoundTwo()` calldata.
+    pub fn refund_round_two(&self) -> Vec<u8> {
+        self.compiled.calldata("refundRoundTwo", &[]).expect("abi")
+    }
+}
+
+impl Default for MonolithicContract {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_chain::{Testnet, Wallet};
+    use sc_primitives::ether;
+
+    fn setup() -> (Testnet, Wallet, Wallet, Timeline) {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(100));
+        let bob = net.funded_wallet("bob", ether(100));
+        let tl = Timeline::starting_at(net.now(), 3600);
+        (net, alice, bob, tl)
+    }
+
+    #[test]
+    fn all_three_sources_compile() {
+        let on = OnChainContract::new();
+        let off = OffChainContract::new();
+        let mono = MonolithicContract::new();
+        assert!(!on.compiled.runtime.is_empty());
+        assert!(!off.compiled.runtime.is_empty());
+        assert!(!mono.compiled.runtime.is_empty());
+    }
+
+    #[test]
+    fn deposit_and_refund_round_one() {
+        let (mut net, alice, bob, tl) = setup();
+        let on = OnChainContract::new();
+        let r = net
+            .deploy(&alice, on.initcode(alice.address, bob.address, tl), U256::ZERO, 3_000_000)
+            .unwrap();
+        assert!(r.success, "{:?}", r.failure);
+        let addr = r.contract_address.unwrap();
+
+        let r = net
+            .execute(&alice, addr, ether(1), on.deposit(), 300_000)
+            .unwrap();
+        assert!(r.success, "{:?}", r.failure);
+        assert_eq!(net.balance_of(addr), ether(1));
+
+        // Wrong amount rejected.
+        let r = net
+            .execute(&bob, addr, ether(2), on.deposit(), 300_000)
+            .unwrap();
+        assert!(!r.success);
+
+        // Refund before T1 works.
+        let r = net
+            .execute(&alice, addr, U256::ZERO, on.refund_round_one(), 300_000)
+            .unwrap();
+        assert!(r.success, "{:?}", r.failure);
+        assert_eq!(net.balance_of(addr), U256::ZERO);
+    }
+
+    #[test]
+    fn outsiders_are_rejected() {
+        let (mut net, alice, bob, tl) = setup();
+        let carol = net.funded_wallet("carol", ether(100));
+        let on = OnChainContract::new();
+        let addr = net
+            .deploy(&alice, on.initcode(alice.address, bob.address, tl), U256::ZERO, 3_000_000)
+            .unwrap()
+            .contract_address
+            .unwrap();
+        let r = net
+            .execute(&carol, addr, ether(1), on.deposit(), 300_000)
+            .unwrap();
+        assert!(!r.success, "non-participant deposit must revert");
+    }
+
+    #[test]
+    fn deposit_after_t1_rejected_and_refund_round_two() {
+        let (mut net, alice, bob, tl) = setup();
+        let on = OnChainContract::new();
+        let addr = net
+            .deploy(&alice, on.initcode(alice.address, bob.address, tl), U256::ZERO, 3_000_000)
+            .unwrap()
+            .contract_address
+            .unwrap();
+        // Only Alice deposits before T1.
+        assert!(net
+            .execute(&alice, addr, ether(1), on.deposit(), 300_000)
+            .unwrap()
+            .success);
+        // Jump past T1.
+        net.advance_time(3700);
+        let r = net
+            .execute(&bob, addr, ether(1), on.deposit(), 300_000)
+            .unwrap();
+        assert!(!r.success, "deposit after T1 must revert");
+        // Amounts not met → Alice can refund in round two.
+        let before = net.balance_of(alice.address);
+        let r = net
+            .execute(&alice, addr, U256::ZERO, on.refund_round_two(), 300_000)
+            .unwrap();
+        assert!(r.success, "{:?}", r.failure);
+        assert!(net.balance_of(alice.address) > before);
+    }
+
+    #[test]
+    fn reassign_pays_the_winner() {
+        let (mut net, alice, bob, tl) = setup();
+        let on = OnChainContract::new();
+        let addr = net
+            .deploy(&alice, on.initcode(alice.address, bob.address, tl), U256::ZERO, 3_000_000)
+            .unwrap()
+            .contract_address
+            .unwrap();
+        for w in [&alice, &bob] {
+            assert!(net.execute(w, addr, ether(1), on.deposit(), 300_000).unwrap().success);
+        }
+        // Move into (T2, T3): loser Alice concedes.
+        net.advance_time(2 * 3600 + 60);
+        let bob_before = net.balance_of(bob.address);
+        let r = net
+            .execute(&alice, addr, U256::ZERO, on.reassign(), 300_000)
+            .unwrap();
+        assert!(r.success, "{:?}", r.failure);
+        assert_eq!(
+            net.balance_of(bob.address),
+            bob_before.wrapping_add(ether(2)),
+            "winner receives both deposits"
+        );
+        assert_eq!(net.balance_of(addr), U256::ZERO);
+    }
+
+    #[test]
+    fn reassign_requires_full_deposits() {
+        let (mut net, alice, bob, tl) = setup();
+        let on = OnChainContract::new();
+        let addr = net
+            .deploy(&alice, on.initcode(alice.address, bob.address, tl), U256::ZERO, 3_000_000)
+            .unwrap()
+            .contract_address
+            .unwrap();
+        assert!(net.execute(&alice, addr, ether(1), on.deposit(), 300_000).unwrap().success);
+        net.advance_time(2 * 3600 + 60);
+        let r = net
+            .execute(&alice, addr, U256::ZERO, on.reassign(), 300_000)
+            .unwrap();
+        assert!(!r.success, "amountMet must gate reassign");
+    }
+
+    #[test]
+    fn monolithic_settles_on_chain() {
+        let (mut net, alice, bob, tl) = setup();
+        let secrets = BetSecrets {
+            secret_a: U256::from_u64(1234),
+            secret_b: U256::from_u64(5678),
+            weight: 100,
+        };
+        let mono = MonolithicContract::new();
+        let addr = net
+            .deploy(
+                &alice,
+                mono.initcode(alice.address, bob.address, tl, secrets),
+                U256::ZERO,
+                5_000_000,
+            )
+            .unwrap()
+            .contract_address
+            .unwrap();
+        for w in [&alice, &bob] {
+            assert!(net.execute(w, addr, ether(1), mono.deposit(), 300_000).unwrap().success);
+        }
+        net.advance_time(2 * 3600 + 60);
+        let alice_before = net.balance_of(alice.address);
+        let bob_before = net.balance_of(bob.address);
+        let r = net
+            .execute(&alice, addr, U256::ZERO, mono.settle(), 2_000_000)
+            .unwrap();
+        assert!(r.success, "{:?}", r.failure);
+        // The on-chain result matches the native reference implementation.
+        if secrets.winner_is_bob() {
+            assert_eq!(net.balance_of(bob.address), bob_before.wrapping_add(ether(2)));
+        } else {
+            assert!(net.balance_of(alice.address) > alice_before);
+        }
+    }
+
+    #[test]
+    fn monolithic_settle_gas_grows_with_weight() {
+        let (mut net, alice, bob, _) = setup();
+        let mono = MonolithicContract::new();
+        let mut gas = Vec::new();
+        for weight in [0u64, 1000] {
+            let tl = Timeline::starting_at(net.now(), 3600);
+            let secrets = BetSecrets {
+                secret_a: U256::from_u64(1),
+                secret_b: U256::from_u64(2),
+                weight,
+            };
+            let addr = net
+                .deploy(
+                    &alice,
+                    mono.initcode(alice.address, bob.address, tl, secrets),
+                    U256::ZERO,
+                    5_000_000,
+                )
+                .unwrap()
+                .contract_address
+                .unwrap();
+            for w in [&alice, &bob] {
+                assert!(net.execute(w, addr, ether(1), mono.deposit(), 300_000).unwrap().success);
+            }
+            net.advance_time(2 * 3600 + 60);
+            let r = net
+                .execute(&alice, addr, U256::ZERO, mono.settle(), 7_000_000)
+                .unwrap();
+            assert!(r.success, "{:?}", r.failure);
+            gas.push(r.gas_used);
+        }
+        assert!(
+            gas[1] > gas[0] + 10_000,
+            "reveal weight must dominate: {gas:?}"
+        );
+    }
+
+    #[test]
+    fn reference_reveal_matches_secret_parity_for_zero_weight() {
+        // weight 0: winner = parity of secretA + secretB.
+        let s = BetSecrets {
+            secret_a: U256::from_u64(2),
+            secret_b: U256::from_u64(3),
+            weight: 0,
+        };
+        assert!(s.winner_is_bob());
+        let s = BetSecrets {
+            secret_a: U256::from_u64(2),
+            secret_b: U256::from_u64(4),
+            weight: 0,
+        };
+        assert!(!s.winner_is_bob());
+    }
+
+    #[test]
+    fn offchain_initcode_is_deterministic_and_distinct_per_params() {
+        let off = OffChainContract::new();
+        let a = Address([1; 20]);
+        let b = Address([2; 20]);
+        let s1 = BetSecrets {
+            secret_a: U256::ONE,
+            secret_b: U256::ONE,
+            weight: 5,
+        };
+        let code1 = off.initcode(a, b, s1);
+        let code2 = off.initcode(a, b, s1);
+        assert_eq!(code1, code2, "signing requires byte-identical code");
+        let s2 = BetSecrets {
+            secret_a: U256::ONE,
+            secret_b: U256::ONE,
+            weight: 6,
+        };
+        assert_ne!(code1, off.initcode(a, b, s2));
+    }
+}

@@ -1,0 +1,256 @@
+//! The paper's contracts, in MiniSol.
+//!
+//! Three artifacts:
+//!
+//! * [`ONCHAIN_SRC`] — the on-chain betting contract of Algorithm 2, with
+//!   the extra functions of Algorithms 5 and 6.
+//! * [`OFFCHAIN_SRC`] — the off-chain contract of Algorithm 3 with a
+//!   workload-parameterized `reveal()`.
+//! * [`MONOLITHIC_SRC`] — the all-on-chain baseline (Fig. 1 left): the
+//!   whole contract, `reveal()` included, executed by miners.
+//!
+//! Note on Algorithm 6: the paper's listing zeroes both `accountBalance`
+//! entries *before* summing them for the transfer, which would always
+//! transfer 0 wei. We implement the evidently intended behaviour (sum
+//! first, then zero) and record the discrepancy in EXPERIMENTS.md.
+
+/// On-chain contract: light/public functions + dispute extra functions.
+pub const ONCHAIN_SRC: &str = r#"
+pragma solidity ^0.4.24;
+
+contract onChain {
+    address[2] participant;
+    mapping(address => uint256) accountBalance;
+    uint256 T1;
+    uint256 T2;
+    uint256 T3;
+    address public deployedAddr;
+
+    constructor(address a, address b, uint256 t1, uint256 t2, uint256 t3) public {
+        participant[0] = a;
+        participant[1] = b;
+        T1 = t1;
+        T2 = t2;
+        T3 = t3;
+    }
+
+    modifier certifiedparticipantOnly {
+        require(msg.sender == participant[0] || msg.sender == participant[1]);
+        _;
+    }
+    modifier beforeT1 { require(block.timestamp < T1); _; }
+    modifier T1toT2 { require(block.timestamp >= T1 && block.timestamp < T2); _; }
+    modifier T2toT3 { require(block.timestamp >= T2 && block.timestamp < T3); _; }
+    modifier afterT3 { require(block.timestamp >= T3); _; }
+    modifier amountMet {
+        require(accountBalance[participant[0]] == 1 ether && accountBalance[participant[1]] == 1 ether);
+        _;
+    }
+    modifier amountNotMet {
+        require(accountBalance[participant[0]] != 1 ether || accountBalance[participant[1]] != 1 ether);
+        _;
+    }
+    modifier deployedAddrOnly { require(msg.sender == deployedAddr); _; }
+
+    // ---- light/public functions ----
+
+    function deposit() public payable beforeT1 certifiedparticipantOnly {
+        require(msg.value == 1 ether);
+        require(accountBalance[msg.sender] == 0);
+        accountBalance[msg.sender] = accountBalance[msg.sender] + msg.value;
+    }
+
+    function refundRoundOne() public beforeT1 certifiedparticipantOnly {
+        uint256 amt = accountBalance[msg.sender];
+        require(amt > 0);
+        accountBalance[msg.sender] = 0;
+        msg.sender.transfer(amt);
+    }
+
+    function refundRoundTwo() public T1toT2 certifiedparticipantOnly amountNotMet {
+        uint256 amt = accountBalance[msg.sender];
+        require(amt > 0);
+        accountBalance[msg.sender] = 0;
+        msg.sender.transfer(amt);
+    }
+
+    // The loser concedes: both deposits go to the other participant.
+    function reassign() public T2toT3 certifiedparticipantOnly amountMet {
+        uint256 total = accountBalance[participant[0]] + accountBalance[participant[1]];
+        accountBalance[participant[0]] = 0;
+        accountBalance[participant[1]] = 0;
+        if (msg.sender == participant[0]) {
+            participant[1].transfer(total);
+        } else {
+            participant[0].transfer(total);
+        }
+    }
+
+    // ---- extra functions (dispute/resolve stage) ----
+
+    function deployVerifiedInstance(bytes memory bytecode, uint8 va, bytes32 ra, bytes32 sa, uint8 vb, bytes32 rb, bytes32 sb) public afterT3 certifiedparticipantOnly amountMet {
+        // Verify signatures: both participants signed this exact bytecode.
+        bytes32 h_bytecode = keccak256(bytecode);
+        address a = ecrecover(h_bytecode, va, ra, sa);
+        address b = ecrecover(h_bytecode, vb, rb, sb);
+        require(a == participant[0] && b == participant[1]);
+        // Create the verified instance from the signed bytecode.
+        address addr = create(bytecode);
+        require(addr != address(0));
+        deployedAddr = addr;
+    }
+
+    function enforceDisputeResolution(bool winner) external deployedAddrOnly {
+        uint256 total = accountBalance[participant[0]] + accountBalance[participant[1]];
+        accountBalance[participant[0]] = 0;
+        accountBalance[participant[1]] = 0;
+        if (winner == true) {
+            participant[1].transfer(total);
+        } else {
+            participant[0].transfer(total);
+        }
+    }
+}
+"#;
+
+/// Off-chain contract: the heavy/private `reveal()` plus the extra
+/// function returning the dispute resolution.
+///
+/// `reveal()`'s cost is tunable through the constructor's `weight`
+/// argument (iterations of a mixing loop), standing in for "an arbitrary
+/// amount of computational cost" and "customized betting rules that are
+/// private to the participants". The secrets and weight are baked into
+/// the signed initcode, so they stay off-chain until a dispute.
+pub const OFFCHAIN_SRC: &str = r#"
+pragma solidity ^0.4.24;
+
+interface OnChainContract {
+    function enforceDisputeResolution(bool winner) external;
+}
+
+contract offChain {
+    address[2] participant;
+    uint256 secretA;
+    uint256 secretB;
+    uint256 weight;
+
+    constructor(address a, address b, uint256 sa, uint256 sb, uint256 w) public {
+        participant[0] = a;
+        participant[1] = b;
+        secretA = sa;
+        secretB = sb;
+        weight = w;
+    }
+
+    modifier certifiedparticipantOnly {
+        require(msg.sender == participant[0] || msg.sender == participant[1]);
+        _;
+    }
+
+    // The heavy/private function: the participants' private betting rule.
+    // Winner = parity of an iterated mix of both secrets; `weight` scales
+    // the computational cost.
+    function reveal() private returns (bool) {
+        uint256 acc = secretA + secretB;
+        uint256 i = 0;
+        while (i < weight) {
+            acc = acc * 2654435761 + i;
+            i = i + 1;
+        }
+        return acc % 2 == 1;
+    }
+
+    // Extra function: send the true result back to the on-chain contract.
+    function returnDisputeResolution(address addr) public certifiedparticipantOnly {
+        OnChainContract(addr).enforceDisputeResolution(reveal());
+    }
+}
+"#;
+
+/// The all-on-chain baseline: the *whole* contract deployed on-chain, so
+/// miners execute `reveal()` too and the betting rule is public.
+pub const MONOLITHIC_SRC: &str = r#"
+pragma solidity ^0.4.24;
+
+contract monolithic {
+    address[2] participant;
+    mapping(address => uint256) accountBalance;
+    uint256 T1;
+    uint256 T2;
+    uint256 T3;
+    uint256 secretA;
+    uint256 secretB;
+    uint256 weight;
+
+    constructor(address a, address b, uint256 t1, uint256 t2, uint256 t3, uint256 sa, uint256 sb, uint256 w) public {
+        participant[0] = a;
+        participant[1] = b;
+        T1 = t1;
+        T2 = t2;
+        T3 = t3;
+        secretA = sa;
+        secretB = sb;
+        weight = w;
+    }
+
+    modifier certifiedparticipantOnly {
+        require(msg.sender == participant[0] || msg.sender == participant[1]);
+        _;
+    }
+    modifier beforeT1 { require(block.timestamp < T1); _; }
+    modifier T1toT2 { require(block.timestamp >= T1 && block.timestamp < T2); _; }
+    modifier afterT2 { require(block.timestamp >= T2); _; }
+    modifier amountMet {
+        require(accountBalance[participant[0]] == 1 ether && accountBalance[participant[1]] == 1 ether);
+        _;
+    }
+    modifier amountNotMet {
+        require(accountBalance[participant[0]] != 1 ether || accountBalance[participant[1]] != 1 ether);
+        _;
+    }
+
+    function deposit() public payable beforeT1 certifiedparticipantOnly {
+        require(msg.value == 1 ether);
+        require(accountBalance[msg.sender] == 0);
+        accountBalance[msg.sender] = accountBalance[msg.sender] + msg.value;
+    }
+
+    function refundRoundOne() public beforeT1 certifiedparticipantOnly {
+        uint256 amt = accountBalance[msg.sender];
+        require(amt > 0);
+        accountBalance[msg.sender] = 0;
+        msg.sender.transfer(amt);
+    }
+
+    function refundRoundTwo() public T1toT2 certifiedparticipantOnly amountNotMet {
+        uint256 amt = accountBalance[msg.sender];
+        require(amt > 0);
+        accountBalance[msg.sender] = 0;
+        msg.sender.transfer(amt);
+    }
+
+    // The heavy function, executed by every miner in this model.
+    function reveal() private returns (bool) {
+        uint256 acc = secretA + secretB;
+        uint256 i = 0;
+        while (i < weight) {
+            acc = acc * 2654435761 + i;
+            i = i + 1;
+        }
+        return acc % 2 == 1;
+    }
+
+    // Settlement computes the winner on-chain: anyone certified can call.
+    function settle() public afterT2 certifiedparticipantOnly amountMet {
+        bool winner = reveal();
+        uint256 total = accountBalance[participant[0]] + accountBalance[participant[1]];
+        accountBalance[participant[0]] = 0;
+        accountBalance[participant[1]] = 0;
+        if (winner == true) {
+            participant[1].transfer(total);
+        } else {
+            participant[0].transfer(total);
+        }
+    }
+}
+"#;

@@ -1,0 +1,318 @@
+//! End-to-end tests for the submit/challenge extension: representative
+//! submission, challenge window, and security-deposit penalties.
+
+use sc_chain::{Testnet, Wallet};
+use sc_contracts::challenge::{
+    security_deposit, stake, ChallengeContracts, CHALLENGE_DEPLOYED_ADDR_SLOT,
+};
+use sc_contracts::{BetSecrets, Timeline};
+use sc_crypto::ecdsa::PrivateKey;
+use sc_crypto::keccak256;
+use sc_primitives::{ether, Address, U256};
+
+const WINDOW: u64 = 1800;
+
+struct Setup {
+    net: Testnet,
+    alice: Wallet,
+    bob: Wallet,
+    cc: ChallengeContracts,
+    onchain: Address,
+    bytecode: Vec<u8>,
+    secrets: BetSecrets,
+}
+
+fn sign(key: &PrivateKey, code: &[u8]) -> sc_crypto::Signature {
+    key.sign(keccak256(code))
+}
+
+/// Deploys the challenge contract, makes both deposits, and moves the
+/// clock past T2 so results can be submitted.
+fn setup() -> Setup {
+    let mut net = Testnet::new();
+    let alice = net.funded_wallet("alice", ether(1000));
+    let bob = net.funded_wallet("bob", ether(1000));
+    let tl = Timeline::starting_at(net.now(), 3600);
+    let mut secrets = BetSecrets {
+        secret_a: U256::from_u64(5),
+        secret_b: U256::from_u64(6),
+        weight: 32,
+    };
+    while !secrets.winner_is_bob() {
+        secrets.secret_a = secrets.secret_a.wrapping_add(U256::ONE);
+    }
+    let cc = ChallengeContracts::new();
+    let onchain = net
+        .deploy(
+            &alice,
+            cc.onchain_initcode(alice.address, bob.address, tl, WINDOW),
+            U256::ZERO,
+            7_000_000,
+        )
+        .unwrap()
+        .contract_address
+        .expect("challenge contract deploys");
+    let pay = stake().wrapping_add(security_deposit());
+    for w in [&alice, &bob] {
+        let r = net
+            .execute(w, onchain, pay, cc.deposit(), 400_000)
+            .unwrap();
+        assert!(r.success, "deposit: {:?}", r.failure);
+    }
+    let bytecode = cc.offchain_initcode(alice.address, bob.address, secrets);
+    // Past T2.
+    let now = net.now();
+    net.advance_time(tl.t2 - now + 60);
+    Setup {
+        net,
+        alice,
+        bob,
+        cc,
+        onchain,
+        bytecode,
+        secrets,
+    }
+}
+
+#[test]
+fn deposit_requires_stake_plus_security() {
+    let mut net = Testnet::new();
+    let alice = net.funded_wallet("alice", ether(10));
+    let bob = Wallet::from_seed("bob");
+    let tl = Timeline::starting_at(net.now(), 3600);
+    let cc = ChallengeContracts::new();
+    let onchain = net
+        .deploy(
+            &alice,
+            cc.onchain_initcode(alice.address, bob.address, tl, WINDOW),
+            U256::ZERO,
+            7_000_000,
+        )
+        .unwrap()
+        .contract_address
+        .unwrap();
+    // Bare 1 ether (no security deposit) is rejected.
+    let r = net
+        .execute(&alice, onchain, ether(1), cc.deposit(), 400_000)
+        .unwrap();
+    assert!(!r.success, "stake without security deposit rejected");
+    let r = net
+        .execute(
+            &alice,
+            onchain,
+            stake().wrapping_add(security_deposit()),
+            cc.deposit(),
+            400_000,
+        )
+        .unwrap();
+    assert!(r.success);
+}
+
+#[test]
+fn truthful_submission_finalizes_after_window() {
+    let mut s = setup();
+    assert!(s.secrets.winner_is_bob());
+    // Bob (the true winner) submits honestly.
+    let r = s
+        .net
+        .execute(&s.bob, s.onchain, U256::ZERO, s.cc.submit_result(true), 400_000)
+        .unwrap();
+    assert!(r.success, "submit: {:?}", r.failure);
+    // Finalize before the window closes is rejected.
+    let r = s
+        .net
+        .execute(&s.bob, s.onchain, U256::ZERO, s.cc.finalize(), 400_000)
+        .unwrap();
+    assert!(!r.success, "finalize inside the window must wait");
+    // After the window it pays out: Bob gets pot + his security deposit,
+    // Alice gets her security deposit back.
+    s.net.advance_time(WINDOW + 60);
+    let bob_before = s.net.balance_of(s.bob.address);
+    let alice_before = s.net.balance_of(s.alice.address);
+    let r = s
+        .net
+        .execute(&s.bob, s.onchain, U256::ZERO, s.cc.finalize(), 600_000)
+        .unwrap();
+    assert!(r.success, "finalize: {:?}", r.failure);
+    assert_eq!(
+        s.net.balance_of(s.bob.address),
+        bob_before
+            .wrapping_add(ether(2))
+            .wrapping_add(security_deposit())
+            .wrapping_sub(U256::from_u64(r.gas_used).wrapping_mul(sc_primitives::gwei(1))),
+    );
+    assert_eq!(
+        s.net.balance_of(s.alice.address),
+        alice_before.wrapping_add(security_deposit()),
+        "honest loser's security deposit returned"
+    );
+    assert_eq!(s.net.balance_of(s.onchain), U256::ZERO);
+}
+
+#[test]
+fn false_submission_is_challenged_and_penalized() {
+    let mut s = setup();
+    assert!(s.secrets.winner_is_bob());
+    // Alice (the true loser) submits a LIE: "Alice wins" (winner=false).
+    let r = s
+        .net
+        .execute(&s.alice, s.onchain, U256::ZERO, s.cc.submit_result(false), 400_000)
+        .unwrap();
+    assert!(r.success);
+    // Bob challenges within the window using the signed copy.
+    let sig_a = sign(&s.alice.key, &s.bytecode);
+    let sig_b = sign(&s.bob.key, &s.bytecode);
+    let r = s
+        .net
+        .execute(
+            &s.bob,
+            s.onchain,
+            U256::ZERO,
+            s.cc.challenge(&s.bytecode, &sig_a, &sig_b),
+            7_900_000,
+        )
+        .unwrap();
+    assert!(r.success, "challenge: {:?}", r.failure);
+    let instance = Address::from_u256(
+        s.net
+            .storage_at(s.onchain, U256::from_u64(CHALLENGE_DEPLOYED_ADDR_SLOT)),
+    );
+    assert!(!instance.is_zero(), "verified instance created");
+
+    // The instance recomputes reveal() and enforces the truth + penalty.
+    let bob_before = s.net.balance_of(s.bob.address);
+    let r = s
+        .net
+        .execute(
+            &s.bob,
+            instance,
+            U256::ZERO,
+            s.cc.return_dispute_resolution(s.onchain),
+            7_900_000,
+        )
+        .unwrap();
+    assert!(r.success, "resolution: {:?}", r.failure);
+    // Bob receives pot + BOTH security deposits (Alice's is the penalty
+    // compensating his dispute gas).
+    let gas_cost = U256::from_u64(r.gas_used).wrapping_mul(sc_primitives::gwei(1));
+    assert_eq!(
+        s.net.balance_of(s.bob.address),
+        bob_before
+            .wrapping_add(ether(2))
+            .wrapping_add(security_deposit().wrapping_mul(U256::from_u64(2)))
+            .wrapping_sub(gas_cost)
+    );
+    // The liar lost stake AND security deposit.
+    assert!(s.net.balance_of(s.alice.address) < ether(999));
+    // Finalizing the lie afterwards is impossible.
+    s.net.advance_time(WINDOW + 60);
+    let r = s
+        .net
+        .execute(&s.alice, s.onchain, U256::ZERO, s.cc.finalize(), 600_000)
+        .unwrap();
+    assert!(!r.success, "settled flag blocks the stale proposal");
+}
+
+#[test]
+fn challenge_after_window_is_rejected() {
+    let mut s = setup();
+    let r = s
+        .net
+        .execute(&s.bob, s.onchain, U256::ZERO, s.cc.submit_result(true), 400_000)
+        .unwrap();
+    assert!(r.success);
+    s.net.advance_time(WINDOW + 60);
+    let sig_a = sign(&s.alice.key, &s.bytecode);
+    let sig_b = sign(&s.bob.key, &s.bytecode);
+    let r = s
+        .net
+        .execute(
+            &s.alice,
+            s.onchain,
+            U256::ZERO,
+            s.cc.challenge(&s.bytecode, &sig_a, &sig_b),
+            7_900_000,
+        )
+        .unwrap();
+    assert!(!r.success, "the challenge window is closed");
+}
+
+#[test]
+fn challenge_with_forged_bytecode_rejected() {
+    let mut s = setup();
+    let r = s
+        .net
+        .execute(&s.bob, s.onchain, U256::ZERO, s.cc.submit_result(true), 400_000)
+        .unwrap();
+    assert!(r.success);
+    let mut forged = s.bytecode.clone();
+    let n = forged.len();
+    forged[n - 1] ^= 0xff;
+    let sig_a = sign(&s.alice.key, &forged);
+    let sig_b = sign(&s.bob.key, &s.bytecode); // Bob never signed the forgery
+    let r = s
+        .net
+        .execute(
+            &s.alice,
+            s.onchain,
+            U256::ZERO,
+            s.cc.challenge(&forged, &sig_a, &sig_b),
+            7_900_000,
+        )
+        .unwrap();
+    assert!(!r.success, "forged copies cannot open a dispute");
+}
+
+#[test]
+fn double_submission_rejected() {
+    let mut s = setup();
+    assert!(s
+        .net
+        .execute(&s.bob, s.onchain, U256::ZERO, s.cc.submit_result(true), 400_000)
+        .unwrap()
+        .success);
+    let r = s
+        .net
+        .execute(&s.alice, s.onchain, U256::ZERO, s.cc.submit_result(false), 400_000)
+        .unwrap();
+    assert!(!r.success, "only one proposal per game");
+}
+
+#[test]
+fn submission_requires_t2() {
+    // Fresh setup without advancing time.
+    let mut net = Testnet::new();
+    let alice = net.funded_wallet("alice", ether(10));
+    let bob = net.funded_wallet("bob", ether(10));
+    let tl = Timeline::starting_at(net.now(), 3600);
+    let cc = ChallengeContracts::new();
+    let onchain = net
+        .deploy(
+            &alice,
+            cc.onchain_initcode(alice.address, bob.address, tl, WINDOW),
+            U256::ZERO,
+            7_000_000,
+        )
+        .unwrap()
+        .contract_address
+        .unwrap();
+    let pay = stake().wrapping_add(security_deposit());
+    for w in [&alice, &bob] {
+        assert!(net.execute(w, onchain, pay, cc.deposit(), 400_000).unwrap().success);
+    }
+    let r = net
+        .execute(&bob, onchain, U256::ZERO, cc.submit_result(true), 400_000)
+        .unwrap();
+    assert!(!r.success, "submission before T2 rejected");
+}
+
+#[test]
+fn outsiders_cannot_submit_or_challenge() {
+    let mut s = setup();
+    let carol = s.net.funded_wallet("carol", ether(10));
+    let r = s
+        .net
+        .execute(&carol, s.onchain, U256::ZERO, s.cc.submit_result(true), 400_000)
+        .unwrap();
+    assert!(!r.success);
+}

@@ -1,0 +1,316 @@
+//! Protocol engine for the submit/challenge variant (extension).
+//!
+//! Implements the paper's stage-3 narrative literally: after T2 a
+//! *representative* submits the off-chain result on-chain; a challenge
+//! window follows during which the counterparty can contest it with the
+//! signed copy; an uncontested result finalizes cheaply, a contested one
+//! is recomputed by the miners and the liar's security deposit pays the
+//! challenger's costs.
+
+use crate::participant::Participant;
+use crate::signedcopy::SignedCopy;
+use sc_chain::{Receipt, Testnet, Wallet};
+use sc_contracts::challenge::{
+    security_deposit, stake, ChallengeContracts, CHALLENGE_DEPLOYED_ADDR_SLOT,
+};
+use sc_contracts::{BetSecrets, Timeline};
+use sc_primitives::{ether, Address, U256};
+
+/// What the representative does at submission time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitStrategy {
+    /// Submits the true off-chain result.
+    Truthful,
+    /// Submits the inverted result (hoping the window expires quietly).
+    False,
+}
+
+/// What the counterparty does during the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchStrategy {
+    /// Checks the submission against the off-chain result and challenges
+    /// iff it is wrong.
+    Vigilant,
+    /// Never checks (models an offline participant).
+    Asleep,
+    /// Challenges even truthful submissions (frivolous).
+    Frivolous,
+}
+
+/// Outcome of a challenge-variant game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChallengeOutcome {
+    /// The submission stood and was finalized after the window.
+    FinalizedUnchallenged,
+    /// A challenge ran; miners enforced the recomputed truth.
+    ResolvedByChallenge,
+    /// A false submission expired unchallenged — the watcher slept and
+    /// the lie stands (the residual risk the paper's design accepts).
+    LieStood,
+}
+
+/// Report of one challenge-variant run.
+#[derive(Debug, Clone)]
+pub struct ChallengeReport {
+    /// Every on-chain transaction: (label, gas, success).
+    pub txs: Vec<(String, u64, bool)>,
+    /// How it ended.
+    pub outcome: ChallengeOutcome,
+    /// True off-chain result.
+    pub winner_is_bob: bool,
+    /// Bytes of the off-chain contract published (0 without a challenge).
+    pub offchain_bytes_revealed: usize,
+}
+
+impl ChallengeReport {
+    /// Gas total over all transactions.
+    pub fn total_gas(&self) -> u64 {
+        self.txs.iter().map(|t| t.1).sum()
+    }
+
+    /// Gas of the first successful tx with the label.
+    pub fn gas_of(&self, label: &str) -> Option<u64> {
+        self.txs
+            .iter()
+            .find(|t| t.0 == label && t.2)
+            .map(|t| t.1)
+    }
+}
+
+/// The challenge-variant game driver.
+pub struct ChallengeGame {
+    /// The chain.
+    pub net: Testnet,
+    /// Compiled contract pair.
+    pub contracts: ChallengeContracts,
+    /// Participant 0 (also the representative who submits).
+    pub alice: Participant,
+    /// Participant 1 (the watcher).
+    pub bob: Participant,
+    /// Deployed on-chain contract.
+    pub onchain: Address,
+    /// The signed off-chain initcode.
+    pub bytecode: Vec<u8>,
+    secrets: BetSecrets,
+    window: u64,
+    txs: Vec<(String, u64, bool)>,
+}
+
+impl ChallengeGame {
+    /// Sets up the chain, deploys the contract, and makes both deposits
+    /// (stake + security deposit).
+    pub fn new(secrets: BetSecrets, window: u64) -> ChallengeGame {
+        let mut net = Testnet::new();
+        let alice = Participant::honest("alice");
+        let bob = Participant::honest("bob");
+        net.faucet(alice.wallet.address, ether(1000));
+        net.faucet(bob.wallet.address, ether(1000));
+        let tl = Timeline::starting_at(net.now(), 3600);
+        let contracts = ChallengeContracts::new();
+        let mut txs = Vec::new();
+
+        let r = net
+            .deploy(
+                &alice.wallet,
+                contracts.onchain_initcode(alice.wallet.address, bob.wallet.address, tl, window),
+                U256::ZERO,
+                7_000_000,
+            )
+            .expect("deploy admitted");
+        assert!(r.success, "challenge contract deploys");
+        txs.push(("deploy onChainChallenge".into(), r.gas_used, true));
+        let onchain = r.contract_address.expect("created");
+
+        let pay = stake().wrapping_add(security_deposit());
+        for p in [&alice, &bob] {
+            let r = net
+                .execute(&p.wallet, onchain, pay, contracts.deposit(), 400_000)
+                .expect("deposit admitted");
+            assert!(r.success, "deposit");
+            txs.push(("deposit".into(), r.gas_used, true));
+        }
+
+        let bytecode =
+            contracts.offchain_initcode(alice.wallet.address, bob.wallet.address, secrets);
+
+        // Move past T2 so results can be submitted.
+        let now = net.now();
+        net.advance_time(tl.t2 - now + 60);
+
+        ChallengeGame {
+            net,
+            contracts,
+            alice,
+            bob,
+            onchain,
+            bytecode,
+            secrets,
+            window,
+            txs,
+        }
+    }
+
+    /// The fully signed copy of the off-chain contract.
+    pub fn signed_copy(&self) -> SignedCopy {
+        SignedCopy::create(
+            self.bytecode.clone(),
+            &[&self.alice.wallet.key, &self.bob.wallet.key],
+        )
+    }
+
+    fn record(&mut self, label: &str, r: &Receipt) {
+        self.txs.push((label.into(), r.gas_used, r.success));
+    }
+
+    fn exec(&mut self, label: &str, wallet: &Wallet, to: Address, data: Vec<u8>) -> Receipt {
+        let r = self
+            .net
+            .execute(wallet, to, U256::ZERO, data, 7_900_000)
+            .expect("tx admitted");
+        self.record(label, &r);
+        r
+    }
+
+    /// Runs the submit/challenge flow with the given behaviours. Alice is
+    /// the representative; Bob watches.
+    pub fn run(mut self, submit: SubmitStrategy, watch: WatchStrategy) -> (ChallengeGame, ChallengeReport) {
+        let truth = self.secrets.winner_is_bob();
+        let claimed = match submit {
+            SubmitStrategy::Truthful => truth,
+            SubmitStrategy::False => !truth,
+        };
+
+        let alice = self.alice.wallet.clone();
+        let bob = self.bob.wallet.clone();
+        let onchain = self.onchain;
+
+        let data = self.contracts.submit_result(claimed);
+        let r = self.exec("submitResult", &alice, onchain, data);
+        assert!(r.success, "submission");
+
+        let wants_challenge = match watch {
+            WatchStrategy::Vigilant => claimed != truth,
+            WatchStrategy::Asleep => false,
+            WatchStrategy::Frivolous => true,
+        };
+
+        let mut revealed = 0usize;
+        let outcome = if wants_challenge {
+            // Bob challenges with the signed copy inside the window.
+            let copy = self.signed_copy();
+            revealed = copy.bytecode.len();
+            let data = self.contracts.challenge(
+                &copy.bytecode,
+                &copy.signatures[0],
+                &copy.signatures[1],
+            );
+            let r = self.exec("challenge", &bob, onchain, data);
+            assert!(r.success, "challenge accepted in-window");
+            let instance = Address::from_u256(
+                self.net
+                    .storage_at(onchain, U256::from_u64(CHALLENGE_DEPLOYED_ADDR_SLOT)),
+            );
+            let data = self.contracts.return_dispute_resolution(onchain);
+            let r = self.exec("returnDisputeResolution", &bob, instance, data);
+            assert!(r.success, "resolution enforced");
+            ChallengeOutcome::ResolvedByChallenge
+        } else {
+            // Window passes quietly; anyone finalizes.
+            self.net.advance_time(self.window + 60);
+            let data = self.contracts.finalize();
+            let r = self.exec("finalize", &alice, onchain, data);
+            assert!(r.success, "finalize after window");
+            if claimed == truth {
+                ChallengeOutcome::FinalizedUnchallenged
+            } else {
+                ChallengeOutcome::LieStood
+            }
+        };
+
+        let report = ChallengeReport {
+            txs: self.txs.clone(),
+            outcome,
+            winner_is_bob: truth,
+            offchain_bytes_revealed: revealed,
+        };
+        (self, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secrets_bob_wins() -> BetSecrets {
+        let mut s = BetSecrets {
+            secret_a: U256::from_u64(9),
+            secret_b: U256::from_u64(10),
+            weight: 16,
+        };
+        while !s.winner_is_bob() {
+            s.secret_a = s.secret_a.wrapping_add(U256::ONE);
+        }
+        s
+    }
+
+    #[test]
+    fn truthful_submission_finalizes() {
+        let game = ChallengeGame::new(secrets_bob_wins(), 1800);
+        let bob_addr = game.bob.wallet.address;
+        let (game, report) = game.run(SubmitStrategy::Truthful, WatchStrategy::Vigilant);
+        assert_eq!(report.outcome, ChallengeOutcome::FinalizedUnchallenged);
+        assert_eq!(report.offchain_bytes_revealed, 0, "privacy preserved");
+        assert!(game.net.balance_of(bob_addr) > ether(1000));
+    }
+
+    #[test]
+    fn false_submission_caught_by_vigilant_watcher() {
+        let game = ChallengeGame::new(secrets_bob_wins(), 1800);
+        let alice_addr = game.alice.wallet.address;
+        let bob_addr = game.bob.wallet.address;
+        let (game, report) = game.run(SubmitStrategy::False, WatchStrategy::Vigilant);
+        assert_eq!(report.outcome, ChallengeOutcome::ResolvedByChallenge);
+        assert!(report.offchain_bytes_revealed > 0, "dispute published the code");
+        // Bob got pot + both security deposits; the liar lost both.
+        assert!(game.net.balance_of(bob_addr) > ether(1001));
+        assert!(game.net.balance_of(alice_addr) < ether(999));
+    }
+
+    #[test]
+    fn false_submission_stands_if_watcher_sleeps() {
+        // The design's residual risk, made visible.
+        let game = ChallengeGame::new(secrets_bob_wins(), 1800);
+        let alice_addr = game.alice.wallet.address;
+        let (game, report) = game.run(SubmitStrategy::False, WatchStrategy::Asleep);
+        assert_eq!(report.outcome, ChallengeOutcome::LieStood);
+        assert!(
+            game.net.balance_of(alice_addr) > ether(1000),
+            "the unwatched lie profits — participants must stay online"
+        );
+    }
+
+    #[test]
+    fn frivolous_challenge_still_resolves_truthfully() {
+        let game = ChallengeGame::new(secrets_bob_wins(), 1800);
+        let bob_addr = game.bob.wallet.address;
+        let (game, report) = game.run(SubmitStrategy::Truthful, WatchStrategy::Frivolous);
+        assert_eq!(report.outcome, ChallengeOutcome::ResolvedByChallenge);
+        // Truth still wins: Bob is the true winner even though his
+        // challenge was pointless (he burned gas for nothing).
+        assert!(game.net.balance_of(bob_addr) > ether(1000));
+    }
+
+    #[test]
+    fn unchallenged_path_is_cheaper_than_challenge_path() {
+        let (_g1, quiet) = ChallengeGame::new(secrets_bob_wins(), 1800)
+            .run(SubmitStrategy::Truthful, WatchStrategy::Vigilant);
+        let (_g2, fought) = ChallengeGame::new(secrets_bob_wins(), 1800)
+            .run(SubmitStrategy::False, WatchStrategy::Vigilant);
+        assert!(
+            fought.total_gas() > quiet.total_gas() + 150_000,
+            "challenge {} vs quiet {}",
+            fought.total_gas(),
+            quiet.total_gas()
+        );
+    }
+}

@@ -1,0 +1,519 @@
+//! Automatic generation of the on/off-chain contract pair
+//! (the split/generate stage as a program transformation).
+//!
+//! Given a *whole* contract (like the paper's Fig. 1 example or our
+//! monolithic betting contract), this module:
+//!
+//! 1. classifies its functions with [`crate::splitter`];
+//! 2. decomposes the settlement function (the `MixedDecompose` pattern
+//!    `T result = heavyFn(); rest…`) into an off-chain computation and an
+//!    on-chain enforcement body;
+//! 3. partitions state variables and splits the constructor by which
+//!    side's variables each statement initializes;
+//! 4. pads both sides with the paper's three extra functions
+//!    (`deployVerifiedInstance`, `enforceDisputeResolution`,
+//!    `returnDisputeResolution`), generated from templates;
+//! 5. renders both contracts back to MiniSol source and compiles them.
+//!
+//! The result is a deployable pair: the generated on-chain contract and
+//! the signable off-chain initcode, produced *mechanically* from the
+//! monolithic source.
+
+use crate::splitter::{split, FunctionClass};
+use sc_lang::ast::*;
+use sc_lang::printer::print_program;
+use sc_lang::{compile, CompiledContract};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors from pair generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerateError(pub String);
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pair generation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, GenerateError> {
+    Err(GenerateError(msg.into()))
+}
+
+/// The generated pair: MiniSol sources plus compiled artifacts.
+pub struct GeneratedPair {
+    /// Source of the generated on-chain contract.
+    pub onchain_source: String,
+    /// Source of the generated off-chain contract.
+    pub offchain_source: String,
+    /// Compiled on-chain contract.
+    pub onchain: CompiledContract,
+    /// Compiled off-chain contract.
+    pub offchain: CompiledContract,
+    /// Names of functions that went off-chain.
+    pub offchain_functions: Vec<String>,
+}
+
+/// Splits a whole contract into the generated on/off-chain pair.
+///
+/// Requirements (validated):
+/// * an `address[2] participant` state variable (the two-party protocol
+///   convention used for signature checks);
+/// * at most one `MixedDecompose` settlement function, whose body starts
+///   with `T result = heavyFn(...);` for a private heavy function.
+pub fn generate_pair(whole: &Contract) -> Result<GeneratedPair, GenerateError> {
+    // Convention checks.
+    let participant_ok = whole.state.iter().any(|sv| {
+        sv.name == "participant" && matches!(&sv.ty, Type::FixedArray(t, 2) if **t == Type::Address)
+    });
+    if !participant_ok {
+        return err("contract must declare `address[2] participant`");
+    }
+    let plan = split(whole);
+
+    // Partition functions.
+    let mut light = Vec::new();
+    let mut heavy = Vec::new();
+    let mut mixed = Vec::new();
+    for f in &whole.functions {
+        match plan.class_of(&f.name) {
+            Some(FunctionClass::LightPublic) => light.push(f.clone()),
+            Some(FunctionClass::HeavyPrivate) => heavy.push(f.clone()),
+            Some(FunctionClass::MixedDecompose) => mixed.push(f.clone()),
+            None => return err(format!("unclassified function `{}`", f.name)),
+        }
+    }
+    if mixed.len() > 1 {
+        return err("more than one settlement function to decompose");
+    }
+
+    // Decompose the settlement function: `T r = heavy(...); rest…`.
+    let (result_ty, enforce_body, result_fn_name) = match mixed.pop() {
+        Some(settle) => {
+            let mut body = settle.body.clone();
+            if body.is_empty() {
+                return err(format!("settlement `{}` has an empty body", settle.name));
+            }
+            let first = body.remove(0);
+            match first {
+                Stmt::VarDecl(p, Expr::InternalCall(callee, args)) if args.is_empty() => {
+                    if !heavy.iter().any(|f| f.name == callee) {
+                        return err(format!(
+                            "settlement `{}` must start by calling a heavy function, found `{callee}`",
+                            settle.name
+                        ));
+                    }
+                    // The declared variable becomes the enforcement
+                    // function's parameter.
+                    let param = Param {
+                        ty: p.ty.clone(),
+                        name: p.name.clone(),
+                    };
+                    (Some((param, callee.clone())), body, Some(callee))
+                }
+                _ => {
+                    return err(format!(
+                        "settlement `{}` must start with `T r = heavyFn();`",
+                        settle.name
+                    ))
+                }
+            }
+        }
+        None => (None, Vec::new(), None),
+    };
+    let Some((result_param, result_fn)) = result_ty else {
+        return err("no settlement function found to decompose (nothing to enforce on-chain)");
+    };
+    let _ = result_fn_name;
+
+    // State-variable usage per side.
+    let onchain_fn_names: Vec<&Function> = light.iter().collect();
+    let mut onchain_vars: BTreeSet<String> = BTreeSet::new();
+    for f in &onchain_fn_names {
+        collect_idents(&f.body, &mut onchain_vars);
+        for m in &f.modifiers {
+            if let Some(md) = whole.modifiers.iter().find(|md| &md.name == m) {
+                collect_idents(&md.body, &mut onchain_vars);
+            }
+        }
+    }
+    collect_idents(&enforce_body, &mut onchain_vars);
+    let mut offchain_vars: BTreeSet<String> = BTreeSet::new();
+    for f in &heavy {
+        collect_idents(&f.body, &mut offchain_vars);
+    }
+    // Both sides keep `participant` (signature checks / certification).
+    onchain_vars.insert("participant".into());
+    offchain_vars.insert("participant".into());
+
+    let state_of = |names: &BTreeSet<String>| -> Vec<StateVar> {
+        whole
+            .state
+            .iter()
+            .filter(|sv| names.contains(&sv.name))
+            .cloned()
+            .collect()
+    };
+
+    // Constructor splitting: keep statements that assign each side's
+    // variables; parameters are those the kept statements reference.
+    let (ctor_params, ctor_payable, ctor_body) = whole
+        .constructor
+        .clone()
+        .unwrap_or((Vec::new(), false, Vec::new()));
+    if ctor_payable {
+        return err("payable constructors are not supported by the splitter");
+    }
+    let split_ctor = |vars: &BTreeSet<String>| -> Result<(Vec<Param>, Vec<Stmt>), GenerateError> {
+        let mut body = Vec::new();
+        let mut used: BTreeSet<String> = BTreeSet::new();
+        for s in &ctor_body {
+            let target = match s {
+                Stmt::Assign(LValue::Ident(n), _) => n.clone(),
+                Stmt::Assign(LValue::Index(b, _), _) => match &**b {
+                    Expr::Ident(n) => n.clone(),
+                    _ => return err("constructor assignments must target state variables"),
+                },
+                _ => return err("constructor must contain only assignments"),
+            };
+            if vars.contains(&target) {
+                let mut ids = BTreeSet::new();
+                if let Stmt::Assign(lv, e) = s {
+                    collect_expr_idents(e, &mut ids);
+                    if let LValue::Index(_, i) = lv {
+                        collect_expr_idents(i, &mut ids);
+                    }
+                }
+                used.extend(ids);
+                body.push(s.clone());
+            }
+        }
+        let params: Vec<Param> = ctor_params
+            .iter()
+            .filter(|p| used.contains(&p.name))
+            .cloned()
+            .collect();
+        Ok((params, body))
+    };
+    let (on_ctor_params, on_ctor_body) = split_ctor(&onchain_vars)?;
+    let (off_ctor_params, off_ctor_body) = split_ctor(&offchain_vars)?;
+
+    // Modifiers: copy those referenced by each side's functions, and make
+    // sure `certifiedparticipantOnly` exists off-chain.
+    let modifiers_for = |fns: &[Function]| -> Vec<Modifier> {
+        let used: BTreeSet<&String> = fns.iter().flat_map(|f| f.modifiers.iter()).collect();
+        whole
+            .modifiers
+            .iter()
+            .filter(|m| used.contains(&m.name))
+            .cloned()
+            .collect()
+    };
+
+    // ---- the on-chain contract ----
+    let onchain_name = format!("{}OnChain", whole.name);
+    let mut onchain = Contract {
+        name: onchain_name.clone(),
+        state: state_of(&onchain_vars),
+        constructor: Some((on_ctor_params, false, on_ctor_body)),
+        modifiers: modifiers_for(&light),
+        functions: light.clone(),
+        events: Vec::new(),
+    };
+    // Padding: deployedAddr + deployedAddrOnly + the two extra functions.
+    onchain.state.push(StateVar {
+        name: "deployedAddr".into(),
+        ty: Type::Address,
+        slot: 0,
+    });
+    onchain.modifiers.push(Modifier {
+        name: "deployedAddrOnly".into(),
+        body: vec![
+            Stmt::Require(Expr::Bin(
+                BinOp::Eq,
+                Box::new(Expr::MsgSender),
+                Box::new(Expr::Ident("deployedAddr".into())),
+            )),
+            Stmt::Placeholder,
+        ],
+    });
+    onchain.functions.push(deploy_verified_instance_template());
+    onchain.functions.push(Function {
+        name: "enforceDisputeResolution".into(),
+        params: vec![result_param.clone()],
+        visibility: Visibility::External,
+        payable: false,
+        modifiers: vec!["deployedAddrOnly".into()],
+        returns: None,
+        body: enforce_body,
+    });
+
+    // ---- the off-chain contract ----
+    let offchain_name = format!("{}OffChain", whole.name);
+    let callback_iface = format!("{}Callback", whole.name);
+    let mut off_modifiers = modifiers_for(&heavy);
+    if !off_modifiers.iter().any(|m| m.name == "certifiedparticipantOnly") {
+        off_modifiers.push(certified_modifier_template());
+    }
+    let offchain = Contract {
+        name: offchain_name.clone(),
+        state: state_of(&offchain_vars),
+        constructor: Some((off_ctor_params, false, off_ctor_body)),
+        modifiers: off_modifiers,
+        functions: {
+            let mut fns = heavy.clone();
+            fns.push(Function {
+                name: "returnDisputeResolution".into(),
+                params: vec![Param {
+                    ty: Type::Address,
+                    name: "addr".into(),
+                }],
+                visibility: Visibility::Public,
+                payable: false,
+                modifiers: vec!["certifiedparticipantOnly".into()],
+                returns: None,
+                body: vec![Stmt::ExprStmt(Expr::ExternalCall {
+                    iface: callback_iface.clone(),
+                    addr: Box::new(Expr::Ident("addr".into())),
+                    method: "enforceDisputeResolution".into(),
+                    args: vec![Expr::InternalCall(result_fn.clone(), vec![])],
+                })],
+            });
+            fns
+        },
+        events: Vec::new(),
+    };
+
+    // Render and compile both.
+    let onchain_program = Program {
+        interfaces: vec![],
+        contracts: vec![onchain],
+    };
+    let offchain_program = Program {
+        interfaces: vec![Interface {
+            name: callback_iface,
+            methods: vec![IfaceMethod {
+                name: "enforceDisputeResolution".into(),
+                params: vec![result_param.ty.clone()],
+                returns: None,
+            }],
+        }],
+        contracts: vec![offchain],
+    };
+    let onchain_source = print_program(&onchain_program);
+    let offchain_source = print_program(&offchain_program);
+    let onchain = compile(&onchain_source, &onchain_name)
+        .map_err(|e| GenerateError(format!("generated on-chain does not compile: {e}\n{onchain_source}")))?;
+    let offchain = compile(&offchain_source, &offchain_name)
+        .map_err(|e| GenerateError(format!("generated off-chain does not compile: {e}\n{offchain_source}")))?;
+
+    Ok(GeneratedPair {
+        onchain_source,
+        offchain_source,
+        onchain,
+        offchain,
+        offchain_functions: heavy.iter().map(|f| f.name.clone()).collect(),
+    })
+}
+
+/// The `deployVerifiedInstance` padding function, built by parsing a
+/// canonical template (two participants, one ecrecover each).
+fn deploy_verified_instance_template() -> Function {
+    let template = r#"
+        contract t {
+            address[2] participant;
+            address deployedAddr;
+            function deployVerifiedInstance(bytes memory bytecode, uint8 va, bytes32 ra, bytes32 sa, uint8 vb, bytes32 rb, bytes32 sb) public {
+                bytes32 h_bytecode = keccak256(bytecode);
+                address a = ecrecover(h_bytecode, va, ra, sa);
+                address b = ecrecover(h_bytecode, vb, rb, sb);
+                require(a == participant[0] && b == participant[1]);
+                address addr = create(bytecode);
+                require(addr != address(0));
+                deployedAddr = addr;
+            }
+        }
+    "#;
+    sc_lang::parse(template).expect("static template parses").contracts[0]
+        .functions[0]
+        .clone()
+}
+
+/// The `certifiedparticipantOnly` modifier template.
+fn certified_modifier_template() -> Modifier {
+    let template = r#"
+        contract t {
+            address[2] participant;
+            modifier certifiedparticipantOnly {
+                require(msg.sender == participant[0] || msg.sender == participant[1]);
+                _;
+            }
+        }
+    "#;
+    sc_lang::parse(template).expect("static template parses").contracts[0]
+        .modifiers[0]
+        .clone()
+}
+
+fn collect_idents(stmts: &[Stmt], out: &mut BTreeSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::VarDecl(_, e) | Stmt::Require(e) | Stmt::Return(Some(e)) | Stmt::ExprStmt(e) => {
+                collect_expr_idents(e, out)
+            }
+            Stmt::Assign(lv, e) => {
+                match lv {
+                    LValue::Ident(n) => {
+                        out.insert(n.clone());
+                    }
+                    LValue::Index(b, i) => {
+                        collect_expr_idents(b, out);
+                        collect_expr_idents(i, out);
+                    }
+                }
+                collect_expr_idents(e, out);
+            }
+            Stmt::Transfer(a, v) => {
+                collect_expr_idents(a, out);
+                collect_expr_idents(v, out);
+            }
+            Stmt::If(c, a, b) => {
+                collect_expr_idents(c, out);
+                collect_idents(a, out);
+                collect_idents(b, out);
+            }
+            Stmt::While(c, b) => {
+                collect_expr_idents(c, out);
+                collect_idents(b, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_expr_idents(e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Ident(n) => {
+            out.insert(n.clone());
+        }
+        Expr::Balance(x)
+        | Expr::Not(x)
+        | Expr::Neg(x)
+        | Expr::Keccak(x)
+        | Expr::Create(x)
+        | Expr::ArrayLength(x)
+        | Expr::Cast(_, x) => collect_expr_idents(x, out),
+        Expr::Index(a, b) | Expr::Bin(_, a, b) => {
+            collect_expr_idents(a, out);
+            collect_expr_idents(b, out);
+        }
+        Expr::EcRecover(a, b, c, d) => {
+            for x in [a, b, c, d] {
+                collect_expr_idents(x, out);
+            }
+        }
+        Expr::InternalCall(_, args) => {
+            for a in args {
+                collect_expr_idents(a, out);
+            }
+        }
+        Expr::ExternalCall { addr, args, .. } => {
+            collect_expr_idents(addr, out);
+            for a in args {
+                collect_expr_idents(a, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_contracts::MONOLITHIC_SRC;
+    use sc_lang::parse;
+
+    fn whole() -> Contract {
+        parse(MONOLITHIC_SRC).unwrap().contracts[0].clone()
+    }
+
+    #[test]
+    fn generates_a_compiling_pair_from_the_monolithic_contract() {
+        let pair = generate_pair(&whole()).expect("pair generated");
+        assert!(!pair.onchain.runtime.is_empty());
+        assert!(!pair.offchain.runtime.is_empty());
+        assert_eq!(pair.offchain_functions, vec!["reveal".to_string()]);
+        // The generated on-chain side exposes the light functions and the
+        // padding; reveal is nowhere dispatchable.
+        for f in ["deposit", "refundRoundOne", "refundRoundTwo", "deployVerifiedInstance"] {
+            assert!(
+                pair.onchain.analyzed.selector_of(f).is_some(),
+                "missing {f}\n{}",
+                pair.onchain_source
+            );
+        }
+        assert!(pair.onchain.analyzed.selector_of("reveal").is_none());
+        assert!(pair.onchain.analyzed.selector_of("settle").is_none());
+        assert!(pair
+            .offchain
+            .analyzed
+            .selector_of("returnDisputeResolution")
+            .is_some());
+    }
+
+    #[test]
+    fn generated_offchain_hides_the_timeline() {
+        // The off-chain contract only carries what reveal() needs: the
+        // secrets and weight, not T1–T3.
+        let pair = generate_pair(&whole()).unwrap();
+        assert!(!pair.offchain_source.contains("T1"));
+        assert!(pair.offchain_source.contains("secretA"));
+        assert!(pair.offchain_source.contains("weight"));
+    }
+
+    #[test]
+    fn generated_onchain_hides_the_secrets() {
+        let pair = generate_pair(&whole()).unwrap();
+        assert!(!pair.onchain_source.contains("secretA"));
+        assert!(!pair.onchain_source.contains("weight"));
+        assert!(pair.onchain_source.contains("deployedAddr"));
+    }
+
+    #[test]
+    fn rejects_contract_without_participants() {
+        let c = parse("contract c { uint256 x; function f() public { x = 1; } }")
+            .unwrap()
+            .contracts[0]
+            .clone();
+        assert!(generate_pair(&c).is_err());
+    }
+
+    #[test]
+    fn rejects_settlement_without_heavy_call_prefix() {
+        let src = r#"
+            contract c {
+                address[2] participant;
+                mapping(address => uint256) b;
+                function heavyish() private returns (bool) {
+                    uint256 i = 0;
+                    while (i < 10) { i = i + 1; }
+                    return true;
+                }
+                function settle() public {
+                    b[msg.sender] = 0;
+                    msg.sender.transfer(1);
+                    bool w = heavyish();
+                    require(w);
+                }
+            }
+        "#;
+        let c = parse(src).unwrap().contracts[0].clone();
+        let e = match generate_pair(&c) {
+            Err(e) => e,
+            Ok(_) => panic!("expected an error"),
+        };
+        assert!(e.0.contains("must start"), "{e}");
+    }
+}

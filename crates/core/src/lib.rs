@@ -1,0 +1,36 @@
+//! The paper's contribution: scalable and privacy-preserving on/off-chain
+//! smart contracts.
+//!
+//! * [`splitter`] — split/generate: function classification
+//!   (light/public vs heavy/private), static gas estimation, and the
+//!   padding plan for the dispute extra-functions.
+//! * [`signedcopy`] — the signed copy of the off-chain contract:
+//!   `(bytecode, {(v,r,s)})` construction and verification (Algorithm 4
+//!   and the off-chain mirror of Algorithm 5's checks).
+//! * [`whisper`] — the off-chain message bus used in deploy/sign.
+//! * [`participant`] — participants with honest and Byzantine strategies.
+//! * [`protocol`] — the four-stage engine driving a full betting game on
+//!   the chain simulator, with per-stage gas and privacy accounting.
+//! * [`challenge_protocol`] — extension: the paper's submit/challenge
+//!   stage implemented literally (representative submission, challenge
+//!   window, security-deposit penalties).
+
+#![warn(missing_docs)]
+
+pub mod challenge_protocol;
+pub mod generate;
+pub mod participant;
+pub mod protocol;
+pub mod signedcopy;
+pub mod splitter;
+pub mod whisper;
+
+pub use generate::{generate_pair, GeneratedPair, GenerateError};
+pub use challenge_protocol::{ChallengeGame, ChallengeOutcome, ChallengeReport, SubmitStrategy, WatchStrategy};
+pub use participant::{Participant, Strategy};
+pub use protocol::{
+    BettingGame, GameConfig, Outcome, ProtocolError, ProtocolReport, Stage, TxRecord,
+};
+pub use signedcopy::{bytecode_hash, sign_bytecode, SignedCopy, SignedCopyError};
+pub use splitter::{classify_function, split, Classification, FunctionClass, SplitPlan};
+pub use whisper::{Envelope, Whisper};

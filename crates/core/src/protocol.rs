@@ -1,0 +1,536 @@
+//! The four-stage hybrid on/off-chain protocol engine (Fig. 2).
+//!
+//! Drives a complete betting game between two participants on the chain
+//! simulator:
+//!
+//! 1. **Split/generate** — compile the on/off-chain pair; build the
+//!    off-chain initcode with the private bet baked in.
+//! 2. **Deploy/sign** — deploy the on-chain contract; exchange
+//!    signatures over `keccak256(offchain bytecode)` via Whisper; each
+//!    honest participant verifies the full signed copy *before* any
+//!    deposit (Byzantine signers are caught here and the game aborts).
+//! 3. **Submit/challenge** — deposits; off-chain evaluation of
+//!    `reveal()`; the honest loser concedes via `reassign()`.
+//! 4. **Dispute/resolve** — if the loser stalls past T3, the winner
+//!    submits the signed copy to `deployVerifiedInstance`, the verified
+//!    instance is CREATEd on-chain, and `returnDisputeResolution` makes
+//!    miners recompute `reveal()` and enforce the transfer.
+
+use crate::participant::{Participant, Strategy};
+use crate::signedcopy::{sign_bytecode, SignedCopy};
+use crate::whisper::Whisper;
+use sc_chain::{Receipt, Testnet, Wallet};
+use sc_contracts::{BetSecrets, OffChainContract, OnChainContract, Timeline, DEPLOYED_ADDR_SLOT};
+use sc_primitives::{ether, Address, U256};
+use std::fmt;
+
+/// Whisper topic used to exchange signatures.
+pub const SIGNATURE_TOPIC: &str = "betting/signed-copy";
+
+/// Protocol stages (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Classify functions, generate the pair, build off-chain initcode.
+    SplitGenerate,
+    /// Deploy the on-chain contract; exchange and verify signed copies.
+    DeploySign,
+    /// Deposits, off-chain execution, voluntary settlement.
+    SubmitChallenge,
+    /// Signed-copy submission and miner-enforced resolution.
+    DisputeResolve,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::SplitGenerate => "split/generate",
+            Stage::DeploySign => "deploy/sign",
+            Stage::SubmitChallenge => "submit/challenge",
+            Stage::DisputeResolve => "dispute/resolve",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One on-chain transaction made by the protocol.
+#[derive(Debug, Clone)]
+pub struct TxRecord {
+    /// Stage it belongs to.
+    pub stage: Stage,
+    /// What it was (e.g. `"deployVerifiedInstance"`).
+    pub label: String,
+    /// Who sent it.
+    pub sender: Address,
+    /// Gas charged.
+    pub gas_used: u64,
+    /// Whether it succeeded.
+    pub success: bool,
+}
+
+/// How the game ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Aborted during deploy/sign (bad or missing signatures); no funds
+    /// were ever at risk.
+    AbortedAtSigning,
+    /// Dissolved via refunds (a participant never deposited).
+    Refunded,
+    /// The loser conceded; settled without revealing anything.
+    SettledHonestly,
+    /// Settled through the dispute/resolve stage.
+    SettledByDispute,
+}
+
+/// Full record of one protocol run.
+#[derive(Debug, Clone)]
+pub struct ProtocolReport {
+    /// Every on-chain transaction, in order.
+    pub txs: Vec<TxRecord>,
+    /// The game's outcome.
+    pub outcome: Outcome,
+    /// True iff the dispute path ran.
+    pub dispute: bool,
+    /// Result of the off-chain computation (true → Bob wins).
+    pub winner_is_bob: bool,
+    /// Bytes of off-chain contract code that became publicly visible
+    /// on-chain (0 on the honest path; the privacy metric of Fig. 1).
+    pub offchain_bytes_revealed: usize,
+    /// Off-chain messages exchanged (Whisper traffic).
+    pub offchain_messages: usize,
+}
+
+impl ProtocolReport {
+    /// Total gas across all transactions (miner-executed work).
+    pub fn total_gas(&self) -> u64 {
+        self.txs.iter().map(|t| t.gas_used).sum()
+    }
+
+    /// Gas attributable to one stage.
+    pub fn stage_gas(&self, stage: Stage) -> u64 {
+        self.txs
+            .iter()
+            .filter(|t| t.stage == stage)
+            .map(|t| t.gas_used)
+            .sum()
+    }
+
+    /// Gas of the first successful transaction with this label.
+    pub fn gas_of(&self, label: &str) -> Option<u64> {
+        self.txs
+            .iter()
+            .find(|t| t.label == label && t.success)
+            .map(|t| t.gas_used)
+    }
+}
+
+/// Protocol-level failures (distinct from failed-but-expected txs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A transaction that must succeed was rejected or reverted.
+    TxFailed(String),
+    /// The verified instance address was not recorded on-chain.
+    NoVerifiedInstance,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::TxFailed(l) => write!(f, "required transaction failed: {l}"),
+            ProtocolError::NoVerifiedInstance => write!(f, "deployedAddr not set"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Configuration of one betting game.
+#[derive(Clone, Debug)]
+pub struct GameConfig {
+    /// Phase length in seconds between T0→T1→T2→T3.
+    pub phase_seconds: u64,
+    /// The private bet.
+    pub secrets: BetSecrets,
+}
+
+impl Default for GameConfig {
+    fn default() -> Self {
+        GameConfig {
+            phase_seconds: 3600,
+            secrets: BetSecrets {
+                secret_a: U256::from_u64(0xa11ce),
+                secret_b: U256::from_u64(0xb0b),
+                weight: 64,
+            },
+        }
+    }
+}
+
+/// The protocol engine for one two-party betting game.
+pub struct BettingGame {
+    /// The chain.
+    pub net: Testnet,
+    /// The off-chain message bus.
+    pub whisper: Whisper,
+    /// Compiled on-chain contract + ABI.
+    pub onchain_abi: OnChainContract,
+    /// Compiled off-chain contract + ABI.
+    pub offchain_abi: OffChainContract,
+    /// Participant 0.
+    pub alice: Participant,
+    /// Participant 1.
+    pub bob: Participant,
+    /// The game's windows.
+    pub timeline: Timeline,
+    config: GameConfig,
+    /// Address of the deployed on-chain contract (after deploy/sign).
+    pub onchain_addr: Option<Address>,
+    /// The agreed off-chain initcode.
+    pub offchain_bytecode: Vec<u8>,
+    txs: Vec<TxRecord>,
+    offchain_bytes_revealed: usize,
+}
+
+impl BettingGame {
+    /// Stage 1 — split/generate: sets up the chain, compiles both
+    /// contracts and builds the off-chain initcode.
+    pub fn new(alice: Participant, bob: Participant, config: GameConfig) -> BettingGame {
+        let mut net = Testnet::new();
+        net.faucet(alice.wallet.address, ether(1000));
+        net.faucet(bob.wallet.address, ether(1000));
+        let timeline = Timeline::starting_at(net.now(), config.phase_seconds);
+        let onchain_abi = OnChainContract::new();
+        let offchain_abi = OffChainContract::new();
+        let offchain_bytecode =
+            offchain_abi.initcode(alice.wallet.address, bob.wallet.address, config.secrets);
+        BettingGame {
+            net,
+            whisper: Whisper::new(),
+            onchain_abi,
+            offchain_abi,
+            alice,
+            bob,
+            timeline,
+            config,
+            onchain_addr: None,
+            offchain_bytecode,
+            txs: Vec::new(),
+            offchain_bytes_revealed: 0,
+        }
+    }
+
+    fn record(&mut self, stage: Stage, label: &str, sender: Address, receipt: &Receipt) {
+        self.txs.push(TxRecord {
+            stage,
+            label: label.to_string(),
+            sender,
+            gas_used: receipt.gas_used,
+            success: receipt.success,
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the tx fields one-to-one
+    fn execute(
+        &mut self,
+        stage: Stage,
+        label: &str,
+        wallet: &Wallet,
+        to: Address,
+        value: U256,
+        data: Vec<u8>,
+        gas: u64,
+    ) -> Receipt {
+        let receipt = self
+            .net
+            .execute(wallet, to, value, data, gas)
+            .expect("tx admission");
+        self.record(stage, label, wallet.address, &receipt);
+        receipt
+    }
+
+    /// Stage 2 — deploy/sign. Returns `false` when an honest participant
+    /// aborts because the signature exchange failed.
+    pub fn deploy_and_sign(&mut self) -> Result<bool, ProtocolError> {
+        // Alice deploys the on-chain contract.
+        let initcode = self.onchain_abi.initcode(
+            self.alice.wallet.address,
+            self.bob.wallet.address,
+            self.timeline,
+        );
+        let wallet = self.alice.wallet.clone();
+        let receipt = self
+            .net
+            .deploy(&wallet, initcode, U256::ZERO, 5_000_000)
+            .expect("deploy admission");
+        self.record(Stage::DeploySign, "deploy onChain", wallet.address, &receipt);
+        if !receipt.success {
+            return Err(ProtocolError::TxFailed("deploy onChain".into()));
+        }
+        self.onchain_addr = receipt.contract_address;
+
+        // Signature exchange over Whisper.
+        for p in [self.alice.clone(), self.bob.clone()] {
+            match p.strategy {
+                Strategy::RefusesToSign => {} // posts nothing
+                Strategy::SignsTampered => {
+                    let mut tampered = self.offchain_bytecode.clone();
+                    // Flip the last byte of the baked-in secret.
+                    let last = tampered.len() - 1;
+                    tampered[last] ^= 0xff;
+                    let sig = sign_bytecode(&p.wallet.key, &tampered);
+                    self.whisper
+                        .post(p.wallet.address, SIGNATURE_TOPIC, sig.to_bytes().to_vec());
+                }
+                _ => {
+                    let sig = sign_bytecode(&p.wallet.key, &self.offchain_bytecode);
+                    self.whisper
+                        .post(p.wallet.address, SIGNATURE_TOPIC, sig.to_bytes().to_vec());
+                }
+            }
+        }
+
+        // Each honest participant assembles and verifies the signed copy.
+        let expected = [self.alice.wallet.address, self.bob.wallet.address];
+        for me in [self.alice.wallet.address, self.bob.wallet.address] {
+            let envelopes = self.whisper.poll(me, SIGNATURE_TOPIC);
+            // Order signatures by participant index.
+            let mut sigs = vec![None, None];
+            for env in envelopes {
+                if let Ok(sig) = sc_crypto::Signature::from_bytes(&env.payload) {
+                    if env.from == expected[0] {
+                        sigs[0] = Some(sig);
+                    } else if env.from == expected[1] {
+                        sigs[1] = Some(sig);
+                    }
+                }
+            }
+            let Some(copy) = sigs
+                .into_iter()
+                .collect::<Option<Vec<_>>>()
+                .map(|signatures| SignedCopy {
+                    bytecode: self.offchain_bytecode.clone(),
+                    signatures,
+                })
+            else {
+                return Ok(false); // missing signature: abort before deposits
+            };
+            if copy.verify(&expected).is_err() {
+                return Ok(false); // tampered signature detected off-chain
+            }
+        }
+        Ok(true)
+    }
+
+    /// The fully-signed copy (valid only when deploy/sign succeeded).
+    pub fn signed_copy(&self) -> SignedCopy {
+        SignedCopy::create(
+            self.offchain_bytecode.clone(),
+            &[&self.alice.wallet.key, &self.bob.wallet.key],
+        )
+    }
+
+    /// Stage 3 (first half) — deposits. Returns the participants that
+    /// actually deposited.
+    pub fn deposits(&mut self) -> (bool, bool) {
+        let mut made = [false, false];
+        let onchain = self.onchain_addr.expect("deployed");
+        for (i, p) in [self.alice.clone(), self.bob.clone()].into_iter().enumerate() {
+            if matches!(p.strategy, Strategy::NoShow) {
+                continue;
+            }
+            let data = self.onchain_abi.deposit();
+            let r = self.execute(
+                Stage::SubmitChallenge,
+                "deposit",
+                &p.wallet,
+                onchain,
+                ether(1),
+                data,
+                300_000,
+            );
+            made[i] = r.success;
+        }
+        (made[0], made[1])
+    }
+
+    /// Refund path when deposits were incomplete (Table I rules 2–3).
+    pub fn refund_incomplete(&mut self, alice_deposited: bool, bob_deposited: bool) {
+        let onchain = self.onchain_addr.expect("deployed");
+        // Move into (T1, T2).
+        self.advance_past(self.timeline.t1);
+        for (p, deposited) in [
+            (self.alice.clone(), alice_deposited),
+            (self.bob.clone(), bob_deposited),
+        ] {
+            if deposited {
+                let data = self.onchain_abi.refund_round_two();
+                let r = self.execute(
+                    Stage::SubmitChallenge,
+                    "refundRoundTwo",
+                    &p.wallet,
+                    onchain,
+                    U256::ZERO,
+                    data,
+                    300_000,
+                );
+                debug_assert!(r.success);
+            }
+        }
+    }
+
+    fn advance_past(&mut self, t: u64) {
+        let now = self.net.now();
+        if now <= t {
+            self.net.advance_time(t - now + 60);
+        }
+    }
+
+    /// Runs the complete game and produces the report.
+    pub fn run(mut self) -> Result<(BettingGame, ProtocolReport), ProtocolError> {
+        let winner_is_bob = self.config.secrets.winner_is_bob();
+
+        // Stage 2.
+        if !self.deploy_and_sign()? {
+            let report = self.build_report(Outcome::AbortedAtSigning, false, winner_is_bob);
+            return Ok((self, report));
+        }
+
+        // Stage 3: deposits.
+        let (a_dep, b_dep) = self.deposits();
+        if !(a_dep && b_dep) {
+            self.refund_incomplete(a_dep, b_dep);
+            let report = self.build_report(Outcome::Refunded, false, winner_is_bob);
+            return Ok((self, report));
+        }
+
+        // Off-chain execution: both parties privately evaluate reveal().
+        // (Represented by the native reference computation — no chain
+        // interaction, which is exactly the point.)
+        let loser = if winner_is_bob {
+            self.alice.clone()
+        } else {
+            self.bob.clone()
+        };
+        let winner = if winner_is_bob {
+            self.bob.clone()
+        } else {
+            self.alice.clone()
+        };
+
+        // Move into (T2, T3).
+        self.advance_past(self.timeline.t2);
+
+        if !loser.strategy.disputes_result() {
+            // Honest loser concedes.
+            let onchain = self.onchain_addr.expect("deployed");
+            let data = self.onchain_abi.reassign();
+            let r = self.execute(
+                Stage::SubmitChallenge,
+                "reassign",
+                &loser.wallet,
+                onchain,
+                U256::ZERO,
+                data,
+                300_000,
+            );
+            if !r.success {
+                return Err(ProtocolError::TxFailed("reassign".into()));
+            }
+            let report = self.build_report(Outcome::SettledHonestly, false, winner_is_bob);
+            return Ok((self, report));
+        }
+
+        // Stage 4: dispute/resolve after T3.
+        self.advance_past(self.timeline.t3);
+        let onchain = self.onchain_addr.expect("deployed");
+
+        if matches!(loser.strategy, Strategy::ForgingLoser) {
+            // The dishonest loser tries a forged bytecode first: a copy
+            // whose baked-in secrets favour them, signed only by
+            // themselves (they cannot produce the winner's signature).
+            let mut forged = self.offchain_bytecode.clone();
+            let last = forged.len() - 1;
+            forged[last] ^= 0x01;
+            let own_sig = sign_bytecode(&loser.wallet.key, &forged);
+            let data = self
+                .onchain_abi
+                .deploy_verified_instance(&forged, &own_sig, &own_sig);
+            let r = self.execute(
+                Stage::DisputeResolve,
+                "deployVerifiedInstance (forged)",
+                &loser.wallet,
+                onchain,
+                U256::ZERO,
+                data,
+                8_000_000,
+            );
+            assert!(
+                !r.success,
+                "forged bytecode must fail on-chain signature verification"
+            );
+        }
+
+        // The honest winner submits the true signed copy.
+        let copy = self.signed_copy();
+        self.offchain_bytes_revealed = copy.bytecode.len();
+        let data = self.onchain_abi.deploy_verified_instance(
+            &copy.bytecode,
+            &copy.signatures[0],
+            &copy.signatures[1],
+        );
+        let r = self.execute(
+            Stage::DisputeResolve,
+            "deployVerifiedInstance",
+            &winner.wallet,
+            onchain,
+            U256::ZERO,
+            data,
+            8_000_000,
+        );
+        if !r.success {
+            return Err(ProtocolError::TxFailed("deployVerifiedInstance".into()));
+        }
+
+        // Read deployedAddr from the on-chain contract's storage.
+        let instance = Address::from_u256(
+            self.net
+                .storage_at(onchain, U256::from_u64(DEPLOYED_ADDR_SLOT)),
+        );
+        if instance.is_zero() {
+            return Err(ProtocolError::NoVerifiedInstance);
+        }
+
+        // Anyone certified can now trigger the miner-enforced resolution.
+        let data = self.offchain_abi.return_dispute_resolution(onchain);
+        let r = self.execute(
+            Stage::DisputeResolve,
+            "returnDisputeResolution",
+            &winner.wallet,
+            instance,
+            U256::ZERO,
+            data,
+            8_000_000,
+        );
+        if !r.success {
+            return Err(ProtocolError::TxFailed("returnDisputeResolution".into()));
+        }
+
+        let report = self.build_report(Outcome::SettledByDispute, true, winner_is_bob);
+        Ok((self, report))
+    }
+
+    fn build_report(
+        &self,
+        outcome: Outcome,
+        dispute: bool,
+        winner_is_bob: bool,
+    ) -> ProtocolReport {
+        ProtocolReport {
+            txs: self.txs.clone(),
+            outcome,
+            dispute,
+            winner_is_bob,
+            offchain_bytes_revealed: self.offchain_bytes_revealed,
+            offchain_messages: self.whisper.message_count(),
+        }
+    }
+}

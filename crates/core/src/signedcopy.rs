@@ -1,0 +1,227 @@
+//! Signed copies of the off-chain contract (deploy/sign stage).
+//!
+//! A *signed copy* is the off-chain contract's bytecode together with one
+//! recoverable ECDSA signature per participant over
+//! `keccak256(bytecode)` — exactly the `(v, r, s)` tuples that
+//! Algorithm 4 produces with `ethereumjs-util` and that Algorithm 5's
+//! `deployVerifiedInstance` verifies with `ecrecover`.
+
+use sc_crypto::ecdsa::{recover_address, PrivateKey, Signature};
+use sc_crypto::keccak256;
+use sc_primitives::{Address, H256};
+use std::fmt;
+
+/// A bytecode + signature bundle exchanged between participants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignedCopy {
+    /// The off-chain contract's initcode (what `CREATE` will run).
+    pub bytecode: Vec<u8>,
+    /// One signature per participant, in participant order.
+    pub signatures: Vec<Signature>,
+}
+
+/// Verification failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignedCopyError {
+    /// Signature count differs from the participant count.
+    WrongSignatureCount {
+        /// Expected (participants).
+        expected: usize,
+        /// Provided.
+        got: usize,
+    },
+    /// Signature `i` does not recover to participant `i`.
+    BadSignature(usize),
+}
+
+impl fmt::Display for SignedCopyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignedCopyError::WrongSignatureCount { expected, got } => {
+                write!(f, "expected {expected} signatures, got {got}")
+            }
+            SignedCopyError::BadSignature(i) => {
+                write!(f, "signature {i} does not match participant {i}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SignedCopyError {}
+
+/// The digest that participants sign: `keccak256(bytecode)`.
+pub fn bytecode_hash(bytecode: &[u8]) -> H256 {
+    keccak256(bytecode)
+}
+
+/// Produces one participant's signature over the bytecode (Algorithm 4).
+pub fn sign_bytecode(key: &PrivateKey, bytecode: &[u8]) -> Signature {
+    key.sign(bytecode_hash(bytecode))
+}
+
+impl SignedCopy {
+    /// Assembles a fully-signed copy from each participant's key, in
+    /// order. (In the protocol the signatures travel over Whisper; this
+    /// is the trusted-path constructor used by honest participants and
+    /// tests.)
+    pub fn create(bytecode: Vec<u8>, keys: &[&PrivateKey]) -> SignedCopy {
+        let signatures = keys.iter().map(|k| sign_bytecode(k, &bytecode)).collect();
+        SignedCopy {
+            bytecode,
+            signatures,
+        }
+    }
+
+    /// Verifies every signature against the expected participant set —
+    /// the off-chain mirror of `deployVerifiedInstance`'s checks.
+    pub fn verify(&self, participants: &[Address]) -> Result<(), SignedCopyError> {
+        if self.signatures.len() != participants.len() {
+            return Err(SignedCopyError::WrongSignatureCount {
+                expected: participants.len(),
+                got: self.signatures.len(),
+            });
+        }
+        let digest = bytecode_hash(&self.bytecode);
+        for (i, (sig, expected)) in self.signatures.iter().zip(participants).enumerate() {
+            match recover_address(digest, sig) {
+                Ok(addr) if addr == *expected => {}
+                _ => return Err(SignedCopyError::BadSignature(i)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Wire format for the Whisper channel:
+    /// `len(bytecode) as u32 BE || bytecode || 65-byte sigs…`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.bytecode.len() + 65 * self.signatures.len());
+        out.extend_from_slice(&(self.bytecode.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.bytecode);
+        for sig in &self.signatures {
+            out.extend_from_slice(&sig.to_bytes());
+        }
+        out
+    }
+
+    /// Parses the wire format.
+    pub fn from_bytes(data: &[u8]) -> Option<SignedCopy> {
+        if data.len() < 4 {
+            return None;
+        }
+        let len = u32::from_be_bytes([data[0], data[1], data[2], data[3]]) as usize;
+        let rest = &data[4..];
+        if rest.len() < len || !(rest.len() - len).is_multiple_of(65) {
+            return None;
+        }
+        let bytecode = rest[..len].to_vec();
+        let signatures = rest[len..]
+            .chunks_exact(65)
+            .map(|c| Signature::from_bytes(c).ok())
+            .collect::<Option<Vec<_>>>()?;
+        Some(SignedCopy {
+            bytecode,
+            signatures,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> (PrivateKey, PrivateKey) {
+        (
+            PrivateKey::from_seed("alice"),
+            PrivateKey::from_seed("bob"),
+        )
+    }
+
+    #[test]
+    fn create_and_verify() {
+        let (a, b) = keys();
+        let copy = SignedCopy::create(vec![1, 2, 3, 4], &[&a, &b]);
+        copy.verify(&[a.address(), b.address()]).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_wrong_order() {
+        let (a, b) = keys();
+        let copy = SignedCopy::create(vec![1, 2, 3], &[&a, &b]);
+        assert_eq!(
+            copy.verify(&[b.address(), a.address()]),
+            Err(SignedCopyError::BadSignature(0))
+        );
+    }
+
+    #[test]
+    fn verify_rejects_tampered_bytecode() {
+        let (a, b) = keys();
+        let mut copy = SignedCopy::create(vec![1, 2, 3], &[&a, &b]);
+        copy.bytecode[0] = 9;
+        assert!(matches!(
+            copy.verify(&[a.address(), b.address()]),
+            Err(SignedCopyError::BadSignature(0))
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_missing_signature() {
+        let (a, b) = keys();
+        let mut copy = SignedCopy::create(vec![1, 2, 3], &[&a, &b]);
+        copy.signatures.pop();
+        assert_eq!(
+            copy.verify(&[a.address(), b.address()]),
+            Err(SignedCopyError::WrongSignatureCount {
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn verify_rejects_outsider_signature() {
+        let (a, b) = keys();
+        let mallory = PrivateKey::from_seed("mallory");
+        let bytecode = vec![7; 40];
+        let copy = SignedCopy {
+            bytecode: bytecode.clone(),
+            signatures: vec![
+                sign_bytecode(&a, &bytecode),
+                sign_bytecode(&mallory, &bytecode),
+            ],
+        };
+        assert_eq!(
+            copy.verify(&[a.address(), b.address()]),
+            Err(SignedCopyError::BadSignature(1))
+        );
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let (a, b) = keys();
+        let copy = SignedCopy::create(vec![0xab; 300], &[&a, &b]);
+        let parsed = SignedCopy::from_bytes(&copy.to_bytes()).unwrap();
+        assert_eq!(parsed, copy);
+    }
+
+    #[test]
+    fn wire_rejects_garbage() {
+        assert!(SignedCopy::from_bytes(&[]).is_none());
+        assert!(SignedCopy::from_bytes(&[0, 0, 0, 10, 1, 2]).is_none());
+        let (a, b) = keys();
+        let mut wire = SignedCopy::create(vec![1], &[&a, &b]).to_bytes();
+        wire.pop(); // truncate a signature
+        assert!(SignedCopy::from_bytes(&wire).is_none());
+    }
+
+    #[test]
+    fn n_party_copies() {
+        let keys: Vec<PrivateKey> = (0..6)
+            .map(|i| PrivateKey::from_seed(&format!("p{i}")))
+            .collect();
+        let refs: Vec<&PrivateKey> = keys.iter().collect();
+        let copy = SignedCopy::create(vec![0x60; 64], &refs);
+        let addrs: Vec<Address> = keys.iter().map(|k| k.address()).collect();
+        copy.verify(&addrs).unwrap();
+    }
+}

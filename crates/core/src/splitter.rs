@@ -1,0 +1,438 @@
+//! Split/generate stage: classify a contract's functions into
+//! light/public vs heavy/private and plan the on/off-chain pair.
+//!
+//! The paper's recommendation: "allocate all functions of cryptocurrency
+//! transfer into light/public functions and consider the remaining ones
+//! as heavy/private functions." This module implements that heuristic,
+//! backed by a static gas estimator that flags unbounded computation
+//! (loops, whose trip counts are data-dependent), plus the *padding*
+//! plan: the three extra functions that each side must gain to make
+//! dispute resolution possible.
+
+use sc_lang::ast::{Contract, Expr, Function, Stmt};
+use std::collections::HashMap;
+
+/// Which side of the split a function lands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FunctionClass {
+    /// Cheap and/or public: stays on-chain.
+    LightPublic,
+    /// Expensive and/or private: moves off-chain.
+    HeavyPrivate,
+    /// Contains both a cryptocurrency transfer and heavy computation —
+    /// the paper's `settle()` shape; must be decomposed (the heavy part
+    /// becomes `reveal()` off-chain, the transfer part stays on-chain).
+    MixedDecompose,
+}
+
+/// A conservative static gas estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GasEstimate {
+    /// Lower bound on execution gas (loop bodies counted once).
+    pub lower: u64,
+    /// False when the function contains loops whose trip counts are
+    /// data-dependent — its cost is effectively unbounded.
+    pub bounded: bool,
+}
+
+/// Why a function was classified the way it was.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// Function name.
+    pub name: String,
+    /// Assigned class.
+    pub class: FunctionClass,
+    /// Static cost estimate.
+    pub estimate: GasEstimate,
+    /// Human-readable rationale.
+    pub reasons: Vec<String>,
+}
+
+/// The planned on/off-chain pair for a contract.
+#[derive(Debug, Clone)]
+pub struct SplitPlan {
+    /// Original contract name.
+    pub contract: String,
+    /// Per-function classifications.
+    pub classes: Vec<Classification>,
+    /// Functions (by name) placed in the on-chain contract.
+    pub onchain_functions: Vec<String>,
+    /// Functions (by name) placed in the off-chain contract.
+    pub offchain_functions: Vec<String>,
+    /// Extra functions padded onto the on-chain contract.
+    pub onchain_padding: Vec<&'static str>,
+    /// Extra functions padded onto the off-chain contract.
+    pub offchain_padding: Vec<&'static str>,
+}
+
+/// Rough per-construct gas weights for the static estimator (SSTORE
+/// averaged between set and reset; transfer = call + value surcharge).
+mod w {
+    pub const SSTORE: u64 = 12_500;
+    pub const SLOAD: u64 = 200;
+    pub const TRANSFER: u64 = 9_700;
+    pub const EXTERNAL_CALL: u64 = 2_600;
+    pub const KECCAK: u64 = 66;
+    pub const ECRECOVER: u64 = 3_000;
+    pub const CREATE: u64 = 32_000;
+    pub const ARITH: u64 = 8;
+    pub const MAPPING_ACCESS: u64 = 242; // hash + sload
+}
+
+/// Statically estimates a function's execution gas.
+pub fn estimate_function(f: &Function, contract: &Contract) -> GasEstimate {
+    let mut est = GasEstimate {
+        lower: 0,
+        bounded: true,
+    };
+    // Include modifier bodies: their requires run on every call.
+    for mname in &f.modifiers {
+        if let Some(m) = contract.modifiers.iter().find(|m| &m.name == mname) {
+            estimate_stmts(&m.body, contract, &mut est);
+        }
+    }
+    estimate_stmts(&f.body, contract, &mut est);
+    est
+}
+
+fn estimate_stmts(stmts: &[Stmt], contract: &Contract, est: &mut GasEstimate) {
+    for s in stmts {
+        match s {
+            Stmt::VarDecl(_, e) => estimate_expr(e, contract, est),
+            Stmt::Assign(lv, e) => {
+                estimate_expr(e, contract, est);
+                est.lower += match lv {
+                    sc_lang::ast::LValue::Ident(_) => w::SSTORE, // worst case: state
+                    sc_lang::ast::LValue::Index(_, _) => w::SSTORE + w::MAPPING_ACCESS,
+                };
+            }
+            Stmt::Require(e) | Stmt::Return(Some(e)) | Stmt::ExprStmt(e) => {
+                estimate_expr(e, contract, est)
+            }
+            Stmt::Transfer(a, v) => {
+                estimate_expr(a, contract, est);
+                estimate_expr(v, contract, est);
+                est.lower += w::TRANSFER;
+            }
+            Stmt::If(c, a, b) => {
+                estimate_expr(c, contract, est);
+                // Count the cheaper branch as the floor.
+                let mut ea = GasEstimate {
+                    lower: 0,
+                    bounded: true,
+                };
+                let mut eb = ea;
+                estimate_stmts(a, contract, &mut ea);
+                estimate_stmts(b, contract, &mut eb);
+                est.lower += ea.lower.min(eb.lower);
+                est.bounded &= ea.bounded && eb.bounded;
+            }
+            Stmt::While(c, body) => {
+                estimate_expr(c, contract, est);
+                // Trip count is data-dependent: unbounded cost.
+                est.bounded = false;
+                estimate_stmts(body, contract, est);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn estimate_expr(e: &Expr, contract: &Contract, est: &mut GasEstimate) {
+    match e {
+        Expr::Bin(_, a, b) => {
+            est.lower += w::ARITH;
+            estimate_expr(a, contract, est);
+            estimate_expr(b, contract, est);
+        }
+        Expr::Not(x) | Expr::Neg(x) | Expr::Cast(_, x) => {
+            est.lower += w::ARITH;
+            estimate_expr(x, contract, est);
+        }
+        Expr::Ident(_) => est.lower += w::SLOAD, // worst case: state read
+        Expr::Index(_, i) => {
+            est.lower += w::MAPPING_ACCESS;
+            estimate_expr(i, contract, est);
+        }
+        Expr::Balance(x) => {
+            est.lower += 400;
+            estimate_expr(x, contract, est);
+        }
+        Expr::Keccak(x) => {
+            est.lower += w::KECCAK;
+            estimate_expr(x, contract, est);
+        }
+        Expr::EcRecover(a, b, c, d) => {
+            est.lower += w::ECRECOVER;
+            for x in [a, b, c, d] {
+                estimate_expr(x, contract, est);
+            }
+        }
+        Expr::Create(x) => {
+            est.lower += w::CREATE;
+            estimate_expr(x, contract, est);
+        }
+        Expr::InternalCall(name, args) => {
+            for a in args {
+                estimate_expr(a, contract, est);
+            }
+            if let Some(callee) = contract.functions.iter().find(|f| &f.name == name) {
+                let inner = estimate_function(callee, contract);
+                est.lower += inner.lower;
+                est.bounded &= inner.bounded;
+            }
+        }
+        Expr::ExternalCall { addr, args, .. } => {
+            est.lower += w::EXTERNAL_CALL;
+            estimate_expr(addr, contract, est);
+            for a in args {
+                estimate_expr(a, contract, est);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// True iff the function moves cryptocurrency (directly or through a
+/// callee) — the paper's marker for light/public.
+pub fn moves_currency(f: &Function, contract: &Contract) -> bool {
+    fn stmts_move(stmts: &[Stmt], contract: &Contract, depth: usize) -> bool {
+        stmts.iter().any(|s| match s {
+            Stmt::Transfer(_, _) => true,
+            Stmt::If(_, a, b) => {
+                stmts_move(a, contract, depth) || stmts_move(b, contract, depth)
+            }
+            Stmt::While(_, b) => stmts_move(b, contract, depth),
+            Stmt::ExprStmt(Expr::InternalCall(name, _))
+            | Stmt::VarDecl(_, Expr::InternalCall(name, _)) => {
+                depth < 8
+                    && contract
+                        .functions
+                        .iter()
+                        .find(|f| &f.name == name)
+                        .is_some_and(|f| stmts_move(&f.body, contract, depth + 1))
+            }
+            _ => false,
+        })
+    }
+    f.payable || stmts_move(&f.body, contract, 0)
+}
+
+/// Classifies one function per the paper's heuristic.
+pub fn classify_function(f: &Function, contract: &Contract) -> Classification {
+    let estimate = estimate_function(f, contract);
+    let currency = moves_currency(f, contract);
+    let heavy = !estimate.bounded || estimate.lower > 60_000;
+
+    let mut reasons = Vec::new();
+    if f.payable {
+        reasons.push("accepts deposits (payable)".to_string());
+    }
+    if currency && !f.payable {
+        reasons.push("performs cryptocurrency transfer".to_string());
+    }
+    if !estimate.bounded {
+        reasons.push("contains data-dependent loops (unbounded gas)".to_string());
+    }
+    if estimate.bounded && estimate.lower > 60_000 {
+        reasons.push(format!("estimated gas {} exceeds threshold", estimate.lower));
+    }
+
+    let class = match (currency, heavy) {
+        (true, true) => {
+            reasons.push(
+                "mixes transfers with heavy computation: decompose like the paper's settle()"
+                    .to_string(),
+            );
+            FunctionClass::MixedDecompose
+        }
+        (true, false) => FunctionClass::LightPublic,
+        (false, true) => FunctionClass::HeavyPrivate,
+        (false, false) => {
+            reasons.push("cheap and transfer-free; defaulting to heavy/private to hide logic"
+                .to_string());
+            FunctionClass::HeavyPrivate
+        }
+    };
+
+    Classification {
+        name: f.name.clone(),
+        class,
+        estimate,
+        reasons,
+    }
+}
+
+/// The extra functions the split/generate stage pads on (Fig. 2).
+pub const ONCHAIN_PADDING: [&str; 2] = ["deployVerifiedInstance", "enforceDisputeResolution"];
+/// The extra function padded onto the off-chain contract.
+pub const OFFCHAIN_PADDING: [&str; 1] = ["returnDisputeResolution"];
+
+/// Plans the split of a whole contract into the on/off-chain pair.
+pub fn split(contract: &Contract) -> SplitPlan {
+    let mut classes = Vec::new();
+    let mut onchain = Vec::new();
+    let mut offchain = Vec::new();
+    for f in &contract.functions {
+        let c = classify_function(f, contract);
+        match c.class {
+            FunctionClass::LightPublic => onchain.push(f.name.clone()),
+            FunctionClass::HeavyPrivate => offchain.push(f.name.clone()),
+            FunctionClass::MixedDecompose => {
+                // The transfer shell stays on-chain; the computation is
+                // expected to be extracted off-chain by the developer.
+                onchain.push(format!("{} (transfer shell)", f.name));
+                offchain.push(format!("{} (extracted computation)", f.name));
+            }
+        }
+        classes.push(c);
+    }
+    SplitPlan {
+        contract: contract.name.clone(),
+        classes,
+        onchain_functions: onchain,
+        offchain_functions: offchain,
+        onchain_padding: ONCHAIN_PADDING.to_vec(),
+        offchain_padding: OFFCHAIN_PADDING.to_vec(),
+    }
+}
+
+impl SplitPlan {
+    /// Classification lookup by function name.
+    pub fn class_of(&self, name: &str) -> Option<FunctionClass> {
+        self.classes
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.class)
+    }
+
+    /// Renders the plan as a human-readable report.
+    pub fn report(&self) -> String {
+        let mut out = format!("split plan for `{}`\n", self.contract);
+        let mut by_name: HashMap<&str, &Classification> = HashMap::new();
+        for c in &self.classes {
+            by_name.insert(c.name.as_str(), c);
+        }
+        out.push_str("  on-chain (light/public):\n");
+        for f in &self.onchain_functions {
+            out.push_str(&format!("    {f}\n"));
+        }
+        for f in &self.onchain_padding {
+            out.push_str(&format!("    {f} [padded extra]\n"));
+        }
+        out.push_str("  off-chain (heavy/private):\n");
+        for f in &self.offchain_functions {
+            out.push_str(&format!("    {f}\n"));
+        }
+        for f in &self.offchain_padding {
+            out.push_str(&format!("    {f} [padded extra]\n"));
+        }
+        out.push_str("  rationale:\n");
+        for c in &self.classes {
+            out.push_str(&format!(
+                "    {}: {:?} (est ≥ {} gas{}) — {}\n",
+                c.name,
+                c.class,
+                c.estimate.lower,
+                if c.estimate.bounded { "" } else { ", unbounded" },
+                c.reasons.join("; ")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_contracts::MONOLITHIC_SRC;
+    use sc_lang::parse;
+
+    fn monolithic() -> Contract {
+        parse(MONOLITHIC_SRC).unwrap().contracts[0].clone()
+    }
+
+    #[test]
+    fn deposit_and_refunds_are_light_public() {
+        let c = monolithic();
+        let plan = split(&c);
+        assert_eq!(plan.class_of("deposit"), Some(FunctionClass::LightPublic));
+        assert_eq!(
+            plan.class_of("refundRoundOne"),
+            Some(FunctionClass::LightPublic)
+        );
+        assert_eq!(
+            plan.class_of("refundRoundTwo"),
+            Some(FunctionClass::LightPublic)
+        );
+    }
+
+    #[test]
+    fn reveal_is_heavy_private() {
+        let c = monolithic();
+        let plan = split(&c);
+        assert_eq!(plan.class_of("reveal"), Some(FunctionClass::HeavyPrivate));
+        let cls = plan
+            .classes
+            .iter()
+            .find(|x| x.name == "reveal")
+            .unwrap();
+        assert!(!cls.estimate.bounded, "loop makes reveal unbounded");
+    }
+
+    #[test]
+    fn settle_is_mixed_and_needs_decomposition() {
+        let c = monolithic();
+        let plan = split(&c);
+        assert_eq!(
+            plan.class_of("settle"),
+            Some(FunctionClass::MixedDecompose),
+            "settle moves ether AND calls the unbounded reveal()"
+        );
+    }
+
+    #[test]
+    fn padding_matches_the_papers_extra_functions() {
+        let plan = split(&monolithic());
+        assert_eq!(
+            plan.onchain_padding,
+            vec!["deployVerifiedInstance", "enforceDisputeResolution"]
+        );
+        assert_eq!(plan.offchain_padding, vec!["returnDisputeResolution"]);
+    }
+
+    #[test]
+    fn report_mentions_every_function() {
+        let plan = split(&monolithic());
+        let report = plan.report();
+        for f in ["deposit", "refundRoundOne", "refundRoundTwo", "reveal", "settle"] {
+            assert!(report.contains(f), "report missing {f}:\n{report}");
+        }
+    }
+
+    #[test]
+    fn estimator_orders_costs_sensibly() {
+        let c = monolithic();
+        let deposit = c.functions.iter().find(|f| f.name == "deposit").unwrap();
+        let reveal = c.functions.iter().find(|f| f.name == "reveal").unwrap();
+        let e_deposit = estimate_function(deposit, &c);
+        let e_reveal = estimate_function(reveal, &c);
+        assert!(e_deposit.bounded);
+        assert!(!e_reveal.bounded);
+        assert!(e_deposit.lower > 0);
+    }
+
+    #[test]
+    fn split_of_the_papers_pair_is_consistent() {
+        // The hand-written pair in sc-contracts must agree with what the
+        // classifier says about the monolithic whole.
+        let plan = split(&monolithic());
+        // Everything that ended up in the paper's on-chain contract is
+        // classified light/public (or the shell of a mixed function).
+        for f in ["deposit", "refundRoundOne", "refundRoundTwo"] {
+            assert!(plan.onchain_functions.iter().any(|n| n.contains(f)));
+        }
+        // reveal lands off-chain.
+        assert!(plan.offchain_functions.iter().any(|n| n.contains("reveal")));
+    }
+}

@@ -1,0 +1,123 @@
+//! An in-process stand-in for Ethereum's Whisper messaging layer.
+//!
+//! The paper's deploy/sign stage requires each participant to obtain a
+//! copy of the off-chain contract carrying *everyone's* signature before
+//! touching the on-chain contract, "easily implemented through off-chain
+//! communication approaches, such as Whisper". This module provides the
+//! delivery semantics that matter for the protocol: topic-based fan-out,
+//! per-subscriber cursors, and sender attribution — no networking.
+
+use sc_primitives::Address;
+use std::collections::HashMap;
+
+/// A message on a topic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Claimed sender (payloads carry their own signatures; the bus does
+    /// not authenticate).
+    pub from: Address,
+    /// Topic string, e.g. `"betting/signed-copies"`.
+    pub topic: String,
+    /// Opaque payload.
+    pub payload: Vec<u8>,
+}
+
+/// A topic-based broadcast bus with per-reader cursors.
+#[derive(Default)]
+pub struct Whisper {
+    topics: HashMap<String, Vec<Envelope>>,
+    cursors: HashMap<(Address, String), usize>,
+}
+
+impl Whisper {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a message to a topic.
+    pub fn post(&mut self, from: Address, topic: &str, payload: Vec<u8>) {
+        self.topics
+            .entry(topic.to_string())
+            .or_default()
+            .push(Envelope {
+                from,
+                topic: topic.to_string(),
+                payload,
+            });
+    }
+
+    /// Drains messages on `topic` that `reader` has not seen yet.
+    pub fn poll(&mut self, reader: Address, topic: &str) -> Vec<Envelope> {
+        let msgs = self.topics.get(topic).cloned().unwrap_or_default();
+        let cursor = self
+            .cursors
+            .entry((reader, topic.to_string()))
+            .or_insert(0);
+        let new = msgs[(*cursor).min(msgs.len())..].to_vec();
+        *cursor = msgs.len();
+        new
+    }
+
+    /// All messages ever posted on a topic (no cursor movement).
+    pub fn history(&self, topic: &str) -> &[Envelope] {
+        self.topics.get(topic).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total messages across all topics (diagnostics).
+    pub fn message_count(&self) -> usize {
+        self.topics.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(b: u8) -> Address {
+        Address([b; 20])
+    }
+
+    #[test]
+    fn fan_out_with_independent_cursors() {
+        let mut w = Whisper::new();
+        w.post(addr(1), "t", vec![1]);
+        w.post(addr(2), "t", vec![2]);
+        let got_a = w.poll(addr(3), "t");
+        assert_eq!(got_a.len(), 2);
+        // Re-poll: nothing new for A.
+        assert!(w.poll(addr(3), "t").is_empty());
+        // B still sees everything.
+        assert_eq!(w.poll(addr(4), "t").len(), 2);
+        // New message reaches both.
+        w.post(addr(1), "t", vec![3]);
+        assert_eq!(w.poll(addr(3), "t").len(), 1);
+        assert_eq!(w.poll(addr(4), "t").len(), 1);
+    }
+
+    #[test]
+    fn topics_are_isolated() {
+        let mut w = Whisper::new();
+        w.post(addr(1), "a", vec![1]);
+        assert!(w.poll(addr(2), "b").is_empty());
+        assert_eq!(w.poll(addr(2), "a").len(), 1);
+    }
+
+    #[test]
+    fn history_preserves_order_and_sender() {
+        let mut w = Whisper::new();
+        w.post(addr(1), "t", vec![1]);
+        w.post(addr(2), "t", vec![2]);
+        let h = w.history("t");
+        assert_eq!(h[0].from, addr(1));
+        assert_eq!(h[1].from, addr(2));
+        assert_eq!(w.message_count(), 2);
+    }
+
+    #[test]
+    fn empty_topic_polls_empty() {
+        let mut w = Whisper::new();
+        assert!(w.poll(addr(1), "nothing").is_empty());
+        assert!(w.history("nothing").is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! End-to-end validation of the automatic splitter: the pair generated
+//! from the monolithic betting contract must run the full protocol —
+//! deposits on the generated on-chain contract, signatures over the
+//! generated off-chain initcode, and a complete dispute resolution.
+
+use sc_chain::Testnet;
+use sc_contracts::{BetSecrets, MONOLITHIC_SRC};
+use sc_core::{generate_pair, SignedCopy};
+use sc_lang::parse;
+use sc_primitives::abi::Value;
+use sc_primitives::{ether, Address, U256};
+
+#[test]
+fn generated_pair_resolves_a_dispute_end_to_end() {
+    let whole = parse(MONOLITHIC_SRC).unwrap().contracts[0].clone();
+    let pair = generate_pair(&whole).expect("pair generates");
+
+    // The generated on-chain constructor kept exactly the parameters its
+    // variables need: (a, b, t1, t2).
+    let ctor = pair.onchain.analyzed.contract.constructor.as_ref().unwrap();
+    let names: Vec<&str> = ctor.0.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(names, vec!["a", "b", "t1", "t2"]);
+    // The off-chain constructor kept (a, b, sa, sb, w).
+    let octor = pair.offchain.analyzed.contract.constructor.as_ref().unwrap();
+    let onames: Vec<&str> = octor.0.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(onames, vec!["a", "b", "sa", "sb", "w"]);
+
+    let mut net = Testnet::new();
+    let alice = net.funded_wallet("alice", ether(1000));
+    let bob = net.funded_wallet("bob", ether(1000));
+    let t1 = net.now() + 3600;
+    let t2 = net.now() + 7200;
+
+    // Secrets that make Bob the winner.
+    let mut secrets = BetSecrets {
+        secret_a: U256::from_u64(11),
+        secret_b: U256::from_u64(22),
+        weight: 20,
+    };
+    while !secrets.winner_is_bob() {
+        secrets.secret_a = secrets.secret_a.wrapping_add(U256::ONE);
+    }
+
+    // Deploy the generated on-chain contract.
+    let initcode = pair
+        .onchain
+        .initcode(&[
+            Value::Address(alice.address),
+            Value::Address(bob.address),
+            Value::Uint(U256::from_u64(t1)),
+            Value::Uint(U256::from_u64(t2)),
+        ])
+        .unwrap();
+    let r = net.deploy(&alice, initcode, U256::ZERO, 7_000_000).unwrap();
+    assert!(r.success, "generated on-chain deploys: {:?}", r.failure);
+    let onchain = r.contract_address.unwrap();
+
+    // Deposits through the generated deposit().
+    let deposit = pair.onchain.calldata("deposit", &[]).unwrap();
+    for w in [&alice, &bob] {
+        let r = net
+            .execute(w, onchain, ether(1), deposit.clone(), 300_000)
+            .unwrap();
+        assert!(r.success, "generated deposit: {:?}", r.failure);
+    }
+    assert_eq!(net.balance_of(onchain), ether(2));
+
+    // Both sign the generated off-chain initcode.
+    let off_initcode = pair
+        .offchain
+        .initcode(&[
+            Value::Address(alice.address),
+            Value::Address(bob.address),
+            Value::Uint(secrets.secret_a),
+            Value::Uint(secrets.secret_b),
+            Value::Uint(U256::from_u64(secrets.weight)),
+        ])
+        .unwrap();
+    let copy = SignedCopy::create(off_initcode, &[&alice.key, &bob.key]);
+    copy.verify(&[alice.address, bob.address]).unwrap();
+
+    // Dispute: create the verified instance from the signed copy.
+    let data = pair
+        .onchain
+        .calldata(
+            "deployVerifiedInstance",
+            &[
+                Value::Bytes(copy.bytecode.clone()),
+                Value::Uint(U256::from_u64(copy.signatures[0].v as u64)),
+                Value::Bytes32(copy.signatures[0].r),
+                Value::Bytes32(copy.signatures[0].s),
+                Value::Uint(U256::from_u64(copy.signatures[1].v as u64)),
+                Value::Bytes32(copy.signatures[1].r),
+                Value::Bytes32(copy.signatures[1].s),
+            ],
+        )
+        .unwrap();
+    let r = net.execute(&bob, onchain, U256::ZERO, data, 7_900_000).unwrap();
+    assert!(r.success, "generated deployVerifiedInstance: {:?}", r.failure);
+
+    // Locate deployedAddr through the generated contract's storage layout.
+    let slot = pair
+        .onchain
+        .analyzed
+        .contract
+        .state
+        .iter()
+        .find(|sv| sv.name == "deployedAddr")
+        .unwrap()
+        .slot;
+    let instance = Address::from_u256(net.storage_at(onchain, U256::from_u64(slot)));
+    assert!(!instance.is_zero());
+    assert_eq!(instance, sc_evm::contract_address(onchain, 1));
+
+    // Enforce through the generated returnDisputeResolution.
+    let bob_before = net.balance_of(bob.address);
+    let data = pair
+        .offchain
+        .calldata("returnDisputeResolution", &[Value::Address(onchain)])
+        .unwrap();
+    let r = net
+        .execute(&bob, instance, U256::ZERO, data, 7_900_000)
+        .unwrap();
+    assert!(r.success, "generated resolution: {:?}", r.failure);
+    assert!(
+        net.balance_of(bob.address) > bob_before,
+        "the generated pair enforced the true result"
+    );
+    assert_eq!(net.balance_of(onchain), U256::ZERO);
+}
+
+#[test]
+fn generated_pair_rejects_tampered_bytecode() {
+    let whole = parse(MONOLITHIC_SRC).unwrap().contracts[0].clone();
+    let pair = generate_pair(&whole).expect("pair generates");
+    let mut net = Testnet::new();
+    let alice = net.funded_wallet("alice", ether(1000));
+    let bob = net.funded_wallet("bob", ether(1000));
+    let initcode = pair
+        .onchain
+        .initcode(&[
+            Value::Address(alice.address),
+            Value::Address(bob.address),
+            Value::Uint(U256::from_u64(net.now() + 3600)),
+            Value::Uint(U256::from_u64(net.now() + 7200)),
+        ])
+        .unwrap();
+    let onchain = net
+        .deploy(&alice, initcode, U256::ZERO, 7_000_000)
+        .unwrap()
+        .contract_address
+        .unwrap();
+
+    let off_initcode = pair
+        .offchain
+        .initcode(&[
+            Value::Address(alice.address),
+            Value::Address(bob.address),
+            Value::Uint(U256::ONE),
+            Value::Uint(U256::ONE),
+            Value::Uint(U256::from_u64(4)),
+        ])
+        .unwrap();
+    let mut copy = SignedCopy::create(off_initcode, &[&alice.key, &bob.key]);
+    copy.bytecode[64] ^= 0xff;
+
+    let data = pair
+        .onchain
+        .calldata(
+            "deployVerifiedInstance",
+            &[
+                Value::Bytes(copy.bytecode.clone()),
+                Value::Uint(U256::from_u64(copy.signatures[0].v as u64)),
+                Value::Bytes32(copy.signatures[0].r),
+                Value::Bytes32(copy.signatures[0].s),
+                Value::Uint(U256::from_u64(copy.signatures[1].v as u64)),
+                Value::Bytes32(copy.signatures[1].r),
+                Value::Bytes32(copy.signatures[1].s),
+            ],
+        )
+        .unwrap();
+    let r = net.execute(&bob, onchain, U256::ZERO, data, 7_900_000).unwrap();
+    assert!(!r.success, "tampered bytecode rejected by the generated pair");
+}

@@ -1,0 +1,120 @@
+//! End-to-end n-party verification: the generated n-signer
+//! `deployVerifiedInstance` contract enforces all-or-nothing signature
+//! checks and the CREATE-link authorization for any participant count.
+
+use sc_chain::{Testnet, Wallet};
+use sc_contracts::gen::{
+    nparty_ctor_args, nparty_deploy_args, nparty_deployed_addr_slot, nparty_onchain_source,
+};
+use sc_core::signedcopy::sign_bytecode;
+use sc_lang::compile;
+use sc_primitives::{ether, Address, U256};
+
+struct NParty {
+    net: Testnet,
+    wallets: Vec<Wallet>,
+    verifier: sc_lang::CompiledContract,
+    onchain: Address,
+    payload: Vec<u8>,
+}
+
+fn setup(n: usize) -> NParty {
+    let mut net = Testnet::new();
+    let wallets: Vec<Wallet> = (0..n)
+        .map(|i| net.funded_wallet(&format!("party{i}"), ether(100)))
+        .collect();
+    let addrs: Vec<Address> = wallets.iter().map(|w| w.address).collect();
+    let verifier = compile(&nparty_onchain_source(n), "verifierN").unwrap();
+    let onchain = net
+        .deploy(
+            &wallets[0],
+            verifier.initcode(&nparty_ctor_args(&addrs)).unwrap(),
+            U256::ZERO,
+            7_900_000,
+        )
+        .unwrap()
+        .contract_address
+        .unwrap();
+    let payload = sc_evm::wrap_initcode(&[0x60, 0x2a, 0x60, 0x00, 0x52, 0x00]);
+    NParty {
+        net,
+        wallets,
+        verifier,
+        onchain,
+        payload,
+    }
+}
+
+#[test]
+fn four_party_copy_deploys_and_links() {
+    let mut s = setup(4);
+    let sigs: Vec<_> = s
+        .wallets
+        .iter()
+        .map(|w| sign_bytecode(&w.key, &s.payload))
+        .collect();
+    let data = s
+        .verifier
+        .calldata("deployVerifiedInstance", &nparty_deploy_args(&s.payload, &sigs))
+        .unwrap();
+    let r = s
+        .net
+        .execute(&s.wallets[0], s.onchain, U256::ZERO, data, 7_900_000)
+        .unwrap();
+    assert!(r.success, "{:?}", r.failure);
+    let instance = Address::from_u256(
+        s.net
+            .storage_at(s.onchain, U256::from_u64(nparty_deployed_addr_slot(4))),
+    );
+    assert_eq!(instance, sc_evm::contract_address(s.onchain, 1));
+    assert!(!s.net.code_at(instance).is_empty());
+}
+
+#[test]
+fn one_missing_signer_breaks_the_whole_copy() {
+    // All-or-nothing: n−1 valid signatures + one outsider's must revert.
+    let mut s = setup(5);
+    let outsider = Wallet::from_seed("outsider");
+    let mut sigs: Vec<_> = s
+        .wallets
+        .iter()
+        .map(|w| sign_bytecode(&w.key, &s.payload))
+        .collect();
+    sigs[3] = sign_bytecode(&outsider.key, &s.payload);
+    let data = s
+        .verifier
+        .calldata("deployVerifiedInstance", &nparty_deploy_args(&s.payload, &sigs))
+        .unwrap();
+    let r = s
+        .net
+        .execute(&s.wallets[0], s.onchain, U256::ZERO, data, 7_900_000)
+        .unwrap();
+    assert!(!r.success, "one bad signature of five must reject the copy");
+    assert_eq!(
+        s.net
+            .storage_at(s.onchain, U256::from_u64(nparty_deployed_addr_slot(5))),
+        U256::ZERO
+    );
+}
+
+#[test]
+fn signature_order_matters() {
+    // Signatures must arrive in participant order (the contract binds
+    // signature i to participant i).
+    let mut s = setup(3);
+    let mut sigs: Vec<_> = s
+        .wallets
+        .iter()
+        .map(|w| sign_bytecode(&w.key, &s.payload))
+        .collect();
+    sigs.swap(0, 1);
+    let data = s
+        .verifier
+        .calldata("deployVerifiedInstance", &nparty_deploy_args(&s.payload, &sigs))
+        .unwrap();
+    let r = s
+        .net
+        .execute(&s.wallets[0], s.onchain, U256::ZERO, data, 7_900_000)
+        .unwrap();
+    assert!(!r.success, "swapped signatures must be rejected");
+}

@@ -1,0 +1,221 @@
+//! Keccak-256 as used by Ethereum (original Keccak padding, not SHA-3).
+//!
+//! The paper's enforcement mechanism hashes the off-chain contract bytecode
+//! with `keccak256` both off-chain (Algorithm 4, `soliditySha3`) and
+//! on-chain (Algorithm 5, the `keccak256(bytecode)` inside
+//! `deployVerifiedInstance`); both paths use this implementation, so the
+//! integrity check is exercised with the real hash.
+
+use sc_primitives::H256;
+
+const ROUNDS: usize = 24;
+const RATE_BYTES: usize = 136; // 1600 - 2*256 bits
+
+const RC: [u64; ROUNDS] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+// Rotation offsets, indexed [x][y].
+const ROTC: [[u32; 5]; 5] = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+];
+
+/// Streaming Keccak-256 hasher.
+#[derive(Clone)]
+pub struct Keccak256 {
+    state: [[u64; 5]; 5],
+    buffer: [u8; RATE_BYTES],
+    buffered: usize,
+}
+
+impl Default for Keccak256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Keccak256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Keccak256 {
+            state: [[0u64; 5]; 5],
+            buffer: [0u8; RATE_BYTES],
+            buffered: 0,
+        }
+    }
+
+    /// Absorbs input bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        while !data.is_empty() {
+            let take = (RATE_BYTES - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == RATE_BYTES {
+                self.absorb_block();
+                self.buffered = 0;
+            }
+        }
+    }
+
+    /// Finalizes and returns the 32-byte digest.
+    pub fn finalize(mut self) -> H256 {
+        // Keccak pad10*1 with domain byte 0x01 (Ethereum's Keccak, not
+        // NIST SHA-3 which uses 0x06).
+        self.buffer[self.buffered..].fill(0);
+        self.buffer[self.buffered] = 0x01;
+        self.buffer[RATE_BYTES - 1] |= 0x80;
+        self.absorb_block();
+
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            // Lanes are laid out little-endian in x-major order.
+            out[8 * i..8 * (i + 1)].copy_from_slice(&self.state[i][0].to_le_bytes());
+        }
+        H256(out)
+    }
+
+    fn absorb_block(&mut self) {
+        for i in 0..RATE_BYTES / 8 {
+            let mut lane = [0u8; 8];
+            lane.copy_from_slice(&self.buffer[8 * i..8 * (i + 1)]);
+            let (x, y) = (i % 5, i / 5);
+            self.state[x][y] ^= u64::from_le_bytes(lane);
+        }
+        keccak_f(&mut self.state);
+    }
+}
+
+fn keccak_f(a: &mut [[u64; 5]; 5]) {
+    for &rc in RC.iter() {
+        // θ
+        let mut c = [0u64; 5];
+        for (x, cx) in c.iter_mut().enumerate() {
+            *cx = a[x][0] ^ a[x][1] ^ a[x][2] ^ a[x][3] ^ a[x][4];
+        }
+        for x in 0..5 {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for y in 0..5 {
+                a[x][y] ^= d;
+            }
+        }
+        // ρ and π
+        let mut b = [[0u64; 5]; 5];
+        for x in 0..5 {
+            for y in 0..5 {
+                b[y][(2 * x + 3 * y) % 5] = a[x][y].rotate_left(ROTC[x][y]);
+            }
+        }
+        // χ
+        for x in 0..5 {
+            for y in 0..5 {
+                a[x][y] = b[x][y] ^ ((!b[(x + 1) % 5][y]) & b[(x + 2) % 5][y]);
+            }
+        }
+        // ι
+        a[0][0] ^= rc;
+    }
+}
+
+/// One-shot Keccak-256 of a byte slice.
+pub fn keccak256(data: &[u8]) -> H256 {
+    let mut h = Keccak256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Computes a Solidity function selector: `keccak256(signature)[..4]`.
+///
+/// `signature` is the canonical form, e.g. `"deposit()"` or
+/// `"deployVerifiedInstance(bytes,uint8,bytes32,bytes32,uint8,bytes32,bytes32)"`.
+pub fn selector(signature: &str) -> [u8; 4] {
+    let h = keccak256(signature.as_bytes());
+    [h.0[0], h.0[1], h.0[2], h.0[3]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_primitives::hex;
+
+    #[test]
+    fn empty_string_vector() {
+        assert_eq!(
+            hex::encode(keccak256(b"").as_bytes()),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            hex::encode(keccak256(b"abc").as_bytes()),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn long_input_crosses_rate_boundary() {
+        // 200 bytes of 0xa3 — a classic Keccak reference input.
+        let data = [0xa3u8; 200];
+        let h1 = keccak256(&data);
+        // Same input absorbed in awkward chunk sizes must agree.
+        let mut streaming = Keccak256::new();
+        streaming.update(&data[..1]);
+        streaming.update(&data[1..137]);
+        streaming.update(&data[137..]);
+        assert_eq!(streaming.finalize(), h1);
+    }
+
+    #[test]
+    fn exactly_one_rate_block() {
+        let data = [0u8; 136];
+        let h = keccak256(&data);
+        let mut s = Keccak256::new();
+        s.update(&data);
+        assert_eq!(s.finalize(), h);
+    }
+
+    #[test]
+    fn erc20_transfer_selector() {
+        // Well-known Solidity selector, pins hash + truncation together.
+        assert_eq!(selector("transfer(address,uint256)"), [0xa9, 0x05, 0x9c, 0xbb]);
+    }
+
+    #[test]
+    fn baz_selector_from_solidity_docs() {
+        assert_eq!(selector("baz(uint32,bool)"), [0xcd, 0xcd, 0x77, 0xc0]);
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(keccak256(b"alice"), keccak256(b"bob"));
+    }
+}

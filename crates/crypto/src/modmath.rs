@@ -1,0 +1,152 @@
+//! Arithmetic modulo large primes close to 2^256.
+//!
+//! Shared by the secp256k1 base field `p` and scalar field `n`. The
+//! reduction exploits that both moduli satisfy `m > 2^255`, so
+//! `2^256 ≡ (2^256 - m) (mod m)` with `2^256 - m` small (≤ 129 bits),
+//! letting a 512-bit product fold down in a couple of iterations.
+
+use sc_primitives::U256;
+
+/// `(a + b) mod m`, assuming `a, b < m`.
+#[inline]
+pub fn add_mod(a: U256, b: U256, m: U256) -> U256 {
+    let (sum, carry) = a.overflowing_add(b);
+    if carry || sum >= m {
+        sum.wrapping_sub(m)
+    } else {
+        sum
+    }
+}
+
+/// `(a - b) mod m`, assuming `a, b < m`.
+#[inline]
+pub fn sub_mod(a: U256, b: U256, m: U256) -> U256 {
+    let (diff, borrow) = a.overflowing_sub(b);
+    if borrow {
+        diff.wrapping_add(m)
+    } else {
+        diff
+    }
+}
+
+/// `(a * b) mod m`, assuming `a, b < m` and `m > 2^255`.
+///
+/// `r` must equal `2^256 mod m` (i.e. `2^256 - m` since `m > 2^255`).
+pub fn mul_mod(a: U256, b: U256, m: U256, r: U256) -> U256 {
+    let (mut lo, mut hi) = a.full_mul(b);
+    // Fold the high word: hi·2^256 + lo ≡ hi·r + lo (mod m).
+    while !hi.is_zero() {
+        let (l2, h2) = hi.full_mul(r);
+        let (sum, carry) = lo.overflowing_add(l2);
+        lo = sum;
+        // A carry out of the low word is another 2^256 ≡ r.
+        hi = if carry {
+            h2.wrapping_add(U256::ONE)
+        } else {
+            h2
+        };
+    }
+    if lo >= m {
+        lo.wrapping_sub(m)
+    } else {
+        lo
+    }
+}
+
+/// `a^e mod m` by square-and-multiply. Same `r` contract as [`mul_mod`].
+pub fn pow_mod(a: U256, e: U256, m: U256, r: U256) -> U256 {
+    let bits = e.bits();
+    let mut acc = U256::ONE;
+    for i in (0..bits).rev() {
+        acc = mul_mod(acc, acc, m, r);
+        if e.bit(i) {
+            acc = mul_mod(acc, a, m, r);
+        }
+    }
+    acc
+}
+
+/// Modular inverse of `a` for prime `m` via Fermat: `a^(m-2) mod m`.
+///
+/// Returns zero for `a == 0` (callers must treat that as "no inverse").
+pub fn inv_mod(a: U256, m: U256, r: U256) -> U256 {
+    if a.is_zero() {
+        return U256::ZERO;
+    }
+    pow_mod(a, m.wrapping_sub(U256::from_u64(2)), m, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // secp256k1 base field prime, convenient as a realistic modulus.
+    fn p() -> U256 {
+        U256::from_hex_str("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap()
+    }
+
+    fn r() -> U256 {
+        // 2^256 - p = 2^32 + 977
+        U256::from_u64((1 << 32) + 977)
+    }
+
+    #[test]
+    fn add_wraps_modulus() {
+        let a = p().wrapping_sub(U256::ONE);
+        assert_eq!(add_mod(a, U256::ONE, p()), U256::ZERO);
+        assert_eq!(add_mod(a, U256::from_u64(5), p()), U256::from_u64(4));
+    }
+
+    #[test]
+    fn sub_borrows_modulus() {
+        assert_eq!(
+            sub_mod(U256::ZERO, U256::ONE, p()),
+            p().wrapping_sub(U256::ONE)
+        );
+    }
+
+    #[test]
+    fn mul_small_values() {
+        assert_eq!(
+            mul_mod(U256::from_u64(1 << 40), U256::from_u64(1 << 40), p(), r()),
+            U256::from_u64(1).shl_bits(80)
+        );
+    }
+
+    #[test]
+    fn mul_large_values_reduce() {
+        // (p-1)^2 mod p == 1
+        let a = p().wrapping_sub(U256::ONE);
+        assert_eq!(mul_mod(a, a, p(), r()), U256::ONE);
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        for v in [2u64, 3, 977, 0xdeadbeef] {
+            let a = U256::from_u64(v);
+            let inv = inv_mod(a, p(), r());
+            assert_eq!(mul_mod(a, inv, p(), r()), U256::ONE);
+        }
+        assert_eq!(inv_mod(U256::ZERO, p(), r()), U256::ZERO);
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        assert_eq!(pow_mod(U256::from_u64(5), U256::ZERO, p(), r()), U256::ONE);
+        assert_eq!(
+            pow_mod(U256::from_u64(5), U256::ONE, p(), r()),
+            U256::from_u64(5)
+        );
+        // Fermat's little theorem: a^(p-1) == 1
+        assert_eq!(
+            pow_mod(
+                U256::from_u64(123456789),
+                p().wrapping_sub(U256::ONE),
+                p(),
+                r()
+            ),
+            U256::ONE
+        );
+    }
+}

@@ -1,0 +1,418 @@
+//! The secp256k1 elliptic curve: y² = x³ + 7 over F_p.
+//!
+//! Implements field arithmetic, Jacobian-coordinate point arithmetic and
+//! scalar multiplication — everything ECDSA ([`crate::ecdsa`]) needs. The
+//! implementation favours clarity and determinism over constant-time
+//! hardening: this stack signs simulated testnet transactions, not
+//! production keys.
+
+use crate::modmath::{add_mod, inv_mod, mul_mod, pow_mod, sub_mod};
+use sc_primitives::U256;
+
+/// The base field prime `p = 2^256 - 2^32 - 977`.
+pub fn p() -> U256 {
+    U256([
+        0xffff_fffe_ffff_fc2f,
+        0xffff_ffff_ffff_ffff,
+        0xffff_ffff_ffff_ffff,
+        0xffff_ffff_ffff_ffff,
+    ])
+}
+
+/// The group order `n`.
+pub fn n() -> U256 {
+    U256([
+        0xbfd2_5e8c_d036_4141,
+        0xbaae_dce6_af48_a03b,
+        0xffff_ffff_ffff_fffe,
+        0xffff_ffff_ffff_ffff,
+    ])
+}
+
+/// `2^256 mod p`, the folding constant for base-field reduction.
+fn rp() -> U256 {
+    U256::ZERO.wrapping_sub(p())
+}
+
+/// `2^256 mod n`, the folding constant for scalar-field reduction.
+fn rn() -> U256 {
+    U256::ZERO.wrapping_sub(n())
+}
+
+/// Base-field operations (mod p).
+pub mod fe {
+    use super::*;
+
+    /// `(a + b) mod p`.
+    pub fn add(a: U256, b: U256) -> U256 {
+        add_mod(a, b, p())
+    }
+    /// `(a - b) mod p`.
+    pub fn sub(a: U256, b: U256) -> U256 {
+        sub_mod(a, b, p())
+    }
+    /// `(a * b) mod p`.
+    pub fn mul(a: U256, b: U256) -> U256 {
+        mul_mod(a, b, p(), rp())
+    }
+    /// `a² mod p`.
+    pub fn sq(a: U256) -> U256 {
+        mul(a, a)
+    }
+    /// `a⁻¹ mod p` (0 for 0).
+    pub fn inv(a: U256) -> U256 {
+        inv_mod(a, p(), rp())
+    }
+    /// Square root mod p if one exists (`p ≡ 3 mod 4`, so `a^((p+1)/4)`).
+    pub fn sqrt(a: U256) -> Option<U256> {
+        let e = p().wrapping_add(U256::ONE).shr_bits(2);
+        let root = pow_mod(a, e, p(), rp());
+        if sq(root) == a {
+            Some(root)
+        } else {
+            None
+        }
+    }
+}
+
+/// Scalar-field operations (mod n).
+pub mod scalar {
+    use super::*;
+
+    /// `(a + b) mod n`.
+    pub fn add(a: U256, b: U256) -> U256 {
+        add_mod(a, b, n())
+    }
+    /// `(a * b) mod n`.
+    pub fn mul(a: U256, b: U256) -> U256 {
+        mul_mod(a, b, n(), rn())
+    }
+    /// `a⁻¹ mod n` (0 for 0).
+    pub fn inv(a: U256) -> U256 {
+        inv_mod(a, n(), rn())
+    }
+    /// Reduces an arbitrary 256-bit value mod n.
+    pub fn reduce(a: U256) -> U256 {
+        if a >= n() {
+            a.wrapping_sub(n())
+        } else {
+            a
+        }
+    }
+    /// True iff `1 ≤ a < n`.
+    pub fn is_valid_nonzero(a: U256) -> bool {
+        !a.is_zero() && a < n()
+    }
+}
+
+/// A curve point in Jacobian coordinates; `z == 0` encodes infinity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Point {
+    /// Jacobian X (affine x = X / Z²).
+    pub x: U256,
+    /// Jacobian Y (affine y = Y / Z³).
+    pub y: U256,
+    /// Jacobian Z.
+    pub z: U256,
+}
+
+/// An affine curve point (never infinity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Affine {
+    /// Affine x coordinate.
+    pub x: U256,
+    /// Affine y coordinate.
+    pub y: U256,
+}
+
+impl Point {
+    /// The point at infinity (group identity).
+    pub const INFINITY: Point = Point {
+        x: U256::ZERO,
+        y: U256::ZERO,
+        z: U256::ZERO,
+    };
+
+    /// The generator point G.
+    pub fn generator() -> Point {
+        Point::from_affine(Affine {
+            x: U256([
+                0x59f2_815b_16f8_1798,
+                0x029b_fcdb_2dce_28d9,
+                0x55a0_6295_ce87_0b07,
+                0x79be_667e_f9dc_bbac,
+            ]),
+            y: U256([
+                0x9c47_d08f_fb10_d4b8,
+                0xfd17_b448_a685_5419,
+                0x5da4_fbfc_0e11_08a8,
+                0x483a_da77_26a3_c465,
+            ]),
+        })
+    }
+
+    /// Lifts an affine point to Jacobian coordinates.
+    pub fn from_affine(a: Affine) -> Point {
+        Point {
+            x: a.x,
+            y: a.y,
+            z: U256::ONE,
+        }
+    }
+
+    /// True iff this is the identity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Normalizes to affine coordinates; `None` for infinity.
+    pub fn to_affine(&self) -> Option<Affine> {
+        if self.is_infinity() {
+            return None;
+        }
+        let zinv = fe::inv(self.z);
+        let zinv2 = fe::sq(zinv);
+        let zinv3 = fe::mul(zinv2, zinv);
+        Some(Affine {
+            x: fe::mul(self.x, zinv2),
+            y: fe::mul(self.y, zinv3),
+        })
+    }
+
+    /// Point doubling (a = 0 short-Weierstrass formulas).
+    pub fn double(&self) -> Point {
+        if self.is_infinity() || self.y.is_zero() {
+            return Point::INFINITY;
+        }
+        let a = fe::sq(self.x);
+        let b = fe::sq(self.y);
+        let c = fe::sq(b);
+        // D = 2·((X+B)² − A − C)
+        let xb = fe::sq(fe::add(self.x, b));
+        let d = {
+            let t = fe::sub(fe::sub(xb, a), c);
+            fe::add(t, t)
+        };
+        let e = fe::add(fe::add(a, a), a); // 3A
+        let f = fe::sq(e);
+        let x3 = fe::sub(f, fe::add(d, d));
+        let c8 = {
+            let c2 = fe::add(c, c);
+            let c4 = fe::add(c2, c2);
+            fe::add(c4, c4)
+        };
+        let y3 = fe::sub(fe::mul(e, fe::sub(d, x3)), c8);
+        let z3 = {
+            let yz = fe::mul(self.y, self.z);
+            fe::add(yz, yz)
+        };
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// General point addition.
+    pub fn add(&self, other: &Point) -> Point {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        let z1z1 = fe::sq(self.z);
+        let z2z2 = fe::sq(other.z);
+        let u1 = fe::mul(self.x, z2z2);
+        let u2 = fe::mul(other.x, z1z1);
+        let s1 = fe::mul(self.y, fe::mul(other.z, z2z2));
+        let s2 = fe::mul(other.y, fe::mul(self.z, z1z1));
+        let h = fe::sub(u2, u1);
+        let r = fe::sub(s2, s1);
+        if h.is_zero() {
+            if r.is_zero() {
+                return self.double();
+            }
+            return Point::INFINITY; // P + (-P)
+        }
+        let hh = fe::sq(h);
+        let hhh = fe::mul(h, hh);
+        let v = fe::mul(u1, hh);
+        let x3 = fe::sub(fe::sub(fe::sq(r), hhh), fe::add(v, v));
+        let y3 = fe::sub(fe::mul(r, fe::sub(v, x3)), fe::mul(s1, hhh));
+        let z3 = fe::mul(fe::mul(self.z, other.z), h);
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Additive inverse.
+    pub fn negate(&self) -> Point {
+        if self.is_infinity() {
+            return *self;
+        }
+        Point {
+            x: self.x,
+            y: sub_mod(U256::ZERO, self.y, p()),
+            z: self.z,
+        }
+    }
+
+    /// Scalar multiplication by double-and-add (MSB first).
+    pub fn mul_scalar(&self, k: U256) -> Point {
+        let mut acc = Point::INFINITY;
+        for i in (0..k.bits()).rev() {
+            acc = acc.double();
+            if k.bit(i) {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+}
+
+impl Affine {
+    /// True iff the coordinates satisfy y² = x³ + 7 (mod p).
+    pub fn is_on_curve(&self) -> bool {
+        let y2 = fe::sq(self.y);
+        let x3 = fe::mul(fe::sq(self.x), self.x);
+        y2 == fe::add(x3, U256::from_u64(7))
+    }
+
+    /// Recovers the point with the given x coordinate and y parity, if the
+    /// x coordinate lies on the curve.
+    pub fn lift_x(x: U256, y_is_odd: bool) -> Option<Affine> {
+        if x >= p() {
+            return None;
+        }
+        let rhs = fe::add(fe::mul(fe::sq(x), x), U256::from_u64(7));
+        let mut y = fe::sqrt(rhs)?;
+        if y.bit(0) != y_is_odd {
+            y = sub_mod(U256::ZERO, y, p());
+        }
+        Some(Affine { x, y })
+    }
+
+    /// Uncompressed SEC1 serialization: `0x04 || x || y` (65 bytes).
+    pub fn to_uncompressed(&self) -> [u8; 65] {
+        let mut out = [0u8; 65];
+        out[0] = 0x04;
+        out[1..33].copy_from_slice(&self.x.to_be_bytes());
+        out[33..].copy_from_slice(&self.y.to_be_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_on_curve() {
+        let g = Point::generator().to_affine().unwrap();
+        assert!(g.is_on_curve());
+    }
+
+    #[test]
+    fn generator_has_order_n() {
+        let g = Point::generator();
+        assert!(g.mul_scalar(n()).is_infinity());
+        assert!(!g.mul_scalar(n().wrapping_sub(U256::ONE)).is_infinity());
+    }
+
+    #[test]
+    fn double_matches_add() {
+        let g = Point::generator();
+        assert_eq!(
+            g.double().to_affine().unwrap(),
+            g.add(&g).to_affine().unwrap()
+        );
+    }
+
+    #[test]
+    fn known_multiples_of_g() {
+        // 2G from the canonical secp256k1 tables.
+        let two_g = Point::generator().mul_scalar(U256::from_u64(2));
+        let a = two_g.to_affine().unwrap();
+        assert_eq!(
+            format!("{:x}", a.x),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5"
+        );
+        assert_eq!(
+            format!("{:x}", a.y),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a"
+        );
+        // 3G
+        let three_g = Point::generator().mul_scalar(U256::from_u64(3));
+        let a = three_g.to_affine().unwrap();
+        assert_eq!(
+            format!("{:x}", a.x),
+            "f9308a019258c31049344f85f89d5229b531c845836f99b08601f113bce036f9"
+        );
+    }
+
+    #[test]
+    fn add_inverse_is_infinity() {
+        let g = Point::generator();
+        assert!(g.add(&g.negate()).is_infinity());
+    }
+
+    #[test]
+    fn infinity_is_identity() {
+        let g = Point::generator();
+        assert_eq!(
+            g.add(&Point::INFINITY).to_affine(),
+            g.to_affine()
+        );
+        assert_eq!(
+            Point::INFINITY.add(&g).to_affine(),
+            g.to_affine()
+        );
+        assert!(Point::INFINITY.double().is_infinity());
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let g = Point::generator();
+        let a = U256::from_u64(123456789);
+        let b = U256::from_u64(987654321);
+        let lhs = g.mul_scalar(a).add(&g.mul_scalar(b));
+        let rhs = g.mul_scalar(a.wrapping_add(b));
+        assert_eq!(lhs.to_affine(), rhs.to_affine());
+    }
+
+    #[test]
+    fn lift_x_finds_both_parities() {
+        let g = Point::generator().to_affine().unwrap();
+        let even = Affine::lift_x(g.x, false).unwrap();
+        let odd = Affine::lift_x(g.x, true).unwrap();
+        assert!(even.is_on_curve() && odd.is_on_curve());
+        assert_ne!(even.y, odd.y);
+        assert!(!even.y.bit(0));
+        assert!(odd.y.bit(0));
+        // One of them is G itself.
+        assert!(even.y == g.y || odd.y == g.y);
+    }
+
+    #[test]
+    fn lift_x_rejects_non_residue() {
+        // x = 5 gives x³+7 = 132; check behaviour is consistent with sqrt.
+        let x = U256::from_u64(5);
+        let lifted = Affine::lift_x(x, false);
+        if let Some(pt) = lifted {
+            assert!(pt.is_on_curve());
+        }
+        // x >= p is always rejected.
+        assert!(Affine::lift_x(p(), false).is_none());
+    }
+
+    #[test]
+    fn field_sqrt_roundtrip() {
+        let v = U256::from_u64(1234567);
+        let sq = fe::sq(v);
+        let root = fe::sqrt(sq).unwrap();
+        assert!(root == v || root == sub_mod(U256::ZERO, v, p()));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the crypto layer.
+
+use proptest::prelude::*;
+use sc_crypto::ecdsa::{recover_address, PrivateKey, Signature};
+use sc_crypto::keccak::{keccak256, Keccak256};
+use sc_crypto::secp256k1::{n, scalar, Point};
+use sc_crypto::sha256::{sha256, Sha256};
+use sc_primitives::{H256, U256};
+
+fn arb_scalar() -> impl Strategy<Value = U256> {
+    any::<[u64; 4]>()
+        .prop_map(U256)
+        .prop_filter("nonzero scalar below n", |k| scalar::is_valid_nonzero(*k))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sign_recover_roundtrip(k in arb_scalar(), msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let key = PrivateKey::from_u256(k).unwrap();
+        let digest = keccak256(&msg);
+        let sig = key.sign(digest);
+        prop_assert!(sig.is_low_s());
+        prop_assert!(key.public_key().verify(digest, &sig));
+        prop_assert_eq!(recover_address(digest, &sig).unwrap(), key.address());
+    }
+
+    #[test]
+    fn signature_binds_to_message(k in arb_scalar(), a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let key = PrivateKey::from_u256(k).unwrap();
+        let sig = key.sign(keccak256(&a.to_be_bytes()));
+        prop_assert!(!key.public_key().verify(keccak256(&b.to_be_bytes()), &sig));
+    }
+
+    #[test]
+    fn recovery_distinguishes_signers(k1 in arb_scalar(), k2 in arb_scalar()) {
+        prop_assume!(k1 != k2);
+        let key1 = PrivateKey::from_u256(k1).unwrap();
+        let key2 = PrivateKey::from_u256(k2).unwrap();
+        let digest = keccak256(b"shared message");
+        let sig = key1.sign(digest);
+        let recovered = recover_address(digest, &sig).unwrap();
+        prop_assert_eq!(recovered, key1.address());
+        prop_assert_ne!(recovered, key2.address());
+    }
+
+    #[test]
+    fn point_addition_commutes(a in arb_scalar(), b in arb_scalar()) {
+        let g = Point::generator();
+        let pa = g.mul_scalar(a);
+        let pb = g.mul_scalar(b);
+        prop_assert_eq!(pa.add(&pb).to_affine(), pb.add(&pa).to_affine());
+    }
+
+    #[test]
+    fn scalar_mul_is_homomorphic(a in arb_scalar(), b in arb_scalar()) {
+        let g = Point::generator();
+        let lhs = g.mul_scalar(a).add(&g.mul_scalar(b)).to_affine();
+        let rhs = g.mul_scalar(scalar::add(a, b)).to_affine();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn derived_points_are_on_curve(k in arb_scalar()) {
+        let aff = Point::generator().mul_scalar(k).to_affine().unwrap();
+        prop_assert!(aff.is_on_curve());
+    }
+}
+
+proptest! {
+    // Cheaper properties get more cases.
+    #[test]
+    fn keccak_streaming_matches_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in 0usize..512,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Keccak256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), keccak256(&data));
+    }
+
+    #[test]
+    fn sha256_streaming_matches_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in 0usize..512,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn signature_wire_roundtrip(v in 27u8..=28, r in any::<[u8;32]>(), s in any::<[u8;32]>()) {
+        let sig = Signature { v, r: H256(r), s: H256(s) };
+        prop_assert_eq!(Signature::from_bytes(&sig.to_bytes()).unwrap(), sig);
+    }
+
+    #[test]
+    fn scalar_field_inverse(k in arb_scalar()) {
+        let inv = scalar::inv(k);
+        prop_assert_eq!(scalar::mul(k, inv), U256::ONE);
+        prop_assert!(inv < n());
+    }
+}

@@ -1,0 +1,185 @@
+//! The gas schedule, calibrated to the Ethereum Yellow Paper
+//! (Byzantium-era constants — the fork the paper's evaluation ran under on
+//! Kovan). Table II of the paper is reproduced against these numbers.
+
+use sc_primitives::U256;
+
+/// Fixed gas costs (`G*` constants of Yellow Paper Appendix G).
+pub mod g {
+    /// `JUMPDEST`.
+    pub const JUMPDEST: u64 = 1;
+    /// The "base" tier (ADDRESS, CALLER, POP, …).
+    pub const BASE: u64 = 2;
+    /// The "verylow" tier (ADD, PUSH, MLOAD, …).
+    pub const VERYLOW: u64 = 3;
+    /// The "low" tier (MUL, DIV, …).
+    pub const LOW: u64 = 5;
+    /// The "mid" tier (ADDMOD, JUMP, …).
+    pub const MID: u64 = 8;
+    /// The "high" tier (JUMPI).
+    pub const HIGH: u64 = 10;
+    /// `EXP` static part.
+    pub const EXP: u64 = 10;
+    /// `EXP` per byte of exponent (EIP-160).
+    pub const EXPBYTE: u64 = 50;
+    /// `KECCAK256` static part.
+    pub const KECCAK256: u64 = 30;
+    /// `KECCAK256` per word hashed.
+    pub const KECCAK256WORD: u64 = 6;
+    /// `SLOAD` (EIP-150 repricing).
+    pub const SLOAD: u64 = 200;
+    /// `SSTORE` zero → nonzero.
+    pub const SSET: u64 = 20_000;
+    /// `SSTORE` any other change.
+    pub const SRESET: u64 = 5_000;
+    /// Refund for clearing a storage slot (nonzero → zero).
+    pub const SCLEAR_REFUND: u64 = 15_000;
+    /// `BALANCE` (EIP-150).
+    pub const BALANCE: u64 = 400;
+    /// `EXTCODESIZE` / `EXTCODECOPY` base (EIP-150).
+    pub const EXTCODE: u64 = 700;
+    /// `BLOCKHASH`.
+    pub const BLOCKHASH: u64 = 20;
+    /// Per-word cost of copy operations.
+    pub const COPYWORD: u64 = 3;
+    /// Memory expansion, linear coefficient per word.
+    pub const MEMORY: u64 = 3;
+    /// `LOGn` static part.
+    pub const LOG: u64 = 375;
+    /// Per topic.
+    pub const LOGTOPIC: u64 = 375;
+    /// Per byte of log data.
+    pub const LOGDATA: u64 = 8;
+    /// `CREATE` static part.
+    pub const CREATE: u64 = 32_000;
+    /// Code deposit, per byte of runtime code returned by the initcode.
+    pub const CODEDEPOSIT: u64 = 200;
+    /// `CALL`-family base (EIP-150).
+    pub const CALL: u64 = 700;
+    /// Extra for value-transferring calls.
+    pub const CALLVALUE: u64 = 9_000;
+    /// Stipend granted to the callee of a value-transferring call.
+    pub const CALLSTIPEND: u64 = 2_300;
+    /// Extra when a value transfer creates a brand-new account.
+    pub const NEWACCOUNT: u64 = 25_000;
+    /// Base cost of any transaction.
+    pub const TRANSACTION: u64 = 21_000;
+    /// Extra base cost of a contract-creation transaction.
+    pub const TXCREATE: u64 = 32_000;
+    /// Per zero byte of transaction data.
+    pub const TXDATAZERO: u64 = 4;
+    /// Per nonzero byte of transaction data.
+    pub const TXDATANONZERO: u64 = 68;
+    /// Maximum call/create depth.
+    pub const MAX_DEPTH: usize = 1024;
+    /// Maximum stack height.
+    pub const STACK_LIMIT: usize = 1024;
+    /// `ecrecover` precompile.
+    pub const ECRECOVER: u64 = 3_000;
+    /// `sha256` precompile base.
+    pub const SHA256_BASE: u64 = 60;
+    /// `sha256` precompile per word.
+    pub const SHA256_WORD: u64 = 12;
+    /// `identity` precompile base.
+    pub const IDENTITY_BASE: u64 = 15;
+    /// `identity` precompile per word.
+    pub const IDENTITY_WORD: u64 = 3;
+}
+
+/// Number of 32-byte words needed to hold `bytes` bytes.
+#[inline]
+pub fn words(bytes: u64) -> u64 {
+    bytes.div_ceil(32)
+}
+
+/// Total memory cost for a memory of `w` words:
+/// `Cmem(w) = 3·w + w²/512` (Yellow Paper eq. 326).
+#[inline]
+pub fn memory_cost(w: u64) -> u64 {
+    g::MEMORY
+        .saturating_mul(w)
+        .saturating_add(w.saturating_mul(w) / 512)
+}
+
+/// Incremental cost of expanding memory from `cur_words` to `new_words`.
+#[inline]
+pub fn memory_expansion_cost(cur_words: u64, new_words: u64) -> u64 {
+    if new_words <= cur_words {
+        0
+    } else {
+        memory_cost(new_words) - memory_cost(cur_words)
+    }
+}
+
+/// Intrinsic cost of a transaction: base + calldata + creation surcharge.
+pub fn tx_intrinsic_gas(data: &[u8], is_create: bool) -> u64 {
+    let mut gas = g::TRANSACTION;
+    if is_create {
+        gas += g::TXCREATE;
+    }
+    for &b in data {
+        gas += if b == 0 { g::TXDATAZERO } else { g::TXDATANONZERO };
+    }
+    gas
+}
+
+/// `EXP` dynamic cost: 10 + 50 per significant byte of the exponent.
+pub fn exp_cost(exponent: U256) -> u64 {
+    let bits = exponent.bits() as u64;
+    g::EXP + g::EXPBYTE * bits.div_ceil(8)
+}
+
+/// EIP-150 rule: a caller may pass at most 63/64 of remaining gas.
+#[inline]
+pub fn max_call_gas(remaining: u64) -> u64 {
+    remaining - remaining / 64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_rounding() {
+        assert_eq!(words(0), 0);
+        assert_eq!(words(1), 1);
+        assert_eq!(words(32), 1);
+        assert_eq!(words(33), 2);
+    }
+
+    #[test]
+    fn memory_cost_is_quadratic() {
+        assert_eq!(memory_cost(0), 0);
+        assert_eq!(memory_cost(1), 3);
+        // 724 words: 3*724 + 724²/512 = 2172 + 1023 = 3195
+        assert_eq!(memory_cost(724), 3195);
+        assert_eq!(memory_expansion_cost(10, 10), 0);
+        assert_eq!(memory_expansion_cost(10, 5), 0);
+        assert_eq!(
+            memory_expansion_cost(0, 724),
+            memory_cost(724)
+        );
+    }
+
+    #[test]
+    fn intrinsic_gas_counts_byte_classes() {
+        assert_eq!(tx_intrinsic_gas(&[], false), 21_000);
+        assert_eq!(tx_intrinsic_gas(&[], true), 53_000);
+        assert_eq!(tx_intrinsic_gas(&[0, 0, 1], false), 21_000 + 4 + 4 + 68);
+    }
+
+    #[test]
+    fn exp_cost_scales_with_exponent_width() {
+        assert_eq!(exp_cost(U256::ZERO), 10);
+        assert_eq!(exp_cost(U256::ONE), 60);
+        assert_eq!(exp_cost(U256::from_u64(256)), 10 + 100); // 2 bytes
+        assert_eq!(exp_cost(U256::MAX), 10 + 50 * 32);
+    }
+
+    #[test]
+    fn all_but_one_64th() {
+        assert_eq!(max_call_gas(64), 63);
+        assert_eq!(max_call_gas(6400), 6300);
+        assert_eq!(max_call_gas(0), 0);
+    }
+}

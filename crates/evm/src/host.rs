@@ -1,0 +1,345 @@
+//! The interface between the interpreter and the world state.
+//!
+//! `sc-chain` implements [`Host`] on its journaled state; unit tests use
+//! the in-crate [`MockHost`].
+
+use sc_primitives::{Address, H256, U256};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Block-level execution environment (`BLOCKHASH`, `TIMESTAMP`, …).
+#[derive(Clone, Debug)]
+pub struct BlockEnv {
+    /// Block height.
+    pub number: u64,
+    /// Unix timestamp — drives the paper's T0..T3 betting windows.
+    pub timestamp: u64,
+    /// Miner/beneficiary address.
+    pub coinbase: Address,
+    /// Difficulty (constant in the simulator).
+    pub difficulty: U256,
+    /// Block gas limit.
+    pub gas_limit: u64,
+}
+
+impl Default for BlockEnv {
+    fn default() -> Self {
+        BlockEnv {
+            number: 1,
+            timestamp: 0,
+            coinbase: Address::ZERO,
+            difficulty: U256::from_u64(1),
+            gas_limit: 8_000_000,
+        }
+    }
+}
+
+/// Transaction-level environment (`ORIGIN`, `GASPRICE`).
+#[derive(Clone, Debug)]
+pub struct TxEnv {
+    /// The externally-owned account that signed the transaction.
+    pub origin: Address,
+    /// Effective gas price in wei.
+    pub gas_price: U256,
+}
+
+impl Default for TxEnv {
+    fn default() -> Self {
+        TxEnv {
+            origin: Address::ZERO,
+            gas_price: U256::ZERO,
+        }
+    }
+}
+
+/// Combined execution environment.
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    /// Block context.
+    pub block: BlockEnv,
+    /// Transaction context.
+    pub tx: TxEnv,
+}
+
+/// An emitted `LOGn` entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogEntry {
+    /// The contract that emitted the log.
+    pub address: Address,
+    /// Indexed topics (0–4).
+    pub topics: Vec<H256>,
+    /// Unindexed payload.
+    pub data: Vec<u8>,
+}
+
+/// State access required by the interpreter.
+///
+/// Implementations must be *journaled*: [`Host::snapshot`] returns a token
+/// and [`Host::revert`] rolls every mutation made since that token back —
+/// the semantics the EVM's nested-call failure model depends on.
+pub trait Host {
+    /// Account balance in wei.
+    fn balance(&self, a: Address) -> U256;
+    /// Contract code (empty for EOAs and nonexistent accounts).
+    fn code(&self, a: Address) -> Arc<Vec<u8>>;
+    /// Storage slot value (zero default).
+    fn storage(&self, a: Address, key: U256) -> U256;
+    /// Writes a storage slot.
+    fn set_storage(&mut self, a: Address, key: U256, value: U256);
+    /// Account nonce.
+    fn nonce(&self, a: Address) -> u64;
+    /// Increments an account nonce.
+    fn bump_nonce(&mut self, a: Address);
+    /// True iff the account exists (has balance, code or nonce).
+    fn account_exists(&self, a: Address) -> bool;
+    /// Marks an address as a fresh contract account (nonce 1, no code yet).
+    /// Returns false on collision (address already has code or nonce).
+    fn create_contract(&mut self, a: Address) -> bool;
+    /// Installs runtime code for a freshly created contract.
+    fn set_code(&mut self, a: Address, code: Vec<u8>);
+    /// Moves `value` wei; false if `from` has insufficient balance.
+    fn transfer(&mut self, from: Address, to: Address, value: U256) -> bool;
+    /// Opens a revert checkpoint.
+    fn snapshot(&mut self) -> usize;
+    /// Rolls back to a checkpoint from [`Host::snapshot`].
+    fn revert(&mut self, snapshot: usize);
+    /// Records a log entry (rolled back with the journal on revert).
+    fn log(&mut self, entry: LogEntry);
+    /// Hash of a recent block (zero if unavailable).
+    fn block_hash(&self, number: u64) -> H256;
+    /// Accumulates an SSTORE-clear / selfdestruct refund.
+    fn add_refund(&mut self, amount: u64);
+}
+
+/// A simple journaled in-memory host for interpreter unit tests.
+#[derive(Default)]
+pub struct MockHost {
+    /// Account balances.
+    pub balances: HashMap<Address, U256>,
+    /// Account code.
+    pub codes: HashMap<Address, Arc<Vec<u8>>>,
+    /// Contract storage.
+    pub storages: HashMap<(Address, U256), U256>,
+    /// Account nonces.
+    pub nonces: HashMap<Address, u64>,
+    /// Emitted logs.
+    pub logs: Vec<LogEntry>,
+    /// Accumulated refund counter.
+    pub refund: u64,
+    journal: Vec<JournalOp>,
+}
+
+enum JournalOp {
+    Balance(Address, U256),
+    Storage(Address, U256, U256),
+    Nonce(Address, u64),
+    Code(Address, Option<Arc<Vec<u8>>>),
+    Log,
+    Refund(u64),
+}
+
+impl MockHost {
+    /// Creates an empty host.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds an account balance without journaling (test setup).
+    pub fn fund(&mut self, a: Address, value: U256) {
+        self.balances.insert(a, value);
+    }
+
+    /// Installs code without journaling (test setup).
+    pub fn install(&mut self, a: Address, code: Vec<u8>) {
+        self.codes.insert(a, Arc::new(code));
+        self.nonces.entry(a).or_insert(1);
+    }
+}
+
+impl Host for MockHost {
+    fn balance(&self, a: Address) -> U256 {
+        self.balances.get(&a).copied().unwrap_or(U256::ZERO)
+    }
+
+    fn code(&self, a: Address) -> Arc<Vec<u8>> {
+        self.codes.get(&a).cloned().unwrap_or_default()
+    }
+
+    fn storage(&self, a: Address, key: U256) -> U256 {
+        self.storages.get(&(a, key)).copied().unwrap_or(U256::ZERO)
+    }
+
+    fn set_storage(&mut self, a: Address, key: U256, value: U256) {
+        let prev = self.storage(a, key);
+        self.journal.push(JournalOp::Storage(a, key, prev));
+        self.storages.insert((a, key), value);
+    }
+
+    fn nonce(&self, a: Address) -> u64 {
+        self.nonces.get(&a).copied().unwrap_or(0)
+    }
+
+    fn bump_nonce(&mut self, a: Address) {
+        let prev = self.nonce(a);
+        self.journal.push(JournalOp::Nonce(a, prev));
+        self.nonces.insert(a, prev + 1);
+    }
+
+    fn account_exists(&self, a: Address) -> bool {
+        self.balances.get(&a).is_some_and(|b| !b.is_zero())
+            || self.nonce(a) > 0
+            || self.codes.contains_key(&a)
+    }
+
+    fn create_contract(&mut self, a: Address) -> bool {
+        if self.nonce(a) > 0 || self.codes.get(&a).is_some_and(|c| !c.is_empty()) {
+            return false;
+        }
+        let prev = self.nonce(a);
+        self.journal.push(JournalOp::Nonce(a, prev));
+        self.nonces.insert(a, 1);
+        true
+    }
+
+    fn set_code(&mut self, a: Address, code: Vec<u8>) {
+        self.journal.push(JournalOp::Code(a, self.codes.get(&a).cloned()));
+        self.codes.insert(a, Arc::new(code));
+    }
+
+    fn transfer(&mut self, from: Address, to: Address, value: U256) -> bool {
+        let from_bal = self.balance(from);
+        if from_bal < value {
+            return false;
+        }
+        let to_bal = self.balance(to);
+        self.journal.push(JournalOp::Balance(from, from_bal));
+        self.journal.push(JournalOp::Balance(to, to_bal));
+        self.balances.insert(from, from_bal.wrapping_sub(value));
+        // Careful: self-transfer must not double-apply.
+        if from == to {
+            self.balances.insert(to, from_bal);
+        } else {
+            self.balances.insert(to, to_bal.wrapping_add(value));
+        }
+        true
+    }
+
+    fn snapshot(&mut self) -> usize {
+        self.journal.len()
+    }
+
+    fn revert(&mut self, snapshot: usize) {
+        while self.journal.len() > snapshot {
+            match self.journal.pop().expect("journal entry") {
+                JournalOp::Balance(a, v) => {
+                    self.balances.insert(a, v);
+                }
+                JournalOp::Storage(a, k, v) => {
+                    self.storages.insert((a, k), v);
+                }
+                JournalOp::Nonce(a, v) => {
+                    self.nonces.insert(a, v);
+                }
+                JournalOp::Code(a, Some(c)) => {
+                    self.codes.insert(a, c);
+                }
+                JournalOp::Code(a, None) => {
+                    self.codes.remove(&a);
+                }
+                JournalOp::Log => {
+                    self.logs.pop();
+                }
+                JournalOp::Refund(prev) => {
+                    self.refund = prev;
+                }
+            }
+        }
+    }
+
+    fn log(&mut self, entry: LogEntry) {
+        self.journal.push(JournalOp::Log);
+        self.logs.push(entry);
+    }
+
+    fn block_hash(&self, number: u64) -> H256 {
+        // Deterministic pseudo-hash good enough for tests.
+        sc_crypto::keccak256(&number.to_be_bytes())
+    }
+
+    fn add_refund(&mut self, amount: u64) {
+        self.journal.push(JournalOp::Refund(self.refund));
+        self.refund += amount;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(b: u8) -> Address {
+        Address([b; 20])
+    }
+
+    #[test]
+    fn journal_reverts_everything() {
+        let mut h = MockHost::new();
+        h.fund(addr(1), U256::from_u64(100));
+        let snap = h.snapshot();
+        h.transfer(addr(1), addr(2), U256::from_u64(40));
+        h.set_storage(addr(2), U256::ONE, U256::from_u64(7));
+        h.bump_nonce(addr(1));
+        h.log(LogEntry {
+            address: addr(2),
+            topics: vec![],
+            data: vec![1],
+        });
+        h.add_refund(15_000);
+        assert_eq!(h.balance(addr(2)), U256::from_u64(40));
+        h.revert(snap);
+        assert_eq!(h.balance(addr(1)), U256::from_u64(100));
+        assert_eq!(h.balance(addr(2)), U256::ZERO);
+        assert_eq!(h.storage(addr(2), U256::ONE), U256::ZERO);
+        assert_eq!(h.nonce(addr(1)), 0);
+        assert!(h.logs.is_empty());
+        assert_eq!(h.refund, 0);
+    }
+
+    #[test]
+    fn nested_snapshots_revert_partially() {
+        let mut h = MockHost::new();
+        h.fund(addr(1), U256::from_u64(100));
+        let outer = h.snapshot();
+        h.transfer(addr(1), addr(2), U256::from_u64(10));
+        let inner = h.snapshot();
+        h.transfer(addr(1), addr(2), U256::from_u64(20));
+        h.revert(inner);
+        assert_eq!(h.balance(addr(2)), U256::from_u64(10));
+        h.revert(outer);
+        assert_eq!(h.balance(addr(2)), U256::ZERO);
+    }
+
+    #[test]
+    fn transfer_requires_funds() {
+        let mut h = MockHost::new();
+        h.fund(addr(1), U256::from_u64(5));
+        assert!(!h.transfer(addr(1), addr(2), U256::from_u64(10)));
+        assert_eq!(h.balance(addr(1)), U256::from_u64(5));
+    }
+
+    #[test]
+    fn self_transfer_preserves_balance() {
+        let mut h = MockHost::new();
+        h.fund(addr(1), U256::from_u64(50));
+        assert!(h.transfer(addr(1), addr(1), U256::from_u64(30)));
+        assert_eq!(h.balance(addr(1)), U256::from_u64(50));
+    }
+
+    #[test]
+    fn create_contract_detects_collision() {
+        let mut h = MockHost::new();
+        assert!(h.create_contract(addr(3)));
+        assert_eq!(h.nonce(addr(3)), 1);
+        h.set_code(addr(3), vec![0x00]);
+        assert!(!h.create_contract(addr(3)));
+    }
+}

@@ -1,0 +1,180 @@
+//! Precompiled contracts at addresses 0x01–0x04.
+//!
+//! Only the three the stack needs are provided: `ecrecover` (0x01) — the
+//! linchpin of the paper's signed-copy verification — plus `sha256` (0x02)
+//! and `identity` (0x04).
+
+use crate::gas::{self, g};
+use sc_crypto::ecdsa::{recover_address, Signature};
+use sc_crypto::sha256;
+use sc_primitives::{Address, H256, U256};
+
+/// Result of running a precompile.
+pub struct PrecompileResult {
+    /// Gas consumed.
+    pub gas_cost: u64,
+    /// Output bytes (empty on soft failure, per mainnet semantics).
+    pub output: Vec<u8>,
+}
+
+/// Returns `Some` if `address` designates a precompile.
+pub fn is_precompile(address: Address) -> bool {
+    let word = address.to_u256();
+    word >= U256::ONE && word <= U256::from_u64(4) && word != U256::from_u64(3)
+}
+
+/// Runs a precompile. Returns `None` when `gas_limit` is insufficient
+/// (out-of-gas in the precompile frame).
+pub fn run(address: Address, input: &[u8], gas_limit: u64) -> Option<PrecompileResult> {
+    let id = address.to_u256().to_u64().unwrap_or(0);
+    match id {
+        1 => ecrecover(input, gas_limit),
+        2 => sha256_precompile(input, gas_limit),
+        4 => identity(input, gas_limit),
+        _ => None,
+    }
+}
+
+/// 0x01: `ecrecover(hash, v, r, s) -> address` (32-byte left-padded).
+///
+/// Mirrors mainnet behaviour: invalid signatures return *empty output*
+/// with success, not an error.
+fn ecrecover(input: &[u8], gas_limit: u64) -> Option<PrecompileResult> {
+    if gas_limit < g::ECRECOVER {
+        return None;
+    }
+    let mut padded = [0u8; 128];
+    let take = input.len().min(128);
+    padded[..take].copy_from_slice(&input[..take]);
+
+    let hash = H256(padded[0..32].try_into().expect("fixed slice"));
+    let v_word = U256::from_be_slice(&padded[32..64]);
+    let r = H256(padded[64..96].try_into().expect("fixed slice"));
+    let s = H256(padded[96..128].try_into().expect("fixed slice"));
+
+    let output = match v_word.to_u64() {
+        Some(v @ 27..=28) => {
+            let sig = Signature {
+                v: v as u8,
+                r,
+                s,
+            };
+            match recover_address(hash, &sig) {
+                Ok(addr) => {
+                    let mut out = vec![0u8; 32];
+                    out[12..].copy_from_slice(addr.as_bytes());
+                    out
+                }
+                Err(_) => Vec::new(),
+            }
+        }
+        _ => Vec::new(),
+    };
+    Some(PrecompileResult {
+        gas_cost: g::ECRECOVER,
+        output,
+    })
+}
+
+/// 0x02: SHA-256 of the input.
+fn sha256_precompile(input: &[u8], gas_limit: u64) -> Option<PrecompileResult> {
+    let cost = g::SHA256_BASE + g::SHA256_WORD * gas::words(input.len() as u64);
+    if gas_limit < cost {
+        return None;
+    }
+    Some(PrecompileResult {
+        gas_cost: cost,
+        output: sha256::sha256(input).to_vec(),
+    })
+}
+
+/// 0x04: identity (memcpy).
+fn identity(input: &[u8], gas_limit: u64) -> Option<PrecompileResult> {
+    let cost = g::IDENTITY_BASE + g::IDENTITY_WORD * gas::words(input.len() as u64);
+    if gas_limit < cost {
+        return None;
+    }
+    Some(PrecompileResult {
+        gas_cost: cost,
+        output: input.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_crypto::ecdsa::PrivateKey;
+    use sc_crypto::keccak256;
+
+    fn precompile_addr(n: u64) -> Address {
+        Address::from_u256(U256::from_u64(n))
+    }
+
+    #[test]
+    fn address_classification() {
+        assert!(is_precompile(precompile_addr(1)));
+        assert!(is_precompile(precompile_addr(2)));
+        assert!(!is_precompile(precompile_addr(3)), "ripemd not implemented");
+        assert!(is_precompile(precompile_addr(4)));
+        assert!(!is_precompile(precompile_addr(5)));
+        assert!(!is_precompile(Address::ZERO));
+        assert!(!is_precompile(Address([0xff; 20])));
+    }
+
+    #[test]
+    fn ecrecover_roundtrip() {
+        let key = PrivateKey::from_seed("alice");
+        let digest = keccak256(b"the bytecode");
+        let sig = key.sign(digest);
+
+        let mut input = Vec::new();
+        input.extend_from_slice(digest.as_bytes());
+        let mut v = [0u8; 32];
+        v[31] = sig.v;
+        input.extend_from_slice(&v);
+        input.extend_from_slice(sig.r.as_bytes());
+        input.extend_from_slice(sig.s.as_bytes());
+
+        let res = run(precompile_addr(1), &input, 100_000).unwrap();
+        assert_eq!(res.gas_cost, 3_000);
+        assert_eq!(&res.output[12..], key.address().as_bytes());
+        assert_eq!(&res.output[..12], &[0u8; 12]);
+    }
+
+    #[test]
+    fn ecrecover_bad_v_returns_empty() {
+        let mut input = vec![0u8; 128];
+        input[63] = 99; // v = 99
+        let res = run(precompile_addr(1), &input, 100_000).unwrap();
+        assert!(res.output.is_empty());
+        assert_eq!(res.gas_cost, 3_000, "gas still charged");
+    }
+
+    #[test]
+    fn ecrecover_short_input_is_padded() {
+        let res = run(precompile_addr(1), &[], 100_000).unwrap();
+        assert!(res.output.is_empty());
+    }
+
+    #[test]
+    fn ecrecover_out_of_gas() {
+        assert!(run(precompile_addr(1), &[], 2_999).is_none());
+    }
+
+    #[test]
+    fn sha256_cost_and_output() {
+        let res = run(precompile_addr(2), b"abc", 100_000).unwrap();
+        assert_eq!(res.gas_cost, 60 + 12);
+        assert_eq!(
+            sc_primitives::hex::encode(&res.output),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn identity_copies() {
+        let res = run(precompile_addr(4), b"hello world!", 100_000).unwrap();
+        assert_eq!(res.output, b"hello world!");
+        assert_eq!(res.gas_cost, 15 + 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the EVM: no panic on arbitrary bytecode, gas
+//! determinism, and assembler/disassembler agreement.
+
+use proptest::prelude::*;
+use sc_evm::host::{Env, Host, MockHost};
+use sc_evm::{disassemble, CallParams, Evm};
+use sc_primitives::{ether, Address, U256};
+
+fn run_raw(code: Vec<u8>, data: Vec<u8>, gas: u64) -> sc_evm::CallOutcome {
+    let mut host = MockHost::new();
+    host.install(Address([0xcc; 20]), code);
+    host.fund(Address([0x01; 20]), ether(10));
+    Evm::new(&mut host, Env::default()).call(CallParams::transact(
+        Address([0x01; 20]),
+        Address([0xcc; 20]),
+        U256::ZERO,
+        data,
+        gas,
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Fuzz smoke: completely random bytecode must never panic the
+    /// interpreter — it either runs, reverts, or fails with a VmError,
+    /// and never spends more gas than provided.
+    #[test]
+    fn arbitrary_bytecode_never_panics(
+        code in proptest::collection::vec(any::<u8>(), 0..512),
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let out = run_raw(code, data, 200_000);
+        prop_assert!(out.gas_left <= 200_000);
+    }
+
+    /// The same program and input always produce the same result, output
+    /// and gas (interpreter determinism).
+    #[test]
+    fn execution_is_deterministic(
+        code in proptest::collection::vec(any::<u8>(), 0..256),
+        data in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let a = run_raw(code.clone(), data.clone(), 100_000);
+        let b = run_raw(code, data, 100_000);
+        prop_assert_eq!(a.success, b.success);
+        prop_assert_eq!(a.gas_left, b.gas_left);
+        prop_assert_eq!(a.output, b.output);
+    }
+
+    /// Giving MORE gas never changes a successful run's result or its
+    /// gas consumption.
+    #[test]
+    fn extra_gas_is_neutral_for_successful_runs(
+        code in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let small = run_raw(code.clone(), vec![], 60_000);
+        // Random bytecode usually fails; the property only constrains the
+        // successful runs (conditioning via assume would starve the test).
+        if small.success {
+            let big = run_raw(code, vec![], 6_000_000);
+            prop_assert!(big.success);
+            prop_assert_eq!(big.output, small.output);
+            prop_assert_eq!(6_000_000 - big.gas_left, 60_000 - small.gas_left);
+        }
+    }
+
+    /// Disassembling random bytes covers every byte exactly once and in
+    /// order.
+    #[test]
+    fn disassembly_covers_all_bytes(code in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let instrs = disassemble(&code);
+        let mut expected = 0usize;
+        for ins in &instrs {
+            prop_assert_eq!(ins.offset, expected);
+            expected += 1 + ins.immediate.len();
+        }
+        prop_assert_eq!(expected, code.len());
+    }
+
+    /// A failed (non-revert) frame must leave no state behind: storage
+    /// writes before an INVALID opcode roll back.
+    #[test]
+    fn failed_frames_leave_no_state(slot in any::<u64>(), value in 1u64..) {
+        // SSTORE(slot, value); INVALID
+        let mut code = Vec::new();
+        code.push(0x7f); // PUSH32 value
+        code.extend_from_slice(&U256::from_u64(value).to_be_bytes());
+        code.push(0x7f); // PUSH32 slot
+        code.extend_from_slice(&U256::from_u64(slot).to_be_bytes());
+        code.extend_from_slice(&[0x55, 0xfe]); // SSTORE, INVALID
+
+        let mut host = MockHost::new();
+        host.install(Address([0xcc; 20]), code);
+        host.fund(Address([0x01; 20]), ether(10));
+        let out = Evm::new(&mut host, Env::default()).call(CallParams::transact(
+            Address([0x01; 20]),
+            Address([0xcc; 20]),
+            U256::ZERO,
+            vec![],
+            100_000,
+        ));
+        prop_assert!(!out.success);
+        prop_assert_eq!(
+            host.storage(Address([0xcc; 20]), U256::from_u64(slot)),
+            U256::ZERO
+        );
+    }
+}

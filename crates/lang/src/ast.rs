@@ -1,0 +1,323 @@
+//! Abstract syntax tree for MiniSol.
+
+use sc_primitives::U256;
+
+/// A MiniSol type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// `uint256` (also what numeric literals infer to).
+    Uint256,
+    /// `uint8` — a full word at runtime, masked on ABI decode; kept
+    /// distinct so function signatures match the paper's.
+    Uint8,
+    /// `bool`.
+    Bool,
+    /// `address`.
+    Address,
+    /// `bytes32`.
+    Bytes32,
+    /// Dynamic `bytes` (memory pointer at runtime).
+    Bytes,
+    /// `mapping(K => V)` — storage only.
+    Mapping(Box<Type>, Box<Type>),
+    /// Fixed-size array `T[n]` — storage only.
+    FixedArray(Box<Type>, u64),
+    /// An interface handle (an address with a known ABI).
+    Interface(String),
+}
+
+impl Type {
+    /// Canonical ABI name used in function signatures.
+    pub fn abi_name(&self) -> String {
+        match self {
+            Type::Uint256 => "uint256".into(),
+            Type::Uint8 => "uint8".into(),
+            Type::Bool => "bool".into(),
+            Type::Address | Type::Interface(_) => "address".into(),
+            Type::Bytes32 => "bytes32".into(),
+            Type::Bytes => "bytes".into(),
+            Type::Mapping(_, _) | Type::FixedArray(_, _) => {
+                unreachable!("storage-only types never appear in signatures")
+            }
+        }
+    }
+
+    /// True for types representable as one stack word.
+    pub fn is_value_type(&self) -> bool {
+        !matches!(
+            self,
+            Type::Bytes | Type::Mapping(_, _) | Type::FixedArray(_, _)
+        )
+    }
+
+    /// Number of storage slots a state variable of this type occupies.
+    pub fn storage_slots(&self) -> u64 {
+        match self {
+            Type::FixedArray(inner, n) => inner.storage_slots() * n,
+            _ => 1,
+        }
+    }
+}
+
+/// Function/modifier parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Declared type.
+    pub ty: Type,
+    /// Name.
+    pub name: String,
+}
+
+/// Visibility of a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// Callable externally and internally.
+    Public,
+    /// Callable externally only.
+    External,
+    /// Callable internally only (inlined at call sites).
+    Private,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (wrapping, 0.4 semantics).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/` (0 on division by zero, EVM semantics).
+    Div,
+    /// `%`.
+    Mod,
+    /// `<`.
+    Lt,
+    /// `>`.
+    Gt,
+    /// `<=`.
+    Le,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `&&` (short-circuit).
+    And,
+    /// `||` (short-circuit).
+    Or,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Number literal.
+    Number(U256),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A reference to a state var, local, or parameter.
+    Ident(String),
+    /// `msg.sender`.
+    MsgSender,
+    /// `msg.value`.
+    MsgValue,
+    /// `block.timestamp` (and `now`).
+    BlockTimestamp,
+    /// `block.number`.
+    BlockNumber,
+    /// `address(this)`.
+    This,
+    /// `<expr>.balance` on an address.
+    Balance(Box<Expr>),
+    /// Indexing: mapping or fixed array.
+    Index(Box<Expr>, Box<Expr>),
+    /// Unary `!`.
+    Not(Box<Expr>),
+    /// Unary `-` (two's-complement negate).
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `keccak256(expr)` over a `bytes` value.
+    Keccak(Box<Expr>),
+    /// `ecrecover(h, v, r, s)`.
+    EcRecover(Box<Expr>, Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `create(bytes)` — deploy raw bytecode, returns the address
+    /// (MiniSol's stand-in for the paper's inline assembly `create`).
+    Create(Box<Expr>),
+    /// Internal call to a contract function (inlined).
+    InternalCall(String, Vec<Expr>),
+    /// External call: `Iface(addr).method(args)`.
+    ExternalCall {
+        /// Interface name.
+        iface: String,
+        /// The address expression.
+        addr: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Type cast, e.g. `address(x)` or `uint256(x)`.
+    Cast(Type, Box<Expr>),
+    /// `<array-state-var>.length` (fixed arrays: a constant).
+    ArrayLength(Box<Expr>),
+}
+
+/// Assignable places.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LValue {
+    /// A named state variable or local.
+    Ident(String),
+    /// Indexed mapping/array element.
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `type name = expr;` (initializer required).
+    VarDecl(Param, Expr),
+    /// `lvalue = expr;`
+    Assign(LValue, Expr),
+    /// `require(cond);` or `require(cond, "msg");` — message discarded.
+    Require(Expr),
+    /// `revert();`
+    Revert,
+    /// `if (c) {..} else {..}`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) {..}`. `for` loops are desugared by the parser into a
+    /// declaration followed by a `while`, so they never reach codegen.
+    While(Expr, Vec<Stmt>),
+    /// `return;` or `return expr;`.
+    Return(Option<Expr>),
+    /// Bare expression (external call, transfer, …).
+    ExprStmt(Expr),
+    /// `emit EventName(args…);`
+    Emit(String, Vec<Expr>),
+    /// `<addr-expr>.transfer(amount);`
+    Transfer(Expr, Expr),
+    /// The `_;` placeholder inside a modifier body.
+    Placeholder,
+}
+
+/// A modifier definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Modifier {
+    /// Name.
+    pub name: String,
+    /// Body (contains exactly one [`Stmt::Placeholder`]).
+    pub body: Vec<Stmt>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Visibility.
+    pub visibility: Visibility,
+    /// Accepts value transfers.
+    pub payable: bool,
+    /// Applied modifiers, outermost first.
+    pub modifiers: Vec<String>,
+    /// Single optional return type.
+    pub returns: Option<Type>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Canonical signature, e.g. `deposit()` or
+    /// `deployVerifiedInstance(bytes,uint8,bytes32,bytes32,uint8,bytes32,bytes32)`.
+    pub fn signature(&self) -> String {
+        let args: Vec<String> = self.params.iter().map(|p| p.ty.abi_name()).collect();
+        format!("{}({})", self.name, args.join(","))
+    }
+}
+
+/// A state variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateVar {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// First storage slot (assigned by sema).
+    pub slot: u64,
+}
+
+/// An event declaration. All parameters are unindexed (they travel in
+/// the log's data payload); the event signature hash is topic 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Name.
+    pub name: String,
+    /// Parameters (value types only).
+    pub params: Vec<Param>,
+}
+
+impl Event {
+    /// Canonical signature, e.g. `Deposit(address,uint256)`.
+    pub fn signature(&self) -> String {
+        let args: Vec<String> = self.params.iter().map(|p| p.ty.abi_name()).collect();
+        format!("{}({})", self.name, args.join(","))
+    }
+}
+
+/// A contract definition.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Contract {
+    /// Name.
+    pub name: String,
+    /// State variables in declaration order.
+    pub state: Vec<StateVar>,
+    /// Constructor (params, payable, body).
+    pub constructor: Option<(Vec<Param>, bool, Vec<Stmt>)>,
+    /// Modifiers.
+    pub modifiers: Vec<Modifier>,
+    /// Functions.
+    pub functions: Vec<Function>,
+    /// Event declarations.
+    pub events: Vec<Event>,
+}
+
+/// A method in an interface declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IfaceMethod {
+    /// Name.
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Optional single return type.
+    pub returns: Option<Type>,
+}
+
+impl IfaceMethod {
+    /// Canonical signature.
+    pub fn signature(&self) -> String {
+        let args: Vec<String> = self.params.iter().map(Type::abi_name).collect();
+        format!("{}({})", self.name, args.join(","))
+    }
+}
+
+/// An interface declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interface {
+    /// Name.
+    pub name: String,
+    /// Methods.
+    pub methods: Vec<IfaceMethod>,
+}
+
+/// A parsed source file: interfaces + contracts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Interface declarations.
+    pub interfaces: Vec<Interface>,
+    /// Contract definitions.
+    pub contracts: Vec<Contract>,
+}

@@ -1,0 +1,954 @@
+//! EVM code generation for MiniSol.
+//!
+//! Conventions (Solidity-compatible where it matters):
+//!
+//! * Memory: `0x00..0x40` scratch (mapping-slot hashing), `0x40` free
+//!   memory pointer, locals at fixed offsets from `0x80`, dynamic data
+//!   (decoded `bytes`, call-encoding buffers) allocated via the FMP.
+//! * Every expression leaves exactly one word on the stack; statements
+//!   are stack-neutral.
+//! * Internal calls are inlined (sema rejects recursion); modifiers are
+//!   expanded around bodies by substituting the `_;` placeholder.
+//! * Dispatch: selector from `calldataload(0) >> 224`, one `EQ`+`JUMPI`
+//!   per public function, fallback reverts.
+//! * Constructor arguments are ABI-appended to the initcode and read via
+//!   `CODECOPY(codesize - 32n)`, as solc does.
+
+use crate::ast::*;
+use crate::sema::{AnalyzedContract, SemaError};
+use sc_crypto::keccak::selector;
+use sc_evm::{Asm, Op};
+use sc_primitives::U256;
+use std::collections::HashMap;
+
+/// Code generation errors (post-sema internal inconsistencies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodegenError(pub String);
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codegen error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+impl From<SemaError> for CodegenError {
+    fn from(e: SemaError) -> Self {
+        CodegenError(e.0)
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CodegenError> {
+    Err(CodegenError(msg.into()))
+}
+
+const ADDR_MASK_HEX: &str = "ffffffffffffffffffffffffffffffffffffffff";
+
+/// Result of compiling a contract: runtime code plus the constructor
+/// prefix needed to build initcode.
+#[derive(Debug, Clone)]
+pub struct CompiledContract {
+    /// Contract name.
+    pub name: String,
+    /// Deployed (runtime) bytecode.
+    pub runtime: Vec<u8>,
+    /// Initcode without constructor arguments (append ABI-encoded args).
+    pub init_prefix: Vec<u8>,
+    /// Constructor parameter types, for arg validation.
+    pub constructor_params: Vec<Type>,
+    /// The analysis this was generated from.
+    pub analyzed: AnalyzedContract,
+}
+
+impl CompiledContract {
+    /// Builds deployable initcode for the given constructor arguments.
+    pub fn initcode(
+        &self,
+        args: &[sc_primitives::abi::Value],
+    ) -> Result<Vec<u8>, CodegenError> {
+        if args.len() != self.constructor_params.len() {
+            return err(format!(
+                "constructor expects {} args, got {}",
+                self.constructor_params.len(),
+                args.len()
+            ));
+        }
+        for (ty, v) in self.constructor_params.iter().zip(args) {
+            use sc_primitives::abi::Value as V;
+            let ok = matches!(
+                (ty, v),
+                (Type::Uint256 | Type::Uint8, V::Uint(_))
+                    | (Type::Bool, V::Bool(_))
+                    | (Type::Address, V::Address(_))
+                    | (Type::Bytes32, V::Bytes32(_))
+            );
+            if !ok {
+                return err(format!("constructor arg type mismatch for {ty:?}"));
+            }
+        }
+        let mut code = self.init_prefix.clone();
+        code.extend_from_slice(&sc_primitives::abi::encode(args));
+        Ok(code)
+    }
+
+    /// ABI-encodes a call to a public function by name.
+    pub fn calldata(
+        &self,
+        function: &str,
+        args: &[sc_primitives::abi::Value],
+    ) -> Result<Vec<u8>, CodegenError> {
+        let sel = self
+            .analyzed
+            .selector_of(function)
+            .ok_or_else(|| CodegenError(format!("no public function `{function}`")))?;
+        Ok(sc_primitives::abi::encode_call(sel, args))
+    }
+}
+
+/// Compiles an analyzed contract to runtime bytecode + init prefix.
+pub fn compile_contract(analyzed: &AnalyzedContract) -> Result<CompiledContract, CodegenError> {
+    let gen = Gen {
+        contract: &analyzed.contract,
+        interfaces: &analyzed.interfaces,
+    };
+    let runtime = gen.runtime(analyzed)?;
+    let (init_prefix, ctor_params) = gen.init_prefix(&runtime)?;
+    Ok(CompiledContract {
+        name: analyzed.contract.name.clone(),
+        runtime,
+        init_prefix,
+        constructor_params: ctor_params,
+        analyzed: analyzed.clone(),
+    })
+}
+
+/// Expands a function's modifiers around its body (`_;` substitution).
+fn expand_modifiers(f: &Function, contract: &Contract) -> Vec<Stmt> {
+    let mut body = f.body.clone();
+    for mname in f.modifiers.iter().rev() {
+        let m = contract
+            .modifiers
+            .iter()
+            .find(|m| &m.name == mname)
+            .expect("sema validated modifiers");
+        body = substitute_placeholder(&m.body, &body);
+    }
+    body
+}
+
+fn substitute_placeholder(template: &[Stmt], inner: &[Stmt]) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in template {
+        match s {
+            Stmt::Placeholder => out.extend_from_slice(inner),
+            Stmt::If(c, a, b) => out.push(Stmt::If(
+                c.clone(),
+                substitute_placeholder(a, inner),
+                substitute_placeholder(b, inner),
+            )),
+            Stmt::While(c, b) => {
+                out.push(Stmt::While(c.clone(), substitute_placeholder(b, inner)))
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// Per-compilation-unit state: local slots, scopes, return plumbing.
+struct FnCtx {
+    /// Lexically scoped name → (memory offset, type).
+    scopes: Vec<HashMap<String, (u64, Type)>>,
+    next_local: u64,
+    /// Memory slot holding the pending return value (wrapper epilogue or
+    /// inline-exit), when the unit returns a value.
+    ret_slot: Option<u64>,
+    /// Label to jump to on `return`.
+    end_label: String,
+}
+
+impl FnCtx {
+    fn new(end_label: String) -> FnCtx {
+        FnCtx {
+            scopes: vec![HashMap::new()],
+            next_local: 0,
+            ret_slot: None,
+            end_label,
+        }
+    }
+
+    fn alloc_local(&mut self, name: &str, ty: Type) -> u64 {
+        let off = 0x80 + 32 * self.next_local;
+        self.next_local += 1;
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), (off, ty));
+        off
+    }
+
+    fn alloc_anon(&mut self) -> u64 {
+        let off = 0x80 + 32 * self.next_local;
+        self.next_local += 1;
+        off
+    }
+
+    fn lookup(&self, name: &str) -> Option<(u64, Type)> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    fn fmp_init(&self) -> u64 {
+        0x80 + 32 * self.next_local
+    }
+}
+
+struct Gen<'a> {
+    contract: &'a Contract,
+    interfaces: &'a HashMap<String, Interface>,
+}
+
+impl Gen<'_> {
+    fn state_var(&self, name: &str) -> Option<&StateVar> {
+        self.contract.state.iter().find(|sv| sv.name == name)
+    }
+
+    // ---- top level ----
+
+    fn runtime(&self, analyzed: &AnalyzedContract) -> Result<Vec<u8>, CodegenError> {
+        let mut a = Asm::new();
+        // Dispatcher.
+        // calldatasize < 4 -> fallback revert
+        a.push_u64(4).op(Op::CallDataSize).op(Op::Lt);
+        // LT pops size(top? -- push order: 4 then CALLDATASIZE -> top is
+        // size; computes size < 4)
+        a.jumpi("revert");
+        a.push_u64(0)
+            .op(Op::CallDataLoad)
+            .push_u64(0xe0)
+            .op(Op::Shr);
+        for (idx, sel, _sig) in &analyzed.selectors {
+            let f = &self.contract.functions[*idx];
+            a.op(Op::Dup1);
+            a.push(U256::from_u64(u32::from_be_bytes(*sel) as u64));
+            a.op(Op::Eq);
+            a.jumpi(&format!("fn_{}", f.name));
+        }
+        a.jump("revert");
+
+        // Function wrappers.
+        for (idx, _sel, _sig) in &analyzed.selectors {
+            let f = &self.contract.functions[*idx];
+            let wrapper = self.function_wrapper(f)?;
+            a.append(wrapper);
+        }
+
+        // Shared revert.
+        a.label("revert");
+        a.push_u64(0).push_u64(0).op(Op::Revert);
+
+        a.assemble()
+            .map_err(|e| CodegenError(format!("assembly failed: {e}")))
+    }
+
+    fn function_wrapper(&self, f: &Function) -> Result<Asm, CodegenError> {
+        let end_label = format!("fn_{}_end", f.name);
+        let mut ctx = FnCtx::new(end_label.clone());
+        let mut body_asm = Asm::new();
+
+        // Argument decoding (args become ordinary locals).
+        for (i, p) in f.params.iter().enumerate() {
+            let head = 4 + 32 * i as u64;
+            match p.ty {
+                Type::Bytes => {
+                    let off = ctx.alloc_local(&p.name, p.ty.clone());
+                    self.gen_decode_bytes_arg(&mut body_asm, head, off);
+                }
+                _ => {
+                    body_asm.push_u64(head).op(Op::CallDataLoad);
+                    self.gen_mask(&mut body_asm, &p.ty);
+                    let off = ctx.alloc_local(&p.name, p.ty.clone());
+                    body_asm.push_u64(off).op(Op::MStore);
+                }
+            }
+        }
+
+        if f.returns.is_some() {
+            ctx.ret_slot = Some(ctx.alloc_anon());
+        }
+        let ret_slot = ctx.ret_slot;
+
+        // Expanded body (modifiers substituted).
+        let body = expand_modifiers(f, self.contract);
+        ctx.scopes.push(HashMap::new());
+        self.gen_stmts(&mut body_asm, &mut ctx, &body)?;
+        ctx.scopes.pop();
+
+        // Stitch: entry label, selector POP, payability, FMP init, body,
+        // epilogue.
+        let mut a = Asm::new();
+        a.label(&format!("fn_{}", f.name));
+        a.op(Op::Pop); // the dup'd selector
+        if !f.payable {
+            a.op(Op::CallValue);
+            a.jumpi("revert");
+        }
+        a.push_u64(ctx.fmp_init()).push_u64(0x40).op(Op::MStore);
+        a.append(body_asm);
+        a.label(&end_label);
+        match (f.returns.as_ref(), ret_slot) {
+            (Some(_), Some(slot)) => {
+                a.push_u64(slot).op(Op::MLoad);
+                a.push_u64(0).op(Op::MStore);
+                a.push_u64(32).push_u64(0).op(Op::Return);
+            }
+            _ => {
+                a.op(Op::Stop);
+            }
+        }
+        Ok(a)
+    }
+
+    fn init_prefix(&self, runtime: &[u8]) -> Result<(Vec<u8>, Vec<Type>), CodegenError> {
+        let (params, payable, body) = match &self.contract.constructor {
+            Some((p, pay, b)) => (p.clone(), *pay, b.clone()),
+            None => (Vec::new(), false, Vec::new()),
+        };
+        for p in &params {
+            if !p.ty.is_value_type() {
+                return err("constructor parameters must be value types");
+            }
+        }
+
+        let mut ctx = FnCtx::new("ctor_end".to_string());
+        let mut body_asm = Asm::new();
+
+        // Copy ABI-appended args from the end of the code into the first
+        // param locals (which are contiguous from 0x80).
+        let nargs = params.len() as u64;
+        for p in &params {
+            ctx.alloc_local(&p.name, p.ty.clone());
+        }
+        if nargs > 0 {
+            // CODECOPY(0x80, codesize - 32n, 32n)
+            body_asm.push_u64(32 * nargs); // len
+            body_asm.push_u64(32 * nargs).op(Op::CodeSize).op(Op::Sub); // src = cs - 32n
+            body_asm.push_u64(0x80); // dest
+            body_asm.op(Op::CodeCopy);
+        }
+
+        ctx.scopes.push(HashMap::new());
+        self.gen_stmts(&mut body_asm, &mut ctx, &body)?;
+        ctx.scopes.pop();
+
+        let mut a = Asm::new();
+        if !payable {
+            a.op(Op::CallValue);
+            a.jumpi("revert");
+        }
+        a.push_u64(ctx.fmp_init()).push_u64(0x40).op(Op::MStore);
+        a.append(body_asm);
+        a.label("ctor_end");
+        // Deploy: CODECOPY(0, runtime_start, len); RETURN(0, len)
+        a.push_u64(runtime.len() as u64);
+        a.push_label("runtime_start");
+        a.push_u64(0);
+        a.op(Op::CodeCopy);
+        a.push_u64(runtime.len() as u64).push_u64(0).op(Op::Return);
+        a.label("revert");
+        a.push_u64(0).push_u64(0).op(Op::Revert);
+        a.label("runtime_start");
+        let mut code = a
+            .assemble()
+            .map_err(|e| CodegenError(format!("assembly failed: {e}")))?;
+        code.pop(); // drop the marker JUMPDEST; runtime starts here
+        code.extend_from_slice(runtime);
+        Ok((code, params.into_iter().map(|p| p.ty).collect()))
+    }
+
+    // ---- statements ----
+
+    fn gen_stmts(
+        &self,
+        a: &mut Asm,
+        ctx: &mut FnCtx,
+        stmts: &[Stmt],
+    ) -> Result<(), CodegenError> {
+        for s in stmts {
+            self.gen_stmt(a, ctx, s)?;
+        }
+        Ok(())
+    }
+
+    fn gen_stmt(&self, a: &mut Asm, ctx: &mut FnCtx, s: &Stmt) -> Result<(), CodegenError> {
+        match s {
+            Stmt::VarDecl(p, init) => {
+                self.gen_expr(a, ctx, init)?;
+                let off = ctx.alloc_local(&p.name, p.ty.clone());
+                a.push_u64(off).op(Op::MStore);
+                Ok(())
+            }
+            Stmt::Assign(lv, e) => match lv {
+                LValue::Ident(name) => {
+                    self.gen_expr(a, ctx, e)?;
+                    if let Some((off, _)) = ctx.lookup(name) {
+                        a.push_u64(off).op(Op::MStore);
+                        Ok(())
+                    } else if let Some(sv) = self.state_var(name) {
+                        a.push_u64(sv.slot).op(Op::SStore);
+                        Ok(())
+                    } else {
+                        err(format!("unknown assignment target `{name}`"))
+                    }
+                }
+                LValue::Index(base, idx) => {
+                    self.gen_expr(a, ctx, e)?; // [v]
+                    self.gen_indexed_slot(a, ctx, base, idx)?; // [v, slot]
+                    a.op(Op::SStore);
+                    Ok(())
+                }
+            },
+            Stmt::Require(cond) => {
+                self.gen_expr(a, ctx, cond)?;
+                a.op(Op::IsZero);
+                a.jumpi("revert");
+                Ok(())
+            }
+            Stmt::Revert => {
+                a.push_u64(0).push_u64(0).op(Op::Revert);
+                Ok(())
+            }
+            Stmt::If(cond, then_b, else_b) => {
+                let else_l = a.fresh_label("else");
+                let end_l = a.fresh_label("endif");
+                self.gen_expr(a, ctx, cond)?;
+                a.op(Op::IsZero);
+                a.jumpi(&else_l);
+                ctx.scopes.push(HashMap::new());
+                self.gen_stmts(a, ctx, then_b)?;
+                ctx.scopes.pop();
+                a.jump(&end_l);
+                a.label(&else_l);
+                ctx.scopes.push(HashMap::new());
+                self.gen_stmts(a, ctx, else_b)?;
+                ctx.scopes.pop();
+                a.label(&end_l);
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                let start_l = a.fresh_label("while");
+                let end_l = a.fresh_label("wend");
+                a.label(&start_l);
+                self.gen_expr(a, ctx, cond)?;
+                a.op(Op::IsZero);
+                a.jumpi(&end_l);
+                ctx.scopes.push(HashMap::new());
+                self.gen_stmts(a, ctx, body)?;
+                ctx.scopes.pop();
+                a.jump(&start_l);
+                a.label(&end_l);
+                Ok(())
+            }
+            Stmt::Return(opt) => {
+                if let Some(e) = opt {
+                    self.gen_expr(a, ctx, e)?;
+                    let slot = ctx
+                        .ret_slot
+                        .ok_or_else(|| CodegenError("return value without slot".into()))?;
+                    a.push_u64(slot).op(Op::MStore);
+                }
+                a.jump(&ctx.end_label.clone());
+                Ok(())
+            }
+            Stmt::ExprStmt(e) => {
+                let pushed = self.gen_expr_maybe_void(a, ctx, e)?;
+                if pushed {
+                    a.op(Op::Pop);
+                }
+                Ok(())
+            }
+            Stmt::Transfer(addr, amount) => {
+                // CALL(gas=0, to, value, 0,0,0,0) — stipend covers EOAs and
+                // cheap fallbacks, exactly like Solidity `transfer`.
+                a.push_u64(0); // out_len
+                a.push_u64(0); // out_off
+                a.push_u64(0); // in_len
+                a.push_u64(0); // in_off
+                self.gen_expr(a, ctx, amount)?; // value
+                self.gen_expr(a, ctx, addr)?; // to
+                a.push_u64(0); // gas
+                a.op(Op::Call);
+                a.op(Op::IsZero);
+                a.jumpi("revert");
+                Ok(())
+            }
+            Stmt::Emit(name, args) => {
+                let ev = self
+                    .contract
+                    .events
+                    .iter()
+                    .find(|e| &e.name == name)
+                    .ok_or_else(|| CodegenError(format!("unknown event `{name}`")))?;
+                let topic = sc_crypto::keccak256(ev.signature().as_bytes()).to_u256();
+                let n = args.len() as u64;
+                // Allocate a buffer for the ABI-encoded (static) args.
+                a.push_u64(0x40).op(Op::MLoad); // [p]
+                a.op(Op::Dup1).push_u64(32 * n.max(1)).op(Op::Add);
+                a.push_u64(0x40).op(Op::MStore); // [p], FMP bumped
+                for (k, arg) in args.iter().enumerate() {
+                    self.gen_expr(a, ctx, arg)?; // [p, v]
+                    a.op(Op::Dup2);
+                    if k > 0 {
+                        a.push_u64(32 * k as u64).op(Op::Add);
+                    }
+                    a.op(Op::MStore); // [p]
+                }
+                // LOG1 pops offset, len, topic.
+                a.push(topic); // [p, topic]
+                a.push_u64(32 * n); // [p, topic, len]
+                a.op(Op::Dup3); // [p, topic, len, p=offset]
+                // Stack order for pops (offset top-first): need
+                // offset, len, topic from the top — currently topic is
+                // deepest. Rearrange: we have [p, topic, len, p].
+                // LOG1 pops offset=p, len, topic. Correct already.
+                a.op(Op::Log1);
+                a.op(Op::Pop); // drop the buffer pointer
+                Ok(())
+            }
+            Stmt::Placeholder => err("placeholder outside modifier expansion"),
+        }
+    }
+
+    // ---- expressions ----
+
+    /// Generates an expression that must produce a value.
+    fn gen_expr(&self, a: &mut Asm, ctx: &mut FnCtx, e: &Expr) -> Result<(), CodegenError> {
+        let pushed = self.gen_expr_maybe_void(a, ctx, e)?;
+        if !pushed {
+            return err("void call used where a value is required");
+        }
+        Ok(())
+    }
+
+    /// Generates an expression; returns whether a value was pushed (void
+    /// calls push nothing).
+    fn gen_expr_maybe_void(
+        &self,
+        a: &mut Asm,
+        ctx: &mut FnCtx,
+        e: &Expr,
+    ) -> Result<bool, CodegenError> {
+        match e {
+            Expr::Number(v) => {
+                a.push(*v);
+            }
+            Expr::Bool(b) => {
+                a.push_u64(*b as u64);
+            }
+            Expr::Ident(name) => {
+                if let Some((off, _)) = ctx.lookup(name) {
+                    a.push_u64(off).op(Op::MLoad);
+                } else if let Some(sv) = self.state_var(name) {
+                    if !sv.ty.is_value_type() {
+                        return err(format!(
+                            "`{name}` is not a value (index it instead)"
+                        ));
+                    }
+                    a.push_u64(sv.slot).op(Op::SLoad);
+                } else {
+                    return err(format!("unknown identifier `{name}`"));
+                }
+            }
+            Expr::MsgSender => {
+                a.op(Op::Caller);
+            }
+            Expr::MsgValue => {
+                a.op(Op::CallValue);
+            }
+            Expr::BlockTimestamp => {
+                a.op(Op::Timestamp);
+            }
+            Expr::BlockNumber => {
+                a.op(Op::Number);
+            }
+            Expr::This => {
+                a.op(Op::Address);
+            }
+            Expr::Balance(inner) => {
+                self.gen_expr(a, ctx, inner)?;
+                a.op(Op::Balance);
+            }
+            Expr::ArrayLength(inner) => {
+                let n = match self.expr_type(ctx, inner)? {
+                    Type::FixedArray(_, n) => n,
+                    other => return err(format!(".length on {other:?}")),
+                };
+                a.push_u64(n);
+            }
+            Expr::Index(base, idx) => {
+                self.gen_indexed_slot(a, ctx, base, idx)?;
+                a.op(Op::SLoad);
+            }
+            Expr::Not(inner) => {
+                self.gen_expr(a, ctx, inner)?;
+                a.op(Op::IsZero);
+            }
+            Expr::Neg(inner) => {
+                self.gen_expr(a, ctx, inner)?;
+                a.push_u64(0);
+                a.op(Op::Sub); // pops 0 (top), x → 0 - x
+            }
+            Expr::Bin(op, lhs, rhs) => {
+                self.gen_binop(a, ctx, *op, lhs, rhs)?;
+            }
+            Expr::Keccak(inner) => {
+                self.gen_expr(a, ctx, inner)?; // [ptr]
+                a.op(Op::Dup1).op(Op::MLoad); // [ptr, len]
+                a.op(Op::Swap1); // [len, ptr]
+                a.push_u64(32).op(Op::Add); // [len, ptr+32]
+                a.op(Op::Keccak256); // pops offset, len
+            }
+            Expr::EcRecover(h, v, r, s) => {
+                // Scratch region allocated from the FMP (bumped, so the
+                // argument sub-expressions can't clobber it):
+                // p: store h,v,r,s at p..p+128; zero p+128;
+                // STATICCALL(gas, 1, p, 128, p+128, 32); MLOAD(p+128).
+                let tmp = ctx.alloc_anon(); // hold p across sub-exprs
+                a.push_u64(0x40).op(Op::MLoad); // [p]
+                a.op(Op::Dup1).push_u64(160).op(Op::Add);
+                a.push_u64(0x40).op(Op::MStore); // FMP += 160
+                a.push_u64(tmp).op(Op::MStore);
+                for (i, part) in [h, v, r, s].into_iter().enumerate() {
+                    self.gen_expr(a, ctx, part)?; // [val]
+                    a.push_u64(tmp).op(Op::MLoad);
+                    if i > 0 {
+                        a.push_u64(32 * i as u64).op(Op::Add);
+                    }
+                    a.op(Op::MStore);
+                }
+                // Zero the output word.
+                a.push_u64(0);
+                a.push_u64(tmp).op(Op::MLoad).push_u64(128).op(Op::Add);
+                a.op(Op::MStore);
+                // STATICCALL pops gas,to,in_off,in_len,out_off,out_len →
+                // push reverse.
+                a.push_u64(32); // out_len
+                a.push_u64(tmp).op(Op::MLoad).push_u64(128).op(Op::Add); // out_off
+                a.push_u64(128); // in_len
+                a.push_u64(tmp).op(Op::MLoad); // in_off
+                a.push_u64(1); // to = ecrecover
+                a.op(Op::Gas); // gas
+                a.op(Op::StaticCall);
+                a.op(Op::Pop); // ignore success flag (output pre-zeroed)
+                a.push_u64(tmp).op(Op::MLoad).push_u64(128).op(Op::Add);
+                a.op(Op::MLoad);
+            }
+            Expr::Create(code) => {
+                self.gen_expr(a, ctx, code)?; // [ptr]
+                a.op(Op::Dup1).op(Op::MLoad); // [ptr, len]
+                a.op(Op::Swap1).push_u64(32).op(Op::Add); // [len, ptr+32]
+                a.push_u64(0); // [len, off, value]
+                a.op(Op::Create);
+            }
+            Expr::InternalCall(name, args) => {
+                return self.gen_internal_call(a, ctx, name, args);
+            }
+            Expr::ExternalCall {
+                iface,
+                addr,
+                method,
+                args,
+            } => {
+                return self.gen_external_call(a, ctx, iface, addr, method, args);
+            }
+            Expr::Cast(ty, inner) => {
+                self.gen_expr(a, ctx, inner)?;
+                self.gen_mask(a, ty);
+            }
+        }
+        Ok(true)
+    }
+
+    fn gen_binop(
+        &self,
+        a: &mut Asm,
+        ctx: &mut FnCtx,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+    ) -> Result<(), CodegenError> {
+        match op {
+            BinOp::And => {
+                let end = a.fresh_label("and_end");
+                self.gen_expr(a, ctx, lhs)?;
+                a.op(Op::Dup1).op(Op::IsZero);
+                a.jumpi(&end); // lhs false: short-circuit, result = lhs (0)
+                a.op(Op::Pop);
+                self.gen_expr(a, ctx, rhs)?;
+                a.label(&end);
+                Ok(())
+            }
+            BinOp::Or => {
+                let end = a.fresh_label("or_end");
+                self.gen_expr(a, ctx, lhs)?;
+                a.op(Op::Dup1);
+                a.jumpi(&end); // lhs true: short-circuit, result = lhs (1)
+                a.op(Op::Pop);
+                self.gen_expr(a, ctx, rhs)?;
+                a.label(&end);
+                Ok(())
+            }
+            _ => {
+                // Evaluate right first so the left operand ends on top,
+                // matching the EVM's pop order for non-commutative ops.
+                self.gen_expr(a, ctx, rhs)?;
+                self.gen_expr(a, ctx, lhs)?;
+                match op {
+                    BinOp::Add => a.op(Op::Add),
+                    BinOp::Sub => a.op(Op::Sub),
+                    BinOp::Mul => a.op(Op::Mul),
+                    BinOp::Div => a.op(Op::Div),
+                    BinOp::Mod => a.op(Op::Mod),
+                    BinOp::Lt => a.op(Op::Lt),
+                    BinOp::Gt => a.op(Op::Gt),
+                    BinOp::Le => a.op(Op::Gt).op(Op::IsZero),
+                    BinOp::Ge => a.op(Op::Lt).op(Op::IsZero),
+                    BinOp::Eq => a.op(Op::Eq),
+                    BinOp::Ne => a.op(Op::Eq).op(Op::IsZero),
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                };
+                Ok(())
+            }
+        }
+    }
+
+    /// Leaves the storage slot of `base[idx]` on the stack.
+    fn gen_indexed_slot(
+        &self,
+        a: &mut Asm,
+        ctx: &mut FnCtx,
+        base: &Expr,
+        idx: &Expr,
+    ) -> Result<(), CodegenError> {
+        let Expr::Ident(name) = base else {
+            return err("only state variables can be indexed");
+        };
+        if ctx.lookup(name).is_some() {
+            return err("only state variables can be indexed");
+        }
+        let sv = self
+            .state_var(name)
+            .ok_or_else(|| CodegenError(format!("unknown state variable `{name}`")))?;
+        match &sv.ty {
+            Type::Mapping(_, _) => {
+                // slot = keccak256(key . base_slot) with scratch at 0x00.
+                self.gen_expr(a, ctx, idx)?;
+                a.push_u64(0).op(Op::MStore);
+                a.push_u64(sv.slot);
+                a.push_u64(0x20).op(Op::MStore);
+                a.push_u64(0x40).push_u64(0).op(Op::Keccak256);
+                Ok(())
+            }
+            Type::FixedArray(_, n) => {
+                self.gen_expr(a, ctx, idx)?; // [idx]
+                a.op(Op::Dup1).push_u64(*n).op(Op::Gt); // n > idx ≡ idx < n
+                let ok = a.fresh_label("idx_ok");
+                a.jumpi(&ok);
+                a.jump("revert");
+                a.label(&ok);
+                a.push_u64(sv.slot).op(Op::Add);
+                Ok(())
+            }
+            other => err(format!("cannot index into {other:?}")),
+        }
+    }
+
+    fn gen_internal_call(
+        &self,
+        a: &mut Asm,
+        ctx: &mut FnCtx,
+        name: &str,
+        args: &[Expr],
+    ) -> Result<bool, CodegenError> {
+        let f = self
+            .contract
+            .functions
+            .iter()
+            .find(|f| f.name == name)
+            .ok_or_else(|| CodegenError(format!("unknown function `{name}`")))?;
+        if f.params.len() != args.len() {
+            return err(format!("arity mismatch calling `{name}`"));
+        }
+        // Evaluate args in the caller's scope, then bind them as fresh
+        // locals in the inlined scope.
+        let mut arg_offsets = Vec::new();
+        for arg in args {
+            self.gen_expr(a, ctx, arg)?;
+            let off = ctx.alloc_anon();
+            a.push_u64(off).op(Op::MStore);
+            arg_offsets.push(off);
+        }
+
+        let end_label = a.fresh_label(&format!("inline_{name}_end"));
+        let saved_end = std::mem::replace(&mut ctx.end_label, end_label.clone());
+        let saved_ret = ctx.ret_slot;
+
+        ctx.scopes.push(HashMap::new());
+        for (p, off) in f.params.iter().zip(&arg_offsets) {
+            ctx.scopes
+                .last_mut()
+                .expect("scope pushed")
+                .insert(p.name.clone(), (*off, p.ty.clone()));
+        }
+        ctx.ret_slot = if f.returns.is_some() {
+            Some(ctx.alloc_anon())
+        } else {
+            None
+        };
+        let inline_ret = ctx.ret_slot;
+
+        let body = expand_modifiers(f, self.contract);
+        self.gen_stmts(a, ctx, &body)?;
+        a.label(&end_label);
+
+        ctx.scopes.pop();
+        ctx.end_label = saved_end;
+        ctx.ret_slot = saved_ret;
+
+        if let Some(slot) = inline_ret {
+            a.push_u64(slot).op(Op::MLoad);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn gen_external_call(
+        &self,
+        a: &mut Asm,
+        ctx: &mut FnCtx,
+        iface: &str,
+        addr: &Expr,
+        method: &str,
+        args: &[Expr],
+    ) -> Result<bool, CodegenError> {
+        if iface.is_empty() {
+            return err("transfer used as an expression");
+        }
+        let i = self
+            .interfaces
+            .get(iface)
+            .ok_or_else(|| CodegenError(format!("unknown interface `{iface}`")))?;
+        let m = i
+            .methods
+            .iter()
+            .find(|m| m.name == method)
+            .ok_or_else(|| CodegenError(format!("no method `{method}` on `{iface}`")))?;
+        let sel = selector(&m.signature());
+        let n = args.len() as u64;
+        let in_len = 4 + 32 * n;
+        let has_ret = m.returns.is_some();
+
+        // Allocate the encoding buffer (FMP bump so nested expressions
+        // can't clobber it).
+        a.push_u64(0x40).op(Op::MLoad); // [p]
+        a.op(Op::Dup1).push_u64(in_len.div_ceil(32) * 32).op(Op::Add);
+        a.push_u64(0x40).op(Op::MStore); // [p], FMP bumped
+        // Selector word (left-aligned).
+        let sel_word = U256::from_u64(u32::from_be_bytes(sel) as u64).shl_bits(224);
+        a.push(sel_word);
+        a.op(Op::Dup2).op(Op::MStore); // [p]
+        // Arguments.
+        for (k, arg) in args.iter().enumerate() {
+            self.gen_expr(a, ctx, arg)?; // [p, v]
+            a.op(Op::Dup2).push_u64(4 + 32 * k as u64).op(Op::Add); // [p, v, dst]
+            a.op(Op::MStore); // [p]
+        }
+        // CALL(gas, to, 0, p, in_len, p, out_len)
+        a.push_u64(if has_ret { 32 } else { 0 }); // out_len
+        a.op(Op::Dup2); // out_off = p
+        a.push_u64(in_len); // in_len
+        a.op(Op::Dup4); // in_off = p
+        a.push_u64(0); // value
+        self.gen_expr(a, ctx, addr)?; // to
+        a.op(Op::Gas); // gas
+        a.op(Op::Call); // [p, success]
+        a.op(Op::IsZero);
+        a.jumpi("revert"); // [p]
+        if has_ret {
+            a.op(Op::MLoad);
+            Ok(true)
+        } else {
+            a.op(Op::Pop);
+            Ok(false)
+        }
+    }
+
+    /// Normalizes a stack value to its type's canonical representation.
+    fn gen_mask(&self, a: &mut Asm, ty: &Type) {
+        match ty {
+            Type::Address | Type::Interface(_) => {
+                a.push(U256::from_hex_str(ADDR_MASK_HEX).expect("const mask"));
+                a.op(Op::And);
+            }
+            Type::Uint8 => {
+                a.push_u64(0xff);
+                a.op(Op::And);
+            }
+            Type::Bool => {
+                a.op(Op::IsZero).op(Op::IsZero);
+            }
+            _ => {}
+        }
+    }
+
+    /// Decodes a dynamic `bytes` argument into a fresh memory allocation
+    /// and stores the pointer into the local at `local_off`.
+    fn gen_decode_bytes_arg(&self, a: &mut Asm, head: u64, local_off: u64) {
+        // pos = 4 + calldataload(head)        (absolute offset of length)
+        a.push_u64(head).op(Op::CallDataLoad);
+        a.push_u64(4).op(Op::Add); // [pos]
+        a.op(Op::Dup1).op(Op::CallDataLoad); // [pos, len]
+        // p = MLOAD(0x40)
+        a.push_u64(0x40).op(Op::MLoad); // [pos, len, p]
+        // MSTORE(p, len)
+        a.op(Op::Dup1).op(Op::Dup3).op(Op::Swap1).op(Op::MStore); // [pos, len, p]
+        // FMP = p + 32 + ceil32(len)
+        a.op(Op::Dup2).push_u64(31).op(Op::Add); // [.., p, len+31]
+        a.push(U256::MAX.shl_bits(5)); // ~31 mask
+        a.op(Op::And).push_u64(32).op(Op::Add); // [.., p, sz]
+        a.op(Op::Dup2).op(Op::Add); // [pos, len, p, p+sz]
+        a.push_u64(0x40).op(Op::MStore); // [pos, len, p]
+        // CALLDATACOPY(p+32, pos+32, len)
+        a.op(Op::Dup2); // [pos, len, p, len]
+        a.op(Op::Dup4).push_u64(32).op(Op::Add); // [.., len, pos+32]
+        a.op(Op::Dup3).push_u64(32).op(Op::Add); // [.., len, src, dest]
+        a.op(Op::CallDataCopy); // [pos, len, p]
+        // Store p into the local; drop scratch.
+        a.op(Op::Swap2).op(Op::Pop).op(Op::Pop); // [p]
+        a.push_u64(local_off).op(Op::MStore);
+    }
+
+    /// Minimal type inference for codegen decisions (sema already
+    /// validated; this only resolves Ident/Index shapes).
+    fn expr_type(&self, ctx: &FnCtx, e: &Expr) -> Result<Type, CodegenError> {
+        match e {
+            Expr::Ident(n) => {
+                if let Some((_, t)) = ctx.lookup(n) {
+                    Ok(t)
+                } else if let Some(sv) = self.state_var(n) {
+                    Ok(sv.ty.clone())
+                } else {
+                    err(format!("unknown identifier `{n}`"))
+                }
+            }
+            Expr::Cast(t, _) => Ok(t.clone()),
+            _ => Ok(Type::Uint256),
+        }
+    }
+}

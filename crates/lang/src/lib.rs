@@ -1,0 +1,135 @@
+//! MiniSol: a deterministic compiler for the Solidity subset used by the
+//! paper's contracts.
+//!
+//! Pipeline: [`token`] → [`parser`] → [`sema`] → [`codegen`] targeting the
+//! `sc-evm` instruction set. Determinism is a protocol requirement — the
+//! paper's participants must each compile the off-chain contract and get
+//! *byte-identical* code, since the signed copy binds keccak256(bytecode).
+//!
+//! Supported: state variables (value types, `mapping`, fixed arrays),
+//! constructors with value-type args, no-arg modifiers with `_;`,
+//! public/external/private functions (private calls are inlined),
+//! `payable`, `require`/`revert`, `if`/`while`/`for`, local variables,
+//! `msg.sender`/`msg.value`/`block.timestamp`/`now`, `.transfer`,
+//! `.balance`, `keccak256(bytes)`, `ecrecover`, `create(bytes)` (the
+//! stand-in for the paper's inline-assembly `create`), interface calls,
+//! dynamic `bytes` parameters, ether/time unit literals.
+//!
+//! Deliberately absent (not needed by the paper, documented for users):
+//! inheritance, events, strings, dynamic arrays, structs, overloading,
+//! recursion (inlining), revert reason strings (parsed, discarded).
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codegen;
+pub mod parser;
+pub mod printer;
+pub mod sema;
+pub mod token;
+
+pub use codegen::{compile_contract, CodegenError, CompiledContract};
+pub use parser::{parse, ParseError};
+pub use sema::{analyze, AnalyzedContract, SemaError};
+
+use std::fmt;
+
+/// Any error from the compilation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// Semantic analysis failed.
+    Sema(SemaError),
+    /// Code generation failed.
+    Codegen(CodegenError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::Sema(e) => write!(f, "{e}"),
+            CompileError::Codegen(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles `contract_name` from MiniSol source text.
+pub fn compile(src: &str, contract_name: &str) -> Result<CompiledContract, CompileError> {
+    let program = parse(src).map_err(CompileError::Parse)?;
+    let analyzed = analyze(&program, contract_name).map_err(CompileError::Sema)?;
+    compile_contract(&analyzed).map_err(CompileError::Codegen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_empty_contract() {
+        let c = compile("contract c { }", "c").unwrap();
+        assert!(!c.runtime.is_empty());
+        assert!(c.init_prefix.len() > c.runtime.len());
+    }
+
+    #[test]
+    fn compilation_is_deterministic() {
+        let src = r#"
+            contract c {
+                uint256 x;
+                function set(uint256 v) public { x = v; }
+                function get() public returns (uint256) { return x; }
+            }
+        "#;
+        let a = compile(src, "c").unwrap();
+        let b = compile(src, "c").unwrap();
+        assert_eq!(a.runtime, b.runtime, "byte-identical output is a protocol requirement");
+        assert_eq!(a.init_prefix, b.init_prefix);
+    }
+
+    #[test]
+    fn unknown_contract_errors() {
+        assert!(matches!(
+            compile("contract c { }", "d"),
+            Err(CompileError::Sema(_))
+        ));
+    }
+
+    #[test]
+    fn initcode_validates_args() {
+        use sc_primitives::abi::Value;
+        let c = compile(
+            "contract c { uint256 t; constructor(uint256 x) public { t = x; } }",
+            "c",
+        )
+        .unwrap();
+        assert!(c.initcode(&[]).is_err());
+        assert!(c.initcode(&[Value::Bool(true)]).is_err());
+        assert!(c
+            .initcode(&[Value::Uint(sc_primitives::U256::from_u64(5))])
+            .is_ok());
+    }
+
+    #[test]
+    fn calldata_helper_uses_selector() {
+        let c = compile(
+            "contract c { function transfer(address to, uint256 v) public { } }",
+            "c",
+        )
+        .unwrap();
+        let data = c
+            .calldata(
+                "transfer",
+                &[
+                    sc_primitives::abi::Value::Address(sc_primitives::Address([0; 20])),
+                    sc_primitives::abi::Value::Uint(sc_primitives::U256::ONE),
+                ],
+            )
+            .unwrap();
+        assert_eq!(&data[..4], &[0xa9, 0x05, 0x9c, 0xbb]);
+        assert!(c.calldata("nope", &[]).is_err());
+    }
+}

@@ -1,0 +1,353 @@
+//! Pretty-printer: renders a MiniSol AST back to compilable source.
+//!
+//! Used by the automatic contract splitter to emit the generated
+//! on/off-chain pair, and by round-trip tests (`parse ∘ print ≡ id`).
+
+use crate::ast::*;
+
+/// Renders a full program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for i in &p.interfaces {
+        out.push_str(&print_interface(i));
+        out.push('\n');
+    }
+    for c in &p.contracts {
+        out.push_str(&print_contract(c));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an interface declaration.
+pub fn print_interface(i: &Interface) -> String {
+    let mut out = format!("interface {} {{\n", i.name);
+    for m in &i.methods {
+        let params: Vec<String> = m
+            .params
+            .iter()
+            .enumerate()
+            .map(|(k, t)| format!("{} x{k}", print_type(t)))
+            .collect();
+        out.push_str(&format!("    function {}({}) external", m.name, params.join(", ")));
+        if let Some(r) = &m.returns {
+            out.push_str(&format!(" returns ({})", print_type(r)));
+        }
+        out.push_str(";\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a contract definition.
+pub fn print_contract(c: &Contract) -> String {
+    let mut out = format!("contract {} {{\n", c.name);
+    for sv in &c.state {
+        out.push_str(&format!("    {} {};\n", print_type(&sv.ty), sv.name));
+    }
+    if let Some((params, payable, body)) = &c.constructor {
+        out.push_str(&format!(
+            "    constructor({}) public{} {{\n",
+            print_params(params),
+            if *payable { " payable" } else { "" }
+        ));
+        print_stmts(&mut out, body, 2);
+        out.push_str("    }\n");
+    }
+    for ev in &c.events {
+        out.push_str(&format!(
+            "    event {}({});\n",
+            ev.name,
+            print_params(&ev.params)
+        ));
+    }
+    for m in &c.modifiers {
+        out.push_str(&format!("    modifier {} {{\n", m.name));
+        print_stmts(&mut out, &m.body, 2);
+        out.push_str("    }\n");
+    }
+    for f in &c.functions {
+        let vis = match f.visibility {
+            Visibility::Public => "public",
+            Visibility::External => "external",
+            Visibility::Private => "private",
+        };
+        out.push_str(&format!(
+            "    function {}({}) {}{}{}",
+            f.name,
+            print_params(&f.params),
+            vis,
+            if f.payable { " payable" } else { "" },
+            f.modifiers
+                .iter()
+                .map(|m| format!(" {m}"))
+                .collect::<String>(),
+        ));
+        if let Some(r) = &f.returns {
+            out.push_str(&format!(" returns ({})", print_type(r)));
+        }
+        out.push_str(" {\n");
+        print_stmts(&mut out, &f.body, 2);
+        out.push_str("    }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn print_params(params: &[Param]) -> String {
+    params
+        .iter()
+        .map(|p| {
+            let loc = if matches!(p.ty, Type::Bytes) { " memory" } else { "" };
+            format!("{}{loc} {}", print_type(&p.ty), p.name)
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders a type.
+pub fn print_type(t: &Type) -> String {
+    match t {
+        Type::Uint256 => "uint256".into(),
+        Type::Uint8 => "uint8".into(),
+        Type::Bool => "bool".into(),
+        Type::Address => "address".into(),
+        Type::Bytes32 => "bytes32".into(),
+        Type::Bytes => "bytes".into(),
+        Type::Mapping(k, v) => format!("mapping({} => {})", print_type(k), print_type(v)),
+        Type::FixedArray(inner, n) => format!("{}[{n}]", print_type(inner)),
+        Type::Interface(name) => name.clone(),
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmts(out: &mut String, stmts: &[Stmt], level: usize) {
+    for s in stmts {
+        print_stmt(out, s, level);
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    indent(out, level);
+    match s {
+        Stmt::VarDecl(p, init) => {
+            let loc = if matches!(p.ty, Type::Bytes) { " memory" } else { "" };
+            out.push_str(&format!(
+                "{}{loc} {} = {};\n",
+                print_type(&p.ty),
+                p.name,
+                print_expr(init)
+            ));
+        }
+        Stmt::Assign(lv, e) => match lv {
+            LValue::Ident(n) => out.push_str(&format!("{n} = {};\n", print_expr(e))),
+            LValue::Index(b, i) => out.push_str(&format!(
+                "{}[{}] = {};\n",
+                print_expr(b),
+                print_expr(i),
+                print_expr(e)
+            )),
+        },
+        Stmt::Require(e) => out.push_str(&format!("require({});\n", print_expr(e))),
+        Stmt::Revert => out.push_str("revert();\n"),
+        Stmt::If(c, a, b) => {
+            out.push_str(&format!("if ({}) {{\n", print_expr(c)));
+            print_stmts(out, a, level + 1);
+            indent(out, level);
+            if b.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                print_stmts(out, b, level + 1);
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While(c, body) => {
+            out.push_str(&format!("while ({}) {{\n", print_expr(c)));
+            print_stmts(out, body, level + 1);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::Return(None) => out.push_str("return;\n"),
+        Stmt::Return(Some(e)) => out.push_str(&format!("return {};\n", print_expr(e))),
+        Stmt::ExprStmt(e) => out.push_str(&format!("{};\n", print_expr(e))),
+        Stmt::Transfer(a, v) => {
+            out.push_str(&format!("{}.transfer({});\n", print_expr(a), print_expr(v)))
+        }
+        Stmt::Emit(name, args) => out.push_str(&format!(
+            "emit {name}({});\n",
+            args.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+        )),
+        Stmt::Placeholder => out.push_str("_;\n"),
+    }
+}
+
+/// Renders an expression (fully parenthesized where precedence matters).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Number(v) => v.to_dec_string(),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Ident(n) => n.clone(),
+        Expr::MsgSender => "msg.sender".into(),
+        Expr::MsgValue => "msg.value".into(),
+        Expr::BlockTimestamp => "block.timestamp".into(),
+        Expr::BlockNumber => "block.number".into(),
+        Expr::This => "this".into(),
+        Expr::Balance(x) => format!("{}.balance", print_expr(x)),
+        Expr::ArrayLength(x) => format!("{}.length", print_expr(x)),
+        Expr::Index(b, i) => format!("{}[{}]", print_expr(b), print_expr(i)),
+        Expr::Not(x) => format!("(!{})", print_expr(x)),
+        Expr::Neg(x) => format!("(-{})", print_expr(x)),
+        Expr::Bin(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+                BinOp::Lt => "<",
+                BinOp::Gt => ">",
+                BinOp::Le => "<=",
+                BinOp::Ge => ">=",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            format!("({} {sym} {})", print_expr(a), print_expr(b))
+        }
+        Expr::Keccak(x) => format!("keccak256({})", print_expr(x)),
+        Expr::EcRecover(h, v, r, s) => format!(
+            "ecrecover({}, {}, {}, {})",
+            print_expr(h),
+            print_expr(v),
+            print_expr(r),
+            print_expr(s)
+        ),
+        Expr::Create(x) => format!("create({})", print_expr(x)),
+        Expr::InternalCall(n, args) => format!(
+            "{n}({})",
+            args.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+        ),
+        Expr::ExternalCall {
+            iface,
+            addr,
+            method,
+            args,
+        } => format!(
+            "{iface}({}).{method}({})",
+            print_expr(addr),
+            args.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+        ),
+        Expr::Cast(t, x) => format!("{}({})", print_type(t), print_expr(x)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// parse → print → parse must be a fixed point (ASTs equal up to the
+    /// slot numbers sema assigns later).
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).expect("first parse");
+        let printed = print_program(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        assert_eq!(p1, p2, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_simple_contract() {
+        roundtrip("contract c { uint256 x; function f(uint256 v) public { x = v + 1; } }");
+    }
+
+    #[test]
+    fn roundtrip_the_papers_onchain_contract() {
+        roundtrip(sc_test_sources::ONCHAIN_LIKE);
+    }
+
+    #[test]
+    fn roundtrip_interfaces_and_calls() {
+        roundtrip(
+            "interface I { function m(bool x) external returns (uint256); } \
+             contract c { function f(address a) public returns (uint256) { return I(a).m(true); } }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrip(
+            "contract c { function f(uint256 n) public returns (uint256) { \
+             uint256 acc = 0; while (n > 0) { if (n % 2 == 0) { acc = acc + n; } else { acc = acc + 1; } n = n - 1; } \
+             return acc; } }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_modifiers_and_builtins() {
+        roundtrip(
+            "contract c { address owner; modifier onlyOwner { require(msg.sender == owner); _; } \
+             function f(bytes memory d, uint8 v, bytes32 r, bytes32 s) public onlyOwner returns (address) { \
+             bytes32 h = keccak256(d); address a = ecrecover(h, v, r, s); address i = create(d); \
+             require(a != address(0) && i != address(0)); return a; } }",
+        );
+    }
+
+    #[test]
+    fn printed_source_compiles_identically() {
+        // print ∘ parse must preserve generated bytecode.
+        let src = sc_test_sources::ONCHAIN_LIKE;
+        let direct = crate::compile(src, "onChainLike").unwrap();
+        let printed = print_program(&parse(src).unwrap());
+        let reprinted = crate::compile(&printed, "onChainLike").unwrap();
+        assert_eq!(direct.runtime, reprinted.runtime);
+    }
+
+    /// A compact contract shaped like the paper's on-chain contract, for
+    /// printer tests.
+    mod sc_test_sources {
+        pub const ONCHAIN_LIKE: &str = r#"
+            contract onChainLike {
+                address[2] participant;
+                mapping(address => uint256) accountBalance;
+                uint256 T1;
+                address deployedAddr;
+                constructor(address a, address b, uint256 t1) public {
+                    participant[0] = a;
+                    participant[1] = b;
+                    T1 = t1;
+                }
+                modifier beforeT1 { require(block.timestamp < T1); _; }
+                modifier certified {
+                    require(msg.sender == participant[0] || msg.sender == participant[1]);
+                    _;
+                }
+                function deposit() public payable beforeT1 certified {
+                    require(msg.value == 1000000000000000000);
+                    accountBalance[msg.sender] = accountBalance[msg.sender] + msg.value;
+                }
+                function refund() public beforeT1 certified {
+                    uint256 amt = accountBalance[msg.sender];
+                    require(amt > 0);
+                    accountBalance[msg.sender] = 0;
+                    msg.sender.transfer(amt);
+                }
+                function deployVerifiedInstance(bytes memory bytecode, uint8 va, bytes32 ra, bytes32 sa) public certified {
+                    bytes32 h = keccak256(bytecode);
+                    address a = ecrecover(h, va, ra, sa);
+                    require(a == participant[0]);
+                    address addr = create(bytecode);
+                    require(addr != address(0));
+                    deployedAddr = addr;
+                }
+            }
+        "#;
+    }
+}

@@ -1,0 +1,932 @@
+//! Semantic analysis: slot assignment, name resolution, type checking,
+//! modifier expansion checks and inlining-cycle detection.
+
+use crate::ast::*;
+use sc_crypto::keccak::selector;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Semantic errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemaError(pub String);
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "semantic error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, SemaError> {
+    Err(SemaError(msg.into()))
+}
+
+/// A contract after analysis: slots assigned, ambiguous casts resolved,
+/// selectors computed.
+#[derive(Debug, Clone)]
+pub struct AnalyzedContract {
+    /// The rewritten contract.
+    pub contract: Contract,
+    /// Interfaces visible to it.
+    pub interfaces: HashMap<String, Interface>,
+    /// `(function index, selector, canonical signature)` for every
+    /// dispatchable (public/external) function.
+    pub selectors: Vec<(usize, [u8; 4], String)>,
+}
+
+impl AnalyzedContract {
+    /// Looks up a dispatchable function's selector by name.
+    pub fn selector_of(&self, name: &str) -> Option<[u8; 4]> {
+        self.selectors
+            .iter()
+            .find(|(i, _, _)| self.contract.functions[*i].name == name)
+            .map(|(_, sel, _)| *sel)
+    }
+}
+
+/// Analyzes one contract of a parsed program.
+pub fn analyze(program: &Program, contract_name: &str) -> Result<AnalyzedContract, SemaError> {
+    let contract = program
+        .contracts
+        .iter()
+        .find(|c| c.name == contract_name)
+        .ok_or_else(|| SemaError(format!("contract `{contract_name}` not found")))?;
+    let interfaces: HashMap<String, Interface> = program
+        .interfaces
+        .iter()
+        .map(|i| (i.name.clone(), i.clone()))
+        .collect();
+
+    let mut contract = contract.clone();
+
+    // ---- storage slots ----
+    let mut slot = 0u64;
+    let mut seen = HashSet::new();
+    for sv in &mut contract.state {
+        if !seen.insert(sv.name.clone()) {
+            return err(format!("duplicate state variable `{}`", sv.name));
+        }
+        if matches!(sv.ty, Type::Bytes) {
+            return err("`bytes` state variables are not supported");
+        }
+        sv.slot = slot;
+        slot += sv.ty.storage_slots();
+    }
+
+    // ---- symbol tables ----
+    let fn_names: HashMap<String, usize> = contract
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), i))
+        .collect();
+    if fn_names.len() != contract.functions.len() {
+        return err("duplicate function name (overloading unsupported)");
+    }
+    let modifier_names: HashSet<String> =
+        contract.modifiers.iter().map(|m| m.name.clone()).collect();
+
+    // ---- modifier validity ----
+    for m in &contract.modifiers {
+        let count = count_placeholders(&m.body);
+        if count != 1 {
+            return err(format!(
+                "modifier `{}` must contain exactly one `_;` (found {count})",
+                m.name
+            ));
+        }
+    }
+    for f in &contract.functions {
+        for m in &f.modifiers {
+            if !modifier_names.contains(m) {
+                return err(format!(
+                    "function `{}` uses undefined modifier `{m}`",
+                    f.name
+                ));
+            }
+        }
+    }
+
+    // ---- resolve ambiguous casts in all bodies ----
+    let resolver = Resolver {
+        fn_names: &fn_names,
+        interfaces: &interfaces,
+    };
+    for f in &mut contract.functions {
+        for s in &mut f.body {
+            resolver.resolve_stmt(s)?;
+        }
+    }
+    for m in &mut contract.modifiers {
+        for s in &mut m.body {
+            resolver.resolve_stmt(s)?;
+        }
+    }
+    if let Some((_, _, body)) = &mut contract.constructor {
+        for s in body {
+            resolver.resolve_stmt(s)?;
+        }
+    }
+
+    // ---- inlining cycle detection ----
+    detect_cycles(&contract, &fn_names)?;
+
+    // ---- type checking ----
+    let checker = TypeChecker {
+        contract: &contract,
+        interfaces: &interfaces,
+    };
+    for f in &contract.functions {
+        checker.check_function(f)?;
+    }
+    if let Some((params, _, body)) = &contract.constructor {
+        let mut scope = Scope::new(params.clone());
+        for s in body {
+            checker.check_stmt(s, &mut scope, &None)?;
+        }
+    }
+    for m in &contract.modifiers {
+        let mut scope = Scope::new(Vec::new());
+        for s in &m.body {
+            checker.check_stmt(s, &mut scope, &None)?;
+        }
+    }
+
+    // ---- events ----
+    let mut seen_ev = HashSet::new();
+    for ev in &contract.events {
+        if !seen_ev.insert(ev.name.clone()) {
+            return err(format!("duplicate event `{}`", ev.name));
+        }
+        for p in &ev.params {
+            if !p.ty.is_value_type() {
+                return err(format!(
+                    "event `{}`: parameter `{}` must be a value type",
+                    ev.name, p.name
+                ));
+            }
+        }
+    }
+
+    // ---- selectors ----
+    let mut selectors = Vec::new();
+    let mut seen_sel = HashMap::new();
+    for (i, f) in contract.functions.iter().enumerate() {
+        if matches!(f.visibility, Visibility::Public | Visibility::External) {
+            for p in &f.params {
+                if !matches!(
+                    p.ty,
+                    Type::Uint256
+                        | Type::Uint8
+                        | Type::Bool
+                        | Type::Address
+                        | Type::Bytes32
+                        | Type::Bytes
+                ) {
+                    return err(format!(
+                        "function `{}`: parameter type not ABI-encodable",
+                        f.name
+                    ));
+                }
+            }
+            let sig = f.signature();
+            let sel = selector(&sig);
+            if let Some(prev) = seen_sel.insert(sel, sig.clone()) {
+                return err(format!("selector collision between `{prev}` and `{sig}`"));
+            }
+            selectors.push((i, sel, sig));
+        }
+    }
+
+    Ok(AnalyzedContract {
+        contract,
+        interfaces,
+        selectors,
+    })
+}
+
+fn count_placeholders(body: &[Stmt]) -> usize {
+    body.iter()
+        .map(|s| match s {
+            Stmt::Placeholder => 1,
+            Stmt::If(_, a, b) => count_placeholders(a) + count_placeholders(b),
+            Stmt::While(_, b) => count_placeholders(b),
+            _ => 0,
+        })
+        .sum()
+}
+
+struct Resolver<'a> {
+    fn_names: &'a HashMap<String, usize>,
+    interfaces: &'a HashMap<String, Interface>,
+}
+
+impl Resolver<'_> {
+    fn resolve_stmt(&self, s: &mut Stmt) -> Result<(), SemaError> {
+        match s {
+            Stmt::VarDecl(_, e) | Stmt::Require(e) | Stmt::Return(Some(e)) | Stmt::ExprStmt(e) => {
+                self.resolve_expr(e)
+            }
+            Stmt::Assign(lv, e) => {
+                if let LValue::Index(base, idx) = lv {
+                    self.resolve_expr(base)?;
+                    self.resolve_expr(idx)?;
+                }
+                self.resolve_expr(e)
+            }
+            Stmt::Transfer(a, v) => {
+                self.resolve_expr(a)?;
+                self.resolve_expr(v)
+            }
+            Stmt::If(c, a, b) => {
+                self.resolve_expr(c)?;
+                for s in a.iter_mut().chain(b.iter_mut()) {
+                    self.resolve_stmt(s)?;
+                }
+                Ok(())
+            }
+            Stmt::While(c, b) => {
+                self.resolve_expr(c)?;
+                for s in b {
+                    self.resolve_stmt(s)?;
+                }
+                Ok(())
+            }
+            Stmt::Emit(_, args) => {
+                for a in args {
+                    self.resolve_expr(a)?;
+                }
+                Ok(())
+            }
+            Stmt::Return(None) | Stmt::Revert | Stmt::Placeholder => Ok(()),
+        }
+    }
+
+    /// Rewrites `Cast(Interface(name), x)` into an internal call when
+    /// `name` is actually a contract function, and validates interface
+    /// names otherwise.
+    fn resolve_expr(&self, e: &mut Expr) -> Result<(), SemaError> {
+        // First recurse.
+        match e {
+            Expr::Balance(x)
+            | Expr::Not(x)
+            | Expr::Neg(x)
+            | Expr::Keccak(x)
+            | Expr::Create(x)
+            | Expr::ArrayLength(x)
+            | Expr::Cast(_, x) => self.resolve_expr(x)?,
+            Expr::Index(a, b) | Expr::Bin(_, a, b) => {
+                self.resolve_expr(a)?;
+                self.resolve_expr(b)?;
+            }
+            Expr::EcRecover(a, b, c, d) => {
+                self.resolve_expr(a)?;
+                self.resolve_expr(b)?;
+                self.resolve_expr(c)?;
+                self.resolve_expr(d)?;
+            }
+            Expr::InternalCall(_, args) => {
+                for a in args {
+                    self.resolve_expr(a)?;
+                }
+            }
+            Expr::ExternalCall { addr, args, .. } => {
+                self.resolve_expr(addr)?;
+                for a in args {
+                    self.resolve_expr(a)?;
+                }
+            }
+            _ => {}
+        }
+        // Then rewrite this node if it is the ambiguous cast form.
+        if let Expr::Cast(Type::Interface(name), inner) = e {
+            if self.fn_names.contains_key(name.as_str()) {
+                let name = name.clone();
+                let inner = (**inner).clone();
+                *e = Expr::InternalCall(name, vec![inner]);
+            } else if !self.interfaces.contains_key(name.as_str()) {
+                return err(format!("unknown type or function `{name}`"));
+            }
+        }
+        if let Expr::InternalCall(name, _) = e {
+            if !self.fn_names.contains_key(name.as_str()) {
+                return err(format!("unknown function `{name}`"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn detect_cycles(
+    contract: &Contract,
+    fn_names: &HashMap<String, usize>,
+) -> Result<(), SemaError> {
+    // DFS over the internal-call graph.
+    fn calls_of(body: &[Stmt], out: &mut Vec<String>) {
+        fn expr(e: &Expr, out: &mut Vec<String>) {
+            match e {
+                Expr::InternalCall(n, args) => {
+                    out.push(n.clone());
+                    for a in args {
+                        expr(a, out);
+                    }
+                }
+                Expr::Balance(x)
+                | Expr::Not(x)
+                | Expr::Neg(x)
+                | Expr::Keccak(x)
+                | Expr::Create(x)
+                | Expr::ArrayLength(x)
+                | Expr::Cast(_, x) => expr(x, out),
+                Expr::Index(a, b) | Expr::Bin(_, a, b) => {
+                    expr(a, out);
+                    expr(b, out);
+                }
+                Expr::EcRecover(a, b, c, d) => {
+                    expr(a, out);
+                    expr(b, out);
+                    expr(c, out);
+                    expr(d, out);
+                }
+                Expr::ExternalCall { addr, args, .. } => {
+                    expr(addr, out);
+                    for a in args {
+                        expr(a, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for s in body {
+            match s {
+                Stmt::VarDecl(_, e) | Stmt::Require(e) | Stmt::Return(Some(e)) | Stmt::ExprStmt(e) => {
+                    expr(e, out)
+                }
+                Stmt::Assign(lv, e) => {
+                    if let LValue::Index(b, i) = lv {
+                        expr(b, out);
+                        expr(i, out);
+                    }
+                    expr(e, out);
+                }
+                Stmt::Transfer(a, v) => {
+                    expr(a, out);
+                    expr(v, out);
+                }
+                Stmt::Emit(_, args) => {
+                    for a in args {
+                        expr(a, out);
+                    }
+                }
+                Stmt::If(c, a, b) => {
+                    expr(c, out);
+                    calls_of(a, out);
+                    calls_of(b, out);
+                }
+                Stmt::While(c, b) => {
+                    expr(c, out);
+                    calls_of(b, out);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut edges: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, f) in contract.functions.iter().enumerate() {
+        let mut calls = Vec::new();
+        calls_of(&f.body, &mut calls);
+        let targets: Vec<usize> = calls
+            .iter()
+            .filter_map(|n| fn_names.get(n).copied())
+            .collect();
+        edges.insert(i, targets);
+    }
+    // Colors: 0 = white, 1 = gray, 2 = black.
+    fn dfs(
+        node: usize,
+        edges: &HashMap<usize, Vec<usize>>,
+        color: &mut Vec<u8>,
+        contract: &Contract,
+    ) -> Result<(), SemaError> {
+        color[node] = 1;
+        for &next in &edges[&node] {
+            match color[next] {
+                1 => {
+                    return err(format!(
+                        "recursive internal call involving `{}` (inlining forbids recursion)",
+                        contract.functions[next].name
+                    ))
+                }
+                0 => dfs(next, edges, color, contract)?,
+                _ => {}
+            }
+        }
+        color[node] = 2;
+        Ok(())
+    }
+    let mut color = vec![0u8; contract.functions.len()];
+    for i in 0..contract.functions.len() {
+        if color[i] == 0 {
+            dfs(i, &edges, &mut color, contract)?;
+        }
+    }
+    Ok(())
+}
+
+/// Local variable scope during checking.
+struct Scope {
+    vars: Vec<(String, Type)>,
+}
+
+impl Scope {
+    fn new(params: Vec<Param>) -> Scope {
+        Scope {
+            vars: params.into_iter().map(|p| (p.name, p.ty)).collect(),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Type> {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+
+    fn declare(&mut self, name: String, ty: Type) {
+        self.vars.push((name, ty));
+    }
+}
+
+struct TypeChecker<'a> {
+    contract: &'a Contract,
+    interfaces: &'a HashMap<String, Interface>,
+}
+
+impl TypeChecker<'_> {
+    fn state_ty(&self, name: &str) -> Option<&Type> {
+        self.contract
+            .state
+            .iter()
+            .find(|sv| sv.name == name)
+            .map(|sv| &sv.ty)
+    }
+
+    fn check_function(&self, f: &Function) -> Result<(), SemaError> {
+        let mut scope = Scope::new(f.params.clone());
+        for s in &f.body {
+            self.check_stmt(s, &mut scope, &f.returns)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(
+        &self,
+        s: &Stmt,
+        scope: &mut Scope,
+        ret: &Option<Type>,
+    ) -> Result<(), SemaError> {
+        match s {
+            Stmt::VarDecl(p, init) => {
+                let ity = self.infer(init, scope)?;
+                self.require_assignable(&p.ty, &ity, &p.name)?;
+                scope.declare(p.name.clone(), p.ty.clone());
+                Ok(())
+            }
+            Stmt::Assign(lv, e) => {
+                let lty = match lv {
+                    LValue::Ident(n) => scope
+                        .lookup(n)
+                        .or_else(|| self.state_ty(n))
+                        .cloned()
+                        .ok_or_else(|| SemaError(format!("unknown variable `{n}`")))?,
+                    LValue::Index(base, idx) => {
+                        let bty = self.infer(base, scope)?;
+                        let ity = self.infer(idx, scope)?;
+                        match bty {
+                            Type::Mapping(k, v) => {
+                                self.require_assignable(&k, &ity, "mapping key")?;
+                                *v
+                            }
+                            Type::FixedArray(elem, _) => {
+                                self.require_assignable(&Type::Uint256, &ity, "array index")?;
+                                *elem
+                            }
+                            other => {
+                                return err(format!("cannot index into {other:?}"));
+                            }
+                        }
+                    }
+                };
+                let rty = self.infer(e, scope)?;
+                self.require_assignable(&lty, &rty, "assignment")
+            }
+            Stmt::Require(e) => {
+                let t = self.infer(e, scope)?;
+                self.require_assignable(&Type::Bool, &t, "require condition")
+            }
+            Stmt::Revert | Stmt::Placeholder => Ok(()),
+            Stmt::If(c, a, b) => {
+                let t = self.infer(c, scope)?;
+                self.require_assignable(&Type::Bool, &t, "if condition")?;
+                for s in a.iter().chain(b.iter()) {
+                    self.check_stmt(s, scope, ret)?;
+                }
+                Ok(())
+            }
+            Stmt::While(c, body) => {
+                let t = self.infer(c, scope)?;
+                self.require_assignable(&Type::Bool, &t, "while condition")?;
+                for s in body {
+                    self.check_stmt(s, scope, ret)?;
+                }
+                Ok(())
+            }
+            Stmt::Return(opt) => match (opt, ret) {
+                (None, None) => Ok(()),
+                (Some(e), Some(rt)) => {
+                    let t = self.infer(e, scope)?;
+                    self.require_assignable(rt, &t, "return value")
+                }
+                (Some(_), None) => err("return with value in void function"),
+                (None, Some(_)) => err("missing return value"),
+            },
+            Stmt::ExprStmt(e) => {
+                self.infer(e, scope)?;
+                Ok(())
+            }
+            Stmt::Transfer(a, v) => {
+                let at = self.infer(a, scope)?;
+                self.require_assignable(&Type::Address, &at, "transfer target")?;
+                let vt = self.infer(v, scope)?;
+                self.require_assignable(&Type::Uint256, &vt, "transfer amount")
+            }
+            Stmt::Emit(name, args) => {
+                let ev = self
+                    .contract
+                    .events
+                    .iter()
+                    .find(|e| &e.name == name)
+                    .ok_or_else(|| SemaError(format!("unknown event `{name}`")))?;
+                if ev.params.len() != args.len() {
+                    return err(format!(
+                        "emit {name}: expected {} args, got {}",
+                        ev.params.len(),
+                        args.len()
+                    ));
+                }
+                for (p, a) in ev.params.iter().zip(args) {
+                    let t = self.infer(a, scope)?;
+                    self.require_assignable(&p.ty, &t, "event argument")?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn require_assignable(&self, want: &Type, got: &Type, what: &str) -> Result<(), SemaError> {
+        let compatible = match (want, got) {
+            (a, b) if a == b => true,
+            // uint8 and uint256 interconvert (single word).
+            (Type::Uint256, Type::Uint8) | (Type::Uint8, Type::Uint256) => true,
+            // bytes32 and uint256 interconvert via explicit use.
+            (Type::Bytes32, Type::Uint256) | (Type::Uint256, Type::Bytes32) => true,
+            // An interface handle is an address.
+            (Type::Address, Type::Interface(_)) | (Type::Interface(_), Type::Address) => true,
+            _ => false,
+        };
+        if compatible {
+            Ok(())
+        } else {
+            err(format!("type mismatch in {what}: expected {want:?}, got {got:?}"))
+        }
+    }
+
+    fn infer(&self, e: &Expr, scope: &Scope) -> Result<Type, SemaError> {
+        Ok(match e {
+            Expr::Number(_) => Type::Uint256,
+            Expr::Bool(_) => Type::Bool,
+            Expr::MsgSender | Expr::This => Type::Address,
+            Expr::MsgValue | Expr::BlockTimestamp | Expr::BlockNumber => Type::Uint256,
+            Expr::Ident(n) => scope
+                .lookup(n)
+                .or_else(|| self.state_ty(n))
+                .cloned()
+                .ok_or_else(|| SemaError(format!("unknown identifier `{n}`")))?,
+            Expr::Balance(a) => {
+                let t = self.infer(a, scope)?;
+                self.require_assignable(&Type::Address, &t, ".balance")?;
+                Type::Uint256
+            }
+            Expr::ArrayLength(a) => {
+                match self.infer(a, scope)? {
+                    Type::FixedArray(_, _) => Type::Uint256,
+                    other => return err(format!(".length on non-array {other:?}")),
+                }
+            }
+            Expr::Index(base, idx) => {
+                let bty = self.infer(base, scope)?;
+                let ity = self.infer(idx, scope)?;
+                match bty {
+                    Type::Mapping(k, v) => {
+                        self.require_assignable(&k, &ity, "mapping key")?;
+                        *v
+                    }
+                    Type::FixedArray(elem, _) => {
+                        self.require_assignable(&Type::Uint256, &ity, "array index")?;
+                        *elem
+                    }
+                    other => return err(format!("cannot index into {other:?}")),
+                }
+            }
+            Expr::Not(a) => {
+                let t = self.infer(a, scope)?;
+                self.require_assignable(&Type::Bool, &t, "!")?;
+                Type::Bool
+            }
+            Expr::Neg(a) => {
+                let t = self.infer(a, scope)?;
+                self.require_assignable(&Type::Uint256, &t, "unary -")?;
+                Type::Uint256
+            }
+            Expr::Bin(op, a, b) => {
+                let ta = self.infer(a, scope)?;
+                let tb = self.infer(b, scope)?;
+                match op {
+                    BinOp::And | BinOp::Or => {
+                        self.require_assignable(&Type::Bool, &ta, "logical operand")?;
+                        self.require_assignable(&Type::Bool, &tb, "logical operand")?;
+                        Type::Bool
+                    }
+                    BinOp::Eq | BinOp::Ne => {
+                        self.require_assignable(&ta, &tb, "comparison")?;
+                        Type::Bool
+                    }
+                    BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge => {
+                        self.require_assignable(&Type::Uint256, &ta, "comparison operand")?;
+                        self.require_assignable(&Type::Uint256, &tb, "comparison operand")?;
+                        Type::Bool
+                    }
+                    _ => {
+                        self.require_assignable(&Type::Uint256, &ta, "arithmetic operand")?;
+                        self.require_assignable(&Type::Uint256, &tb, "arithmetic operand")?;
+                        Type::Uint256
+                    }
+                }
+            }
+            Expr::Keccak(a) => {
+                let t = self.infer(a, scope)?;
+                if t != Type::Bytes {
+                    return err("keccak256 expects a `bytes` value");
+                }
+                Type::Bytes32
+            }
+            Expr::EcRecover(h, v, r, s) => {
+                let th = self.infer(h, scope)?;
+                self.require_assignable(&Type::Bytes32, &th, "ecrecover hash")?;
+                let tv = self.infer(v, scope)?;
+                self.require_assignable(&Type::Uint256, &tv, "ecrecover v")?;
+                let tr = self.infer(r, scope)?;
+                self.require_assignable(&Type::Bytes32, &tr, "ecrecover r")?;
+                let ts = self.infer(s, scope)?;
+                self.require_assignable(&Type::Bytes32, &ts, "ecrecover s")?;
+                Type::Address
+            }
+            Expr::Create(code) => {
+                let t = self.infer(code, scope)?;
+                if t != Type::Bytes {
+                    return err("create expects a `bytes` value");
+                }
+                Type::Address
+            }
+            Expr::InternalCall(name, args) => {
+                let f = self
+                    .contract
+                    .functions
+                    .iter()
+                    .find(|f| &f.name == name)
+                    .ok_or_else(|| SemaError(format!("unknown function `{name}`")))?;
+                if f.params.len() != args.len() {
+                    return err(format!(
+                        "call to `{name}`: expected {} args, got {}",
+                        f.params.len(),
+                        args.len()
+                    ));
+                }
+                for (p, a) in f.params.iter().zip(args) {
+                    let t = self.infer(a, scope)?;
+                    self.require_assignable(&p.ty, &t, &p.name)?;
+                }
+                f.returns.clone().unwrap_or(Type::Bool) // void calls: dummy
+            }
+            Expr::ExternalCall {
+                iface,
+                addr,
+                method,
+                args,
+            } => {
+                if iface.is_empty() {
+                    // `.transfer` sentinel should have been converted to a
+                    // statement; reaching here means it was used as a value.
+                    return err("transfer(...) cannot be used as an expression");
+                }
+                let i = self
+                    .interfaces
+                    .get(iface)
+                    .ok_or_else(|| SemaError(format!("unknown interface `{iface}`")))?;
+                let m = i
+                    .methods
+                    .iter()
+                    .find(|m| &m.name == method)
+                    .ok_or_else(|| {
+                        SemaError(format!("interface `{iface}` has no method `{method}`"))
+                    })?;
+                let at = self.infer(addr, scope)?;
+                self.require_assignable(&Type::Address, &at, "call target")?;
+                if m.params.len() != args.len() {
+                    return err(format!(
+                        "call to `{iface}.{method}`: expected {} args, got {}",
+                        m.params.len(),
+                        args.len()
+                    ));
+                }
+                for (pt, a) in m.params.iter().zip(args) {
+                    if !pt.is_value_type() {
+                        return err("external call arguments must be value types");
+                    }
+                    let t = self.infer(a, scope)?;
+                    self.require_assignable(pt, &t, "external call argument")?;
+                }
+                m.returns.clone().unwrap_or(Type::Bool)
+            }
+            Expr::Cast(ty, inner) => {
+                // Any single-word value casts to any single-word type.
+                let t = self.infer(inner, scope)?;
+                if !t.is_value_type() {
+                    return err(format!("cannot cast {t:?}"));
+                }
+                ty.clone()
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyze_src(src: &str, name: &str) -> Result<AnalyzedContract, SemaError> {
+        let p = parse(src).expect("parse");
+        analyze(&p, name)
+    }
+
+    #[test]
+    fn slots_assigned_in_order() {
+        let a = analyze_src(
+            "contract c { uint256 a; address[2] ps; mapping(address => uint256) m; bool z; }",
+            "c",
+        )
+        .unwrap();
+        let slots: Vec<u64> = a.contract.state.iter().map(|s| s.slot).collect();
+        assert_eq!(slots, vec![0, 1, 3, 4], "array takes two slots");
+    }
+
+    #[test]
+    fn selector_matches_solidity() {
+        let a = analyze_src(
+            "contract c { function transfer(address to, uint256 v) public { } }",
+            "c",
+        )
+        .unwrap();
+        assert_eq!(a.selector_of("transfer"), Some([0xa9, 0x05, 0x9c, 0xbb]));
+    }
+
+    #[test]
+    fn private_functions_have_no_selector() {
+        let a = analyze_src(
+            "contract c { function f() public {} function g() private {} }",
+            "c",
+        )
+        .unwrap();
+        assert_eq!(a.selectors.len(), 1);
+        assert!(a.selector_of("g").is_none());
+    }
+
+    #[test]
+    fn ambiguous_cast_resolves_to_internal_call() {
+        let a = analyze_src(
+            "contract c { function sq(uint256 x) private returns (uint256) { return x * x; } \
+             function f() public returns (uint256) { return sq(4); } }",
+            "c",
+        )
+        .unwrap();
+        match &a.contract.functions[1].body[0] {
+            Stmt::Return(Some(Expr::InternalCall(n, args))) => {
+                assert_eq!(n, "sq");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("not resolved: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interface_cast_stays_cast() {
+        let src = "interface I { function m(bool x) external; } \
+                   contract c { function f(address a) public { I(a).m(true); } }";
+        let a = analyze_src(src, "c").unwrap();
+        match &a.contract.functions[0].body[0] {
+            Stmt::ExprStmt(Expr::ExternalCall { iface, .. }) => assert_eq!(iface, "I"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_recursion() {
+        let e = analyze_src(
+            "contract c { function f(uint256 x) private returns (uint256) { return f(x); } \
+             function g() public { } }",
+            "c",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("recursive"));
+    }
+
+    #[test]
+    fn rejects_unknown_modifier() {
+        let e = analyze_src("contract c { function f() public nope { } }", "c").unwrap_err();
+        assert!(e.0.contains("undefined modifier"));
+    }
+
+    #[test]
+    fn rejects_modifier_without_placeholder() {
+        let e = analyze_src(
+            "contract c { modifier m { require(true); } function f() public m { } }",
+            "c",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("exactly one"));
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let e = analyze_src(
+            "contract c { bool b; function f() public { b = 1 + 2; } }",
+            "c",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("type mismatch"));
+    }
+
+    #[test]
+    fn rejects_unknown_identifier() {
+        let e = analyze_src("contract c { function f() public { ghost = 1; } }", "c").unwrap_err();
+        assert!(e.0.contains("unknown variable"));
+    }
+
+    #[test]
+    fn rejects_keccak_of_non_bytes() {
+        let e = analyze_src(
+            "contract c { function f() public { bytes32 h = keccak256(5); } }",
+            "c",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("keccak256 expects"));
+    }
+
+    #[test]
+    fn mapping_key_type_enforced() {
+        let e = analyze_src(
+            "contract c { mapping(address => uint256) m; function f() public { m[true] = 1; } }",
+            "c",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("mapping key"));
+    }
+
+    #[test]
+    fn accepts_the_paper_shaped_contract() {
+        let src = r#"
+            interface OnChainLike {
+                function enforceDisputeResolution(bool winner) external;
+            }
+            contract offChain {
+                address onchainAddr;
+                function reveal() private returns (bool) {
+                    return true;
+                }
+                function returnDisputeResolution(address addr) public {
+                    OnChainLike(addr).enforceDisputeResolution(reveal());
+                }
+            }
+        "#;
+        let a = analyze_src(src, "offChain").unwrap();
+        assert_eq!(a.selectors.len(), 1);
+        assert_eq!(
+            a.selectors[0].2,
+            "returnDisputeResolution(address)".to_string()
+        );
+    }
+}

@@ -1,0 +1,381 @@
+//! Lexer for MiniSol, the Solidity subset the paper's contracts use.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (keywords are distinguished by the parser
+    /// via [`Token::is_kw`] so error messages can echo the source text).
+    Ident(String),
+    /// A decimal or hex number literal.
+    Number(String),
+    /// A string literal (revert reasons; semantically ignored).
+    Str(String),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl Token {
+    /// True iff this token is the given keyword / identifier.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(s) if s == kw)
+    }
+
+    /// True iff this token is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.tok, Tok::Punct(q) if *q == p)
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Number(s) => write!(f, "{s}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Punct(p) => write!(f, "{p}"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Lexing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character operators, longest first so maximal munch works.
+const MULTI_PUNCT: &[&str] = &[
+    "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "++", "--",
+];
+
+const SINGLE_PUNCT: &[char] = &[
+    '(', ')', '{', '}', '[', ']', ';', ',', '.', '=', '+', '-', '*', '/', '%', '<', '>', '!', '&',
+    '|', '^', '~', '?', ':',
+];
+
+/// Tokenizes MiniSol source. Handles `//` and `/* */` comments and the
+/// `pragma ...;` directive (skipped entirely for Solidity-compatibility).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Whitespace
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Comments
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let (start_line, start_col) = (line, col);
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(LexError {
+                            message: "unterminated block comment".into(),
+                            line: start_line,
+                            col: start_col,
+                        });
+                    }
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+                continue;
+            }
+        }
+        // Identifiers / keywords
+        if c.is_ascii_alphabetic() || c == '_' {
+            let (l, co) = (line, col);
+            let mut s = String::new();
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                s.push(chars[i]);
+                bump!();
+            }
+            if s == "pragma" {
+                // Skip the whole directive up to ';'.
+                while i < chars.len() && chars[i] != ';' {
+                    bump!();
+                }
+                if i < chars.len() {
+                    bump!();
+                }
+                continue;
+            }
+            out.push(Token {
+                tok: Tok::Ident(s),
+                line: l,
+                col: co,
+            });
+            continue;
+        }
+        // Numbers (decimal or 0x hex, with optional `ether` suffix handled
+        // by the parser as a separate ident token)
+        if c.is_ascii_digit() {
+            let (l, co) = (line, col);
+            let mut s = String::new();
+            if c == '0' && i + 1 < chars.len() && (chars[i + 1] == 'x' || chars[i + 1] == 'X') {
+                s.push(chars[i]);
+                bump!();
+                s.push(chars[i]);
+                bump!();
+                while i < chars.len() && chars[i].is_ascii_hexdigit() {
+                    s.push(chars[i]);
+                    bump!();
+                }
+            } else {
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    if chars[i] != '_' {
+                        s.push(chars[i]);
+                    }
+                    bump!();
+                }
+            }
+            out.push(Token {
+                tok: Tok::Number(s),
+                line: l,
+                col: co,
+            });
+            continue;
+        }
+        // Strings
+        if c == '"' {
+            let (l, co) = (line, col);
+            bump!();
+            let mut s = String::new();
+            loop {
+                if i >= chars.len() {
+                    return Err(LexError {
+                        message: "unterminated string".into(),
+                        line: l,
+                        col: co,
+                    });
+                }
+                if chars[i] == '"' {
+                    bump!();
+                    break;
+                }
+                s.push(chars[i]);
+                bump!();
+            }
+            out.push(Token {
+                tok: Tok::Str(s),
+                line: l,
+                col: co,
+            });
+            continue;
+        }
+        // Multi-char punctuation
+        let mut matched = false;
+        for p in MULTI_PUNCT {
+            let pc: Vec<char> = p.chars().collect();
+            if chars[i..].starts_with(&pc) {
+                out.push(Token {
+                    tok: Tok::Punct(p),
+                    line,
+                    col,
+                });
+                for _ in 0..pc.len() {
+                    bump!();
+                }
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        // Single-char punctuation
+        if SINGLE_PUNCT.contains(&c) {
+            let p = SINGLE_PUNCT
+                .iter()
+                .find(|&&s| s == c)
+                .expect("checked contains");
+            // Leak-free static str lookup.
+            let stat: &'static str = match *p {
+                '(' => "(",
+                ')' => ")",
+                '{' => "{",
+                '}' => "}",
+                '[' => "[",
+                ']' => "]",
+                ';' => ";",
+                ',' => ",",
+                '.' => ".",
+                '=' => "=",
+                '+' => "+",
+                '-' => "-",
+                '*' => "*",
+                '/' => "/",
+                '%' => "%",
+                '<' => "<",
+                '>' => ">",
+                '!' => "!",
+                '&' => "&",
+                '|' => "|",
+                '^' => "^",
+                '~' => "~",
+                '?' => "?",
+                ':' => ":",
+                _ => unreachable!(),
+            };
+            out.push(Token {
+                tok: Tok::Punct(stat),
+                line,
+                col,
+            });
+            bump!();
+            continue;
+        }
+        return Err(LexError {
+            message: format!("unexpected character {c:?}"),
+            line,
+            col,
+        });
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn identifiers_numbers_puncts() {
+        let toks = kinds("uint256 x = 42;");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("uint256".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Number("42".into()),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn hex_numbers_and_underscores() {
+        let toks = kinds("0xdeadBEEF 1_000_000");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Number("0xdeadBEEF".into()),
+                Tok::Number("1000000".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("a // line\n/* block\nmore */ b");
+        assert_eq!(
+            toks,
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn pragma_is_skipped() {
+        let toks = kinds("pragma solidity ^0.4.24; contract c {}");
+        assert_eq!(toks[0], Tok::Ident("contract".into()));
+    }
+
+    #[test]
+    fn multi_char_operators_munch_maximally() {
+        let toks = kinds("a==b !=c =>d <= >=");
+        assert!(toks.contains(&Tok::Punct("==")));
+        assert!(toks.contains(&Tok::Punct("!=")));
+        assert!(toks.contains(&Tok::Punct("=>")));
+        assert!(toks.contains(&Tok::Punct("<=")));
+        assert!(toks.contains(&Tok::Punct(">=")));
+    }
+
+    #[test]
+    fn strings() {
+        let toks = kinds(r#"require(x, "not allowed");"#);
+        assert!(toks.contains(&Tok::Str("not allowed".into())));
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(lex("contract €").is_err());
+        assert!(lex("\"open").is_err());
+        assert!(lex("/* open").is_err());
+    }
+}

@@ -1,0 +1,589 @@
+//! End-to-end tests: MiniSol source → bytecode → executed on the EVM.
+
+use sc_evm::host::{Env, Host, MockHost};
+use sc_evm::{CallParams, Evm};
+use sc_lang::compile;
+use sc_primitives::abi::Value;
+use sc_primitives::{ether, Address, U256};
+
+struct Deployed {
+    host: MockHost,
+    address: Address,
+    contract: sc_lang::CompiledContract,
+    env: Env,
+}
+
+const DEPLOYER: Address = Address([0xdd; 20]);
+const CALLER: Address = Address([0xee; 20]);
+
+fn deploy(src: &str, name: &str, ctor_args: &[Value]) -> Deployed {
+    let contract = compile(src, name).expect("compile");
+    let initcode = contract.initcode(ctor_args).expect("initcode");
+    let mut host = MockHost::new();
+    host.fund(DEPLOYER, ether(100));
+    host.fund(CALLER, ether(100));
+    let env = Env::default();
+    let out = Evm::new(&mut host, env.clone()).create(DEPLOYER, U256::ZERO, initcode, 10_000_000);
+    assert!(out.success, "deploy failed: {:?}", out.error);
+    Deployed {
+        host,
+        address: out.address.unwrap(),
+        contract,
+        env,
+    }
+}
+
+impl Deployed {
+    fn call(&mut self, func: &str, args: &[Value], value: U256) -> sc_evm::CallOutcome {
+        self.call_from(CALLER, func, args, value)
+    }
+
+    fn call_from(
+        &mut self,
+        from: Address,
+        func: &str,
+        args: &[Value],
+        value: U256,
+    ) -> sc_evm::CallOutcome {
+        let data = self.contract.calldata(func, args).expect("calldata");
+        Evm::new(&mut self.host, self.env.clone()).call(CallParams::transact(
+            from,
+            self.address,
+            value,
+            data,
+            5_000_000,
+        ))
+    }
+
+    fn call_word(&mut self, func: &str, args: &[Value]) -> U256 {
+        let out = self.call(func, args, U256::ZERO);
+        assert!(out.success, "{func} failed: {:?}", out.error);
+        assert_eq!(out.output.len(), 32, "{func} returned {:?}", out.output);
+        U256::from_be_slice(&out.output)
+    }
+}
+
+#[test]
+fn storage_set_get() {
+    let src = r#"
+        contract kv {
+            uint256 x;
+            function set(uint256 v) public { x = v; }
+            function get() public returns (uint256) { return x; }
+        }
+    "#;
+    let mut d = deploy(src, "kv", &[]);
+    assert_eq!(d.call_word("get", &[]), U256::ZERO);
+    assert!(d.call("set", &[Value::Uint(U256::from_u64(77))], U256::ZERO).success);
+    assert_eq!(d.call_word("get", &[]), U256::from_u64(77));
+}
+
+#[test]
+fn constructor_args_reach_storage() {
+    let src = r#"
+        contract timed {
+            uint256 T1;
+            address owner;
+            constructor(uint256 t1, address o) public { T1 = t1; owner = o; }
+            function getT1() public returns (uint256) { return T1; }
+            function getOwner() public returns (address) { return owner; }
+        }
+    "#;
+    let owner = Address([0xab; 20]);
+    let mut d = deploy(
+        src,
+        "timed",
+        &[Value::Uint(U256::from_u64(12345)), Value::Address(owner)],
+    );
+    assert_eq!(d.call_word("getT1", &[]), U256::from_u64(12345));
+    assert_eq!(d.call_word("getOwner", &[]), owner.to_u256());
+}
+
+#[test]
+fn arithmetic_and_comparisons() {
+    let src = r#"
+        contract math {
+            function calc(uint256 a, uint256 b) public returns (uint256) {
+                uint256 s = a + b;
+                uint256 d = a - b;
+                uint256 p = a * b;
+                uint256 q = a / b;
+                uint256 m = a % b;
+                return s + d + p + q + m;
+            }
+            function cmp(uint256 a, uint256 b) public returns (bool) {
+                return a < b && b >= a && a != b && !(a == b) && (a <= b || a > b);
+            }
+        }
+    "#;
+    let mut d = deploy(src, "math", &[]);
+    // a=10 b=3: 13 + 7 + 30 + 3 + 1 = 54
+    assert_eq!(
+        d.call_word(
+            "calc",
+            &[Value::Uint(U256::from_u64(10)), Value::Uint(U256::from_u64(3))]
+        ),
+        U256::from_u64(54)
+    );
+    assert_eq!(
+        d.call_word(
+            "cmp",
+            &[Value::Uint(U256::from_u64(2)), Value::Uint(U256::from_u64(5))]
+        ),
+        U256::ONE
+    );
+    assert_eq!(
+        d.call_word(
+            "cmp",
+            &[Value::Uint(U256::from_u64(5)), Value::Uint(U256::from_u64(5))]
+        ),
+        U256::ZERO
+    );
+}
+
+#[test]
+fn short_circuit_prevents_side_effects() {
+    // `false && f()` must not execute f. We detect execution via storage.
+    let src = r#"
+        contract sc {
+            uint256 hits;
+            function bump() private returns (bool) { hits = hits + 1; return true; }
+            function and_false() public { bool r = false && bump(); require(!r); }
+            function or_true() public { bool r = true || bump(); require(r); }
+            function hitCount() public returns (uint256) { return hits; }
+        }
+    "#;
+    let mut d = deploy(src, "sc", &[]);
+    assert!(d.call("and_false", &[], U256::ZERO).success);
+    assert!(d.call("or_true", &[], U256::ZERO).success);
+    assert_eq!(d.call_word("hitCount", &[]), U256::ZERO);
+}
+
+#[test]
+fn mappings_and_fixed_arrays() {
+    let src = r#"
+        contract book {
+            mapping(address => uint256) balances;
+            address[2] participant;
+            constructor(address a, address b) public {
+                participant[0] = a;
+                participant[1] = b;
+            }
+            function credit(address who, uint256 amt) public {
+                balances[who] = balances[who] + amt;
+            }
+            function balanceOf(address who) public returns (uint256) {
+                return balances[who];
+            }
+            function participantAt(uint256 i) public returns (address) {
+                return participant[i];
+            }
+        }
+    "#;
+    let a = Address([1; 20]);
+    let b = Address([2; 20]);
+    let mut d = deploy(src, "book", &[Value::Address(a), Value::Address(b)]);
+    d.call("credit", &[Value::Address(a), Value::Uint(U256::from_u64(5))], U256::ZERO);
+    d.call("credit", &[Value::Address(a), Value::Uint(U256::from_u64(7))], U256::ZERO);
+    assert_eq!(d.call_word("balanceOf", &[Value::Address(a)]), U256::from_u64(12));
+    assert_eq!(d.call_word("balanceOf", &[Value::Address(b)]), U256::ZERO);
+    assert_eq!(d.call_word("participantAt", &[Value::Uint(U256::ZERO)]), a.to_u256());
+    assert_eq!(d.call_word("participantAt", &[Value::Uint(U256::ONE)]), b.to_u256());
+    // Out-of-bounds reverts.
+    let out = d.call("participantAt", &[Value::Uint(U256::from_u64(2))], U256::ZERO);
+    assert!(!out.success);
+}
+
+#[test]
+fn require_and_revert() {
+    let src = r#"
+        contract guard {
+            function check(uint256 x) public returns (uint256) {
+                require(x > 10, "too small");
+                if (x > 100) { revert(); }
+                return x;
+            }
+        }
+    "#;
+    let mut d = deploy(src, "guard", &[]);
+    assert!(!d.call("check", &[Value::Uint(U256::from_u64(5))], U256::ZERO).success);
+    assert_eq!(d.call_word("check", &[Value::Uint(U256::from_u64(50))]), U256::from_u64(50));
+    assert!(!d.call("check", &[Value::Uint(U256::from_u64(200))], U256::ZERO).success);
+}
+
+#[test]
+fn payable_gate() {
+    let src = r#"
+        contract pay {
+            mapping(address => uint256) deposits;
+            function deposit() public payable { deposits[msg.sender] = msg.value; }
+            function plain() public { }
+            function myDeposit() public returns (uint256) { return deposits[msg.sender]; }
+        }
+    "#;
+    let mut d = deploy(src, "pay", &[]);
+    assert!(d.call("deposit", &[], ether(1)).success);
+    assert_eq!(d.call_word("myDeposit", &[]), ether(1));
+    // Sending value to a non-payable function reverts.
+    let out = d.call("plain", &[], ether(1));
+    assert!(!out.success, "non-payable accepted value");
+    assert!(d.call("plain", &[], U256::ZERO).success);
+    assert_eq!(d.host.balance(d.address), ether(1));
+}
+
+#[test]
+fn modifiers_enforce_and_compose() {
+    let src = r#"
+        contract modded {
+            address owner;
+            uint256 T1;
+            uint256 calls;
+            constructor(address o, uint256 t1) public { owner = o; T1 = t1; }
+            modifier ownerOnly { require(msg.sender == owner); _; }
+            modifier beforeT1 { require(block.timestamp < T1); _; }
+            function f() public ownerOnly beforeT1 { calls = calls + 1; }
+            function count() public returns (uint256) { return calls; }
+        }
+    "#;
+    let owner = CALLER;
+    let mut d = deploy(
+        src,
+        "modded",
+        &[Value::Address(owner), Value::Uint(U256::from_u64(1_000_000))],
+    );
+    d.env.block.timestamp = 500_000;
+    assert!(d.call_from(owner, "f", &[], U256::ZERO).success);
+    assert!(
+        !d.call_from(DEPLOYER, "f", &[], U256::ZERO).success,
+        "non-owner must be rejected"
+    );
+    d.env.block.timestamp = 2_000_000;
+    assert!(
+        !d.call_from(owner, "f", &[], U256::ZERO).success,
+        "after T1 must be rejected"
+    );
+    assert_eq!(d.call_word("count", &[]), U256::ONE);
+}
+
+#[test]
+fn loops_compute() {
+    let src = r#"
+        contract looper {
+            function sum(uint256 n) public returns (uint256) {
+                uint256 acc = 0;
+                for (uint256 i = 1; i <= n; i = i + 1) { acc = acc + i; }
+                return acc;
+            }
+            function countdown(uint256 n) public returns (uint256) {
+                uint256 steps = 0;
+                while (n > 0) { n = n - 1; steps = steps + 1; }
+                return steps;
+            }
+        }
+    "#;
+    let mut d = deploy(src, "looper", &[]);
+    assert_eq!(d.call_word("sum", &[Value::Uint(U256::from_u64(100))]), U256::from_u64(5050));
+    assert_eq!(
+        d.call_word("countdown", &[Value::Uint(U256::from_u64(13))]),
+        U256::from_u64(13)
+    );
+}
+
+#[test]
+fn private_function_inlined_with_return() {
+    let src = r#"
+        contract inliner {
+            function helper(uint256 x) private returns (uint256) {
+                if (x > 10) { return x * 2; }
+                return x + 1;
+            }
+            function f(uint256 x) public returns (uint256) {
+                uint256 a = helper(x);
+                uint256 b = helper(x + 20);
+                return a + b;
+            }
+        }
+    "#;
+    let mut d = deploy(src, "inliner", &[]);
+    // x=5: helper(5)=6, helper(25)=50 → 56
+    assert_eq!(d.call_word("f", &[Value::Uint(U256::from_u64(5))]), U256::from_u64(56));
+}
+
+#[test]
+fn transfer_moves_ether() {
+    let src = r#"
+        contract vault {
+            function fund() public payable { }
+            function payout(address to, uint256 amt) public {
+                to.transfer(amt);
+            }
+        }
+    "#;
+    let mut d = deploy(src, "vault", &[]);
+    assert!(d.call("fund", &[], ether(5)).success);
+    let dest = Address([0x77; 20]);
+    assert!(d
+        .call("payout", &[Value::Address(dest), Value::Uint(ether(2))], U256::ZERO)
+        .success);
+    assert_eq!(d.host.balance(dest), ether(2));
+    assert_eq!(d.host.balance(d.address), ether(3));
+    // Overdraw reverts.
+    assert!(!d
+        .call("payout", &[Value::Address(dest), Value::Uint(ether(10))], U256::ZERO)
+        .success);
+}
+
+#[test]
+fn balance_reads() {
+    let src = r#"
+        contract peek {
+            function fund() public payable { }
+            function myBalance() public returns (uint256) {
+                return address(this).balance;
+            }
+        }
+    "#;
+    let mut d = deploy(src, "peek", &[]);
+    d.call("fund", &[], ether(3));
+    assert_eq!(d.call_word("myBalance", &[]), ether(3));
+}
+
+#[test]
+fn bytes_arg_keccak_matches_native() {
+    let src = r#"
+        contract hasher {
+            function h(bytes memory data) public returns (bytes32) {
+                return keccak256(data);
+            }
+        }
+    "#;
+    let mut d = deploy(src, "hasher", &[]);
+    for payload in [vec![], vec![1u8, 2, 3], vec![0xab; 100], vec![0x5a; 32]] {
+        let out = d.call("h", &[Value::Bytes(payload.clone())], U256::ZERO);
+        assert!(out.success, "len {}: {:?}", payload.len(), out.error);
+        assert_eq!(
+            out.output,
+            sc_crypto::keccak256(&payload).as_bytes(),
+            "keccak mismatch for len {}",
+            payload.len()
+        );
+    }
+}
+
+#[test]
+fn ecrecover_in_contract() {
+    let src = r#"
+        contract verifier {
+            function check(bytes32 h, uint8 v, bytes32 r, bytes32 s) public returns (address) {
+                return ecrecover(h, v, r, s);
+            }
+        }
+    "#;
+    let mut d = deploy(src, "verifier", &[]);
+    let key = sc_crypto::ecdsa::PrivateKey::from_seed("alice");
+    let digest = sc_crypto::keccak256(b"the off-chain bytecode");
+    let sig = key.sign(digest);
+    let out = d.call_word(
+        "check",
+        &[
+            Value::Bytes32(digest),
+            Value::Uint(U256::from_u64(sig.v as u64)),
+            Value::Bytes32(sig.r),
+            Value::Bytes32(sig.s),
+        ],
+    );
+    assert_eq!(out, key.address().to_u256());
+    // A corrupted signature recovers to some other address (or zero).
+    let bad = d.call_word(
+        "check",
+        &[
+            Value::Bytes32(digest),
+            Value::Uint(U256::from_u64(sig.v as u64)),
+            Value::Bytes32(sig.s), // swapped
+            Value::Bytes32(sig.r),
+        ],
+    );
+    assert_ne!(bad, key.address().to_u256());
+}
+
+#[test]
+fn create_from_bytes_deploys() {
+    // Deploy a child whose runtime returns 99, from raw initcode passed in.
+    let src = r#"
+        contract factory {
+            address public child;
+            function make(bytes memory code) public returns (address) {
+                address a = create(code);
+                require(a != address(0));
+                child = a;
+                return a;
+            }
+        }
+    "#;
+    let mut d = deploy(src, "factory", &[]);
+    let child_runtime = vec![0x60, 0x63, 0x60, 0x00, 0x52, 0x60, 0x20, 0x60, 0x00, 0xf3];
+    let child_init = sc_evm::wrap_initcode(&child_runtime);
+    let out = d.call_word("make", &[Value::Bytes(child_init)]);
+    let child = Address::from_u256(out);
+    assert_eq!(*d.host.code(child), child_runtime);
+    // The factory (not the EOA) is the creator: CA = f(factory, nonce 1).
+    assert_eq!(child, sc_evm::contract_address(d.address, 1));
+}
+
+#[test]
+fn interface_call_between_contracts() {
+    let callee_src = r#"
+        contract callee {
+            uint256 public last;
+            bool ok;
+            function poke(uint256 x) public returns (bool) {
+                last = x;
+                return true;
+            }
+            function getLast() public returns (uint256) { return last; }
+        }
+    "#;
+    let caller_src = r#"
+        interface Callee {
+            function poke(uint256 x) external returns (bool);
+        }
+        contract caller {
+            function relay(address target, uint256 x) public returns (bool) {
+                return Callee(target).poke(x);
+            }
+        }
+    "#;
+    let mut d = deploy(callee_src, "callee", &[]);
+    // Deploy the caller into the same host.
+    let caller_c = compile(caller_src, "caller").unwrap();
+    let out = Evm::new(&mut d.host, d.env.clone()).create(
+        DEPLOYER,
+        U256::ZERO,
+        caller_c.initcode(&[]).unwrap(),
+        5_000_000,
+    );
+    assert!(out.success);
+    let caller_addr = out.address.unwrap();
+
+    let data = caller_c
+        .calldata(
+            "relay",
+            &[
+                Value::Address(d.address),
+                Value::Uint(U256::from_u64(4242)),
+            ],
+        )
+        .unwrap();
+    let out = Evm::new(&mut d.host, d.env.clone()).call(CallParams::transact(
+        CALLER,
+        caller_addr,
+        U256::ZERO,
+        data,
+        5_000_000,
+    ));
+    assert!(out.success, "{:?}", out.error);
+    assert_eq!(U256::from_be_slice(&out.output), U256::ONE, "poke returned true");
+    assert_eq!(d.call_word("getLast", &[]), U256::from_u64(4242));
+}
+
+#[test]
+fn msg_sender_is_caller() {
+    let src = r#"
+        contract who {
+            function me() public returns (address) { return msg.sender; }
+        }
+    "#;
+    let mut d = deploy(src, "who", &[]);
+    assert_eq!(d.call_word("me", &[]), CALLER.to_u256());
+}
+
+#[test]
+fn timestamp_windows() {
+    let src = r#"
+        contract windows {
+            uint256 T1;
+            uint256 T2;
+            constructor(uint256 t1, uint256 t2) public { T1 = t1; T2 = t2; }
+            function phase() public returns (uint256) {
+                if (block.timestamp < T1) { return 1; }
+                if (block.timestamp < T2) { return 2; }
+                return 3;
+            }
+        }
+    "#;
+    let mut d = deploy(
+        src,
+        "windows",
+        &[Value::Uint(U256::from_u64(100)), Value::Uint(U256::from_u64(200))],
+    );
+    d.env.block.timestamp = 50;
+    assert_eq!(d.call_word("phase", &[]), U256::ONE);
+    d.env.block.timestamp = 150;
+    assert_eq!(d.call_word("phase", &[]), U256::from_u64(2));
+    d.env.block.timestamp = 250;
+    assert_eq!(d.call_word("phase", &[]), U256::from_u64(3));
+}
+
+#[test]
+fn unknown_selector_reverts() {
+    let src = "contract c { function f() public { } }";
+    let mut d = deploy(src, "c", &[]);
+    let out = Evm::new(&mut d.host, d.env.clone()).call(CallParams::transact(
+        CALLER,
+        d.address,
+        U256::ZERO,
+        vec![0xde, 0xad, 0xbe, 0xef],
+        100_000,
+    ));
+    assert!(!out.success);
+    // Short calldata also reverts rather than misdispatching.
+    let out = Evm::new(&mut d.host, d.env.clone()).call(CallParams::transact(
+        CALLER,
+        d.address,
+        U256::ZERO,
+        vec![0x01],
+        100_000,
+    ));
+    assert!(!out.success);
+}
+
+#[test]
+fn plain_ether_to_contract_rejected() {
+    // No fallback function: a bare transfer to the contract reverts.
+    let src = "contract c { function f() public { } }";
+    let mut d = deploy(src, "c", &[]);
+    let out = Evm::new(&mut d.host, d.env.clone()).call(CallParams::transact(
+        CALLER,
+        d.address,
+        ether(1),
+        vec![],
+        100_000,
+    ));
+    assert!(!out.success);
+    assert_eq!(d.host.balance(d.address), U256::ZERO);
+}
+
+#[test]
+fn uint8_args_are_masked() {
+    let src = r#"
+        contract m {
+            function id(uint8 v) public returns (uint256) { return v; }
+        }
+    "#;
+    let mut d = deploy(src, "m", &[]);
+    // Dirty high bits in the calldata word must be masked off.
+    let out = d.call_word("id", &[Value::Uint(U256::from_u64(0xabcd))]);
+    assert_eq!(out, U256::from_u64(0xcd));
+}
+
+#[test]
+fn abi_bool_normalized() {
+    let src = r#"
+        contract b {
+            function flip(bool x) public returns (bool) { return !x; }
+        }
+    "#;
+    let mut d = deploy(src, "b", &[]);
+    assert_eq!(d.call_word("flip", &[Value::Bool(false)]), U256::ONE);
+    assert_eq!(d.call_word("flip", &[Value::Bool(true)]), U256::ZERO);
+}

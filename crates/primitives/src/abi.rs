@@ -1,0 +1,300 @@
+//! Solidity-compatible ABI encoding and decoding.
+//!
+//! Implements the head/tail encoding scheme for the types the paper's
+//! contracts use: `uint256`/`uint8`, `address`, `bool`, `bytes32` and the
+//! dynamic `bytes` (needed for `deployVerifiedInstance(bytes,...)`, which
+//! carries the whole off-chain contract bytecode as calldata).
+//!
+//! Selector computation (`keccak256(signature)[..4]`) lives in `sc-crypto`
+//! to keep this crate hash-free; this module takes selectors as opaque
+//! 4-byte values.
+
+use crate::hash::{Address, H256};
+use crate::u256::U256;
+use std::fmt;
+
+/// A dynamically-typed ABI value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Any `uintN` (stored widened to 256 bits).
+    Uint(U256),
+    /// A 20-byte address.
+    Address(Address),
+    /// A boolean.
+    Bool(bool),
+    /// A fixed 32-byte value (`bytes32`).
+    Bytes32(H256),
+    /// Dynamic `bytes`.
+    Bytes(Vec<u8>),
+}
+
+/// The static type of an ABI value, used to drive decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// Any `uintN` (decoded as a full word).
+    Uint,
+    /// A 20-byte address.
+    Address,
+    /// A boolean.
+    Bool,
+    /// `bytes32`.
+    Bytes32,
+    /// Dynamic `bytes`.
+    Bytes,
+}
+
+/// Error returned by the decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbiError {
+    /// Calldata was shorter than the encoding requires.
+    ShortInput,
+    /// A dynamic offset or length was out of range.
+    BadOffset,
+    /// A `bool` slot held something other than 0 or 1.
+    BadBool,
+    /// An `address` slot had nonzero high bytes.
+    BadAddress,
+}
+
+impl fmt::Display for AbiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbiError::ShortInput => write!(f, "calldata too short"),
+            AbiError::BadOffset => write!(f, "dynamic offset out of range"),
+            AbiError::BadBool => write!(f, "invalid boolean encoding"),
+            AbiError::BadAddress => write!(f, "address with dirty high bytes"),
+        }
+    }
+}
+
+impl std::error::Error for AbiError {}
+
+impl Value {
+    /// True iff the value is dynamically sized (encoded in the tail).
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, Value::Bytes(_))
+    }
+
+    /// The static head word for this value: the value itself for static
+    /// types, the tail offset placeholder for dynamic ones.
+    fn head_word(&self) -> U256 {
+        match self {
+            Value::Uint(v) => *v,
+            Value::Address(a) => a.to_u256(),
+            Value::Bool(b) => U256::from(*b),
+            Value::Bytes32(h) => h.to_u256(),
+            Value::Bytes(_) => U256::ZERO, // patched with the real offset
+        }
+    }
+
+    /// Convenience accessor.
+    pub fn as_uint(&self) -> Option<U256> {
+        match self {
+            Value::Uint(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor.
+    pub fn as_address(&self) -> Option<Address> {
+        match self {
+            Value::Address(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Encodes argument values using the head/tail scheme (no selector).
+pub fn encode(values: &[Value]) -> Vec<u8> {
+    let head_len = values.len() * 32;
+    let mut head = Vec::with_capacity(head_len);
+    let mut tail: Vec<u8> = Vec::new();
+    for v in values {
+        if v.is_dynamic() {
+            let offset = U256::from_u64((head_len + tail.len()) as u64);
+            head.extend_from_slice(&offset.to_be_bytes());
+            match v {
+                Value::Bytes(b) => {
+                    tail.extend_from_slice(&U256::from_u64(b.len() as u64).to_be_bytes());
+                    tail.extend_from_slice(b);
+                    // Pad to a 32-byte boundary.
+                    let pad = (32 - b.len() % 32) % 32;
+                    tail.extend(std::iter::repeat_n(0u8, pad));
+                }
+                _ => unreachable!("only Bytes is dynamic"),
+            }
+        } else {
+            head.extend_from_slice(&v.head_word().to_be_bytes());
+        }
+    }
+    head.extend_from_slice(&tail);
+    head
+}
+
+/// Encodes a full call: 4-byte selector followed by encoded arguments.
+pub fn encode_call(selector: [u8; 4], values: &[Value]) -> Vec<u8> {
+    let mut out = selector.to_vec();
+    out.extend_from_slice(&encode(values));
+    out
+}
+
+/// Decodes argument data (without selector) against a type signature.
+pub fn decode(types: &[Type], data: &[u8]) -> Result<Vec<Value>, AbiError> {
+    let mut out = Vec::with_capacity(types.len());
+    for (i, ty) in types.iter().enumerate() {
+        let word = read_word(data, i * 32)?;
+        let value = match ty {
+            Type::Uint => Value::Uint(word),
+            Type::Bytes32 => Value::Bytes32(H256::from_u256(word)),
+            Type::Address => {
+                if word.shr_bits(160) != U256::ZERO {
+                    return Err(AbiError::BadAddress);
+                }
+                Value::Address(Address::from_u256(word))
+            }
+            Type::Bool => match word.to_u64() {
+                Some(0) => Value::Bool(false),
+                Some(1) => Value::Bool(true),
+                _ => return Err(AbiError::BadBool),
+            },
+            Type::Bytes => {
+                let offset = word.to_usize().ok_or(AbiError::BadOffset)?;
+                let len_word = read_word(data, offset)?;
+                let len = len_word.to_usize().ok_or(AbiError::BadOffset)?;
+                let start = offset.checked_add(32).ok_or(AbiError::BadOffset)?;
+                let end = start.checked_add(len).ok_or(AbiError::BadOffset)?;
+                if end > data.len() {
+                    return Err(AbiError::ShortInput);
+                }
+                Value::Bytes(data[start..end].to_vec())
+            }
+        };
+        out.push(value);
+    }
+    Ok(out)
+}
+
+/// Splits calldata into `(selector, argument data)`.
+pub fn split_selector(calldata: &[u8]) -> Result<([u8; 4], &[u8]), AbiError> {
+    if calldata.len() < 4 {
+        return Err(AbiError::ShortInput);
+    }
+    let mut sel = [0u8; 4];
+    sel.copy_from_slice(&calldata[..4]);
+    Ok((sel, &calldata[4..]))
+}
+
+fn read_word(data: &[u8], offset: usize) -> Result<U256, AbiError> {
+    let end = offset.checked_add(32).ok_or(AbiError::BadOffset)?;
+    if end > data.len() {
+        return Err(AbiError::ShortInput);
+    }
+    let mut w = [0u8; 32];
+    w.copy_from_slice(&data[offset..end]);
+    Ok(U256::from_be_bytes(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_args_are_one_word_each() {
+        let enc = encode(&[
+            Value::Uint(U256::from_u64(5)),
+            Value::Bool(true),
+            Value::Address(Address([0x11; 20])),
+        ]);
+        assert_eq!(enc.len(), 96);
+        assert_eq!(enc[31], 5);
+        assert_eq!(enc[63], 1);
+        assert_eq!(&enc[76..96], &[0x11; 20]);
+    }
+
+    #[test]
+    fn dynamic_bytes_head_tail() {
+        let payload = vec![0xaa; 5];
+        let enc = encode(&[Value::Uint(U256::ONE), Value::Bytes(payload.clone())]);
+        // head: 2 words; offset points at 0x40
+        assert_eq!(U256::from_be_slice(&enc[32..64]), U256::from_u64(0x40));
+        // tail: length word then padded payload
+        assert_eq!(U256::from_be_slice(&enc[64..96]), U256::from_u64(5));
+        assert_eq!(&enc[96..101], &payload[..]);
+        assert_eq!(enc.len(), 128, "payload padded to 32 bytes");
+    }
+
+    #[test]
+    fn roundtrip_mixed() {
+        let vals = vec![
+            Value::Bytes(vec![1, 2, 3, 4, 5, 6, 7]),
+            Value::Uint(U256::from_u64(99)),
+            Value::Bool(false),
+            Value::Bytes32(H256([7u8; 32])),
+            Value::Address(Address([9u8; 20])),
+        ];
+        let enc = encode(&vals);
+        let dec = decode(
+            &[Type::Bytes, Type::Uint, Type::Bool, Type::Bytes32, Type::Address],
+            &enc,
+        )
+        .unwrap();
+        assert_eq!(dec, vals);
+    }
+
+    #[test]
+    fn roundtrip_exact_32_byte_bytes_has_no_padding() {
+        let vals = vec![Value::Bytes(vec![0xcc; 32])];
+        let enc = encode(&vals);
+        assert_eq!(enc.len(), 32 + 32 + 32);
+        assert_eq!(decode(&[Type::Bytes], &enc).unwrap(), vals);
+    }
+
+    #[test]
+    fn selector_split() {
+        let data = encode_call([0xde, 0xad, 0xbe, 0xef], &[Value::Uint(U256::ONE)]);
+        let (sel, args) = split_selector(&data).unwrap();
+        assert_eq!(sel, [0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(decode(&[Type::Uint], args).unwrap()[0], Value::Uint(U256::ONE));
+        assert_eq!(split_selector(&[1, 2, 3]), Err(AbiError::ShortInput));
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert_eq!(decode(&[Type::Uint], &[0u8; 16]), Err(AbiError::ShortInput));
+        assert_eq!(
+            decode(&[Type::Bool], &U256::from_u64(2).to_be_bytes()),
+            Err(AbiError::BadBool)
+        );
+        assert_eq!(
+            decode(&[Type::Address], &U256::MAX.to_be_bytes()),
+            Err(AbiError::BadAddress)
+        );
+        // Bytes offset beyond the buffer
+        let mut bad = U256::from_u64(1024).to_be_bytes().to_vec();
+        bad.extend_from_slice(&[0u8; 32]);
+        assert_eq!(decode(&[Type::Bytes], &bad), Err(AbiError::ShortInput));
+    }
+
+    #[test]
+    fn empty_bytes_roundtrip() {
+        let vals = vec![Value::Bytes(Vec::new())];
+        let enc = encode(&vals);
+        assert_eq!(decode(&[Type::Bytes], &enc).unwrap(), vals);
+    }
+}

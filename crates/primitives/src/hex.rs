@@ -1,0 +1,99 @@
+//! Minimal hex encoding/decoding (lowercase output, `0x`-prefix tolerant).
+
+use std::fmt;
+
+/// Error returned by [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FromHexError {
+    /// A character outside `[0-9a-fA-F]`.
+    InvalidChar(char),
+    /// Odd number of nibbles.
+    OddLength,
+    /// Decoded length did not match the caller's expectation (raised by
+    /// fixed-size wrappers such as `Address::from_hex`).
+    InvalidLength(usize),
+}
+
+impl fmt::Display for FromHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FromHexError::InvalidChar(c) => write!(f, "invalid hex character {c:?}"),
+            FromHexError::OddLength => write!(f, "odd-length hex string"),
+            FromHexError::InvalidLength(n) => write!(f, "unexpected decoded length {n}"),
+        }
+    }
+}
+
+impl std::error::Error for FromHexError {}
+
+/// Encodes bytes as a lowercase hex string without a prefix.
+pub fn encode(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Encodes bytes as a `0x`-prefixed lowercase hex string.
+pub fn encode_prefixed(bytes: &[u8]) -> String {
+    format!("0x{}", encode(bytes))
+}
+
+/// Decodes a hex string, tolerating an optional `0x` prefix.
+pub fn decode(s: &str) -> Result<Vec<u8>, FromHexError> {
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    if !s.len().is_multiple_of(2) {
+        return Err(FromHexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = nibble(pair[0])?;
+        let lo = nibble(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+fn nibble(c: u8) -> Result<u8, FromHexError> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        b'A'..=b'F' => Ok(c - b'A' + 10),
+        _ => Err(FromHexError::InvalidChar(c as char)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = vec![0x00, 0xff, 0x12, 0xab];
+        assert_eq!(encode(&data), "00ff12ab");
+        assert_eq!(decode("00ff12ab").unwrap(), data);
+        assert_eq!(decode("0x00FF12AB").unwrap(), data);
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+        assert_eq!(decode("0x").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(decode("abc"), Err(FromHexError::OddLength));
+        assert_eq!(decode("zz"), Err(FromHexError::InvalidChar('z')));
+    }
+
+    #[test]
+    fn prefixed_encoder() {
+        assert_eq!(encode_prefixed(&[0xde, 0xad]), "0xdead");
+    }
+}

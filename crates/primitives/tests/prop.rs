@@ -1,0 +1,202 @@
+//! Property-based tests for the primitive types against reference models.
+
+use proptest::prelude::*;
+use sc_primitives::abi::{self, Type, Value};
+use sc_primitives::rlp::{self, Item};
+use sc_primitives::{hex, Address, H256, U256};
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    // Mix of full-range words and small/structured values so limb
+    // boundaries get exercised.
+    prop_oneof![
+        any::<[u64; 4]>().prop_map(U256),
+        any::<u64>().prop_map(U256::from_u64),
+        any::<u64>().prop_map(|v| U256([0, 0, 0, v])),
+        Just(U256::ZERO),
+        Just(U256::ONE),
+        Just(U256::MAX),
+    ]
+}
+
+proptest! {
+    // ----- U256 vs u128 reference model -----
+
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let sum = U256::from_u64(a).wrapping_add(U256::from_u64(b));
+        prop_assert_eq!(sum, U256::from_u128(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = U256::from_u64(a).wrapping_mul(U256::from_u64(b));
+        prop_assert_eq!(prod, U256::from_u128(a as u128 * b as u128));
+    }
+
+    #[test]
+    #[allow(clippy::manual_checked_ops)]
+    fn div_rem_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (q, r) = U256::from_u128(a).div_rem(U256::from_u128(b));
+        if b == 0 {
+            prop_assert_eq!(q, U256::ZERO);
+            prop_assert_eq!(r, U256::ZERO);
+        } else {
+            prop_assert_eq!(q, U256::from_u128(a / b));
+            prop_assert_eq!(r, U256::from_u128(a % b));
+        }
+    }
+
+    // ----- algebraic laws on the full domain -----
+
+    #[test]
+    fn add_is_commutative(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
+    }
+
+    #[test]
+    fn mul_is_commutative(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_mul(b), b.wrapping_mul(a));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in arb_u256(), b in arb_u256(), c in arb_u256()) {
+        let left = a.wrapping_mul(b.wrapping_add(c));
+        let right = a.wrapping_mul(b).wrapping_add(a.wrapping_mul(c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in arb_u256(), b in arb_u256()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    }
+
+    #[test]
+    fn shifts_compose(a in arb_u256(), n in 0u32..256, m in 0u32..256) {
+        let both = a.shl_bits(n).shl_bits(m);
+        let once = if n as u64 + m as u64 >= 256 { U256::ZERO } else { a.shl_bits(n + m) };
+        prop_assert_eq!(both, once);
+    }
+
+    #[test]
+    fn shr_then_shl_masks_low_bits(a in arb_u256(), n in 0u32..256) {
+        let v = a.shr_bits(n).shl_bits(n);
+        let mask = if n == 0 { U256::MAX } else { U256::MAX.shl_bits(n) };
+        prop_assert_eq!(v, a & mask);
+    }
+
+    #[test]
+    fn neg_is_involution(a in arb_u256()) {
+        prop_assert_eq!(a.neg().neg(), a);
+    }
+
+    #[test]
+    fn sdiv_smod_reconstruct(a in arb_u256(), b in arb_u256()) {
+        prop_assume!(!b.is_zero());
+        // a == sdiv(a,b) * b + smod(a,b)  (all wrapping two's-complement)
+        let q = a.sdiv(b);
+        let r = a.smod(b);
+        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    }
+
+    #[test]
+    fn mulmod_matches_naive_when_small(a in any::<u64>(), b in any::<u64>(), m in 1u64..) {
+        let got = U256::from_u64(a).mulmod(U256::from_u64(b), U256::from_u64(m));
+        let expect = ((a as u128 * b as u128) % m as u128) as u64;
+        prop_assert_eq!(got, U256::from_u64(expect));
+    }
+
+    #[test]
+    fn addmod_matches_naive_when_small(a in any::<u64>(), b in any::<u64>(), m in 1u64..) {
+        let got = U256::from_u64(a).addmod(U256::from_u64(b), U256::from_u64(m));
+        let expect = ((a as u128 + b as u128) % m as u128) as u64;
+        prop_assert_eq!(got, U256::from_u64(expect));
+    }
+
+    #[test]
+    fn be_bytes_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
+        prop_assert_eq!(U256::from_be_slice(&a.to_be_bytes_trimmed()), a);
+    }
+
+    #[test]
+    fn dec_string_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_dec_str(&a.to_dec_string()).unwrap(), a);
+    }
+
+    #[test]
+    fn hex_string_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_hex_str(&format!("{a:x}")).unwrap(), a);
+    }
+
+    // ----- hex -----
+
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(hex::decode(&hex::encode(&data)).unwrap(), data);
+    }
+
+    // ----- RLP -----
+
+    #[test]
+    fn rlp_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let item = Item::Bytes(data);
+        prop_assert_eq!(rlp::decode(&rlp::encode(&item)).unwrap(), item);
+    }
+
+    #[test]
+    fn rlp_uint_roundtrip(a in arb_u256()) {
+        let item = Item::uint(a);
+        let dec = rlp::decode(&rlp::encode(&item)).unwrap();
+        prop_assert_eq!(dec.as_uint(), Some(a));
+    }
+
+    #[test]
+    fn rlp_list_roundtrip(vals in proptest::collection::vec(any::<u64>(), 0..40)) {
+        let item = Item::List(vals.into_iter().map(Item::u64).collect());
+        prop_assert_eq!(rlp::decode(&rlp::encode(&item)).unwrap(), item);
+    }
+
+    // ----- ABI -----
+
+    #[test]
+    fn abi_roundtrip(
+        n in arb_u256(),
+        flag in any::<bool>(),
+        addr in any::<[u8; 20]>(),
+        h in any::<[u8; 32]>(),
+        blob in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let vals = vec![
+            Value::Uint(n),
+            Value::Bytes(blob),
+            Value::Bool(flag),
+            Value::Address(Address(addr)),
+            Value::Bytes32(H256(h)),
+        ];
+        let enc = abi::encode(&vals);
+        let dec = abi::decode(
+            &[Type::Uint, Type::Bytes, Type::Bool, Type::Address, Type::Bytes32],
+            &enc,
+        ).unwrap();
+        prop_assert_eq!(dec, vals);
+    }
+
+    #[test]
+    fn abi_two_dynamic_args(
+        a in proptest::collection::vec(any::<u8>(), 0..100),
+        b in proptest::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let vals = vec![Value::Bytes(a), Value::Uint(U256::ONE), Value::Bytes(b)];
+        let enc = abi::encode(&vals);
+        let dec = abi::decode(&[Type::Bytes, Type::Uint, Type::Bytes], &enc).unwrap();
+        prop_assert_eq!(dec, vals);
+    }
+}

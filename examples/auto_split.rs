@@ -1,0 +1,44 @@
+//! The split/generate stage, fully automated: feed the monolithic
+//! betting contract to the splitter and get a compilable, protocol-ready
+//! on/off-chain pair back — classification, decomposition of the mixed
+//! settlement function, state partitioning, constructor splitting and
+//! extra-function padding all done mechanically.
+//!
+//! Run with: `cargo run --example auto_split`
+
+use onoffchain::contracts::MONOLITHIC_SRC;
+use onoffchain::core::{generate_pair, split};
+use onoffchain::lang::parse;
+
+fn main() {
+    let program = parse(MONOLITHIC_SRC).expect("monolithic source parses");
+    let whole = &program.contracts[0];
+
+    println!("== 1. classification (the paper's light/public vs heavy/private) ==\n");
+    let plan = split(whole);
+    print!("{}", plan.report());
+
+    println!("\n== 2. generated on-chain contract ==\n");
+    let pair = generate_pair(whole).expect("pair generates");
+    println!("{}", pair.onchain_source);
+
+    println!("== 3. generated off-chain contract (this is what gets signed) ==\n");
+    println!("{}", pair.offchain_source);
+
+    println!("== 4. compiled artifacts ==\n");
+    println!(
+        "on-chain runtime:  {:>5} bytes  (deployed publicly)",
+        pair.onchain.runtime.len()
+    );
+    println!(
+        "off-chain runtime: {:>5} bytes  (kept private until a dispute)",
+        pair.offchain.runtime.len()
+    );
+    println!(
+        "functions moved off-chain: {}",
+        pair.offchain_functions.join(", ")
+    );
+    println!();
+    println!("The generated pair passes the same end-to-end dispute test as the");
+    println!("hand-written contracts — see crates/core/tests/generated_pair.rs.");
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the on/off-chain smart-contract stack.
+//!
+//! Re-exports every layer of the reproduction of Li, Palanisamy & Xu,
+//! *"Scalable and Privacy-preserving Design of On/Off-chain Smart
+//! Contracts"* (ICDE 2019):
+//!
+//! * [`primitives`] — 256-bit words, addresses, hashes, hex, RLP, ABI.
+//! * [`crypto`] — keccak-256 and secp256k1 ECDSA (sign / verify / recover).
+//! * [`evm`] — a from-scratch EVM interpreter with Yellow-Paper gas costs.
+//! * [`chain`] — a single-node Ethereum-style chain simulator ("Kovan").
+//! * [`lang`] — MiniSol, a deterministic Solidity-subset compiler.
+//! * [`contracts`] — the paper's betting contracts and baselines in MiniSol.
+//! * [`core`] — the paper's contribution: contract splitting, signed copies,
+//!   and the four-stage enforcement protocol.
+
+pub use sc_chain as chain;
+pub use sc_contracts as contracts;
+pub use sc_core as core;
+pub use sc_crypto as crypto;
+pub use sc_evm as evm;
+pub use sc_lang as lang;
+pub use sc_primitives as primitives;

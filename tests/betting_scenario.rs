@@ -1,0 +1,283 @@
+//! E4 — Table I of the paper as an executable scenario: each numbered
+//! betting rule driven manually against the chain simulator, with the
+//! timing windows enforced by `block.timestamp`.
+
+use onoffchain::chain::{Testnet, Wallet};
+use onoffchain::contracts::{BetSecrets, OffChainContract, OnChainContract, Timeline, DEPLOYED_ADDR_SLOT};
+use onoffchain::core::SignedCopy;
+use onoffchain::evm::contract_address;
+use onoffchain::primitives::{ether, Address, U256};
+
+struct Scenario {
+    net: Testnet,
+    alice: Wallet,
+    bob: Wallet,
+    on: OnChainContract,
+    off: OffChainContract,
+    onchain: Address,
+    copy: SignedCopy,
+    tl: Timeline,
+    secrets: BetSecrets,
+}
+
+/// Table I rule 1: before T0, deploy the on-chain contract and give both
+/// participants a signed copy of the off-chain contract.
+fn rule1_setup() -> Scenario {
+    let mut net = Testnet::new();
+    let alice = net.funded_wallet("alice", ether(1000));
+    let bob = net.funded_wallet("bob", ether(1000));
+    let tl = Timeline::starting_at(net.now(), 3600);
+    let mut secrets = BetSecrets {
+        secret_a: U256::from_u64(41),
+        secret_b: U256::from_u64(42),
+        weight: 32,
+    };
+    // Make Bob the winner so Alice is the loser throughout.
+    while !secrets.winner_is_bob() {
+        secrets.secret_a = secrets.secret_a.wrapping_add(U256::ONE);
+    }
+
+    let on = OnChainContract::new();
+    let off = OffChainContract::new();
+    let r = net
+        .deploy(&alice, on.initcode(alice.address, bob.address, tl), U256::ZERO, 5_000_000)
+        .unwrap();
+    assert!(r.success, "rule 1: Alice deploys the on-chain contract");
+    let onchain = r.contract_address.unwrap();
+
+    let bytecode = off.initcode(alice.address, bob.address, secrets);
+    let copy = SignedCopy::create(bytecode, &[&alice.key, &bob.key]);
+    copy.verify(&[alice.address, bob.address])
+        .expect("rule 1: both keep a verified signed copy");
+
+    Scenario {
+        net,
+        alice,
+        bob,
+        on,
+        off,
+        onchain,
+        copy,
+        tl,
+        secrets,
+    }
+}
+
+#[test]
+fn rule2_deposits_and_first_refund_window() {
+    let mut s = rule1_setup();
+    // Before T1 both can deposit exactly 1 ether …
+    for w in [&s.alice, &s.bob] {
+        let r = s
+            .net
+            .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
+            .unwrap();
+        assert!(r.success, "rule 2: deposit before T1");
+    }
+    // … and can take the money back through refundRoundOne.
+    let r = s
+        .net
+        .execute(&s.alice, s.onchain, U256::ZERO, s.on.refund_round_one(), 300_000)
+        .unwrap();
+    assert!(r.success, "rule 2: refund round one");
+    assert_eq!(s.net.balance_of(s.onchain), ether(1), "only Bob's stake remains");
+    // A second refund for the same party fails (balance is zero).
+    let r = s
+        .net
+        .execute(&s.alice, s.onchain, U256::ZERO, s.on.refund_round_one(), 300_000)
+        .unwrap();
+    assert!(!r.success, "double refund rejected");
+}
+
+#[test]
+fn rule3_refund_round_two_when_amounts_not_met() {
+    let mut s = rule1_setup();
+    // Only Bob deposits.
+    let r = s
+        .net
+        .execute(&s.bob, s.onchain, ether(1), s.on.deposit(), 300_000)
+        .unwrap();
+    assert!(r.success);
+    // Between T1 and T2 the balances are not 1 ether each, so Bob
+    // retrieves his stake.
+    let now = s.net.now();
+    s.net.advance_time(s.tl.t1 - now + 60);
+    let r = s
+        .net
+        .execute(&s.bob, s.onchain, U256::ZERO, s.on.refund_round_two(), 300_000)
+        .unwrap();
+    assert!(r.success, "rule 3: refund round two");
+    assert_eq!(s.net.balance_of(s.onchain), U256::ZERO);
+}
+
+#[test]
+fn rule3_refund_round_two_rejected_when_amounts_met() {
+    let mut s = rule1_setup();
+    for w in [&s.alice, &s.bob] {
+        assert!(s
+            .net
+            .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
+            .unwrap()
+            .success);
+    }
+    let now = s.net.now();
+    s.net.advance_time(s.tl.t1 - now + 60);
+    let r = s
+        .net
+        .execute(&s.bob, s.onchain, U256::ZERO, s.on.refund_round_two(), 300_000)
+        .unwrap();
+    assert!(!r.success, "amountNotMet gates the second refund round");
+}
+
+#[test]
+fn rule4_loser_reassigns_between_t2_and_t3() {
+    let mut s = rule1_setup();
+    for w in [&s.alice, &s.bob] {
+        assert!(s
+            .net
+            .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
+            .unwrap()
+            .success);
+    }
+    // Rule 4: after T2 the result is computable; the loser (Alice)
+    // calls reassign() before T3.
+    assert!(s.secrets.winner_is_bob());
+    let now = s.net.now();
+    s.net.advance_time(s.tl.t2 - now + 60);
+    let bob_before = s.net.balance_of(s.bob.address);
+    let r = s
+        .net
+        .execute(&s.alice, s.onchain, U256::ZERO, s.on.reassign(), 300_000)
+        .unwrap();
+    assert!(r.success, "rule 4: loser concedes");
+    assert_eq!(
+        s.net.balance_of(s.bob.address),
+        bob_before.wrapping_add(ether(2)),
+        "2 ether transferred to the winner"
+    );
+}
+
+#[test]
+fn rule4_reassign_rejected_outside_window() {
+    let mut s = rule1_setup();
+    for w in [&s.alice, &s.bob] {
+        assert!(s
+            .net
+            .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
+            .unwrap()
+            .success);
+    }
+    // Still before T2: reassign must revert.
+    let r = s
+        .net
+        .execute(&s.alice, s.onchain, U256::ZERO, s.on.reassign(), 300_000)
+        .unwrap();
+    assert!(!r.success, "reassign before T2 rejected");
+    // After T3: also rejected (the dispute path takes over).
+    let now = s.net.now();
+    s.net.advance_time(s.tl.t3 - now + 60);
+    let r = s
+        .net
+        .execute(&s.alice, s.onchain, U256::ZERO, s.on.reassign(), 300_000)
+        .unwrap();
+    assert!(!r.success, "reassign after T3 rejected");
+}
+
+#[test]
+fn rule5_dispute_resolution_end_to_end() {
+    let mut s = rule1_setup();
+    for w in [&s.alice, &s.bob] {
+        assert!(s
+            .net
+            .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
+            .unwrap()
+            .success);
+    }
+    // The loser never calls reassign(). After T3 the winner resolves.
+    let now = s.net.now();
+    s.net.advance_time(s.tl.t3 - now + 60);
+
+    // 5a: deployVerifiedInstance with the signed copy.
+    let data =
+        s.on.deploy_verified_instance(&s.copy.bytecode, &s.copy.signatures[0], &s.copy.signatures[1]);
+    let r = s
+        .net
+        .execute(&s.bob, s.onchain, U256::ZERO, data, 7_900_000)
+        .unwrap();
+    assert!(r.success, "rule 5: verified instance created: {:?}", r.failure);
+
+    // The instance address is recorded and matches the CREATE derivation.
+    let instance = Address::from_u256(
+        s.net
+            .storage_at(s.onchain, U256::from_u64(DEPLOYED_ADDR_SLOT)),
+    );
+    assert_eq!(instance, contract_address(s.onchain, 1));
+
+    // 5b: returnDisputeResolution at the verified instance.
+    let bob_before = s.net.balance_of(s.bob.address);
+    let data = s.off.return_dispute_resolution(s.onchain);
+    let r = s
+        .net
+        .execute(&s.bob, instance, U256::ZERO, data, 7_900_000)
+        .unwrap();
+    assert!(r.success, "rule 5: dispute resolution enforced: {:?}", r.failure);
+    assert!(
+        s.net.balance_of(s.bob.address) > bob_before,
+        "the miners enforced the true result"
+    );
+    assert_eq!(s.net.balance_of(s.onchain), U256::ZERO);
+}
+
+#[test]
+fn rule5_rejects_unsigned_bytecode() {
+    let mut s = rule1_setup();
+    for w in [&s.alice, &s.bob] {
+        assert!(s
+            .net
+            .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
+            .unwrap()
+            .success);
+    }
+    let now = s.net.now();
+    s.net.advance_time(s.tl.t3 - now + 60);
+    // Tamper one byte of the bytecode: ecrecover returns a different
+    // address and the require fails.
+    let mut tampered = s.copy.bytecode.clone();
+    tampered[100] ^= 0x01;
+    let data =
+        s.on.deploy_verified_instance(&tampered, &s.copy.signatures[0], &s.copy.signatures[1]);
+    let r = s
+        .net
+        .execute(&s.bob, s.onchain, U256::ZERO, data, 7_900_000)
+        .unwrap();
+    assert!(!r.success, "tampered bytecode must be rejected");
+    assert_eq!(
+        s.net
+            .storage_at(s.onchain, U256::from_u64(DEPLOYED_ADDR_SLOT)),
+        U256::ZERO,
+        "no instance recorded"
+    );
+}
+
+#[test]
+fn rule5_requires_waiting_for_t3() {
+    let mut s = rule1_setup();
+    for w in [&s.alice, &s.bob] {
+        assert!(s
+            .net
+            .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
+            .unwrap()
+            .success);
+    }
+    // Between T2 and T3 the voluntary path still has priority; the extra
+    // function is time-locked.
+    let now = s.net.now();
+    s.net.advance_time(s.tl.t2 - now + 60);
+    let data =
+        s.on.deploy_verified_instance(&s.copy.bytecode, &s.copy.signatures[0], &s.copy.signatures[1]);
+    let r = s
+        .net
+        .execute(&s.bob, s.onchain, U256::ZERO, data, 7_900_000)
+        .unwrap();
+    assert!(!r.success, "deployVerifiedInstance before T3 rejected");
+}
