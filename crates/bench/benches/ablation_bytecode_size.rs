@@ -25,12 +25,21 @@ fn measure(padding: usize) -> (usize, u64) {
     let tl = Timeline::starting_at(net.now(), 3600);
     let on = OnChainContract::new();
     let onchain = net
-        .deploy(&alice, on.initcode(alice.address, bob.address, tl), U256::ZERO, 5_000_000)
+        .deploy(
+            &alice,
+            on.initcode(alice.address, bob.address, tl),
+            U256::ZERO,
+            5_000_000,
+        )
         .unwrap()
         .contract_address
         .unwrap();
     for w in [&alice, &bob] {
-        assert!(net.execute(w, onchain, ether(1), on.deposit(), 300_000).unwrap().success);
+        assert!(
+            net.execute(w, onchain, ether(1), on.deposit(), 300_000)
+                .unwrap()
+                .success
+        );
     }
 
     let off = compile(&padded_offchain_source(padding), "offChain").expect("padded compiles");
@@ -46,7 +55,8 @@ fn measure(padding: usize) -> (usize, u64) {
     let copy = SignedCopy::create(initcode.clone(), &[&alice.key, &bob.key]);
 
     net.advance_time(4 * 3600);
-    let data = on.deploy_verified_instance(&copy.bytecode, &copy.signatures[0], &copy.signatures[1]);
+    let data =
+        on.deploy_verified_instance(&copy.bytecode, &copy.signatures[0], &copy.signatures[1]);
     let r = net
         .execute(&bob, onchain, U256::ZERO, data, 7_900_000)
         .unwrap();

@@ -52,14 +52,16 @@ fn print_ablation() {
         fmt_gas(fought.total_gas())
     );
     println!();
-    println!("  happy-path premium of the challenge design: {} gas",
-        fmt_gas(quiet.total_gas().saturating_sub(honest.report.total_gas())));
     println!(
-        "  unlike concession, the challenge design finalizes without the loser: "
+        "  happy-path premium of the challenge design: {} gas",
+        fmt_gas(quiet.total_gas().saturating_sub(honest.report.total_gas()))
     );
-    println!("  submitResult {} + finalize {} gas",
+    println!("  unlike concession, the challenge design finalizes without the loser: ");
+    println!(
+        "  submitResult {} + finalize {} gas",
         fmt_gas(quiet.gas_of("submitResult").unwrap_or(0)),
-        fmt_gas(quiet.gas_of("finalize").unwrap_or(0)));
+        fmt_gas(quiet.gas_of("finalize").unwrap_or(0))
+    );
     println!();
 
     // Shape assertions.

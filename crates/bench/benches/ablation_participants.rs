@@ -41,7 +41,10 @@ fn measure(n: usize) -> u64 {
         .collect();
 
     let data = verifier
-        .calldata("deployVerifiedInstance", &nparty_deploy_args(&payload, &sigs))
+        .calldata(
+            "deployVerifiedInstance",
+            &nparty_deploy_args(&payload, &sigs),
+        )
         .unwrap();
     let r = net
         .execute(&wallets[0], onchain, U256::ZERO, data, 7_900_000)

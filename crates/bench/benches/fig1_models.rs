@@ -57,7 +57,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1");
     group.sample_size(10);
     group.bench_function("hybrid_honest_game", |b| {
-        b.iter(|| run_game(Strategy::Honest, Strategy::Honest, 1_000).report.total_gas())
+        b.iter(|| {
+            run_game(Strategy::Honest, Strategy::Honest, 1_000)
+                .report
+                .total_gas()
+        })
     });
     group.bench_function("all_on_chain_game", |b| {
         b.iter(|| run_monolithic(1_000).total())

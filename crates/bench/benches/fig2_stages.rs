@@ -12,10 +12,7 @@ fn print_fig2() {
 
     println!();
     println!("=== Fig. 2 — per-stage gas, honest path vs dispute path (weight 256) ===");
-    println!(
-        "  {:<18} {:>14} {:>14}",
-        "stage", "honest", "dispute"
-    );
+    println!("  {:<18} {:>14} {:>14}", "stage", "honest", "dispute");
     for stage in [
         Stage::DeploySign,
         Stage::SubmitChallenge,
@@ -50,6 +47,21 @@ fn print_fig2() {
         "  off-chain (Whisper) messages: honest {}, dispute {}",
         honest.report.offchain_messages, dispute.report.offchain_messages
     );
+    let honest_cache = honest.game.net.analysis_cache().stats();
+    let dispute_cache = dispute.game.net.analysis_cache().stats();
+    println!("  EVM analysis cache (jumpdest bitmaps memoised across frames):");
+    println!(
+        "    honest path : {:>4} hits / {:>3} misses ({:.0}% hit ratio)",
+        honest_cache.hits,
+        honest_cache.misses,
+        honest_cache.hit_ratio() * 100.0
+    );
+    println!(
+        "    dispute path: {:>4} hits / {:>3} misses ({:.0}% hit ratio)",
+        dispute_cache.hits,
+        dispute_cache.misses,
+        dispute_cache.hit_ratio() * 100.0
+    );
     println!();
 
     // Shape assertions.
@@ -60,6 +72,10 @@ fn print_fig2() {
         dispute.game.offchain_bytecode.len()
     );
     assert!(dispute.report.total_gas() > honest.report.total_gas());
+    assert!(
+        dispute_cache.hits > 0,
+        "dispute re-execution should reuse memoised analyses"
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -67,10 +83,18 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2");
     group.sample_size(10);
     group.bench_function("honest_path", |b| {
-        b.iter(|| run_game(Strategy::Honest, Strategy::Honest, 256).report.total_gas())
+        b.iter(|| {
+            run_game(Strategy::Honest, Strategy::Honest, 256)
+                .report
+                .total_gas()
+        })
     });
     group.bench_function("dispute_path", |b| {
-        b.iter(|| run_game(Strategy::SilentLoser, Strategy::Honest, 256).report.total_gas())
+        b.iter(|| {
+            run_game(Strategy::SilentLoser, Strategy::Honest, 256)
+                .report
+                .total_gas()
+        })
     });
     group.finish();
 }

@@ -3,7 +3,8 @@
 //! track the performance of the reproduction stack.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use sc_crypto::ecdsa::PrivateKey;
+use sc_bench::pipeline;
+use sc_crypto::ecdsa::{recover_addresses_batch, PrivateKey};
 use sc_crypto::{keccak256, recover_address};
 use sc_evm::host::{Env, MockHost};
 use sc_evm::{Asm, CallParams, Evm, Op};
@@ -25,12 +26,69 @@ fn crypto_benches(c: &mut Criterion) {
     let digest = keccak256(b"payload");
     let sig = key.sign(digest);
     let mut group = c.benchmark_group("ecdsa");
-    group.bench_function("sign", |b| b.iter(|| key.sign(std::hint::black_box(digest))));
+    group.bench_function("sign", |b| {
+        b.iter(|| key.sign(std::hint::black_box(digest)))
+    });
     group.bench_function("verify", |b| {
         b.iter(|| key.public_key().verify(digest, std::hint::black_box(&sig)))
     });
     group.bench_function("recover", |b| {
         b.iter(|| recover_address(digest, std::hint::black_box(&sig)).unwrap())
+    });
+
+    // Batch recovery: the admission pipeline's hot loop, serial vs fanned out.
+    let batch: Vec<_> = (0..64u32)
+        .map(|i| {
+            let key = PrivateKey::from_seed(&format!("batch-{i}"));
+            let digest = keccak256(&i.to_be_bytes());
+            (digest, key.sign(digest))
+        })
+        .collect();
+    group.bench_function("recover_batch_64/serial", |b| {
+        b.iter(|| {
+            std::hint::black_box(&batch)
+                .iter()
+                .map(|(d, s)| recover_address(*d, s).unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("recover_batch_64/parallel", |b| {
+        b.iter(|| recover_addresses_batch(std::hint::black_box(&batch)))
+    });
+    group.finish();
+}
+
+/// Times the block pipeline end to end (serial vs batch admission, cold vs
+/// warm analysis) and writes `BENCH_pipeline.json` at the repo root.
+fn pipeline_benches(c: &mut Criterion) {
+    let report = pipeline::run_and_write().expect("write BENCH_pipeline.json");
+    println!();
+    println!("=== Block pipeline — serial vs parallel admission, cold vs warm analysis ===");
+    println!(
+        "  admission ({} txs, {} threads): serial {} ns, batch {} ns ({:.2}x)",
+        report.tx_count,
+        report.threads,
+        report.serial_admission_ns,
+        report.batch_admission_ns,
+        report.admission_speedup()
+    );
+    println!(
+        "  analysis ({} bytes): cold {} ns, warm {} ns ({:.2}x)",
+        report.analysis_code_len,
+        report.cold_analysis_ns,
+        report.warm_analysis_ns,
+        report.analysis_speedup()
+    );
+    println!("  artifact: {}", pipeline::artifact_path().display());
+    println!();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("admission_96/serial", |b| {
+        b.iter(|| pipeline::measure_admission(96, 1).0)
+    });
+    group.bench_function("analysis_16k/cold_vs_warm", |b| {
+        b.iter(|| pipeline::measure_analysis(16 * 1024, 1))
     });
     group.finish();
 }
@@ -86,5 +144,11 @@ fn compiler_benches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, crypto_benches, evm_benches, compiler_benches);
+criterion_group!(
+    benches,
+    crypto_benches,
+    evm_benches,
+    compiler_benches,
+    pipeline_benches
+);
 criterion_main!(benches);

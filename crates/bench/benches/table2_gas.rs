@@ -32,19 +32,20 @@ fn print_table2() {
 
     // Cost decomposition of deployVerifiedInstance.
     let bytecode_len = light.game.offchain_bytecode.len() as u64;
-    let runtime_len = light.game.net.code_at(sc_evm::contract_address(
-        light.game.onchain_addr.unwrap(),
-        1,
-    )).len() as u64;
+    let runtime_len = light
+        .game
+        .net
+        .code_at(sc_evm::contract_address(
+            light.game.onchain_addr.unwrap(),
+            1,
+        ))
+        .len() as u64;
     let calldata_cost = {
-        let data = light
-            .game
-            .onchain_abi
-            .deploy_verified_instance(
-                &light.game.offchain_bytecode,
-                &light.game.signed_copy().signatures[0],
-                &light.game.signed_copy().signatures[1],
-            );
+        let data = light.game.onchain_abi.deploy_verified_instance(
+            &light.game.offchain_bytecode,
+            &light.game.signed_copy().signatures[0],
+            &light.game.signed_copy().signatures[1],
+        );
         gas::tx_intrinsic_gas(&data, false) - g::TRANSACTION
     };
 
@@ -74,7 +75,10 @@ fn print_table2() {
         &[
             (
                 "signed bytecode size",
-                format!("{bytecode_len} bytes (calldata {} gas)", fmt_gas(calldata_cost)),
+                format!(
+                    "{bytecode_len} bytes (calldata {} gas)",
+                    fmt_gas(calldata_cost)
+                ),
             ),
             (
                 "2 x ecrecover precompile",
@@ -83,7 +87,10 @@ fn print_table2() {
             ("CREATE", format!("{} gas", fmt_gas(g::CREATE))),
             (
                 "code deposit (200/byte x runtime)",
-                format!("{} gas ({runtime_len} bytes)", fmt_gas(g::CODEDEPOSIT * runtime_len)),
+                format!(
+                    "{} gas ({runtime_len} bytes)",
+                    fmt_gas(g::CODEDEPOSIT * runtime_len)
+                ),
             ),
             ("tx base", format!("{} gas", fmt_gas(g::TRANSACTION))),
         ],
@@ -106,7 +113,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
     group.bench_function("full_dispute_resolution", |b| {
-        b.iter(|| run_game(Strategy::SilentLoser, Strategy::Honest, 64).report.total_gas())
+        b.iter(|| {
+            run_game(Strategy::SilentLoser, Strategy::Honest, 64)
+                .report
+                .total_gas()
+        })
     });
     group.finish();
 }

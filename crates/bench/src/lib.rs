@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod pipeline;
+
 use sc_chain::Testnet;
 use sc_contracts::{BetSecrets, MonolithicContract, Timeline};
 use sc_core::{BettingGame, GameConfig, Participant, ProtocolReport, Strategy};

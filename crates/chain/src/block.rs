@@ -19,7 +19,7 @@ pub enum FailureReason {
 }
 
 /// Execution receipt for one transaction.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Receipt {
     /// Hash of the transaction.
     pub tx_hash: H256,
@@ -42,7 +42,7 @@ pub struct Receipt {
 }
 
 /// A mined block.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Block {
     /// Height.
     pub number: u64,

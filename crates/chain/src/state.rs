@@ -1,12 +1,19 @@
 //! Journaled world state: the chain's implementation of [`sc_evm::Host`].
 
+use sc_crypto::keccak256;
 use sc_evm::host::{Host, LogEntry};
 use sc_primitives::{Address, H256, U256};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// `keccak256("")` — the code hash of every codeless account.
+pub fn empty_code_hash() -> H256 {
+    static EMPTY: OnceLock<H256> = OnceLock::new();
+    *EMPTY.get_or_init(|| keccak256(&[]))
+}
 
 /// A single account: EOA (no code) or contract account.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Account {
     /// Transaction / creation counter.
     pub nonce: u64,
@@ -14,8 +21,23 @@ pub struct Account {
     pub balance: U256,
     /// Runtime code (empty for EOAs).
     pub code: Arc<Vec<u8>>,
+    /// `keccak256(code)`, maintained on every code write so the EVM's
+    /// analysis-cache key costs a field read instead of a hash.
+    pub code_hash: H256,
     /// Contract storage.
     pub storage: HashMap<U256, U256>,
+}
+
+impl Default for Account {
+    fn default() -> Self {
+        Account {
+            nonce: 0,
+            balance: U256::ZERO,
+            code: Arc::default(),
+            code_hash: empty_code_hash(),
+            storage: HashMap::new(),
+        }
+    }
 }
 
 impl Account {
@@ -30,7 +52,7 @@ enum JournalOp {
     Balance(Address, U256),
     Nonce(Address, u64),
     Storage(Address, U256, U256),
-    Code(Address, Arc<Vec<u8>>),
+    Code(Address, Arc<Vec<u8>>, H256),
     AccountCreated(Address),
     Log,
     Refund(u64),
@@ -74,6 +96,7 @@ impl WorldState {
     /// Installs code directly (genesis-style; bypasses the journal).
     pub fn install_code(&mut self, a: Address, code: Vec<u8>) {
         let acct = self.accounts.entry(a).or_default();
+        acct.code_hash = keccak256(&code);
         acct.code = Arc::new(code);
         if acct.nonce == 0 {
             acct.nonce = 1;
@@ -101,7 +124,9 @@ impl WorldState {
 
 impl Host for WorldState {
     fn balance(&self, a: Address) -> U256 {
-        self.accounts.get(&a).map_or(U256::ZERO, |acct| acct.balance)
+        self.accounts
+            .get(&a)
+            .map_or(U256::ZERO, |acct| acct.balance)
     }
 
     fn code(&self, a: Address) -> Arc<Vec<u8>> {
@@ -149,10 +174,19 @@ impl Host for WorldState {
         true
     }
 
+    fn code_hash(&self, a: Address) -> H256 {
+        self.accounts
+            .get(&a)
+            .map_or_else(empty_code_hash, |acct| acct.code_hash)
+    }
+
     fn set_code(&mut self, a: Address, code: Vec<u8>) {
         let prev = self.code(a);
-        self.journal.push(JournalOp::Code(a, prev));
-        self.entry(a).code = Arc::new(code);
+        let prev_hash = self.code_hash(a);
+        self.journal.push(JournalOp::Code(a, prev, prev_hash));
+        let acct = self.entry(a);
+        acct.code_hash = keccak256(&code);
+        acct.code = Arc::new(code);
     }
 
     fn transfer(&mut self, from: Address, to: Address, value: U256) -> bool {
@@ -188,7 +222,11 @@ impl Host for WorldState {
                         self.entry(a).storage.insert(k, v);
                     }
                 }
-                JournalOp::Code(a, c) => self.entry(a).code = c,
+                JournalOp::Code(a, c, h) => {
+                    let acct = self.entry(a);
+                    acct.code = c;
+                    acct.code_hash = h;
+                }
                 JournalOp::AccountCreated(a) => {
                     let acct = self.entry(a);
                     acct.nonce = 0;
@@ -208,7 +246,10 @@ impl Host for WorldState {
     }
 
     fn block_hash(&self, number: u64) -> H256 {
-        self.block_hashes.get(&number).copied().unwrap_or(H256::ZERO)
+        self.block_hashes
+            .get(&number)
+            .copied()
+            .unwrap_or(H256::ZERO)
     }
 
     fn add_refund(&mut self, amount: u64) {
@@ -286,12 +327,43 @@ mod tests {
     }
 
     #[test]
+    fn code_hash_tracks_code_through_writes_and_reverts() {
+        let mut s = WorldState::new();
+        assert_eq!(s.code_hash(addr(1)), empty_code_hash(), "EOA hash");
+
+        s.install_code(addr(1), vec![0x5b, 0x00]);
+        assert_eq!(s.code_hash(addr(1)), keccak256(&[0x5b, 0x00]));
+
+        let snap = s.snapshot();
+        s.set_code(addr(1), vec![0x60, 0x01]);
+        assert_eq!(s.code_hash(addr(1)), keccak256(&[0x60, 0x01]));
+        s.revert(snap);
+        assert_eq!(
+            s.code_hash(addr(1)),
+            keccak256(&[0x5b, 0x00]),
+            "revert restores hash"
+        );
+
+        let snap = s.snapshot();
+        s.set_code(addr(2), vec![0xfe]);
+        s.revert(snap);
+        assert_eq!(
+            s.code_hash(addr(2)),
+            empty_code_hash(),
+            "fresh account reverts to empty"
+        );
+    }
+
+    #[test]
     fn exists_semantics() {
         let mut s = WorldState::new();
         assert!(!s.account_exists(addr(9)));
         s.mint(addr(9), U256::ONE);
         assert!(s.account_exists(addr(9)));
         s.mint(addr(8), U256::ZERO);
-        assert!(!s.account_exists(addr(8)), "zero-balance touch is not existence");
+        assert!(
+            !s.account_exists(addr(8)),
+            "zero-balance touch is not existence"
+        );
     }
 }

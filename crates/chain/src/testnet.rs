@@ -10,12 +10,14 @@
 use crate::block::{Block, FailureReason, Receipt};
 use crate::state::WorldState;
 use crate::tx::{SignedTransaction, Transaction, Wallet};
+use sc_crypto::ecdsa::recover_addresses_batch;
 use sc_evm::gas;
 use sc_evm::host::{BlockEnv, Env, Host, TxEnv};
-use sc_evm::{CallParams, Evm};
+use sc_evm::{AnalysisCache, CallParams, Evm};
 use sc_primitives::{Address, H256, U256};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Transaction admission errors (mempool-level rejections).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,15 +87,47 @@ impl Default for ChainConfig {
     }
 }
 
+/// A transaction admitted to the mempool, with the derivations made at
+/// admission time cached alongside it.
+///
+/// Sender recovery (~an ECDSA scalar-mul) and the two keccaks are paid
+/// once here; the mining commit phase and [`Testnet::effective_nonce`]
+/// read the cached fields instead of re-deriving per transaction (the
+/// seed re-recovered the sender O(pending) times per submit).
+struct PendingTx {
+    signed: SignedTransaction,
+    sender: Address,
+    hash: H256,
+    intrinsic: u64,
+}
+
+impl PendingTx {
+    /// Re-derives every cached field from the raw transaction, serially.
+    /// This is the reference path: `mine_block_serial` rebuilds its
+    /// pending set through here so the determinism suite can assert the
+    /// cached/parallel pipeline changes nothing observable.
+    fn derive(signed: SignedTransaction) -> PendingTx {
+        PendingTx {
+            sender: signed.sender().expect("validated at submit"),
+            hash: signed.hash(),
+            intrinsic: gas::tx_intrinsic_gas(&signed.tx.data, signed.tx.is_create()),
+            signed,
+        }
+    }
+}
+
 /// The simulated chain.
 pub struct Testnet {
     /// World state (public for inspection in tests and benchmarks).
     pub state: WorldState,
     config: ChainConfig,
     blocks: Vec<Block>,
-    pending: Vec<SignedTransaction>,
+    pending: Vec<PendingTx>,
     receipts: HashMap<H256, Receipt>,
     time: u64,
+    /// Jumpdest analyses shared by every EVM this chain spins up, so a
+    /// contract's bitmap is computed once across all blocks and calls.
+    analysis_cache: Arc<AnalysisCache>,
 }
 
 impl Testnet {
@@ -121,7 +155,13 @@ impl Testnet {
             blocks: vec![genesis],
             pending: Vec::new(),
             receipts: HashMap::new(),
+            analysis_cache: Arc::new(AnalysisCache::new()),
         }
+    }
+
+    /// The shared code-analysis cache (hit/miss stats for benchmarks).
+    pub fn analysis_cache(&self) -> &Arc<AnalysisCache> {
+        &self.analysis_cache
     }
 
     /// The chain configuration.
@@ -160,12 +200,7 @@ impl Testnet {
 
     /// Log query in the spirit of `eth_getLogs`: all logs in the block
     /// range `[from, to]`, optionally filtered by emitting address.
-    pub fn logs(
-        &self,
-        from: u64,
-        to: u64,
-        address: Option<Address>,
-    ) -> Vec<sc_evm::LogEntry> {
+    pub fn logs(&self, from: u64, to: u64, address: Option<Address>) -> Vec<sc_evm::LogEntry> {
         let mut out = Vec::new();
         for n in from..=to.min(self.head().number) {
             for receipt in self.receipts_in_block(n) {
@@ -224,6 +259,57 @@ impl Testnet {
     /// Validates and enqueues a signed transaction.
     pub fn submit(&mut self, signed: SignedTransaction) -> Result<H256, TxError> {
         let sender = signed.sender().map_err(|_| TxError::BadSignature)?;
+        let intrinsic = gas::tx_intrinsic_gas(&signed.tx.data, signed.tx.is_create());
+        self.admit(signed, sender, intrinsic)
+    }
+
+    /// Validates and enqueues a whole batch, recovering senders in
+    /// parallel across CPU cores.
+    ///
+    /// Per-entry results are exactly what [`Testnet::submit`]ing each
+    /// transaction in order would return: sender recovery is a pure
+    /// function (fanned out via [`recover_addresses_batch`]), and the
+    /// state-dependent checks — nonce sequencing, balance, block gas
+    /// limit — run in the sequential admission loop below, so an entry
+    /// sees every earlier entry's admission just like serial submits.
+    pub fn submit_batch(&mut self, txs: Vec<SignedTransaction>) -> Vec<Result<H256, TxError>> {
+        // Cheap serial pass: signing digests + intrinsic gas (pure, O(data)).
+        let digests: Vec<_> = txs
+            .iter()
+            .map(|s| (s.tx.signing_hash(), s.signature))
+            .collect();
+        let intrinsics: Vec<u64> = txs
+            .iter()
+            .map(|s| gas::tx_intrinsic_gas(&s.tx.data, s.tx.is_create()))
+            .collect();
+
+        // Parallel pass: the expensive curve recoveries.
+        let senders = recover_addresses_batch(&digests);
+
+        // Sequential admission: order-sensitive, state-dependent checks.
+        txs.into_iter()
+            .zip(senders)
+            .zip(intrinsics)
+            .map(|((signed, sender), intrinsic)| {
+                // EIP-2 low-s: checked here (not in the recovery kernel) to
+                // mirror `SignedTransaction::sender` exactly.
+                if !signed.signature.is_low_s() {
+                    return Err(TxError::BadSignature);
+                }
+                let sender = sender.map_err(|_| TxError::BadSignature)?;
+                self.admit(signed, sender, intrinsic)
+            })
+            .collect()
+    }
+
+    /// State-dependent half of admission, shared by the serial and batch
+    /// submit paths. `sender` and `intrinsic` were derived by the caller.
+    fn admit(
+        &mut self,
+        signed: SignedTransaction,
+        sender: Address,
+        intrinsic: u64,
+    ) -> Result<H256, TxError> {
         let expected = self.effective_nonce(sender);
         if signed.tx.nonce != expected {
             return Err(TxError::BadNonce {
@@ -234,7 +320,6 @@ impl Testnet {
         if signed.tx.gas_limit > self.config.block_gas_limit {
             return Err(TxError::ExceedsBlockGasLimit);
         }
-        let intrinsic = gas::tx_intrinsic_gas(&signed.tx.data, signed.tx.is_create());
         if signed.tx.gas_limit < intrinsic {
             return Err(TxError::IntrinsicGasTooLow {
                 required: intrinsic,
@@ -247,38 +332,64 @@ impl Testnet {
             return Err(TxError::InsufficientFunds);
         }
         let hash = signed.hash();
-        self.pending.push(signed);
+        self.pending.push(PendingTx {
+            signed,
+            sender,
+            hash,
+            intrinsic,
+        });
         Ok(hash)
     }
 
     /// Next nonce accounting for queued pending transactions.
     fn effective_nonce(&self, sender: Address) -> u64 {
         let base = self.state.nonce(sender);
-        let queued = self
-            .pending
-            .iter()
-            .filter(|t| t.sender().map(|s| s == sender).unwrap_or(false))
-            .count() as u64;
+        let queued = self.pending.iter().filter(|t| t.sender == sender).count() as u64;
         base + queued
     }
 
     /// Mines all pending transactions into a new block and returns it.
+    ///
+    /// The expensive pre-execution work (sender recovery, tx hashing,
+    /// intrinsic gas) was cached on each [`PendingTx`] at admission, so
+    /// this is purely the sequential commit phase.
     pub fn mine_block(&mut self) -> Block {
+        let txs = std::mem::take(&mut self.pending);
+        self.seal_block(txs)
+    }
+
+    /// Reference mining path: ignores every admission-time cache and
+    /// re-derives senders, hashes and intrinsic gas serially from the raw
+    /// transactions before committing.
+    ///
+    /// Exists for the determinism suite — a block mined here must be
+    /// byte-identical to [`Testnet::mine_block`]'s over the same pending
+    /// set — and as the baseline for the pipeline benchmarks.
+    pub fn mine_block_serial(&mut self) -> Block {
+        let txs: Vec<PendingTx> = std::mem::take(&mut self.pending)
+            .into_iter()
+            .map(|p| PendingTx::derive(p.signed))
+            .collect();
+        self.seal_block(txs)
+    }
+
+    /// Sequential commit phase shared by both mining paths.
+    fn seal_block(&mut self, txs: Vec<PendingTx>) -> Block {
         self.time += self.config.block_interval;
         let number = self.head().number + 1;
         let timestamp = self.time;
         let parent_hash = self.head().hash;
-        let txs = std::mem::take(&mut self.pending);
 
         let mut receipts = Vec::new();
         let mut block_gas = 0u64;
-        for (index, signed) in txs.iter().enumerate() {
-            let mut receipt = self.execute_transaction(signed, number, timestamp);
+        for (index, ptx) in txs.iter().enumerate() {
+            let mut receipt = self.execute_transaction(ptx, number, timestamp);
             receipt.tx_index = index;
             block_gas += receipt.gas_used;
             receipts.push(receipt);
         }
 
+        let txs: Vec<SignedTransaction> = txs.into_iter().map(|p| p.signed).collect();
         let block = Block {
             number,
             timestamp,
@@ -295,25 +406,25 @@ impl Testnet {
         block
     }
 
-    /// Executes one transaction against the state (validation already done
-    /// at submission; re-checked defensively here).
+    /// Executes one transaction against the state (validation and sender
+    /// recovery already done at admission; the cached derivations on the
+    /// [`PendingTx`] are consumed here, not recomputed).
     fn execute_transaction(
         &mut self,
-        signed: &SignedTransaction,
+        ptx: &PendingTx,
         block_number: u64,
         timestamp: u64,
     ) -> Receipt {
-        let tx = &signed.tx;
-        let sender = signed.sender().expect("validated at submit");
-        let tx_hash = signed.hash();
+        let tx = &ptx.signed.tx;
+        let sender = ptx.sender;
+        let tx_hash = ptx.hash;
 
         // Buy gas.
         let gas_cost = U256::from_u64(tx.gas_limit).wrapping_mul(tx.gas_price);
         let paid = self.state.transfer(sender, self.config.coinbase, gas_cost);
         debug_assert!(paid, "upfront balance validated at submit");
 
-        let intrinsic = gas::tx_intrinsic_gas(&tx.data, tx.is_create());
-        let exec_gas = tx.gas_limit - intrinsic;
+        let exec_gas = tx.gas_limit - ptx.intrinsic;
 
         let env = Env {
             block: BlockEnv {
@@ -330,7 +441,8 @@ impl Testnet {
         };
 
         let (success, gas_left, output, contract_address, failure) = if tx.is_create() {
-            let mut evm = Evm::new(&mut self.state, env);
+            let mut evm = Evm::new(&mut self.state, env)
+                .with_analysis_cache(Arc::clone(&self.analysis_cache));
             let out = evm.create(sender, tx.value, tx.data.clone(), exec_gas);
             let failure = if out.success {
                 None
@@ -347,7 +459,8 @@ impl Testnet {
             // inside the EVM so the address derivation sees the old nonce).
             self.state.bump_nonce(sender);
             let to = tx.to.expect("call tx");
-            let mut evm = Evm::new(&mut self.state, env);
+            let mut evm = Evm::new(&mut self.state, env)
+                .with_analysis_cache(Arc::clone(&self.analysis_cache));
             let out = evm.call(CallParams::transact(
                 sender,
                 to,
@@ -372,8 +485,7 @@ impl Testnet {
         let gas_used_pre_refund = tx.gas_limit - gas_left;
         let refund = refund_counter.min(gas_used_pre_refund / 2);
         let gas_used = gas_used_pre_refund - refund;
-        let reimbursement =
-            U256::from_u64(tx.gas_limit - gas_used).wrapping_mul(tx.gas_price);
+        let reimbursement = U256::from_u64(tx.gas_limit - gas_used).wrapping_mul(tx.gas_price);
         let repaid = self
             .state
             .transfer(self.config.coinbase, sender, reimbursement);
@@ -471,9 +583,9 @@ impl Testnet {
         };
         let snapshot = self.state.snapshot();
         let mut profiler = sc_evm::GasProfiler::new();
-        let out = Evm::with_inspector(&mut self.state, env, &mut profiler).call(
-            CallParams::transact(from, to, value, data, gas),
-        );
+        let out = Evm::with_inspector(&mut self.state, env, &mut profiler)
+            .with_analysis_cache(Arc::clone(&self.analysis_cache))
+            .call(CallParams::transact(from, to, value, data, gas));
         self.state.revert(snapshot);
         self.state.clear_tx_scratch();
         (profiler, gas - out.gas_left)
@@ -495,7 +607,8 @@ impl Testnet {
             },
         };
         let snapshot = self.state.snapshot();
-        let mut evm = Evm::new(&mut self.state, env);
+        let mut evm =
+            Evm::new(&mut self.state, env).with_analysis_cache(Arc::clone(&self.analysis_cache));
         let out = evm.call(CallParams {
             caller: from,
             address: to,
@@ -535,7 +648,8 @@ mod tests {
         assert_eq!(receipt.gas_used, 21_000, "plain transfer is exactly Gtx");
         assert_eq!(net.balance_of(bob.address), ether(1));
         let spent = ether(10).wrapping_sub(net.balance_of(alice.address));
-        let expected = ether(1).wrapping_add(U256::from_u64(21_000).wrapping_mul(sc_primitives::gwei(1)));
+        let expected =
+            ether(1).wrapping_add(U256::from_u64(21_000).wrapping_mul(sc_primitives::gwei(1)));
         assert_eq!(spent, expected);
     }
 
@@ -565,7 +679,13 @@ mod tests {
             data: vec![],
         };
         let err = net.submit(tx.sign(&alice.key)).unwrap_err();
-        assert_eq!(err, TxError::BadNonce { expected: 0, got: 5 });
+        assert_eq!(
+            err,
+            TxError::BadNonce {
+                expected: 0,
+                got: 5
+            }
+        );
     }
 
     #[test]
@@ -621,7 +741,10 @@ mod tests {
             value: U256::ZERO,
             data: vec![],
         };
-        assert_eq!(net.submit(tx.sign(&alice.key)).unwrap_err(), TxError::InsufficientFunds);
+        assert_eq!(
+            net.submit(tx.sign(&alice.key)).unwrap_err(),
+            TxError::InsufficientFunds
+        );
     }
 
     #[test]
@@ -687,10 +810,14 @@ mod tests {
             .contract_address
             .unwrap();
         let one = U256::ONE.to_be_bytes().to_vec();
-        let r1 = net.execute(&alice, target, U256::ZERO, one, 100_000).unwrap();
+        let r1 = net
+            .execute(&alice, target, U256::ZERO, one, 100_000)
+            .unwrap();
         assert!(r1.success);
         let zero = U256::ZERO.to_be_bytes().to_vec();
-        let r2 = net.execute(&alice, target, U256::ZERO, zero, 100_000).unwrap();
+        let r2 = net
+            .execute(&alice, target, U256::ZERO, zero, 100_000)
+            .unwrap();
         assert!(r2.success);
         // Without refund r2 would use 21000 + 32*4 (zero calldata) + exec:
         // PUSH1+CALLDATALOAD+PUSH1 (3 gas each) + SSTORE-reset (5000).
@@ -722,6 +849,134 @@ mod tests {
         let b2 = net.mine_block();
         assert_eq!(b2.parent_hash, b1.hash);
         assert_eq!(net.block(1).unwrap().hash, b1.hash);
+    }
+
+    #[test]
+    fn submit_batch_matches_serial_submits() {
+        let make_txs = |net: &mut Testnet| -> (Wallet, Vec<SignedTransaction>) {
+            let alice = net.funded_wallet("alice", ether(10));
+            let txs = (0..10u64)
+                .map(|i| {
+                    Transaction {
+                        // Every third nonce is wrong → rejected, and later
+                        // entries must account for the earlier rejections.
+                        nonce: if i % 3 == 2 { i + 100 } else { i - i / 3 },
+                        gas_price: sc_primitives::gwei(1),
+                        gas_limit: 21_000,
+                        to: Some(Address([9; 20])),
+                        value: U256::from_u64(1),
+                        data: vec![],
+                    }
+                    .sign(&alice.key)
+                })
+                .collect();
+            (alice, txs)
+        };
+
+        let mut serial_net = Testnet::new();
+        let (_, txs) = make_txs(&mut serial_net);
+        let serial: Vec<_> = txs
+            .clone()
+            .into_iter()
+            .map(|t| serial_net.submit(t))
+            .collect();
+
+        let mut batch_net = Testnet::new();
+        let (_, txs) = make_txs(&mut batch_net);
+        let batch = batch_net.submit_batch(txs);
+
+        assert_eq!(batch, serial);
+        assert_eq!(batch.iter().filter(|r| r.is_ok()).count(), 7);
+        assert_eq!(
+            serial_net.mine_block().hash,
+            batch_net.mine_block().hash,
+            "identical admission ⇒ identical block"
+        );
+    }
+
+    #[test]
+    fn submit_batch_rejects_tampered_signature() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        let mut signed = Transaction {
+            nonce: 0,
+            gas_price: sc_primitives::gwei(1),
+            gas_limit: 21_000,
+            to: Some(Address([9; 20])),
+            value: U256::ZERO,
+            data: vec![],
+        }
+        .sign(&alice.key);
+        signed.signature.v = 26; // invalid recovery id
+        let out = net.submit_batch(vec![signed]);
+        assert_eq!(out, vec![Err(TxError::BadSignature)]);
+    }
+
+    #[test]
+    fn serial_and_pipelined_mining_agree() {
+        let build = |net: &mut Testnet| {
+            let alice = net.funded_wallet("alice", ether(10));
+            let bob = net.funded_wallet("bob", ether(10));
+            for (i, w) in [&alice, &bob, &alice, &bob, &alice].iter().enumerate() {
+                let tx = Transaction {
+                    nonce: net.effective_nonce(w.address),
+                    gas_price: sc_primitives::gwei(1),
+                    gas_limit: 50_000,
+                    to: Some(Address([9; 20])),
+                    value: U256::from_u64(i as u64),
+                    data: vec![i as u8; i],
+                };
+                net.submit(tx.sign(&w.key)).unwrap();
+            }
+        };
+        let mut fast = Testnet::new();
+        build(&mut fast);
+        let fast_block = fast.mine_block();
+
+        let mut reference = Testnet::new();
+        build(&mut reference);
+        let ref_block = reference.mine_block_serial();
+
+        assert_eq!(fast_block.hash, ref_block.hash);
+        assert_eq!(fast_block.gas_used, ref_block.gas_used);
+        for t in &fast_block.transactions {
+            let a = fast.receipt(t.hash()).unwrap();
+            let b = reference.receipt(t.hash()).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn analysis_cache_warms_across_calls() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        // Contract with a jump, so analysis actually matters.
+        let runtime = vec![0x60, 0x04, 0x56, 0xfe, 0x5b, 0x00]; // JUMP over INVALID
+        let initcode = sc_evm::wrap_initcode(&runtime);
+        let target = net
+            .deploy(&alice, initcode, U256::ZERO, 200_000)
+            .unwrap()
+            .contract_address
+            .unwrap();
+        let after_deploy = net.analysis_cache().stats();
+        for _ in 0..5 {
+            let r = net
+                .execute(&alice, target, U256::ZERO, vec![], 100_000)
+                .unwrap();
+            assert!(r.success);
+        }
+        let stats = net.analysis_cache().stats();
+        // Deploy analysed only the initcode; the first call analyses the
+        // runtime code (one miss), and every later call reuses it.
+        assert_eq!(
+            stats.misses,
+            after_deploy.misses + 1,
+            "runtime code analysed exactly once"
+        );
+        assert!(
+            stats.hits >= after_deploy.hits + 4,
+            "subsequent calls hit the cache"
+        );
     }
 
     #[test]

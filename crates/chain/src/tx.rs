@@ -146,7 +146,9 @@ mod tests {
         let w = Wallet::from_seed("alice");
         let mut signed = sample_tx().sign(&w.key);
         signed.tx.value = sc_primitives::ether(2);
-        if let Ok(a) = signed.sender() { assert_ne!(a, w.address) }
+        if let Ok(a) = signed.sender() {
+            assert_ne!(a, w.address)
+        }
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Determinism tests for the parallel block pipeline: the batch admission
+//! path plus pipelined mining must be observably identical to the serial
+//! reference path (`submit` one-by-one + `mine_block_serial`), and a warm
+//! analysis cache must change nothing but wall-clock time.
+
+use sc_chain::{ChainConfig, SignedTransaction, Testnet, Transaction, TxError, Wallet};
+use sc_evm::contract_address;
+use sc_primitives::{ether, gwei, Address, U256};
+
+/// Runtime code `SSTORE(0, 42); STOP`, preceded by initcode returning it.
+const STORE_INITCODE: [u8; 15] = [
+    0x65, 0x60, 0x2a, 0x60, 0x00, 0x55, 0x00, // PUSH6 <runtime>
+    0x60, 0x00, 0x52, // MSTORE at 0
+    0x60, 0x06, 0x60, 0x1a, 0xf3, // RETURN(26, 6)
+];
+
+/// Runtime code `RETURN(0, 0)` — state-independent, so every call costs
+/// exactly the same gas regardless of prior calls.
+const PURE_INITCODE: [u8; 14] = [
+    0x64, 0x60, 0x00, 0x60, 0x00, 0xf3, // PUSH5 <runtime>
+    0x60, 0x00, 0x52, // MSTORE at 0
+    0x60, 0x05, 0x60, 0x1b, 0xf3, // RETURN(27, 5)
+];
+
+fn transfer(nonce: u64, to: Address, wei: u64, gas_limit: u64) -> Transaction {
+    Transaction {
+        nonce,
+        gas_price: gwei(1),
+        gas_limit,
+        to: Some(to),
+        value: U256::from_u64(wei),
+        data: vec![],
+    }
+}
+
+/// A fresh chain with three wallets: two rich, one nearly broke.
+fn fresh_net() -> (Testnet, Vec<Wallet>) {
+    let mut net = Testnet::with_config(ChainConfig::default());
+    let wallets = vec![
+        net.funded_wallet("pipe-rich-0", ether(50)),
+        net.funded_wallet("pipe-rich-1", ether(50)),
+        net.funded_wallet("pipe-poor", U256::from_u64(30_000)),
+    ];
+    (net, wallets)
+}
+
+/// A batch mixing every admission outcome: valid transfers from two
+/// senders, a contract creation, a call to the created contract, a
+/// tampered signature, a nonce gap, and an underfunded sender.
+fn mixed_batch(wallets: &[Wallet]) -> Vec<SignedTransaction> {
+    let (rich0, rich1, poor) = (&wallets[0], &wallets[1], &wallets[2]);
+    let sink = Address([0x77; 20]);
+    let contract = contract_address(rich0.address, 1);
+
+    let create = Transaction {
+        nonce: 1,
+        gas_price: gwei(1),
+        gas_limit: 200_000,
+        to: None,
+        value: U256::ZERO,
+        data: STORE_INITCODE.to_vec(),
+    };
+    let call = Transaction {
+        nonce: 2,
+        gas_price: gwei(1),
+        gas_limit: 120_000,
+        to: Some(contract),
+        value: U256::ZERO,
+        data: vec![],
+    };
+
+    let mut bad_sig = transfer(0, sink, 5, 21_000).sign(&rich1.key);
+    bad_sig.signature.v ^= 0x40; // tampered: recovery id no longer 27/28
+
+    vec![
+        transfer(0, sink, 1, 21_000).sign(&rich0.key),
+        create.sign(&rich0.key),
+        call.sign(&rich0.key),
+        bad_sig,
+        transfer(0, rich0.address, 7, 21_000).sign(&rich1.key),
+        transfer(5, sink, 9, 21_000).sign(&rich1.key), // nonce gap → reject
+        transfer(1, sink, 11, 21_000).sign(&rich1.key),
+        transfer(0, sink, 1, 21_000).sign(&poor.key), // cannot cover gas → reject
+    ]
+}
+
+/// Everything a block observer could compare between two runs.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    outcomes: Vec<Result<sc_primitives::H256, TxError>>,
+    block: sc_chain::Block,
+    receipts: Vec<sc_chain::Receipt>,
+    balances: Vec<U256>,
+    nonces: Vec<u64>,
+    contract_storage: U256,
+}
+
+fn observe(
+    net: &Testnet,
+    wallets: &[Wallet],
+    outcomes: Vec<Result<sc_primitives::H256, TxError>>,
+) -> Observation {
+    let head = net.head().clone();
+    let receipts = net
+        .receipts_in_block(head.number)
+        .into_iter()
+        .cloned()
+        .collect();
+    Observation {
+        outcomes,
+        receipts,
+        balances: wallets.iter().map(|w| net.balance_of(w.address)).collect(),
+        nonces: wallets.iter().map(|w| net.nonce_of(w.address)).collect(),
+        contract_storage: net.storage_at(contract_address(wallets[0].address, 1), U256::ZERO),
+        block: head,
+    }
+}
+
+#[test]
+fn batch_pipeline_is_observably_identical_to_serial_reference() {
+    let (mut serial_net, wallets) = fresh_net();
+    let txs = mixed_batch(&wallets);
+
+    let serial_outcomes: Vec<_> = txs.iter().map(|t| serial_net.submit(t.clone())).collect();
+    serial_net.mine_block_serial();
+    let serial = observe(&serial_net, &wallets, serial_outcomes);
+
+    let (mut batch_net, _) = fresh_net();
+    let batch_outcomes = batch_net.submit_batch(txs);
+    batch_net.mine_block();
+    let batch = observe(&batch_net, &wallets, batch_outcomes);
+
+    assert_eq!(serial, batch);
+
+    // Sanity on the mix itself: the rejects rejected, the contract ran.
+    assert_eq!(serial.outcomes[3], Err(TxError::BadSignature));
+    assert!(matches!(serial.outcomes[5], Err(TxError::BadNonce { .. })));
+    assert!(matches!(
+        serial.outcomes[7],
+        Err(TxError::InsufficientFunds)
+    ));
+    assert_eq!(serial.outcomes.iter().filter(|o| o.is_ok()).count(), 5);
+    assert_eq!(serial.contract_storage, U256::from_u64(42));
+    assert!(serial.receipts.iter().all(|r| r.success));
+}
+
+#[test]
+fn warm_analysis_cache_changes_gas_and_results_in_no_way() {
+    let (mut net, _) = fresh_net();
+    let owner = net.funded_wallet("cache-owner", ether(10));
+
+    let deploy = net
+        .deploy(&owner, PURE_INITCODE.to_vec(), U256::ZERO, 200_000)
+        .expect("deploy");
+    assert!(deploy.success);
+    let contract = deploy.contract_address.unwrap();
+
+    // First call analyses the runtime code cold; later calls must hit the
+    // cache and be byte-identical in every receipt field that matters.
+    let cold = net
+        .execute(&owner, contract, U256::ZERO, vec![], 120_000)
+        .expect("cold call");
+    let cold_stats = net.analysis_cache().stats();
+
+    let mut warm_receipts = Vec::new();
+    for _ in 0..4 {
+        warm_receipts.push(
+            net.execute(&owner, contract, U256::ZERO, vec![], 120_000)
+                .expect("warm call"),
+        );
+    }
+    let warm_stats = net.analysis_cache().stats();
+
+    for warm in &warm_receipts {
+        assert_eq!(warm.success, cold.success);
+        assert_eq!(warm.gas_used, cold.gas_used, "warm cache altered gas");
+        assert_eq!(warm.output, cold.output);
+        assert_eq!(warm.logs, cold.logs);
+    }
+    assert_eq!(
+        warm_stats.misses, cold_stats.misses,
+        "warm calls must not re-analyse"
+    );
+    assert!(warm_stats.hits >= cold_stats.hits + 4);
+}
+
+#[test]
+fn empty_and_reject_only_batches_mine_empty_blocks() {
+    let (mut net, wallets) = fresh_net();
+    assert!(net.submit_batch(vec![]).is_empty());
+    let block = net.mine_block();
+    assert!(block.transactions.is_empty());
+
+    // A batch where every entry is rejected must leave state untouched.
+    let mut bad = transfer(0, Address([0x77; 20]), 1, 21_000).sign(&wallets[0].key);
+    bad.signature.v ^= 0x40;
+    let outcomes = net.submit_batch(vec![
+        bad,
+        transfer(9, Address([0x77; 20]), 1, 21_000).sign(&wallets[0].key),
+    ]);
+    assert_eq!(outcomes[0], Err(TxError::BadSignature));
+    assert!(matches!(outcomes[1], Err(TxError::BadNonce { .. })));
+    let before: Vec<_> = wallets.iter().map(|w| net.balance_of(w.address)).collect();
+    let block = net.mine_block();
+    assert!(block.transactions.is_empty());
+    let after: Vec<_> = wallets.iter().map(|w| net.balance_of(w.address)).collect();
+    assert_eq!(before, after);
+}

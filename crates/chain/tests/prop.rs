@@ -13,22 +13,54 @@ struct Op {
     gas_limit: u64,
 }
 
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0usize..4, 0usize..4, 0u64..2_000_000_000, 21_000u64..60_000).prop_map(
+        |(from, to, wei, gas_limit)| Op {
+            from,
+            to,
+            wei,
+            gas_limit,
+        },
+    )
+}
+
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(arb_op(), 0..24)
+}
+
+/// How a batch entry should be constructed: valid, or corrupted into one
+/// of the admission rejects the parallel pipeline must mirror exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BatchKind {
+    Valid,
+    BadSig,
+    BadNonce,
+}
+
+#[derive(Debug, Clone)]
+struct BatchOp {
+    op: Op,
+    kind: BatchKind,
+}
+
+fn arb_batch_ops() -> impl Strategy<Value = Vec<BatchOp>> {
     proptest::collection::vec(
-        (0usize..4, 0usize..4, 0u64..2_000_000_000, 21_000u64..60_000).prop_map(
-            |(from, to, wei, gas_limit)| Op {
-                from,
-                to,
-                wei,
-                gas_limit,
+        (arb_op(), 0u8..10).prop_map(|(op, k)| BatchOp {
+            op,
+            kind: match k {
+                0 => BatchKind::BadSig,
+                1 => BatchKind::BadNonce,
+                _ => BatchKind::Valid,
             },
-        ),
+        }),
         0..24,
     )
 }
 
 fn wallets() -> Vec<Wallet> {
-    (0..4).map(|i| Wallet::from_seed(&format!("w{i}"))).collect()
+    (0..4)
+        .map(|i| Wallet::from_seed(&format!("w{i}")))
+        .collect()
 }
 
 fn total_supply(net: &Testnet, wallets: &[Wallet]) -> U256 {
@@ -93,6 +125,71 @@ proptest! {
         }
         for (i, w) in ws.iter().enumerate() {
             prop_assert_eq!(net.nonce_of(w.address), accepted[i]);
+        }
+    }
+
+    #[test]
+    fn batch_admission_matches_serial_reference(ops in arb_batch_ops()) {
+        // Pre-sign one batch: per-sender sequential nonces, with some
+        // entries corrupted into rejects (tampered signature / nonce gap).
+        let build_txs = || {
+            let ws = wallets();
+            let mut next_nonce = [0u64; 4];
+            ops.iter()
+                .map(|op| {
+                    let from = &ws[op.op.from];
+                    let nonce = match op.kind {
+                        BatchKind::BadNonce => next_nonce[op.op.from] + 7,
+                        _ => {
+                            let n = next_nonce[op.op.from];
+                            next_nonce[op.op.from] += 1;
+                            n
+                        }
+                    };
+                    let tx = Transaction {
+                        nonce,
+                        gas_price: sc_primitives::gwei(1),
+                        gas_limit: op.op.gas_limit,
+                        to: Some(ws[op.op.to].address),
+                        value: U256::from_u64(op.op.wei),
+                        data: vec![],
+                    };
+                    let mut signed = tx.sign(&from.key);
+                    if op.kind == BatchKind::BadSig {
+                        signed.signature.v ^= 0x40;
+                    }
+                    signed
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let fresh = || {
+            let mut net = Testnet::new();
+            for w in &wallets() {
+                net.faucet(w.address, ether(10));
+            }
+            net
+        };
+
+        let mut serial_net = fresh();
+        let serial: Vec<_> = build_txs()
+            .into_iter()
+            .map(|t| serial_net.submit(t))
+            .collect();
+        let serial_block = serial_net.mine_block_serial();
+
+        let mut batch_net = fresh();
+        let batch = batch_net.submit_batch(build_txs());
+        let batch_block = batch_net.mine_block();
+
+        prop_assert_eq!(&serial, &batch, "admission outcomes diverged");
+        prop_assert_eq!(serial_block.hash, batch_block.hash, "blocks diverged");
+        for w in &wallets() {
+            prop_assert_eq!(
+                serial_net.balance_of(w.address),
+                batch_net.balance_of(w.address)
+            );
+            prop_assert_eq!(serial_net.nonce_of(w.address), batch_net.nonce_of(w.address));
         }
     }
 

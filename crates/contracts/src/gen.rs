@@ -164,10 +164,7 @@ mod tests {
         // k = 0 keeps the same public interface as the canonical source.
         let src = padded_offchain_source(0);
         let c = compile(&src, "offChain").unwrap();
-        assert!(c
-            .analyzed
-            .selector_of("returnDisputeResolution")
-            .is_some());
+        assert!(c.analyzed.selector_of("returnDisputeResolution").is_some());
     }
 
     #[test]
@@ -175,10 +172,7 @@ mod tests {
         for n in [1usize, 2, 4, 8] {
             let src = nparty_onchain_source(n);
             let c = compile(&src, "verifierN").unwrap_or_else(|e| panic!("n={n}: {e}"));
-            assert!(c
-                .analyzed
-                .selector_of("deployVerifiedInstance")
-                .is_some());
+            assert!(c.analyzed.selector_of("deployVerifiedInstance").is_some());
         }
     }
 

@@ -289,7 +289,12 @@ mod tests {
         let (mut net, alice, bob, tl) = setup();
         let on = OnChainContract::new();
         let r = net
-            .deploy(&alice, on.initcode(alice.address, bob.address, tl), U256::ZERO, 3_000_000)
+            .deploy(
+                &alice,
+                on.initcode(alice.address, bob.address, tl),
+                U256::ZERO,
+                3_000_000,
+            )
             .unwrap();
         assert!(r.success, "{:?}", r.failure);
         let addr = r.contract_address.unwrap();
@@ -320,7 +325,12 @@ mod tests {
         let carol = net.funded_wallet("carol", ether(100));
         let on = OnChainContract::new();
         let addr = net
-            .deploy(&alice, on.initcode(alice.address, bob.address, tl), U256::ZERO, 3_000_000)
+            .deploy(
+                &alice,
+                on.initcode(alice.address, bob.address, tl),
+                U256::ZERO,
+                3_000_000,
+            )
             .unwrap()
             .contract_address
             .unwrap();
@@ -335,15 +345,21 @@ mod tests {
         let (mut net, alice, bob, tl) = setup();
         let on = OnChainContract::new();
         let addr = net
-            .deploy(&alice, on.initcode(alice.address, bob.address, tl), U256::ZERO, 3_000_000)
+            .deploy(
+                &alice,
+                on.initcode(alice.address, bob.address, tl),
+                U256::ZERO,
+                3_000_000,
+            )
             .unwrap()
             .contract_address
             .unwrap();
         // Only Alice deposits before T1.
-        assert!(net
-            .execute(&alice, addr, ether(1), on.deposit(), 300_000)
-            .unwrap()
-            .success);
+        assert!(
+            net.execute(&alice, addr, ether(1), on.deposit(), 300_000)
+                .unwrap()
+                .success
+        );
         // Jump past T1.
         net.advance_time(3700);
         let r = net
@@ -364,12 +380,21 @@ mod tests {
         let (mut net, alice, bob, tl) = setup();
         let on = OnChainContract::new();
         let addr = net
-            .deploy(&alice, on.initcode(alice.address, bob.address, tl), U256::ZERO, 3_000_000)
+            .deploy(
+                &alice,
+                on.initcode(alice.address, bob.address, tl),
+                U256::ZERO,
+                3_000_000,
+            )
             .unwrap()
             .contract_address
             .unwrap();
         for w in [&alice, &bob] {
-            assert!(net.execute(w, addr, ether(1), on.deposit(), 300_000).unwrap().success);
+            assert!(
+                net.execute(w, addr, ether(1), on.deposit(), 300_000)
+                    .unwrap()
+                    .success
+            );
         }
         // Move into (T2, T3): loser Alice concedes.
         net.advance_time(2 * 3600 + 60);
@@ -391,11 +416,20 @@ mod tests {
         let (mut net, alice, bob, tl) = setup();
         let on = OnChainContract::new();
         let addr = net
-            .deploy(&alice, on.initcode(alice.address, bob.address, tl), U256::ZERO, 3_000_000)
+            .deploy(
+                &alice,
+                on.initcode(alice.address, bob.address, tl),
+                U256::ZERO,
+                3_000_000,
+            )
             .unwrap()
             .contract_address
             .unwrap();
-        assert!(net.execute(&alice, addr, ether(1), on.deposit(), 300_000).unwrap().success);
+        assert!(
+            net.execute(&alice, addr, ether(1), on.deposit(), 300_000)
+                .unwrap()
+                .success
+        );
         net.advance_time(2 * 3600 + 60);
         let r = net
             .execute(&alice, addr, U256::ZERO, on.reassign(), 300_000)
@@ -423,7 +457,11 @@ mod tests {
             .contract_address
             .unwrap();
         for w in [&alice, &bob] {
-            assert!(net.execute(w, addr, ether(1), mono.deposit(), 300_000).unwrap().success);
+            assert!(
+                net.execute(w, addr, ether(1), mono.deposit(), 300_000)
+                    .unwrap()
+                    .success
+            );
         }
         net.advance_time(2 * 3600 + 60);
         let alice_before = net.balance_of(alice.address);
@@ -434,7 +472,10 @@ mod tests {
         assert!(r.success, "{:?}", r.failure);
         // The on-chain result matches the native reference implementation.
         if secrets.winner_is_bob() {
-            assert_eq!(net.balance_of(bob.address), bob_before.wrapping_add(ether(2)));
+            assert_eq!(
+                net.balance_of(bob.address),
+                bob_before.wrapping_add(ether(2))
+            );
         } else {
             assert!(net.balance_of(alice.address) > alice_before);
         }
@@ -463,7 +504,11 @@ mod tests {
                 .contract_address
                 .unwrap();
             for w in [&alice, &bob] {
-                assert!(net.execute(w, addr, ether(1), mono.deposit(), 300_000).unwrap().success);
+                assert!(
+                    net.execute(w, addr, ether(1), mono.deposit(), 300_000)
+                        .unwrap()
+                        .success
+                );
             }
             net.advance_time(2 * 3600 + 60);
             let r = net

@@ -54,9 +54,7 @@ fn setup() -> Setup {
         .expect("challenge contract deploys");
     let pay = stake().wrapping_add(security_deposit());
     for w in [&alice, &bob] {
-        let r = net
-            .execute(w, onchain, pay, cc.deposit(), 400_000)
-            .unwrap();
+        let r = net.execute(w, onchain, pay, cc.deposit(), 400_000).unwrap();
         assert!(r.success, "deposit: {:?}", r.failure);
     }
     let bytecode = cc.offchain_initcode(alice.address, bob.address, secrets);
@@ -115,7 +113,13 @@ fn truthful_submission_finalizes_after_window() {
     // Bob (the true winner) submits honestly.
     let r = s
         .net
-        .execute(&s.bob, s.onchain, U256::ZERO, s.cc.submit_result(true), 400_000)
+        .execute(
+            &s.bob,
+            s.onchain,
+            U256::ZERO,
+            s.cc.submit_result(true),
+            400_000,
+        )
         .unwrap();
     assert!(r.success, "submit: {:?}", r.failure);
     // Finalize before the window closes is rejected.
@@ -156,7 +160,13 @@ fn false_submission_is_challenged_and_penalized() {
     // Alice (the true loser) submits a LIE: "Alice wins" (winner=false).
     let r = s
         .net
-        .execute(&s.alice, s.onchain, U256::ZERO, s.cc.submit_result(false), 400_000)
+        .execute(
+            &s.alice,
+            s.onchain,
+            U256::ZERO,
+            s.cc.submit_result(false),
+            400_000,
+        )
         .unwrap();
     assert!(r.success);
     // Bob challenges within the window using the signed copy.
@@ -218,7 +228,13 @@ fn challenge_after_window_is_rejected() {
     let mut s = setup();
     let r = s
         .net
-        .execute(&s.bob, s.onchain, U256::ZERO, s.cc.submit_result(true), 400_000)
+        .execute(
+            &s.bob,
+            s.onchain,
+            U256::ZERO,
+            s.cc.submit_result(true),
+            400_000,
+        )
         .unwrap();
     assert!(r.success);
     s.net.advance_time(WINDOW + 60);
@@ -242,7 +258,13 @@ fn challenge_with_forged_bytecode_rejected() {
     let mut s = setup();
     let r = s
         .net
-        .execute(&s.bob, s.onchain, U256::ZERO, s.cc.submit_result(true), 400_000)
+        .execute(
+            &s.bob,
+            s.onchain,
+            U256::ZERO,
+            s.cc.submit_result(true),
+            400_000,
+        )
         .unwrap();
     assert!(r.success);
     let mut forged = s.bytecode.clone();
@@ -266,14 +288,27 @@ fn challenge_with_forged_bytecode_rejected() {
 #[test]
 fn double_submission_rejected() {
     let mut s = setup();
-    assert!(s
-        .net
-        .execute(&s.bob, s.onchain, U256::ZERO, s.cc.submit_result(true), 400_000)
-        .unwrap()
-        .success);
+    assert!(
+        s.net
+            .execute(
+                &s.bob,
+                s.onchain,
+                U256::ZERO,
+                s.cc.submit_result(true),
+                400_000
+            )
+            .unwrap()
+            .success
+    );
     let r = s
         .net
-        .execute(&s.alice, s.onchain, U256::ZERO, s.cc.submit_result(false), 400_000)
+        .execute(
+            &s.alice,
+            s.onchain,
+            U256::ZERO,
+            s.cc.submit_result(false),
+            400_000,
+        )
         .unwrap();
     assert!(!r.success, "only one proposal per game");
 }
@@ -298,7 +333,11 @@ fn submission_requires_t2() {
         .unwrap();
     let pay = stake().wrapping_add(security_deposit());
     for w in [&alice, &bob] {
-        assert!(net.execute(w, onchain, pay, cc.deposit(), 400_000).unwrap().success);
+        assert!(
+            net.execute(w, onchain, pay, cc.deposit(), 400_000)
+                .unwrap()
+                .success
+        );
     }
     let r = net
         .execute(&bob, onchain, U256::ZERO, cc.submit_result(true), 400_000)
@@ -312,7 +351,13 @@ fn outsiders_cannot_submit_or_challenge() {
     let carol = s.net.funded_wallet("carol", ether(10));
     let r = s
         .net
-        .execute(&carol, s.onchain, U256::ZERO, s.cc.submit_result(true), 400_000)
+        .execute(
+            &carol,
+            s.onchain,
+            U256::ZERO,
+            s.cc.submit_result(true),
+            400_000,
+        )
         .unwrap();
     assert!(!r.success);
 }

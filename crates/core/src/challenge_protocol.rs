@@ -70,10 +70,7 @@ impl ChallengeReport {
 
     /// Gas of the first successful tx with the label.
     pub fn gas_of(&self, label: &str) -> Option<u64> {
-        self.txs
-            .iter()
-            .find(|t| t.0 == label && t.2)
-            .map(|t| t.1)
+        self.txs.iter().find(|t| t.0 == label && t.2).map(|t| t.1)
     }
 }
 
@@ -173,7 +170,11 @@ impl ChallengeGame {
 
     /// Runs the submit/challenge flow with the given behaviours. Alice is
     /// the representative; Bob watches.
-    pub fn run(mut self, submit: SubmitStrategy, watch: WatchStrategy) -> (ChallengeGame, ChallengeReport) {
+    pub fn run(
+        mut self,
+        submit: SubmitStrategy,
+        watch: WatchStrategy,
+    ) -> (ChallengeGame, ChallengeReport) {
         let truth = self.secrets.winner_is_bob();
         let claimed = match submit {
             SubmitStrategy::Truthful => truth,
@@ -199,11 +200,9 @@ impl ChallengeGame {
             // Bob challenges with the signed copy inside the window.
             let copy = self.signed_copy();
             revealed = copy.bytecode.len();
-            let data = self.contracts.challenge(
-                &copy.bytecode,
-                &copy.signatures[0],
-                &copy.signatures[1],
-            );
+            let data =
+                self.contracts
+                    .challenge(&copy.bytecode, &copy.signatures[0], &copy.signatures[1]);
             let r = self.exec("challenge", &bob, onchain, data);
             assert!(r.success, "challenge accepted in-window");
             let instance = Address::from_u256(
@@ -270,7 +269,10 @@ mod tests {
         let bob_addr = game.bob.wallet.address;
         let (game, report) = game.run(SubmitStrategy::False, WatchStrategy::Vigilant);
         assert_eq!(report.outcome, ChallengeOutcome::ResolvedByChallenge);
-        assert!(report.offchain_bytes_revealed > 0, "dispute published the code");
+        assert!(
+            report.offchain_bytes_revealed > 0,
+            "dispute published the code"
+        );
         // Bob got pot + both security deposits; the liar lost both.
         assert!(game.net.balance_of(bob_addr) > ether(1001));
         assert!(game.net.balance_of(alice_addr) < ether(999));

@@ -159,10 +159,11 @@ pub fn generate_pair(whole: &Contract) -> Result<GeneratedPair, GenerateError> {
 
     // Constructor splitting: keep statements that assign each side's
     // variables; parameters are those the kept statements reference.
-    let (ctor_params, ctor_payable, ctor_body) = whole
-        .constructor
-        .clone()
-        .unwrap_or((Vec::new(), false, Vec::new()));
+    let (ctor_params, ctor_payable, ctor_body) =
+        whole
+            .constructor
+            .clone()
+            .unwrap_or((Vec::new(), false, Vec::new()));
     if ctor_payable {
         return err("payable constructors are not supported by the splitter");
     }
@@ -254,7 +255,10 @@ pub fn generate_pair(whole: &Contract) -> Result<GeneratedPair, GenerateError> {
     let offchain_name = format!("{}OffChain", whole.name);
     let callback_iface = format!("{}Callback", whole.name);
     let mut off_modifiers = modifiers_for(&heavy);
-    if !off_modifiers.iter().any(|m| m.name == "certifiedparticipantOnly") {
+    if !off_modifiers
+        .iter()
+        .any(|m| m.name == "certifiedparticipantOnly")
+    {
         off_modifiers.push(certified_modifier_template());
     }
     let offchain = Contract {
@@ -304,10 +308,16 @@ pub fn generate_pair(whole: &Contract) -> Result<GeneratedPair, GenerateError> {
     };
     let onchain_source = print_program(&onchain_program);
     let offchain_source = print_program(&offchain_program);
-    let onchain = compile(&onchain_source, &onchain_name)
-        .map_err(|e| GenerateError(format!("generated on-chain does not compile: {e}\n{onchain_source}")))?;
-    let offchain = compile(&offchain_source, &offchain_name)
-        .map_err(|e| GenerateError(format!("generated off-chain does not compile: {e}\n{offchain_source}")))?;
+    let onchain = compile(&onchain_source, &onchain_name).map_err(|e| {
+        GenerateError(format!(
+            "generated on-chain does not compile: {e}\n{onchain_source}"
+        ))
+    })?;
+    let offchain = compile(&offchain_source, &offchain_name).map_err(|e| {
+        GenerateError(format!(
+            "generated off-chain does not compile: {e}\n{offchain_source}"
+        ))
+    })?;
 
     Ok(GeneratedPair {
         onchain_source,
@@ -336,7 +346,9 @@ fn deploy_verified_instance_template() -> Function {
             }
         }
     "#;
-    sc_lang::parse(template).expect("static template parses").contracts[0]
+    sc_lang::parse(template)
+        .expect("static template parses")
+        .contracts[0]
         .functions[0]
         .clone()
 }
@@ -352,7 +364,9 @@ fn certified_modifier_template() -> Modifier {
             }
         }
     "#;
-    sc_lang::parse(template).expect("static template parses").contracts[0]
+    sc_lang::parse(template)
+        .expect("static template parses")
+        .contracts[0]
         .modifiers[0]
         .clone()
 }
@@ -447,7 +461,12 @@ mod tests {
         assert_eq!(pair.offchain_functions, vec!["reveal".to_string()]);
         // The generated on-chain side exposes the light functions and the
         // padding; reveal is nowhere dispatchable.
-        for f in ["deposit", "refundRoundOne", "refundRoundTwo", "deployVerifiedInstance"] {
+        for f in [
+            "deposit",
+            "refundRoundOne",
+            "refundRoundTwo",
+            "deployVerifiedInstance",
+        ] {
             assert!(
                 pair.onchain.analyzed.selector_of(f).is_some(),
                 "missing {f}\n{}",

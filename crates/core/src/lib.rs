@@ -25,8 +25,10 @@ pub mod signedcopy;
 pub mod splitter;
 pub mod whisper;
 
-pub use generate::{generate_pair, GeneratedPair, GenerateError};
-pub use challenge_protocol::{ChallengeGame, ChallengeOutcome, ChallengeReport, SubmitStrategy, WatchStrategy};
+pub use challenge_protocol::{
+    ChallengeGame, ChallengeOutcome, ChallengeReport, SubmitStrategy, WatchStrategy,
+};
+pub use generate::{generate_pair, GenerateError, GeneratedPair};
 pub use participant::{Participant, Strategy};
 pub use protocol::{
     BettingGame, GameConfig, Outcome, ProtocolError, ProtocolReport, Stage, TxRecord,

@@ -261,7 +261,12 @@ impl BettingGame {
             .net
             .deploy(&wallet, initcode, U256::ZERO, 5_000_000)
             .expect("deploy admission");
-        self.record(Stage::DeploySign, "deploy onChain", wallet.address, &receipt);
+        self.record(
+            Stage::DeploySign,
+            "deploy onChain",
+            wallet.address,
+            &receipt,
+        );
         if !receipt.success {
             return Err(ProtocolError::TxFailed("deploy onChain".into()));
         }
@@ -333,7 +338,10 @@ impl BettingGame {
     pub fn deposits(&mut self) -> (bool, bool) {
         let mut made = [false, false];
         let onchain = self.onchain_addr.expect("deployed");
-        for (i, p) in [self.alice.clone(), self.bob.clone()].into_iter().enumerate() {
+        for (i, p) in [self.alice.clone(), self.bob.clone()]
+            .into_iter()
+            .enumerate()
+        {
             if matches!(p.strategy, Strategy::NoShow) {
                 continue;
             }
@@ -518,12 +526,7 @@ impl BettingGame {
         Ok((self, report))
     }
 
-    fn build_report(
-        &self,
-        outcome: Outcome,
-        dispute: bool,
-        winner_is_bob: bool,
-    ) -> ProtocolReport {
+    fn build_report(&self, outcome: Outcome, dispute: bool, winner_is_bob: bool) -> ProtocolReport {
         ProtocolReport {
             txs: self.txs.clone(),
             outcome,

@@ -130,10 +130,7 @@ mod tests {
     use super::*;
 
     fn keys() -> (PrivateKey, PrivateKey) {
-        (
-            PrivateKey::from_seed("alice"),
-            PrivateKey::from_seed("bob"),
-        )
+        (PrivateKey::from_seed("alice"), PrivateKey::from_seed("bob"))
     }
 
     #[test]

@@ -199,9 +199,7 @@ pub fn moves_currency(f: &Function, contract: &Contract) -> bool {
     fn stmts_move(stmts: &[Stmt], contract: &Contract, depth: usize) -> bool {
         stmts.iter().any(|s| match s {
             Stmt::Transfer(_, _) => true,
-            Stmt::If(_, a, b) => {
-                stmts_move(a, contract, depth) || stmts_move(b, contract, depth)
-            }
+            Stmt::If(_, a, b) => stmts_move(a, contract, depth) || stmts_move(b, contract, depth),
             Stmt::While(_, b) => stmts_move(b, contract, depth),
             Stmt::ExprStmt(Expr::InternalCall(name, _))
             | Stmt::VarDecl(_, Expr::InternalCall(name, _)) => {
@@ -235,7 +233,10 @@ pub fn classify_function(f: &Function, contract: &Contract) -> Classification {
         reasons.push("contains data-dependent loops (unbounded gas)".to_string());
     }
     if estimate.bounded && estimate.lower > 60_000 {
-        reasons.push(format!("estimated gas {} exceeds threshold", estimate.lower));
+        reasons.push(format!(
+            "estimated gas {} exceeds threshold",
+            estimate.lower
+        ));
     }
 
     let class = match (currency, heavy) {
@@ -249,8 +250,9 @@ pub fn classify_function(f: &Function, contract: &Contract) -> Classification {
         (true, false) => FunctionClass::LightPublic,
         (false, true) => FunctionClass::HeavyPrivate,
         (false, false) => {
-            reasons.push("cheap and transfer-free; defaulting to heavy/private to hide logic"
-                .to_string());
+            reasons.push(
+                "cheap and transfer-free; defaulting to heavy/private to hide logic".to_string(),
+            );
             FunctionClass::HeavyPrivate
         }
     };
@@ -334,7 +336,11 @@ impl SplitPlan {
                 c.name,
                 c.class,
                 c.estimate.lower,
-                if c.estimate.bounded { "" } else { ", unbounded" },
+                if c.estimate.bounded {
+                    ""
+                } else {
+                    ", unbounded"
+                },
                 c.reasons.join("; ")
             ));
         }
@@ -372,11 +378,7 @@ mod tests {
         let c = monolithic();
         let plan = split(&c);
         assert_eq!(plan.class_of("reveal"), Some(FunctionClass::HeavyPrivate));
-        let cls = plan
-            .classes
-            .iter()
-            .find(|x| x.name == "reveal")
-            .unwrap();
+        let cls = plan.classes.iter().find(|x| x.name == "reveal").unwrap();
         assert!(!cls.estimate.bounded, "loop makes reveal unbounded");
     }
 
@@ -405,7 +407,13 @@ mod tests {
     fn report_mentions_every_function() {
         let plan = split(&monolithic());
         let report = plan.report();
-        for f in ["deposit", "refundRoundOne", "refundRoundTwo", "reveal", "settle"] {
+        for f in [
+            "deposit",
+            "refundRoundOne",
+            "refundRoundTwo",
+            "reveal",
+            "settle",
+        ] {
             assert!(report.contains(f), "report missing {f}:\n{report}");
         }
     }

@@ -50,10 +50,7 @@ impl Whisper {
     /// Drains messages on `topic` that `reader` has not seen yet.
     pub fn poll(&mut self, reader: Address, topic: &str) -> Vec<Envelope> {
         let msgs = self.topics.get(topic).cloned().unwrap_or_default();
-        let cursor = self
-            .cursors
-            .entry((reader, topic.to_string()))
-            .or_insert(0);
+        let cursor = self.cursors.entry((reader, topic.to_string())).or_insert(0);
         let new = msgs[(*cursor).min(msgs.len())..].to_vec();
         *cursor = msgs.len();
         new

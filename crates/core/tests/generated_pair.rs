@@ -21,7 +21,13 @@ fn generated_pair_resolves_a_dispute_end_to_end() {
     let names: Vec<&str> = ctor.0.iter().map(|p| p.name.as_str()).collect();
     assert_eq!(names, vec!["a", "b", "t1", "t2"]);
     // The off-chain constructor kept (a, b, sa, sb, w).
-    let octor = pair.offchain.analyzed.contract.constructor.as_ref().unwrap();
+    let octor = pair
+        .offchain
+        .analyzed
+        .contract
+        .constructor
+        .as_ref()
+        .unwrap();
     let onames: Vec<&str> = octor.0.iter().map(|p| p.name.as_str()).collect();
     assert_eq!(onames, vec!["a", "b", "sa", "sb", "w"]);
 
@@ -95,8 +101,14 @@ fn generated_pair_resolves_a_dispute_end_to_end() {
             ],
         )
         .unwrap();
-    let r = net.execute(&bob, onchain, U256::ZERO, data, 7_900_000).unwrap();
-    assert!(r.success, "generated deployVerifiedInstance: {:?}", r.failure);
+    let r = net
+        .execute(&bob, onchain, U256::ZERO, data, 7_900_000)
+        .unwrap();
+    assert!(
+        r.success,
+        "generated deployVerifiedInstance: {:?}",
+        r.failure
+    );
 
     // Locate deployedAddr through the generated contract's storage layout.
     let slot = pair
@@ -179,6 +191,11 @@ fn generated_pair_rejects_tampered_bytecode() {
             ],
         )
         .unwrap();
-    let r = net.execute(&bob, onchain, U256::ZERO, data, 7_900_000).unwrap();
-    assert!(!r.success, "tampered bytecode rejected by the generated pair");
+    let r = net
+        .execute(&bob, onchain, U256::ZERO, data, 7_900_000)
+        .unwrap();
+    assert!(
+        !r.success,
+        "tampered bytecode rejected by the generated pair"
+    );
 }

@@ -55,7 +55,10 @@ fn four_party_copy_deploys_and_links() {
         .collect();
     let data = s
         .verifier
-        .calldata("deployVerifiedInstance", &nparty_deploy_args(&s.payload, &sigs))
+        .calldata(
+            "deployVerifiedInstance",
+            &nparty_deploy_args(&s.payload, &sigs),
+        )
         .unwrap();
     let r = s
         .net
@@ -83,7 +86,10 @@ fn one_missing_signer_breaks_the_whole_copy() {
     sigs[3] = sign_bytecode(&outsider.key, &s.payload);
     let data = s
         .verifier
-        .calldata("deployVerifiedInstance", &nparty_deploy_args(&s.payload, &sigs))
+        .calldata(
+            "deployVerifiedInstance",
+            &nparty_deploy_args(&s.payload, &sigs),
+        )
         .unwrap();
     let r = s
         .net
@@ -110,7 +116,10 @@ fn signature_order_matters() {
     sigs.swap(0, 1);
     let data = s
         .verifier
-        .calldata("deployVerifiedInstance", &nparty_deploy_args(&s.payload, &sigs))
+        .calldata(
+            "deployVerifiedInstance",
+            &nparty_deploy_args(&s.payload, &sigs),
+        )
         .unwrap();
     let r = s
         .net

@@ -1,8 +1,8 @@
 //! End-to-end protocol tests: the full four-stage game on the chain
 //! simulator, honest and Byzantine.
 
-use sc_core::{BettingGame, GameConfig, Outcome, Participant, Stage, Strategy};
 use sc_contracts::BetSecrets;
+use sc_core::{BettingGame, GameConfig, Outcome, Participant, Stage, Strategy};
 use sc_primitives::{ether, U256};
 
 fn game_with(alice_strategy: Strategy, bob_strategy: Strategy, secrets: BetSecrets) -> BettingGame {
@@ -86,10 +86,7 @@ fn dispute_path_enforces_true_result() {
     let alice_balance = game.net.balance_of(alice_addr);
     assert!(alice_balance < ether(1000), "loser lost the deposit");
     // Privacy cost of the dispute: the entire bytecode is now public.
-    assert_eq!(
-        report.offchain_bytes_revealed,
-        game.offchain_bytecode.len()
-    );
+    assert_eq!(report.offchain_bytes_revealed, game.offchain_bytecode.len());
     assert!(report.offchain_bytes_revealed > 500);
     // Both extra functions ran and have recorded gas.
     assert!(report.gas_of("deployVerifiedInstance").is_some());
@@ -123,7 +120,10 @@ fn forged_bytecode_is_rejected_on_chain() {
         .find(|t| t.label == "deployVerifiedInstance (forged)")
         .expect("forged attempt recorded");
     assert!(!forged.success);
-    assert!(forged.gas_used > 0, "the forger pays for the failed attempt");
+    assert!(
+        forged.gas_used > 0,
+        "the forger pays for the failed attempt"
+    );
     // Justice still prevails.
     assert!(game.net.balance_of(bob_addr) > ether(1000));
 }
@@ -141,7 +141,10 @@ fn tampered_signature_aborts_before_any_deposit() {
     assert_eq!(game.net.balance_of(game.onchain_addr.unwrap()), U256::ZERO);
     // Nobody lost more than deploy gas.
     assert!(game.net.balance_of(bob_addr) == ether(1000));
-    assert!(game.net.balance_of(alice_addr) < ether(1000), "deployer paid gas");
+    assert!(
+        game.net.balance_of(alice_addr) < ether(1000),
+        "deployer paid gas"
+    );
 }
 
 #[test]
@@ -206,8 +209,8 @@ fn honest_path_is_much_cheaper_than_dispute_path() {
         .run()
         .unwrap();
     let honest_settle = honest.stage_gas(Stage::SubmitChallenge);
-    let dispute_total = dispute.stage_gas(Stage::SubmitChallenge)
-        + dispute.stage_gas(Stage::DisputeResolve);
+    let dispute_total =
+        dispute.stage_gas(Stage::SubmitChallenge) + dispute.stage_gas(Stage::DisputeResolve);
     assert!(
         dispute_total > honest_settle + 150_000,
         "dispute {dispute_total} vs honest {honest_settle}"
@@ -325,17 +328,27 @@ fn gas_profile_of_deploy_verified_instance() {
     let tl = sc_contracts::Timeline::starting_at(net.now(), 3600);
     let on = sc_contracts::OnChainContract::new();
     let onchain = net
-        .deploy(&alice, on.initcode(alice.address, bob.address, tl), U256::ZERO, 5_000_000)
+        .deploy(
+            &alice,
+            on.initcode(alice.address, bob.address, tl),
+            U256::ZERO,
+            5_000_000,
+        )
         .unwrap()
         .contract_address
         .unwrap();
     for w in [&alice, &bob] {
-        assert!(net.execute(w, onchain, ether(1), on.deposit(), 300_000).unwrap().success);
+        assert!(
+            net.execute(w, onchain, ether(1), on.deposit(), 300_000)
+                .unwrap()
+                .success
+        );
     }
     net.advance_time(4 * 3600);
 
     let copy = game.signed_copy();
-    let data = on.deploy_verified_instance(&copy.bytecode, &copy.signatures[0], &copy.signatures[1]);
+    let data =
+        on.deploy_verified_instance(&copy.bytecode, &copy.signatures[0], &copy.signatures[1]);
     let (profile, exec_gas) = net.profile_call(bob.address, onchain, U256::ZERO, data, 7_000_000);
 
     assert_eq!(profile.total_gas(), exec_gas, "profiler is exhaustive");

@@ -1,0 +1,258 @@
+//! A vendored, std-only benchmarking shim.
+//!
+//! Re-implements the subset of the `criterion` crate's API that this
+//! workspace's bench targets use (`Criterion`, `benchmark_group`,
+//! `bench_function`, `iter`, `iter_batched`, `Throughput`, `BatchSize`,
+//! and the `criterion_group!`/`criterion_main!` macros) so that
+//! `cargo bench` compiles and runs **without network access to a crates
+//! registry**.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs timed
+//! batches until a wall-clock budget is exhausted, reporting the median
+//! per-iteration time. There are no plots, baselines, or statistical
+//! regressions — numbers print to stdout in a `name ... time: X`
+//! format.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Wall-clock budget spent measuring each benchmark function.
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+/// Wall-clock budget spent warming up each benchmark function.
+const WARMUP_BUDGET: Duration = Duration::from_millis(80);
+
+/// Throughput annotation for a benchmark group (printed, not analysed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How much setup output to batch per timing in
+/// [`Bencher::iter_batched`]. The shim times one setup per routine call
+/// regardless, so the variants only express intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Larger per-iteration input.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&name.into(), None, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by a time
+    /// budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to benchmark closures; hosts the timing loops.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back for this sample's iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh `setup` output each iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark(name: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    // Warmup: also calibrates how many iterations fit the budget.
+    let mut per_iter = {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_secs(1);
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            f(&mut b);
+            per_iter = per_iter.min(b.elapsed.max(Duration::from_nanos(1)));
+        }
+        per_iter
+    };
+
+    // Measurement: samples of `iters` iterations until the budget runs out.
+    let iters = (MEASURE_BUDGET.as_nanos() / 16 / per_iter.as_nanos().max(1)).clamp(1, 1 << 20);
+    let mut samples: Vec<Duration> = Vec::new();
+    let start = Instant::now();
+    while samples.is_empty() || (start.elapsed() < MEASURE_BUDGET && samples.len() < 200) {
+        let mut b = Bencher {
+            iters: iters as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed / iters as u32);
+    }
+    samples.sort();
+    per_iter = samples[samples.len() / 2];
+
+    let mut line = format!("  {name:<48} time: {}", fmt_duration(per_iter));
+    if let Some(Throughput::Bytes(bytes)) = throughput {
+        let bps = bytes as f64 / per_iter.as_secs_f64();
+        line.push_str(&format!("   thrpt: {:.1} MiB/s", bps / (1024.0 * 1024.0)));
+    } else if let Some(Throughput::Elements(n)) = throughput {
+        let eps = n as f64 / per_iter.as_secs_f64();
+        line.push_str(&format!("   thrpt: {eps:.0} elem/s"));
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_measures_something() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| black_box(3u64.wrapping_mul(7)));
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

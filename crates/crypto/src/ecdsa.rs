@@ -293,6 +293,46 @@ pub fn recover_address(digest: H256, sig: &Signature) -> Result<Address, EcdsaEr
     Ok(recover_pubkey(digest, sig)?.address())
 }
 
+/// Below this many signatures, thread spawn overhead beats the win from
+/// parallel recovery (~100µs each), so the batch path stays serial.
+const PARALLEL_RECOVERY_THRESHOLD: usize = 8;
+
+/// Recovers many addresses at once, fanning out across CPU cores.
+///
+/// Each entry is independent — ECDSA recovery is a pure function of
+/// `(digest, signature)` — so results are exactly what per-entry
+/// [`recover_address`] calls would produce, in input order. This is the
+/// hot half of block admission: the chain validates a pending set's
+/// senders through here before its sequential commit phase.
+///
+/// Scoped threads keep this std-only (no rayon): the slice is chunked
+/// into at most [`std::thread::available_parallelism`] contiguous
+/// pieces, each worker writes its own chunk of the output, and the scope
+/// joins before returning.
+pub fn recover_addresses_batch(items: &[(H256, Signature)]) -> Vec<Result<Address, EcdsaError>> {
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if items.len() < PARALLEL_RECOVERY_THRESHOLD || workers < 2 {
+        return items
+            .iter()
+            .map(|(digest, sig)| recover_address(*digest, sig))
+            .collect();
+    }
+
+    let chunk_len = items.len().div_ceil(workers);
+    let mut results: Vec<Result<Address, EcdsaError>> =
+        vec![Err(EcdsaError::RecoveryFailed); items.len()];
+    std::thread::scope(|scope| {
+        for (inputs, outputs) in items.chunks(chunk_len).zip(results.chunks_mut(chunk_len)) {
+            scope.spawn(move || {
+                for ((digest, sig), out) in inputs.iter().zip(outputs.iter_mut()) {
+                    *out = recover_address(*digest, sig);
+                }
+            });
+        }
+    });
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,7 +438,9 @@ mod tests {
         sig.v = if sig.v == 27 { 28 } else { 27 };
         // Either recovery fails or it produces a different address; both
         // mean the forged signature does not authenticate.
-        if let Ok(addr) = recover_address(digest, &sig) { assert_ne!(addr, key.address()) }
+        if let Ok(addr) = recover_address(digest, &sig) {
+            assert_ne!(addr, key.address())
+        }
     }
 
     #[test]
@@ -452,5 +494,36 @@ mod tests {
         };
         assert!(!key.public_key().verify(digest, &sig));
         assert!(recover_address(digest, &sig).is_err());
+    }
+
+    #[test]
+    fn batch_recovery_matches_serial_with_mixed_validity() {
+        // Large enough to cross PARALLEL_RECOVERY_THRESHOLD, with bad
+        // signatures sprinkled in so error positions are checked too.
+        let items: Vec<(H256, Signature)> = (0..24u64)
+            .map(|i| {
+                let key = PrivateKey::from_seed(&format!("signer-{i}"));
+                let digest = keccak256(&i.to_be_bytes());
+                let mut sig = key.sign(digest);
+                if i % 5 == 0 {
+                    sig.v = 29; // invalid recovery id
+                }
+                (digest, sig)
+            })
+            .collect();
+        let serial: Vec<_> = items.iter().map(|(d, s)| recover_address(*d, s)).collect();
+        let batch = recover_addresses_batch(&items);
+        assert_eq!(batch, serial);
+        assert!(batch.iter().filter(|r| r.is_err()).count() == 5);
+    }
+
+    #[test]
+    fn batch_recovery_small_input_stays_correct() {
+        let key = PrivateKey::from_seed("solo");
+        let digest = keccak256(b"one");
+        let sig = key.sign(digest);
+        let out = recover_addresses_batch(&[(digest, sig)]);
+        assert_eq!(out, vec![Ok(key.address())]);
+        assert!(recover_addresses_batch(&[]).is_empty());
     }
 }

@@ -206,7 +206,10 @@ mod tests {
     #[test]
     fn erc20_transfer_selector() {
         // Well-known Solidity selector, pins hash + truncation together.
-        assert_eq!(selector("transfer(address,uint256)"), [0xa9, 0x05, 0x9c, 0xbb]);
+        assert_eq!(
+            selector("transfer(address,uint256)"),
+            [0xa9, 0x05, 0x9c, 0xbb]
+        );
     }
 
     #[test]

@@ -362,14 +362,8 @@ mod tests {
     #[test]
     fn infinity_is_identity() {
         let g = Point::generator();
-        assert_eq!(
-            g.add(&Point::INFINITY).to_affine(),
-            g.to_affine()
-        );
-        assert_eq!(
-            Point::INFINITY.add(&g).to_affine(),
-            g.to_affine()
-        );
+        assert_eq!(g.add(&Point::INFINITY).to_affine(), g.to_affine());
+        assert_eq!(Point::INFINITY.add(&g).to_affine(), g.to_affine());
         assert!(Point::INFINITY.double().is_infinity());
     }
 

@@ -1,0 +1,239 @@
+//! Code analysis and its cross-execution cache.
+//!
+//! Before interpreting a byte of code the EVM must know which offsets are
+//! valid `JUMPDEST`s (offsets inside PUSH immediates are not). That scan
+//! is `O(len(code))` and, in the seed interpreter, re-ran for **every
+//! frame** — every outer call, every nested `CALL`/`DELEGATECALL`, and
+//! every dispute-path re-execution paid it again for byte-identical code.
+//!
+//! [`AnalysisCache`] memoizes the scan keyed by `keccak256(code)`, so a
+//! contract's bitmap is computed once per unique bytecode and shared
+//! (via `Arc`) across frames, transactions and blocks. The chain keeps
+//! one cache per [`Testnet`](../../sc_chain/testnet/struct.Testnet.html)
+//! and threads it into each [`crate::Evm`]; hit/miss counters make the
+//! effect measurable in `sc-bench`.
+//!
+//! Caching is purely an interpreter-speed optimisation: analysis is a
+//! deterministic pure function of the code, so a warm cache can never
+//! change an execution result (asserted by `sc-chain`'s determinism
+//! suite).
+
+use crate::opcode::analyze_jumpdests;
+use sc_primitives::H256;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The result of statically analysing one bytecode blob.
+///
+/// Currently just the `JUMPDEST` validity bitmap; the struct exists so
+/// future analyses (gas-block metering, stack-height checks) extend the
+/// same cache entry instead of adding parallel maps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeAnalysis {
+    jumpdests: Vec<bool>,
+}
+
+impl CodeAnalysis {
+    /// Analyses `code` from scratch (no caching).
+    pub fn analyze(code: &[u8]) -> Self {
+        CodeAnalysis {
+            jumpdests: analyze_jumpdests(code),
+        }
+    }
+
+    /// True iff `pc` is a valid jump target in the analysed code.
+    #[inline]
+    pub fn is_jumpdest(&self, pc: usize) -> bool {
+        self.jumpdests.get(pc).copied().unwrap_or(false)
+    }
+
+    /// Length of the analysed code in bytes.
+    pub fn code_len(&self) -> usize {
+        self.jumpdests.len()
+    }
+}
+
+/// Cache hit/miss counters, readable while executions are in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the analysis.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; zero when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe memo of [`CodeAnalysis`] keyed by `keccak256(code)`.
+///
+/// Keying by content hash (not by `Arc` pointer identity) means two
+/// deployments of the same bytecode — e.g. the on-chain copy and a
+/// dispute-path re-deployment — share one entry. The chain already knows
+/// each account's code hash (it is cached on the account record), so
+/// lookups cost a `HashMap` probe, not a keccak.
+#[derive(Default, Debug)]
+pub struct AnalysisCache {
+    entries: Mutex<HashMap<H256, Arc<CodeAnalysis>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AnalysisCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the analysis for `code`, computing and memoizing it on
+    /// first sight of `code_hash`.
+    ///
+    /// The caller is trusted that `code_hash == keccak256(code)`; the
+    /// chain maintains that invariant on its account records.
+    pub fn get_or_analyze(&self, code_hash: H256, code: &[u8]) -> Arc<CodeAnalysis> {
+        if let Some(hit) = self
+            .entries
+            .lock()
+            .expect("analysis cache poisoned")
+            .get(&code_hash)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Analyse outside the lock: scans of large code must not block
+        // other executors' lookups. A racing analysis of the same hash
+        // produces an identical value, so last-write-wins is harmless.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let analysis = Arc::new(CodeAnalysis::analyze(code));
+        self.entries
+            .lock()
+            .expect("analysis cache poisoned")
+            .insert(code_hash, Arc::clone(&analysis));
+        analysis
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct bytecodes cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("analysis cache poisoned").len()
+    }
+
+    /// True iff no bytecode has been analysed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and zeroes the counters (bench cold starts).
+    pub fn clear(&self) {
+        self.entries
+            .lock()
+            .expect("analysis cache poisoned")
+            .clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_crypto::keccak256;
+
+    #[test]
+    fn analysis_matches_raw_scan() {
+        // PUSH2 0x5b5b JUMPDEST: only offset 3 is a real JUMPDEST.
+        let code = [0x61, 0x5b, 0x5b, 0x5b];
+        let a = CodeAnalysis::analyze(&code);
+        assert!(!a.is_jumpdest(0));
+        assert!(!a.is_jumpdest(1));
+        assert!(!a.is_jumpdest(2));
+        assert!(a.is_jumpdest(3));
+        assert!(!a.is_jumpdest(4), "out of bounds is not a jumpdest");
+        assert_eq!(a.code_len(), 4);
+    }
+
+    #[test]
+    fn cache_hits_after_first_analysis() {
+        let cache = AnalysisCache::new();
+        let code = vec![0x5b, 0x00];
+        let hash = keccak256(&code);
+        let first = cache.get_or_analyze(hash, &code);
+        let second = cache.get_or_analyze(hash, &code);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second lookup shares the entry"
+        );
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_code_gets_distinct_entries() {
+        let cache = AnalysisCache::new();
+        let a = vec![0x5b];
+        let b = vec![0x00];
+        cache.get_or_analyze(keccak256(&a), &a);
+        cache.get_or_analyze(keccak256(&b), &b);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn clear_resets_entries_and_stats() {
+        let cache = AnalysisCache::new();
+        let code = vec![0x5b];
+        let hash = keccak256(&code);
+        cache.get_or_analyze(hash, &code);
+        cache.get_or_analyze(hash, &code);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 0 });
+    }
+
+    #[test]
+    fn hit_ratio_bounds() {
+        let s = CacheStats { hits: 0, misses: 0 };
+        assert_eq!(s.hit_ratio(), 0.0);
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_lookups_converge() {
+        let cache = Arc::new(AnalysisCache::new());
+        let code = Arc::new(vec![0x5b, 0x60, 0x01, 0x00]);
+        let hash = keccak256(&code);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let code = Arc::clone(&code);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let a = cache.get_or_analyze(hash, &code);
+                        assert!(a.is_jumpdest(0));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 800);
+    }
+}

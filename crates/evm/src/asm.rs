@@ -229,7 +229,13 @@ impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.op {
             Some(op) if !self.immediate.is_empty() => {
-                write!(f, "{:04x}: {} 0x{}", self.offset, op.mnemonic(), hex::encode(&self.immediate))
+                write!(
+                    f,
+                    "{:04x}: {} 0x{}",
+                    self.offset,
+                    op.mnemonic(),
+                    hex::encode(&self.immediate)
+                )
             }
             Some(op) => write!(f, "{:04x}: {}", self.offset, op.mnemonic()),
             None => write!(f, "{:04x}: <invalid>", self.offset),

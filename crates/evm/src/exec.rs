@@ -5,10 +5,11 @@
 //! EIP-2 low-s/create-deposit rules, `REVERT`/`RETURNDATA`, and the
 //! Constantinople shift opcodes.
 
+use crate::analysis::{AnalysisCache, CodeAnalysis};
 use crate::gas::{self, g};
 use crate::host::{Env, Host, LogEntry};
 use crate::memory::Memory;
-use crate::opcode::{analyze_jumpdests, Op};
+use crate::opcode::Op;
 use crate::precompile;
 use sc_crypto::keccak256;
 use sc_primitives::rlp::{self, Item};
@@ -156,6 +157,7 @@ pub struct Evm<'a, H: Host> {
     pub env: Env,
     depth: usize,
     inspector: Option<&'a mut dyn crate::inspect::Inspector>,
+    cache: Arc<AnalysisCache>,
 }
 
 enum FrameResult {
@@ -167,7 +169,7 @@ enum FrameResult {
 
 struct Frame {
     code: Arc<Vec<u8>>,
-    jumpdests: Vec<bool>,
+    analysis: Arc<CodeAnalysis>,
     pc: usize,
     stack: Vec<U256>,
     memory: Memory,
@@ -181,9 +183,9 @@ struct Frame {
 }
 
 impl Frame {
-    fn new(code: Arc<Vec<u8>>, params: &CallParams) -> Frame {
+    fn new(code: Arc<Vec<u8>>, analysis: Arc<CodeAnalysis>, params: &CallParams) -> Frame {
         Frame {
-            jumpdests: analyze_jumpdests(&code),
+            analysis,
             code,
             pc: 0,
             stack: Vec::with_capacity(64),
@@ -256,6 +258,7 @@ impl<'a, H: Host> Evm<'a, H> {
             env,
             depth: 0,
             inspector: None,
+            cache: Arc::new(AnalysisCache::new()),
         }
     }
 
@@ -271,7 +274,17 @@ impl<'a, H: Host> Evm<'a, H> {
             env,
             depth: 0,
             inspector: Some(inspector),
+            cache: Arc::new(AnalysisCache::new()),
         }
+    }
+
+    /// Replaces the (per-executor, private) analysis cache with a shared
+    /// one, so jumpdest bitmaps persist across transactions and blocks.
+    /// Chainable: `Evm::new(..).with_analysis_cache(cache)`.
+    #[must_use]
+    pub fn with_analysis_cache(mut self, cache: Arc<AnalysisCache>) -> Self {
+        self.cache = cache;
+        self
     }
 
     /// Executes a message call (top-level or nested).
@@ -329,7 +342,12 @@ impl<'a, H: Host> Evm<'a, H> {
             };
         }
 
-        let mut frame = Box::new(Frame::new(code, &params));
+        // The account's cached code hash makes this a map probe, not a
+        // keccak; the bitmap itself is shared across frames and blocks.
+        let analysis = self
+            .cache
+            .get_or_analyze(self.host.code_hash(params.code_address), &code);
+        let mut frame = Box::new(Frame::new(code, analysis, &params));
         self.depth += 1;
         let result = self.run(&mut frame);
         self.depth -= 1;
@@ -430,7 +448,12 @@ impl<'a, H: Host> Evm<'a, H> {
             gas: gas_limit,
             is_static: false,
         };
-        let mut frame = Box::new(Frame::new(Arc::new(init_code), &params));
+        // Initcode has no account to look a hash up on; hash it once here
+        // so repeated deployments of the same initcode (dispute-path
+        // re-deployments in particular) still share one analysis.
+        let init_code = Arc::new(init_code);
+        let analysis = self.cache.get_or_analyze(keccak256(&init_code), &init_code);
+        let mut frame = Box::new(Frame::new(init_code, analysis, &params));
         self.depth += 1;
         let result = self.run(&mut frame);
         self.depth -= 1;
@@ -637,8 +660,7 @@ impl<'a, H: Host> Evm<'a, H> {
                     try_vm!(f.push(n));
                 }
                 Op::CallDataCopy => {
-                    let (dst, src, len) =
-                        (try_vm!(f.pop()), try_vm!(f.pop()), try_vm!(f.pop()));
+                    let (dst, src, len) = (try_vm!(f.pop()), try_vm!(f.pop()), try_vm!(f.pop()));
                     try_vm!(self.copy_to_memory(f, dst, src, len, CopySource::CallData));
                 }
                 Op::CodeSize => {
@@ -647,8 +669,7 @@ impl<'a, H: Host> Evm<'a, H> {
                     try_vm!(f.push(n));
                 }
                 Op::CodeCopy => {
-                    let (dst, src, len) =
-                        (try_vm!(f.pop()), try_vm!(f.pop()), try_vm!(f.pop()));
+                    let (dst, src, len) = (try_vm!(f.pop()), try_vm!(f.pop()), try_vm!(f.pop()));
                     try_vm!(self.copy_to_memory(f, dst, src, len, CopySource::Code));
                 }
                 Op::GasPrice => {
@@ -664,8 +685,7 @@ impl<'a, H: Host> Evm<'a, H> {
                 }
                 Op::ExtCodeCopy => {
                     let a = Address::from_u256(try_vm!(f.pop()));
-                    let (dst, src, len) =
-                        (try_vm!(f.pop()), try_vm!(f.pop()), try_vm!(f.pop()));
+                    let (dst, src, len) = (try_vm!(f.pop()), try_vm!(f.pop()), try_vm!(f.pop()));
                     try_vm!(self.copy_to_memory(f, dst, src, len, CopySource::ExtCode(a)));
                 }
                 Op::ReturnDataSize => {
@@ -674,8 +694,7 @@ impl<'a, H: Host> Evm<'a, H> {
                     try_vm!(f.push(n));
                 }
                 Op::ReturnDataCopy => {
-                    let (dst, src, len) =
-                        (try_vm!(f.pop()), try_vm!(f.pop()), try_vm!(f.pop()));
+                    let (dst, src, len) = (try_vm!(f.pop()), try_vm!(f.pop()), try_vm!(f.pop()));
                     // Unlike the other copies, OOB reads are a hard error.
                     let src_usize = src.to_usize().ok_or(VmError::ReturnDataOutOfBounds);
                     let src_usize = try_vm!(src_usize);
@@ -850,9 +869,9 @@ impl<'a, H: Host> Evm<'a, H> {
                     }
                     let data_len = len.to_u64().unwrap_or(u64::MAX);
                     try_vm!(f.use_gas(
-                        g::LOG.saturating_add(
-                            g::LOGTOPIC.saturating_mul(topic_count as u64)
-                        ).saturating_add(g::LOGDATA.saturating_mul(data_len))
+                        g::LOG
+                            .saturating_add(g::LOGTOPIC.saturating_mul(topic_count as u64))
+                            .saturating_add(g::LOGDATA.saturating_mul(data_len))
                     ));
                     let off = try_vm!(f.charge_memory(offset, len));
                     let data = f.memory.slice(off, len.to_usize().unwrap_or(0)).to_vec();
@@ -960,7 +979,7 @@ impl<'a, H: Host> Evm<'a, H> {
         let Some(pc) = dest.to_usize() else {
             return Err(VmError::InvalidJump(usize::MAX));
         };
-        if pc >= f.code.len() || !f.jumpdests[pc] {
+        if !f.analysis.is_jumpdest(pc) {
             return Err(VmError::InvalidJump(pc));
         }
         f.pc = pc;
@@ -1130,7 +1149,13 @@ mod tests {
         host.install(addr(0xcc), code);
         host.fund(addr(0xee), sc_primitives::ether(10));
         let mut evm = Evm::new(&mut host, Env::default());
-        let out = evm.call(CallParams::transact(addr(0xee), addr(0xcc), U256::ZERO, data, gas));
+        let out = evm.call(CallParams::transact(
+            addr(0xee),
+            addr(0xcc),
+            U256::ZERO,
+            data,
+            gas,
+        ));
         (out, host)
     }
 
@@ -1246,9 +1271,7 @@ mod tests {
     #[test]
     fn sstore_clear_adds_refund() {
         // SSTORE(0,5); SSTORE(0,0)
-        let code = vec![
-            0x60, 0x05, 0x60, 0x00, 0x55, 0x60, 0x00, 0x60, 0x00, 0x55,
-        ];
+        let code = vec![0x60, 0x05, 0x60, 0x00, 0x55, 0x60, 0x00, 0x60, 0x00, 0x55];
         let (out, host) = run_code(code, vec![], 100_000);
         assert!(out.success);
         assert_eq!(host.refund, 15_000);
@@ -1273,9 +1296,8 @@ mod tests {
         // Store "abc" via MSTORE8s, hash 3 bytes at offset 0.
         let code = vec![
             0x60, b'a', 0x60, 0x00, 0x53, // MSTORE8(0,'a')
-            0x60, b'b', 0x60, 0x01, 0x53,
-            0x60, b'c', 0x60, 0x02, 0x53,
-            0x60, 0x03, 0x60, 0x00, 0x20, // KECCAK256(0,3)
+            0x60, b'b', 0x60, 0x01, 0x53, 0x60, b'c', 0x60, 0x02, 0x53, 0x60, 0x03, 0x60, 0x00,
+            0x20, // KECCAK256(0,3)
             0x60, 0x00, 0x52, // MSTORE
             0x60, 0x20, 0x60, 0x00, 0xf3,
         ];
@@ -1286,12 +1308,21 @@ mod tests {
     #[test]
     fn timestamp_exposed() {
         let mut host = MockHost::new();
-        host.install(addr(0xcc), vec![0x42, 0x60, 0x00, 0x52, 0x60, 0x20, 0x60, 0x00, 0xf3]);
+        host.install(
+            addr(0xcc),
+            vec![0x42, 0x60, 0x00, 0x52, 0x60, 0x20, 0x60, 0x00, 0xf3],
+        );
         host.fund(addr(0xee), sc_primitives::ether(1));
         let mut env = Env::default();
         env.block.timestamp = 123_456;
         let mut evm = Evm::new(&mut host, env);
-        let out = evm.call(CallParams::transact(addr(0xee), addr(0xcc), U256::ZERO, vec![], 100_000));
+        let out = evm.call(CallParams::transact(
+            addr(0xee),
+            addr(0xcc),
+            U256::ZERO,
+            vec![],
+            100_000,
+        ));
         assert_eq!(U256::from_be_slice(&out.output), U256::from_u64(123_456));
     }
 
@@ -1384,7 +1415,11 @@ mod tests {
         let out = evm.create(addr(1), sc_primitives::ether(1), init, 100_000);
         assert!(!out.success);
         assert!(out.address.is_none());
-        assert_eq!(host.balance(addr(1)), sc_primitives::ether(1), "value returned");
+        assert_eq!(
+            host.balance(addr(1)),
+            sc_primitives::ether(1),
+            "value returned"
+        );
         assert_eq!(host.nonce(addr(1)), 1, "nonce bump survives failed create");
     }
 
@@ -1398,8 +1433,8 @@ mod tests {
             0x60, 0x00, 0x60, 0x00, // out
             0x60, 0x00, 0x60, 0x00, // in
             0x60, 0x00, // value
-            0x73, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb,
-            0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, // PUSH20 callee
+            0x73, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb,
+            0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, // PUSH20 callee
             0x61, 0xff, 0xff, // PUSH2 gas
             0xf1, // CALL
             0x00,
@@ -1409,8 +1444,18 @@ mod tests {
         host.install(addr(0xaa), caller);
         host.fund(addr(1), sc_primitives::ether(1));
         let mut evm = Evm::new(&mut host, Env::default());
-        let out = evm.call(CallParams::transact(addr(1), addr(0xaa), U256::ZERO, vec![], 500_000));
-        assert!(out.success, "caller survives callee failure: {:?}", out.error);
+        let out = evm.call(CallParams::transact(
+            addr(1),
+            addr(0xaa),
+            U256::ZERO,
+            vec![],
+            500_000,
+        ));
+        assert!(
+            out.success,
+            "caller survives callee failure: {:?}",
+            out.error
+        );
         assert_eq!(host.storage(addr(0xaa), U256::ZERO), U256::from_u64(9));
         assert_eq!(host.storage(addr(0xbb), U256::ZERO), U256::ZERO);
     }
@@ -1423,9 +1468,8 @@ mod tests {
         let caller = vec![
             0x60, 0x00, 0x60, 0x00, // out
             0x60, 0x00, 0x60, 0x00, // in
-            0x73, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb,
-            0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb,
-            0x61, 0xff, 0xff, 0xfa, // STATICCALL
+            0x73, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb,
+            0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0x61, 0xff, 0xff, 0xfa, // STATICCALL
             0x60, 0x00, 0x52, 0x60, 0x20, 0x60, 0x00, 0xf3,
         ];
         let mut host = MockHost::new();
@@ -1433,7 +1477,13 @@ mod tests {
         host.install(addr(0xaa), caller);
         host.fund(addr(1), sc_primitives::ether(1));
         let mut evm = Evm::new(&mut host, Env::default());
-        let out = evm.call(CallParams::transact(addr(1), addr(0xaa), U256::ZERO, vec![], 500_000));
+        let out = evm.call(CallParams::transact(
+            addr(1),
+            addr(0xaa),
+            U256::ZERO,
+            vec![],
+            500_000,
+        ));
         assert!(out.success);
         assert_eq!(
             U256::from_be_slice(&out.output),
@@ -1460,8 +1510,7 @@ mod tests {
             0x60, 0x00, // value
             0x60, 0x01, // to
             0x61, 0xff, 0xff, // gas
-            0xf1,
-            0x50, // pop success flag
+            0xf1, 0x50, // pop success flag
             // RETURN(128, 32)
             0x60, 0x20, 0x60, 0x80, 0xf3,
         ];
@@ -1552,16 +1601,22 @@ mod tests {
         // Proxy delegatecalls the library.
         let proxy = vec![
             0x60, 0x00, 0x60, 0x00, 0x60, 0x00, 0x60, 0x00, // out/in
-            0x73, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb,
-            0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb,
-            0x61, 0xff, 0xff, 0xf4, 0x00, // DELEGATECALL, STOP
+            0x73, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb,
+            0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb, 0x61, 0xff, 0xff, 0xf4,
+            0x00, // DELEGATECALL, STOP
         ];
         let mut host = MockHost::new();
         host.install(addr(0xbb), library);
         host.install(addr(0xaa), proxy);
         host.fund(addr(1), sc_primitives::ether(1));
         let mut evm = Evm::new(&mut host, Env::default());
-        let out = evm.call(CallParams::transact(addr(1), addr(0xaa), U256::ZERO, vec![], 500_000));
+        let out = evm.call(CallParams::transact(
+            addr(1),
+            addr(0xaa),
+            U256::ZERO,
+            vec![],
+            500_000,
+        ));
         assert!(out.success);
         // Storage written in the PROXY's space, and CALLER is the original EOA.
         assert_eq!(host.storage(addr(0xaa), U256::ZERO), addr(1).to_u256());

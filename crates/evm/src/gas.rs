@@ -118,7 +118,11 @@ pub fn tx_intrinsic_gas(data: &[u8], is_create: bool) -> u64 {
         gas += g::TXCREATE;
     }
     for &b in data {
-        gas += if b == 0 { g::TXDATAZERO } else { g::TXDATANONZERO };
+        gas += if b == 0 {
+            g::TXDATAZERO
+        } else {
+            g::TXDATANONZERO
+        };
     }
     gas
 }
@@ -155,10 +159,7 @@ mod tests {
         assert_eq!(memory_cost(724), 3195);
         assert_eq!(memory_expansion_cost(10, 10), 0);
         assert_eq!(memory_expansion_cost(10, 5), 0);
-        assert_eq!(
-            memory_expansion_cost(0, 724),
-            memory_cost(724)
-        );
+        assert_eq!(memory_expansion_cost(0, 724), memory_cost(724));
     }
 
     #[test]

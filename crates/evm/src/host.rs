@@ -82,6 +82,15 @@ pub trait Host {
     fn balance(&self, a: Address) -> U256;
     /// Contract code (empty for EOAs and nonexistent accounts).
     fn code(&self, a: Address) -> Arc<Vec<u8>>;
+    /// `keccak256` of the account's code, used as the
+    /// [`crate::AnalysisCache`] key.
+    ///
+    /// The default hashes on demand; stateful hosts should override it
+    /// with a value cached at code-install time so the hash costs a field
+    /// read, not a keccak, on every call.
+    fn code_hash(&self, a: Address) -> H256 {
+        sc_crypto::keccak256(&self.code(a))
+    }
     /// Storage slot value (zero default).
     fn storage(&self, a: Address, key: U256) -> U256;
     /// Writes a storage slot.
@@ -202,7 +211,8 @@ impl Host for MockHost {
     }
 
     fn set_code(&mut self, a: Address, code: Vec<u8>) {
-        self.journal.push(JournalOp::Code(a, self.codes.get(&a).cloned()));
+        self.journal
+            .push(JournalOp::Code(a, self.codes.get(&a).cloned()));
         self.codes.insert(a, Arc::new(code));
     }
 

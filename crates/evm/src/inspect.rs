@@ -70,8 +70,7 @@ impl GasProfiler {
             .totals
             .iter()
             .map(|(&b, &(count, gas))| {
-                let name = Op::from_byte(b)
-                    .map_or_else(|| format!("0x{b:02x}"), |o| o.mnemonic());
+                let name = Op::from_byte(b).map_or_else(|| format!("0x{b:02x}"), |o| o.mnemonic());
                 (name, count, gas)
             })
             .collect();
@@ -216,7 +215,11 @@ mod tests {
         let mut a = crate::Asm::new();
         a.push_u64(100);
         a.label("loop");
-        a.push_u64(1).op(Op::Dup2).op(Op::Sub).op(Op::Swap1).op(Op::Pop);
+        a.push_u64(1)
+            .op(Op::Dup2)
+            .op(Op::Sub)
+            .op(Op::Swap1)
+            .op(Op::Pop);
         a.op(Op::Dup1);
         a.jumpi("loop");
         a.op(Op::Stop);

@@ -5,6 +5,7 @@
 //! `CREATE`-from-bytecode semantics, plus Yellow-Paper gas metering so that
 //! the Table II gas measurements are meaningful.
 //!
+//! * [`analysis`] — jumpdest analysis and its cross-execution cache.
 //! * [`opcode`] — the Byzantium+shifts instruction set.
 //! * [`gas`] — the gas schedule and dynamic-cost formulas.
 //! * [`host`] — the state-backend trait ([`host::Host`]) and a mock.
@@ -16,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod asm;
 pub mod exec;
 pub mod gas;
@@ -25,6 +27,7 @@ pub mod memory;
 pub mod opcode;
 pub mod precompile;
 
+pub use analysis::{AnalysisCache, CacheStats, CodeAnalysis};
 pub use asm::{disassemble, wrap_initcode, Asm};
 pub use exec::{contract_address, CallOutcome, CallParams, CreateOutcome, Evm, VmError};
 pub use host::{BlockEnv, Env, Host, LogEntry, MockHost, TxEnv};

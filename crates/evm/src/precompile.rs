@@ -54,11 +54,7 @@ fn ecrecover(input: &[u8], gas_limit: u64) -> Option<PrecompileResult> {
 
     let output = match v_word.to_u64() {
         Some(v @ 27..=28) => {
-            let sig = Signature {
-                v: v as u8,
-                r,
-                s,
-            };
+            let sig = Signature { v: v as u8, r, s };
             match recover_address(hash, &sig) {
                 Ok(addr) => {
                     let mut out = vec![0u8; 32];

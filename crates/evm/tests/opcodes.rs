@@ -220,7 +220,7 @@ fn log_opcodes_record_topics_and_data() {
     a.push_u64(0xabcdef).push_u64(0).op(Op::MStore); // data at 29..32
     a.push_u64(9).push_u64(7); // topics (topic1 pushed last → popped first)
     a.push_u64(3).push_u64(29); // len, offset → pops offset first
-    // stack now: [9, 7, 3, 29] top=29. LOG pops offset, len, then topics.
+                                // stack now: [9, 7, 3, 29] top=29. LOG pops offset, len, then topics.
     a.op(Op::Log2);
     a.op(Op::Stop);
     let mut host = MockHost::new();
@@ -425,7 +425,11 @@ fn gas_costs_per_family_pinned() {
     // ADDMOD is "mid" = 8.
     assert_eq!(
         measure(&|a: &mut Asm| {
-            a.push_u64(1).push_u64(2).push_u64(3).op(Op::AddMod).op(Op::Pop);
+            a.push_u64(1)
+                .push_u64(2)
+                .push_u64(3)
+                .op(Op::AddMod)
+                .op(Op::Pop);
         }),
         3 + 3 + 3 + 8 + 2
     );
@@ -493,7 +497,11 @@ fn call_stipend_cannot_write_storage() {
     );
     use sc_evm::host::Host;
     assert_eq!(host.storage(recv_addr, U256::ZERO), U256::ZERO);
-    assert_eq!(host.balance(recv_addr), U256::ZERO, "failed call reverted the value");
+    assert_eq!(
+        host.balance(recv_addr),
+        U256::ZERO,
+        "failed call reverted the value"
+    );
 }
 
 #[test]

@@ -63,10 +63,7 @@ pub struct CompiledContract {
 
 impl CompiledContract {
     /// Builds deployable initcode for the given constructor arguments.
-    pub fn initcode(
-        &self,
-        args: &[sc_primitives::abi::Value],
-    ) -> Result<Vec<u8>, CodegenError> {
+    pub fn initcode(&self, args: &[sc_primitives::abi::Value]) -> Result<Vec<u8>, CodegenError> {
         if args.len() != self.constructor_params.len() {
             return err(format!(
                 "constructor expects {} args, got {}",
@@ -147,9 +144,7 @@ fn substitute_placeholder(template: &[Stmt], inner: &[Stmt]) -> Vec<Stmt> {
                 substitute_placeholder(a, inner),
                 substitute_placeholder(b, inner),
             )),
-            Stmt::While(c, b) => {
-                out.push(Stmt::While(c.clone(), substitute_placeholder(b, inner)))
-            }
+            Stmt::While(c, b) => out.push(Stmt::While(c.clone(), substitute_placeholder(b, inner))),
             other => out.push(other.clone()),
         }
     }
@@ -373,12 +368,7 @@ impl Gen<'_> {
 
     // ---- statements ----
 
-    fn gen_stmts(
-        &self,
-        a: &mut Asm,
-        ctx: &mut FnCtx,
-        stmts: &[Stmt],
-    ) -> Result<(), CodegenError> {
+    fn gen_stmts(&self, a: &mut Asm, ctx: &mut FnCtx, stmts: &[Stmt]) -> Result<(), CodegenError> {
         for s in stmts {
             self.gen_stmt(a, ctx, s)?;
         }
@@ -512,10 +502,10 @@ impl Gen<'_> {
                 a.push(topic); // [p, topic]
                 a.push_u64(32 * n); // [p, topic, len]
                 a.op(Op::Dup3); // [p, topic, len, p=offset]
-                // Stack order for pops (offset top-first): need
-                // offset, len, topic from the top — currently topic is
-                // deepest. Rearrange: we have [p, topic, len, p].
-                // LOG1 pops offset=p, len, topic. Correct already.
+                                // Stack order for pops (offset top-first): need
+                                // offset, len, topic from the top — currently topic is
+                                // deepest. Rearrange: we have [p, topic, len, p].
+                                // LOG1 pops offset=p, len, topic. Correct already.
                 a.op(Op::Log1);
                 a.op(Op::Pop); // drop the buffer pointer
                 Ok(())
@@ -555,9 +545,7 @@ impl Gen<'_> {
                     a.push_u64(off).op(Op::MLoad);
                 } else if let Some(sv) = self.state_var(name) {
                     if !sv.ty.is_value_type() {
-                        return err(format!(
-                            "`{name}` is not a value (index it instead)"
-                        ));
+                        return err(format!("`{name}` is not a value (index it instead)"));
                     }
                     a.push_u64(sv.slot).op(Op::SLoad);
                 } else {
@@ -857,13 +845,15 @@ impl Gen<'_> {
         // Allocate the encoding buffer (FMP bump so nested expressions
         // can't clobber it).
         a.push_u64(0x40).op(Op::MLoad); // [p]
-        a.op(Op::Dup1).push_u64(in_len.div_ceil(32) * 32).op(Op::Add);
+        a.op(Op::Dup1)
+            .push_u64(in_len.div_ceil(32) * 32)
+            .op(Op::Add);
         a.push_u64(0x40).op(Op::MStore); // [p], FMP bumped
-        // Selector word (left-aligned).
+                                         // Selector word (left-aligned).
         let sel_word = U256::from_u64(u32::from_be_bytes(sel) as u64).shl_bits(224);
         a.push(sel_word);
         a.op(Op::Dup2).op(Op::MStore); // [p]
-        // Arguments.
+                                       // Arguments.
         for (k, arg) in args.iter().enumerate() {
             self.gen_expr(a, ctx, arg)?; // [p, v]
             a.op(Op::Dup2).push_u64(4 + 32 * k as u64).op(Op::Add); // [p, v, dst]
@@ -914,22 +904,22 @@ impl Gen<'_> {
         a.push_u64(head).op(Op::CallDataLoad);
         a.push_u64(4).op(Op::Add); // [pos]
         a.op(Op::Dup1).op(Op::CallDataLoad); // [pos, len]
-        // p = MLOAD(0x40)
+                                             // p = MLOAD(0x40)
         a.push_u64(0x40).op(Op::MLoad); // [pos, len, p]
-        // MSTORE(p, len)
+                                        // MSTORE(p, len)
         a.op(Op::Dup1).op(Op::Dup3).op(Op::Swap1).op(Op::MStore); // [pos, len, p]
-        // FMP = p + 32 + ceil32(len)
+                                                                  // FMP = p + 32 + ceil32(len)
         a.op(Op::Dup2).push_u64(31).op(Op::Add); // [.., p, len+31]
         a.push(U256::MAX.shl_bits(5)); // ~31 mask
         a.op(Op::And).push_u64(32).op(Op::Add); // [.., p, sz]
         a.op(Op::Dup2).op(Op::Add); // [pos, len, p, p+sz]
         a.push_u64(0x40).op(Op::MStore); // [pos, len, p]
-        // CALLDATACOPY(p+32, pos+32, len)
+                                         // CALLDATACOPY(p+32, pos+32, len)
         a.op(Op::Dup2); // [pos, len, p, len]
         a.op(Op::Dup4).push_u64(32).op(Op::Add); // [.., len, pos+32]
         a.op(Op::Dup3).push_u64(32).op(Op::Add); // [.., len, src, dest]
         a.op(Op::CallDataCopy); // [pos, len, p]
-        // Store p into the local; drop scratch.
+                                // Store p into the local; drop scratch.
         a.op(Op::Swap2).op(Op::Pop).op(Op::Pop); // [p]
         a.push_u64(local_off).op(Op::MStore);
     }

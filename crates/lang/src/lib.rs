@@ -86,7 +86,10 @@ mod tests {
         "#;
         let a = compile(src, "c").unwrap();
         let b = compile(src, "c").unwrap();
-        assert_eq!(a.runtime, b.runtime, "byte-identical output is a protocol requirement");
+        assert_eq!(
+            a.runtime, b.runtime,
+            "byte-identical output is a protocol requirement"
+        );
         assert_eq!(a.init_prefix, b.init_prefix);
     }
 

@@ -916,10 +916,9 @@ mod tests {
 
     #[test]
     fn parses_interface() {
-        let p = parse(
-            "interface OnChain { function enforceDisputeResolution(bool winner) external; }",
-        )
-        .unwrap();
+        let p =
+            parse("interface OnChain { function enforceDisputeResolution(bool winner) external; }")
+                .unwrap();
         let i = &p.interfaces[0];
         assert_eq!(i.methods[0].signature(), "enforceDisputeResolution(bool)");
     }
@@ -935,10 +934,7 @@ mod tests {
             c.state[0].ty,
             Type::Mapping(Box::new(Type::Address), Box::new(Type::Uint256))
         );
-        assert_eq!(
-            c.state[1].ty,
-            Type::FixedArray(Box::new(Type::Address), 2)
-        );
+        assert_eq!(c.state[1].ty, Type::FixedArray(Box::new(Type::Address), 2));
     }
 
     #[test]
@@ -954,10 +950,8 @@ mod tests {
 
     #[test]
     fn parses_function_with_modifiers_and_payable() {
-        let p = parse(
-            "contract c { function deposit() public payable beforeT1 certified { } }",
-        )
-        .unwrap();
+        let p = parse("contract c { function deposit() public payable beforeT1 certified { } }")
+            .unwrap();
         let f = &p.contracts[0].functions[0];
         assert!(f.payable);
         assert_eq!(f.modifiers, vec!["beforeT1", "certified"]);
@@ -979,8 +973,8 @@ mod tests {
 
     #[test]
     fn parses_ether_units() {
-        let p = parse("contract c { function f() public { require(msg.value == 1 ether); } }")
-            .unwrap();
+        let p =
+            parse("contract c { function f() public { require(msg.value == 1 ether); } }").unwrap();
         let f = &p.contracts[0].functions[0];
         match &f.body[0] {
             Stmt::Require(Expr::Bin(BinOp::Eq, _, rhs)) => {
@@ -1026,7 +1020,12 @@ mod tests {
         "#;
         let p = parse(src).unwrap();
         match &p.contracts[0].functions[0].body[0] {
-            Stmt::ExprStmt(Expr::ExternalCall { iface, method, args, .. }) => {
+            Stmt::ExprStmt(Expr::ExternalCall {
+                iface,
+                method,
+                args,
+                ..
+            }) => {
                 assert_eq!(iface, "OnChain");
                 assert_eq!(method, "enforceDisputeResolution");
                 assert_eq!(args.len(), 1);

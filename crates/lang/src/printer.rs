@@ -29,7 +29,11 @@ pub fn print_interface(i: &Interface) -> String {
             .enumerate()
             .map(|(k, t)| format!("{} x{k}", print_type(t)))
             .collect();
-        out.push_str(&format!("    function {}({}) external", m.name, params.join(", ")));
+        out.push_str(&format!(
+            "    function {}({}) external",
+            m.name,
+            params.join(", ")
+        ));
         if let Some(r) = &m.returns {
             out.push_str(&format!(" returns ({})", print_type(r)));
         }
@@ -98,7 +102,11 @@ fn print_params(params: &[Param]) -> String {
     params
         .iter()
         .map(|p| {
-            let loc = if matches!(p.ty, Type::Bytes) { " memory" } else { "" };
+            let loc = if matches!(p.ty, Type::Bytes) {
+                " memory"
+            } else {
+                ""
+            };
             format!("{}{loc} {}", print_type(&p.ty), p.name)
         })
         .collect::<Vec<_>>()
@@ -136,7 +144,11 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
     indent(out, level);
     match s {
         Stmt::VarDecl(p, init) => {
-            let loc = if matches!(p.ty, Type::Bytes) { " memory" } else { "" };
+            let loc = if matches!(p.ty, Type::Bytes) {
+                " memory"
+            } else {
+                ""
+            };
             out.push_str(&format!(
                 "{}{loc} {} = {};\n",
                 print_type(&p.ty),

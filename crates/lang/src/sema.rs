@@ -318,10 +318,7 @@ impl Resolver<'_> {
     }
 }
 
-fn detect_cycles(
-    contract: &Contract,
-    fn_names: &HashMap<String, usize>,
-) -> Result<(), SemaError> {
+fn detect_cycles(contract: &Contract, fn_names: &HashMap<String, usize>) -> Result<(), SemaError> {
     // DFS over the internal-call graph.
     fn calls_of(body: &[Stmt], out: &mut Vec<String>) {
         fn expr(e: &Expr, out: &mut Vec<String>) {
@@ -360,9 +357,10 @@ fn detect_cycles(
         }
         for s in body {
             match s {
-                Stmt::VarDecl(_, e) | Stmt::Require(e) | Stmt::Return(Some(e)) | Stmt::ExprStmt(e) => {
-                    expr(e, out)
-                }
+                Stmt::VarDecl(_, e)
+                | Stmt::Require(e)
+                | Stmt::Return(Some(e))
+                | Stmt::ExprStmt(e) => expr(e, out),
                 Stmt::Assign(lv, e) => {
                     if let LValue::Index(b, i) = lv {
                         expr(b, out);
@@ -482,12 +480,7 @@ impl TypeChecker<'_> {
         Ok(())
     }
 
-    fn check_stmt(
-        &self,
-        s: &Stmt,
-        scope: &mut Scope,
-        ret: &Option<Type>,
-    ) -> Result<(), SemaError> {
+    fn check_stmt(&self, s: &Stmt, scope: &mut Scope, ret: &Option<Type>) -> Result<(), SemaError> {
         match s {
             Stmt::VarDecl(p, init) => {
                 let ity = self.infer(init, scope)?;
@@ -600,7 +593,9 @@ impl TypeChecker<'_> {
         if compatible {
             Ok(())
         } else {
-            err(format!("type mismatch in {what}: expected {want:?}, got {got:?}"))
+            err(format!(
+                "type mismatch in {what}: expected {want:?}, got {got:?}"
+            ))
         }
     }
 
@@ -620,12 +615,10 @@ impl TypeChecker<'_> {
                 self.require_assignable(&Type::Address, &t, ".balance")?;
                 Type::Uint256
             }
-            Expr::ArrayLength(a) => {
-                match self.infer(a, scope)? {
-                    Type::FixedArray(_, _) => Type::Uint256,
-                    other => return err(format!(".length on non-array {other:?}")),
-                }
-            }
+            Expr::ArrayLength(a) => match self.infer(a, scope)? {
+                Type::FixedArray(_, _) => Type::Uint256,
+                other => return err(format!(".length on non-array {other:?}")),
+            },
             Expr::Index(base, idx) => {
                 let bty = self.infer(base, scope)?;
                 let ity = self.infer(idx, scope)?;

@@ -29,7 +29,11 @@ fn parse_errors_carry_positions() {
 #[test]
 fn unterminated_constructs() {
     expect_err("contract c { /* never closed", "c", "unterminated");
-    expect_err("contract c { function f() public { require(true, \"oops); } }", "c", "unterminated");
+    expect_err(
+        "contract c { function f() public { require(true, \"oops); } }",
+        "c",
+        "unterminated",
+    );
 }
 
 #[test]
@@ -174,7 +178,10 @@ fn shadowing_in_nested_scopes() {
         }
     "#;
     let mut h = deploy(src, "s");
-    assert_eq!(h.call_word("f", &[Value::Uint(U256::ONE)]), U256::from_u64(11));
+    assert_eq!(
+        h.call_word("f", &[Value::Uint(U256::ONE)]),
+        U256::from_u64(11)
+    );
     assert_eq!(h.call_word("f", &[Value::Uint(U256::ZERO)]), U256::ONE);
 }
 
@@ -227,8 +234,14 @@ fn return_inside_loop_and_branch() {
         }
     "#;
     let mut h = deploy(src, "r");
-    assert_eq!(h.call_word("firstFactor", &[Value::Uint(U256::from_u64(91))]), U256::from_u64(7));
-    assert_eq!(h.call_word("firstFactor", &[Value::Uint(U256::from_u64(97))]), U256::from_u64(97));
+    assert_eq!(
+        h.call_word("firstFactor", &[Value::Uint(U256::from_u64(91))]),
+        U256::from_u64(7)
+    );
+    assert_eq!(
+        h.call_word("firstFactor", &[Value::Uint(U256::from_u64(97))]),
+        U256::from_u64(97)
+    );
 }
 
 #[test]
@@ -282,11 +295,17 @@ fn division_and_modulo_by_zero_yield_zero() {
     "#;
     let mut h = deploy(src, "z");
     assert_eq!(
-        h.call_word("d", &[Value::Uint(U256::from_u64(5)), Value::Uint(U256::ZERO)]),
+        h.call_word(
+            "d",
+            &[Value::Uint(U256::from_u64(5)), Value::Uint(U256::ZERO)]
+        ),
         U256::ZERO
     );
     assert_eq!(
-        h.call_word("m", &[Value::Uint(U256::from_u64(5)), Value::Uint(U256::ZERO)]),
+        h.call_word(
+            "m",
+            &[Value::Uint(U256::from_u64(5)), Value::Uint(U256::ZERO)]
+        ),
         U256::ZERO
     );
 }
@@ -306,16 +325,16 @@ fn for_loop_with_compound_operators() {
     "#;
     let mut h = deploy(src, "f");
     // 0+2+4+6+8+10 = 30
-    assert_eq!(h.call_word("sumEven", &[Value::Uint(U256::from_u64(10))]), U256::from_u64(30));
+    assert_eq!(
+        h.call_word("sumEven", &[Value::Uint(U256::from_u64(10))]),
+        U256::from_u64(30)
+    );
 }
 
 #[test]
 fn unary_negation_wraps() {
     let src = "contract n { function f(uint256 x) public returns (uint256) { return -x; } }";
     let mut h = deploy(src, "n");
-    assert_eq!(
-        h.call_word("f", &[Value::Uint(U256::ONE)]),
-        U256::MAX
-    );
+    assert_eq!(h.call_word("f", &[Value::Uint(U256::ONE)]), U256::MAX);
     assert_eq!(h.call_word("f", &[Value::Uint(U256::ZERO)]), U256::ZERO);
 }

@@ -3,8 +3,8 @@
 
 use sc_chain::Testnet;
 use sc_crypto::keccak256;
-use sc_lang::{compile, parse};
 use sc_lang::printer::print_program;
+use sc_lang::{compile, parse};
 use sc_primitives::abi::Value;
 use sc_primitives::{ether, U256};
 
@@ -41,7 +41,13 @@ fn events_reach_receipts_with_topic_and_data() {
         .unwrap();
 
     let r = net
-        .execute(&w, addr, ether(2), bank.calldata("deposit", &[]).unwrap(), 300_000)
+        .execute(
+            &w,
+            addr,
+            ether(2),
+            bank.calldata("deposit", &[]).unwrap(),
+            300_000,
+        )
         .unwrap();
     assert!(r.success, "{:?}", r.failure);
     assert_eq!(r.logs.len(), 1);
@@ -68,8 +74,14 @@ fn three_arg_event_encodes_in_order() {
         .unwrap()
         .contract_address
         .unwrap();
-    net.execute(&w, addr, ether(5), bank.calldata("deposit", &[]).unwrap(), 300_000)
-        .unwrap();
+    net.execute(
+        &w,
+        addr,
+        ether(5),
+        bank.calldata("deposit", &[]).unwrap(),
+        300_000,
+    )
+    .unwrap();
     let r = net
         .execute(
             &w,
@@ -81,7 +93,10 @@ fn three_arg_event_encodes_in_order() {
         .unwrap();
     assert!(r.success, "{:?}", r.failure);
     let log = &r.logs[0];
-    assert_eq!(log.topics[0], keccak256(b"Withdrawn(address,uint256,uint256)"));
+    assert_eq!(
+        log.topics[0],
+        keccak256(b"Withdrawn(address,uint256,uint256)")
+    );
     assert_eq!(log.data.len(), 96);
     assert_eq!(U256::from_be_slice(&log.data[32..64]), ether(2));
     assert_eq!(U256::from_be_slice(&log.data[64..]), ether(3), "remaining");
@@ -103,8 +118,14 @@ fn chain_log_query_filters_by_address_and_range() {
         .contract_address
         .unwrap();
     for target in [a1, a2, a1] {
-        net.execute(&w, target, ether(1), bank.calldata("deposit", &[]).unwrap(), 300_000)
-            .unwrap();
+        net.execute(
+            &w,
+            target,
+            ether(1),
+            bank.calldata("deposit", &[]).unwrap(),
+            300_000,
+        )
+        .unwrap();
     }
     let head = net.head().number;
     assert_eq!(net.logs(0, head, None).len(), 3);
@@ -158,7 +179,13 @@ fn zero_arg_event() {
         .contract_address
         .unwrap();
     let r = net
-        .execute(&w, addr, U256::ZERO, c.calldata("ping", &[]).unwrap(), 200_000)
+        .execute(
+            &w,
+            addr,
+            U256::ZERO,
+            c.calldata("ping", &[]).unwrap(),
+            200_000,
+        )
         .unwrap();
     assert!(r.success, "{:?}", r.failure);
     assert_eq!(r.logs[0].topics[0], keccak256(b"Pinged()"));
@@ -167,11 +194,7 @@ fn zero_arg_event() {
 
 #[test]
 fn emit_validation() {
-    let err = compile(
-        "contract c { function f() public { emit Ghost(); } }",
-        "c",
-    )
-    .unwrap_err();
+    let err = compile("contract c { function f() public { emit Ghost(); } }", "c").unwrap_err();
     assert!(err.to_string().contains("unknown event"));
 
     let err = compile(
@@ -223,11 +246,23 @@ fn event_gas_cost_is_log_priced() {
         .contract_address
         .unwrap();
     let with = net
-        .execute(&w, addr, U256::ZERO, c.calldata("on", &[]).unwrap(), 200_000)
+        .execute(
+            &w,
+            addr,
+            U256::ZERO,
+            c.calldata("on", &[]).unwrap(),
+            200_000,
+        )
         .unwrap()
         .gas_used;
     let without = net
-        .execute(&w, addr, U256::ZERO, c.calldata("off", &[]).unwrap(), 200_000)
+        .execute(
+            &w,
+            addr,
+            U256::ZERO,
+            c.calldata("off", &[]).unwrap(),
+            200_000,
+        )
         .unwrap()
         .gas_used;
     let delta = with - without;

@@ -74,7 +74,10 @@ fn storage_set_get() {
     "#;
     let mut d = deploy(src, "kv", &[]);
     assert_eq!(d.call_word("get", &[]), U256::ZERO);
-    assert!(d.call("set", &[Value::Uint(U256::from_u64(77))], U256::ZERO).success);
+    assert!(
+        d.call("set", &[Value::Uint(U256::from_u64(77))], U256::ZERO)
+            .success
+    );
     assert_eq!(d.call_word("get", &[]), U256::from_u64(77));
 }
 
@@ -121,21 +124,30 @@ fn arithmetic_and_comparisons() {
     assert_eq!(
         d.call_word(
             "calc",
-            &[Value::Uint(U256::from_u64(10)), Value::Uint(U256::from_u64(3))]
+            &[
+                Value::Uint(U256::from_u64(10)),
+                Value::Uint(U256::from_u64(3))
+            ]
         ),
         U256::from_u64(54)
     );
     assert_eq!(
         d.call_word(
             "cmp",
-            &[Value::Uint(U256::from_u64(2)), Value::Uint(U256::from_u64(5))]
+            &[
+                Value::Uint(U256::from_u64(2)),
+                Value::Uint(U256::from_u64(5))
+            ]
         ),
         U256::ONE
     );
     assert_eq!(
         d.call_word(
             "cmp",
-            &[Value::Uint(U256::from_u64(5)), Value::Uint(U256::from_u64(5))]
+            &[
+                Value::Uint(U256::from_u64(5)),
+                Value::Uint(U256::from_u64(5))
+            ]
         ),
         U256::ZERO
     );
@@ -183,14 +195,35 @@ fn mappings_and_fixed_arrays() {
     let a = Address([1; 20]);
     let b = Address([2; 20]);
     let mut d = deploy(src, "book", &[Value::Address(a), Value::Address(b)]);
-    d.call("credit", &[Value::Address(a), Value::Uint(U256::from_u64(5))], U256::ZERO);
-    d.call("credit", &[Value::Address(a), Value::Uint(U256::from_u64(7))], U256::ZERO);
-    assert_eq!(d.call_word("balanceOf", &[Value::Address(a)]), U256::from_u64(12));
+    d.call(
+        "credit",
+        &[Value::Address(a), Value::Uint(U256::from_u64(5))],
+        U256::ZERO,
+    );
+    d.call(
+        "credit",
+        &[Value::Address(a), Value::Uint(U256::from_u64(7))],
+        U256::ZERO,
+    );
+    assert_eq!(
+        d.call_word("balanceOf", &[Value::Address(a)]),
+        U256::from_u64(12)
+    );
     assert_eq!(d.call_word("balanceOf", &[Value::Address(b)]), U256::ZERO);
-    assert_eq!(d.call_word("participantAt", &[Value::Uint(U256::ZERO)]), a.to_u256());
-    assert_eq!(d.call_word("participantAt", &[Value::Uint(U256::ONE)]), b.to_u256());
+    assert_eq!(
+        d.call_word("participantAt", &[Value::Uint(U256::ZERO)]),
+        a.to_u256()
+    );
+    assert_eq!(
+        d.call_word("participantAt", &[Value::Uint(U256::ONE)]),
+        b.to_u256()
+    );
     // Out-of-bounds reverts.
-    let out = d.call("participantAt", &[Value::Uint(U256::from_u64(2))], U256::ZERO);
+    let out = d.call(
+        "participantAt",
+        &[Value::Uint(U256::from_u64(2))],
+        U256::ZERO,
+    );
     assert!(!out.success);
 }
 
@@ -206,9 +239,18 @@ fn require_and_revert() {
         }
     "#;
     let mut d = deploy(src, "guard", &[]);
-    assert!(!d.call("check", &[Value::Uint(U256::from_u64(5))], U256::ZERO).success);
-    assert_eq!(d.call_word("check", &[Value::Uint(U256::from_u64(50))]), U256::from_u64(50));
-    assert!(!d.call("check", &[Value::Uint(U256::from_u64(200))], U256::ZERO).success);
+    assert!(
+        !d.call("check", &[Value::Uint(U256::from_u64(5))], U256::ZERO)
+            .success
+    );
+    assert_eq!(
+        d.call_word("check", &[Value::Uint(U256::from_u64(50))]),
+        U256::from_u64(50)
+    );
+    assert!(
+        !d.call("check", &[Value::Uint(U256::from_u64(200))], U256::ZERO)
+            .success
+    );
 }
 
 #[test]
@@ -249,7 +291,10 @@ fn modifiers_enforce_and_compose() {
     let mut d = deploy(
         src,
         "modded",
-        &[Value::Address(owner), Value::Uint(U256::from_u64(1_000_000))],
+        &[
+            Value::Address(owner),
+            Value::Uint(U256::from_u64(1_000_000)),
+        ],
     );
     d.env.block.timestamp = 500_000;
     assert!(d.call_from(owner, "f", &[], U256::ZERO).success);
@@ -282,7 +327,10 @@ fn loops_compute() {
         }
     "#;
     let mut d = deploy(src, "looper", &[]);
-    assert_eq!(d.call_word("sum", &[Value::Uint(U256::from_u64(100))]), U256::from_u64(5050));
+    assert_eq!(
+        d.call_word("sum", &[Value::Uint(U256::from_u64(100))]),
+        U256::from_u64(5050)
+    );
     assert_eq!(
         d.call_word("countdown", &[Value::Uint(U256::from_u64(13))]),
         U256::from_u64(13)
@@ -306,7 +354,10 @@ fn private_function_inlined_with_return() {
     "#;
     let mut d = deploy(src, "inliner", &[]);
     // x=5: helper(5)=6, helper(25)=50 → 56
-    assert_eq!(d.call_word("f", &[Value::Uint(U256::from_u64(5))]), U256::from_u64(56));
+    assert_eq!(
+        d.call_word("f", &[Value::Uint(U256::from_u64(5))]),
+        U256::from_u64(56)
+    );
 }
 
 #[test]
@@ -322,15 +373,25 @@ fn transfer_moves_ether() {
     let mut d = deploy(src, "vault", &[]);
     assert!(d.call("fund", &[], ether(5)).success);
     let dest = Address([0x77; 20]);
-    assert!(d
-        .call("payout", &[Value::Address(dest), Value::Uint(ether(2))], U256::ZERO)
-        .success);
+    assert!(
+        d.call(
+            "payout",
+            &[Value::Address(dest), Value::Uint(ether(2))],
+            U256::ZERO
+        )
+        .success
+    );
     assert_eq!(d.host.balance(dest), ether(2));
     assert_eq!(d.host.balance(d.address), ether(3));
     // Overdraw reverts.
-    assert!(!d
-        .call("payout", &[Value::Address(dest), Value::Uint(ether(10))], U256::ZERO)
-        .success);
+    assert!(
+        !d.call(
+            "payout",
+            &[Value::Address(dest), Value::Uint(ether(10))],
+            U256::ZERO
+        )
+        .success
+    );
 }
 
 #[test]
@@ -468,10 +529,7 @@ fn interface_call_between_contracts() {
     let data = caller_c
         .calldata(
             "relay",
-            &[
-                Value::Address(d.address),
-                Value::Uint(U256::from_u64(4242)),
-            ],
+            &[Value::Address(d.address), Value::Uint(U256::from_u64(4242))],
         )
         .unwrap();
     let out = Evm::new(&mut d.host, d.env.clone()).call(CallParams::transact(
@@ -482,7 +540,11 @@ fn interface_call_between_contracts() {
         5_000_000,
     ));
     assert!(out.success, "{:?}", out.error);
-    assert_eq!(U256::from_be_slice(&out.output), U256::ONE, "poke returned true");
+    assert_eq!(
+        U256::from_be_slice(&out.output),
+        U256::ONE,
+        "poke returned true"
+    );
     assert_eq!(d.call_word("getLast", &[]), U256::from_u64(4242));
 }
 
@@ -514,7 +576,10 @@ fn timestamp_windows() {
     let mut d = deploy(
         src,
         "windows",
-        &[Value::Uint(U256::from_u64(100)), Value::Uint(U256::from_u64(200))],
+        &[
+            Value::Uint(U256::from_u64(100)),
+            Value::Uint(U256::from_u64(200)),
+        ],
     );
     d.env.block.timestamp = 50;
     assert_eq!(d.call_word("phase", &[]), U256::ONE);

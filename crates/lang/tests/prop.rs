@@ -66,7 +66,6 @@ impl E {
             E::Mod(x, y) => x.eval(a, b).div_rem(y.eval(a, b)).1,
         }
     }
-
 }
 
 impl B {

@@ -250,7 +250,13 @@ mod tests {
         ];
         let enc = encode(&vals);
         let dec = decode(
-            &[Type::Bytes, Type::Uint, Type::Bool, Type::Bytes32, Type::Address],
+            &[
+                Type::Bytes,
+                Type::Uint,
+                Type::Bool,
+                Type::Bytes32,
+                Type::Address,
+            ],
             &enc,
         )
         .unwrap();
@@ -270,7 +276,10 @@ mod tests {
         let data = encode_call([0xde, 0xad, 0xbe, 0xef], &[Value::Uint(U256::ONE)]);
         let (sel, args) = split_selector(&data).unwrap();
         assert_eq!(sel, [0xde, 0xad, 0xbe, 0xef]);
-        assert_eq!(decode(&[Type::Uint], args).unwrap()[0], Value::Uint(U256::ONE));
+        assert_eq!(
+            decode(&[Type::Uint], args).unwrap()[0],
+            Value::Uint(U256::ONE)
+        );
         assert_eq!(split_selector(&[1, 2, 3]), Err(AbiError::ShortInput));
     }
 

@@ -209,7 +209,10 @@ mod tests {
     #[test]
     fn canonical_vectors() {
         // Classic test vectors from the Ethereum wiki.
-        assert_eq!(encode(&Item::bytes(b"dog".to_vec())), vec![0x83, b'd', b'o', b'g']);
+        assert_eq!(
+            encode(&Item::bytes(b"dog".to_vec())),
+            vec![0x83, b'd', b'o', b'g']
+        );
         assert_eq!(
             encode(&Item::List(vec![
                 Item::bytes(b"cat".to_vec()),
@@ -221,7 +224,10 @@ mod tests {
         assert_eq!(encode(&Item::List(vec![])), vec![0xc0]);
         assert_eq!(encode(&Item::uint(U256::ZERO)), vec![0x80]);
         assert_eq!(encode(&Item::uint(U256::from_u64(15))), vec![0x0f]);
-        assert_eq!(encode(&Item::uint(U256::from_u64(1024))), vec![0x82, 0x04, 0x00]);
+        assert_eq!(
+            encode(&Item::uint(U256::from_u64(1024))),
+            vec![0x82, 0x04, 0x00]
+        );
         // "Lorem ipsum..." long-string prefix: 0xb8 + len
         let lorem = b"Lorem ipsum dolor sit amet, consectetur adipisicing elit".to_vec();
         let enc = encode(&Item::bytes(lorem.clone()));
@@ -235,7 +241,10 @@ mod tests {
         let item = Item::List(vec![
             Item::List(vec![]),
             Item::List(vec![Item::List(vec![])]),
-            Item::List(vec![Item::List(vec![]), Item::List(vec![Item::List(vec![])])]),
+            Item::List(vec![
+                Item::List(vec![]),
+                Item::List(vec![Item::List(vec![])]),
+            ]),
         ]);
         assert_eq!(
             encode(&item),

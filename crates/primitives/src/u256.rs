@@ -828,7 +828,11 @@ mod tests {
         assert_eq!(minus_six.sdiv(u(2)), u(3).neg());
         assert_eq!(minus_six.sdiv(u(2).neg()), u(3));
         assert_eq!(u(7).neg().sdiv(u(2)), u(3).neg(), "truncates toward zero");
-        assert_eq!(u(7).neg().smod(u(2)), U256::ONE.neg(), "sign follows dividend");
+        assert_eq!(
+            u(7).neg().smod(u(2)),
+            U256::ONE.neg(),
+            "sign follows dividend"
+        );
         assert_eq!(u(7).smod(u(2).neg()), U256::ONE);
     }
 
@@ -859,8 +863,9 @@ mod tests {
 
     #[test]
     fn byte_extraction_is_big_endian() {
-        let v = U256::from_hex_str("0102030000000000000000000000000000000000000000000000000000000000")
-            .unwrap();
+        let v =
+            U256::from_hex_str("0102030000000000000000000000000000000000000000000000000000000000")
+                .unwrap();
         assert_eq!(v.byte(u(0)), u(1));
         assert_eq!(v.byte(u(1)), u(2));
         assert_eq!(v.byte(u(2)), u(3));
@@ -878,15 +883,25 @@ mod tests {
 
     #[test]
     fn dec_string_roundtrip() {
-        for s in ["0", "1", "42", "115792089237316195423570985008687907853269984665640564039457584007913129639935"] {
+        for s in [
+            "0",
+            "1",
+            "42",
+            "115792089237316195423570985008687907853269984665640564039457584007913129639935",
+        ] {
             assert_eq!(U256::from_dec_str(s).unwrap().to_dec_string(), s);
         }
         assert_eq!(
-            U256::from_dec_str("115792089237316195423570985008687907853269984665640564039457584007913129639936"),
+            U256::from_dec_str(
+                "115792089237316195423570985008687907853269984665640564039457584007913129639936"
+            ),
             Err(ParseU256Error::Overflow)
         );
         assert_eq!(U256::from_dec_str(""), Err(ParseU256Error::Empty));
-        assert_eq!(U256::from_dec_str("12a"), Err(ParseU256Error::InvalidDigit('a')));
+        assert_eq!(
+            U256::from_dec_str("12a"),
+            Err(ParseU256Error::InvalidDigit('a'))
+        );
     }
 
     #[test]

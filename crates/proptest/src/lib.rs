@@ -1,0 +1,150 @@
+//! A vendored, std-only property-testing shim.
+//!
+//! This crate re-implements the subset of the `proptest` crate's API that
+//! this workspace's test suites use, so that `cargo build && cargo test`
+//! resolve and pass **without any network access to a crates registry**.
+//! It is intentionally small:
+//!
+//! * [`Strategy`] — value generators with `prop_map`, `prop_filter`,
+//!   `prop_recursive` and `boxed` combinators.
+//! * [`prelude`] — `any`, `Just`, `ProptestConfig` and the macros
+//!   (`proptest!`, `prop_assert*!`, `prop_assume!`, `prop_oneof!`).
+//! * [`collection`] — `vec(strategy, size_range)`.
+//!
+//! Differences from upstream `proptest`: generation is driven by a fast
+//! deterministic SplitMix64 PRNG seeded from the test name, and there is
+//! **no shrinking** — a failing case panics with the generated inputs'
+//! context so the seed logic reproduces it on the next run. Case counts
+//! honour `ProptestConfig::with_cases` and the `PROPTEST_CASES`
+//! environment variable.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Everything a property test module needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests. Each function body runs once per generated
+/// case; arguments are drawn from the strategies after `in`.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn addition_commutes(a in any::<u64>(), b in any::<u64>()) {
+///         prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal muncher for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::test_runner::run_cases(&config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, __rng);)*
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Fails the current case with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case unless both sides compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniformly picks one of the given strategies per generated value. All
+/// arms must produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

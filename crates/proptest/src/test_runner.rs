@@ -1,0 +1,185 @@
+//! Deterministic case runner and PRNG backing the [`crate::proptest!`]
+//! macro.
+
+/// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+    /// Maximum rejected draws (via `prop_assume!` / `prop_filter`) before
+    /// the test aborts as under-constrained.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+
+    fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the message describes it.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject,
+}
+
+/// A small, fast SplitMix64 PRNG. Deterministic per test name and case
+/// index so failures reproduce across runs and machines.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)` (`bound` > 0), via rejection-free
+    /// widening multiply (Lemire).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `u128`.
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+}
+
+fn seed_for(name: &str, attempt: u32) -> u64 {
+    // FNV-1a over the test name, mixed with the attempt index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ (u64::from(attempt) << 1 | 1).wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Drives one property test: draws inputs, runs the body, retries
+/// rejections, and panics (with reproduction context) on the first
+/// failing case.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let target = config.effective_cases();
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u32;
+    while accepted < target {
+        attempt += 1;
+        let mut rng = TestRng::new(seed_for(name, attempt));
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "property test `{name}` rejected {rejected} draws \
+                     (accepted {accepted}/{target}); strategy is too narrow"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property test `{name}` failed at case {}/{target} \
+                     (attempt {attempt}): {msg}",
+                    accepted + 1
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            assert!(rng.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn runner_counts_accepted_cases() {
+        let mut runs = 0;
+        run_cases(&ProptestConfig::with_cases(10), "counter", |_| {
+            runs += 1;
+            Ok(())
+        });
+        assert_eq!(runs, 10);
+    }
+
+    #[test]
+    fn runner_retries_rejections() {
+        let mut draws = 0;
+        run_cases(&ProptestConfig::with_cases(4), "rejector", |_| {
+            draws += 1;
+            if draws % 2 == 0 {
+                Ok(())
+            } else {
+                Err(TestCaseError::Reject)
+            }
+        });
+        assert_eq!(draws, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn runner_panics_on_failure() {
+        run_cases(&ProptestConfig::with_cases(4), "failer", |_| {
+            Err(TestCaseError::Fail("boom".into()))
+        });
+    }
+}

@@ -70,5 +70,9 @@ fn main() {
         report.total_gas(),
         secrets.weight
     );
-    assert!(game.net.balance_of(if report.winner_is_bob { bob } else { alice }) > ether(1000));
+    assert!(
+        game.net
+            .balance_of(if report.winner_is_bob { bob } else { alice })
+            > ether(1000)
+    );
 }

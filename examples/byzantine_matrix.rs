@@ -91,10 +91,7 @@ fn main() {
             }
             Outcome::AbortedAtSigning | Outcome::Refunded => {
                 // Nobody's deposit is stuck in the contract.
-                assert_eq!(
-                    game.net.balance_of(game.onchain_addr.unwrap()),
-                    U256::ZERO
-                );
+                assert_eq!(game.net.balance_of(game.onchain_addr.unwrap()), U256::ZERO);
             }
         }
     }

@@ -4,9 +4,11 @@
 //!
 //! Run with: `cargo run --release --example gas_report`
 
-use onoffchain::contracts::{BetSecrets, MonolithicContract, OnChainContract, Timeline, MONOLITHIC_SRC};
-use onoffchain::core::{split, BettingGame, GameConfig, Participant, Strategy};
 use onoffchain::chain::Testnet;
+use onoffchain::contracts::{
+    BetSecrets, MonolithicContract, OnChainContract, Timeline, MONOLITHIC_SRC,
+};
+use onoffchain::core::{split, BettingGame, GameConfig, Participant, Strategy};
 use onoffchain::lang::parse;
 use onoffchain::primitives::{ether, U256};
 
@@ -42,12 +44,20 @@ fn monolithic_total(weight: u64) -> u64 {
     let tl = Timeline::starting_at(net.now(), 3600);
     let mono = MonolithicContract::new();
     let r = net
-        .deploy(&alice, mono.initcode(alice.address, bob.address, tl, s), U256::ZERO, 7_900_000)
+        .deploy(
+            &alice,
+            mono.initcode(alice.address, bob.address, tl, s),
+            U256::ZERO,
+            7_900_000,
+        )
         .unwrap();
     let addr = r.contract_address.unwrap();
     let mut total = r.gas_used;
     for w in [&alice, &bob] {
-        total += net.execute(w, addr, ether(1), mono.deposit(), 300_000).unwrap().gas_used;
+        total += net
+            .execute(w, addr, ether(1), mono.deposit(), 300_000)
+            .unwrap()
+            .gas_used;
     }
     net.advance_time(2 * 3600 + 60);
     total += net
@@ -93,7 +103,9 @@ fn main() {
             honest.total_gas()
         );
     }
-    println!("\nhybrid is flat in reveal weight; the all-on-chain model pays for it in every node.");
+    println!(
+        "\nhybrid is flat in reveal weight; the all-on-chain model pays for it in every node."
+    );
 
     println!("\n# Per-opcode breakdown of deployVerifiedInstance (EVM profiler)\n");
     let mut net = Testnet::new();
@@ -102,21 +114,31 @@ fn main() {
     let tl = Timeline::starting_at(net.now(), 3600);
     let on = OnChainContract::new();
     let onchain = net
-        .deploy(&alice, on.initcode(alice.address, bob.address, tl), onoffchain::primitives::U256::ZERO, 5_000_000)
+        .deploy(
+            &alice,
+            on.initcode(alice.address, bob.address, tl),
+            onoffchain::primitives::U256::ZERO,
+            5_000_000,
+        )
         .unwrap()
         .contract_address
         .unwrap();
     for w in [&alice, &bob] {
-        net.execute(w, onchain, ether(1), on.deposit(), 300_000).unwrap();
+        net.execute(w, onchain, ether(1), on.deposit(), 300_000)
+            .unwrap();
     }
     net.advance_time(4 * 3600);
     let game = BettingGame::new(
         Participant::honest("alice"),
         Participant::honest("bob"),
-        GameConfig { phase_seconds: 3600, secrets: secrets(64) },
+        GameConfig {
+            phase_seconds: 3600,
+            secrets: secrets(64),
+        },
     );
     let copy = game.signed_copy();
-    let data = on.deploy_verified_instance(&copy.bytecode, &copy.signatures[0], &copy.signatures[1]);
+    let data =
+        on.deploy_verified_instance(&copy.bytecode, &copy.signatures[0], &copy.signatures[1]);
     let (profile, exec_gas) = net.profile_call(
         bob.address,
         onchain,

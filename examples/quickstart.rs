@@ -59,7 +59,9 @@ fn main() {
         let data = contract
             .calldata("increment", &[Value::Uint(U256::from_u64(by))])
             .expect("abi");
-        let r = net.execute(&me, addr, U256::ZERO, data, 200_000).expect("tx");
+        let r = net
+            .execute(&me, addr, U256::ZERO, data, 200_000)
+            .expect("tx");
         assert!(r.success);
         println!("increment({by}): {} gas", r.gas_used);
     }

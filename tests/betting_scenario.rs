@@ -3,7 +3,9 @@
 //! timing windows enforced by `block.timestamp`.
 
 use onoffchain::chain::{Testnet, Wallet};
-use onoffchain::contracts::{BetSecrets, OffChainContract, OnChainContract, Timeline, DEPLOYED_ADDR_SLOT};
+use onoffchain::contracts::{
+    BetSecrets, OffChainContract, OnChainContract, Timeline, DEPLOYED_ADDR_SLOT,
+};
 use onoffchain::core::SignedCopy;
 use onoffchain::evm::contract_address;
 use onoffchain::primitives::{ether, Address, U256};
@@ -40,7 +42,12 @@ fn rule1_setup() -> Scenario {
     let on = OnChainContract::new();
     let off = OffChainContract::new();
     let r = net
-        .deploy(&alice, on.initcode(alice.address, bob.address, tl), U256::ZERO, 5_000_000)
+        .deploy(
+            &alice,
+            on.initcode(alice.address, bob.address, tl),
+            U256::ZERO,
+            5_000_000,
+        )
         .unwrap();
     assert!(r.success, "rule 1: Alice deploys the on-chain contract");
     let onchain = r.contract_address.unwrap();
@@ -77,14 +84,30 @@ fn rule2_deposits_and_first_refund_window() {
     // … and can take the money back through refundRoundOne.
     let r = s
         .net
-        .execute(&s.alice, s.onchain, U256::ZERO, s.on.refund_round_one(), 300_000)
+        .execute(
+            &s.alice,
+            s.onchain,
+            U256::ZERO,
+            s.on.refund_round_one(),
+            300_000,
+        )
         .unwrap();
     assert!(r.success, "rule 2: refund round one");
-    assert_eq!(s.net.balance_of(s.onchain), ether(1), "only Bob's stake remains");
+    assert_eq!(
+        s.net.balance_of(s.onchain),
+        ether(1),
+        "only Bob's stake remains"
+    );
     // A second refund for the same party fails (balance is zero).
     let r = s
         .net
-        .execute(&s.alice, s.onchain, U256::ZERO, s.on.refund_round_one(), 300_000)
+        .execute(
+            &s.alice,
+            s.onchain,
+            U256::ZERO,
+            s.on.refund_round_one(),
+            300_000,
+        )
         .unwrap();
     assert!(!r.success, "double refund rejected");
 }
@@ -104,7 +127,13 @@ fn rule3_refund_round_two_when_amounts_not_met() {
     s.net.advance_time(s.tl.t1 - now + 60);
     let r = s
         .net
-        .execute(&s.bob, s.onchain, U256::ZERO, s.on.refund_round_two(), 300_000)
+        .execute(
+            &s.bob,
+            s.onchain,
+            U256::ZERO,
+            s.on.refund_round_two(),
+            300_000,
+        )
         .unwrap();
     assert!(r.success, "rule 3: refund round two");
     assert_eq!(s.net.balance_of(s.onchain), U256::ZERO);
@@ -114,17 +143,24 @@ fn rule3_refund_round_two_when_amounts_not_met() {
 fn rule3_refund_round_two_rejected_when_amounts_met() {
     let mut s = rule1_setup();
     for w in [&s.alice, &s.bob] {
-        assert!(s
-            .net
-            .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
-            .unwrap()
-            .success);
+        assert!(
+            s.net
+                .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
+                .unwrap()
+                .success
+        );
     }
     let now = s.net.now();
     s.net.advance_time(s.tl.t1 - now + 60);
     let r = s
         .net
-        .execute(&s.bob, s.onchain, U256::ZERO, s.on.refund_round_two(), 300_000)
+        .execute(
+            &s.bob,
+            s.onchain,
+            U256::ZERO,
+            s.on.refund_round_two(),
+            300_000,
+        )
         .unwrap();
     assert!(!r.success, "amountNotMet gates the second refund round");
 }
@@ -133,11 +169,12 @@ fn rule3_refund_round_two_rejected_when_amounts_met() {
 fn rule4_loser_reassigns_between_t2_and_t3() {
     let mut s = rule1_setup();
     for w in [&s.alice, &s.bob] {
-        assert!(s
-            .net
-            .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
-            .unwrap()
-            .success);
+        assert!(
+            s.net
+                .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
+                .unwrap()
+                .success
+        );
     }
     // Rule 4: after T2 the result is computable; the loser (Alice)
     // calls reassign() before T3.
@@ -161,11 +198,12 @@ fn rule4_loser_reassigns_between_t2_and_t3() {
 fn rule4_reassign_rejected_outside_window() {
     let mut s = rule1_setup();
     for w in [&s.alice, &s.bob] {
-        assert!(s
-            .net
-            .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
-            .unwrap()
-            .success);
+        assert!(
+            s.net
+                .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
+                .unwrap()
+                .success
+        );
     }
     // Still before T2: reassign must revert.
     let r = s
@@ -187,24 +225,32 @@ fn rule4_reassign_rejected_outside_window() {
 fn rule5_dispute_resolution_end_to_end() {
     let mut s = rule1_setup();
     for w in [&s.alice, &s.bob] {
-        assert!(s
-            .net
-            .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
-            .unwrap()
-            .success);
+        assert!(
+            s.net
+                .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
+                .unwrap()
+                .success
+        );
     }
     // The loser never calls reassign(). After T3 the winner resolves.
     let now = s.net.now();
     s.net.advance_time(s.tl.t3 - now + 60);
 
     // 5a: deployVerifiedInstance with the signed copy.
-    let data =
-        s.on.deploy_verified_instance(&s.copy.bytecode, &s.copy.signatures[0], &s.copy.signatures[1]);
+    let data = s.on.deploy_verified_instance(
+        &s.copy.bytecode,
+        &s.copy.signatures[0],
+        &s.copy.signatures[1],
+    );
     let r = s
         .net
         .execute(&s.bob, s.onchain, U256::ZERO, data, 7_900_000)
         .unwrap();
-    assert!(r.success, "rule 5: verified instance created: {:?}", r.failure);
+    assert!(
+        r.success,
+        "rule 5: verified instance created: {:?}",
+        r.failure
+    );
 
     // The instance address is recorded and matches the CREATE derivation.
     let instance = Address::from_u256(
@@ -220,7 +266,11 @@ fn rule5_dispute_resolution_end_to_end() {
         .net
         .execute(&s.bob, instance, U256::ZERO, data, 7_900_000)
         .unwrap();
-    assert!(r.success, "rule 5: dispute resolution enforced: {:?}", r.failure);
+    assert!(
+        r.success,
+        "rule 5: dispute resolution enforced: {:?}",
+        r.failure
+    );
     assert!(
         s.net.balance_of(s.bob.address) > bob_before,
         "the miners enforced the true result"
@@ -232,11 +282,12 @@ fn rule5_dispute_resolution_end_to_end() {
 fn rule5_rejects_unsigned_bytecode() {
     let mut s = rule1_setup();
     for w in [&s.alice, &s.bob] {
-        assert!(s
-            .net
-            .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
-            .unwrap()
-            .success);
+        assert!(
+            s.net
+                .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
+                .unwrap()
+                .success
+        );
     }
     let now = s.net.now();
     s.net.advance_time(s.tl.t3 - now + 60);
@@ -263,18 +314,22 @@ fn rule5_rejects_unsigned_bytecode() {
 fn rule5_requires_waiting_for_t3() {
     let mut s = rule1_setup();
     for w in [&s.alice, &s.bob] {
-        assert!(s
-            .net
-            .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
-            .unwrap()
-            .success);
+        assert!(
+            s.net
+                .execute(w, s.onchain, ether(1), s.on.deposit(), 300_000)
+                .unwrap()
+                .success
+        );
     }
     // Between T2 and T3 the voluntary path still has priority; the extra
     // function is time-locked.
     let now = s.net.now();
     s.net.advance_time(s.tl.t2 - now + 60);
-    let data =
-        s.on.deploy_verified_instance(&s.copy.bytecode, &s.copy.signatures[0], &s.copy.signatures[1]);
+    let data = s.on.deploy_verified_instance(
+        &s.copy.bytecode,
+        &s.copy.signatures[0],
+        &s.copy.signatures[1],
+    );
     let r = s
         .net
         .execute(&s.bob, s.onchain, U256::ZERO, data, 7_900_000)

@@ -126,7 +126,13 @@ fn gas_schedule_pins() {
     let mut net = Testnet::new();
     let w = net.funded_wallet("w", ether(10));
     let r = net
-        .execute(&w, PrivateKey::from_seed("x").address(), ether(1), vec![], 50_000)
+        .execute(
+            &w,
+            PrivateKey::from_seed("x").address(),
+            ether(1),
+            vec![],
+            50_000,
+        )
         .unwrap();
     assert_eq!(r.gas_used, 21_000, "plain transfer is exactly Gtransaction");
 }

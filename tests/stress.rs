@@ -19,12 +19,19 @@ fn fifty_sequential_games_on_one_chain() {
     for round in 0..50u64 {
         let tl = Timeline::starting_at(net.now(), 600);
         let onchain = net
-            .deploy(&alice, on.initcode(alice.address, bob.address, tl), U256::ZERO, 5_000_000)
+            .deploy(
+                &alice,
+                on.initcode(alice.address, bob.address, tl),
+                U256::ZERO,
+                5_000_000,
+            )
             .unwrap()
             .contract_address
             .unwrap_or_else(|| panic!("round {round}: deploy"));
         for w in [&alice, &bob] {
-            let r = net.execute(w, onchain, ether(1), on.deposit(), 300_000).unwrap();
+            let r = net
+                .execute(w, onchain, ether(1), on.deposit(), 300_000)
+                .unwrap();
             assert!(r.success, "round {round}: deposit");
         }
         let mut secrets = BetSecrets {
@@ -40,18 +47,31 @@ fn fifty_sequential_games_on_one_chain() {
 
         let now = net.now();
         net.advance_time(tl.t3 - now + 60);
-        let data = on.deploy_verified_instance(&copy.bytecode, &copy.signatures[0], &copy.signatures[1]);
-        let r = net.execute(&bob, onchain, U256::ZERO, data, 7_900_000).unwrap();
+        let data =
+            on.deploy_verified_instance(&copy.bytecode, &copy.signatures[0], &copy.signatures[1]);
+        let r = net
+            .execute(&bob, onchain, U256::ZERO, data, 7_900_000)
+            .unwrap();
         assert!(r.success, "round {round}: dispute deploy {:?}", r.failure);
         let instance = Address::from_u256(net.storage_at(
             onchain,
             U256::from_u64(onoffchain::contracts::DEPLOYED_ADDR_SLOT),
         ));
         let r = net
-            .execute(&bob, instance, U256::ZERO, off.return_dispute_resolution(onchain), 7_900_000)
+            .execute(
+                &bob,
+                instance,
+                U256::ZERO,
+                off.return_dispute_resolution(onchain),
+                7_900_000,
+            )
             .unwrap();
         assert!(r.success, "round {round}: resolution");
-        assert_eq!(net.balance_of(onchain), U256::ZERO, "round {round}: drained");
+        assert_eq!(
+            net.balance_of(onchain),
+            U256::ZERO,
+            "round {round}: drained"
+        );
     }
     // 50 games × (deploy + 2 deposits + 2 dispute txs) = 250 blocks + genesis.
     assert_eq!(net.head().number, 250);
@@ -110,24 +130,41 @@ fn random_calldata_never_breaks_the_contract() {
     let on = OnChainContract::new();
     let tl = Timeline::starting_at(net.now(), 3600);
     let onchain = net
-        .deploy(&alice, on.initcode(alice.address, bob.address, tl), U256::ZERO, 5_000_000)
+        .deploy(
+            &alice,
+            on.initcode(alice.address, bob.address, tl),
+            U256::ZERO,
+            5_000_000,
+        )
         .unwrap()
         .contract_address
         .unwrap();
     for w in [&alice, &bob] {
-        assert!(net.execute(w, onchain, ether(1), on.deposit(), 300_000).unwrap().success);
+        assert!(
+            net.execute(w, onchain, ether(1), on.deposit(), 300_000)
+                .unwrap()
+                .success
+        );
     }
 
     // Deterministic pseudo-random calldata: real selectors with mangled
     // args, plus pure noise.
-    let selectors: Vec<[u8; 4]> = ["deposit", "refundRoundOne", "refundRoundTwo", "reassign",
-        "deployVerifiedInstance", "enforceDisputeResolution"]
-        .iter()
-        .map(|f| on.compiled.analyzed.selector_of(f).unwrap())
-        .collect();
+    let selectors: Vec<[u8; 4]> = [
+        "deposit",
+        "refundRoundOne",
+        "refundRoundTwo",
+        "reassign",
+        "deployVerifiedInstance",
+        "enforceDisputeResolution",
+    ]
+    .iter()
+    .map(|f| on.compiled.analyzed.selector_of(f).unwrap())
+    .collect();
     let mut seed = 0x1234_5678_9abc_def0u64;
     let mut rand_byte = move || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (seed >> 33) as u8
     };
     for i in 0..120 {
@@ -153,8 +190,13 @@ fn random_calldata_never_breaks_the_contract() {
     }
     // The legitimate flow still works afterwards.
     net.advance_time(2 * 3600 + 60);
-    let r = net.execute(&alice, onchain, U256::ZERO, on.reassign(), 300_000).unwrap();
-    assert!(r.success, "contract still functional after the fuzz barrage");
+    let r = net
+        .execute(&alice, onchain, U256::ZERO, on.reassign(), 300_000)
+        .unwrap();
+    assert!(
+        r.success,
+        "contract still functional after the fuzz barrage"
+    );
 }
 
 #[test]
