@@ -117,6 +117,16 @@ impl WorldState {
         self.accounts.values().filter(|a| a.exists()).count()
     }
 
+    /// Sum of every account's balance — the whole world's wei. The EVM
+    /// and the gas settlement only ever *move* value, so this must equal
+    /// the chain's total minted supply after every block (the ether
+    /// conservation invariant checked by the chaos suite).
+    pub fn total_balance(&self) -> U256 {
+        self.accounts
+            .values()
+            .fold(U256::ZERO, |acc, a| acc.wrapping_add(a.balance))
+    }
+
     fn entry(&mut self, a: Address) -> &mut Account {
         self.accounts.entry(a).or_default()
     }

@@ -106,13 +106,19 @@ impl PendingTx {
     /// This is the reference path: `mine_block_serial` rebuilds its
     /// pending set through here so the determinism suite can assert the
     /// cached/parallel pipeline changes nothing observable.
-    fn derive(signed: SignedTransaction) -> PendingTx {
-        PendingTx {
-            sender: signed.sender().expect("validated at submit"),
+    ///
+    /// A transaction whose signature no longer recovers is a typed
+    /// [`TxError`], never a panic: admission validates before queueing, so
+    /// the error is unreachable from the public API, but a malformed
+    /// transaction handed to the reference path must not crash the node.
+    fn derive(signed: SignedTransaction) -> Result<PendingTx, TxError> {
+        let sender = signed.sender().map_err(|_| TxError::BadSignature)?;
+        Ok(PendingTx {
+            sender,
             hash: signed.hash(),
             intrinsic: gas::tx_intrinsic_gas(&signed.tx.data, signed.tx.is_create()),
             signed,
-        }
+        })
     }
 }
 
@@ -125,6 +131,10 @@ pub struct Testnet {
     pending: Vec<PendingTx>,
     receipts: HashMap<H256, Receipt>,
     time: u64,
+    /// Wei ever created through the faucet. Since the EVM only moves
+    /// value, `state.total_balance()` must equal this after every block —
+    /// the conservation invariant the fault-injection suite asserts.
+    minted: U256,
     /// Jumpdest analyses shared by every EVM this chain spins up, so a
     /// contract's bitmap is computed once across all blocks and calls.
     analysis_cache: Arc<AnalysisCache>,
@@ -155,6 +165,7 @@ impl Testnet {
             blocks: vec![genesis],
             pending: Vec::new(),
             receipts: HashMap::new(),
+            minted: U256::ZERO,
             analysis_cache: Arc::new(AnalysisCache::new()),
         }
     }
@@ -226,7 +237,21 @@ impl Testnet {
 
     /// Mints balance (faucet / genesis allocation).
     pub fn faucet(&mut self, a: Address, amount: U256) {
+        self.minted = self.minted.wrapping_add(amount);
         self.state.mint(a, amount);
+    }
+
+    /// Total wei ever minted through [`Testnet::faucet`]. Everything else
+    /// the chain does is a transfer, so `state.total_balance()` must equal
+    /// this at every block boundary (ether conservation).
+    pub fn total_minted(&self) -> U256 {
+        self.minted
+    }
+
+    /// Number of transactions admitted but not yet mined (fault-injection
+    /// hook: lets wrappers observe what a dropped/delayed block holds).
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
     }
 
     /// Creates a funded deterministic wallet.
@@ -368,7 +393,7 @@ impl Testnet {
     pub fn mine_block_serial(&mut self) -> Block {
         let txs: Vec<PendingTx> = std::mem::take(&mut self.pending)
             .into_iter()
-            .map(|p| PendingTx::derive(p.signed))
+            .filter_map(|p| PendingTx::derive(p.signed).ok())
             .collect();
         self.seal_block(txs)
     }
@@ -440,44 +465,51 @@ impl Testnet {
             },
         };
 
-        let (success, gas_left, output, contract_address, failure) = if tx.is_create() {
-            let mut evm = Evm::new(&mut self.state, env)
-                .with_analysis_cache(Arc::clone(&self.analysis_cache));
-            let out = evm.create(sender, tx.value, tx.data.clone(), exec_gas);
-            let failure = if out.success {
-                None
-            } else if let Some(err) = out.error.clone() {
-                Some(FailureReason::VmError(err))
-            } else if !out.output.is_empty() || out.gas_left > 0 {
-                Some(FailureReason::Reverted(out.output.clone()))
-            } else {
-                Some(FailureReason::InsufficientBalance)
-            };
-            (out.success, out.gas_left, out.output, out.address, failure)
-        } else {
-            // Nonce bump happens before execution for calls (creates bump
-            // inside the EVM so the address derivation sees the old nonce).
-            self.state.bump_nonce(sender);
-            let to = tx.to.expect("call tx");
-            let mut evm = Evm::new(&mut self.state, env)
-                .with_analysis_cache(Arc::clone(&self.analysis_cache));
-            let out = evm.call(CallParams::transact(
-                sender,
-                to,
-                tx.value,
-                tx.data.clone(),
-                exec_gas,
-            ));
-            let failure = if out.success {
-                None
-            } else if out.reverted {
-                Some(FailureReason::Reverted(out.output.clone()))
-            } else if let Some(err) = out.error.clone() {
-                Some(FailureReason::VmError(err))
-            } else {
-                Some(FailureReason::InsufficientBalance)
-            };
-            (out.success, out.gas_left, out.output, None, failure)
+        // Dispatch on the literal `to` field: `None` is a create, `Some`
+        // a call. (Matching here instead of `is_create()` + `expect`
+        // makes a malformed transaction structurally unrepresentable —
+        // there is no path on which a missing recipient can panic.)
+        let (success, gas_left, output, contract_address, failure) = match tx.to {
+            None => {
+                let mut evm = Evm::new(&mut self.state, env)
+                    .with_analysis_cache(Arc::clone(&self.analysis_cache));
+                let out = evm.create(sender, tx.value, tx.data.clone(), exec_gas);
+                let failure = if out.success {
+                    None
+                } else if let Some(err) = out.error.clone() {
+                    Some(FailureReason::VmError(err))
+                } else if !out.output.is_empty() || out.gas_left > 0 {
+                    Some(FailureReason::Reverted(out.output.clone()))
+                } else {
+                    Some(FailureReason::InsufficientBalance)
+                };
+                (out.success, out.gas_left, out.output, out.address, failure)
+            }
+            Some(to) => {
+                // Nonce bump happens before execution for calls (creates
+                // bump inside the EVM so the address derivation sees the
+                // old nonce).
+                self.state.bump_nonce(sender);
+                let mut evm = Evm::new(&mut self.state, env)
+                    .with_analysis_cache(Arc::clone(&self.analysis_cache));
+                let out = evm.call(CallParams::transact(
+                    sender,
+                    to,
+                    tx.value,
+                    tx.data.clone(),
+                    exec_gas,
+                ));
+                let failure = if out.success {
+                    None
+                } else if out.reverted {
+                    Some(FailureReason::Reverted(out.output.clone()))
+                } else if let Some(err) = out.error.clone() {
+                    Some(FailureReason::VmError(err))
+                } else {
+                    Some(FailureReason::InsufficientBalance)
+                };
+                (out.success, out.gas_left, out.output, None, failure)
+            }
         };
 
         // Settle gas: refund capped at half of what was used.
@@ -977,6 +1009,70 @@ mod tests {
             stats.hits >= after_deploy.hits + 4,
             "subsequent calls hit the cache"
         );
+    }
+
+    #[test]
+    fn derive_rejects_malformed_signature_instead_of_panicking() {
+        // The reference mining path re-derives senders from raw
+        // transactions; a signature that stopped recovering must surface
+        // as a typed error, never a crash.
+        let alice = Wallet::from_seed("alice");
+        let mut signed = Transaction {
+            nonce: 0,
+            gas_price: sc_primitives::gwei(1),
+            gas_limit: 21_000,
+            to: Some(Address([9; 20])),
+            value: U256::ZERO,
+            data: vec![],
+        }
+        .sign(&alice.key);
+        signed.signature.v = 26; // invalid recovery id
+        assert_eq!(PendingTx::derive(signed).err(), Some(TxError::BadSignature));
+    }
+
+    #[test]
+    fn ether_is_conserved_across_blocks() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        let bob = net.funded_wallet("bob", ether(5));
+        assert_eq!(net.total_minted(), ether(15));
+        assert_eq!(net.state.total_balance(), ether(15));
+        // Transfers, a deploy, and a failed call all just move value.
+        net.execute(&alice, bob.address, ether(1), vec![], 100_000)
+            .unwrap();
+        let runtime = vec![0x60, 0x00, 0x60, 0x00, 0xfd]; // always reverts
+        let initcode = sc_evm::wrap_initcode(&runtime);
+        let target = net
+            .deploy(&alice, initcode, U256::ZERO, 200_000)
+            .unwrap()
+            .contract_address
+            .unwrap();
+        net.execute(&alice, target, U256::ZERO, vec![], 100_000)
+            .unwrap();
+        assert_eq!(
+            net.state.total_balance(),
+            net.total_minted(),
+            "no wei created or destroyed"
+        );
+    }
+
+    #[test]
+    fn pending_count_tracks_the_mempool() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        assert_eq!(net.pending_count(), 0);
+        let tx = Transaction {
+            nonce: 0,
+            gas_price: sc_primitives::gwei(1),
+            gas_limit: 21_000,
+            to: Some(Address([9; 20])),
+            value: U256::ZERO,
+            data: vec![],
+        };
+        net.submit(tx.sign(&alice.key)).unwrap();
+        assert_eq!(net.pending_count(), 1);
+        net.mine_block();
+        assert_eq!(net.pending_count(), 0);
     }
 
     #[test]

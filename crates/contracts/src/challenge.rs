@@ -19,7 +19,11 @@
 //!   signed copy — the verified instance recomputes `reveal()` and
 //!   `enforceChallengedResolution` compares it with the submission: a
 //!   false submitter forfeits their security deposit to the challenger
-//!   (compensating the dispute gas), an honest submitter keeps theirs.
+//!   (compensating the dispute gas), an honest submitter keeps theirs;
+//! * if no result is ever submitted (the representative crashed), either
+//!   participant may, one full challenge window past T2, `challenge()`
+//!   anyway to force the dispute resolution, or `reclaimNoSubmission()`
+//!   to simply take back their own stake + security deposit.
 
 use crate::{BetSecrets, Timeline};
 use sc_lang::{compile, CompiledContract};
@@ -118,10 +122,29 @@ contract onChainChallenge {
         }
     }
 
-    // A challenger reveals the signed copy during the window.
+    // Funds are stuck only while a proposal could still arrive. Once the
+    // representative has been silent for a full challenge window past T2,
+    // either side may walk away with their own stake + security deposit.
+    function reclaimNoSubmission() public certifiedparticipantOnly notSettled {
+        require(!proposed);
+        require(block.timestamp >= T2 + challengeWindow);
+        uint256 amt = accountBalance[msg.sender] + securityDeposit[msg.sender];
+        require(amt > 0);
+        accountBalance[msg.sender] = 0;
+        securityDeposit[msg.sender] = 0;
+        msg.sender.transfer(amt);
+    }
+
+    // A challenger reveals the signed copy. Two openings: during the
+    // window after a submission (disputing its content), or after the
+    // no-submission deadline when the representative went silent (forcing
+    // resolution instead of merely reclaiming).
     function challenge(bytes memory bytecode, uint8 va, bytes32 ra, bytes32 sa, uint8 vb, bytes32 rb, bytes32 sb) public certifiedparticipantOnly amountMet notSettled {
-        require(proposed);
-        require(block.timestamp < proposedAt + challengeWindow);
+        if (proposed) {
+            require(block.timestamp < proposedAt + challengeWindow);
+        } else {
+            require(block.timestamp >= T2 + challengeWindow);
+        }
         bytes32 h_bytecode = keccak256(bytecode);
         address a = ecrecover(h_bytecode, va, ra, sa);
         address b = ecrecover(h_bytecode, vb, rb, sb);
@@ -279,6 +302,13 @@ impl ChallengeContracts {
     /// `finalize()` calldata.
     pub fn finalize(&self) -> Vec<u8> {
         self.onchain.calldata("finalize", &[]).expect("abi")
+    }
+
+    /// `reclaimNoSubmission()` calldata.
+    pub fn reclaim_no_submission(&self) -> Vec<u8> {
+        self.onchain
+            .calldata("reclaimNoSubmission", &[])
+            .expect("abi")
     }
 
     /// `challenge(bytecode, sigs…)` calldata.

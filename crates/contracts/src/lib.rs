@@ -42,6 +42,36 @@ impl Timeline {
             t3: t0 + 3 * phase,
         }
     }
+
+    /// Which contract window `now` falls in. Edges mirror the contract
+    /// modifiers exactly: `beforeT1` is `now < T1`, `T1toT2` is
+    /// `T1 <= now < T2`, `T2toT3` is `T2 <= now < T3`, `afterT3` is
+    /// `now >= T3` — so a driver can decide what is still landable
+    /// without re-deriving the comparisons inline.
+    pub fn window_at(&self, now: u64) -> TimelineWindow {
+        if now < self.t1 {
+            TimelineWindow::BeforeT1
+        } else if now < self.t2 {
+            TimelineWindow::T1ToT2
+        } else if now < self.t3 {
+            TimelineWindow::T2ToT3
+        } else {
+            TimelineWindow::AfterT3
+        }
+    }
+}
+
+/// The four windows the on-chain contract's modifiers carve out of time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TimelineWindow {
+    /// `block.timestamp < T1`: deposits and round-one refunds.
+    BeforeT1,
+    /// `T1 <= block.timestamp < T2`: round-two refunds.
+    T1ToT2,
+    /// `T2 <= block.timestamp < T3`: voluntary `reassign`.
+    T2ToT3,
+    /// `block.timestamp >= T3`: `deployVerifiedInstance` disputes.
+    AfterT3,
 }
 
 /// The private betting rule: secrets contributed by each party plus the
@@ -272,6 +302,28 @@ mod tests {
         let bob = net.funded_wallet("bob", ether(100));
         let tl = Timeline::starting_at(net.now(), 3600);
         (net, alice, bob, tl)
+    }
+
+    #[test]
+    fn window_at_matches_contract_modifier_edges() {
+        let tl = Timeline {
+            t1: 100,
+            t2: 200,
+            t3: 300,
+        };
+        assert_eq!(tl.window_at(0), TimelineWindow::BeforeT1);
+        assert_eq!(tl.window_at(99), TimelineWindow::BeforeT1);
+        // T1 itself is already out of the deposit window (`< T1`).
+        assert_eq!(tl.window_at(100), TimelineWindow::T1ToT2);
+        assert_eq!(tl.window_at(199), TimelineWindow::T1ToT2);
+        // T2 itself is already out of the refund window (`< T2`).
+        assert_eq!(tl.window_at(200), TimelineWindow::T2ToT3);
+        assert_eq!(tl.window_at(299), TimelineWindow::T2ToT3);
+        // T3 itself opens disputes (`>= T3`).
+        assert_eq!(tl.window_at(300), TimelineWindow::AfterT3);
+        assert_eq!(tl.window_at(u64::MAX), TimelineWindow::AfterT3);
+        // Windows are ordered, so drivers can compare progress.
+        assert!(TimelineWindow::BeforeT1 < TimelineWindow::AfterT3);
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Timeline-edge and no-submission tests for the challenge contract:
+//! exact modifier boundaries, the stale deadline that unlocks funds when
+//! the representative never submits, and the forced-resolution escalation.
+
+use sc_chain::{Testnet, Wallet};
+use sc_contracts::challenge::{
+    security_deposit, stake, ChallengeContracts, CHALLENGE_DEPLOYED_ADDR_SLOT,
+};
+use sc_contracts::{BetSecrets, Timeline, TimelineWindow};
+use sc_crypto::ecdsa::PrivateKey;
+use sc_crypto::keccak256;
+use sc_primitives::{ether, Address, U256};
+
+const PHASE: u64 = 3600;
+const WINDOW: u64 = 1800;
+
+struct Setup {
+    net: Testnet,
+    alice: Wallet,
+    bob: Wallet,
+    cc: ChallengeContracts,
+    onchain: Address,
+    bytecode: Vec<u8>,
+    tl: Timeline,
+}
+
+fn sign(key: &PrivateKey, code: &[u8]) -> sc_crypto::Signature {
+    key.sign(keccak256(code))
+}
+
+/// Deploys and funds the challenge game but does NOT advance time: tests
+/// steer the clock to the exact edges they probe.
+fn setup() -> Setup {
+    let mut net = Testnet::new();
+    let alice = net.funded_wallet("alice", ether(1000));
+    let bob = net.funded_wallet("bob", ether(1000));
+    let tl = Timeline::starting_at(net.now(), PHASE);
+    let mut secrets = BetSecrets {
+        secret_a: U256::from_u64(5),
+        secret_b: U256::from_u64(6),
+        weight: 32,
+    };
+    while !secrets.winner_is_bob() {
+        secrets.secret_a = secrets.secret_a.wrapping_add(U256::ONE);
+    }
+    let cc = ChallengeContracts::new();
+    let onchain = net
+        .deploy(
+            &alice,
+            cc.onchain_initcode(alice.address, bob.address, tl, WINDOW),
+            U256::ZERO,
+            7_000_000,
+        )
+        .unwrap()
+        .contract_address
+        .expect("challenge contract deploys");
+    let pay = stake().wrapping_add(security_deposit());
+    for w in [&alice, &bob] {
+        let r = net.execute(w, onchain, pay, cc.deposit(), 400_000).unwrap();
+        assert!(r.success, "deposit: {:?}", r.failure);
+    }
+    let bytecode = cc.offchain_initcode(alice.address, bob.address, secrets);
+    Setup {
+        net,
+        alice,
+        bob,
+        cc,
+        onchain,
+        bytecode,
+        tl,
+    }
+}
+
+/// Moves the pending-block timestamp to exactly `target`.
+fn warp_to(net: &mut Testnet, target: u64) {
+    let now = net.now();
+    assert!(target >= now, "cannot warp backwards ({now} -> {target})");
+    net.advance_time(target - now);
+}
+
+#[test]
+fn deposit_at_exactly_t1_is_rejected() {
+    // A third participant-slot deposit isn't possible, so probe the edge
+    // with a fresh game where only Alice deposits, Bob waits until T1.
+    let mut net = Testnet::new();
+    let alice = net.funded_wallet("alice", ether(10));
+    let bob = net.funded_wallet("bob", ether(10));
+    let tl = Timeline::starting_at(net.now(), PHASE);
+    let cc = ChallengeContracts::new();
+    let onchain = net
+        .deploy(
+            &alice,
+            cc.onchain_initcode(alice.address, bob.address, tl, WINDOW),
+            U256::ZERO,
+            7_000_000,
+        )
+        .unwrap()
+        .contract_address
+        .unwrap();
+    let pay = stake().wrapping_add(security_deposit());
+    assert!(
+        net.execute(&alice, onchain, pay, cc.deposit(), 400_000)
+            .unwrap()
+            .success
+    );
+    // One second before T1 the window is still open…
+    warp_to(&mut net, tl.t1 - 1);
+    assert_eq!(net.now(), tl.t1 - 1);
+    assert_eq!(tl.window_at(net.now()), TimelineWindow::BeforeT1);
+    // …but Bob stalls one more second: `beforeT1` is a strict `<`.
+    warp_to(&mut net, tl.t1);
+    assert_eq!(tl.window_at(net.now()), TimelineWindow::T1ToT2);
+    let r = net
+        .execute(&bob, onchain, pay, cc.deposit(), 400_000)
+        .unwrap();
+    assert!(!r.success, "deposit at exactly T1 must revert");
+}
+
+#[test]
+fn reclaim_rejected_before_the_stale_deadline() {
+    let mut s = setup();
+    // Even well past T2, reclaim must wait the full challenge window out.
+    warp_to(&mut s.net, s.tl.t2 + WINDOW - 1);
+    let r = s
+        .net
+        .execute(
+            &s.alice,
+            s.onchain,
+            U256::ZERO,
+            s.cc.reclaim_no_submission(),
+            400_000,
+        )
+        .unwrap();
+    assert!(!r.success, "a submission could still arrive");
+}
+
+#[test]
+fn both_participants_reclaim_after_the_stale_deadline() {
+    let mut s = setup();
+    warp_to(&mut s.net, s.tl.t2 + WINDOW);
+    let refund = stake().wrapping_add(security_deposit());
+    for w in [&s.alice, &s.bob] {
+        let before = s.net.balance_of(w.address);
+        let r = s
+            .net
+            .execute(
+                w,
+                s.onchain,
+                U256::ZERO,
+                s.cc.reclaim_no_submission(),
+                400_000,
+            )
+            .unwrap();
+        assert!(r.success, "reclaim: {:?}", r.failure);
+        let gas_cost = U256::from_u64(r.gas_used).wrapping_mul(sc_primitives::gwei(1));
+        assert_eq!(
+            s.net.balance_of(w.address),
+            before.wrapping_add(refund).wrapping_sub(gas_cost),
+            "each side takes back exactly their own stake + security deposit"
+        );
+        // Double reclaim is a no-op revert.
+        let r = s
+            .net
+            .execute(
+                w,
+                s.onchain,
+                U256::ZERO,
+                s.cc.reclaim_no_submission(),
+                400_000,
+            )
+            .unwrap();
+        assert!(!r.success, "nothing left to reclaim");
+    }
+    assert_eq!(s.net.balance_of(s.onchain), U256::ZERO);
+}
+
+#[test]
+fn reclaim_rejected_once_a_result_is_submitted() {
+    let mut s = setup();
+    warp_to(&mut s.net, s.tl.t2 + 1);
+    assert!(
+        s.net
+            .execute(
+                &s.bob,
+                s.onchain,
+                U256::ZERO,
+                s.cc.submit_result(true),
+                400_000
+            )
+            .unwrap()
+            .success
+    );
+    // Even after the stale deadline: a live proposal blocks reclaiming.
+    warp_to(&mut s.net, s.tl.t2 + 10 * WINDOW);
+    let r = s
+        .net
+        .execute(
+            &s.alice,
+            s.onchain,
+            U256::ZERO,
+            s.cc.reclaim_no_submission(),
+            400_000,
+        )
+        .unwrap();
+    assert!(!r.success, "reclaim is only for the no-submission case");
+}
+
+#[test]
+fn challenge_without_submission_rejected_before_stale_deadline() {
+    let mut s = setup();
+    warp_to(&mut s.net, s.tl.t2 + WINDOW - 1);
+    let sig_a = sign(&s.alice.key, &s.bytecode);
+    let sig_b = sign(&s.bob.key, &s.bytecode);
+    let r = s
+        .net
+        .execute(
+            &s.bob,
+            s.onchain,
+            U256::ZERO,
+            s.cc.challenge(&s.bytecode, &sig_a, &sig_b),
+            7_900_000,
+        )
+        .unwrap();
+    assert!(
+        !r.success,
+        "no proposal and no stale deadline yet: nothing to dispute"
+    );
+}
+
+#[test]
+fn challenge_without_submission_forces_resolution_after_stale_deadline() {
+    let mut s = setup();
+    // The representative never submits; Bob escalates at the deadline.
+    warp_to(&mut s.net, s.tl.t2 + WINDOW);
+    let sig_a = sign(&s.alice.key, &s.bytecode);
+    let sig_b = sign(&s.bob.key, &s.bytecode);
+    let r = s
+        .net
+        .execute(
+            &s.bob,
+            s.onchain,
+            U256::ZERO,
+            s.cc.challenge(&s.bytecode, &sig_a, &sig_b),
+            7_900_000,
+        )
+        .unwrap();
+    assert!(r.success, "challenge: {:?}", r.failure);
+    let instance = Address::from_u256(
+        s.net
+            .storage_at(s.onchain, U256::from_u64(CHALLENGE_DEPLOYED_ADDR_SLOT)),
+    );
+    assert!(!instance.is_zero(), "verified instance created");
+
+    let bob_before = s.net.balance_of(s.bob.address);
+    let r = s
+        .net
+        .execute(
+            &s.bob,
+            instance,
+            U256::ZERO,
+            s.cc.return_dispute_resolution(s.onchain),
+            7_900_000,
+        )
+        .unwrap();
+    assert!(r.success, "resolution: {:?}", r.failure);
+    // Bob is the true winner: pot + both security deposits, minus gas.
+    let gas_cost = U256::from_u64(r.gas_used).wrapping_mul(sc_primitives::gwei(1));
+    assert_eq!(
+        s.net.balance_of(s.bob.address),
+        bob_before
+            .wrapping_add(ether(2))
+            .wrapping_add(security_deposit().wrapping_mul(U256::from_u64(2)))
+            .wrapping_sub(gas_cost)
+    );
+    assert_eq!(s.net.balance_of(s.onchain), U256::ZERO);
+    // The escalation settled the game: reclaiming afterwards reverts.
+    let r = s
+        .net
+        .execute(
+            &s.alice,
+            s.onchain,
+            U256::ZERO,
+            s.cc.reclaim_no_submission(),
+            400_000,
+        )
+        .unwrap();
+    assert!(!r.success, "settled flag blocks late reclaims");
+}

@@ -6,15 +6,31 @@
 //! signed copy; an uncontested result finalizes cheaply, a contested one
 //! is recomputed by the miners and the liar's security deposit pays the
 //! challenger's costs.
+//!
+//! The driver tolerates infrastructure faults and a crashing
+//! representative: on-chain sends retry transient failures with capped
+//! backoff; a challenge that misses its window degrades to the finalize
+//! path; and if the representative crashes before submitting, the
+//! counterparty escalates after the stale deadline (`T2 + window`) —
+//! a watching participant forces the miner-enforced resolution via
+//! `challenge()`, a sleeping one at least reclaims their own funds via
+//! `reclaimNoSubmission()`.
 
+use crate::faults::{FaultPlan, FlakyNet, NetError, MAX_INJECTED_SECS};
 use crate::participant::Participant;
 use crate::signedcopy::SignedCopy;
-use sc_chain::{Receipt, Testnet, Wallet};
+use sc_chain::{Receipt, Wallet};
 use sc_contracts::challenge::{
     security_deposit, stake, ChallengeContracts, CHALLENGE_DEPLOYED_ADDR_SLOT,
 };
 use sc_contracts::{BetSecrets, Timeline};
 use sc_primitives::{ether, Address, U256};
+
+/// Most attempts per on-chain send (far above any chain fault budget).
+const MAX_ATTEMPTS: u32 = 64;
+
+/// First retry backoff in seconds (doubles, capped).
+const BACKOFF_BASE_SECS: u64 = 15;
 
 /// What the representative does at submission time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +53,18 @@ pub enum WatchStrategy {
     Frivolous,
 }
 
+/// Whether (and when) the representative crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// The representative stays up the whole game.
+    None,
+    /// Crashes after deposits but before submitting any result — the
+    /// counterparty must escalate past the stale deadline.
+    BeforeSubmit,
+    /// Crashes right after submitting — someone else must finalize.
+    AfterSubmit,
+}
+
 /// Outcome of a challenge-variant game.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChallengeOutcome {
@@ -47,13 +75,29 @@ pub enum ChallengeOutcome {
     /// A false submission expired unchallenged — the watcher slept and
     /// the lie stands (the residual risk the paper's design accepts).
     LieStood,
+    /// No result was ever submitted; past the stale deadline the
+    /// participants took their own stakes back.
+    ReclaimedStale,
+}
+
+/// One on-chain transaction made by the challenge driver.
+#[derive(Debug, Clone)]
+pub struct ChallengeTx {
+    /// What it was (e.g. `"submitResult"`).
+    pub label: String,
+    /// Who sent it.
+    pub sender: Address,
+    /// Gas charged.
+    pub gas_used: u64,
+    /// Whether it succeeded.
+    pub success: bool,
 }
 
 /// Report of one challenge-variant run.
 #[derive(Debug, Clone)]
 pub struct ChallengeReport {
-    /// Every on-chain transaction: (label, gas, success).
-    pub txs: Vec<(String, u64, bool)>,
+    /// Every on-chain transaction, in order.
+    pub txs: Vec<ChallengeTx>,
     /// How it ended.
     pub outcome: ChallengeOutcome,
     /// True off-chain result.
@@ -65,19 +109,31 @@ pub struct ChallengeReport {
 impl ChallengeReport {
     /// Gas total over all transactions.
     pub fn total_gas(&self) -> u64 {
-        self.txs.iter().map(|t| t.1).sum()
+        self.txs.iter().map(|t| t.gas_used).sum()
     }
 
     /// Gas of the first successful tx with the label.
     pub fn gas_of(&self, label: &str) -> Option<u64> {
-        self.txs.iter().find(|t| t.0 == label && t.2).map(|t| t.1)
+        self.txs
+            .iter()
+            .find(|t| t.label == label && t.success)
+            .map(|t| t.gas_used)
+    }
+
+    /// Total gas units sent by one address (failed txs included).
+    pub fn gas_spent_by(&self, who: Address) -> u64 {
+        self.txs
+            .iter()
+            .filter(|t| t.sender == who)
+            .map(|t| t.gas_used)
+            .sum()
     }
 }
 
 /// The challenge-variant game driver.
 pub struct ChallengeGame {
-    /// The chain.
-    pub net: Testnet,
+    /// The chain (perfect under [`FaultPlan::none`]).
+    pub net: FlakyNet,
     /// Compiled contract pair.
     pub contracts: ChallengeContracts,
     /// Participant 0 (also the representative who submits).
@@ -88,63 +144,85 @@ pub struct ChallengeGame {
     pub onchain: Address,
     /// The signed off-chain initcode.
     pub bytecode: Vec<u8>,
+    /// The game's T1/T2 windows (T3 unused by this variant).
+    pub timeline: Timeline,
     secrets: BetSecrets,
     window: u64,
-    txs: Vec<(String, u64, bool)>,
+    txs: Vec<ChallengeTx>,
 }
 
 impl ChallengeGame {
-    /// Sets up the chain, deploys the contract, and makes both deposits
-    /// (stake + security deposit).
+    /// Sets up a perfect chain, deploys the contract, and makes both
+    /// deposits (stake + security deposit).
     pub fn new(secrets: BetSecrets, window: u64) -> ChallengeGame {
-        let mut net = Testnet::new();
+        ChallengeGame::with_faults(secrets, window, &FaultPlan::none())
+    }
+
+    /// Same setup under a seeded fault schedule. Setup sends retry
+    /// transient failures; the fault budgets guarantee deposits land
+    /// before T1.
+    pub fn with_faults(secrets: BetSecrets, window: u64, plan: &FaultPlan) -> ChallengeGame {
+        let mut net = FlakyNet::new(sc_chain::Testnet::new(), plan);
         let alice = Participant::honest("alice");
         let bob = Participant::honest("bob");
         net.faucet(alice.wallet.address, ether(1000));
         net.faucet(bob.wallet.address, ether(1000));
         let tl = Timeline::starting_at(net.now(), 3600);
         let contracts = ChallengeContracts::new();
-        let mut txs = Vec::new();
 
-        let r = net
-            .deploy(
-                &alice.wallet,
-                contracts.onchain_initcode(alice.wallet.address, bob.wallet.address, tl, window),
-                U256::ZERO,
-                7_000_000,
-            )
-            .expect("deploy admitted");
-        assert!(r.success, "challenge contract deploys");
-        txs.push(("deploy onChainChallenge".into(), r.gas_used, true));
-        let onchain = r.contract_address.expect("created");
-
-        let pay = stake().wrapping_add(security_deposit());
-        for p in [&alice, &bob] {
-            let r = net
-                .execute(&p.wallet, onchain, pay, contracts.deposit(), 400_000)
-                .expect("deposit admitted");
-            assert!(r.success, "deposit");
-            txs.push(("deposit".into(), r.gas_used, true));
-        }
-
-        let bytecode =
-            contracts.offchain_initcode(alice.wallet.address, bob.wallet.address, secrets);
-
-        // Move past T2 so results can be submitted.
-        let now = net.now();
-        net.advance_time(tl.t2 - now + 60);
-
-        ChallengeGame {
+        let mut game = ChallengeGame {
             net,
             contracts,
             alice,
             bob,
-            onchain,
-            bytecode,
+            onchain: Address::ZERO,
+            bytecode: Vec::new(),
+            timeline: tl,
             secrets,
             window,
-            txs,
+            txs: Vec::new(),
+        };
+
+        let initcode = game.contracts.onchain_initcode(
+            game.alice.wallet.address,
+            game.bob.wallet.address,
+            tl,
+            window,
+        );
+        let wallet = game.alice.wallet.clone();
+        let r = game
+            .deploy_retry("deploy onChainChallenge", &wallet, initcode, 7_000_000)
+            .expect("deploy lands within the fault budget");
+        assert!(r.success, "challenge contract deploys");
+        game.onchain = r.contract_address.expect("created");
+
+        let pay = stake().wrapping_add(security_deposit());
+        for p in [game.alice.clone(), game.bob.clone()] {
+            let onchain = game.onchain;
+            let data = game.contracts.deposit();
+            let r = game
+                .exec_retry(
+                    "deposit",
+                    &p.wallet,
+                    onchain,
+                    pay,
+                    data,
+                    Some(tl.t1),
+                    400_000,
+                )
+                .expect("deposit lands before T1 within the fault budget");
+            assert!(r.success, "deposit");
         }
+
+        game.bytecode = game.contracts.offchain_initcode(
+            game.alice.wallet.address,
+            game.bob.wallet.address,
+            secrets,
+        );
+
+        // Move past T2 so results can be submitted.
+        game.advance_past(tl.t2);
+        game
     }
 
     /// The fully signed copy of the off-chain contract.
@@ -155,25 +233,99 @@ impl ChallengeGame {
         )
     }
 
-    fn record(&mut self, label: &str, r: &Receipt) {
-        self.txs.push((label.into(), r.gas_used, r.success));
+    fn record(&mut self, label: &str, sender: Address, r: &Receipt) {
+        self.txs.push(ChallengeTx {
+            label: label.into(),
+            sender,
+            gas_used: r.gas_used,
+            success: r.success,
+        });
     }
 
-    fn exec(&mut self, label: &str, wallet: &Wallet, to: Address, data: Vec<u8>) -> Receipt {
-        let r = self
-            .net
-            .execute(wallet, to, U256::ZERO, data, 7_900_000)
-            .expect("tx admitted");
-        self.record(label, &r);
-        r
+    fn advance_past(&mut self, t: u64) {
+        let now = self.net.now();
+        if now <= t {
+            self.net.advance_time(t - now + 60);
+        }
     }
 
-    /// Runs the submit/challenge flow with the given behaviours. Alice is
-    /// the representative; Bob watches.
+    /// Retrying call send; `None` = the deadline passed (or the node
+    /// rejected it outright) before the transaction could land.
+    #[allow(clippy::too_many_arguments)] // mirrors the tx fields one-to-one
+    fn exec_retry(
+        &mut self,
+        label: &str,
+        wallet: &Wallet,
+        to: Address,
+        value: U256,
+        data: Vec<u8>,
+        deadline: Option<u64>,
+        gas: u64,
+    ) -> Option<Receipt> {
+        let mut backoff = BACKOFF_BASE_SECS;
+        for _ in 0..MAX_ATTEMPTS {
+            if let Some(d) = deadline {
+                if self.net.now() >= d {
+                    return None;
+                }
+            }
+            match self.net.execute(wallet, to, value, data.clone(), gas) {
+                Ok(r) => {
+                    self.record(label, wallet.address, &r);
+                    return Some(r);
+                }
+                Err(NetError::Transient(_)) => {
+                    self.net.advance_time(backoff);
+                    backoff = (backoff * 2).min(MAX_INJECTED_SECS);
+                }
+                Err(NetError::Rejected(_)) => return None,
+            }
+        }
+        None
+    }
+
+    /// Retrying deployment (no deadline: only used during setup).
+    fn deploy_retry(
+        &mut self,
+        label: &str,
+        wallet: &Wallet,
+        initcode: Vec<u8>,
+        gas: u64,
+    ) -> Option<Receipt> {
+        let mut backoff = BACKOFF_BASE_SECS;
+        for _ in 0..MAX_ATTEMPTS {
+            match self.net.deploy(wallet, initcode.clone(), U256::ZERO, gas) {
+                Ok(r) => {
+                    self.record(label, wallet.address, &r);
+                    return Some(r);
+                }
+                Err(NetError::Transient(_)) => {
+                    self.net.advance_time(backoff);
+                    backoff = (backoff * 2).min(MAX_INJECTED_SECS);
+                }
+                Err(NetError::Rejected(_)) => return None,
+            }
+        }
+        None
+    }
+
+    /// Runs the submit/challenge flow with the given behaviours and no
+    /// crash. Alice is the representative; Bob watches.
     pub fn run(
+        self,
+        submit: SubmitStrategy,
+        watch: WatchStrategy,
+    ) -> (ChallengeGame, ChallengeReport) {
+        self.run_with_crash(submit, watch, CrashPoint::None)
+    }
+
+    /// Runs the flow with the representative possibly crashing at the
+    /// given point. Always terminates in a valid [`ChallengeOutcome`].
+    pub fn run_with_crash(
         mut self,
         submit: SubmitStrategy,
         watch: WatchStrategy,
+        crash: CrashPoint,
     ) -> (ChallengeGame, ChallengeReport) {
         let truth = self.secrets.winner_is_bob();
         let claimed = match submit {
@@ -184,10 +336,103 @@ impl ChallengeGame {
         let alice = self.alice.wallet.clone();
         let bob = self.bob.wallet.clone();
         let onchain = self.onchain;
+        let stale_deadline = self.timeline.t2 + self.window;
 
+        if crash == CrashPoint::BeforeSubmit {
+            // The representative is gone: no result ever arrives. The
+            // counterparty waits out the stale deadline, then escalates.
+            self.advance_past(stale_deadline);
+            let (outcome, revealed) = match watch {
+                WatchStrategy::Vigilant | WatchStrategy::Frivolous => {
+                    // Force the miner-enforced resolution with the
+                    // signed copy — the crashed side's stake is not a
+                    // hostage.
+                    let copy = self.signed_copy();
+                    let revealed = copy.bytecode.len();
+                    let data = self.contracts.challenge(
+                        &copy.bytecode,
+                        &copy.signatures[0],
+                        &copy.signatures[1],
+                    );
+                    let r = self
+                        .exec_retry(
+                            "challenge",
+                            &bob,
+                            onchain,
+                            U256::ZERO,
+                            data,
+                            None,
+                            7_900_000,
+                        )
+                        .expect("stale-deadline challenge lands");
+                    assert!(r.success, "stale-deadline challenge accepted");
+                    let instance = Address::from_u256(
+                        self.net
+                            .storage_at(onchain, U256::from_u64(CHALLENGE_DEPLOYED_ADDR_SLOT)),
+                    );
+                    let data = self.contracts.return_dispute_resolution(onchain);
+                    let r = self
+                        .exec_retry(
+                            "returnDisputeResolution",
+                            &bob,
+                            instance,
+                            U256::ZERO,
+                            data,
+                            None,
+                            7_900_000,
+                        )
+                        .expect("resolution lands");
+                    assert!(r.success, "resolution enforced");
+                    (ChallengeOutcome::ResolvedByChallenge, revealed)
+                }
+                WatchStrategy::Asleep => {
+                    // Nobody forces the dispute; each side (the crashed
+                    // representative eventually restarts) reclaims their
+                    // own stake + security deposit.
+                    for w in [bob.clone(), alice.clone()] {
+                        let data = self.contracts.reclaim_no_submission();
+                        let r = self
+                            .exec_retry(
+                                "reclaimNoSubmission",
+                                &w,
+                                onchain,
+                                U256::ZERO,
+                                data,
+                                None,
+                                400_000,
+                            )
+                            .expect("reclaim lands");
+                        assert!(r.success, "reclaim after the stale deadline");
+                    }
+                    (ChallengeOutcome::ReclaimedStale, 0)
+                }
+            };
+            let report = ChallengeReport {
+                txs: self.txs.clone(),
+                outcome,
+                winner_is_bob: truth,
+                offchain_bytes_revealed: revealed,
+            };
+            return (self, report);
+        }
+
+        // Representative submits (then crashes, for AfterSubmit).
         let data = self.contracts.submit_result(claimed);
-        let r = self.exec("submitResult", &alice, onchain, data);
+        let r = self
+            .exec_retry(
+                "submitResult",
+                &alice,
+                onchain,
+                U256::ZERO,
+                data,
+                None,
+                7_900_000,
+            )
+            .expect("submission lands (afterT2 is unbounded)");
         assert!(r.success, "submission");
+        // The challenge window opens at the block that mined the
+        // submission (mining delays included).
+        let proposed_at = self.net.head().timestamp;
 
         let wants_challenge = match watch {
             WatchStrategy::Vigilant => claimed != truth,
@@ -196,33 +441,77 @@ impl ChallengeGame {
         };
 
         let mut revealed = 0usize;
-        let outcome = if wants_challenge {
-            // Bob challenges with the signed copy inside the window.
+        let mut outcome = None;
+        if wants_challenge {
+            // Bob challenges with the signed copy inside the window. A
+            // challenge that cannot land before the window closes
+            // (injected delays) degrades to the finalize path below.
             let copy = self.signed_copy();
-            revealed = copy.bytecode.len();
             let data =
                 self.contracts
                     .challenge(&copy.bytecode, &copy.signatures[0], &copy.signatures[1]);
-            let r = self.exec("challenge", &bob, onchain, data);
-            assert!(r.success, "challenge accepted in-window");
-            let instance = Address::from_u256(
-                self.net
-                    .storage_at(onchain, U256::from_u64(CHALLENGE_DEPLOYED_ADDR_SLOT)),
+            let landed = self.exec_retry(
+                "challenge",
+                &bob,
+                onchain,
+                U256::ZERO,
+                data,
+                Some(proposed_at + self.window),
+                7_900_000,
             );
-            let data = self.contracts.return_dispute_resolution(onchain);
-            let r = self.exec("returnDisputeResolution", &bob, instance, data);
-            assert!(r.success, "resolution enforced");
-            ChallengeOutcome::ResolvedByChallenge
-        } else {
-            // Window passes quietly; anyone finalizes.
-            self.net.advance_time(self.window + 60);
-            let data = self.contracts.finalize();
-            let r = self.exec("finalize", &alice, onchain, data);
-            assert!(r.success, "finalize after window");
-            if claimed == truth {
-                ChallengeOutcome::FinalizedUnchallenged
-            } else {
-                ChallengeOutcome::LieStood
+            if matches!(&landed, Some(r) if r.success) {
+                revealed = copy.bytecode.len();
+                let instance = Address::from_u256(
+                    self.net
+                        .storage_at(onchain, U256::from_u64(CHALLENGE_DEPLOYED_ADDR_SLOT)),
+                );
+                let data = self.contracts.return_dispute_resolution(onchain);
+                let r = self
+                    .exec_retry(
+                        "returnDisputeResolution",
+                        &bob,
+                        instance,
+                        U256::ZERO,
+                        data,
+                        None,
+                        7_900_000,
+                    )
+                    .expect("resolution lands");
+                assert!(r.success, "resolution enforced");
+                outcome = Some(ChallengeOutcome::ResolvedByChallenge);
+            }
+        }
+
+        let outcome = match outcome {
+            Some(o) => o,
+            None => {
+                // Window passes quietly (or the challenge missed it);
+                // whoever is still up finalizes — the crashed
+                // representative cannot, the watcher can.
+                self.advance_past(proposed_at + self.window);
+                let finalizer = if crash == CrashPoint::AfterSubmit {
+                    bob.clone()
+                } else {
+                    alice.clone()
+                };
+                let data = self.contracts.finalize();
+                let r = self
+                    .exec_retry(
+                        "finalize",
+                        &finalizer,
+                        onchain,
+                        U256::ZERO,
+                        data,
+                        None,
+                        7_900_000,
+                    )
+                    .expect("finalize lands (no deadline)");
+                assert!(r.success, "finalize after window");
+                if claimed == truth {
+                    ChallengeOutcome::FinalizedUnchallenged
+                } else {
+                    ChallengeOutcome::LieStood
+                }
             }
         };
 
@@ -314,5 +603,56 @@ mod tests {
             fought.total_gas(),
             quiet.total_gas()
         );
+    }
+
+    #[test]
+    fn crashed_representative_cannot_hold_a_watcher_hostage() {
+        let game = ChallengeGame::new(secrets_bob_wins(), 1800);
+        let bob_addr = game.bob.wallet.address;
+        let (game, report) = game.run_with_crash(
+            SubmitStrategy::Truthful,
+            WatchStrategy::Vigilant,
+            CrashPoint::BeforeSubmit,
+        );
+        assert_eq!(report.outcome, ChallengeOutcome::ResolvedByChallenge);
+        // The true winner collected the pot despite the crash.
+        assert!(game.net.balance_of(bob_addr) > ether(1000));
+    }
+
+    #[test]
+    fn sleeping_parties_reclaim_after_a_silent_representative() {
+        let game = ChallengeGame::new(secrets_bob_wins(), 1800);
+        let alice_addr = game.alice.wallet.address;
+        let bob_addr = game.bob.wallet.address;
+        let (game, report) = game.run_with_crash(
+            SubmitStrategy::Truthful,
+            WatchStrategy::Asleep,
+            CrashPoint::BeforeSubmit,
+        );
+        assert_eq!(report.outcome, ChallengeOutcome::ReclaimedStale);
+        // Both took back exactly their stake + security deposit (gas
+        // aside): nobody won, nobody is stuck.
+        for a in [alice_addr, bob_addr] {
+            let bal = game.net.balance_of(a);
+            assert!(bal > ether(1000).wrapping_sub(ether(1) / U256::from_u64(100)));
+            assert!(bal <= ether(1000));
+        }
+        assert_eq!(game.net.balance_of(game.onchain), U256::ZERO);
+    }
+
+    #[test]
+    fn crash_after_submit_is_finalized_by_the_watcher() {
+        let game = ChallengeGame::new(secrets_bob_wins(), 1800);
+        let bob_addr = game.bob.wallet.address;
+        let (game, report) = game.run_with_crash(
+            SubmitStrategy::Truthful,
+            WatchStrategy::Asleep,
+            CrashPoint::AfterSubmit,
+        );
+        assert_eq!(report.outcome, ChallengeOutcome::FinalizedUnchallenged);
+        // Bob (the finalizer and true winner) collected.
+        assert!(game.net.balance_of(bob_addr) > ether(1000));
+        let finalize = report.txs.iter().find(|t| t.label == "finalize").unwrap();
+        assert_eq!(finalize.sender, bob_addr, "the watcher finalized");
     }
 }

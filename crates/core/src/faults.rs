@@ -1,0 +1,624 @@
+//! Deterministic fault injection for the off-chain bus and the chain.
+//!
+//! Everything here is driven by one `u64` seed: the seed fixes a
+//! [`FaultPlan`] (which faults, at what rates, within what budget), and
+//! the plan seeds one xorshift stream per injection site. Re-running
+//! with the same seed replays the identical fault schedule, message
+//! order, and timing — a chaos-suite failure is reproducible from the
+//! single printed number.
+//!
+//! Two properties make the harness compatible with liveness proofs:
+//!
+//! * **Finite budgets.** Every injected fault consumes from a per-site
+//!   budget drawn from the seed (whisper ≤ 24, chain ≤ 12). Once a
+//!   budget is spent the wrapper behaves perfectly, so any retry loop
+//!   with more attempts than the budget is guaranteed to terminate.
+//! * **Bounded time.** Injected mining delays and the drivers' retry
+//!   backoffs are capped (≤ [`MAX_INJECTED_SECS`] per fault) so the
+//!   worst-case injected wall-clock stays well inside one T1–T3 phase
+//!   window; a fault schedule can cost a participant money (a missed
+//!   deadline degrades to the refund or dispute path) but can never
+//!   wedge a stage.
+
+use crate::whisper::{Envelope, Whisper};
+use sc_chain::{Receipt, Testnet, TxError, Wallet};
+use sc_primitives::{Address, U256};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Upper bound on the seconds any single injected fault (mining delay)
+/// or driver backoff may add to the clock.
+pub const MAX_INJECTED_SECS: u64 = 120;
+
+/// `xorshift64*`-style PRNG: tiny, seedable, and good enough to spread
+/// fault schedules. The raw seed passes through SplitMix64 first so
+/// adjacent seeds (0, 1, 2, …) still produce unrelated streams.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+/// SplitMix64 step: the standard seed-scrambler (also used to derive
+/// independent per-site streams from one master seed).
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl XorShift64 {
+    /// Seeds the generator (any seed is fine, including 0).
+    pub fn new(seed: u64) -> XorShift64 {
+        let mut s = seed;
+        let scrambled = splitmix64(&mut s);
+        XorShift64 {
+            // xorshift has a fixed point at 0; SplitMix64 maps exactly
+            // one input there, so nudge it.
+            state: if scrambled == 0 { 0x1 } else { scrambled },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// The seed-derived schedule: which faults fire, how often, and the
+/// total number allowed at each site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The master seed the plan (and all streams) derive from.
+    pub seed: u64,
+    /// Per-post chance (‰) a whisper message is silently dropped.
+    pub drop_permille: u32,
+    /// Per-post chance (‰) a message is delivered twice.
+    pub duplicate_permille: u32,
+    /// Per-post chance (‰) one payload byte is flipped in transit.
+    pub corrupt_permille: u32,
+    /// Per-post chance (‰) delivery is held back a few polls.
+    pub delay_permille: u32,
+    /// Per-poll chance (‰) fresh messages arrive shuffled.
+    pub reorder_permille: u32,
+    /// Polls a delayed message is held for (1..=4).
+    pub max_delay_polls: u32,
+    /// Per-submission chance (‰) the node reports a transient failure.
+    pub submit_fail_permille: u32,
+    /// Per-submission chance (‰) mining is preceded by a clock jump.
+    pub mining_delay_permille: u32,
+    /// Size of an injected mining delay in seconds (≤ [`MAX_INJECTED_SECS`]).
+    pub max_mining_delay_secs: u64,
+    /// Total whisper faults allowed before the bus turns perfect.
+    pub whisper_fault_budget: u32,
+    /// Total chain faults allowed before the node turns perfect.
+    pub chain_fault_budget: u32,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: wrappers behave exactly like the wrapped
+    /// components.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            drop_permille: 0,
+            duplicate_permille: 0,
+            corrupt_permille: 0,
+            delay_permille: 0,
+            reorder_permille: 0,
+            max_delay_polls: 0,
+            submit_fail_permille: 0,
+            mining_delay_permille: 0,
+            max_mining_delay_secs: 0,
+            whisper_fault_budget: 0,
+            chain_fault_budget: 0,
+        }
+    }
+
+    /// Derives a complete fault schedule from one seed. Rates are
+    /// aggressive (every site can fire) but budgets are finite and
+    /// delays capped, so every driver loop still terminates within its
+    /// phase window.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let mut s = seed;
+        FaultPlan {
+            seed,
+            drop_permille: (splitmix64(&mut s) % 301) as u32,
+            duplicate_permille: (splitmix64(&mut s) % 201) as u32,
+            corrupt_permille: (splitmix64(&mut s) % 201) as u32,
+            delay_permille: (splitmix64(&mut s) % 301) as u32,
+            reorder_permille: (splitmix64(&mut s) % 401) as u32,
+            max_delay_polls: (splitmix64(&mut s) % 4 + 1) as u32,
+            submit_fail_permille: (splitmix64(&mut s) % 301) as u32,
+            mining_delay_permille: (splitmix64(&mut s) % 301) as u32,
+            max_mining_delay_secs: splitmix64(&mut s) % MAX_INJECTED_SECS + 1,
+            whisper_fault_budget: (splitmix64(&mut s) % 25) as u32,
+            chain_fault_budget: (splitmix64(&mut s) % 13) as u32,
+        }
+    }
+
+    /// An independent PRNG stream for one injection site.
+    fn stream(&self, site: u64) -> XorShift64 {
+        XorShift64::new(self.seed ^ site.wrapping_mul(0xa076_1d64_78bd_642f))
+    }
+}
+
+/// A whisper message held back by a delay fault.
+#[derive(Debug, Clone)]
+struct DelayedMsg {
+    from: Address,
+    topic: String,
+    payload: Vec<u8>,
+    /// Polls of the topic remaining until release.
+    remaining_polls: u32,
+}
+
+/// A [`Whisper`] bus that drops, duplicates, corrupts, delays and
+/// reorders messages per the plan. Derefs to the inner bus for the
+/// read-only API (`history`, `message_count`, …); `post`/`poll` are
+/// shadowed with the faulty versions.
+pub struct FaultyWhisper {
+    inner: Whisper,
+    rng: XorShift64,
+    plan: FaultPlan,
+    budget: u32,
+    delayed: Vec<DelayedMsg>,
+    injected: Vec<String>,
+}
+
+impl FaultyWhisper {
+    /// Wraps a fresh bus under the plan.
+    pub fn new(plan: &FaultPlan) -> FaultyWhisper {
+        FaultyWhisper {
+            inner: Whisper::new(),
+            rng: plan.stream(1),
+            plan: plan.clone(),
+            budget: plan.whisper_fault_budget,
+            delayed: Vec::new(),
+            injected: Vec::new(),
+        }
+    }
+
+    /// A perfect bus (no faults) — what [`FaultyWhisper::new`] with
+    /// [`FaultPlan::none`] gives you.
+    pub fn perfect() -> FaultyWhisper {
+        FaultyWhisper::new(&FaultPlan::none())
+    }
+
+    /// Publishes a message, possibly injecting one fault. One PRNG draw
+    /// decides the fault band so schedules replay exactly.
+    pub fn post(&mut self, from: Address, topic: &str, payload: Vec<u8>) {
+        if self.budget == 0 {
+            self.inner.post(from, topic, payload);
+            return;
+        }
+        let p = &self.plan;
+        let (drop_to, dup_to, corrupt_to, delay_to) = (
+            p.drop_permille,
+            p.drop_permille + p.duplicate_permille,
+            p.drop_permille + p.duplicate_permille + p.corrupt_permille,
+            p.drop_permille + p.duplicate_permille + p.corrupt_permille + p.delay_permille,
+        );
+        let roll = self.rng.below(1000) as u32;
+        if roll < drop_to {
+            self.budget -= 1;
+            self.injected.push(format!("drop {topic}"));
+            // The message vanishes.
+        } else if roll < dup_to {
+            self.budget -= 1;
+            self.injected.push(format!("duplicate {topic}"));
+            self.inner.post(from, topic, payload.clone());
+            self.inner.post(from, topic, payload);
+        } else if roll < corrupt_to && !payload.is_empty() {
+            self.budget -= 1;
+            self.injected.push(format!("corrupt {topic}"));
+            let mut mangled = payload;
+            let i = self.rng.below(mangled.len() as u64) as usize;
+            mangled[i] ^= 0x40;
+            self.inner.post(from, topic, mangled);
+        } else if roll < delay_to {
+            self.budget -= 1;
+            self.injected.push(format!("delay {topic}"));
+            let polls = self.rng.below(self.plan.max_delay_polls.max(1) as u64) as u32 + 1;
+            self.delayed.push(DelayedMsg {
+                from,
+                topic: topic.to_string(),
+                payload,
+                remaining_polls: polls,
+            });
+        } else {
+            self.inner.post(from, topic, payload);
+        }
+    }
+
+    /// Polls for unseen messages, releasing due delayed messages first
+    /// and possibly shuffling the fresh batch.
+    pub fn poll(&mut self, reader: Address, topic: &str) -> Vec<Envelope> {
+        // Age the held-back messages on this topic; release the due ones
+        // into the bus so normal cursor bookkeeping applies.
+        let mut due = Vec::new();
+        self.delayed.retain_mut(|d| {
+            if d.topic != topic {
+                return true;
+            }
+            d.remaining_polls -= 1;
+            if d.remaining_polls == 0 {
+                due.push((d.from, d.topic.clone(), std::mem::take(&mut d.payload)));
+                false
+            } else {
+                true
+            }
+        });
+        for (from, t, payload) in due {
+            self.inner.post(from, &t, payload);
+        }
+
+        let mut fresh = self.inner.poll(reader, topic);
+        if fresh.len() > 1 && self.budget > 0 {
+            let roll = self.rng.below(1000) as u32;
+            if roll < self.plan.reorder_permille {
+                self.budget -= 1;
+                self.injected.push(format!("reorder {topic}"));
+                for i in (1..fresh.len()).rev() {
+                    let j = self.rng.below(i as u64 + 1) as usize;
+                    fresh.swap(i, j);
+                }
+            }
+        }
+        fresh
+    }
+
+    /// Messages currently held back by delay faults.
+    pub fn pending_delayed(&self) -> usize {
+        self.delayed.len()
+    }
+
+    /// Human-readable log of every fault injected so far.
+    pub fn injected_faults(&self) -> &[String] {
+        &self.injected
+    }
+
+    /// Whisper fault budget still unspent.
+    pub fn remaining_budget(&self) -> u32 {
+        self.budget
+    }
+}
+
+impl Deref for FaultyWhisper {
+    type Target = Whisper;
+    fn deref(&self) -> &Whisper {
+        &self.inner
+    }
+}
+
+impl DerefMut for FaultyWhisper {
+    fn deref_mut(&mut self) -> &mut Whisper {
+        &mut self.inner
+    }
+}
+
+/// Errors surfaced by [`FlakyNet`]: either the injected transient kind
+/// (retry and it may succeed) or a real typed rejection from the node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Injected infrastructure failure — the transaction was never
+    /// admitted; retrying is sound.
+    Transient(&'static str),
+    /// The node rejected the transaction for a deterministic reason.
+    Rejected(TxError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Transient(what) => write!(f, "transient network failure: {what}"),
+            NetError::Rejected(e) => write!(f, "rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A [`Testnet`] whose convenience senders fail transiently and whose
+/// mining sometimes happens late, per the plan. Derefs to the inner
+/// chain so the full read API (`balance_of`, `storage_at`, `now`, …)
+/// and manual `advance_time` stay available; `execute`/`deploy` are
+/// shadowed with the flaky versions.
+pub struct FlakyNet {
+    inner: Testnet,
+    rng: XorShift64,
+    plan: FaultPlan,
+    budget: u32,
+    injected: Vec<String>,
+}
+
+impl FlakyNet {
+    /// Wraps an existing chain under the plan.
+    pub fn new(inner: Testnet, plan: &FaultPlan) -> FlakyNet {
+        FlakyNet {
+            inner,
+            rng: plan.stream(2),
+            plan: plan.clone(),
+            budget: plan.chain_fault_budget,
+            injected: Vec::new(),
+        }
+    }
+
+    /// A fault-free wrapper around a fresh chain.
+    pub fn perfect() -> FlakyNet {
+        FlakyNet::new(Testnet::new(), &FaultPlan::none())
+    }
+
+    /// One pre-submission fault decision: `Err` = the submission is
+    /// eaten by a transient failure; `Ok` = proceed (possibly after an
+    /// injected mining delay already applied to the clock).
+    fn pre_submit(&mut self) -> Result<(), NetError> {
+        if self.budget == 0 {
+            return Ok(());
+        }
+        let roll = self.rng.below(1000) as u32;
+        if roll < self.plan.submit_fail_permille {
+            self.budget -= 1;
+            self.injected.push("submit failure".into());
+            return Err(NetError::Transient("submission dropped by the node"));
+        }
+        if roll < self.plan.submit_fail_permille + self.plan.mining_delay_permille {
+            self.budget -= 1;
+            let secs = self
+                .rng
+                .below(self.plan.max_mining_delay_secs.clamp(1, MAX_INJECTED_SECS))
+                + 1;
+            self.injected.push(format!("mining delayed {secs}s"));
+            self.inner.advance_time(secs);
+        }
+        Ok(())
+    }
+
+    /// Like [`Testnet::execute`] but subject to injected faults.
+    pub fn execute(
+        &mut self,
+        wallet: &Wallet,
+        to: Address,
+        value: U256,
+        data: Vec<u8>,
+        gas_limit: u64,
+    ) -> Result<Receipt, NetError> {
+        self.pre_submit()?;
+        self.inner
+            .execute(wallet, to, value, data, gas_limit)
+            .map_err(NetError::Rejected)
+    }
+
+    /// Like [`Testnet::deploy`] but subject to injected faults.
+    pub fn deploy(
+        &mut self,
+        wallet: &Wallet,
+        initcode: Vec<u8>,
+        value: U256,
+        gas_limit: u64,
+    ) -> Result<Receipt, NetError> {
+        self.pre_submit()?;
+        self.inner
+            .deploy(wallet, initcode, value, gas_limit)
+            .map_err(NetError::Rejected)
+    }
+
+    /// Human-readable log of every fault injected so far.
+    pub fn injected_faults(&self) -> &[String] {
+        &self.injected
+    }
+
+    /// Chain fault budget still unspent.
+    pub fn remaining_budget(&self) -> u32 {
+        self.budget
+    }
+}
+
+impl Deref for FlakyNet {
+    type Target = Testnet;
+    fn deref(&self) -> &Testnet {
+        &self.inner
+    }
+}
+
+impl DerefMut for FlakyNet {
+    fn deref_mut(&mut self) -> &mut Testnet {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_primitives::ether;
+
+    fn addr(b: u8) -> Address {
+        Address([b; 20])
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_spreads() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        let mut c = XorShift64::new(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys, "same seed, same stream");
+        assert_ne!(xs, zs, "adjacent seeds diverge");
+        // below() stays in range.
+        for n in [1u64, 2, 7, 1000] {
+            assert!(a.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn plans_replay_from_the_seed() {
+        for seed in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(FaultPlan::from_seed(seed), FaultPlan::from_seed(seed));
+        }
+        assert_ne!(FaultPlan::from_seed(1), FaultPlan::from_seed(2));
+        // Budgets and delays respect the liveness bounds.
+        for seed in 0..256u64 {
+            let p = FaultPlan::from_seed(seed);
+            assert!(p.whisper_fault_budget <= 24);
+            assert!(p.chain_fault_budget <= 12);
+            assert!(p.max_mining_delay_secs <= MAX_INJECTED_SECS);
+            assert!((1..=4).contains(&p.max_delay_polls));
+        }
+    }
+
+    #[test]
+    fn faultless_plan_is_transparent() {
+        let mut w = FaultyWhisper::perfect();
+        w.post(addr(1), "t", vec![1, 2, 3]);
+        w.post(addr(2), "t", vec![4]);
+        let got = w.poll(addr(3), "t");
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].payload, vec![1, 2, 3]);
+        assert_eq!(got[1].payload, vec![4]);
+        assert!(w.injected_faults().is_empty());
+        assert_eq!(w.message_count(), 2, "Deref read API works");
+    }
+
+    #[test]
+    fn whisper_faults_are_deterministic_and_budgeted() {
+        let plan = FaultPlan::from_seed(0x5eed);
+        let run = |plan: &FaultPlan| {
+            let mut w = FaultyWhisper::new(plan);
+            let mut seen = Vec::new();
+            for i in 0..200u8 {
+                w.post(addr(1), "t", vec![i]);
+                for e in w.poll(addr(2), "t") {
+                    seen.push(e.payload);
+                }
+            }
+            // Drain any remaining delayed messages.
+            for _ in 0..8 {
+                for e in w.poll(addr(2), "t") {
+                    seen.push(e.payload);
+                }
+            }
+            (seen, w.injected_faults().to_vec())
+        };
+        let (seen_a, faults_a) = run(&plan);
+        let (seen_b, faults_b) = run(&plan);
+        assert_eq!(seen_a, seen_b, "same seed, same delivery");
+        assert_eq!(faults_a, faults_b, "same seed, same fault log");
+        assert!(
+            faults_a.len() as u32 <= plan.whisper_fault_budget,
+            "budget caps the fault count"
+        );
+        // After the budget is spent the bus is perfect again: a fresh
+        // message round-trips untouched.
+        let mut w = FaultyWhisper::new(&plan);
+        for i in 0..200u8 {
+            w.post(addr(1), "t", vec![i]);
+            w.poll(addr(2), "t");
+        }
+        assert_eq!(w.remaining_budget(), 0, "aggressive plan spends it all");
+        w.post(addr(1), "t", vec![0xaa]);
+        let got = w.poll(addr(2), "t");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, vec![0xaa]);
+    }
+
+    #[test]
+    fn delayed_messages_are_eventually_released() {
+        let plan = FaultPlan {
+            seed: 7,
+            delay_permille: 1000,
+            max_delay_polls: 3,
+            whisper_fault_budget: 1,
+            ..FaultPlan::none()
+        };
+        let mut w = FaultyWhisper::new(&plan);
+        w.post(addr(1), "t", vec![9]);
+        assert_eq!(w.pending_delayed(), 1);
+        let mut polls = 0;
+        loop {
+            polls += 1;
+            if !w.poll(addr(2), "t").is_empty() {
+                break;
+            }
+            assert!(polls <= 4, "must release within max_delay_polls");
+        }
+        assert_eq!(w.pending_delayed(), 0);
+    }
+
+    #[test]
+    fn flaky_net_injects_then_recovers() {
+        let plan = FaultPlan {
+            seed: 11,
+            submit_fail_permille: 1000,
+            chain_fault_budget: 2,
+            ..FaultPlan::none()
+        };
+        let mut net = FlakyNet::new(Testnet::new(), &plan);
+        let w = net.funded_wallet("w", ether(10));
+        // First two sends are eaten; the third lands (budget spent).
+        let mut transients = 0;
+        let mut landed = false;
+        for _ in 0..4 {
+            match net.execute(&w, addr(9), ether(1), Vec::new(), 21_000) {
+                Err(NetError::Transient(_)) => transients += 1,
+                Ok(r) => {
+                    assert!(r.success);
+                    landed = true;
+                    break;
+                }
+                Err(NetError::Rejected(e)) => panic!("unexpected rejection: {e}"),
+            }
+        }
+        assert_eq!(transients, 2, "budget bounds the transient failures");
+        assert!(landed, "a perfect node remains after the budget");
+        assert_eq!(net.balance_of(addr(9)), ether(1), "Deref read API works");
+    }
+
+    #[test]
+    fn mining_delay_moves_the_clock_but_lands_the_tx() {
+        let plan = FaultPlan {
+            seed: 13,
+            mining_delay_permille: 1000,
+            max_mining_delay_secs: 50,
+            chain_fault_budget: 1,
+            ..FaultPlan::none()
+        };
+        let mut net = FlakyNet::new(Testnet::new(), &plan);
+        let w = net.funded_wallet("w", ether(10));
+        let before = net.now();
+        let r = net
+            .execute(&w, addr(9), ether(1), Vec::new(), 21_000)
+            .unwrap();
+        assert!(r.success);
+        let jump = net.now() - before;
+        assert!(
+            jump > 4 && jump <= 50 + 4,
+            "clock jumped by the injected delay: {jump}"
+        );
+        assert_eq!(net.injected_faults().len(), 1);
+    }
+
+    #[test]
+    fn typed_rejection_passes_through() {
+        let mut net = FlakyNet::perfect();
+        let poor = Wallet::from_seed("poor");
+        let got = net.execute(&poor, addr(9), ether(1), Vec::new(), 21_000);
+        assert_eq!(
+            got,
+            Err(NetError::Rejected(TxError::InsufficientFunds)),
+            "real node errors stay typed, never panic"
+        );
+    }
+}

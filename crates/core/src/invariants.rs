@@ -1,0 +1,125 @@
+//! Post-run invariants of the protocol: what must hold after every game
+//! no matter which faults were injected or which strategies were played.
+//!
+//! Three claims are checked by the chaos suite after each run:
+//!
+//! 1. **Ether conservation** — the EVM and gas settlement only ever
+//!    *move* wei, so the sum over all accounts equals the chain's total
+//!    minted supply.
+//! 2. **Honest floor** — an honest participant never ends worse than
+//!    `initial − deposit − gas`: the worst admissible outcome is losing
+//!    the staked deposit plus the gas they chose to spend, never more.
+//! 3. **Termination** — the driver returned a valid `Outcome` at all
+//!    (enforced by the type system; the suite additionally checks the
+//!    report is self-consistent).
+
+use sc_chain::Testnet;
+use sc_primitives::{Address, U256};
+use std::fmt;
+
+/// A violated invariant, with enough context to debug the seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation(pub String);
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant violated: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Ether conservation: Σ balances == total minted. Holds after every
+/// block because execution and gas settlement are pure transfers.
+pub fn check_conservation(net: &Testnet) -> Result<(), InvariantViolation> {
+    let total = net.state.total_balance();
+    let minted = net.total_minted();
+    if total == minted {
+        Ok(())
+    } else {
+        Err(InvariantViolation(format!(
+            "ether not conserved: accounts hold {total}, minted {minted}"
+        )))
+    }
+}
+
+/// The honest floor: `final >= initial − deposit − gas_spent`.
+///
+/// `deposit` is the maximum stake the participant ever had at risk
+/// (1 ether for the betting game, 1.1 ether for the challenge variant);
+/// `gas_spent` is the wei they paid miners across their transactions.
+pub fn check_honest_floor(
+    who: &str,
+    initial: U256,
+    final_balance: U256,
+    deposit: U256,
+    gas_spent: U256,
+) -> Result<(), InvariantViolation> {
+    let floor = initial.wrapping_sub(deposit).wrapping_sub(gas_spent);
+    if final_balance >= floor {
+        Ok(())
+    } else {
+        Err(InvariantViolation(format!(
+            "honest participant {who} below the floor: final {final_balance} < \
+             initial {initial} − deposit {deposit} − gas {gas_spent}"
+        )))
+    }
+}
+
+/// Wei paid to miners for a set of `(sender, gas_used)` transaction
+/// records at a uniform gas price.
+pub fn gas_spent_by<'a>(
+    txs: impl IntoIterator<Item = (Address, &'a u64)>,
+    who: Address,
+    gas_price: U256,
+) -> U256 {
+    let total: u64 = txs
+        .into_iter()
+        .filter(|(sender, _)| *sender == who)
+        .map(|(_, gas)| *gas)
+        .sum();
+    U256::from_u64(total).wrapping_mul(gas_price)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_primitives::ether;
+
+    #[test]
+    fn conservation_holds_on_a_fresh_chain_and_after_transfers() {
+        let mut net = Testnet::new();
+        check_conservation(&net).unwrap();
+        let a = net.funded_wallet("a", ether(5));
+        check_conservation(&net).unwrap();
+        let r = net
+            .execute(&a, Address([9; 20]), ether(1), Vec::new(), 21_000)
+            .unwrap();
+        assert!(r.success);
+        check_conservation(&net).unwrap();
+    }
+
+    #[test]
+    fn floor_accepts_the_worst_legal_outcome_and_rejects_worse() {
+        let initial = ether(1000);
+        let deposit = ether(1);
+        let gas = U256::from_u64(100_000);
+        // Exactly at the floor: lost the deposit plus gas.
+        let floor = initial.wrapping_sub(deposit).wrapping_sub(gas);
+        check_honest_floor("p", initial, floor, deposit, gas).unwrap();
+        // One wei below is a violation.
+        let below = floor.wrapping_sub(U256::ONE);
+        assert!(check_honest_floor("p", initial, below, deposit, gas).is_err());
+        // Winning is obviously fine.
+        check_honest_floor("p", initial, initial.wrapping_add(deposit), deposit, gas).unwrap();
+    }
+
+    #[test]
+    fn gas_attribution_filters_by_sender() {
+        let alice = Address([1; 20]);
+        let bob = Address([2; 20]);
+        let txs = [(alice, 100u64), (bob, 50), (alice, 25)];
+        let spent = gas_spent_by(txs.iter().map(|(s, g)| (*s, g)), alice, U256::from_u64(2));
+        assert_eq!(spent, U256::from_u64(250));
+    }
+}

@@ -13,12 +13,20 @@
 //!   the chain simulator, with per-stage gas and privacy accounting.
 //! * [`challenge_protocol`] — extension: the paper's submit/challenge
 //!   stage implemented literally (representative submission, challenge
-//!   window, security-deposit penalties).
+//!   window, security-deposit penalties), with crash-resilient
+//!   escalation past the stale deadline.
+//! * [`faults`] — deterministic fault injection: a seeded PRNG schedule
+//!   of message drops/duplicates/reorders/corruption/delays and
+//!   transient chain failures, wrapped around the bus and the testnet.
+//! * [`invariants`] — post-run checks (ether conservation, the honest
+//!   participant floor) used by the chaos suite.
 
 #![warn(missing_docs)]
 
 pub mod challenge_protocol;
+pub mod faults;
 pub mod generate;
+pub mod invariants;
 pub mod participant;
 pub mod protocol;
 pub mod signedcopy;
@@ -26,9 +34,12 @@ pub mod splitter;
 pub mod whisper;
 
 pub use challenge_protocol::{
-    ChallengeGame, ChallengeOutcome, ChallengeReport, SubmitStrategy, WatchStrategy,
+    ChallengeGame, ChallengeOutcome, ChallengeReport, ChallengeTx, CrashPoint, SubmitStrategy,
+    WatchStrategy,
 };
+pub use faults::{FaultPlan, FaultyWhisper, FlakyNet, NetError, XorShift64, MAX_INJECTED_SECS};
 pub use generate::{generate_pair, GenerateError, GeneratedPair};
+pub use invariants::{check_conservation, check_honest_floor, gas_spent_by, InvariantViolation};
 pub use participant::{Participant, Strategy};
 pub use protocol::{
     BettingGame, GameConfig, Outcome, ProtocolError, ProtocolReport, Stage, TxRecord,

@@ -15,17 +15,45 @@
 //!    submits the signed copy to `deployVerifiedInstance`, the verified
 //!    instance is CREATEd on-chain, and `returnDisputeResolution` makes
 //!    miners recompute `reveal()` and enforce the transfer.
+//!
+//! The driver is an event loop over the T1–T3 deadlines, not a straight
+//! script: whisper messages are re-posted in bounded rounds until both
+//! sides hold a valid signed copy or the T1 deadline forces an abort;
+//! every on-chain send retries transient network failures with capped
+//! exponential backoff; and a step that misses its contract window
+//! degrades to the next safe path (missed signatures → abort before any
+//! deposit, missed deposits → round-two refunds, missed `reassign` →
+//! the winner escalates to `deployVerifiedInstance`). Under a
+//! [`FaultPlan`] with its finite budgets this guarantees every game
+//! terminates in a valid [`Outcome`].
 
+use crate::faults::{FaultPlan, FaultyWhisper, FlakyNet, NetError, MAX_INJECTED_SECS};
 use crate::participant::{Participant, Strategy};
-use crate::signedcopy::{sign_bytecode, SignedCopy};
-use crate::whisper::Whisper;
-use sc_chain::{Receipt, Testnet, Wallet};
+use crate::signedcopy::{bytecode_hash, sign_bytecode, SignedCopy};
+use sc_chain::{Receipt, TxError, Wallet};
 use sc_contracts::{BetSecrets, OffChainContract, OnChainContract, Timeline, DEPLOYED_ADDR_SLOT};
+use sc_crypto::ecdsa::{recover_address, Signature};
 use sc_primitives::{ether, Address, U256};
 use std::fmt;
 
 /// Whisper topic used to exchange signatures.
 pub const SIGNATURE_TOPIC: &str = "betting/signed-copy";
+
+/// Most on-chain sends attempted per step. Far above any fault budget,
+/// so exhaustion implies a deterministic failure, not bad luck.
+const MAX_ATTEMPTS: u32 = 64;
+
+/// First retry backoff in seconds (doubles, capped at
+/// [`MAX_INJECTED_SECS`]).
+const BACKOFF_BASE_SECS: u64 = 15;
+
+/// Simulated seconds between signature-exchange rounds.
+const SIGN_ROUND_SECS: u64 = 30;
+
+/// Signature-exchange rounds before an honest participant gives up.
+/// Exceeds any whisper fault budget's ability to suppress a re-posted
+/// signature, and `16 × 30s` stays well inside the pre-T1 phase.
+const MAX_SIGN_ROUNDS: u32 = 16;
 
 /// Protocol stages (Fig. 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -121,6 +149,16 @@ impl ProtocolReport {
             .find(|t| t.label == label && t.success)
             .map(|t| t.gas_used)
     }
+
+    /// Total gas units sent by one address (successful or not — failed
+    /// transactions are paid for too).
+    pub fn gas_spent_by(&self, who: Address) -> u64 {
+        self.txs
+            .iter()
+            .filter(|t| t.sender == who)
+            .map(|t| t.gas_used)
+            .sum()
+    }
 }
 
 /// Protocol-level failures (distinct from failed-but-expected txs).
@@ -165,12 +203,20 @@ impl Default for GameConfig {
     }
 }
 
+/// Result of one retrying send: the transaction either landed (possibly
+/// reverting), missed its contract window, or was rejected outright.
+enum TxAttempt {
+    Landed(Receipt),
+    DeadlineMissed,
+    Rejected(TxError),
+}
+
 /// The protocol engine for one two-party betting game.
 pub struct BettingGame {
-    /// The chain.
-    pub net: Testnet,
-    /// The off-chain message bus.
-    pub whisper: Whisper,
+    /// The chain (possibly flaky — [`FaultPlan::none`] makes it perfect).
+    pub net: FlakyNet,
+    /// The off-chain message bus (possibly faulty).
+    pub whisper: FaultyWhisper,
     /// Compiled on-chain contract + ABI.
     pub onchain_abi: OnChainContract,
     /// Compiled off-chain contract + ABI.
@@ -191,10 +237,22 @@ pub struct BettingGame {
 }
 
 impl BettingGame {
-    /// Stage 1 — split/generate: sets up the chain, compiles both
-    /// contracts and builds the off-chain initcode.
+    /// Stage 1 — split/generate on a perfect network: sets up the
+    /// chain, compiles both contracts and builds the off-chain initcode.
     pub fn new(alice: Participant, bob: Participant, config: GameConfig) -> BettingGame {
-        let mut net = Testnet::new();
+        BettingGame::with_faults(alice, bob, config, &FaultPlan::none())
+    }
+
+    /// Stage 1 under a fault schedule: same setup, but every whisper
+    /// message and chain submission passes through the seeded fault
+    /// injectors.
+    pub fn with_faults(
+        alice: Participant,
+        bob: Participant,
+        config: GameConfig,
+        plan: &FaultPlan,
+    ) -> BettingGame {
+        let mut net = FlakyNet::new(sc_chain::Testnet::new(), plan);
         net.faucet(alice.wallet.address, ether(1000));
         net.faucet(bob.wallet.address, ether(1000));
         let timeline = Timeline::starting_at(net.now(), config.phase_seconds);
@@ -204,7 +262,7 @@ impl BettingGame {
             offchain_abi.initcode(alice.wallet.address, bob.wallet.address, config.secrets);
         BettingGame {
             net,
-            whisper: Whisper::new(),
+            whisper: FaultyWhisper::new(plan),
             onchain_abi,
             offchain_abi,
             alice,
@@ -228,98 +286,162 @@ impl BettingGame {
         });
     }
 
+    /// Sends a transaction, retrying transient network failures with
+    /// capped exponential backoff until it lands, the window closes, or
+    /// the node returns a deterministic rejection. Every landed receipt
+    /// (even a revert) is recorded in the ledger.
     #[allow(clippy::too_many_arguments)] // mirrors the tx fields one-to-one
-    fn execute(
+    fn send_with_retry(
         &mut self,
         stage: Stage,
         label: &str,
         wallet: &Wallet,
-        to: Address,
+        to: Option<Address>,
         value: U256,
         data: Vec<u8>,
         gas: u64,
-    ) -> Receipt {
-        let receipt = self
-            .net
-            .execute(wallet, to, value, data, gas)
-            .expect("tx admission");
-        self.record(stage, label, wallet.address, &receipt);
-        receipt
+        deadline: Option<u64>,
+    ) -> TxAttempt {
+        let mut backoff = BACKOFF_BASE_SECS;
+        for _ in 0..MAX_ATTEMPTS {
+            if let Some(d) = deadline {
+                if self.net.now() >= d {
+                    return TxAttempt::DeadlineMissed;
+                }
+            }
+            let sent = match to {
+                Some(to) => self.net.execute(wallet, to, value, data.clone(), gas),
+                None => self.net.deploy(wallet, data.clone(), value, gas),
+            };
+            match sent {
+                Ok(receipt) => {
+                    self.record(stage, label, wallet.address, &receipt);
+                    return TxAttempt::Landed(receipt);
+                }
+                Err(NetError::Transient(_)) => {
+                    // The injected failure consumed fault budget; wait it
+                    // out and try again.
+                    self.net.advance_time(backoff);
+                    backoff = (backoff * 2).min(MAX_INJECTED_SECS);
+                }
+                Err(NetError::Rejected(e)) => return TxAttempt::Rejected(e),
+            }
+        }
+        // Unreachable while MAX_ATTEMPTS exceeds every fault budget, but
+        // bounded regardless: a stage can stall, never hang.
+        TxAttempt::DeadlineMissed
     }
 
     /// Stage 2 — deploy/sign. Returns `false` when an honest participant
-    /// aborts because the signature exchange failed.
+    /// aborts because the signature exchange failed (missing, tampered,
+    /// or undeliverable signatures by the T1 deadline).
     pub fn deploy_and_sign(&mut self) -> Result<bool, ProtocolError> {
-        // Alice deploys the on-chain contract.
+        // Alice deploys the on-chain contract. Must land before T1 or
+        // the game cannot proceed to deposits.
         let initcode = self.onchain_abi.initcode(
             self.alice.wallet.address,
             self.bob.wallet.address,
             self.timeline,
         );
         let wallet = self.alice.wallet.clone();
-        let receipt = self
-            .net
-            .deploy(&wallet, initcode, U256::ZERO, 5_000_000)
-            .expect("deploy admission");
-        self.record(
+        match self.send_with_retry(
             Stage::DeploySign,
             "deploy onChain",
-            wallet.address,
-            &receipt,
-        );
-        if !receipt.success {
-            return Err(ProtocolError::TxFailed("deploy onChain".into()));
-        }
-        self.onchain_addr = receipt.contract_address;
-
-        // Signature exchange over Whisper.
-        for p in [self.alice.clone(), self.bob.clone()] {
-            match p.strategy {
-                Strategy::RefusesToSign => {} // posts nothing
-                Strategy::SignsTampered => {
-                    let mut tampered = self.offchain_bytecode.clone();
-                    // Flip the last byte of the baked-in secret.
-                    let last = tampered.len() - 1;
-                    tampered[last] ^= 0xff;
-                    let sig = sign_bytecode(&p.wallet.key, &tampered);
-                    self.whisper
-                        .post(p.wallet.address, SIGNATURE_TOPIC, sig.to_bytes().to_vec());
-                }
-                _ => {
-                    let sig = sign_bytecode(&p.wallet.key, &self.offchain_bytecode);
-                    self.whisper
-                        .post(p.wallet.address, SIGNATURE_TOPIC, sig.to_bytes().to_vec());
-                }
+            &wallet,
+            None,
+            U256::ZERO,
+            initcode,
+            5_000_000,
+            Some(self.timeline.t1),
+        ) {
+            TxAttempt::Landed(r) if r.success => self.onchain_addr = r.contract_address,
+            TxAttempt::Landed(_) => {
+                return Err(ProtocolError::TxFailed("deploy onChain".into()));
+            }
+            TxAttempt::DeadlineMissed => return Ok(false),
+            TxAttempt::Rejected(e) => {
+                return Err(ProtocolError::TxFailed(format!("deploy onChain: {e}")));
             }
         }
 
-        // Each honest participant assembles and verifies the signed copy.
+        // Signature exchange: bounded rounds of re-post + poll until
+        // both participants hold a valid signature from each side, the
+        // rounds run out, or T1 arrives. A Byzantine signer posts
+        // garbage (or nothing) every round; an honest signer's message
+        // may be dropped, delayed or corrupted in transit — re-posting
+        // plus per-candidate verification recovers from all of it.
         let expected = [self.alice.wallet.address, self.bob.wallet.address];
-        for me in [self.alice.wallet.address, self.bob.wallet.address] {
-            let envelopes = self.whisper.poll(me, SIGNATURE_TOPIC);
-            // Order signatures by participant index.
-            let mut sigs = vec![None, None];
-            for env in envelopes {
-                if let Ok(sig) = sc_crypto::Signature::from_bytes(&env.payload) {
-                    if env.from == expected[0] {
-                        sigs[0] = Some(sig);
-                    } else if env.from == expected[1] {
-                        sigs[1] = Some(sig);
+        let digest = bytecode_hash(&self.offchain_bytecode);
+        let mut seen: [[Option<Signature>; 2]; 2] = [[None, None], [None, None]];
+        let complete =
+            |seen: &[[Option<Signature>; 2]; 2]| seen.iter().flatten().all(Option::is_some);
+        for round in 0..MAX_SIGN_ROUNDS {
+            if self.net.now() + SIGN_ROUND_SECS >= self.timeline.t1 {
+                break;
+            }
+            for p in [self.alice.clone(), self.bob.clone()] {
+                match p.strategy {
+                    Strategy::RefusesToSign => {} // posts nothing, every round
+                    Strategy::SignsTampered => {
+                        let mut tampered = self.offchain_bytecode.clone();
+                        // Flip the last byte of the baked-in secret.
+                        let last = tampered.len() - 1;
+                        tampered[last] ^= 0xff;
+                        let sig = sign_bytecode(&p.wallet.key, &tampered);
+                        self.whisper.post(
+                            p.wallet.address,
+                            SIGNATURE_TOPIC,
+                            sig.to_bytes().to_vec(),
+                        );
+                    }
+                    _ => {
+                        let sig = sign_bytecode(&p.wallet.key, &self.offchain_bytecode);
+                        self.whisper.post(
+                            p.wallet.address,
+                            SIGNATURE_TOPIC,
+                            sig.to_bytes().to_vec(),
+                        );
                     }
                 }
             }
-            let Some(copy) = sigs
-                .into_iter()
-                .collect::<Option<Vec<_>>>()
-                .map(|signatures| SignedCopy {
-                    bytecode: self.offchain_bytecode.clone(),
-                    signatures,
-                })
-            else {
-                return Ok(false); // missing signature: abort before deposits
+            for (reader, me) in expected.into_iter().enumerate() {
+                for env in self.whisper.poll(me, SIGNATURE_TOPIC) {
+                    let Ok(sig) = Signature::from_bytes(&env.payload) else {
+                        continue; // truncated or corrupted beyond parsing
+                    };
+                    for (i, &who) in expected.iter().enumerate() {
+                        // A candidate counts only if it claims the right
+                        // sender AND cryptographically recovers to them —
+                        // corruption and tampering both fail here.
+                        if env.from == who
+                            && seen[reader][i].is_none()
+                            && recover_address(digest, &sig) == Ok(who)
+                        {
+                            seen[reader][i] = Some(sig);
+                        }
+                    }
+                }
+            }
+            if complete(&seen) {
+                break;
+            }
+            if round + 1 < MAX_SIGN_ROUNDS {
+                self.net.advance_time(SIGN_ROUND_SECS);
+            }
+        }
+        if !complete(&seen) {
+            return Ok(false); // abort: missing/invalid signatures by the deadline
+        }
+
+        // Each participant's assembled copy passes full verification
+        // (the off-chain mirror of deployVerifiedInstance's checks).
+        for assembled in seen {
+            let copy = SignedCopy {
+                bytecode: self.offchain_bytecode.clone(),
+                signatures: assembled.into_iter().flatten().collect(),
             };
             if copy.verify(&expected).is_err() {
-                return Ok(false); // tampered signature detected off-chain
+                return Ok(false);
             }
         }
         Ok(true)
@@ -333,8 +455,8 @@ impl BettingGame {
         )
     }
 
-    /// Stage 3 (first half) — deposits. Returns the participants that
-    /// actually deposited.
+    /// Stage 3 (first half) — deposits, each retried up to the T1
+    /// deadline. Returns the participants whose deposit landed.
     pub fn deposits(&mut self) -> (bool, bool) {
         let mut made = [false, false];
         let onchain = self.onchain_addr.expect("deployed");
@@ -346,21 +468,27 @@ impl BettingGame {
                 continue;
             }
             let data = self.onchain_abi.deposit();
-            let r = self.execute(
-                Stage::SubmitChallenge,
-                "deposit",
-                &p.wallet,
-                onchain,
-                ether(1),
-                data,
-                300_000,
+            made[i] = matches!(
+                self.send_with_retry(
+                    Stage::SubmitChallenge,
+                    "deposit",
+                    &p.wallet,
+                    Some(onchain),
+                    ether(1),
+                    data,
+                    300_000,
+                    Some(self.timeline.t1),
+                ),
+                TxAttempt::Landed(r) if r.success
             );
-            made[i] = r.success;
         }
         (made[0], made[1])
     }
 
     /// Refund path when deposits were incomplete (Table I rules 2–3).
+    /// Round-two refunds must land inside the (T1, T2) window; a refund
+    /// that misses it leaves the wei in the contract (the depositor is
+    /// still no worse off than deposit-minus-gas).
     pub fn refund_incomplete(&mut self, alice_deposited: bool, bob_deposited: bool) {
         let onchain = self.onchain_addr.expect("deployed");
         // Move into (T1, T2).
@@ -371,16 +499,16 @@ impl BettingGame {
         ] {
             if deposited {
                 let data = self.onchain_abi.refund_round_two();
-                let r = self.execute(
+                self.send_with_retry(
                     Stage::SubmitChallenge,
                     "refundRoundTwo",
                     &p.wallet,
-                    onchain,
+                    Some(onchain),
                     U256::ZERO,
                     data,
                     300_000,
+                    Some(self.timeline.t2),
                 );
-                debug_assert!(r.success);
             }
         }
     }
@@ -428,26 +556,37 @@ impl BettingGame {
         self.advance_past(self.timeline.t2);
 
         if !loser.strategy.disputes_result() {
-            // Honest loser concedes.
+            // Honest loser concedes — but reassign only counts if it
+            // lands inside (T2, T3). A missed window (injected delays)
+            // degrades to the dispute path below.
             let onchain = self.onchain_addr.expect("deployed");
             let data = self.onchain_abi.reassign();
-            let r = self.execute(
+            match self.send_with_retry(
                 Stage::SubmitChallenge,
                 "reassign",
                 &loser.wallet,
-                onchain,
+                Some(onchain),
                 U256::ZERO,
                 data,
                 300_000,
-            );
-            if !r.success {
-                return Err(ProtocolError::TxFailed("reassign".into()));
+                Some(self.timeline.t3),
+            ) {
+                TxAttempt::Landed(r) if r.success => {
+                    let report = self.build_report(Outcome::SettledHonestly, false, winner_is_bob);
+                    return Ok((self, report));
+                }
+                TxAttempt::Rejected(e) => {
+                    return Err(ProtocolError::TxFailed(format!("reassign: {e}")));
+                }
+                // A reverted reassign (e.g. a mining delay pushed the
+                // block past T3) or a missed deadline: fall through to
+                // the dispute path — the winner can always enforce.
+                TxAttempt::Landed(_) | TxAttempt::DeadlineMissed => {}
             }
-            let report = self.build_report(Outcome::SettledHonestly, false, winner_is_bob);
-            return Ok((self, report));
         }
 
-        // Stage 4: dispute/resolve after T3.
+        // Stage 4: dispute/resolve after T3. The window is unbounded, so
+        // with a finite fault budget these sends always land eventually.
         self.advance_past(self.timeline.t3);
         let onchain = self.onchain_addr.expect("deployed");
 
@@ -462,19 +601,21 @@ impl BettingGame {
             let data = self
                 .onchain_abi
                 .deploy_verified_instance(&forged, &own_sig, &own_sig);
-            let r = self.execute(
+            if let TxAttempt::Landed(r) = self.send_with_retry(
                 Stage::DisputeResolve,
                 "deployVerifiedInstance (forged)",
                 &loser.wallet,
-                onchain,
+                Some(onchain),
                 U256::ZERO,
                 data,
                 8_000_000,
-            );
-            assert!(
-                !r.success,
-                "forged bytecode must fail on-chain signature verification"
-            );
+                None,
+            ) {
+                assert!(
+                    !r.success,
+                    "forged bytecode must fail on-chain signature verification"
+                );
+            }
         }
 
         // The honest winner submits the true signed copy.
@@ -485,17 +626,18 @@ impl BettingGame {
             &copy.signatures[0],
             &copy.signatures[1],
         );
-        let r = self.execute(
+        match self.send_with_retry(
             Stage::DisputeResolve,
             "deployVerifiedInstance",
             &winner.wallet,
-            onchain,
+            Some(onchain),
             U256::ZERO,
             data,
             8_000_000,
-        );
-        if !r.success {
-            return Err(ProtocolError::TxFailed("deployVerifiedInstance".into()));
+            None,
+        ) {
+            TxAttempt::Landed(r) if r.success => {}
+            _ => return Err(ProtocolError::TxFailed("deployVerifiedInstance".into())),
         }
 
         // Read deployedAddr from the on-chain contract's storage.
@@ -509,17 +651,18 @@ impl BettingGame {
 
         // Anyone certified can now trigger the miner-enforced resolution.
         let data = self.offchain_abi.return_dispute_resolution(onchain);
-        let r = self.execute(
+        match self.send_with_retry(
             Stage::DisputeResolve,
             "returnDisputeResolution",
             &winner.wallet,
-            instance,
+            Some(instance),
             U256::ZERO,
             data,
             8_000_000,
-        );
-        if !r.success {
-            return Err(ProtocolError::TxFailed("returnDisputeResolution".into()));
+            None,
+        ) {
+            TxAttempt::Landed(r) if r.success => {}
+            _ => return Err(ProtocolError::TxFailed("returnDisputeResolution".into())),
         }
 
         let report = self.build_report(Outcome::SettledByDispute, true, winner_is_bob);

@@ -27,6 +27,10 @@ pub struct Envelope {
 pub struct Whisper {
     topics: HashMap<String, Vec<Envelope>>,
     cursors: HashMap<(Address, String), usize>,
+    /// Envelopes cloned out of the bus by `poll`, ever. A poll clones
+    /// only the reader's unseen tail, so across any call sequence this is
+    /// Σ(new messages per poll), not Σ(topic length per poll).
+    cloned: usize,
 }
 
 impl Whisper {
@@ -48,11 +52,17 @@ impl Whisper {
     }
 
     /// Drains messages on `topic` that `reader` has not seen yet.
+    ///
+    /// Clones only the unseen tail past the reader's cursor — O(new
+    /// messages), not O(topic length) — so long-lived readers polling a
+    /// busy topic don't re-copy the whole history every call.
     pub fn poll(&mut self, reader: Address, topic: &str) -> Vec<Envelope> {
-        let msgs = self.topics.get(topic).cloned().unwrap_or_default();
+        let msgs = self.topics.get(topic).map_or(&[][..], Vec::as_slice);
+        let total = msgs.len();
         let cursor = self.cursors.entry((reader, topic.to_string())).or_insert(0);
-        let new = msgs[(*cursor).min(msgs.len())..].to_vec();
-        *cursor = msgs.len();
+        let new = msgs[(*cursor).min(total)..].to_vec();
+        *cursor = total;
+        self.cloned += new.len();
         new
     }
 
@@ -64,6 +74,12 @@ impl Whisper {
     /// Total messages across all topics (diagnostics).
     pub fn message_count(&self) -> usize {
         self.topics.values().map(Vec::len).sum()
+    }
+
+    /// Total envelopes ever cloned out by [`Whisper::poll`] (diagnostics;
+    /// pins the O(new)-per-poll behaviour in a regression test).
+    pub fn envelopes_cloned(&self) -> usize {
+        self.cloned
     }
 }
 
@@ -109,6 +125,32 @@ mod tests {
         assert_eq!(h[0].from, addr(1));
         assert_eq!(h[1].from, addr(2));
         assert_eq!(w.message_count(), 2);
+    }
+
+    #[test]
+    fn poll_clones_only_the_unseen_tail() {
+        // Regression: `poll` used to clone the entire topic history on
+        // every call (O(total)), only to slice it afterwards. Pin the
+        // O(new) behaviour by counting cloned envelopes.
+        let mut w = Whisper::new();
+        for i in 0..100u8 {
+            w.post(addr(1), "busy", vec![i]);
+        }
+        assert_eq!(w.poll(addr(2), "busy").len(), 100);
+        assert_eq!(w.envelopes_cloned(), 100);
+        // A long-lived reader polling a busy topic: each poll must copy
+        // only the one new message, not the whole history again.
+        for i in 0..10u8 {
+            w.post(addr(1), "busy", vec![100 + i]);
+            assert_eq!(w.poll(addr(2), "busy").len(), 1);
+        }
+        // O(new): 100 + 10×1. The old O(total) code would have cloned
+        // 100 + (101 + 102 + … + 110) = 1265.
+        assert_eq!(w.envelopes_cloned(), 110);
+        assert_eq!(w.message_count(), 110);
+        // Empty re-poll clones nothing.
+        assert!(w.poll(addr(2), "busy").is_empty());
+        assert_eq!(w.envelopes_cloned(), 110);
     }
 
     #[test]

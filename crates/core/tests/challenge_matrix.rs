@@ -1,0 +1,127 @@
+//! The full submit/challenge strategy matrix: every combination of
+//! SubmitStrategy × WatchStrategy × CrashPoint terminates in exactly the
+//! expected outcome, and ether is conserved in every cell — including
+//! the design's accepted residual risk (`LieStood`).
+
+use sc_contracts::BetSecrets;
+use sc_core::{
+    check_conservation, ChallengeGame, ChallengeOutcome, CrashPoint, SubmitStrategy, WatchStrategy,
+};
+use sc_primitives::U256;
+
+const WINDOW: u64 = 1800;
+
+fn secrets_bob_wins() -> BetSecrets {
+    let mut s = BetSecrets {
+        secret_a: U256::from_u64(21),
+        secret_b: U256::from_u64(22),
+        weight: 16,
+    };
+    while !s.winner_is_bob() {
+        s.secret_a = s.secret_a.wrapping_add(U256::ONE);
+    }
+    s
+}
+
+fn run_cell(submit: SubmitStrategy, watch: WatchStrategy, crash: CrashPoint) -> ChallengeOutcome {
+    let game = ChallengeGame::new(secrets_bob_wins(), WINDOW);
+    let (game, report) = game.run_with_crash(submit, watch, crash);
+    check_conservation(&game.net).unwrap_or_else(|e| {
+        panic!("cell ({submit:?}, {watch:?}, {crash:?}): {e}");
+    });
+    // Every recorded tx has a sender who is one of the two participants.
+    for tx in &report.txs {
+        assert!(
+            tx.sender == game.alice.wallet.address || tx.sender == game.bob.wallet.address,
+            "unknown sender in {:?}",
+            tx.label
+        );
+    }
+    report.outcome
+}
+
+#[test]
+fn no_crash_matrix() {
+    use ChallengeOutcome::*;
+    use SubmitStrategy::*;
+    use WatchStrategy::*;
+    let expectations = [
+        (Truthful, Vigilant, FinalizedUnchallenged),
+        (Truthful, Asleep, FinalizedUnchallenged),
+        (Truthful, Frivolous, ResolvedByChallenge),
+        (False, Vigilant, ResolvedByChallenge),
+        // The paper's residual risk: an unwatched lie stands.
+        (False, Asleep, LieStood),
+        (False, Frivolous, ResolvedByChallenge),
+    ];
+    for (submit, watch, expected) in expectations {
+        let got = run_cell(submit, watch, CrashPoint::None);
+        assert_eq!(got, expected, "cell ({submit:?}, {watch:?})");
+    }
+}
+
+#[test]
+fn crash_before_submit_matrix() {
+    use ChallengeOutcome::*;
+    use SubmitStrategy::*;
+    use WatchStrategy::*;
+    // The submit strategy is irrelevant — the representative crashed
+    // before acting on it. What matters is whether the counterparty
+    // escalates (forced resolution) or merely reclaims.
+    let expectations = [
+        (Truthful, Vigilant, ResolvedByChallenge),
+        (Truthful, Asleep, ReclaimedStale),
+        (Truthful, Frivolous, ResolvedByChallenge),
+        (False, Vigilant, ResolvedByChallenge),
+        (False, Asleep, ReclaimedStale),
+        (False, Frivolous, ResolvedByChallenge),
+    ];
+    for (submit, watch, expected) in expectations {
+        let got = run_cell(submit, watch, CrashPoint::BeforeSubmit);
+        assert_eq!(got, expected, "cell ({submit:?}, {watch:?}, BeforeSubmit)");
+    }
+}
+
+#[test]
+fn crash_after_submit_matrix() {
+    use ChallengeOutcome::*;
+    use SubmitStrategy::*;
+    use WatchStrategy::*;
+    // The submission is on-chain before the crash, so the matrix looks
+    // like the no-crash one — except the watcher must finalize.
+    let expectations = [
+        (Truthful, Vigilant, FinalizedUnchallenged),
+        (Truthful, Asleep, FinalizedUnchallenged),
+        (Truthful, Frivolous, ResolvedByChallenge),
+        (False, Vigilant, ResolvedByChallenge),
+        (False, Asleep, LieStood),
+        (False, Frivolous, ResolvedByChallenge),
+    ];
+    for (submit, watch, expected) in expectations {
+        let got = run_cell(submit, watch, CrashPoint::AfterSubmit);
+        assert_eq!(got, expected, "cell ({submit:?}, {watch:?}, AfterSubmit)");
+    }
+}
+
+#[test]
+fn lie_stood_cell_conserves_ether_and_pays_the_liar() {
+    // The LieStood cell deserves its own close look: the lie profits,
+    // the sleeping honest winner eats the stake — but no wei is created
+    // or destroyed, and the honest floor (deposit + gas) still bounds
+    // the loss.
+    let game = ChallengeGame::new(secrets_bob_wins(), WINDOW);
+    let alice_addr = game.alice.wallet.address;
+    let bob_addr = game.bob.wallet.address;
+    let (game, report) = game.run(SubmitStrategy::False, WatchStrategy::Asleep);
+    assert_eq!(report.outcome, ChallengeOutcome::LieStood);
+    check_conservation(&game.net).unwrap();
+    // The liar pocketed Bob's stake…
+    assert!(game.net.balance_of(alice_addr) > sc_primitives::ether(1000));
+    // …and Bob lost at most stake + security deposit (he spent gas only
+    // on his own deposit).
+    let floor = sc_primitives::ether(1000)
+        .wrapping_sub(sc_contracts::challenge::stake())
+        .wrapping_sub(sc_contracts::challenge::security_deposit());
+    let bob_final = game.net.balance_of(bob_addr);
+    assert!(bob_final >= floor.wrapping_sub(sc_primitives::ether(1) / U256::from_u64(100)));
+}

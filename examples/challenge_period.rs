@@ -27,12 +27,12 @@ fn show(title: &str, submit: SubmitStrategy, watch: WatchStrategy) -> ChallengeO
     let alice = game.alice.wallet.address;
     let bob = game.bob.wallet.address;
     let (game, report) = game.run(submit, watch);
-    for (label, gas, ok) in &report.txs {
+    for tx in &report.txs {
         println!(
             "  {:<26} {:>9} gas  {}",
-            label,
-            gas,
-            if *ok { "ok" } else { "REVERTED" }
+            tx.label,
+            tx.gas_used,
+            if tx.success { "ok" } else { "REVERTED" }
         );
     }
     println!("  outcome: {:?}", report.outcome);
