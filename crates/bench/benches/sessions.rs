@@ -1,0 +1,47 @@
+//! S1 — session-engine throughput: N mixed sessions over one shared
+//! chain.
+//!
+//! Prints the throughput curve at N ∈ {1, 16, 256} (sessions/sec, gas
+//! per session, txs per shared block), writes `BENCH_sessions.json` at
+//! the repository root, then Criterion-times the N = 16 run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::sessions::{artifact_path, measure_point, run_and_write};
+use sc_bench::{fmt_gas, print_gas_table};
+
+fn print_curve() {
+    let report = run_and_write().expect("write BENCH_sessions.json");
+    let rows: Vec<(&str, String)> = report
+        .points
+        .iter()
+        .map(|p| {
+            let label: &str = match p.sessions {
+                1 => "N = 1",
+                16 => "N = 16",
+                _ => "N = 256",
+            };
+            (
+                label,
+                format!(
+                    "{:>8.2} sessions/s, {} gas/session, {:.2} txs/block",
+                    p.sessions_per_sec(),
+                    fmt_gas(p.mean_gas_per_session),
+                    p.mean_txs_per_block(),
+                ),
+            )
+        })
+        .collect();
+    print_gas_table("S1 — session multiplexing throughput", &rows);
+    println!("  wrote {}", artifact_path().display());
+}
+
+fn bench(c: &mut Criterion) {
+    print_curve();
+    let mut group = c.benchmark_group("sessions");
+    group.sample_size(10);
+    group.bench_function("scheduler/16_mixed", |b| b.iter(|| measure_point(16)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod pipeline;
+pub mod sessions;
 
 use sc_chain::Testnet;
 use sc_contracts::{BetSecrets, MonolithicContract, Timeline};

@@ -19,5 +19,5 @@ pub mod tx;
 
 pub use block::{Block, FailureReason, Receipt};
 pub use state::{Account, WorldState};
-pub use testnet::{ChainConfig, Testnet, TxError};
+pub use testnet::{CallResult, ChainConfig, Testnet, TxError};
 pub use tx::{SignedTransaction, Transaction, Wallet};

@@ -60,6 +60,19 @@ impl fmt::Display for TxError {
 
 impl std::error::Error for TxError {}
 
+/// Result of a read-only [`Testnet::call`].
+///
+/// A reverted `eth_call` used to be indistinguishable from a successful
+/// one returning the same bytes; the flag makes the distinction typed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallResult {
+    /// Return data (revert data when `reverted`).
+    pub output: Vec<u8>,
+    /// True iff execution did not complete successfully (explicit
+    /// `REVERT` or a VM error such as out-of-gas).
+    pub reverted: bool,
+}
+
 /// Configuration of the simulated network.
 #[derive(Clone, Debug)]
 pub struct ChainConfig {
@@ -130,6 +143,11 @@ pub struct Testnet {
     blocks: Vec<Block>,
     pending: Vec<PendingTx>,
     receipts: HashMap<H256, Receipt>,
+    /// Per-address log index: for each emitting address, the ascending
+    /// list of block numbers holding at least one of its logs. Updated
+    /// at commit time so address-filtered [`Testnet::logs`] queries
+    /// touch only the relevant blocks instead of scanning the chain.
+    log_index: HashMap<Address, Vec<u64>>,
     time: u64,
     /// Wei ever created through the faucet. Since the EVM only moves
     /// value, `state.total_balance()` must equal this after every block —
@@ -165,6 +183,7 @@ impl Testnet {
             blocks: vec![genesis],
             pending: Vec::new(),
             receipts: HashMap::new(),
+            log_index: HashMap::new(),
             minted: U256::ZERO,
             analysis_cache: Arc::new(AnalysisCache::new()),
         }
@@ -211,14 +230,35 @@ impl Testnet {
 
     /// Log query in the spirit of `eth_getLogs`: all logs in the block
     /// range `[from, to]`, optionally filtered by emitting address.
+    ///
+    /// Address-filtered queries go through the per-address index built
+    /// at commit time, visiting only blocks that actually hold logs from
+    /// that address — O(matching blocks), not O(chain length) — so
+    /// session watchers polling for their contract's events stay cheap
+    /// on a long shared chain.
     pub fn logs(&self, from: u64, to: u64, address: Option<Address>) -> Vec<sc_evm::LogEntry> {
+        let to = to.min(self.head().number);
         let mut out = Vec::new();
-        for n in from..=to.min(self.head().number) {
+        let mut scan = |n: u64, address: Option<Address>| {
             for receipt in self.receipts_in_block(n) {
                 for log in &receipt.logs {
                     if address.is_none_or(|a| a == log.address) {
                         out.push(log.clone());
                     }
+                }
+            }
+        };
+        match address {
+            Some(a) => {
+                let blocks = self.log_index.get(&a).map_or(&[][..], Vec::as_slice);
+                let start = blocks.partition_point(|&n| n < from);
+                for &n in blocks[start..].iter().take_while(|&&n| n <= to) {
+                    scan(n, address);
+                }
+            }
+            None => {
+                for n in from..=to {
+                    scan(n, None);
                 }
             }
         }
@@ -366,8 +406,11 @@ impl Testnet {
         Ok(hash)
     }
 
-    /// Next nonce accounting for queued pending transactions.
-    fn effective_nonce(&self, sender: Address) -> u64 {
+    /// Next nonce accounting for queued pending transactions — what a
+    /// self-signing client must use for its next submission. Public so
+    /// session engines batching transactions from many senders can sign
+    /// against the mempool-aware nonce.
+    pub fn effective_nonce(&self, sender: Address) -> u64 {
         let base = self.state.nonce(sender);
         let queued = self.pending.iter().filter(|t| t.sender == sender).count() as u64;
         base + queued
@@ -425,6 +468,12 @@ impl Testnet {
         };
         self.state.block_hashes.insert(number, block.hash);
         for r in receipts {
+            for log in &r.logs {
+                let blocks = self.log_index.entry(log.address).or_default();
+                if blocks.last() != Some(&number) {
+                    blocks.push(number);
+                }
+            }
             self.receipts.insert(r.tx_hash, r);
         }
         self.blocks.push(block.clone());
@@ -624,7 +673,9 @@ impl Testnet {
     }
 
     /// Read-only call (like `eth_call`): state changes are discarded.
-    pub fn call(&mut self, from: Address, to: Address, data: Vec<u8>) -> Vec<u8> {
+    /// The EVM success flag is preserved — a reverted call comes back
+    /// with `reverted: true` instead of masquerading as output bytes.
+    pub fn call(&mut self, from: Address, to: Address, data: Vec<u8>) -> CallResult {
         let env = Env {
             block: BlockEnv {
                 number: self.head().number + 1,
@@ -653,7 +704,10 @@ impl Testnet {
         });
         self.state.revert(snapshot);
         self.state.clear_tx_scratch();
-        out.output
+        CallResult {
+            reverted: !out.success,
+            output: out.output,
+        }
     }
 }
 
@@ -802,7 +856,8 @@ mod tests {
         assert_eq!(net.code_at(addr), runtime);
         // Call it read-only.
         let out = net.call(alice.address, addr, vec![]);
-        assert_eq!(U256::from_be_slice(&out), U256::from_u64(42));
+        assert!(!out.reverted);
+        assert_eq!(U256::from_be_slice(&out.output), U256::from_u64(42));
         // Gas: intrinsic(create, data) + exec + deposit — sanity: > 53000.
         assert!(receipt.gas_used > 53_000);
     }
@@ -872,6 +927,69 @@ mod tests {
             .unwrap();
         net.call(alice.address, target, vec![]);
         assert_eq!(net.storage_at(target, U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn eth_call_reports_reverts() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        // PUSH1 42 PUSH1 0 MSTORE PUSH1 32 PUSH1 0 REVERT: reverts with
+        // the same 32 bytes a successful return would carry.
+        let runtime = vec![0x60, 0x2a, 0x60, 0x00, 0x52, 0x60, 0x20, 0x60, 0x00, 0xfd];
+        let initcode = sc_evm::wrap_initcode(&runtime);
+        let target = net
+            .deploy(&alice, initcode, U256::ZERO, 200_000)
+            .unwrap()
+            .contract_address
+            .unwrap();
+        let out = net.call(alice.address, target, vec![]);
+        assert!(out.reverted, "success flag must survive eth_call");
+        assert_eq!(U256::from_be_slice(&out.output), U256::from_u64(42));
+    }
+
+    #[test]
+    fn address_filtered_logs_use_the_commit_time_index() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        // PUSH1 0 PUSH1 0 LOG0: emits one empty log from the contract.
+        let runtime = vec![0x60, 0x00, 0x60, 0x00, 0xa0, 0x00];
+        let initcode = sc_evm::wrap_initcode(&runtime);
+        let deploy = |net: &mut Testnet| {
+            net.deploy(&alice, initcode.clone(), U256::ZERO, 200_000)
+                .unwrap()
+                .contract_address
+                .unwrap()
+        };
+        let a = deploy(&mut net);
+        let b = deploy(&mut net);
+        // a logs in two blocks, b in one, with log-free blocks between.
+        net.execute(&alice, a, U256::ZERO, vec![], 100_000).unwrap();
+        net.mine_block();
+        net.execute(&alice, b, U256::ZERO, vec![], 100_000).unwrap();
+        net.execute(&alice, a, U256::ZERO, vec![], 100_000).unwrap();
+        let head = net.head().number;
+
+        // The index answers exactly what the linear scan would.
+        let linear = |addr: Address| {
+            let mut out = Vec::new();
+            for n in 0..=head {
+                for r in net.receipts_in_block(n) {
+                    out.extend(r.logs.iter().filter(|l| l.address == addr).cloned());
+                }
+            }
+            out
+        };
+        assert_eq!(net.logs(0, head, Some(a)), linear(a));
+        assert_eq!(net.logs(0, head, Some(b)), linear(b));
+        assert_eq!(net.logs(0, head, Some(a)).len(), 2);
+        assert_eq!(net.logs(0, head, Some(b)).len(), 1);
+        // Range bounds respected (a's second log only).
+        let last = net.logs(head, head, Some(a));
+        assert_eq!(last.len(), 1);
+        // Unfiltered query still sees everything.
+        assert_eq!(net.logs(0, head, None).len(), 3);
+        // Unknown address: empty, no scan.
+        assert!(net.logs(0, head, Some(Address([0xee; 20]))).is_empty());
     }
 
     #[test]

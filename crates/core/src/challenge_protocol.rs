@@ -15,22 +15,23 @@
 //! a watching participant forces the miner-enforced resolution via
 //! `challenge()`, a sleeping one at least reclaims their own funds via
 //! `reclaimNoSubmission()`.
+//!
+//! Since the session-engine refactor the event loop lives in
+//! [`ChallengeSession`](crate::session::ChallengeSession);
+//! [`ChallengeGame`] is the preserved legacy entry point, driving that
+//! machine in immediate mode against a session-private chain. The
+//! two-call shape survives: `with_faults()` drives setup to the
+//! machine's post-T2 hold point, `run_with_crash()` binds the
+//! behaviours and drives it to its terminal outcome.
 
-use crate::faults::{FaultPlan, FlakyNet, NetError, MAX_INJECTED_SECS};
+use crate::faults::{FaultPlan, FaultyWhisper, FlakyNet};
 use crate::participant::Participant;
-use crate::signedcopy::SignedCopy;
-use sc_chain::{Receipt, Wallet};
-use sc_contracts::challenge::{
-    security_deposit, stake, ChallengeContracts, CHALLENGE_DEPLOYED_ADDR_SLOT,
+use crate::session::{
+    BusPort, ChainPort, ChallengeSession, ChallengeSessionParams, SessionCtx, StepOutcome,
 };
+use sc_contracts::challenge::ChallengeContracts;
 use sc_contracts::{BetSecrets, Timeline};
-use sc_primitives::{ether, Address, U256};
-
-/// Most attempts per on-chain send (far above any chain fault budget).
-const MAX_ATTEMPTS: u32 = 64;
-
-/// First retry backoff in seconds (doubles, capped).
-const BACKOFF_BASE_SECS: u64 = 15;
+use sc_primitives::{ether, Address};
 
 /// What the representative does at submission time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,24 +132,32 @@ impl ChallengeReport {
 }
 
 /// The challenge-variant game driver.
+///
+/// A thin wrapper since the session-engine refactor: the event loop is
+/// a [`ChallengeSession`] state machine, and this type owns the
+/// session-private (possibly flaky) chain it runs against. Session
+/// state — participants, the deployed address, the signed bytecode, the
+/// timeline — is reachable directly through [`std::ops::Deref`].
 pub struct ChallengeGame {
     /// The chain (perfect under [`FaultPlan::none`]).
     pub net: FlakyNet,
-    /// Compiled contract pair.
-    pub contracts: ChallengeContracts,
-    /// Participant 0 (also the representative who submits).
-    pub alice: Participant,
-    /// Participant 1 (the watcher).
-    pub bob: Participant,
-    /// Deployed on-chain contract.
-    pub onchain: Address,
-    /// The signed off-chain initcode.
-    pub bytecode: Vec<u8>,
-    /// The game's T1/T2 windows (T3 unused by this variant).
-    pub timeline: Timeline,
-    secrets: BetSecrets,
-    window: u64,
-    txs: Vec<ChallengeTx>,
+    /// Unused by this variant (it exchanges no off-chain messages), but
+    /// the session context requires a bus.
+    bus: FaultyWhisper,
+    session: ChallengeSession,
+}
+
+impl std::ops::Deref for ChallengeGame {
+    type Target = ChallengeSession;
+    fn deref(&self) -> &ChallengeSession {
+        &self.session
+    }
+}
+
+impl std::ops::DerefMut for ChallengeGame {
+    fn deref_mut(&mut self) -> &mut ChallengeSession {
+        &mut self.session
+    }
 }
 
 impl ChallengeGame {
@@ -168,145 +177,56 @@ impl ChallengeGame {
         net.faucet(alice.wallet.address, ether(1000));
         net.faucet(bob.wallet.address, ether(1000));
         let tl = Timeline::starting_at(net.now(), 3600);
-        let contracts = ChallengeContracts::new();
-
-        let mut game = ChallengeGame {
-            net,
-            contracts,
+        let session = ChallengeSession::new(ChallengeSessionParams {
             alice,
             bob,
-            onchain: Address::ZERO,
-            bytecode: Vec::new(),
-            timeline: tl,
             secrets,
             window,
-            txs: Vec::new(),
+            contracts: ChallengeContracts::new(),
+            timeline: Some(tl),
+            start_delay: 0,
+            funding: None,
+            submit: SubmitStrategy::Truthful,
+            watch: WatchStrategy::Vigilant,
+            crash: CrashPoint::None,
+        });
+        let mut game = ChallengeGame {
+            net,
+            bus: FaultyWhisper::new(&FaultPlan::none()),
+            session,
         };
-
-        let initcode = game.contracts.onchain_initcode(
-            game.alice.wallet.address,
-            game.bob.wallet.address,
-            tl,
-            window,
-        );
-        let wallet = game.alice.wallet.clone();
-        let r = game
-            .deploy_retry("deploy onChainChallenge", &wallet, initcode, 7_000_000)
-            .expect("deploy lands within the fault budget");
-        assert!(r.success, "challenge contract deploys");
-        game.onchain = r.contract_address.expect("created");
-
-        let pay = stake().wrapping_add(security_deposit());
-        for p in [game.alice.clone(), game.bob.clone()] {
-            let onchain = game.onchain;
-            let data = game.contracts.deposit();
-            let r = game
-                .exec_retry(
-                    "deposit",
-                    &p.wallet,
-                    onchain,
-                    pay,
-                    data,
-                    Some(tl.t1),
-                    400_000,
-                )
-                .expect("deposit lands before T1 within the fault budget");
-            assert!(r.success, "deposit");
-        }
-
-        game.bytecode = game.contracts.offchain_initcode(
-            game.alice.wallet.address,
-            game.bob.wallet.address,
-            secrets,
-        );
-
-        // Move past T2 so results can be submitted.
-        game.advance_past(tl.t2);
+        // Deploy, deposit twice, wait out T2 — then hold at `Ready` so
+        // the caller can bind behaviours before the submission phase.
+        game.drive(ChallengeSession::is_ready);
         game
     }
 
-    /// The fully signed copy of the off-chain contract.
-    pub fn signed_copy(&self) -> SignedCopy {
-        SignedCopy::create(
-            self.bytecode.clone(),
-            &[&self.alice.wallet.key, &self.bob.wallet.key],
-        )
-    }
-
-    fn record(&mut self, label: &str, sender: Address, r: &Receipt) {
-        self.txs.push(ChallengeTx {
-            label: label.into(),
-            sender,
-            gas_used: r.gas_used,
-            success: r.success,
-        });
-    }
-
-    fn advance_past(&mut self, t: u64) {
-        let now = self.net.now();
-        if now <= t {
-            self.net.advance_time(t - now + 60);
-        }
-    }
-
-    /// Retrying call send; `None` = the deadline passed (or the node
-    /// rejected it outright) before the transaction could land.
-    #[allow(clippy::too_many_arguments)] // mirrors the tx fields one-to-one
-    fn exec_retry(
-        &mut self,
-        label: &str,
-        wallet: &Wallet,
-        to: Address,
-        value: U256,
-        data: Vec<u8>,
-        deadline: Option<u64>,
-        gas: u64,
-    ) -> Option<Receipt> {
-        let mut backoff = BACKOFF_BASE_SECS;
-        for _ in 0..MAX_ATTEMPTS {
-            if let Some(d) = deadline {
-                if self.net.now() >= d {
-                    return None;
-                }
+    /// Drives the machine in immediate mode until `until` holds or the
+    /// game ends. Every send on these paths is mandatory, so a protocol
+    /// failure panics — exactly as the legacy driver's `.expect()`s did
+    /// (unreachable under any seeded fault plan's finite budgets).
+    fn drive(&mut self, until: impl Fn(&ChallengeSession) -> bool) {
+        while !until(&self.session) && self.session.outcome().is_none() {
+            let outcome = {
+                let mut ctx = SessionCtx {
+                    chain: ChainPort::Immediate(&mut self.net),
+                    bus: BusPort::Owned(&mut self.bus),
+                };
+                self.session.step(&mut ctx)
             }
-            match self.net.execute(wallet, to, value, data.clone(), gas) {
-                Ok(r) => {
-                    self.record(label, wallet.address, &r);
-                    return Some(r);
+            .expect("mandatory challenge-protocol send lands within the fault budget");
+            match outcome {
+                StepOutcome::Progress => {}
+                StepOutcome::WaitUntil(t) => {
+                    let now = self.net.now();
+                    if t > now {
+                        self.net.advance_time(t - now);
+                    }
                 }
-                Err(NetError::Transient(_)) => {
-                    self.net.advance_time(backoff);
-                    backoff = (backoff * 2).min(MAX_INJECTED_SECS);
-                }
-                Err(NetError::Rejected(_)) => return None,
+                StepOutcome::Pending => unreachable!("immediate mode never queues"),
+                StepOutcome::Done => break,
             }
         }
-        None
-    }
-
-    /// Retrying deployment (no deadline: only used during setup).
-    fn deploy_retry(
-        &mut self,
-        label: &str,
-        wallet: &Wallet,
-        initcode: Vec<u8>,
-        gas: u64,
-    ) -> Option<Receipt> {
-        let mut backoff = BACKOFF_BASE_SECS;
-        for _ in 0..MAX_ATTEMPTS {
-            match self.net.deploy(wallet, initcode.clone(), U256::ZERO, gas) {
-                Ok(r) => {
-                    self.record(label, wallet.address, &r);
-                    return Some(r);
-                }
-                Err(NetError::Transient(_)) => {
-                    self.net.advance_time(backoff);
-                    backoff = (backoff * 2).min(MAX_INJECTED_SECS);
-                }
-                Err(NetError::Rejected(_)) => return None,
-            }
-        }
-        None
     }
 
     /// Runs the submit/challenge flow with the given behaviours and no
@@ -327,200 +247,9 @@ impl ChallengeGame {
         watch: WatchStrategy,
         crash: CrashPoint,
     ) -> (ChallengeGame, ChallengeReport) {
-        let truth = self.secrets.winner_is_bob();
-        let claimed = match submit {
-            SubmitStrategy::Truthful => truth,
-            SubmitStrategy::False => !truth,
-        };
-
-        let alice = self.alice.wallet.clone();
-        let bob = self.bob.wallet.clone();
-        let onchain = self.onchain;
-        let stale_deadline = self.timeline.t2 + self.window;
-
-        if crash == CrashPoint::BeforeSubmit {
-            // The representative is gone: no result ever arrives. The
-            // counterparty waits out the stale deadline, then escalates.
-            self.advance_past(stale_deadline);
-            let (outcome, revealed) = match watch {
-                WatchStrategy::Vigilant | WatchStrategy::Frivolous => {
-                    // Force the miner-enforced resolution with the
-                    // signed copy — the crashed side's stake is not a
-                    // hostage.
-                    let copy = self.signed_copy();
-                    let revealed = copy.bytecode.len();
-                    let data = self.contracts.challenge(
-                        &copy.bytecode,
-                        &copy.signatures[0],
-                        &copy.signatures[1],
-                    );
-                    let r = self
-                        .exec_retry(
-                            "challenge",
-                            &bob,
-                            onchain,
-                            U256::ZERO,
-                            data,
-                            None,
-                            7_900_000,
-                        )
-                        .expect("stale-deadline challenge lands");
-                    assert!(r.success, "stale-deadline challenge accepted");
-                    let instance = Address::from_u256(
-                        self.net
-                            .storage_at(onchain, U256::from_u64(CHALLENGE_DEPLOYED_ADDR_SLOT)),
-                    );
-                    let data = self.contracts.return_dispute_resolution(onchain);
-                    let r = self
-                        .exec_retry(
-                            "returnDisputeResolution",
-                            &bob,
-                            instance,
-                            U256::ZERO,
-                            data,
-                            None,
-                            7_900_000,
-                        )
-                        .expect("resolution lands");
-                    assert!(r.success, "resolution enforced");
-                    (ChallengeOutcome::ResolvedByChallenge, revealed)
-                }
-                WatchStrategy::Asleep => {
-                    // Nobody forces the dispute; each side (the crashed
-                    // representative eventually restarts) reclaims their
-                    // own stake + security deposit.
-                    for w in [bob.clone(), alice.clone()] {
-                        let data = self.contracts.reclaim_no_submission();
-                        let r = self
-                            .exec_retry(
-                                "reclaimNoSubmission",
-                                &w,
-                                onchain,
-                                U256::ZERO,
-                                data,
-                                None,
-                                400_000,
-                            )
-                            .expect("reclaim lands");
-                        assert!(r.success, "reclaim after the stale deadline");
-                    }
-                    (ChallengeOutcome::ReclaimedStale, 0)
-                }
-            };
-            let report = ChallengeReport {
-                txs: self.txs.clone(),
-                outcome,
-                winner_is_bob: truth,
-                offchain_bytes_revealed: revealed,
-            };
-            return (self, report);
-        }
-
-        // Representative submits (then crashes, for AfterSubmit).
-        let data = self.contracts.submit_result(claimed);
-        let r = self
-            .exec_retry(
-                "submitResult",
-                &alice,
-                onchain,
-                U256::ZERO,
-                data,
-                None,
-                7_900_000,
-            )
-            .expect("submission lands (afterT2 is unbounded)");
-        assert!(r.success, "submission");
-        // The challenge window opens at the block that mined the
-        // submission (mining delays included).
-        let proposed_at = self.net.head().timestamp;
-
-        let wants_challenge = match watch {
-            WatchStrategy::Vigilant => claimed != truth,
-            WatchStrategy::Asleep => false,
-            WatchStrategy::Frivolous => true,
-        };
-
-        let mut revealed = 0usize;
-        let mut outcome = None;
-        if wants_challenge {
-            // Bob challenges with the signed copy inside the window. A
-            // challenge that cannot land before the window closes
-            // (injected delays) degrades to the finalize path below.
-            let copy = self.signed_copy();
-            let data =
-                self.contracts
-                    .challenge(&copy.bytecode, &copy.signatures[0], &copy.signatures[1]);
-            let landed = self.exec_retry(
-                "challenge",
-                &bob,
-                onchain,
-                U256::ZERO,
-                data,
-                Some(proposed_at + self.window),
-                7_900_000,
-            );
-            if matches!(&landed, Some(r) if r.success) {
-                revealed = copy.bytecode.len();
-                let instance = Address::from_u256(
-                    self.net
-                        .storage_at(onchain, U256::from_u64(CHALLENGE_DEPLOYED_ADDR_SLOT)),
-                );
-                let data = self.contracts.return_dispute_resolution(onchain);
-                let r = self
-                    .exec_retry(
-                        "returnDisputeResolution",
-                        &bob,
-                        instance,
-                        U256::ZERO,
-                        data,
-                        None,
-                        7_900_000,
-                    )
-                    .expect("resolution lands");
-                assert!(r.success, "resolution enforced");
-                outcome = Some(ChallengeOutcome::ResolvedByChallenge);
-            }
-        }
-
-        let outcome = match outcome {
-            Some(o) => o,
-            None => {
-                // Window passes quietly (or the challenge missed it);
-                // whoever is still up finalizes — the crashed
-                // representative cannot, the watcher can.
-                self.advance_past(proposed_at + self.window);
-                let finalizer = if crash == CrashPoint::AfterSubmit {
-                    bob.clone()
-                } else {
-                    alice.clone()
-                };
-                let data = self.contracts.finalize();
-                let r = self
-                    .exec_retry(
-                        "finalize",
-                        &finalizer,
-                        onchain,
-                        U256::ZERO,
-                        data,
-                        None,
-                        7_900_000,
-                    )
-                    .expect("finalize lands (no deadline)");
-                assert!(r.success, "finalize after window");
-                if claimed == truth {
-                    ChallengeOutcome::FinalizedUnchallenged
-                } else {
-                    ChallengeOutcome::LieStood
-                }
-            }
-        };
-
-        let report = ChallengeReport {
-            txs: self.txs.clone(),
-            outcome,
-            winner_is_bob: truth,
-            offchain_bytes_revealed: revealed,
-        };
+        self.session.set_behaviour(submit, watch, crash);
+        self.drive(|_| false);
+        let report = self.session.report();
         (self, report)
     }
 }
@@ -528,6 +257,7 @@ impl ChallengeGame {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sc_primitives::{ether, U256};
 
     fn secrets_bob_wins() -> BetSecrets {
         let mut s = BetSecrets {

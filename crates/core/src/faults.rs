@@ -164,12 +164,13 @@ struct DelayedMsg {
     remaining_polls: u32,
 }
 
-/// A [`Whisper`] bus that drops, duplicates, corrupts, delays and
-/// reorders messages per the plan. Derefs to the inner bus for the
-/// read-only API (`history`, `message_count`, …); `post`/`poll` are
-/// shadowed with the faulty versions.
-pub struct FaultyWhisper {
-    inner: Whisper,
+/// The per-session whisper fault state: PRNG stream, budget, held-back
+/// messages and the injected-fault log — everything except the bus
+/// itself. Operates on a *borrowed* [`Whisper`], so N sessions can each
+/// run their own fault schedule against one shared bus (the session
+/// scheduler) while [`FaultyWhisper`] keeps the owned single-session
+/// wrapper behaviour bit-for-bit.
+pub struct WhisperFaults {
     rng: XorShift64,
     plan: FaultPlan,
     budget: u32,
@@ -177,11 +178,10 @@ pub struct FaultyWhisper {
     injected: Vec<String>,
 }
 
-impl FaultyWhisper {
-    /// Wraps a fresh bus under the plan.
-    pub fn new(plan: &FaultPlan) -> FaultyWhisper {
-        FaultyWhisper {
-            inner: Whisper::new(),
+impl WhisperFaults {
+    /// Fault state for one bus (or one session's view of a shared bus).
+    pub fn new(plan: &FaultPlan) -> WhisperFaults {
+        WhisperFaults {
             rng: plan.stream(1),
             plan: plan.clone(),
             budget: plan.whisper_fault_budget,
@@ -190,17 +190,12 @@ impl FaultyWhisper {
         }
     }
 
-    /// A perfect bus (no faults) — what [`FaultyWhisper::new`] with
-    /// [`FaultPlan::none`] gives you.
-    pub fn perfect() -> FaultyWhisper {
-        FaultyWhisper::new(&FaultPlan::none())
-    }
-
-    /// Publishes a message, possibly injecting one fault. One PRNG draw
-    /// decides the fault band so schedules replay exactly.
-    pub fn post(&mut self, from: Address, topic: &str, payload: Vec<u8>) {
+    /// Publishes a message through the fault schedule, possibly
+    /// injecting one fault. One PRNG draw decides the fault band so
+    /// schedules replay exactly.
+    pub fn post(&mut self, bus: &mut Whisper, from: Address, topic: &str, payload: Vec<u8>) {
         if self.budget == 0 {
-            self.inner.post(from, topic, payload);
+            bus.post(from, topic, payload);
             return;
         }
         let p = &self.plan;
@@ -218,15 +213,15 @@ impl FaultyWhisper {
         } else if roll < dup_to {
             self.budget -= 1;
             self.injected.push(format!("duplicate {topic}"));
-            self.inner.post(from, topic, payload.clone());
-            self.inner.post(from, topic, payload);
+            bus.post(from, topic, payload.clone());
+            bus.post(from, topic, payload);
         } else if roll < corrupt_to && !payload.is_empty() {
             self.budget -= 1;
             self.injected.push(format!("corrupt {topic}"));
             let mut mangled = payload;
             let i = self.rng.below(mangled.len() as u64) as usize;
             mangled[i] ^= 0x40;
-            self.inner.post(from, topic, mangled);
+            bus.post(from, topic, mangled);
         } else if roll < delay_to {
             self.budget -= 1;
             self.injected.push(format!("delay {topic}"));
@@ -238,13 +233,13 @@ impl FaultyWhisper {
                 remaining_polls: polls,
             });
         } else {
-            self.inner.post(from, topic, payload);
+            bus.post(from, topic, payload);
         }
     }
 
     /// Polls for unseen messages, releasing due delayed messages first
     /// and possibly shuffling the fresh batch.
-    pub fn poll(&mut self, reader: Address, topic: &str) -> Vec<Envelope> {
+    pub fn poll(&mut self, bus: &mut Whisper, reader: Address, topic: &str) -> Vec<Envelope> {
         // Age the held-back messages on this topic; release the due ones
         // into the bus so normal cursor bookkeeping applies.
         let mut due = Vec::new();
@@ -261,10 +256,10 @@ impl FaultyWhisper {
             }
         });
         for (from, t, payload) in due {
-            self.inner.post(from, &t, payload);
+            bus.post(from, &t, payload);
         }
 
-        let mut fresh = self.inner.poll(reader, topic);
+        let mut fresh = bus.poll(reader, topic);
         if fresh.len() > 1 && self.budget > 0 {
             let roll = self.rng.below(1000) as u32;
             if roll < self.plan.reorder_permille {
@@ -292,6 +287,57 @@ impl FaultyWhisper {
     /// Whisper fault budget still unspent.
     pub fn remaining_budget(&self) -> u32 {
         self.budget
+    }
+}
+
+/// A [`Whisper`] bus that drops, duplicates, corrupts, delays and
+/// reorders messages per the plan. Derefs to the inner bus for the
+/// read-only API (`history`, `message_count`, …); `post`/`poll` are
+/// shadowed with the faulty versions.
+pub struct FaultyWhisper {
+    inner: Whisper,
+    faults: WhisperFaults,
+}
+
+impl FaultyWhisper {
+    /// Wraps a fresh bus under the plan.
+    pub fn new(plan: &FaultPlan) -> FaultyWhisper {
+        FaultyWhisper {
+            inner: Whisper::new(),
+            faults: WhisperFaults::new(plan),
+        }
+    }
+
+    /// A perfect bus (no faults) — what [`FaultyWhisper::new`] with
+    /// [`FaultPlan::none`] gives you.
+    pub fn perfect() -> FaultyWhisper {
+        FaultyWhisper::new(&FaultPlan::none())
+    }
+
+    /// Publishes a message, possibly injecting one fault.
+    pub fn post(&mut self, from: Address, topic: &str, payload: Vec<u8>) {
+        self.faults.post(&mut self.inner, from, topic, payload);
+    }
+
+    /// Polls for unseen messages, releasing due delayed messages first
+    /// and possibly shuffling the fresh batch.
+    pub fn poll(&mut self, reader: Address, topic: &str) -> Vec<Envelope> {
+        self.faults.poll(&mut self.inner, reader, topic)
+    }
+
+    /// Messages currently held back by delay faults.
+    pub fn pending_delayed(&self) -> usize {
+        self.faults.pending_delayed()
+    }
+
+    /// Human-readable log of every fault injected so far.
+    pub fn injected_faults(&self) -> &[String] {
+        self.faults.injected_faults()
+    }
+
+    /// Whisper fault budget still unspent.
+    pub fn remaining_budget(&self) -> u32 {
+        self.faults.remaining_budget()
     }
 }
 
@@ -330,6 +376,79 @@ impl fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
+/// One pre-submission fault decision drawn from a [`ChainFaults`]
+/// schedule. How a delay manifests is the caller's choice: the owned
+/// [`FlakyNet`] jumps its private chain's clock, while the session
+/// scheduler turns it into a session-local wait so one session's bad
+/// luck cannot move a shared chain's time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitFault {
+    /// No fault: submit normally.
+    None,
+    /// The submission is eaten by a transient failure.
+    Transient(&'static str),
+    /// Mining is delayed by this many seconds, then the submission
+    /// proceeds without a new fault roll.
+    MiningDelay(u64),
+}
+
+/// The per-session chain fault state: PRNG stream, budget and the
+/// injected-fault log — separable from any particular [`Testnet`] so N
+/// sessions can each run their own schedule against one shared chain.
+pub struct ChainFaults {
+    rng: XorShift64,
+    plan: FaultPlan,
+    budget: u32,
+    injected: Vec<String>,
+}
+
+impl ChainFaults {
+    /// Fault state for one chain (or one session's view of a shared one).
+    pub fn new(plan: &FaultPlan) -> ChainFaults {
+        ChainFaults {
+            rng: plan.stream(2),
+            plan: plan.clone(),
+            budget: plan.chain_fault_budget,
+            injected: Vec::new(),
+        }
+    }
+
+    /// Draws one pre-submission fault decision, consuming budget when a
+    /// fault fires. One roll decides the band so schedules replay
+    /// exactly.
+    pub fn pre_submit(&mut self) -> SubmitFault {
+        if self.budget == 0 {
+            return SubmitFault::None;
+        }
+        let roll = self.rng.below(1000) as u32;
+        if roll < self.plan.submit_fail_permille {
+            self.budget -= 1;
+            self.injected.push("submit failure".into());
+            return SubmitFault::Transient("submission dropped by the node");
+        }
+        if roll < self.plan.submit_fail_permille + self.plan.mining_delay_permille {
+            self.budget -= 1;
+            let secs = self
+                .rng
+                .below(self.plan.max_mining_delay_secs.clamp(1, MAX_INJECTED_SECS))
+                + 1;
+            self.injected.push(format!("mining delayed {secs}s"));
+            return SubmitFault::MiningDelay(secs);
+        }
+        SubmitFault::None
+    }
+
+    /// Human-readable log of every fault injected so far.
+    pub fn injected_faults(&self) -> &[String] {
+        &self.injected
+    }
+
+    /// Chain fault budget still unspent.
+    pub fn remaining_budget(&self) -> u32 {
+        self.budget
+    }
+}
+
 /// A [`Testnet`] whose convenience senders fail transiently and whose
 /// mining sometimes happens late, per the plan. Derefs to the inner
 /// chain so the full read API (`balance_of`, `storage_at`, `now`, …)
@@ -337,10 +456,7 @@ impl std::error::Error for NetError {}
 /// shadowed with the flaky versions.
 pub struct FlakyNet {
     inner: Testnet,
-    rng: XorShift64,
-    plan: FaultPlan,
-    budget: u32,
-    injected: Vec<String>,
+    faults: ChainFaults,
 }
 
 impl FlakyNet {
@@ -348,10 +464,7 @@ impl FlakyNet {
     pub fn new(inner: Testnet, plan: &FaultPlan) -> FlakyNet {
         FlakyNet {
             inner,
-            rng: plan.stream(2),
-            plan: plan.clone(),
-            budget: plan.chain_fault_budget,
-            injected: Vec::new(),
+            faults: ChainFaults::new(plan),
         }
     }
 
@@ -364,25 +477,14 @@ impl FlakyNet {
     /// eaten by a transient failure; `Ok` = proceed (possibly after an
     /// injected mining delay already applied to the clock).
     fn pre_submit(&mut self) -> Result<(), NetError> {
-        if self.budget == 0 {
-            return Ok(());
+        match self.faults.pre_submit() {
+            SubmitFault::None => Ok(()),
+            SubmitFault::Transient(what) => Err(NetError::Transient(what)),
+            SubmitFault::MiningDelay(secs) => {
+                self.inner.advance_time(secs);
+                Ok(())
+            }
         }
-        let roll = self.rng.below(1000) as u32;
-        if roll < self.plan.submit_fail_permille {
-            self.budget -= 1;
-            self.injected.push("submit failure".into());
-            return Err(NetError::Transient("submission dropped by the node"));
-        }
-        if roll < self.plan.submit_fail_permille + self.plan.mining_delay_permille {
-            self.budget -= 1;
-            let secs = self
-                .rng
-                .below(self.plan.max_mining_delay_secs.clamp(1, MAX_INJECTED_SECS))
-                + 1;
-            self.injected.push(format!("mining delayed {secs}s"));
-            self.inner.advance_time(secs);
-        }
-        Ok(())
     }
 
     /// Like [`Testnet::execute`] but subject to injected faults.
@@ -416,12 +518,12 @@ impl FlakyNet {
 
     /// Human-readable log of every fault injected so far.
     pub fn injected_faults(&self) -> &[String] {
-        &self.injected
+        self.faults.injected_faults()
     }
 
     /// Chain fault budget still unspent.
     pub fn remaining_budget(&self) -> u32 {
-        self.budget
+        self.faults.remaining_budget()
     }
 }
 

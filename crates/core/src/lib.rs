@@ -18,6 +18,9 @@
 //! * [`faults`] — deterministic fault injection: a seeded PRNG schedule
 //!   of message drops/duplicates/reorders/corruption/delays and
 //!   transient chain failures, wrapped around the bus and the testnet.
+//! * [`session`] — the session engine: both protocols as resumable
+//!   state machines, plus a [`SessionScheduler`] multiplexing N
+//!   heterogeneous sessions over one shared chain with shared blocks.
 //! * [`invariants`] — post-run checks (ether conservation, the honest
 //!   participant floor) used by the chaos suite.
 
@@ -29,6 +32,7 @@ pub mod generate;
 pub mod invariants;
 pub mod participant;
 pub mod protocol;
+pub mod session;
 pub mod signedcopy;
 pub mod splitter;
 pub mod whisper;
@@ -37,13 +41,21 @@ pub use challenge_protocol::{
     ChallengeGame, ChallengeOutcome, ChallengeReport, ChallengeTx, CrashPoint, SubmitStrategy,
     WatchStrategy,
 };
-pub use faults::{FaultPlan, FaultyWhisper, FlakyNet, NetError, XorShift64, MAX_INJECTED_SECS};
+pub use faults::{
+    ChainFaults, FaultPlan, FaultyWhisper, FlakyNet, NetError, SubmitFault, WhisperFaults,
+    XorShift64, MAX_INJECTED_SECS,
+};
 pub use generate::{generate_pair, GenerateError, GeneratedPair};
 pub use invariants::{check_conservation, check_honest_floor, gas_spent_by, InvariantViolation};
 pub use participant::{Participant, Strategy};
 pub use protocol::{
     BettingGame, GameConfig, Outcome, ProtocolError, ProtocolReport, Stage, TxRecord,
 };
+pub use session::{
+    BettingSession, BettingSessionParams, BettingSpec, BusPort, ChainPort, ChallengeSession,
+    ChallengeSessionParams, ChallengeSpec, SchedulerStats, Session, SessionCtx, SessionReport,
+    SessionScheduler, SessionSpec, StepOutcome,
+};
 pub use signedcopy::{bytecode_hash, sign_bytecode, SignedCopy, SignedCopyError};
 pub use splitter::{classify_function, split, Classification, FunctionClass, SplitPlan};
-pub use whisper::{Envelope, Whisper};
+pub use whisper::{Envelope, Topic, Whisper};

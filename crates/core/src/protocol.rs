@@ -16,44 +16,30 @@
 //!    instance is CREATEd on-chain, and `returnDisputeResolution` makes
 //!    miners recompute `reveal()` and enforce the transfer.
 //!
-//! The driver is an event loop over the T1–T3 deadlines, not a straight
-//! script: whisper messages are re-posted in bounded rounds until both
-//! sides hold a valid signed copy or the T1 deadline forces an abort;
-//! every on-chain send retries transient network failures with capped
-//! exponential backoff; and a step that misses its contract window
-//! degrades to the next safe path (missed signatures → abort before any
-//! deposit, missed deposits → round-two refunds, missed `reassign` →
-//! the winner escalates to `deployVerifiedInstance`). Under a
-//! [`FaultPlan`] with its finite budgets this guarantees every game
-//! terminates in a valid [`Outcome`].
+//! Since the session-engine refactor the event loop itself lives in
+//! [`BettingSession`](crate::session::BettingSession): a resumable
+//! state machine over the T1–T3 deadlines whose every wait — signature
+//! rounds, retry backoff, contract windows — is yielded to the caller.
+//! [`BettingGame`] is the preserved legacy entry point: it owns a
+//! session-private chain and bus and drives the machine in *immediate*
+//! mode (one block per transaction, waits applied to the private
+//! clock), which reproduces the blocking `run()` behaviour exactly.
+//! The same machine, driven by a
+//! [`SessionScheduler`](crate::session::SessionScheduler), shares one
+//! chain with N other sessions instead.
 
-use crate::faults::{FaultPlan, FaultyWhisper, FlakyNet, NetError, MAX_INJECTED_SECS};
-use crate::participant::{Participant, Strategy};
-use crate::signedcopy::{bytecode_hash, sign_bytecode, SignedCopy};
-use sc_chain::{Receipt, TxError, Wallet};
-use sc_contracts::{BetSecrets, OffChainContract, OnChainContract, Timeline, DEPLOYED_ADDR_SLOT};
-use sc_crypto::ecdsa::{recover_address, Signature};
+use crate::faults::{FaultPlan, FaultyWhisper, FlakyNet};
+use crate::participant::Participant;
+use crate::session::{
+    BettingSession, BettingSessionParams, BusPort, ChainPort, SessionCtx, StepOutcome,
+};
+use sc_contracts::{BetSecrets, OffChainContract, OnChainContract, Timeline};
 use sc_primitives::{ether, Address, U256};
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 
 /// Whisper topic used to exchange signatures.
 pub const SIGNATURE_TOPIC: &str = "betting/signed-copy";
-
-/// Most on-chain sends attempted per step. Far above any fault budget,
-/// so exhaustion implies a deterministic failure, not bad luck.
-const MAX_ATTEMPTS: u32 = 64;
-
-/// First retry backoff in seconds (doubles, capped at
-/// [`MAX_INJECTED_SECS`]).
-const BACKOFF_BASE_SECS: u64 = 15;
-
-/// Simulated seconds between signature-exchange rounds.
-const SIGN_ROUND_SECS: u64 = 30;
-
-/// Signature-exchange rounds before an honest participant gives up.
-/// Exceeds any whisper fault budget's ability to suppress a re-posted
-/// signature, and `16 × 30s` stays well inside the pre-T1 phase.
-const MAX_SIGN_ROUNDS: u32 = 16;
 
 /// Protocol stages (Fig. 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -203,37 +189,32 @@ impl Default for GameConfig {
     }
 }
 
-/// Result of one retrying send: the transaction either landed (possibly
-/// reverting), missed its contract window, or was rejected outright.
-enum TxAttempt {
-    Landed(Receipt),
-    DeadlineMissed,
-    Rejected(TxError),
-}
-
 /// The protocol engine for one two-party betting game.
+///
+/// A thin wrapper since the session-engine refactor: the event loop is
+/// a [`BettingSession`] state machine, and this type owns the
+/// session-private (possibly flaky) chain and bus it runs against.
+/// Session state — participants, timeline, the deployed address, the
+/// agreed bytecode — is reachable directly through [`Deref`].
 pub struct BettingGame {
     /// The chain (possibly flaky — [`FaultPlan::none`] makes it perfect).
     pub net: FlakyNet,
     /// The off-chain message bus (possibly faulty).
     pub whisper: FaultyWhisper,
-    /// Compiled on-chain contract + ABI.
-    pub onchain_abi: OnChainContract,
-    /// Compiled off-chain contract + ABI.
-    pub offchain_abi: OffChainContract,
-    /// Participant 0.
-    pub alice: Participant,
-    /// Participant 1.
-    pub bob: Participant,
-    /// The game's windows.
-    pub timeline: Timeline,
-    config: GameConfig,
-    /// Address of the deployed on-chain contract (after deploy/sign).
-    pub onchain_addr: Option<Address>,
-    /// The agreed off-chain initcode.
-    pub offchain_bytecode: Vec<u8>,
-    txs: Vec<TxRecord>,
-    offchain_bytes_revealed: usize,
+    session: BettingSession,
+}
+
+impl Deref for BettingGame {
+    type Target = BettingSession;
+    fn deref(&self) -> &BettingSession {
+        &self.session
+    }
+}
+
+impl DerefMut for BettingGame {
+    fn deref_mut(&mut self) -> &mut BettingSession {
+        &mut self.session
+    }
 }
 
 impl BettingGame {
@@ -256,427 +237,50 @@ impl BettingGame {
         net.faucet(alice.wallet.address, ether(1000));
         net.faucet(bob.wallet.address, ether(1000));
         let timeline = Timeline::starting_at(net.now(), config.phase_seconds);
-        let onchain_abi = OnChainContract::new();
-        let offchain_abi = OffChainContract::new();
-        let offchain_bytecode =
-            offchain_abi.initcode(alice.wallet.address, bob.wallet.address, config.secrets);
+        let session = BettingSession::new(BettingSessionParams {
+            alice,
+            bob,
+            config,
+            topic: SIGNATURE_TOPIC.into(),
+            contracts: (OnChainContract::new(), OffChainContract::new()),
+            timeline: Some(timeline),
+            start_delay: 0,
+            funding: None,
+        });
         BettingGame {
             net,
             whisper: FaultyWhisper::new(plan),
-            onchain_abi,
-            offchain_abi,
-            alice,
-            bob,
-            timeline,
-            config,
-            onchain_addr: None,
-            offchain_bytecode,
-            txs: Vec::new(),
-            offchain_bytes_revealed: 0,
-        }
-    }
-
-    fn record(&mut self, stage: Stage, label: &str, sender: Address, receipt: &Receipt) {
-        self.txs.push(TxRecord {
-            stage,
-            label: label.to_string(),
-            sender,
-            gas_used: receipt.gas_used,
-            success: receipt.success,
-        });
-    }
-
-    /// Sends a transaction, retrying transient network failures with
-    /// capped exponential backoff until it lands, the window closes, or
-    /// the node returns a deterministic rejection. Every landed receipt
-    /// (even a revert) is recorded in the ledger.
-    #[allow(clippy::too_many_arguments)] // mirrors the tx fields one-to-one
-    fn send_with_retry(
-        &mut self,
-        stage: Stage,
-        label: &str,
-        wallet: &Wallet,
-        to: Option<Address>,
-        value: U256,
-        data: Vec<u8>,
-        gas: u64,
-        deadline: Option<u64>,
-    ) -> TxAttempt {
-        let mut backoff = BACKOFF_BASE_SECS;
-        for _ in 0..MAX_ATTEMPTS {
-            if let Some(d) = deadline {
-                if self.net.now() >= d {
-                    return TxAttempt::DeadlineMissed;
-                }
-            }
-            let sent = match to {
-                Some(to) => self.net.execute(wallet, to, value, data.clone(), gas),
-                None => self.net.deploy(wallet, data.clone(), value, gas),
-            };
-            match sent {
-                Ok(receipt) => {
-                    self.record(stage, label, wallet.address, &receipt);
-                    return TxAttempt::Landed(receipt);
-                }
-                Err(NetError::Transient(_)) => {
-                    // The injected failure consumed fault budget; wait it
-                    // out and try again.
-                    self.net.advance_time(backoff);
-                    backoff = (backoff * 2).min(MAX_INJECTED_SECS);
-                }
-                Err(NetError::Rejected(e)) => return TxAttempt::Rejected(e),
-            }
-        }
-        // Unreachable while MAX_ATTEMPTS exceeds every fault budget, but
-        // bounded regardless: a stage can stall, never hang.
-        TxAttempt::DeadlineMissed
-    }
-
-    /// Stage 2 — deploy/sign. Returns `false` when an honest participant
-    /// aborts because the signature exchange failed (missing, tampered,
-    /// or undeliverable signatures by the T1 deadline).
-    pub fn deploy_and_sign(&mut self) -> Result<bool, ProtocolError> {
-        // Alice deploys the on-chain contract. Must land before T1 or
-        // the game cannot proceed to deposits.
-        let initcode = self.onchain_abi.initcode(
-            self.alice.wallet.address,
-            self.bob.wallet.address,
-            self.timeline,
-        );
-        let wallet = self.alice.wallet.clone();
-        match self.send_with_retry(
-            Stage::DeploySign,
-            "deploy onChain",
-            &wallet,
-            None,
-            U256::ZERO,
-            initcode,
-            5_000_000,
-            Some(self.timeline.t1),
-        ) {
-            TxAttempt::Landed(r) if r.success => self.onchain_addr = r.contract_address,
-            TxAttempt::Landed(_) => {
-                return Err(ProtocolError::TxFailed("deploy onChain".into()));
-            }
-            TxAttempt::DeadlineMissed => return Ok(false),
-            TxAttempt::Rejected(e) => {
-                return Err(ProtocolError::TxFailed(format!("deploy onChain: {e}")));
-            }
-        }
-
-        // Signature exchange: bounded rounds of re-post + poll until
-        // both participants hold a valid signature from each side, the
-        // rounds run out, or T1 arrives. A Byzantine signer posts
-        // garbage (or nothing) every round; an honest signer's message
-        // may be dropped, delayed or corrupted in transit — re-posting
-        // plus per-candidate verification recovers from all of it.
-        let expected = [self.alice.wallet.address, self.bob.wallet.address];
-        let digest = bytecode_hash(&self.offchain_bytecode);
-        let mut seen: [[Option<Signature>; 2]; 2] = [[None, None], [None, None]];
-        let complete =
-            |seen: &[[Option<Signature>; 2]; 2]| seen.iter().flatten().all(Option::is_some);
-        for round in 0..MAX_SIGN_ROUNDS {
-            if self.net.now() + SIGN_ROUND_SECS >= self.timeline.t1 {
-                break;
-            }
-            for p in [self.alice.clone(), self.bob.clone()] {
-                match p.strategy {
-                    Strategy::RefusesToSign => {} // posts nothing, every round
-                    Strategy::SignsTampered => {
-                        let mut tampered = self.offchain_bytecode.clone();
-                        // Flip the last byte of the baked-in secret.
-                        let last = tampered.len() - 1;
-                        tampered[last] ^= 0xff;
-                        let sig = sign_bytecode(&p.wallet.key, &tampered);
-                        self.whisper.post(
-                            p.wallet.address,
-                            SIGNATURE_TOPIC,
-                            sig.to_bytes().to_vec(),
-                        );
-                    }
-                    _ => {
-                        let sig = sign_bytecode(&p.wallet.key, &self.offchain_bytecode);
-                        self.whisper.post(
-                            p.wallet.address,
-                            SIGNATURE_TOPIC,
-                            sig.to_bytes().to_vec(),
-                        );
-                    }
-                }
-            }
-            for (reader, me) in expected.into_iter().enumerate() {
-                for env in self.whisper.poll(me, SIGNATURE_TOPIC) {
-                    let Ok(sig) = Signature::from_bytes(&env.payload) else {
-                        continue; // truncated or corrupted beyond parsing
-                    };
-                    for (i, &who) in expected.iter().enumerate() {
-                        // A candidate counts only if it claims the right
-                        // sender AND cryptographically recovers to them —
-                        // corruption and tampering both fail here.
-                        if env.from == who
-                            && seen[reader][i].is_none()
-                            && recover_address(digest, &sig) == Ok(who)
-                        {
-                            seen[reader][i] = Some(sig);
-                        }
-                    }
-                }
-            }
-            if complete(&seen) {
-                break;
-            }
-            if round + 1 < MAX_SIGN_ROUNDS {
-                self.net.advance_time(SIGN_ROUND_SECS);
-            }
-        }
-        if !complete(&seen) {
-            return Ok(false); // abort: missing/invalid signatures by the deadline
-        }
-
-        // Each participant's assembled copy passes full verification
-        // (the off-chain mirror of deployVerifiedInstance's checks).
-        for assembled in seen {
-            let copy = SignedCopy {
-                bytecode: self.offchain_bytecode.clone(),
-                signatures: assembled.into_iter().flatten().collect(),
-            };
-            if copy.verify(&expected).is_err() {
-                return Ok(false);
-            }
-        }
-        Ok(true)
-    }
-
-    /// The fully-signed copy (valid only when deploy/sign succeeded).
-    pub fn signed_copy(&self) -> SignedCopy {
-        SignedCopy::create(
-            self.offchain_bytecode.clone(),
-            &[&self.alice.wallet.key, &self.bob.wallet.key],
-        )
-    }
-
-    /// Stage 3 (first half) — deposits, each retried up to the T1
-    /// deadline. Returns the participants whose deposit landed.
-    pub fn deposits(&mut self) -> (bool, bool) {
-        let mut made = [false, false];
-        let onchain = self.onchain_addr.expect("deployed");
-        for (i, p) in [self.alice.clone(), self.bob.clone()]
-            .into_iter()
-            .enumerate()
-        {
-            if matches!(p.strategy, Strategy::NoShow) {
-                continue;
-            }
-            let data = self.onchain_abi.deposit();
-            made[i] = matches!(
-                self.send_with_retry(
-                    Stage::SubmitChallenge,
-                    "deposit",
-                    &p.wallet,
-                    Some(onchain),
-                    ether(1),
-                    data,
-                    300_000,
-                    Some(self.timeline.t1),
-                ),
-                TxAttempt::Landed(r) if r.success
-            );
-        }
-        (made[0], made[1])
-    }
-
-    /// Refund path when deposits were incomplete (Table I rules 2–3).
-    /// Round-two refunds must land inside the (T1, T2) window; a refund
-    /// that misses it leaves the wei in the contract (the depositor is
-    /// still no worse off than deposit-minus-gas).
-    pub fn refund_incomplete(&mut self, alice_deposited: bool, bob_deposited: bool) {
-        let onchain = self.onchain_addr.expect("deployed");
-        // Move into (T1, T2).
-        self.advance_past(self.timeline.t1);
-        for (p, deposited) in [
-            (self.alice.clone(), alice_deposited),
-            (self.bob.clone(), bob_deposited),
-        ] {
-            if deposited {
-                let data = self.onchain_abi.refund_round_two();
-                self.send_with_retry(
-                    Stage::SubmitChallenge,
-                    "refundRoundTwo",
-                    &p.wallet,
-                    Some(onchain),
-                    U256::ZERO,
-                    data,
-                    300_000,
-                    Some(self.timeline.t2),
-                );
-            }
-        }
-    }
-
-    fn advance_past(&mut self, t: u64) {
-        let now = self.net.now();
-        if now <= t {
-            self.net.advance_time(t - now + 60);
+            session,
         }
     }
 
     /// Runs the complete game and produces the report.
+    ///
+    /// Drives the state machine in immediate mode: every yielded wait
+    /// advances the private chain clock (exactly what the old blocking
+    /// loop did in place), every transaction mines its own block.
     pub fn run(mut self) -> Result<(BettingGame, ProtocolReport), ProtocolError> {
-        let winner_is_bob = self.config.secrets.winner_is_bob();
-
-        // Stage 2.
-        if !self.deploy_and_sign()? {
-            let report = self.build_report(Outcome::AbortedAtSigning, false, winner_is_bob);
-            return Ok((self, report));
-        }
-
-        // Stage 3: deposits.
-        let (a_dep, b_dep) = self.deposits();
-        if !(a_dep && b_dep) {
-            self.refund_incomplete(a_dep, b_dep);
-            let report = self.build_report(Outcome::Refunded, false, winner_is_bob);
-            return Ok((self, report));
-        }
-
-        // Off-chain execution: both parties privately evaluate reveal().
-        // (Represented by the native reference computation — no chain
-        // interaction, which is exactly the point.)
-        let loser = if winner_is_bob {
-            self.alice.clone()
-        } else {
-            self.bob.clone()
-        };
-        let winner = if winner_is_bob {
-            self.bob.clone()
-        } else {
-            self.alice.clone()
-        };
-
-        // Move into (T2, T3).
-        self.advance_past(self.timeline.t2);
-
-        if !loser.strategy.disputes_result() {
-            // Honest loser concedes — but reassign only counts if it
-            // lands inside (T2, T3). A missed window (injected delays)
-            // degrades to the dispute path below.
-            let onchain = self.onchain_addr.expect("deployed");
-            let data = self.onchain_abi.reassign();
-            match self.send_with_retry(
-                Stage::SubmitChallenge,
-                "reassign",
-                &loser.wallet,
-                Some(onchain),
-                U256::ZERO,
-                data,
-                300_000,
-                Some(self.timeline.t3),
-            ) {
-                TxAttempt::Landed(r) if r.success => {
-                    let report = self.build_report(Outcome::SettledHonestly, false, winner_is_bob);
-                    return Ok((self, report));
+        loop {
+            let outcome = {
+                let mut ctx = SessionCtx {
+                    chain: ChainPort::Immediate(&mut self.net),
+                    bus: BusPort::Owned(&mut self.whisper),
+                };
+                self.session.step(&mut ctx)?
+            };
+            match outcome {
+                StepOutcome::Progress => {}
+                StepOutcome::WaitUntil(t) => {
+                    let now = self.net.now();
+                    if t > now {
+                        self.net.advance_time(t - now);
+                    }
                 }
-                TxAttempt::Rejected(e) => {
-                    return Err(ProtocolError::TxFailed(format!("reassign: {e}")));
-                }
-                // A reverted reassign (e.g. a mining delay pushed the
-                // block past T3) or a missed deadline: fall through to
-                // the dispute path — the winner can always enforce.
-                TxAttempt::Landed(_) | TxAttempt::DeadlineMissed => {}
+                StepOutcome::Pending => unreachable!("immediate mode never queues"),
+                StepOutcome::Done => break,
             }
         }
-
-        // Stage 4: dispute/resolve after T3. The window is unbounded, so
-        // with a finite fault budget these sends always land eventually.
-        self.advance_past(self.timeline.t3);
-        let onchain = self.onchain_addr.expect("deployed");
-
-        if matches!(loser.strategy, Strategy::ForgingLoser) {
-            // The dishonest loser tries a forged bytecode first: a copy
-            // whose baked-in secrets favour them, signed only by
-            // themselves (they cannot produce the winner's signature).
-            let mut forged = self.offchain_bytecode.clone();
-            let last = forged.len() - 1;
-            forged[last] ^= 0x01;
-            let own_sig = sign_bytecode(&loser.wallet.key, &forged);
-            let data = self
-                .onchain_abi
-                .deploy_verified_instance(&forged, &own_sig, &own_sig);
-            if let TxAttempt::Landed(r) = self.send_with_retry(
-                Stage::DisputeResolve,
-                "deployVerifiedInstance (forged)",
-                &loser.wallet,
-                Some(onchain),
-                U256::ZERO,
-                data,
-                8_000_000,
-                None,
-            ) {
-                assert!(
-                    !r.success,
-                    "forged bytecode must fail on-chain signature verification"
-                );
-            }
-        }
-
-        // The honest winner submits the true signed copy.
-        let copy = self.signed_copy();
-        self.offchain_bytes_revealed = copy.bytecode.len();
-        let data = self.onchain_abi.deploy_verified_instance(
-            &copy.bytecode,
-            &copy.signatures[0],
-            &copy.signatures[1],
-        );
-        match self.send_with_retry(
-            Stage::DisputeResolve,
-            "deployVerifiedInstance",
-            &winner.wallet,
-            Some(onchain),
-            U256::ZERO,
-            data,
-            8_000_000,
-            None,
-        ) {
-            TxAttempt::Landed(r) if r.success => {}
-            _ => return Err(ProtocolError::TxFailed("deployVerifiedInstance".into())),
-        }
-
-        // Read deployedAddr from the on-chain contract's storage.
-        let instance = Address::from_u256(
-            self.net
-                .storage_at(onchain, U256::from_u64(DEPLOYED_ADDR_SLOT)),
-        );
-        if instance.is_zero() {
-            return Err(ProtocolError::NoVerifiedInstance);
-        }
-
-        // Anyone certified can now trigger the miner-enforced resolution.
-        let data = self.offchain_abi.return_dispute_resolution(onchain);
-        match self.send_with_retry(
-            Stage::DisputeResolve,
-            "returnDisputeResolution",
-            &winner.wallet,
-            Some(instance),
-            U256::ZERO,
-            data,
-            8_000_000,
-            None,
-        ) {
-            TxAttempt::Landed(r) if r.success => {}
-            _ => return Err(ProtocolError::TxFailed("returnDisputeResolution".into())),
-        }
-
-        let report = self.build_report(Outcome::SettledByDispute, true, winner_is_bob);
+        let report = self.session.report(self.whisper.message_count());
         Ok((self, report))
-    }
-
-    fn build_report(&self, outcome: Outcome, dispute: bool, winner_is_bob: bool) -> ProtocolReport {
-        ProtocolReport {
-            txs: self.txs.clone(),
-            outcome,
-            dispute,
-            winner_is_bob,
-            offchain_bytes_revealed: self.offchain_bytes_revealed,
-            offchain_messages: self.whisper.message_count(),
-        }
     }
 }

@@ -1,0 +1,700 @@
+//! The four-stage betting protocol as a resumable state machine.
+//!
+//! One [`BettingSession`] is the event loop of
+//! [`crate::protocol::BettingGame`] with the blocking removed: each
+//! phase of Fig. 2 is a state, each `step` makes one bounded unit of
+//! progress, and every wait — signature rounds, retry backoff, the
+//! T1–T3 windows — is surfaced as [`StepOutcome::WaitUntil`] instead of
+//! advancing a privately-owned clock. The degradation lattice is
+//! unchanged: missed signatures abort before any deposit, missed
+//! deposits dissolve into round-two refunds, a missed `reassign`
+//! escalates to the dispute stage, and the dispute stage always lands
+//! because its window is unbounded.
+
+use super::sign::{SignExchange, MAX_SIGN_ROUNDS, SIGN_ROUND_SECS};
+use super::{Session, SessionCtx, StepOutcome, TaskPoll, TxTask};
+use crate::participant::{Participant, Strategy};
+use crate::protocol::{GameConfig, Outcome, ProtocolError, Stage, TxRecord};
+use crate::signedcopy::{bytecode_hash, sign_bytecode, SignedCopy};
+use sc_chain::Receipt;
+use sc_contracts::{OffChainContract, OnChainContract, Timeline, DEPLOYED_ADDR_SLOT};
+use sc_primitives::{ether, Address, U256};
+
+/// Where the machine is in Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Fund wallets, wait out the staggered start, fix the timeline.
+    Start,
+    /// Alice deploys the on-chain contract (deadline T1).
+    Deploy,
+    /// Signature exchange rounds until complete or T1 closes in.
+    Signing,
+    /// Deposit of participant `0`/`1`, in order (deadline T1).
+    Deposit(usize),
+    /// Deposits incomplete: wait out T1 before round-two refunds.
+    RefundWait,
+    /// Round-two refund of participant `0`/`1` (deadline T2).
+    Refund(usize),
+    /// Wait out T2, then route on the loser's strategy.
+    AwaitT2,
+    /// The honest loser concedes (deadline T3).
+    Reassign,
+    /// Wait out T3 before the dispute stage.
+    AwaitT3,
+    /// The forging loser tries a self-signed fake copy (must revert).
+    Forged,
+    /// The winner submits the true signed copy (unbounded window).
+    SubmitCopy,
+    /// `returnDisputeResolution` on the verified instance.
+    Resolve,
+    /// Terminal.
+    Done,
+}
+
+/// Construction parameters for a [`BettingSession`].
+///
+/// The legacy wrapper passes a pre-computed timeline and pre-funded
+/// wallets; the scheduler passes `timeline: None` (fixed at the
+/// session's first step, after its staggered start) and a funding
+/// amount minted through the port.
+pub struct BettingSessionParams {
+    /// Participant 0 (deployer).
+    pub alice: Participant,
+    /// Participant 1.
+    pub bob: Participant,
+    /// Phase length and the private bet.
+    pub config: GameConfig,
+    /// Whisper topic for the signature exchange (session-scoped when
+    /// many sessions share one bus).
+    pub topic: String,
+    /// Compiled contract pair (compile once, clone per session).
+    pub contracts: (OnChainContract, OffChainContract),
+    /// `Some` = use as-is (legacy); `None` = derive from the chain clock
+    /// when the session starts.
+    pub timeline: Option<Timeline>,
+    /// Seconds after creation before the session begins deploying.
+    pub start_delay: u64,
+    /// Wei to mint per wallet at the first step (`None` = pre-funded).
+    pub funding: Option<U256>,
+}
+
+/// One betting game as a pollable state machine.
+pub struct BettingSession {
+    /// Compiled on-chain contract + ABI.
+    pub onchain_abi: OnChainContract,
+    /// Compiled off-chain contract + ABI.
+    pub offchain_abi: OffChainContract,
+    /// Participant 0.
+    pub alice: Participant,
+    /// Participant 1.
+    pub bob: Participant,
+    /// The game's windows (placeholder until the session starts, when
+    /// constructed with `timeline: None`).
+    pub timeline: Timeline,
+    /// Address of the deployed on-chain contract (after deploy/sign).
+    pub onchain_addr: Option<Address>,
+    /// The agreed off-chain initcode.
+    pub offchain_bytecode: Vec<u8>,
+    pub(crate) config: GameConfig,
+    topic: String,
+    dynamic_timeline: bool,
+    start_delay: u64,
+    start_at: Option<u64>,
+    funding: Option<U256>,
+    phase: Phase,
+    task: Option<TxTask>,
+    sign: Option<SignExchange>,
+    deposits_made: [bool; 2],
+    txs: Vec<TxRecord>,
+    offchain_bytes_revealed: usize,
+    posts: usize,
+    outcome: Option<Outcome>,
+}
+
+impl BettingSession {
+    /// Stage 1 — split/generate: builds the off-chain initcode with the
+    /// private bet baked in and parks the machine at its start state.
+    pub fn new(params: BettingSessionParams) -> BettingSession {
+        let (onchain_abi, offchain_abi) = params.contracts;
+        let offchain_bytecode = offchain_abi.initcode(
+            params.alice.wallet.address,
+            params.bob.wallet.address,
+            params.config.secrets,
+        );
+        let (timeline, dynamic_timeline) = match params.timeline {
+            Some(t) => (t, false),
+            None => (Timeline::starting_at(0, params.config.phase_seconds), true),
+        };
+        BettingSession {
+            onchain_abi,
+            offchain_abi,
+            alice: params.alice,
+            bob: params.bob,
+            timeline,
+            onchain_addr: None,
+            offchain_bytecode,
+            config: params.config,
+            topic: params.topic,
+            dynamic_timeline,
+            start_delay: params.start_delay,
+            start_at: None,
+            funding: params.funding,
+            phase: Phase::Start,
+            task: None,
+            sign: None,
+            deposits_made: [false, false],
+            txs: Vec::new(),
+            offchain_bytes_revealed: 0,
+            posts: 0,
+            outcome: None,
+        }
+    }
+
+    /// The fully-signed copy (valid only when deploy/sign succeeded).
+    pub fn signed_copy(&self) -> SignedCopy {
+        SignedCopy::create(
+            self.offchain_bytecode.clone(),
+            &[&self.alice.wallet.key, &self.bob.wallet.key],
+        )
+    }
+
+    /// The terminal outcome, once the session is done.
+    pub fn outcome(&self) -> Option<Outcome> {
+        self.outcome
+    }
+
+    /// Builds the run report. `offchain_messages` is supplied by the
+    /// owner of the bus (the legacy wrapper counts its private bus; the
+    /// scheduler counts this session's posts).
+    pub fn report(&self, offchain_messages: usize) -> crate::protocol::ProtocolReport {
+        let outcome = self.outcome.expect("session not finished");
+        crate::protocol::ProtocolReport {
+            txs: self.txs.clone(),
+            outcome,
+            dispute: outcome == Outcome::SettledByDispute,
+            winner_is_bob: self.config.secrets.winner_is_bob(),
+            offchain_bytes_revealed: self.offchain_bytes_revealed,
+            offchain_messages,
+        }
+    }
+
+    fn record(&mut self, stage: Stage, label: &str, sender: Address, receipt: &Receipt) {
+        self.txs.push(TxRecord {
+            stage,
+            label: label.to_string(),
+            sender,
+            gas_used: receipt.gas_used,
+            success: receipt.success,
+        });
+    }
+
+    fn finish(&mut self, outcome: Outcome) -> StepOutcome {
+        self.outcome = Some(outcome);
+        self.phase = Phase::Done;
+        StepOutcome::Done
+    }
+
+    fn winner_is_bob(&self) -> bool {
+        self.config.secrets.winner_is_bob()
+    }
+
+    fn loser(&self) -> Participant {
+        if self.winner_is_bob() {
+            self.alice.clone()
+        } else {
+            self.bob.clone()
+        }
+    }
+
+    fn winner(&self) -> Participant {
+        if self.winner_is_bob() {
+            self.bob.clone()
+        } else {
+            self.alice.clone()
+        }
+    }
+
+    fn participant(&self, idx: usize) -> Participant {
+        if idx == 0 {
+            self.alice.clone()
+        } else {
+            self.bob.clone()
+        }
+    }
+
+    /// One signature-exchange round: both sides post per their strategy,
+    /// then both poll and absorb valid candidates.
+    fn sign_round(&mut self, ctx: &mut SessionCtx<'_>) {
+        for p in [self.alice.clone(), self.bob.clone()] {
+            match p.strategy {
+                Strategy::RefusesToSign => {} // posts nothing, every round
+                Strategy::SignsTampered => {
+                    let mut tampered = self.offchain_bytecode.clone();
+                    // Flip the last byte of the baked-in secret.
+                    let last = tampered.len() - 1;
+                    tampered[last] ^= 0xff;
+                    let sig = sign_bytecode(&p.wallet.key, &tampered);
+                    ctx.bus
+                        .post(p.wallet.address, &self.topic, sig.to_bytes().to_vec());
+                    self.posts += 1;
+                }
+                _ => {
+                    let sig = sign_bytecode(&p.wallet.key, &self.offchain_bytecode);
+                    ctx.bus
+                        .post(p.wallet.address, &self.topic, sig.to_bytes().to_vec());
+                    self.posts += 1;
+                }
+            }
+        }
+        let topic = self.topic.clone();
+        let ex = self.sign.as_mut().expect("exchange started");
+        ex.absorb(&mut ctx.bus, &topic);
+        ex.advance_round();
+    }
+
+    /// Makes one bounded unit of progress through Fig. 2.
+    pub fn step(&mut self, ctx: &mut SessionCtx<'_>) -> Result<StepOutcome, ProtocolError> {
+        match self.phase {
+            Phase::Start => {
+                if let Some(amount) = self.funding.take() {
+                    ctx.chain.faucet(self.alice.wallet.address, amount);
+                    ctx.chain.faucet(self.bob.wallet.address, amount);
+                }
+                let now = ctx.chain.now();
+                let start = *self.start_at.get_or_insert(now + self.start_delay);
+                if now < start {
+                    return Ok(StepOutcome::WaitUntil(start));
+                }
+                if self.dynamic_timeline {
+                    self.timeline = Timeline::starting_at(now, self.config.phase_seconds);
+                }
+                self.phase = Phase::Deploy;
+                Ok(StepOutcome::Progress)
+            }
+
+            Phase::Deploy => {
+                if self.task.is_none() {
+                    let initcode = self.onchain_abi.initcode(
+                        self.alice.wallet.address,
+                        self.bob.wallet.address,
+                        self.timeline,
+                    );
+                    self.task = Some(TxTask::new(
+                        "deploy onChain",
+                        self.alice.wallet.clone(),
+                        None,
+                        U256::ZERO,
+                        initcode,
+                        5_000_000,
+                        Some(self.timeline.t1),
+                    ));
+                }
+                match self.task.as_mut().expect("task set").poll(&mut ctx.chain) {
+                    TaskPoll::Landed(r) => {
+                        self.task = None;
+                        self.record(
+                            Stage::DeploySign,
+                            "deploy onChain",
+                            self.alice.wallet.address,
+                            &r,
+                        );
+                        if !r.success {
+                            return Err(ProtocolError::TxFailed("deploy onChain".into()));
+                        }
+                        self.onchain_addr = r.contract_address;
+                        self.sign = Some(SignExchange::new(
+                            bytecode_hash(&self.offchain_bytecode),
+                            [self.alice.wallet.address, self.bob.wallet.address],
+                        ));
+                        self.phase = Phase::Signing;
+                        Ok(StepOutcome::Progress)
+                    }
+                    TaskPoll::Pending => Ok(StepOutcome::Pending),
+                    TaskPoll::Wait(t) => Ok(StepOutcome::WaitUntil(t)),
+                    TaskPoll::DeadlineMissed => {
+                        self.task = None;
+                        Ok(self.finish(Outcome::AbortedAtSigning))
+                    }
+                    TaskPoll::Rejected(e) => {
+                        Err(ProtocolError::TxFailed(format!("deploy onChain: {e}")))
+                    }
+                }
+            }
+
+            Phase::Signing => {
+                let now = ctx.chain.now();
+                let rounds_run = self.sign.as_ref().expect("exchange started").rounds_run();
+                if now + SIGN_ROUND_SECS >= self.timeline.t1 || rounds_run >= MAX_SIGN_ROUNDS {
+                    // Out of time or rounds with the exchange incomplete:
+                    // abort before any funds are at risk.
+                    return Ok(self.finish(Outcome::AbortedAtSigning));
+                }
+                self.sign_round(ctx);
+                let ex = self.sign.as_ref().expect("exchange started");
+                if ex.complete() {
+                    if ex.copies_verify(&self.offchain_bytecode) {
+                        self.phase = Phase::Deposit(0);
+                        Ok(StepOutcome::Progress)
+                    } else {
+                        Ok(self.finish(Outcome::AbortedAtSigning))
+                    }
+                } else if ex.rounds_run() >= MAX_SIGN_ROUNDS {
+                    Ok(self.finish(Outcome::AbortedAtSigning))
+                } else {
+                    Ok(StepOutcome::WaitUntil(now + SIGN_ROUND_SECS))
+                }
+            }
+
+            Phase::Deposit(idx) => {
+                if idx >= 2 {
+                    self.phase = if self.deposits_made == [true, true] {
+                        Phase::AwaitT2
+                    } else {
+                        Phase::RefundWait
+                    };
+                    return Ok(StepOutcome::Progress);
+                }
+                let p = self.participant(idx);
+                if matches!(p.strategy, Strategy::NoShow) {
+                    self.phase = Phase::Deposit(idx + 1);
+                    return Ok(StepOutcome::Progress);
+                }
+                if self.task.is_none() {
+                    let onchain = self.onchain_addr.expect("deployed");
+                    self.task = Some(TxTask::new(
+                        "deposit",
+                        p.wallet.clone(),
+                        Some(onchain),
+                        ether(1),
+                        self.onchain_abi.deposit(),
+                        300_000,
+                        Some(self.timeline.t1),
+                    ));
+                }
+                match self.task.as_mut().expect("task set").poll(&mut ctx.chain) {
+                    TaskPoll::Landed(r) => {
+                        self.task = None;
+                        self.record(Stage::SubmitChallenge, "deposit", p.wallet.address, &r);
+                        self.deposits_made[idx] = r.success;
+                        self.phase = Phase::Deposit(idx + 1);
+                        Ok(StepOutcome::Progress)
+                    }
+                    TaskPoll::Pending => Ok(StepOutcome::Pending),
+                    TaskPoll::Wait(t) => Ok(StepOutcome::WaitUntil(t)),
+                    // A deposit that cannot land just stays unmade; the
+                    // refund path handles the dissolution.
+                    TaskPoll::DeadlineMissed | TaskPoll::Rejected(_) => {
+                        self.task = None;
+                        self.phase = Phase::Deposit(idx + 1);
+                        Ok(StepOutcome::Progress)
+                    }
+                }
+            }
+
+            Phase::RefundWait => {
+                // Move into (T1, T2).
+                let now = ctx.chain.now();
+                if now <= self.timeline.t1 {
+                    return Ok(StepOutcome::WaitUntil(self.timeline.t1 + 60));
+                }
+                self.phase = Phase::Refund(0);
+                Ok(StepOutcome::Progress)
+            }
+
+            Phase::Refund(idx) => {
+                if idx >= 2 {
+                    return Ok(self.finish(Outcome::Refunded));
+                }
+                if !self.deposits_made[idx] {
+                    self.phase = Phase::Refund(idx + 1);
+                    return Ok(StepOutcome::Progress);
+                }
+                let p = self.participant(idx);
+                if self.task.is_none() {
+                    let onchain = self.onchain_addr.expect("deployed");
+                    self.task = Some(TxTask::new(
+                        "refundRoundTwo",
+                        p.wallet.clone(),
+                        Some(onchain),
+                        U256::ZERO,
+                        self.onchain_abi.refund_round_two(),
+                        300_000,
+                        Some(self.timeline.t2),
+                    ));
+                }
+                match self.task.as_mut().expect("task set").poll(&mut ctx.chain) {
+                    TaskPoll::Landed(r) => {
+                        self.task = None;
+                        self.record(
+                            Stage::SubmitChallenge,
+                            "refundRoundTwo",
+                            p.wallet.address,
+                            &r,
+                        );
+                        self.phase = Phase::Refund(idx + 1);
+                        Ok(StepOutcome::Progress)
+                    }
+                    TaskPoll::Pending => Ok(StepOutcome::Pending),
+                    TaskPoll::Wait(t) => Ok(StepOutcome::WaitUntil(t)),
+                    // A refund that misses its window leaves the wei in
+                    // the contract; the depositor is still no worse off
+                    // than deposit-minus-gas.
+                    TaskPoll::DeadlineMissed | TaskPoll::Rejected(_) => {
+                        self.task = None;
+                        self.phase = Phase::Refund(idx + 1);
+                        Ok(StepOutcome::Progress)
+                    }
+                }
+            }
+
+            Phase::AwaitT2 => {
+                // Off-chain execution: both parties privately evaluate
+                // reveal(); no chain interaction, which is the point.
+                // Then move into (T2, T3) and route on the loser.
+                let now = ctx.chain.now();
+                if now <= self.timeline.t2 {
+                    return Ok(StepOutcome::WaitUntil(self.timeline.t2 + 60));
+                }
+                self.phase = if self.loser().strategy.disputes_result() {
+                    Phase::AwaitT3
+                } else {
+                    Phase::Reassign
+                };
+                Ok(StepOutcome::Progress)
+            }
+
+            Phase::Reassign => {
+                let loser = self.loser();
+                if self.task.is_none() {
+                    let onchain = self.onchain_addr.expect("deployed");
+                    self.task = Some(TxTask::new(
+                        "reassign",
+                        loser.wallet.clone(),
+                        Some(onchain),
+                        U256::ZERO,
+                        self.onchain_abi.reassign(),
+                        300_000,
+                        Some(self.timeline.t3),
+                    ));
+                }
+                match self.task.as_mut().expect("task set").poll(&mut ctx.chain) {
+                    TaskPoll::Landed(r) => {
+                        self.task = None;
+                        self.record(Stage::SubmitChallenge, "reassign", loser.wallet.address, &r);
+                        if r.success {
+                            Ok(self.finish(Outcome::SettledHonestly))
+                        } else {
+                            // A reverted reassign (e.g. a mining delay
+                            // pushed the block past T3): the winner can
+                            // always enforce via the dispute path.
+                            self.phase = Phase::AwaitT3;
+                            Ok(StepOutcome::Progress)
+                        }
+                    }
+                    TaskPoll::Pending => Ok(StepOutcome::Pending),
+                    TaskPoll::Wait(t) => Ok(StepOutcome::WaitUntil(t)),
+                    TaskPoll::DeadlineMissed => {
+                        self.task = None;
+                        self.phase = Phase::AwaitT3;
+                        Ok(StepOutcome::Progress)
+                    }
+                    TaskPoll::Rejected(e) => Err(ProtocolError::TxFailed(format!("reassign: {e}"))),
+                }
+            }
+
+            Phase::AwaitT3 => {
+                let now = ctx.chain.now();
+                if now <= self.timeline.t3 {
+                    return Ok(StepOutcome::WaitUntil(self.timeline.t3 + 60));
+                }
+                self.phase = if matches!(self.loser().strategy, Strategy::ForgingLoser) {
+                    Phase::Forged
+                } else {
+                    Phase::SubmitCopy
+                };
+                Ok(StepOutcome::Progress)
+            }
+
+            Phase::Forged => {
+                // The dishonest loser tries a forged bytecode first: a
+                // copy whose baked-in secrets favour them, signed only by
+                // themselves (they cannot produce the winner's signature).
+                let loser = self.loser();
+                if self.task.is_none() {
+                    let onchain = self.onchain_addr.expect("deployed");
+                    let mut forged = self.offchain_bytecode.clone();
+                    let last = forged.len() - 1;
+                    forged[last] ^= 0x01;
+                    let own_sig = sign_bytecode(&loser.wallet.key, &forged);
+                    let data = self
+                        .onchain_abi
+                        .deploy_verified_instance(&forged, &own_sig, &own_sig);
+                    self.task = Some(TxTask::new(
+                        "deployVerifiedInstance (forged)",
+                        loser.wallet.clone(),
+                        Some(onchain),
+                        U256::ZERO,
+                        data,
+                        8_000_000,
+                        None,
+                    ));
+                }
+                match self.task.as_mut().expect("task set").poll(&mut ctx.chain) {
+                    TaskPoll::Landed(r) => {
+                        self.task = None;
+                        self.record(
+                            Stage::DisputeResolve,
+                            "deployVerifiedInstance (forged)",
+                            loser.wallet.address,
+                            &r,
+                        );
+                        assert!(
+                            !r.success,
+                            "forged bytecode must fail on-chain signature verification"
+                        );
+                        self.phase = Phase::SubmitCopy;
+                        Ok(StepOutcome::Progress)
+                    }
+                    TaskPoll::Pending => Ok(StepOutcome::Pending),
+                    TaskPoll::Wait(t) => Ok(StepOutcome::WaitUntil(t)),
+                    // The forgery never landing is no loss to anyone.
+                    TaskPoll::DeadlineMissed | TaskPoll::Rejected(_) => {
+                        self.task = None;
+                        self.phase = Phase::SubmitCopy;
+                        Ok(StepOutcome::Progress)
+                    }
+                }
+            }
+
+            Phase::SubmitCopy => {
+                // The honest winner submits the true signed copy. The
+                // window is unbounded, so with a finite fault budget this
+                // always lands eventually.
+                let winner = self.winner();
+                if self.task.is_none() {
+                    let onchain = self.onchain_addr.expect("deployed");
+                    let copy = self.signed_copy();
+                    self.offchain_bytes_revealed = copy.bytecode.len();
+                    let data = self.onchain_abi.deploy_verified_instance(
+                        &copy.bytecode,
+                        &copy.signatures[0],
+                        &copy.signatures[1],
+                    );
+                    self.task = Some(TxTask::new(
+                        "deployVerifiedInstance",
+                        winner.wallet.clone(),
+                        Some(onchain),
+                        U256::ZERO,
+                        data,
+                        8_000_000,
+                        None,
+                    ));
+                }
+                match self.task.as_mut().expect("task set").poll(&mut ctx.chain) {
+                    TaskPoll::Landed(r) => {
+                        self.task = None;
+                        self.record(
+                            Stage::DisputeResolve,
+                            "deployVerifiedInstance",
+                            winner.wallet.address,
+                            &r,
+                        );
+                        if !r.success {
+                            return Err(ProtocolError::TxFailed("deployVerifiedInstance".into()));
+                        }
+                        self.phase = Phase::Resolve;
+                        Ok(StepOutcome::Progress)
+                    }
+                    TaskPoll::Pending => Ok(StepOutcome::Pending),
+                    TaskPoll::Wait(t) => Ok(StepOutcome::WaitUntil(t)),
+                    TaskPoll::DeadlineMissed | TaskPoll::Rejected(_) => {
+                        Err(ProtocolError::TxFailed("deployVerifiedInstance".into()))
+                    }
+                }
+            }
+
+            Phase::Resolve => {
+                let winner = self.winner();
+                if self.task.is_none() {
+                    // Read deployedAddr from the on-chain contract's
+                    // storage; anyone certified can then trigger the
+                    // miner-enforced resolution.
+                    let onchain = self.onchain_addr.expect("deployed");
+                    let instance = Address::from_u256(
+                        ctx.chain
+                            .storage_at(onchain, U256::from_u64(DEPLOYED_ADDR_SLOT)),
+                    );
+                    if instance.is_zero() {
+                        return Err(ProtocolError::NoVerifiedInstance);
+                    }
+                    let data = self.offchain_abi.return_dispute_resolution(onchain);
+                    self.task = Some(TxTask::new(
+                        "returnDisputeResolution",
+                        winner.wallet.clone(),
+                        Some(instance),
+                        U256::ZERO,
+                        data,
+                        8_000_000,
+                        None,
+                    ));
+                }
+                match self.task.as_mut().expect("task set").poll(&mut ctx.chain) {
+                    TaskPoll::Landed(r) => {
+                        self.task = None;
+                        self.record(
+                            Stage::DisputeResolve,
+                            "returnDisputeResolution",
+                            winner.wallet.address,
+                            &r,
+                        );
+                        if !r.success {
+                            return Err(ProtocolError::TxFailed("returnDisputeResolution".into()));
+                        }
+                        Ok(self.finish(Outcome::SettledByDispute))
+                    }
+                    TaskPoll::Pending => Ok(StepOutcome::Pending),
+                    TaskPoll::Wait(t) => Ok(StepOutcome::WaitUntil(t)),
+                    TaskPoll::DeadlineMissed | TaskPoll::Rejected(_) => {
+                        Err(ProtocolError::TxFailed("returnDisputeResolution".into()))
+                    }
+                }
+            }
+
+            Phase::Done => Ok(StepOutcome::Done),
+        }
+    }
+}
+
+impl Session for BettingSession {
+    fn step(&mut self, ctx: &mut SessionCtx<'_>) -> Result<StepOutcome, ProtocolError> {
+        BettingSession::step(self, ctx)
+    }
+
+    fn is_done(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    fn outcome_label(&self) -> Option<&'static str> {
+        self.outcome.map(|o| match o {
+            Outcome::AbortedAtSigning => "aborted-at-signing",
+            Outcome::Refunded => "refunded",
+            Outcome::SettledHonestly => "settled-honestly",
+            Outcome::SettledByDispute => "settled-by-dispute",
+        })
+    }
+
+    fn total_gas(&self) -> u64 {
+        self.txs.iter().map(|t| t.gas_used).sum()
+    }
+
+    fn tx_trace(&self) -> Vec<(String, bool)> {
+        self.txs
+            .iter()
+            .map(|t| (t.label.clone(), t.success))
+            .collect()
+    }
+
+    fn messages_posted(&self) -> usize {
+        self.posts
+    }
+}

@@ -1,0 +1,626 @@
+//! The submit/challenge protocol variant as a resumable state machine.
+//!
+//! Mirrors [`crate::challenge_protocol::ChallengeGame`] phase for
+//! phase: setup (deploy, stake + security deposits, wait out T2), then
+//! the representative's submission, the challenge window, and the
+//! escalation paths for a crashed representative (forced resolution for
+//! a watching counterparty, stake reclamation for a sleeping one). The
+//! behaviours — submit/watch strategies and the crash point — can be
+//! bound after setup, which is how the legacy wrapper reproduces its
+//! two-call `with_faults()` + `run_with_crash()` API on top of one
+//! machine.
+
+use super::{Session, SessionCtx, StepOutcome, TaskPoll, TxTask};
+use crate::challenge_protocol::{
+    ChallengeOutcome, ChallengeReport, ChallengeTx, CrashPoint, SubmitStrategy, WatchStrategy,
+};
+use crate::participant::Participant;
+use crate::protocol::ProtocolError;
+use crate::signedcopy::SignedCopy;
+use sc_chain::Receipt;
+use sc_contracts::challenge::{
+    security_deposit, stake, ChallengeContracts, CHALLENGE_DEPLOYED_ADDR_SLOT,
+};
+use sc_contracts::{BetSecrets, Timeline};
+use sc_primitives::{Address, U256};
+
+/// Where the machine is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Fund wallets, wait out the staggered start, fix the timeline.
+    Start,
+    /// Alice deploys the on-chain challenge contract.
+    Deploy,
+    /// Deposit (stake + security deposit) of participant `0`/`1`.
+    Deposit(usize),
+    /// Wait out T2 so results can be submitted.
+    AwaitT2,
+    /// Setup complete; route on the bound behaviours.
+    Ready,
+    /// Crashed representative: wait out the stale deadline.
+    StaleWait,
+    /// The watcher forces resolution with the signed copy.
+    StaleChallenge,
+    /// `returnDisputeResolution` after a stale-deadline challenge.
+    StaleResolve,
+    /// Sleeping parties reclaim their own funds, `bob` then `alice`.
+    Reclaim(usize),
+    /// The representative submits the (possibly false) result.
+    Submit,
+    /// The watcher challenges inside the window.
+    Challenge,
+    /// `returnDisputeResolution` after an in-window challenge.
+    ChallengeResolve,
+    /// Wait out the unchallenged window.
+    FinalizeWait,
+    /// Whoever is still up finalizes.
+    Finalize,
+    /// Terminal.
+    Done,
+}
+
+/// A mandatory send either landed successfully or tells the caller how
+/// to hold; everything else already became a [`ProtocolError`].
+enum Mandatory {
+    /// The receipt landed and succeeded.
+    Landed(Receipt),
+    /// Still in flight — surface this outcome to the scheduler.
+    Hold(StepOutcome),
+}
+
+/// Construction parameters for a [`ChallengeSession`].
+pub struct ChallengeSessionParams {
+    /// Participant 0 — the representative who submits.
+    pub alice: Participant,
+    /// Participant 1 — the watcher.
+    pub bob: Participant,
+    /// The private bet.
+    pub secrets: BetSecrets,
+    /// Challenge window in seconds.
+    pub window: u64,
+    /// Compiled contract pair (compile once, clone per session).
+    pub contracts: ChallengeContracts,
+    /// `Some` = use as-is (legacy); `None` = derive at session start.
+    pub timeline: Option<Timeline>,
+    /// Seconds after creation before the session begins deploying.
+    pub start_delay: u64,
+    /// Wei to mint per wallet at the first step (`None` = pre-funded).
+    pub funding: Option<U256>,
+    /// What the representative submits.
+    pub submit: SubmitStrategy,
+    /// What the watcher does during the window.
+    pub watch: WatchStrategy,
+    /// Whether (and when) the representative crashes.
+    pub crash: CrashPoint,
+}
+
+/// One challenge-variant game as a pollable state machine.
+pub struct ChallengeSession {
+    /// Compiled contract pair.
+    pub contracts: ChallengeContracts,
+    /// Participant 0 (also the representative who submits).
+    pub alice: Participant,
+    /// Participant 1 (the watcher).
+    pub bob: Participant,
+    /// Deployed on-chain contract.
+    pub onchain: Address,
+    /// The signed off-chain initcode.
+    pub bytecode: Vec<u8>,
+    /// The game's T1/T2 windows (T3 unused by this variant).
+    pub timeline: Timeline,
+    secrets: BetSecrets,
+    window: u64,
+    submit: SubmitStrategy,
+    watch: WatchStrategy,
+    crash: CrashPoint,
+    dynamic_timeline: bool,
+    start_delay: u64,
+    start_at: Option<u64>,
+    funding: Option<U256>,
+    phase: Phase,
+    task: Option<TxTask>,
+    proposed_at: u64,
+    revealed: usize,
+    txs: Vec<ChallengeTx>,
+    outcome: Option<ChallengeOutcome>,
+}
+
+impl ChallengeSession {
+    /// Builds the machine at its start state (nothing touched the chain
+    /// yet; the off-chain initcode is derived immediately).
+    pub fn new(params: ChallengeSessionParams) -> ChallengeSession {
+        let bytecode = params.contracts.offchain_initcode(
+            params.alice.wallet.address,
+            params.bob.wallet.address,
+            params.secrets,
+        );
+        let (timeline, dynamic_timeline) = match params.timeline {
+            Some(t) => (t, false),
+            None => (Timeline::starting_at(0, 3600), true),
+        };
+        ChallengeSession {
+            contracts: params.contracts,
+            alice: params.alice,
+            bob: params.bob,
+            onchain: Address::ZERO,
+            bytecode,
+            timeline,
+            secrets: params.secrets,
+            window: params.window,
+            submit: params.submit,
+            watch: params.watch,
+            crash: params.crash,
+            dynamic_timeline,
+            start_delay: params.start_delay,
+            start_at: None,
+            funding: params.funding,
+            phase: Phase::Start,
+            task: None,
+            proposed_at: 0,
+            revealed: 0,
+            txs: Vec::new(),
+            outcome: None,
+        }
+    }
+
+    /// Rebinds the behaviours. Only meaningful while the machine sits at
+    /// `Ready` — the legacy wrapper finishes setup first, then binds the
+    /// strategies its `run_with_crash()` caller chose.
+    pub fn set_behaviour(
+        &mut self,
+        submit: SubmitStrategy,
+        watch: WatchStrategy,
+        crash: CrashPoint,
+    ) {
+        self.submit = submit;
+        self.watch = watch;
+        self.crash = crash;
+    }
+
+    /// True while the machine sits at the post-setup hold point.
+    pub fn is_ready(&self) -> bool {
+        self.phase == Phase::Ready
+    }
+
+    /// The fully signed copy of the off-chain contract.
+    pub fn signed_copy(&self) -> SignedCopy {
+        SignedCopy::create(
+            self.bytecode.clone(),
+            &[&self.alice.wallet.key, &self.bob.wallet.key],
+        )
+    }
+
+    /// The terminal outcome, once the session is done.
+    pub fn outcome(&self) -> Option<ChallengeOutcome> {
+        self.outcome
+    }
+
+    /// Builds the run report.
+    pub fn report(&self) -> ChallengeReport {
+        ChallengeReport {
+            txs: self.txs.clone(),
+            outcome: self.outcome.expect("session not finished"),
+            winner_is_bob: self.secrets.winner_is_bob(),
+            offchain_bytes_revealed: self.revealed,
+        }
+    }
+
+    fn record(&mut self, label: &str, sender: Address, r: &Receipt) {
+        self.txs.push(ChallengeTx {
+            label: label.into(),
+            sender,
+            gas_used: r.gas_used,
+            success: r.success,
+        });
+    }
+
+    fn finish(&mut self, outcome: ChallengeOutcome) -> StepOutcome {
+        self.outcome = Some(outcome);
+        self.phase = Phase::Done;
+        StepOutcome::Done
+    }
+
+    fn claimed(&self) -> bool {
+        let truth = self.secrets.winner_is_bob();
+        match self.submit {
+            SubmitStrategy::Truthful => truth,
+            SubmitStrategy::False => !truth,
+        }
+    }
+
+    /// The address the miner-enforced resolution instance was deployed
+    /// to by a successful `challenge()`.
+    fn challenge_instance(&self, ctx: &SessionCtx<'_>) -> Address {
+        Address::from_u256(
+            ctx.chain
+                .storage_at(self.onchain, U256::from_u64(CHALLENGE_DEPLOYED_ADDR_SLOT)),
+        )
+    }
+
+    /// Polls the current task; a landed receipt is recorded and must be
+    /// successful, anything else (deadline, rejection, revert) is a
+    /// protocol failure. This is the common shape of every mandatory
+    /// send in this variant — the legacy driver `.expect()`ed them all.
+    fn poll_mandatory(
+        &mut self,
+        ctx: &mut SessionCtx<'_>,
+        sender: Address,
+    ) -> Result<Mandatory, ProtocolError> {
+        let task = self.task.as_mut().expect("task set");
+        let label = task.label();
+        match task.poll(&mut ctx.chain) {
+            TaskPoll::Landed(r) => {
+                self.task = None;
+                self.record(label, sender, &r);
+                if !r.success {
+                    return Err(ProtocolError::TxFailed(label.into()));
+                }
+                Ok(Mandatory::Landed(r))
+            }
+            TaskPoll::Pending => Ok(Mandatory::Hold(StepOutcome::Pending)),
+            TaskPoll::Wait(t) => Ok(Mandatory::Hold(StepOutcome::WaitUntil(t))),
+            TaskPoll::DeadlineMissed => Err(ProtocolError::TxFailed(label.into())),
+            TaskPoll::Rejected(e) => Err(ProtocolError::TxFailed(format!("{label}: {e}"))),
+        }
+    }
+
+    /// Makes one bounded unit of progress.
+    pub fn step(&mut self, ctx: &mut SessionCtx<'_>) -> Result<StepOutcome, ProtocolError> {
+        match self.phase {
+            Phase::Start => {
+                if let Some(amount) = self.funding.take() {
+                    ctx.chain.faucet(self.alice.wallet.address, amount);
+                    ctx.chain.faucet(self.bob.wallet.address, amount);
+                }
+                let now = ctx.chain.now();
+                let start = *self.start_at.get_or_insert(now + self.start_delay);
+                if now < start {
+                    return Ok(StepOutcome::WaitUntil(start));
+                }
+                if self.dynamic_timeline {
+                    self.timeline = Timeline::starting_at(now, 3600);
+                }
+                self.phase = Phase::Deploy;
+                Ok(StepOutcome::Progress)
+            }
+
+            Phase::Deploy => {
+                if self.task.is_none() {
+                    let initcode = self.contracts.onchain_initcode(
+                        self.alice.wallet.address,
+                        self.bob.wallet.address,
+                        self.timeline,
+                        self.window,
+                    );
+                    self.task = Some(TxTask::new(
+                        "deploy onChainChallenge",
+                        self.alice.wallet.clone(),
+                        None,
+                        U256::ZERO,
+                        initcode,
+                        7_000_000,
+                        None,
+                    ));
+                }
+                let sender = self.alice.wallet.address;
+                match self.poll_mandatory(ctx, sender)? {
+                    Mandatory::Landed(r) => {
+                        self.onchain = r.contract_address.expect("created");
+                        self.phase = Phase::Deposit(0);
+                        Ok(StepOutcome::Progress)
+                    }
+                    Mandatory::Hold(h) => Ok(h),
+                }
+            }
+
+            Phase::Deposit(idx) => {
+                if idx >= 2 {
+                    self.phase = Phase::AwaitT2;
+                    return Ok(StepOutcome::Progress);
+                }
+                let wallet = if idx == 0 {
+                    self.alice.wallet.clone()
+                } else {
+                    self.bob.wallet.clone()
+                };
+                if self.task.is_none() {
+                    self.task = Some(TxTask::new(
+                        "deposit",
+                        wallet.clone(),
+                        Some(self.onchain),
+                        stake().wrapping_add(security_deposit()),
+                        self.contracts.deposit(),
+                        400_000,
+                        Some(self.timeline.t1),
+                    ));
+                }
+                match self.poll_mandatory(ctx, wallet.address)? {
+                    Mandatory::Landed(_) => {
+                        self.phase = Phase::Deposit(idx + 1);
+                        Ok(StepOutcome::Progress)
+                    }
+                    Mandatory::Hold(h) => Ok(h),
+                }
+            }
+
+            Phase::AwaitT2 => {
+                // Move past T2 so results can be submitted.
+                let now = ctx.chain.now();
+                if now <= self.timeline.t2 {
+                    return Ok(StepOutcome::WaitUntil(self.timeline.t2 + 60));
+                }
+                self.phase = Phase::Ready;
+                Ok(StepOutcome::Progress)
+            }
+
+            Phase::Ready => {
+                // Route on the (possibly re-bound) behaviours. A crashed
+                // representative never submits; everyone else does.
+                self.phase = if self.crash == CrashPoint::BeforeSubmit {
+                    Phase::StaleWait
+                } else {
+                    Phase::Submit
+                };
+                Ok(StepOutcome::Progress)
+            }
+
+            Phase::StaleWait => {
+                // No result ever arrives; the counterparty waits out the
+                // stale deadline, then escalates per its watch strategy.
+                let stale_deadline = self.timeline.t2 + self.window;
+                let now = ctx.chain.now();
+                if now <= stale_deadline {
+                    return Ok(StepOutcome::WaitUntil(stale_deadline + 60));
+                }
+                self.phase = match self.watch {
+                    WatchStrategy::Vigilant | WatchStrategy::Frivolous => Phase::StaleChallenge,
+                    WatchStrategy::Asleep => Phase::Reclaim(0),
+                };
+                Ok(StepOutcome::Progress)
+            }
+
+            Phase::StaleChallenge => {
+                // Force the miner-enforced resolution with the signed
+                // copy — the crashed side's stake is not a hostage.
+                if self.task.is_none() {
+                    let copy = self.signed_copy();
+                    let data = self.contracts.challenge(
+                        &copy.bytecode,
+                        &copy.signatures[0],
+                        &copy.signatures[1],
+                    );
+                    self.task = Some(TxTask::new(
+                        "challenge",
+                        self.bob.wallet.clone(),
+                        Some(self.onchain),
+                        U256::ZERO,
+                        data,
+                        7_900_000,
+                        None,
+                    ));
+                }
+                let sender = self.bob.wallet.address;
+                match self.poll_mandatory(ctx, sender)? {
+                    Mandatory::Landed(_) => {
+                        self.revealed = self.bytecode.len();
+                        self.phase = Phase::StaleResolve;
+                        Ok(StepOutcome::Progress)
+                    }
+                    Mandatory::Hold(h) => Ok(h),
+                }
+            }
+
+            Phase::StaleResolve | Phase::ChallengeResolve => {
+                if self.task.is_none() {
+                    let instance = self.challenge_instance(ctx);
+                    self.task = Some(TxTask::new(
+                        "returnDisputeResolution",
+                        self.bob.wallet.clone(),
+                        Some(instance),
+                        U256::ZERO,
+                        self.contracts.return_dispute_resolution(self.onchain),
+                        7_900_000,
+                        None,
+                    ));
+                }
+                let sender = self.bob.wallet.address;
+                match self.poll_mandatory(ctx, sender)? {
+                    Mandatory::Landed(_) => Ok(self.finish(ChallengeOutcome::ResolvedByChallenge)),
+                    Mandatory::Hold(h) => Ok(h),
+                }
+            }
+
+            Phase::Reclaim(idx) => {
+                if idx >= 2 {
+                    return Ok(self.finish(ChallengeOutcome::ReclaimedStale));
+                }
+                // The watcher first, then the (restarted) representative.
+                let wallet = if idx == 0 {
+                    self.bob.wallet.clone()
+                } else {
+                    self.alice.wallet.clone()
+                };
+                if self.task.is_none() {
+                    self.task = Some(TxTask::new(
+                        "reclaimNoSubmission",
+                        wallet.clone(),
+                        Some(self.onchain),
+                        U256::ZERO,
+                        self.contracts.reclaim_no_submission(),
+                        400_000,
+                        None,
+                    ));
+                }
+                match self.poll_mandatory(ctx, wallet.address)? {
+                    Mandatory::Landed(_) => {
+                        self.phase = Phase::Reclaim(idx + 1);
+                        Ok(StepOutcome::Progress)
+                    }
+                    Mandatory::Hold(h) => Ok(h),
+                }
+            }
+
+            Phase::Submit => {
+                if self.task.is_none() {
+                    self.task = Some(TxTask::new(
+                        "submitResult",
+                        self.alice.wallet.clone(),
+                        Some(self.onchain),
+                        U256::ZERO,
+                        self.contracts.submit_result(self.claimed()),
+                        7_900_000,
+                        None,
+                    ));
+                }
+                let sender = self.alice.wallet.address;
+                match self.poll_mandatory(ctx, sender)? {
+                    Mandatory::Landed(r) => {
+                        // The challenge window opens at the block that
+                        // mined the submission (mining delays included).
+                        self.proposed_at = ctx.chain.block_timestamp(r.block_number);
+                        let wants_challenge = match self.watch {
+                            WatchStrategy::Vigilant => {
+                                self.claimed() != self.secrets.winner_is_bob()
+                            }
+                            WatchStrategy::Asleep => false,
+                            WatchStrategy::Frivolous => true,
+                        };
+                        self.phase = if wants_challenge {
+                            Phase::Challenge
+                        } else {
+                            Phase::FinalizeWait
+                        };
+                        Ok(StepOutcome::Progress)
+                    }
+                    Mandatory::Hold(h) => Ok(h),
+                }
+            }
+
+            Phase::Challenge => {
+                // Bob challenges with the signed copy inside the window.
+                // This send is *not* mandatory: a challenge that cannot
+                // land before the window closes (injected delays), is
+                // rejected outright, or lands reverted degrades to the
+                // finalize path.
+                if self.task.is_none() {
+                    let copy = self.signed_copy();
+                    let data = self.contracts.challenge(
+                        &copy.bytecode,
+                        &copy.signatures[0],
+                        &copy.signatures[1],
+                    );
+                    self.task = Some(TxTask::new(
+                        "challenge",
+                        self.bob.wallet.clone(),
+                        Some(self.onchain),
+                        U256::ZERO,
+                        data,
+                        7_900_000,
+                        Some(self.proposed_at + self.window),
+                    ));
+                }
+                let sender = self.bob.wallet.address;
+                let task = self.task.as_mut().expect("task set");
+                match task.poll(&mut ctx.chain) {
+                    TaskPoll::Landed(r) => {
+                        self.task = None;
+                        self.record("challenge", sender, &r);
+                        self.phase = if r.success {
+                            self.revealed = self.bytecode.len();
+                            Phase::ChallengeResolve
+                        } else {
+                            Phase::FinalizeWait
+                        };
+                        Ok(StepOutcome::Progress)
+                    }
+                    TaskPoll::Pending => Ok(StepOutcome::Pending),
+                    TaskPoll::Wait(t) => Ok(StepOutcome::WaitUntil(t)),
+                    TaskPoll::DeadlineMissed | TaskPoll::Rejected(_) => {
+                        self.task = None;
+                        self.phase = Phase::FinalizeWait;
+                        Ok(StepOutcome::Progress)
+                    }
+                }
+            }
+
+            Phase::FinalizeWait => {
+                // Window passes quietly (or the challenge missed it).
+                let window_end = self.proposed_at + self.window;
+                let now = ctx.chain.now();
+                if now <= window_end {
+                    return Ok(StepOutcome::WaitUntil(window_end + 60));
+                }
+                self.phase = Phase::Finalize;
+                Ok(StepOutcome::Progress)
+            }
+
+            Phase::Finalize => {
+                // Whoever is still up finalizes — the crashed
+                // representative cannot, the watcher can.
+                let wallet = if self.crash == CrashPoint::AfterSubmit {
+                    self.bob.wallet.clone()
+                } else {
+                    self.alice.wallet.clone()
+                };
+                if self.task.is_none() {
+                    self.task = Some(TxTask::new(
+                        "finalize",
+                        wallet.clone(),
+                        Some(self.onchain),
+                        U256::ZERO,
+                        self.contracts.finalize(),
+                        7_900_000,
+                        None,
+                    ));
+                }
+                match self.poll_mandatory(ctx, wallet.address)? {
+                    Mandatory::Landed(_) => {
+                        let outcome = if self.claimed() == self.secrets.winner_is_bob() {
+                            ChallengeOutcome::FinalizedUnchallenged
+                        } else {
+                            ChallengeOutcome::LieStood
+                        };
+                        Ok(self.finish(outcome))
+                    }
+                    Mandatory::Hold(h) => Ok(h),
+                }
+            }
+
+            Phase::Done => Ok(StepOutcome::Done),
+        }
+    }
+}
+
+impl Session for ChallengeSession {
+    fn step(&mut self, ctx: &mut SessionCtx<'_>) -> Result<StepOutcome, ProtocolError> {
+        ChallengeSession::step(self, ctx)
+    }
+
+    fn is_done(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    fn outcome_label(&self) -> Option<&'static str> {
+        self.outcome.map(|o| match o {
+            ChallengeOutcome::FinalizedUnchallenged => "finalized-unchallenged",
+            ChallengeOutcome::ResolvedByChallenge => "resolved-by-challenge",
+            ChallengeOutcome::LieStood => "lie-stood",
+            ChallengeOutcome::ReclaimedStale => "reclaimed-stale",
+        })
+    }
+
+    fn total_gas(&self) -> u64 {
+        self.txs.iter().map(|t| t.gas_used).sum()
+    }
+
+    fn tx_trace(&self) -> Vec<(String, bool)> {
+        self.txs
+            .iter()
+            .map(|t| (t.label.clone(), t.success))
+            .collect()
+    }
+
+    fn messages_posted(&self) -> usize {
+        0 // this variant exchanges no off-chain messages in-protocol
+    }
+}

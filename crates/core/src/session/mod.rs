@@ -1,0 +1,289 @@
+//! The session engine: protocol drivers as resumable state machines.
+//!
+//! PR 2 left the repo with two near-duplicate *blocking* drivers
+//! ([`crate::protocol`] and [`crate::challenge_protocol`]), each owning
+//! a private chain that mines one block per transaction. This module
+//! extracts the shared machinery — deadline-driven retry with capped
+//! backoff ([`retry`]), the signature re-post/verify exchange
+//! ([`sign`]), transaction submission with receipt tracking and report
+//! accumulation — and rewrites each protocol as a state machine that
+//! makes *one bounded unit of progress per [`Session::step`] call* and
+//! yields whenever it must wait for the clock or for a block.
+//!
+//! Yielding is what makes multi-tenancy possible: a
+//! [`scheduler::SessionScheduler`] interleaves N heterogeneous sessions
+//! (betting and challenge, honest and Byzantine, each under its own
+//! [`FaultPlan`](crate::faults::FaultPlan) and whisper topic namespace)
+//! over **one shared [`Testnet`]**, batching every session's pending
+//! transactions into shared blocks via `submit_batch`. The legacy
+//! single-session `run()` entry points survive as thin wrappers that
+//! drive the same state machines in [`ChainPort::Immediate`] mode,
+//! reproducing the old one-block-per-transaction behaviour exactly.
+
+pub mod betting;
+pub mod challenge;
+pub mod retry;
+pub mod scheduler;
+pub mod sign;
+
+pub use betting::{BettingSession, BettingSessionParams};
+pub use challenge::{ChallengeSession, ChallengeSessionParams};
+pub use retry::{TaskPoll, TxTask, BACKOFF_BASE_SECS, MAX_ATTEMPTS};
+pub use scheduler::{
+    BettingSpec, ChallengeSpec, SchedulerStats, SessionReport, SessionScheduler, SessionSpec,
+};
+pub use sign::{SignExchange, MAX_SIGN_ROUNDS, SIGN_ROUND_SECS};
+
+use crate::faults::{ChainFaults, FaultyWhisper, FlakyNet, NetError, SubmitFault, WhisperFaults};
+use crate::protocol::ProtocolError;
+use crate::whisper::{Envelope, Whisper};
+use sc_chain::{Receipt, SignedTransaction, Testnet, Transaction, TxError, Wallet};
+use sc_primitives::{Address, H256, U256};
+use std::collections::HashMap;
+
+/// What one [`Session::step`] call achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The machine advanced and can be stepped again immediately.
+    Progress,
+    /// A transaction was queued for the next shared block; step again
+    /// after the block is mined. Never returned in immediate mode.
+    Pending,
+    /// Nothing to do until the chain clock reaches this timestamp.
+    WaitUntil(u64),
+    /// The session reached a terminal outcome.
+    Done,
+}
+
+/// How a session reaches the chain.
+///
+/// The two variants are the whole difference between the legacy
+/// single-tenant drivers and the scheduler: `Immediate` signs, submits
+/// and mines one block per transaction on a session-private [`FlakyNet`]
+/// (receipts are synchronous, injected mining delays move that chain's
+/// clock); `Shared` self-signs against the mempool-aware nonce and
+/// queues into the tick's shared outbox — the scheduler flushes all
+/// sessions' queues into one `submit_batch` call and mines one shared
+/// block, and injected mining delays become session-local waits so one
+/// session's bad luck never moves the shared clock.
+pub enum ChainPort<'a> {
+    /// Legacy mode: a session-private chain; submissions mine instantly.
+    Immediate(&'a mut FlakyNet),
+    /// Scheduler mode: one shared chain, per-session fault schedule,
+    /// shared outbox and admission-error routing.
+    Shared {
+        /// The shared chain.
+        net: &'a mut Testnet,
+        /// This session's chain fault schedule.
+        faults: &'a mut ChainFaults,
+        /// The tick's shared transaction queue, tagged with the sender so
+        /// nonce assignment for a wallet's next tx in the same tick does
+        /// not need to re-recover signers.
+        outbox: &'a mut Vec<(Address, SignedTransaction)>,
+        /// Admission errors from the last flush, routed back by tx hash.
+        rejections: &'a mut HashMap<H256, TxError>,
+    },
+}
+
+/// Result of one [`ChainPort::submit`] attempt.
+pub enum SendOutcome {
+    /// The transaction was mined (immediate mode only).
+    Landed(Receipt),
+    /// The transaction joined the shared outbox (shared mode only);
+    /// poll [`ChainPort::receipt`] after the next block.
+    Queued(H256),
+    /// An injected transient failure ate the submission; back off and
+    /// retry.
+    Transient,
+    /// An injected mining delay: retry after this many seconds
+    /// *without* a new fault roll (shared mode only — immediate mode
+    /// applies the delay to its private clock internally).
+    HeldFor(u64),
+    /// The node rejected the transaction for a deterministic reason.
+    Rejected(TxError),
+}
+
+impl ChainPort<'_> {
+    /// The timestamp the next block will carry.
+    pub fn now(&self) -> u64 {
+        match self {
+            ChainPort::Immediate(net) => net.now(),
+            ChainPort::Shared { net, .. } => net.now(),
+        }
+    }
+
+    /// Timestamp of the current head block.
+    pub fn head_timestamp(&self) -> u64 {
+        match self {
+            ChainPort::Immediate(net) => net.head().timestamp,
+            ChainPort::Shared { net, .. } => net.head().timestamp,
+        }
+    }
+
+    /// Timestamp of the block a receipt landed in (head's timestamp if
+    /// the number is somehow unknown, which cannot happen for a mined
+    /// receipt).
+    pub fn block_timestamp(&self, number: u64) -> u64 {
+        let lookup = |net: &Testnet| {
+            net.block(number)
+                .map_or_else(|| net.head().timestamp, |b| b.timestamp)
+        };
+        match self {
+            ChainPort::Immediate(net) => lookup(net),
+            ChainPort::Shared { net, .. } => lookup(net),
+        }
+    }
+
+    /// Storage slot lookup.
+    pub fn storage_at(&self, a: Address, key: U256) -> U256 {
+        match self {
+            ChainPort::Immediate(net) => net.storage_at(a, key),
+            ChainPort::Shared { net, .. } => net.storage_at(a, key),
+        }
+    }
+
+    /// Mints balance for a session wallet (scheduler-funded sessions).
+    pub fn faucet(&mut self, a: Address, amount: U256) {
+        match self {
+            ChainPort::Immediate(net) => net.faucet(a, amount),
+            ChainPort::Shared { net, .. } => net.faucet(a, amount),
+        }
+    }
+
+    /// Receipt of a previously queued transaction, once mined.
+    pub fn receipt(&self, hash: H256) -> Option<Receipt> {
+        match self {
+            ChainPort::Immediate(net) => net.receipt(hash).cloned(),
+            ChainPort::Shared { net, .. } => net.receipt(hash).cloned(),
+        }
+    }
+
+    /// Takes the admission error routed back for a queued transaction,
+    /// if its batch flush rejected it.
+    pub fn take_rejection(&mut self, hash: H256) -> Option<TxError> {
+        match self {
+            ChainPort::Immediate(_) => None,
+            ChainPort::Shared { rejections, .. } => rejections.remove(&hash),
+        }
+    }
+
+    /// Submits one transaction through the session's fault schedule.
+    /// `roll_fault` is false when resuming after [`SendOutcome::HeldFor`]
+    /// (that submission's fault was already drawn).
+    pub fn submit(
+        &mut self,
+        wallet: &Wallet,
+        to: Option<Address>,
+        value: U256,
+        data: Vec<u8>,
+        gas_limit: u64,
+        roll_fault: bool,
+    ) -> SendOutcome {
+        match self {
+            ChainPort::Immediate(net) => {
+                let sent = match to {
+                    Some(to) => net.execute(wallet, to, value, data, gas_limit),
+                    None => net.deploy(wallet, data, value, gas_limit),
+                };
+                match sent {
+                    Ok(r) => SendOutcome::Landed(r),
+                    Err(NetError::Transient(_)) => SendOutcome::Transient,
+                    Err(NetError::Rejected(e)) => SendOutcome::Rejected(e),
+                }
+            }
+            ChainPort::Shared {
+                net,
+                faults,
+                outbox,
+                ..
+            } => {
+                if roll_fault {
+                    match faults.pre_submit() {
+                        SubmitFault::None => {}
+                        SubmitFault::Transient(_) => return SendOutcome::Transient,
+                        SubmitFault::MiningDelay(secs) => return SendOutcome::HeldFor(secs),
+                    }
+                }
+                // Self-signing against the shared mempool: the nonce must
+                // account for this wallet's queued-but-unflushed txs too.
+                let queued = outbox
+                    .iter()
+                    .filter(|(from, _)| *from == wallet.address)
+                    .count() as u64;
+                let tx = Transaction {
+                    nonce: net.effective_nonce(wallet.address) + queued,
+                    gas_price: net.config().default_gas_price,
+                    gas_limit,
+                    to,
+                    value,
+                    data,
+                };
+                let signed = tx.sign(&wallet.key);
+                let hash = signed.hash();
+                outbox.push((wallet.address, signed));
+                SendOutcome::Queued(hash)
+            }
+        }
+    }
+}
+
+/// How a session reaches the off-chain message bus.
+pub enum BusPort<'a> {
+    /// Legacy mode: a session-private faulty bus.
+    Owned(&'a mut FaultyWhisper),
+    /// Scheduler mode: one shared bus, per-session fault schedule.
+    Shared {
+        /// The shared bus.
+        bus: &'a mut Whisper,
+        /// This session's whisper fault schedule.
+        faults: &'a mut WhisperFaults,
+    },
+}
+
+impl BusPort<'_> {
+    /// Publishes through the session's fault schedule.
+    pub fn post(&mut self, from: Address, topic: &str, payload: Vec<u8>) {
+        match self {
+            BusPort::Owned(w) => w.post(from, topic, payload),
+            BusPort::Shared { bus, faults } => faults.post(bus, from, topic, payload),
+        }
+    }
+
+    /// Polls unseen messages through the session's fault schedule.
+    pub fn poll(&mut self, reader: Address, topic: &str) -> Vec<Envelope> {
+        match self {
+            BusPort::Owned(w) => w.poll(reader, topic),
+            BusPort::Shared { bus, faults } => faults.poll(bus, reader, topic),
+        }
+    }
+}
+
+/// Everything a session may touch during one step.
+pub struct SessionCtx<'a> {
+    /// The chain, immediate or shared.
+    pub chain: ChainPort<'a>,
+    /// The message bus, owned or shared.
+    pub bus: BusPort<'a>,
+}
+
+/// A protocol session the scheduler can drive to completion.
+pub trait Session {
+    /// Makes one bounded unit of progress.
+    fn step(&mut self, ctx: &mut SessionCtx<'_>) -> Result<StepOutcome, ProtocolError>;
+
+    /// True once the session reached a terminal outcome.
+    fn is_done(&self) -> bool;
+
+    /// Short human label for the terminal outcome (`None` until done).
+    fn outcome_label(&self) -> Option<&'static str>;
+
+    /// Gas charged across every transaction this session sent.
+    fn total_gas(&self) -> u64;
+
+    /// `(label, success)` of every on-chain transaction, in order —
+    /// the observable trace the determinism tests compare.
+    fn tx_trace(&self) -> Vec<(String, bool)>;
+
+    /// Off-chain messages this session attempted to post (pre-fault).
+    fn messages_posted(&self) -> usize;
+}

@@ -1,0 +1,158 @@
+//! Deadline-driven transaction retry as a pollable task.
+//!
+//! Both legacy drivers carried a private copy of the same blocking loop:
+//! try to send, back off exponentially on injected transient failures,
+//! give up when the contract window closes or a deterministic rejection
+//! arrives. [`TxTask`] is that loop turned inside out — each
+//! [`TxTask::poll`] makes at most one submission attempt and reports
+//! what the caller should do next, so a scheduler can interleave many
+//! sessions' retries instead of blocking on one.
+
+use super::{ChainPort, SendOutcome};
+use crate::faults::MAX_INJECTED_SECS;
+use sc_chain::{Receipt, TxError, Wallet};
+use sc_primitives::{Address, H256, U256};
+
+/// Most submission attempts per task. Far above any fault budget, so
+/// exhaustion implies a deterministic failure, not bad luck.
+pub const MAX_ATTEMPTS: u32 = 64;
+
+/// First retry backoff in seconds (doubles, capped at
+/// [`MAX_INJECTED_SECS`]).
+pub const BACKOFF_BASE_SECS: u64 = 15;
+
+/// What one [`TxTask::poll`] concluded.
+#[derive(Debug)]
+pub enum TaskPoll {
+    /// The transaction was mined; here is its receipt (possibly a
+    /// revert — the caller decides what a failure means).
+    Landed(Receipt),
+    /// The transaction is queued for the next shared block; poll again
+    /// after it is mined.
+    Pending,
+    /// Back off: poll again once the chain clock reaches this timestamp.
+    Wait(u64),
+    /// The contract window closed (or attempts ran out) before the
+    /// transaction could land.
+    DeadlineMissed,
+    /// The node rejected the transaction deterministically.
+    Rejected(TxError),
+}
+
+/// One transaction being pushed toward the chain through faults and
+/// deadlines. Create it when a protocol phase needs a send; poll it
+/// every step until it resolves.
+pub struct TxTask {
+    label: &'static str,
+    wallet: Wallet,
+    to: Option<Address>,
+    value: U256,
+    data: Vec<u8>,
+    gas: u64,
+    deadline: Option<u64>,
+    backoff: u64,
+    attempts: u32,
+    /// Set after an injected mining delay in shared mode: the fault for
+    /// this submission was already drawn, so the resumed attempt must
+    /// not roll again (that would double-draw the fault stream).
+    skip_fault_roll: bool,
+    in_flight: Option<H256>,
+}
+
+impl TxTask {
+    /// Describes a transaction to be sent. `to: None` deploys `data` as
+    /// initcode; `deadline: None` retries without a window.
+    pub fn new(
+        label: &'static str,
+        wallet: Wallet,
+        to: Option<Address>,
+        value: U256,
+        data: Vec<u8>,
+        gas: u64,
+        deadline: Option<u64>,
+    ) -> TxTask {
+        TxTask {
+            label,
+            wallet,
+            to,
+            value,
+            data,
+            gas,
+            deadline,
+            backoff: BACKOFF_BASE_SECS,
+            attempts: 0,
+            skip_fault_roll: false,
+            in_flight: None,
+        }
+    }
+
+    /// The label this transaction is recorded under.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// The sending address.
+    pub fn sender(&self) -> Address {
+        self.wallet.address
+    }
+
+    /// Makes at most one submission attempt (or checks on an in-flight
+    /// queued transaction) and reports how to proceed.
+    pub fn poll(&mut self, chain: &mut ChainPort<'_>) -> TaskPoll {
+        if let Some(hash) = self.in_flight {
+            if let Some(e) = chain.take_rejection(hash) {
+                self.in_flight = None;
+                return TaskPoll::Rejected(e);
+            }
+            return match chain.receipt(hash) {
+                Some(r) => {
+                    self.in_flight = None;
+                    TaskPoll::Landed(r)
+                }
+                None => TaskPoll::Pending,
+            };
+        }
+        if let Some(d) = self.deadline {
+            if chain.now() >= d {
+                return TaskPoll::DeadlineMissed;
+            }
+        }
+        if self.attempts >= MAX_ATTEMPTS {
+            // Unreachable while MAX_ATTEMPTS exceeds every fault budget,
+            // but bounded regardless: a task can stall, never hang.
+            return TaskPoll::DeadlineMissed;
+        }
+        self.attempts += 1;
+        let roll = !self.skip_fault_roll;
+        self.skip_fault_roll = false;
+        match chain.submit(
+            &self.wallet,
+            self.to,
+            self.value,
+            self.data.clone(),
+            self.gas,
+            roll,
+        ) {
+            SendOutcome::Landed(r) => TaskPoll::Landed(r),
+            SendOutcome::Queued(hash) => {
+                self.in_flight = Some(hash);
+                TaskPoll::Pending
+            }
+            SendOutcome::Transient => {
+                // The injected failure consumed fault budget; wait it out
+                // and try again.
+                let at = chain.now() + self.backoff;
+                self.backoff = (self.backoff * 2).min(MAX_INJECTED_SECS);
+                TaskPoll::Wait(at)
+            }
+            SendOutcome::HeldFor(secs) => {
+                // A mining delay holds only this session back; the
+                // submission itself is still owed, without a re-roll.
+                self.attempts -= 1;
+                self.skip_fault_roll = true;
+                TaskPoll::Wait(chain.now() + secs)
+            }
+            SendOutcome::Rejected(e) => TaskPoll::Rejected(e),
+        }
+    }
+}

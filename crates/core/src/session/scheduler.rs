@@ -1,0 +1,411 @@
+//! Multiplexes N heterogeneous protocol sessions over one shared chain.
+//!
+//! Each [`SessionSpec`] becomes a slot holding a boxed [`Session`] state
+//! machine plus that session's private fault schedules. One scheduler
+//! *tick* wakes every slot whose wait expired, steps each runnable slot
+//! until it yields, then flushes every session's queued transactions
+//! into a single `submit_batch` call and mines **one shared block** —
+//! the multi-tenancy the paper's design implies but the legacy
+//! one-chain-per-game drivers never exercised. When nothing is runnable
+//! and nothing is queued, the clock jumps straight to the earliest wait
+//! target, so hour-long contract windows cost nothing to simulate.
+//!
+//! Determinism: slots are stepped in fixed index order, each slot owns
+//! its own seeded [`FaultPlan`] streams, wallets derive from the slot
+//! id, and whisper traffic is namespaced per session via
+//! [`Topic::scoped`] — two runs from identical specs produce identical
+//! chains, traces and outcomes.
+
+use super::{
+    BettingSession, BettingSessionParams, BusPort, ChainPort, ChallengeSession,
+    ChallengeSessionParams, Session, SessionCtx, StepOutcome,
+};
+use crate::challenge_protocol::{CrashPoint, SubmitStrategy, WatchStrategy};
+use crate::faults::{ChainFaults, FaultPlan, WhisperFaults};
+use crate::participant::{Participant, Strategy};
+use crate::protocol::GameConfig;
+use crate::whisper::{Topic, Whisper};
+use sc_chain::{SignedTransaction, Testnet, TxError};
+use sc_contracts::challenge::ChallengeContracts;
+use sc_contracts::{BetSecrets, OffChainContract, OnChainContract};
+use sc_primitives::{ether, Address, H256};
+use std::collections::HashMap;
+
+/// Ticks before the scheduler declares itself stalled and panics with a
+/// state dump. Every tick does real work (a step, a block, or a clock
+/// jump), so even 256 fault-ridden sessions finish in a few thousand.
+const MAX_TICKS: u64 = 2_000_000;
+
+/// Specification of one betting-variant session.
+#[derive(Debug, Clone)]
+pub struct BettingSpec {
+    /// Participant 0's strategy.
+    pub alice: Strategy,
+    /// Participant 1's strategy.
+    pub bob: Strategy,
+    /// The private bet.
+    pub secrets: BetSecrets,
+    /// Seconds between T0→T1→T2→T3.
+    pub phase_seconds: u64,
+    /// `Some(seed)` injects that deterministic fault schedule.
+    pub fault_seed: Option<u64>,
+    /// Seconds after scheduler start before this session begins.
+    pub start_delay: u64,
+}
+
+impl Default for BettingSpec {
+    fn default() -> Self {
+        BettingSpec {
+            alice: Strategy::Honest,
+            bob: Strategy::Honest,
+            secrets: GameConfig::default().secrets,
+            phase_seconds: 3600,
+            fault_seed: None,
+            start_delay: 0,
+        }
+    }
+}
+
+/// Specification of one challenge-variant session.
+#[derive(Debug, Clone)]
+pub struct ChallengeSpec {
+    /// The private bet.
+    pub secrets: BetSecrets,
+    /// Challenge window in seconds.
+    pub window: u64,
+    /// What the representative submits.
+    pub submit: SubmitStrategy,
+    /// What the watcher does during the window.
+    pub watch: WatchStrategy,
+    /// Whether (and when) the representative crashes.
+    pub crash: CrashPoint,
+    /// `Some(seed)` injects that deterministic fault schedule.
+    pub fault_seed: Option<u64>,
+    /// Seconds after scheduler start before this session begins.
+    pub start_delay: u64,
+}
+
+impl Default for ChallengeSpec {
+    fn default() -> Self {
+        ChallengeSpec {
+            secrets: GameConfig::default().secrets,
+            window: 1800,
+            submit: SubmitStrategy::Truthful,
+            watch: WatchStrategy::Vigilant,
+            crash: CrashPoint::None,
+            fault_seed: None,
+            start_delay: 0,
+        }
+    }
+}
+
+/// One session to multiplex: which protocol variant, with which knobs.
+#[derive(Debug, Clone)]
+pub enum SessionSpec {
+    /// A four-stage betting game.
+    Betting(BettingSpec),
+    /// A submit/challenge game.
+    Challenge(ChallengeSpec),
+}
+
+/// Terminal record of one multiplexed session.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Slot index (also the wallet-seed and topic namespace).
+    pub id: usize,
+    /// `"betting"` or `"challenge"`.
+    pub kind: &'static str,
+    /// Outcome label, `None` if the session failed.
+    pub outcome: Option<&'static str>,
+    /// Protocol error, for failed sessions.
+    pub error: Option<String>,
+    /// Gas charged across every transaction the session sent.
+    pub total_gas: u64,
+    /// `(label, success)` of every on-chain transaction, in order.
+    pub txs: Vec<(String, bool)>,
+    /// Off-chain messages the session attempted to post.
+    pub messages_posted: usize,
+}
+
+/// Aggregate chain-level statistics of one scheduler run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedulerStats {
+    /// Shared blocks mined (only non-empty flushes mine).
+    pub blocks_mined: u64,
+    /// Transactions admitted into those blocks.
+    pub txs_mined: u64,
+    /// Scheduler ticks executed.
+    pub ticks: u64,
+}
+
+impl SchedulerStats {
+    /// Mean admitted transactions per shared block — the batching
+    /// metric: above 1 means sessions genuinely share blocks.
+    pub fn mean_txs_per_block(&self) -> f64 {
+        self.txs_mined as f64 / (self.blocks_mined.max(1)) as f64
+    }
+}
+
+/// Where one slot stands between ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Step it this tick.
+    Runnable,
+    /// Asleep until the shared clock reaches the target.
+    Waiting(u64),
+    /// Has a transaction in the shared outbox / mempool.
+    Pending,
+    /// Finished with a valid outcome.
+    Done,
+    /// Finished with a protocol error.
+    Failed,
+}
+
+/// One multiplexed session plus its private fault state.
+struct Slot {
+    session: Box<dyn Session>,
+    kind: &'static str,
+    chain_faults: ChainFaults,
+    whisper_faults: WhisperFaults,
+    state: SlotState,
+    error: Option<String>,
+}
+
+/// Drives N sessions to completion over one shared [`Testnet`] and one
+/// shared [`Whisper`] bus.
+pub struct SessionScheduler {
+    net: Testnet,
+    bus: Whisper,
+    slots: Vec<Slot>,
+    rejections: HashMap<H256, TxError>,
+    stats: SchedulerStats,
+}
+
+impl SessionScheduler {
+    /// Builds a scheduler over a fresh chain. Contracts are compiled
+    /// once per variant and cloned into each session; wallets derive
+    /// from the slot id (`"s<id>-alice"` / `"s<id>-bob"`) and are funded
+    /// with 1000 ether each at the session's first step.
+    pub fn new(specs: Vec<SessionSpec>) -> SessionScheduler {
+        let mut betting_contracts: Option<(OnChainContract, OffChainContract)> = None;
+        let mut challenge_contracts: Option<ChallengeContracts> = None;
+        let slots = specs
+            .into_iter()
+            .enumerate()
+            .map(|(id, spec)| {
+                let (session, kind, seed): (Box<dyn Session>, _, _) = match spec {
+                    SessionSpec::Betting(s) => {
+                        let contracts = betting_contracts
+                            .get_or_insert_with(|| {
+                                (OnChainContract::new(), OffChainContract::new())
+                            })
+                            .clone();
+                        let session = BettingSession::new(BettingSessionParams {
+                            alice: Participant::with_strategy(&format!("s{id}-alice"), s.alice),
+                            bob: Participant::with_strategy(&format!("s{id}-bob"), s.bob),
+                            config: GameConfig {
+                                phase_seconds: s.phase_seconds,
+                                secrets: s.secrets,
+                            },
+                            topic: Topic::scoped(id as u64, "signed-copy"),
+                            contracts,
+                            timeline: None,
+                            start_delay: s.start_delay,
+                            funding: Some(ether(1000)),
+                        });
+                        (
+                            Box::new(session) as Box<dyn Session>,
+                            "betting",
+                            s.fault_seed,
+                        )
+                    }
+                    SessionSpec::Challenge(s) => {
+                        let contracts = challenge_contracts
+                            .get_or_insert_with(ChallengeContracts::new)
+                            .clone();
+                        let session = ChallengeSession::new(ChallengeSessionParams {
+                            alice: Participant::honest(&format!("s{id}-alice")),
+                            bob: Participant::honest(&format!("s{id}-bob")),
+                            secrets: s.secrets,
+                            window: s.window,
+                            contracts,
+                            timeline: None,
+                            start_delay: s.start_delay,
+                            funding: Some(ether(1000)),
+                            submit: s.submit,
+                            watch: s.watch,
+                            crash: s.crash,
+                        });
+                        (
+                            Box::new(session) as Box<dyn Session>,
+                            "challenge",
+                            s.fault_seed,
+                        )
+                    }
+                };
+                let plan = match seed {
+                    Some(seed) => FaultPlan::from_seed(seed),
+                    None => FaultPlan::none(),
+                };
+                Slot {
+                    session,
+                    kind,
+                    chain_faults: ChainFaults::new(&plan),
+                    whisper_faults: WhisperFaults::new(&plan),
+                    state: SlotState::Runnable,
+                    error: None,
+                }
+            })
+            .collect();
+        SessionScheduler {
+            net: Testnet::new(),
+            bus: Whisper::default(),
+            slots,
+            rejections: HashMap::new(),
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// The shared chain (for invariant checks after a run).
+    pub fn net(&self) -> &Testnet {
+        &self.net
+    }
+
+    /// Aggregate statistics of the run so far.
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// True once every slot reached a terminal state.
+    fn all_settled(&self) -> bool {
+        self.slots
+            .iter()
+            .all(|s| matches!(s.state, SlotState::Done | SlotState::Failed))
+    }
+
+    /// Drives every session to completion and returns their reports in
+    /// slot order. Panics (with a state dump) if the tick budget runs
+    /// out — a liveness bug, never a legitimate schedule.
+    pub fn run(&mut self) -> Vec<SessionReport> {
+        while !self.all_settled() {
+            self.tick();
+            assert!(
+                self.stats.ticks < MAX_TICKS,
+                "scheduler stalled after {} ticks; slot states: {:?}",
+                self.stats.ticks,
+                self.slots.iter().map(|s| s.state).collect::<Vec<_>>()
+            );
+        }
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(id, slot)| SessionReport {
+                id,
+                kind: slot.kind,
+                outcome: slot.session.outcome_label(),
+                error: slot.error.clone(),
+                total_gas: slot.session.total_gas(),
+                txs: slot.session.tx_trace(),
+                messages_posted: slot.session.messages_posted(),
+            })
+            .collect()
+    }
+
+    /// One scheduler round: wake, step, flush, mine (or jump the clock).
+    fn tick(&mut self) {
+        self.stats.ticks += 1;
+        let now = self.net.now();
+
+        // Wake every slot whose wait target arrived.
+        for slot in &mut self.slots {
+            if matches!(slot.state, SlotState::Waiting(t) if now >= t) {
+                slot.state = SlotState::Runnable;
+            }
+        }
+
+        // Step each runnable slot (fixed index order — determinism) until
+        // it yields: a wait, a queued transaction, or a terminal state.
+        let mut outbox: Vec<(Address, SignedTransaction)> = Vec::new();
+        let SessionScheduler {
+            net,
+            bus,
+            slots,
+            rejections,
+            ..
+        } = self;
+        for slot in slots.iter_mut() {
+            while slot.state == SlotState::Runnable {
+                let mut ctx = SessionCtx {
+                    chain: ChainPort::Shared {
+                        net,
+                        faults: &mut slot.chain_faults,
+                        outbox: &mut outbox,
+                        rejections,
+                    },
+                    bus: BusPort::Shared {
+                        bus,
+                        faults: &mut slot.whisper_faults,
+                    },
+                };
+                match slot.session.step(&mut ctx) {
+                    Ok(StepOutcome::Progress) => {}
+                    Ok(StepOutcome::Pending) => slot.state = SlotState::Pending,
+                    Ok(StepOutcome::WaitUntil(t)) => slot.state = SlotState::Waiting(t),
+                    Ok(StepOutcome::Done) => slot.state = SlotState::Done,
+                    Err(e) => {
+                        slot.state = SlotState::Failed;
+                        slot.error = Some(e.to_string());
+                    }
+                }
+            }
+        }
+
+        if !outbox.is_empty() {
+            // Flush every session's queue into one shared block.
+            let txs: Vec<SignedTransaction> = outbox.iter().map(|(_, tx)| tx.clone()).collect();
+            let hashes: Vec<H256> = txs.iter().map(|tx| tx.hash()).collect();
+            for (hash, result) in hashes.into_iter().zip(self.net.submit_batch(txs)) {
+                match result {
+                    Ok(_) => self.stats.txs_mined += 1,
+                    Err(e) => {
+                        self.rejections.insert(hash, e);
+                    }
+                }
+            }
+            self.net.mine_block();
+            self.stats.blocks_mined += 1;
+            // Everyone with an in-flight transaction can now observe its
+            // receipt (or its routed rejection).
+            for slot in &mut self.slots {
+                if slot.state == SlotState::Pending {
+                    slot.state = SlotState::Runnable;
+                }
+            }
+        } else if self.slots.iter().any(|s| s.state == SlotState::Pending) {
+            // Defensive: a pending slot with nothing queued re-polls next
+            // tick (its transaction was mined in an earlier block).
+            for slot in &mut self.slots {
+                if slot.state == SlotState::Pending {
+                    slot.state = SlotState::Runnable;
+                }
+            }
+        } else if let Some(target) = self
+            .slots
+            .iter()
+            .filter_map(|s| match s.state {
+                SlotState::Waiting(t) => Some(t),
+                _ => None,
+            })
+            .min()
+        {
+            // Nothing runnable, nothing queued: jump the shared clock to
+            // the earliest wait target. No session overshoots its own
+            // target by more than mining drift, because the jump stops at
+            // the minimum.
+            let now = self.net.now();
+            if target > now {
+                self.net.advance_time(target - now);
+            }
+        }
+    }
+}

@@ -22,6 +22,24 @@ pub struct Envelope {
     pub payload: Vec<u8>,
 }
 
+/// Topic-name helpers.
+///
+/// Topics are plain strings; when many protocol sessions share one bus
+/// each session must publish under its own namespace or readers would
+/// pick up another session's signed copies. [`Topic::scoped`] builds
+/// the canonical per-session name.
+pub struct Topic;
+
+impl Topic {
+    /// The session-scoped topic `session/<id>/<name>`, e.g.
+    /// `Topic::scoped(7, "signed-copies")` → `"session/7/signed-copies"`.
+    /// Distinct session ids can never collide: the id is numeric, so no
+    /// crafted `name` in one session can alias another session's topic.
+    pub fn scoped(session_id: u64, name: &str) -> String {
+        format!("session/{session_id}/{name}")
+    }
+}
+
 /// A topic-based broadcast bus with per-reader cursors.
 #[derive(Default)]
 pub struct Whisper {
@@ -151,6 +169,26 @@ mod tests {
         // Empty re-poll clones nothing.
         assert!(w.poll(addr(2), "busy").is_empty());
         assert_eq!(w.envelopes_cloned(), 110);
+    }
+
+    #[test]
+    fn scoped_topics_isolate_sessions_on_one_bus() {
+        // Two sessions exchange "signed copies" over the same bus; with
+        // scoped topics neither reader ever sees the other session's
+        // payloads, even with identical participants and topic names.
+        let mut w = Whisper::new();
+        let t0 = Topic::scoped(0, "signed-copies");
+        let t1 = Topic::scoped(1, "signed-copies");
+        assert_ne!(t0, t1);
+        w.post(addr(1), &t0, vec![0xa0]);
+        w.post(addr(1), &t1, vec![0xa1]);
+        w.post(addr(2), &t1, vec![0xb1]);
+        let s0 = w.poll(addr(9), &t0);
+        assert_eq!(s0.len(), 1);
+        assert_eq!(s0[0].payload, vec![0xa0]);
+        let s1 = w.poll(addr(9), &t1);
+        assert_eq!(s1.len(), 2);
+        assert!(s1.iter().all(|e| e.payload != vec![0xa0]));
     }
 
     #[test]

@@ -68,7 +68,8 @@ fn main() {
 
     // 5. Read state with a free eth_call.
     let out = net.call(me.address, addr, contract.calldata("get", &[]).unwrap());
-    let count = U256::from_be_slice(&out);
+    assert!(!out.reverted);
+    let count = U256::from_be_slice(&out.output);
     println!("counter = {count}");
     assert_eq!(count, U256::from_u64(42));
 
