@@ -1,0 +1,49 @@
+//! S2 — fee-market utilization: the same mixed workload mined in
+//! legacy outbox mode vs pooled mode with the patient packer.
+//!
+//! Prints the comparison at N ∈ {1, 16, 256} (txs per shared block in
+//! both modes, the utilization gain, pool evictions, per-stage gas),
+//! writes `BENCH_mempool.json` at the repository root, then
+//! Criterion-times the pooled N = 16 run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::mempool::{artifact_path, measure_point, run_and_write};
+use sc_bench::print_gas_table;
+
+fn print_comparison() {
+    let report = run_and_write().expect("write BENCH_mempool.json");
+    let rows: Vec<(&str, String)> = report
+        .points
+        .iter()
+        .map(|p| {
+            let label: &str = match p.sessions {
+                1 => "N = 1",
+                16 => "N = 16",
+                _ => "N = 256",
+            };
+            (
+                label,
+                format!(
+                    "outbox {:>5.2} txs/block, pooled {:>5.2} txs/block ({:.2}x, {} evicted)",
+                    p.outbox.mean_txs_per_block(),
+                    p.pooled.mean_txs_per_block(),
+                    p.utilization_gain(),
+                    p.pooled.pool_evicted,
+                ),
+            )
+        })
+        .collect();
+    print_gas_table("S2 — mempool block utilization (8M gas limit)", &rows);
+    println!("  wrote {}", artifact_path().display());
+}
+
+fn bench(c: &mut Criterion) {
+    print_comparison();
+    let mut group = c.benchmark_group("mempool");
+    group.sample_size(10);
+    group.bench_function("pooled/16_mixed", |b| b.iter(|| measure_point(16)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

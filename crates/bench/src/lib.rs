@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod mempool;
 pub mod pipeline;
 pub mod sessions;
 

@@ -1,0 +1,257 @@
+//! Measures what the fee-market mempool buys the session engine: the
+//! same mixed workload as the sessions bench, run twice per N — once in
+//! legacy outbox mode (every flush seals its own block) and once in
+//! pooled mode (flushes feed the [`sc_chain::PoolConfig`]ured mempool
+//! and a patient miner packs blocks under the 8M gas limit).
+//!
+//! Reported per point and mode: utilization (mean admitted txs per
+//! shared block), blocks/txs mined, pool evictions, and the per-stage
+//! gas breakdown `[deploy, deposit, submit, dispute]` aggregated across
+//! sessions. The numbers land in `BENCH_mempool.json` at the repository
+//! root.
+
+use crate::sessions::mixed_specs;
+use sc_chain::PoolConfig;
+use sc_core::{SessionScheduler, STAGE_NAMES};
+use std::time::Instant;
+
+/// One scheduler run's worth of numbers, for one mining mode.
+#[derive(Debug, Clone)]
+pub struct ModePoint {
+    /// `"outbox"` or `"pooled"`.
+    pub mode: &'static str,
+    /// Wall-clock nanoseconds for the full scheduler run.
+    pub elapsed_ns: u128,
+    /// Shared blocks mined (non-empty only).
+    pub blocks_mined: u64,
+    /// Transactions admitted into those blocks.
+    pub txs_mined: u64,
+    /// Transactions displaced from the pool and re-priced (0 in outbox
+    /// mode).
+    pub pool_evicted: u64,
+    /// Total gas per protocol stage `[deploy, deposit, submit,
+    /// dispute]`, summed across all sessions.
+    pub stage_gas: [u64; 4],
+}
+
+impl ModePoint {
+    /// Mean admitted transactions per shared block — the utilization
+    /// metric the pool exists to raise.
+    pub fn mean_txs_per_block(&self) -> f64 {
+        self.txs_mined as f64 / self.blocks_mined.max(1) as f64
+    }
+
+    fn to_json(&self) -> String {
+        let stages = STAGE_NAMES
+            .iter()
+            .zip(self.stage_gas.iter())
+            .map(|(name, gas)| format!("\"{name}\": {gas}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            concat!(
+                "      {{\n",
+                "        \"mode\": \"{}\",\n",
+                "        \"elapsed_ns\": {},\n",
+                "        \"blocks_mined\": {},\n",
+                "        \"txs_mined\": {},\n",
+                "        \"mean_txs_per_block\": {:.3},\n",
+                "        \"pool_evicted\": {},\n",
+                "        \"stage_gas\": {{ {} }}\n",
+                "      }}"
+            ),
+            self.mode,
+            self.elapsed_ns,
+            self.blocks_mined,
+            self.txs_mined,
+            self.mean_txs_per_block(),
+            self.pool_evicted,
+            stages,
+        )
+    }
+}
+
+/// Outbox and pooled runs of the same N-session workload.
+#[derive(Debug, Clone)]
+pub struct MempoolPoint {
+    /// Concurrent sessions multiplexed over the shared chain.
+    pub sessions: usize,
+    /// The legacy one-flush-one-block baseline.
+    pub outbox: ModePoint,
+    /// The fee-market pool with the patient packer.
+    pub pooled: ModePoint,
+}
+
+impl MempoolPoint {
+    /// How many times more transactions each shared block carries under
+    /// the pool than under the outbox baseline.
+    pub fn utilization_gain(&self) -> f64 {
+        self.pooled.mean_txs_per_block() / self.outbox.mean_txs_per_block().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Results of the mempool measurement across all N.
+#[derive(Debug, Clone)]
+pub struct MempoolReport {
+    /// Block gas limit both modes mined under.
+    pub block_gas_limit: u64,
+    /// One point per measured N, in ascending order.
+    pub points: Vec<MempoolPoint>,
+}
+
+impl MempoolReport {
+    /// Serialises the report as a small JSON object (hand-rolled: the
+    /// workspace is std-only by design).
+    pub fn to_json(&self) -> String {
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    concat!(
+                        "    {{\n",
+                        "      \"sessions\": {},\n",
+                        "      \"utilization_gain\": {:.3},\n",
+                        "      \"modes\": [\n{},\n{}\n      ]\n",
+                        "    }}"
+                    ),
+                    p.sessions,
+                    p.utilization_gain(),
+                    p.outbox.to_json(),
+                    p.pooled.to_json(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"mempool\",\n",
+                "  \"block_gas_limit\": {},\n",
+                "  \"points\": [\n{}\n  ]\n",
+                "}}\n"
+            ),
+            self.block_gas_limit, points,
+        )
+    }
+}
+
+/// Runs one scheduler to completion and folds its reports and stats
+/// into a [`ModePoint`], asserting every session settled validly.
+fn run_mode(mode: &'static str, mut sched: SessionScheduler) -> ModePoint {
+    let start = Instant::now();
+    let reports = sched.run();
+    let elapsed_ns = start.elapsed().as_nanos();
+
+    let mut stage_gas = [0u64; 4];
+    for r in &reports {
+        assert!(
+            r.error.is_none() && r.outcome.is_some(),
+            "{mode} session {} ({}) did not settle: {:?}",
+            r.id,
+            r.kind,
+            r.error
+        );
+        for (bucket, gas) in stage_gas.iter_mut().zip(r.stage_gas.iter()) {
+            *bucket += gas;
+        }
+    }
+    let stats = sched.stats();
+    ModePoint {
+        mode,
+        elapsed_ns,
+        blocks_mined: stats.blocks_mined,
+        txs_mined: stats.txs_mined,
+        pool_evicted: stats.pool_evicted,
+        stage_gas,
+    }
+}
+
+/// Measures one N twice — outbox baseline, then pooled — over the same
+/// spec list.
+pub fn measure_point(n: usize) -> MempoolPoint {
+    let outbox = run_mode("outbox", SessionScheduler::new(mixed_specs(n)));
+    let pooled = run_mode(
+        "pooled",
+        SessionScheduler::new_pooled(mixed_specs(n), PoolConfig::default()),
+    );
+    MempoolPoint {
+        sessions: n,
+        outbox,
+        pooled,
+    }
+}
+
+/// Measures the full comparison at N ∈ {1, 16, 256}.
+pub fn measure() -> MempoolReport {
+    MempoolReport {
+        block_gas_limit: sc_chain::ChainConfig::default().block_gas_limit,
+        points: [1, 16, 256].into_iter().map(measure_point).collect(),
+    }
+}
+
+/// Path of the JSON artifact at the repository root.
+pub fn artifact_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_mempool.json")
+}
+
+/// Runs the measurement, writes `BENCH_mempool.json` at the repo root
+/// and returns the report.
+pub fn run_and_write() -> std::io::Result<MempoolReport> {
+    let report = measure();
+    std::fs::write(artifact_path(), report.to_json())?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_pooled_beats_outbox_at_16() {
+        let p = measure_point(16);
+        assert_eq!(p.sessions, 16);
+        assert_eq!(p.outbox.pool_evicted, 0, "outbox mode has no pool");
+        assert_eq!(
+            p.outbox.txs_mined, p.pooled.txs_mined,
+            "both modes mine the same workload"
+        );
+        assert!(
+            p.pooled.mean_txs_per_block() > p.outbox.mean_txs_per_block(),
+            "pool must raise utilization: pooled {:.2} vs outbox {:.2}",
+            p.pooled.mean_txs_per_block(),
+            p.outbox.mean_txs_per_block()
+        );
+        let total: u64 = p.pooled.stage_gas.iter().sum();
+        assert!(total > 0, "stage gas breakdown is populated");
+    }
+
+    #[test]
+    fn json_shape() {
+        let point = ModePoint {
+            mode: "outbox",
+            elapsed_ns: 1,
+            blocks_mined: 4,
+            txs_mined: 10,
+            pool_evicted: 0,
+            stage_gas: [1, 2, 3, 4],
+        };
+        let r = MempoolReport {
+            block_gas_limit: 8_000_000,
+            points: vec![MempoolPoint {
+                sessions: 2,
+                outbox: point.clone(),
+                pooled: ModePoint {
+                    mode: "pooled",
+                    blocks_mined: 2,
+                    ..point
+                },
+            }],
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"block_gas_limit\": 8000000"));
+        assert!(json.contains("\"utilization_gain\": 2.000"));
+        assert!(json.contains("\"deploy\": 1, \"deposit\": 2, \"submit\": 3, \"dispute\": 4"));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

@@ -21,3 +21,6 @@ pub use block::{Block, FailureReason, Receipt};
 pub use state::{Account, WorldState};
 pub use testnet::{CallResult, ChainConfig, Testnet, TxError};
 pub use tx::{SignedTransaction, Transaction, Wallet};
+// The pool types travel with the chain so downstream crates (the
+// session engine, benches) need no direct sc-mempool dependency.
+pub use sc_mempool::{Admitted, PoolConfig, PoolError, TxMeta};

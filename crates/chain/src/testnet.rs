@@ -14,6 +14,7 @@ use sc_crypto::ecdsa::recover_addresses_batch;
 use sc_evm::gas;
 use sc_evm::host::{BlockEnv, Env, Host, TxEnv};
 use sc_evm::{AnalysisCache, CallParams, Evm};
+use sc_mempool::{Mempool, PoolConfig, PoolError, TxMeta};
 use sc_primitives::{Address, H256, U256};
 use std::collections::HashMap;
 use std::fmt;
@@ -40,6 +41,22 @@ pub enum TxError {
     },
     /// `gas_limit` above the block gas limit.
     ExceedsBlockGasLimit,
+    /// Pooled mode: a same-nonce replacement did not offer the
+    /// required fee bump.
+    Underpriced {
+        /// The minimum gas price a replacement must offer.
+        required: U256,
+    },
+    /// Pooled mode: the pool is full and this fee does not beat the
+    /// cheapest resident's.
+    PoolFull {
+        /// The gas price the transaction must exceed to be admitted.
+        must_exceed: U256,
+    },
+    /// Pooled mode: the transaction was admitted earlier but displaced
+    /// before it could be mined (capacity eviction or a same-nonce
+    /// replacement). Re-submitting at a higher fee is the remedy.
+    Evicted,
 }
 
 impl fmt::Display for TxError {
@@ -54,6 +71,13 @@ impl fmt::Display for TxError {
                 write!(f, "intrinsic gas too low: need {required}")
             }
             TxError::ExceedsBlockGasLimit => write!(f, "gas limit exceeds block gas limit"),
+            TxError::Underpriced { required } => {
+                write!(f, "replacement underpriced: need gas price >= {required}")
+            }
+            TxError::PoolFull { must_exceed } => {
+                write!(f, "transaction pool full: need gas price > {must_exceed}")
+            }
+            TxError::Evicted => write!(f, "transaction evicted from the pool"),
         }
     }
 }
@@ -148,6 +172,12 @@ pub struct Testnet {
     /// at commit time so address-filtered [`Testnet::logs`] queries
     /// touch only the relevant blocks instead of scanning the chain.
     log_index: HashMap<Address, Vec<u64>>,
+    /// The fee market, when pooled mining is enabled: transactions are
+    /// admitted here instead of `pending`, and the miner *packs* a block
+    /// under the gas limit instead of taking everything. `None` keeps
+    /// the historical behaviour (every admitted tx lands in the next
+    /// block) bit-for-bit.
+    pool: Option<Mempool<PendingTx>>,
     time: u64,
     /// Wei ever created through the faucet. Since the EVM only moves
     /// value, `state.total_balance()` must equal this after every block —
@@ -182,6 +212,7 @@ impl Testnet {
             config,
             blocks: vec![genesis],
             pending: Vec::new(),
+            pool: None,
             receipts: HashMap::new(),
             log_index: HashMap::new(),
             minted: U256::ZERO,
@@ -290,8 +321,54 @@ impl Testnet {
 
     /// Number of transactions admitted but not yet mined (fault-injection
     /// hook: lets wrappers observe what a dropped/delayed block holds).
+    /// Counts the pool's residents in pooled mode.
     pub fn pending_count(&self) -> usize {
-        self.pending.len()
+        self.pending.len() + self.pool.as_ref().map_or(0, Mempool::len)
+    }
+
+    /// Switches the chain to pooled mining: admissions go through a
+    /// [`Mempool`] fee market and [`Testnet::mine_block`] *packs* a block
+    /// under the configured block gas limit instead of sealing everything
+    /// pending. Anything already queued migrates into the pool.
+    pub fn enable_pool(&mut self, config: PoolConfig) {
+        let mut pool = Mempool::new(config);
+        let now = self.time;
+        for ptx in self.pending.drain(..) {
+            let meta = TxMeta {
+                sender: ptx.sender,
+                nonce: ptx.signed.tx.nonce,
+                gas_price: ptx.signed.tx.gas_price,
+                gas_limit: ptx.signed.tx.gas_limit,
+                hash: ptx.hash,
+            };
+            // Already admitted once; nonce slots are distinct by
+            // construction, so migration cannot fail.
+            let admitted = pool.insert(meta, ptx, now);
+            debug_assert!(admitted.is_ok(), "migrating distinct nonces cannot clash");
+        }
+        self.pool = Some(pool);
+    }
+
+    /// True when [`Testnet::enable_pool`] has switched this chain to
+    /// pooled mining.
+    pub fn pool_enabled(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Earliest admission timestamp among pooled transactions — the
+    /// anchor of a pooled miner's hold window. `None` when the pool is
+    /// disabled or empty.
+    pub fn pool_earliest_entry(&self) -> Option<u64> {
+        self.pool.as_ref().and_then(Mempool::earliest_entry)
+    }
+
+    /// Hashes displaced from the pool (replacement, capacity eviction)
+    /// since the last drain. Empty in outbox mode.
+    pub fn drain_evicted(&mut self) -> Vec<H256> {
+        self.pool
+            .as_mut()
+            .map(Mempool::drain_evicted)
+            .unwrap_or_default()
     }
 
     /// Creates a funded deterministic wallet.
@@ -375,6 +452,9 @@ impl Testnet {
         sender: Address,
         intrinsic: u64,
     ) -> Result<H256, TxError> {
+        if self.pool.is_some() {
+            return self.admit_pooled(signed, sender, intrinsic);
+        }
         let expected = self.effective_nonce(sender);
         if signed.tx.nonce != expected {
             return Err(TxError::BadNonce {
@@ -406,23 +486,102 @@ impl Testnet {
         Ok(hash)
     }
 
+    /// Pooled admission: the stateless checks are identical to outbox
+    /// mode, but the nonce rule relaxes from "exactly next" to "not yet
+    /// mined" (the pool holds future nonces until the gap fills), and
+    /// the pool's fee market gets the final word — a taken nonce slot
+    /// demands the replacement bump, a full pool demands a fee above
+    /// the cheapest resident's.
+    fn admit_pooled(
+        &mut self,
+        signed: SignedTransaction,
+        sender: Address,
+        intrinsic: u64,
+    ) -> Result<H256, TxError> {
+        let base = self.state.nonce(sender);
+        if signed.tx.nonce < base {
+            return Err(TxError::BadNonce {
+                expected: base,
+                got: signed.tx.nonce,
+            });
+        }
+        if signed.tx.gas_limit > self.config.block_gas_limit {
+            return Err(TxError::ExceedsBlockGasLimit);
+        }
+        if signed.tx.gas_limit < intrinsic {
+            return Err(TxError::IntrinsicGasTooLow {
+                required: intrinsic,
+            });
+        }
+        let upfront = U256::from_u64(signed.tx.gas_limit)
+            .wrapping_mul(signed.tx.gas_price)
+            .wrapping_add(signed.tx.value);
+        if self.state.balance(sender) < upfront {
+            return Err(TxError::InsufficientFunds);
+        }
+        let hash = signed.hash();
+        let meta = TxMeta {
+            sender,
+            nonce: signed.tx.nonce,
+            gas_price: signed.tx.gas_price,
+            gas_limit: signed.tx.gas_limit,
+            hash,
+        };
+        let ptx = PendingTx {
+            signed,
+            sender,
+            hash,
+            intrinsic,
+        };
+        let now = self.time;
+        let pool = self.pool.as_mut().expect("pooled admission path");
+        match pool.insert(meta, ptx, now) {
+            Ok(_) => Ok(hash),
+            Err(PoolError::Underpriced { required }) => Err(TxError::Underpriced { required }),
+            Err(PoolError::Full { must_exceed }) => Err(TxError::PoolFull { must_exceed }),
+        }
+    }
+
     /// Next nonce accounting for queued pending transactions — what a
     /// self-signing client must use for its next submission. Public so
     /// session engines batching transactions from many senders can sign
-    /// against the mempool-aware nonce.
+    /// against the mempool-aware nonce. In pooled mode this advances
+    /// past the sender's contiguous run of pooled nonces.
     pub fn effective_nonce(&self, sender: Address) -> u64 {
         let base = self.state.nonce(sender);
         let queued = self.pending.iter().filter(|t| t.sender == sender).count() as u64;
-        base + queued
+        match &self.pool {
+            Some(pool) => pool.next_nonce(sender, base + queued),
+            None => base + queued,
+        }
     }
 
-    /// Mines all pending transactions into a new block and returns it.
+    /// The transactions the next block will hold: everything pending in
+    /// outbox mode; in pooled mode, a greedy fee-priority pack under the
+    /// block gas limit (per-sender nonce order preserved, leftovers stay
+    /// pooled for later blocks).
+    fn take_minable(&mut self) -> Vec<PendingTx> {
+        match self.pool.as_mut() {
+            Some(pool) => {
+                let state = &self.state;
+                pool.pack(self.config.block_gas_limit, |a| state.nonce(a))
+                    .into_iter()
+                    .map(|(_, ptx)| ptx)
+                    .collect()
+            }
+            None => std::mem::take(&mut self.pending),
+        }
+    }
+
+    /// Mines the next block and returns it: all pending transactions in
+    /// outbox mode, a fee-priority pack under the block gas limit in
+    /// pooled mode.
     ///
     /// The expensive pre-execution work (sender recovery, tx hashing,
     /// intrinsic gas) was cached on each [`PendingTx`] at admission, so
     /// this is purely the sequential commit phase.
     pub fn mine_block(&mut self) -> Block {
-        let txs = std::mem::take(&mut self.pending);
+        let txs = self.take_minable();
         self.seal_block(txs)
     }
 
@@ -434,7 +593,8 @@ impl Testnet {
     /// byte-identical to [`Testnet::mine_block`]'s over the same pending
     /// set — and as the baseline for the pipeline benchmarks.
     pub fn mine_block_serial(&mut self) -> Block {
-        let txs: Vec<PendingTx> = std::mem::take(&mut self.pending)
+        let txs: Vec<PendingTx> = self
+            .take_minable()
             .into_iter()
             .filter_map(|p| PendingTx::derive(p.signed).ok())
             .collect();
@@ -1191,6 +1351,190 @@ mod tests {
         assert_eq!(net.pending_count(), 1);
         net.mine_block();
         assert_eq!(net.pending_count(), 0);
+    }
+
+    fn transfer_tx(nonce: u64, price: U256, gas_limit: u64) -> Transaction {
+        Transaction {
+            nonce,
+            gas_price: price,
+            gas_limit,
+            to: Some(Address([9; 20])),
+            value: U256::from_u64(1),
+            data: vec![],
+        }
+    }
+
+    #[test]
+    fn pooled_mining_packs_under_the_block_gas_limit() {
+        let mut net = Testnet::with_config(ChainConfig {
+            block_gas_limit: 50_000,
+            ..ChainConfig::default()
+        });
+        net.enable_pool(PoolConfig::default());
+        let alice = net.funded_wallet("alice", ether(10));
+        let bob = net.funded_wallet("bob", ether(10));
+        let carol = net.funded_wallet("carol", ether(10));
+        for w in [&alice, &bob, &carol] {
+            net.submit(transfer_tx(0, sc_primitives::gwei(1), 21_000).sign(&w.key))
+                .unwrap();
+        }
+        assert_eq!(net.pending_count(), 3);
+        // Only two 21k transfers fit under 50k; the third waits.
+        let b1 = net.mine_block();
+        assert_eq!(b1.transactions.len(), 2);
+        assert_eq!(net.pending_count(), 1);
+        let b2 = net.mine_block();
+        assert_eq!(b2.transactions.len(), 1);
+        assert_eq!(net.pending_count(), 0);
+    }
+
+    #[test]
+    fn pooled_mining_orders_by_fee_and_keeps_nonce_order() {
+        let mut net = Testnet::new();
+        net.enable_pool(PoolConfig::default());
+        let alice = net.funded_wallet("alice", ether(10));
+        let bob = net.funded_wallet("bob", ether(10));
+        // Alice's nonce 0 is cheap, nonce 1 expensive; bob in between.
+        net.submit(transfer_tx(0, sc_primitives::gwei(1), 21_000).sign(&alice.key))
+            .unwrap();
+        net.submit(transfer_tx(1, sc_primitives::gwei(9), 21_000).sign(&alice.key))
+            .unwrap();
+        net.submit(transfer_tx(0, sc_primitives::gwei(5), 21_000).sign(&bob.key))
+            .unwrap();
+        let block = net.mine_block();
+        let senders: Vec<Address> = block
+            .transactions
+            .iter()
+            .map(|t| t.sender().unwrap())
+            .collect();
+        assert_eq!(senders, vec![bob.address, alice.address, alice.address]);
+        assert_eq!(net.nonce_of(alice.address), 2);
+    }
+
+    #[test]
+    fn pooled_replacement_needs_the_bump_and_future_nonces_wait() {
+        let mut net = Testnet::new();
+        net.enable_pool(PoolConfig::default());
+        let alice = net.funded_wallet("alice", ether(10));
+        net.submit(transfer_tx(0, sc_primitives::gwei(100), 21_000).sign(&alice.key))
+            .unwrap();
+        // Same nonce, +9%: refused with the required price.
+        let err = net
+            .submit(transfer_tx(0, sc_primitives::gwei(109), 21_000).sign(&alice.key))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TxError::Underpriced {
+                required: sc_primitives::gwei(110)
+            }
+        );
+        // +10%: accepted; the displaced hash surfaces via drain_evicted.
+        let old_hash = transfer_tx(0, sc_primitives::gwei(100), 21_000)
+            .sign(&alice.key)
+            .hash();
+        net.submit(transfer_tx(0, sc_primitives::gwei(110), 21_000).sign(&alice.key))
+            .unwrap();
+        assert_eq!(net.drain_evicted(), vec![old_hash]);
+        // A future nonce pools but cannot mine until the gap fills.
+        net.submit(transfer_tx(2, sc_primitives::gwei(1), 21_000).sign(&alice.key))
+            .unwrap();
+        let block = net.mine_block();
+        assert_eq!(block.transactions.len(), 1, "nonce 2 waits for nonce 1");
+        assert_eq!(net.pending_count(), 1);
+        net.submit(transfer_tx(1, sc_primitives::gwei(1), 21_000).sign(&alice.key))
+            .unwrap();
+        assert_eq!(net.mine_block().transactions.len(), 2);
+        assert_eq!(net.nonce_of(alice.address), 3);
+    }
+
+    #[test]
+    fn pooled_effective_nonce_tracks_the_contiguous_run() {
+        let mut net = Testnet::new();
+        net.enable_pool(PoolConfig::default());
+        let alice = net.funded_wallet("alice", ether(10));
+        assert_eq!(net.effective_nonce(alice.address), 0);
+        net.submit(transfer_tx(0, sc_primitives::gwei(1), 21_000).sign(&alice.key))
+            .unwrap();
+        net.submit(transfer_tx(1, sc_primitives::gwei(1), 21_000).sign(&alice.key))
+            .unwrap();
+        assert_eq!(net.effective_nonce(alice.address), 2);
+        net.mine_block();
+        assert_eq!(net.effective_nonce(alice.address), 2);
+    }
+
+    #[test]
+    fn pooled_capacity_eviction_routes_the_victim_hash() {
+        let mut net = Testnet::new();
+        net.enable_pool(PoolConfig {
+            capacity: 2,
+            ..PoolConfig::default()
+        });
+        let alice = net.funded_wallet("alice", ether(10));
+        let bob = net.funded_wallet("bob", ether(10));
+        let carol = net.funded_wallet("carol", ether(10));
+        let cheap = transfer_tx(0, sc_primitives::gwei(1), 21_000).sign(&alice.key);
+        let cheap_hash = cheap.hash();
+        net.submit(cheap).unwrap();
+        net.submit(transfer_tx(0, sc_primitives::gwei(5), 21_000).sign(&bob.key))
+            .unwrap();
+        // Too cheap to displace anyone.
+        let err = net
+            .submit(transfer_tx(0, sc_primitives::gwei(1), 21_000).sign(&carol.key))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TxError::PoolFull {
+                must_exceed: sc_primitives::gwei(1)
+            }
+        );
+        // Rich enough: alice's cheap tx is displaced.
+        net.submit(transfer_tx(0, sc_primitives::gwei(2), 21_000).sign(&carol.key))
+            .unwrap();
+        assert_eq!(net.drain_evicted(), vec![cheap_hash]);
+        assert_eq!(net.pending_count(), 2);
+    }
+
+    #[test]
+    fn enable_pool_migrates_queued_transactions() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        net.submit(transfer_tx(0, sc_primitives::gwei(1), 21_000).sign(&alice.key))
+            .unwrap();
+        net.enable_pool(PoolConfig::default());
+        assert!(net.pool_enabled());
+        assert_eq!(net.pending_count(), 1);
+        assert_eq!(net.effective_nonce(alice.address), 1);
+        assert_eq!(net.mine_block().transactions.len(), 1);
+    }
+
+    #[test]
+    fn pooled_serial_and_cached_mining_agree() {
+        let build = |net: &mut Testnet| {
+            net.enable_pool(PoolConfig::default());
+            let alice = net.funded_wallet("alice", ether(10));
+            let bob = net.funded_wallet("bob", ether(10));
+            for (i, w) in [&alice, &bob, &alice, &bob].iter().enumerate() {
+                let tx = Transaction {
+                    nonce: net.effective_nonce(w.address),
+                    gas_price: sc_primitives::gwei(1 + i as u64),
+                    gas_limit: 50_000,
+                    to: Some(Address([9; 20])),
+                    value: U256::from_u64(i as u64),
+                    data: vec![i as u8; i],
+                };
+                net.submit(tx.sign(&w.key)).unwrap();
+            }
+        };
+        let mut fast = Testnet::new();
+        build(&mut fast);
+        let fast_block = fast.mine_block();
+
+        let mut reference = Testnet::new();
+        build(&mut reference);
+        let ref_block = reference.mine_block_serial();
+
+        assert_eq!(fast_block.hash, ref_block.hash);
+        assert_eq!(fast_block.gas_used, ref_block.gas_used);
     }
 
     #[test]

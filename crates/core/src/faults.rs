@@ -104,6 +104,17 @@ pub struct FaultPlan {
     pub whisper_fault_budget: u32,
     /// Total chain faults allowed before the node turns perfect.
     pub chain_fault_budget: u32,
+    /// Per-submission chance (‰) a pooled transaction's gossip is
+    /// dropped before it reaches the pool (pooled mode only).
+    pub gossip_drop_permille: u32,
+    /// Per-submission chance (‰) pool admission is delayed (pooled
+    /// mode only).
+    pub admission_delay_permille: u32,
+    /// Size of an injected admission delay in seconds
+    /// (≤ [`MAX_INJECTED_SECS`]).
+    pub max_admission_delay_secs: u64,
+    /// Total pool faults allowed before admission turns perfect.
+    pub pool_fault_budget: u32,
 }
 
 impl FaultPlan {
@@ -123,6 +134,10 @@ impl FaultPlan {
             max_mining_delay_secs: 0,
             whisper_fault_budget: 0,
             chain_fault_budget: 0,
+            gossip_drop_permille: 0,
+            admission_delay_permille: 0,
+            max_admission_delay_secs: 0,
+            pool_fault_budget: 0,
         }
     }
 
@@ -145,6 +160,14 @@ impl FaultPlan {
             max_mining_delay_secs: splitmix64(&mut s) % MAX_INJECTED_SECS + 1,
             whisper_fault_budget: (splitmix64(&mut s) % 25) as u32,
             chain_fault_budget: (splitmix64(&mut s) % 13) as u32,
+            // Pool faults draw *after* every pre-existing field: the
+            // sequential SplitMix64 stream means appending here leaves
+            // all earlier seed-derived values — and therefore every
+            // pinned chaos-suite outcome — bit-identical.
+            gossip_drop_permille: (splitmix64(&mut s) % 201) as u32,
+            admission_delay_permille: (splitmix64(&mut s) % 201) as u32,
+            max_admission_delay_secs: splitmix64(&mut s) % MAX_INJECTED_SECS + 1,
+            pool_fault_budget: (splitmix64(&mut s) % 9) as u32,
         }
     }
 
@@ -392,13 +415,34 @@ pub enum SubmitFault {
     MiningDelay(u64),
 }
 
+/// One pool-level fault decision drawn from a [`ChainFaults`] schedule,
+/// consulted only when the chain runs in pooled mode. Both variants
+/// manifest through machinery the drivers already survive: a dropped
+/// gossip looks like a transient submission failure, a delayed
+/// admission like an injected hold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolFault {
+    /// No fault: the transaction reaches the pool normally.
+    None,
+    /// The gossip carrying the transaction is dropped before the pool
+    /// sees it.
+    DroppedGossip,
+    /// Admission is held back by this many seconds.
+    DelayedAdmission(u64),
+}
+
 /// The per-session chain fault state: PRNG stream, budget and the
 /// injected-fault log — separable from any particular [`Testnet`] so N
 /// sessions can each run their own schedule against one shared chain.
 pub struct ChainFaults {
     rng: XorShift64,
+    /// Pool faults draw from their own stream so enabling pooled mode
+    /// never perturbs the submit-fault schedule existing chaos pins
+    /// depend on.
+    pool_rng: XorShift64,
     plan: FaultPlan,
     budget: u32,
+    pool_budget: u32,
     injected: Vec<String>,
 }
 
@@ -407,8 +451,10 @@ impl ChainFaults {
     pub fn new(plan: &FaultPlan) -> ChainFaults {
         ChainFaults {
             rng: plan.stream(2),
+            pool_rng: plan.stream(3),
             plan: plan.clone(),
             budget: plan.chain_fault_budget,
+            pool_budget: plan.pool_fault_budget,
             injected: Vec::new(),
         }
     }
@@ -438,6 +484,33 @@ impl ChainFaults {
         SubmitFault::None
     }
 
+    /// Draws one pool-level fault decision (pooled mode only),
+    /// consuming pool budget when a fault fires. Separate stream and
+    /// budget from [`ChainFaults::pre_submit`], so the classic chain
+    /// schedule replays identically whether or not a pool is enabled.
+    pub fn pre_pool(&mut self) -> PoolFault {
+        if self.pool_budget == 0 {
+            return PoolFault::None;
+        }
+        let roll = self.pool_rng.below(1000) as u32;
+        if roll < self.plan.gossip_drop_permille {
+            self.pool_budget -= 1;
+            self.injected.push("gossip dropped".into());
+            return PoolFault::DroppedGossip;
+        }
+        if roll < self.plan.gossip_drop_permille + self.plan.admission_delay_permille {
+            self.pool_budget -= 1;
+            let secs = self.pool_rng.below(
+                self.plan
+                    .max_admission_delay_secs
+                    .clamp(1, MAX_INJECTED_SECS),
+            ) + 1;
+            self.injected.push(format!("admission delayed {secs}s"));
+            return PoolFault::DelayedAdmission(secs);
+        }
+        PoolFault::None
+    }
+
     /// Human-readable log of every fault injected so far.
     pub fn injected_faults(&self) -> &[String] {
         &self.injected
@@ -446,6 +519,11 @@ impl ChainFaults {
     /// Chain fault budget still unspent.
     pub fn remaining_budget(&self) -> u32 {
         self.budget
+    }
+
+    /// Pool fault budget still unspent.
+    pub fn remaining_pool_budget(&self) -> u32 {
+        self.pool_budget
     }
 }
 
@@ -710,6 +788,35 @@ mod tests {
             "clock jumped by the injected delay: {jump}"
         );
         assert_eq!(net.injected_faults().len(), 1);
+    }
+
+    #[test]
+    fn pool_faults_replay_and_never_perturb_the_chain_stream() {
+        for seed in [1u64, 0x5eed, 0xdead_beef] {
+            let plan = FaultPlan::from_seed(seed);
+            assert!(plan.pool_fault_budget <= 8);
+            assert!(plan.max_admission_delay_secs <= MAX_INJECTED_SECS);
+            // Same seed ⇒ same pool fault schedule.
+            let mut a = ChainFaults::new(&plan);
+            let mut b = ChainFaults::new(&plan);
+            let xs: Vec<PoolFault> = (0..64).map(|_| a.pre_pool()).collect();
+            let ys: Vec<PoolFault> = (0..64).map(|_| b.pre_pool()).collect();
+            assert_eq!(xs, ys);
+            assert!(
+                xs.iter().filter(|f| **f != PoolFault::None).count() as u32
+                    <= plan.pool_fault_budget
+            );
+            // Drawing pool faults must not shift the classic submit
+            // schedule: enabling pooled mode keeps chaos pins intact.
+            let mut with_pool = ChainFaults::new(&plan);
+            let mut without = ChainFaults::new(&plan);
+            for _ in 0..16 {
+                let _ = with_pool.pre_pool();
+            }
+            let ps: Vec<SubmitFault> = (0..32).map(|_| with_pool.pre_submit()).collect();
+            let qs: Vec<SubmitFault> = (0..32).map(|_| without.pre_submit()).collect();
+            assert_eq!(ps, qs, "pool stream is independent of the submit stream");
+        }
     }
 
     #[test]

@@ -52,9 +52,9 @@ pub use protocol::{
     BettingGame, GameConfig, Outcome, ProtocolError, ProtocolReport, Stage, TxRecord,
 };
 pub use session::{
-    BettingSession, BettingSessionParams, BettingSpec, BusPort, ChainPort, ChallengeSession,
-    ChallengeSessionParams, ChallengeSpec, SchedulerStats, Session, SessionCtx, SessionReport,
-    SessionScheduler, SessionSpec, StepOutcome,
+    stage_bucket, BettingSession, BettingSessionParams, BettingSpec, BusPort, ChainPort,
+    ChallengeSession, ChallengeSessionParams, ChallengeSpec, SchedulerStats, Session, SessionCtx,
+    SessionReport, SessionScheduler, SessionSpec, StepOutcome, STAGE_NAMES,
 };
 pub use signedcopy::{bytecode_hash, sign_bytecode, SignedCopy, SignedCopyError};
 pub use splitter::{classify_function, split, Classification, FunctionClass, SplitPlan};

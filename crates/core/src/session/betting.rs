@@ -285,7 +285,7 @@ impl BettingSession {
                         None,
                         U256::ZERO,
                         initcode,
-                        5_000_000,
+                        1_400_000,
                         Some(self.timeline.t1),
                     ));
                 }
@@ -535,7 +535,7 @@ impl BettingSession {
                         Some(onchain),
                         U256::ZERO,
                         data,
-                        8_000_000,
+                        600_000,
                         None,
                     ));
                 }
@@ -586,7 +586,7 @@ impl BettingSession {
                         Some(onchain),
                         U256::ZERO,
                         data,
-                        8_000_000,
+                        600_000,
                         None,
                     ));
                 }
@@ -634,7 +634,7 @@ impl BettingSession {
                         Some(instance),
                         U256::ZERO,
                         data,
-                        8_000_000,
+                        super::dispute_gas_limit(self.config.secrets.weight),
                         None,
                     ));
                 }
@@ -696,5 +696,13 @@ impl Session for BettingSession {
 
     fn messages_posted(&self) -> usize {
         self.posts
+    }
+
+    fn gas_by_stage(&self) -> [u64; 4] {
+        let mut buckets = [0u64; 4];
+        for t in &self.txs {
+            buckets[super::stage_bucket(&t.label)] += t.gas_used;
+        }
+        buckets
     }
 }

@@ -298,7 +298,7 @@ impl ChallengeSession {
                         None,
                         U256::ZERO,
                         initcode,
-                        7_000_000,
+                        1_700_000,
                         None,
                     ));
                 }
@@ -395,7 +395,7 @@ impl ChallengeSession {
                         Some(self.onchain),
                         U256::ZERO,
                         data,
-                        7_900_000,
+                        600_000,
                         None,
                     ));
                 }
@@ -419,7 +419,7 @@ impl ChallengeSession {
                         Some(instance),
                         U256::ZERO,
                         self.contracts.return_dispute_resolution(self.onchain),
-                        7_900_000,
+                        super::dispute_gas_limit(self.secrets.weight),
                         None,
                     ));
                 }
@@ -468,7 +468,7 @@ impl ChallengeSession {
                         Some(self.onchain),
                         U256::ZERO,
                         self.contracts.submit_result(self.claimed()),
-                        7_900_000,
+                        400_000,
                         None,
                     ));
                 }
@@ -515,7 +515,7 @@ impl ChallengeSession {
                         Some(self.onchain),
                         U256::ZERO,
                         data,
-                        7_900_000,
+                        600_000,
                         Some(self.proposed_at + self.window),
                     ));
                 }
@@ -569,7 +569,7 @@ impl ChallengeSession {
                         Some(self.onchain),
                         U256::ZERO,
                         self.contracts.finalize(),
-                        7_900_000,
+                        300_000,
                         None,
                     ));
                 }
@@ -622,5 +622,13 @@ impl Session for ChallengeSession {
 
     fn messages_posted(&self) -> usize {
         0 // this variant exchanges no off-chain messages in-protocol
+    }
+
+    fn gas_by_stage(&self) -> [u64; 4] {
+        let mut buckets = [0u64; 4];
+        for t in &self.txs {
+            buckets[super::stage_bucket(&t.label)] += t.gas_used;
+        }
+        buckets
     }
 }

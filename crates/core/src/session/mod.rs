@@ -34,7 +34,9 @@ pub use scheduler::{
 };
 pub use sign::{SignExchange, MAX_SIGN_ROUNDS, SIGN_ROUND_SECS};
 
-use crate::faults::{ChainFaults, FaultyWhisper, FlakyNet, NetError, SubmitFault, WhisperFaults};
+use crate::faults::{
+    ChainFaults, FaultyWhisper, FlakyNet, NetError, PoolFault, SubmitFault, WhisperFaults,
+};
 use crate::protocol::ProtocolError;
 use crate::whisper::{Envelope, Whisper};
 use sc_chain::{Receipt, SignedTransaction, Testnet, Transaction, TxError, Wallet};
@@ -167,9 +169,23 @@ impl ChainPort<'_> {
         }
     }
 
+    /// The gas price the chain's convenience senders assume — the
+    /// starting bid for fee-market re-pricing.
+    pub fn default_gas_price(&self) -> U256 {
+        match self {
+            ChainPort::Immediate(net) => net.config().default_gas_price,
+            ChainPort::Shared { net, .. } => net.config().default_gas_price,
+        }
+    }
+
     /// Submits one transaction through the session's fault schedule.
-    /// `roll_fault` is false when resuming after [`SendOutcome::HeldFor`]
-    /// (that submission's fault was already drawn).
+    /// `gas_price: None` bids the chain's default; tasks re-pricing
+    /// after a fee-market rejection pass their raised bid (shared mode
+    /// only — immediate mode has no fee market and always pays the
+    /// default). `roll_fault` is false when resuming after
+    /// [`SendOutcome::HeldFor`] (that submission's fault was already
+    /// drawn).
+    #[allow(clippy::too_many_arguments)] // mirrors the Transaction fields
     pub fn submit(
         &mut self,
         wallet: &Wallet,
@@ -177,6 +193,7 @@ impl ChainPort<'_> {
         value: U256,
         data: Vec<u8>,
         gas_limit: u64,
+        gas_price: Option<U256>,
         roll_fault: bool,
     ) -> SendOutcome {
         match self {
@@ -203,6 +220,15 @@ impl ChainPort<'_> {
                         SubmitFault::Transient(_) => return SendOutcome::Transient,
                         SubmitFault::MiningDelay(secs) => return SendOutcome::HeldFor(secs),
                     }
+                    // Pool-level faults (separate stream and budget) fire
+                    // only when the shared chain actually runs a pool.
+                    if net.pool_enabled() {
+                        match faults.pre_pool() {
+                            PoolFault::None => {}
+                            PoolFault::DroppedGossip => return SendOutcome::Transient,
+                            PoolFault::DelayedAdmission(secs) => return SendOutcome::HeldFor(secs),
+                        }
+                    }
                 }
                 // Self-signing against the shared mempool: the nonce must
                 // account for this wallet's queued-but-unflushed txs too.
@@ -212,7 +238,7 @@ impl ChainPort<'_> {
                     .count() as u64;
                 let tx = Transaction {
                     nonce: net.effective_nonce(wallet.address) + queued,
-                    gas_price: net.config().default_gas_price,
+                    gas_price: gas_price.unwrap_or(net.config().default_gas_price),
                     gas_limit,
                     to,
                     value,
@@ -286,4 +312,53 @@ pub trait Session {
 
     /// Off-chain messages this session attempted to post (pre-fault).
     fn messages_posted(&self) -> usize;
+
+    /// Gas charged per protocol stage, bucketed by [`stage_bucket`]:
+    /// `[deploy, deposit, submit, dispute]`. Sums to
+    /// [`Session::total_gas`].
+    fn gas_by_stage(&self) -> [u64; 4];
+}
+
+/// Declared gas limit for the dispute-resolution call. Its execution
+/// cost grows linearly with the reveal weight (~290 gas per unit
+/// measured), so the estimate scales the same way with headroom rather
+/// than declaring the whole block — in pooled mode the packer budgets
+/// blocks by *declared* gas, so honest estimates are what let disputes
+/// share blocks. Capped at the default block gas limit so the
+/// transaction stays admissible at any weight.
+pub(crate) fn dispute_gas_limit(weight: u64) -> u64 {
+    150_000_u64
+        .saturating_add(weight.saturating_mul(350))
+        .min(8_000_000)
+}
+
+/// Names of the four stage-gas buckets, index-aligned with
+/// [`stage_bucket`] and [`Session::gas_by_stage`].
+pub const STAGE_NAMES: [&str; 4] = ["deploy", "deposit", "submit", "dispute"];
+
+/// Buckets a transaction label into the four-stage gas breakdown the
+/// benches report: initial on-chain deployment, deposits, voluntary
+/// settlement (result submission, refunds, reassignment, finalize),
+/// and the dispute path (challenges, verified-instance deployment,
+/// miner-enforced resolution).
+pub fn stage_bucket(label: &str) -> usize {
+    if label.starts_with("deploy on") {
+        0
+    } else if label.starts_with("deposit") {
+        1
+    } else if matches!(
+        label,
+        "submitResult"
+            | "reassign"
+            | "refundRoundOne"
+            | "refundRoundTwo"
+            | "finalize"
+            | "reclaimNoSubmission"
+    ) {
+        2
+    } else {
+        // "challenge", "returnDisputeResolution", "deployVerifiedInstance"
+        // (honest or forged) and anything unclassified: the dispute path.
+        3
+    }
 }

@@ -49,6 +49,12 @@ pub struct TxTask {
     value: U256,
     data: Vec<u8>,
     gas: u64,
+    /// The current gas-price bid: `None` until a fee-market rejection
+    /// forces a raise (pooled shared mode), then the raised price. Each
+    /// raise is strictly higher, so re-pricing terminates — either the
+    /// transaction out-bids the market or the sender's balance check
+    /// turns the rejection deterministic.
+    gas_price: Option<U256>,
     deadline: Option<u64>,
     backoff: u64,
     attempts: u32,
@@ -78,6 +84,7 @@ impl TxTask {
             value,
             data,
             gas,
+            gas_price: None,
             deadline,
             backoff: BACKOFF_BASE_SECS,
             attempts: 0,
@@ -102,7 +109,21 @@ impl TxTask {
         if let Some(hash) = self.in_flight {
             if let Some(e) = chain.take_rejection(hash) {
                 self.in_flight = None;
-                return TaskPoll::Rejected(e);
+                // Fee-market rejections (pooled mode) are price signals,
+                // not protocol failures: raise the bid and resubmit.
+                match e {
+                    TxError::Underpriced { required } => {
+                        return self.reprice(chain, required);
+                    }
+                    TxError::PoolFull { must_exceed } => {
+                        return self.reprice(chain, bumped(must_exceed));
+                    }
+                    TxError::Evicted => {
+                        let current = self.gas_price.unwrap_or_else(|| chain.default_gas_price());
+                        return self.reprice(chain, bumped(current));
+                    }
+                    other => return TaskPoll::Rejected(other),
+                }
             }
             return match chain.receipt(hash) {
                 Some(r) => {
@@ -131,6 +152,7 @@ impl TxTask {
             self.value,
             self.data.clone(),
             self.gas,
+            self.gas_price,
             roll,
         ) {
             SendOutcome::Landed(r) => TaskPoll::Landed(r),
@@ -155,4 +177,29 @@ impl TxTask {
             SendOutcome::Rejected(e) => TaskPoll::Rejected(e),
         }
     }
+
+    /// Raises the bid to `new_price` (never lowering it) and backs off
+    /// before resubmitting. Consumes an attempt, so a sender that keeps
+    /// losing the fee market stalls deterministically instead of
+    /// spinning.
+    fn reprice(&mut self, chain: &ChainPort<'_>, new_price: U256) -> TaskPoll {
+        let current = self.gas_price.unwrap_or_else(|| chain.default_gas_price());
+        self.gas_price = Some(if new_price > current {
+            new_price
+        } else {
+            current
+        });
+        let at = chain.now() + self.backoff;
+        self.backoff = (self.backoff * 2).min(MAX_INJECTED_SECS);
+        TaskPoll::Wait(at)
+    }
+}
+
+/// A strictly-higher bid: +25% and one wei, so repeated bumps grow
+/// geometrically from any starting price (including zero).
+fn bumped(price: U256) -> U256 {
+    let (q, _) = price
+        .wrapping_mul(U256::from_u64(5))
+        .div_rem(U256::from_u64(4));
+    q.wrapping_add(U256::ONE)
 }

@@ -25,7 +25,7 @@ use crate::faults::{ChainFaults, FaultPlan, WhisperFaults};
 use crate::participant::{Participant, Strategy};
 use crate::protocol::GameConfig;
 use crate::whisper::{Topic, Whisper};
-use sc_chain::{SignedTransaction, Testnet, TxError};
+use sc_chain::{PoolConfig, SignedTransaction, Testnet, TxError};
 use sc_contracts::challenge::ChallengeContracts;
 use sc_contracts::{BetSecrets, OffChainContract, OnChainContract};
 use sc_primitives::{ether, Address, H256};
@@ -121,6 +121,9 @@ pub struct SessionReport {
     pub error: Option<String>,
     /// Gas charged across every transaction the session sent.
     pub total_gas: u64,
+    /// Gas per protocol stage `[deploy, deposit, submit, dispute]`
+    /// (see [`super::stage_bucket`]); sums to `total_gas`.
+    pub stage_gas: [u64; 4],
     /// `(label, success)` of every on-chain transaction, in order.
     pub txs: Vec<(String, bool)>,
     /// Off-chain messages the session attempted to post.
@@ -136,6 +139,10 @@ pub struct SchedulerStats {
     pub txs_mined: u64,
     /// Scheduler ticks executed.
     pub ticks: u64,
+    /// Transactions displaced from the pool (capacity eviction or
+    /// same-nonce replacement) and routed back for re-pricing. Always 0
+    /// in outbox mode.
+    pub pool_evicted: u64,
 }
 
 impl SchedulerStats {
@@ -179,6 +186,14 @@ pub struct SessionScheduler {
     slots: Vec<Slot>,
     rejections: HashMap<H256, TxError>,
     stats: SchedulerStats,
+    /// True after [`SessionScheduler::new_pooled`]: flushes admit into
+    /// the chain's mempool and the miner packs blocks under the gas
+    /// limit, holding up to `patience` seconds to coalesce traffic.
+    pooled: bool,
+    /// Pooled mode: how long the miner may hold the oldest pooled
+    /// transaction while jumping the clock to upcoming wake targets so
+    /// more sessions' transactions land in the same block.
+    patience: u64,
 }
 
 impl SessionScheduler {
@@ -263,7 +278,25 @@ impl SessionScheduler {
             slots,
             rejections: HashMap::new(),
             stats: SchedulerStats::default(),
+            pooled: false,
+            patience: 0,
         }
+    }
+
+    /// Builds a scheduler whose shared chain runs in pooled mining
+    /// mode: flushed transactions are admitted into a [`PoolConfig`]ured
+    /// fee market (still through the parallel batch-ECDSA path), and
+    /// each mined block is a greedy fee-priority pack under the block
+    /// gas limit. The miner practices *patience*: while the oldest
+    /// pooled transaction is younger than `pool.max_hold_secs`, the
+    /// clock jumps to upcoming session wake targets instead of sealing,
+    /// so staggered sessions' transactions coalesce into shared blocks.
+    pub fn new_pooled(specs: Vec<SessionSpec>, pool: PoolConfig) -> SessionScheduler {
+        let mut scheduler = SessionScheduler::new(specs);
+        scheduler.patience = pool.max_hold_secs;
+        scheduler.net.enable_pool(pool);
+        scheduler.pooled = true;
+        scheduler
     }
 
     /// The shared chain (for invariant checks after a run).
@@ -305,6 +338,7 @@ impl SessionScheduler {
                 outcome: slot.session.outcome_label(),
                 error: slot.error.clone(),
                 total_gas: slot.session.total_gas(),
+                stage_gas: slot.session.gas_by_stage(),
                 txs: slot.session.tx_trace(),
                 messages_posted: slot.session.messages_posted(),
             })
@@ -360,28 +394,39 @@ impl SessionScheduler {
             }
         }
 
+        // Flush every session's queue through one parallel batch-ECDSA
+        // admission call. In outbox mode the admitted set IS the next
+        // block; in pooled mode it joins the fee market and the miner
+        // decides below.
         if !outbox.is_empty() {
-            // Flush every session's queue into one shared block.
             let txs: Vec<SignedTransaction> = outbox.iter().map(|(_, tx)| tx.clone()).collect();
             let hashes: Vec<H256> = txs.iter().map(|tx| tx.hash()).collect();
             for (hash, result) in hashes.into_iter().zip(self.net.submit_batch(txs)) {
-                match result {
-                    Ok(_) => self.stats.txs_mined += 1,
-                    Err(e) => {
-                        self.rejections.insert(hash, e);
-                    }
+                if let Err(e) = result {
+                    self.rejections.insert(hash, e);
                 }
             }
-            self.net.mine_block();
-            self.stats.blocks_mined += 1;
-            // Everyone with an in-flight transaction can now observe its
-            // receipt (or its routed rejection).
-            for slot in &mut self.slots {
-                if slot.state == SlotState::Pending {
-                    slot.state = SlotState::Runnable;
+            if self.pooled {
+                // Fee-market displacement (replacement or capacity
+                // eviction) surfaces to the displaced task as a typed
+                // rejection; TxTask re-prices and resubmits.
+                for hash in self.net.drain_evicted() {
+                    self.rejections.insert(hash, TxError::Evicted);
+                    self.stats.pool_evicted += 1;
                 }
             }
-        } else if self.slots.iter().any(|s| s.state == SlotState::Pending) {
+            if !self.pooled {
+                self.mine_and_release();
+                return;
+            }
+        }
+
+        if self.pooled {
+            self.pooled_mining_decision();
+            return;
+        }
+
+        if self.slots.iter().any(|s| s.state == SlotState::Pending) {
             // Defensive: a pending slot with nothing queued re-polls next
             // tick (its transaction was mined in an earlier block).
             for slot in &mut self.slots {
@@ -389,23 +434,92 @@ impl SessionScheduler {
                     slot.state = SlotState::Runnable;
                 }
             }
-        } else if let Some(target) = self
-            .slots
+        } else {
+            self.jump_to_earliest_wait();
+        }
+    }
+
+    /// Mines one shared block and releases every pending slot to observe
+    /// its receipt (or routed rejection). Stats count what the block
+    /// actually holds — identical to per-admission counting in outbox
+    /// mode, and the only correct accounting in pooled mode, where a
+    /// flush admits more than one block mines.
+    fn mine_and_release(&mut self) {
+        let block = self.net.mine_block();
+        if !block.transactions.is_empty() {
+            self.stats.blocks_mined += 1;
+            self.stats.txs_mined += block.transactions.len() as u64;
+        }
+        for slot in &mut self.slots {
+            if slot.state == SlotState::Pending {
+                slot.state = SlotState::Runnable;
+            }
+        }
+    }
+
+    /// Nothing runnable, nothing to mine: jump the shared clock to the
+    /// earliest wait target. No session overshoots its own target by
+    /// more than mining drift, because the jump stops at the minimum.
+    fn jump_to_earliest_wait(&mut self) {
+        if let Some(target) = self.earliest_wait() {
+            let now = self.net.now();
+            if target > now {
+                self.net.advance_time(target - now);
+            }
+        }
+    }
+
+    /// The soonest wake target among waiting slots.
+    fn earliest_wait(&self) -> Option<u64> {
+        self.slots
             .iter()
             .filter_map(|s| match s.state {
                 SlotState::Waiting(t) => Some(t),
                 _ => None,
             })
             .min()
-        {
-            // Nothing runnable, nothing queued: jump the shared clock to
-            // the earliest wait target. No session overshoots its own
-            // target by more than mining drift, because the jump stops at
-            // the minimum.
+    }
+
+    /// The pooled miner's end-of-tick decision. While the oldest pooled
+    /// transaction is still inside its hold window and some session will
+    /// wake before the window closes, *wait*: jump the clock to that
+    /// wake so the woken session can add its transactions to the same
+    /// block. Otherwise seal one packed block. Every branch advances the
+    /// run — a clock jump wakes a slot, a mined block either delivers
+    /// receipts or (empty pack) moves time toward the next wake — so
+    /// the tick budget still bounds the schedule.
+    fn pooled_mining_decision(&mut self) {
+        let next_wake = self.earliest_wait();
+        if self.net.pending_count() == 0 {
+            // Nothing to mine. Pending slots can only be waiting on a
+            // routed rejection (their transaction is neither pooled nor
+            // mined) — release them to observe it; otherwise sleep.
+            if self.slots.iter().any(|s| s.state == SlotState::Pending) {
+                for slot in &mut self.slots {
+                    if slot.state == SlotState::Pending {
+                        slot.state = SlotState::Runnable;
+                    }
+                }
+            } else {
+                self.jump_to_earliest_wait();
+            }
+            return;
+        }
+        let hold_deadline = self
+            .net
+            .pool_earliest_entry()
+            .map(|entered| entered + self.patience);
+        if let (Some(wake), Some(deadline)) = (next_wake, hold_deadline) {
             let now = self.net.now();
-            if target > now {
-                self.net.advance_time(target - now);
+            if wake <= deadline {
+                // Patience: coalesce the upcoming session's traffic into
+                // this block instead of sealing now.
+                if wake > now {
+                    self.net.advance_time(wake - now);
+                }
+                return;
             }
         }
+        self.mine_and_release();
     }
 }

@@ -16,6 +16,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
+use sc_chain::PoolConfig;
 use sc_contracts::BetSecrets;
 use sc_core::{
     check_conservation, BettingSpec, ChallengeSpec, CrashPoint, SessionReport, SessionScheduler,
@@ -234,4 +235,137 @@ fn sessions_share_blocks_at_scale_256() {
     let outcomes: std::collections::BTreeSet<_> =
         reports.iter().filter_map(|r| r.outcome).collect();
     assert!(outcomes.len() >= 5, "outcome mix too narrow: {outcomes:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Pooled mining is as reproducible as outbox mining: any random
+    /// mix of sessions (fault seeds included) run twice through
+    /// [`SessionScheduler::new_pooled`] produces bit-identical reports,
+    /// chain heads and pool statistics. The fee market adds ordering
+    /// and eviction decisions, but never a source of nondeterminism.
+    #[test]
+    fn pooled_runs_are_deterministic(
+        cells in vec((0u8..10, 0u64..180, 0u8..2), 2..6)
+    ) {
+        let specs: Vec<SessionSpec> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, &(code, delay, faulty))| {
+                let seed = (faulty == 1).then_some(0xD00_0000_u64 + i as u64);
+                spec_cell(code, seed, delay)
+            })
+            .collect();
+
+        let run = || {
+            let mut sched = SessionScheduler::new_pooled(specs.clone(), PoolConfig::default());
+            let reports: Vec<_> = sched.run().iter().map(observable).collect();
+            let stats = sched.stats();
+            (
+                reports,
+                sched.net().head().hash,
+                stats.blocks_mined,
+                stats.txs_mined,
+                stats.pool_evicted,
+            )
+        };
+        prop_assert_eq!(run(), run(), "pooled scheduler run not deterministic");
+    }
+}
+
+/// Pooled mode at N = 16: every session still terminates validly, the
+/// chain still conserves ether, and the patient packer genuinely lifts
+/// block utilization above the one-flush-one-block baseline.
+#[test]
+fn pooled_chain_settles_conserves_and_packs_denser_blocks() {
+    let specs = |()| -> Vec<SessionSpec> {
+        (0..16u8)
+            .map(|i| {
+                let seed = (i % 4 == 0).then_some(0xF00D_0000_u64 + u64::from(i));
+                spec_cell(i % 10, seed, u64::from(i % 2) * 30)
+            })
+            .collect()
+    };
+
+    let mut outbox = SessionScheduler::new(specs(()));
+    outbox.run();
+
+    let mut pooled = SessionScheduler::new_pooled(specs(()), PoolConfig::default());
+    let reports = pooled.run();
+
+    for r in &reports {
+        assert!(
+            r.error.is_none() && r.outcome.is_some(),
+            "pooled session {} ({}): outcome {:?}, error {:?}",
+            r.id,
+            r.kind,
+            r.outcome,
+            r.error
+        );
+        let staged: u64 = r.stage_gas.iter().sum();
+        assert_eq!(staged, r.total_gas, "stage gas must sum to total gas");
+    }
+    check_conservation(pooled.net()).unwrap();
+    assert_eq!(
+        pooled.stats().txs_mined,
+        outbox.stats().txs_mined,
+        "both modes mine the same workload"
+    );
+    assert!(
+        pooled.stats().mean_txs_per_block() > outbox.stats().mean_txs_per_block(),
+        "fee market must pack denser blocks: pooled {:.2} vs outbox {:.2}",
+        pooled.stats().mean_txs_per_block(),
+        outbox.stats().mean_txs_per_block()
+    );
+}
+
+/// Clock-jump regression: when one session sleeps toward a *far* wake
+/// target (a huge start delay) while another runs on a *tight* phase
+/// schedule, the scheduler's idle jump must stop at the nearer
+/// deadline. An overshoot would blow the tight session past its
+/// contract windows (deposits after T1 bounce, refunds replace
+/// settlement), which would surface as a diverged trace vs its solo
+/// run — in both outbox and pooled mode.
+#[test]
+fn clock_jump_never_overshoots_a_nearer_deadline() {
+    let tight = SessionSpec::Betting(BettingSpec {
+        secrets: secrets_bob_wins(),
+        phase_seconds: 120,
+        ..BettingSpec::default()
+    });
+    let distant = SessionSpec::Betting(BettingSpec {
+        secrets: secrets_bob_wins(),
+        start_delay: 50_000,
+        ..BettingSpec::default()
+    });
+    let specs = vec![tight.clone(), distant.clone()];
+
+    let solo_tight = SessionScheduler::new(vec![tight]).run();
+    let solo_distant = SessionScheduler::new(vec![distant]).run();
+    assert_eq!(
+        solo_tight[0].outcome,
+        Some("settled-honestly"),
+        "the tight schedule must still be honestly settleable solo"
+    );
+
+    for pooled in [false, true] {
+        let mut sched = if pooled {
+            SessionScheduler::new_pooled(specs.clone(), PoolConfig::default())
+        } else {
+            SessionScheduler::new(specs.clone())
+        };
+        let reports = sched.run();
+        assert_eq!(
+            observable(&reports[0]),
+            observable(&solo_tight[0]),
+            "tight-deadline session diverged (pooled = {pooled}): the idle \
+             clock jump overshot its phase window"
+        );
+        assert_eq!(
+            observable(&reports[1]),
+            observable(&solo_distant[0]),
+            "delayed session diverged (pooled = {pooled})"
+        );
+    }
 }

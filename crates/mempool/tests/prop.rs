@@ -1,0 +1,151 @@
+//! Property suite for the fee-market pool: whatever sequence of
+//! admissions arrives, a packed block never busts the gas budget, never
+//! reorders a sender's nonces, and never loses a transaction — every
+//! admitted hash is packed, displaced, or still resident.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sc_mempool::{Admitted, Mempool, PoolConfig, TxMeta};
+use sc_primitives::{Address, H256, U256};
+use std::collections::{BTreeSet, HashMap};
+
+/// A distinct sender per small index.
+fn sender(i: u8) -> Address {
+    let mut a = [0u8; 20];
+    a[0] = i + 1;
+    Address(a)
+}
+
+/// A unique per-admission hash (the sequence index is enough).
+fn hash(i: usize) -> H256 {
+    let mut h = [0u8; 32];
+    h[..8].copy_from_slice(&(i as u64 + 1).to_be_bytes());
+    H256(h)
+}
+
+/// One generated admission attempt, fanned over a handful of senders
+/// and a narrow nonce range so replacements and races actually happen.
+fn meta(i: usize, s: u8, nonce: u64, price: u64, gas: u64) -> TxMeta {
+    TxMeta {
+        sender: sender(s),
+        nonce,
+        gas_price: U256::from_u64(price),
+        gas_limit: gas,
+        hash: hash(i),
+    }
+}
+
+/// Replays `ops` into a pool (tracking what the pool claims happened),
+/// then packs one block. Returns everything a property needs.
+struct Replay {
+    pool: Mempool<usize>,
+    /// Hashes the pool accepted (minus those it later reported
+    /// replaced/evicted, which moved to `displaced`).
+    accepted: BTreeSet<H256>,
+    /// Hashes the pool reported displacing (replacement or eviction).
+    displaced: BTreeSet<H256>,
+}
+
+fn replay(ops: &[(u8, u64, u64, u64)], capacity: usize) -> Replay {
+    let mut pool = Mempool::new(PoolConfig {
+        capacity,
+        ..PoolConfig::default()
+    });
+    let mut accepted = BTreeSet::new();
+    for (i, &(s, nonce, price, gas)) in ops.iter().enumerate() {
+        let m = meta(i, s, nonce, 1 + price, 10_000 + gas);
+        let h = m.hash;
+        match pool.insert(m, i, i as u64) {
+            Ok(Admitted::Queued) | Ok(Admitted::Replaced(_)) | Ok(Admitted::EvictedOther(_)) => {
+                accepted.insert(h);
+            }
+            Ok(Admitted::AlreadyPooled) | Err(_) => {}
+        }
+    }
+    let displaced: BTreeSet<H256> = pool.drain_evicted().into_iter().collect();
+    for h in &displaced {
+        accepted.remove(h);
+    }
+    Replay {
+        pool,
+        accepted,
+        displaced,
+    }
+}
+
+/// The strategy: up to 48 admissions over 4 senders × nonces 0..5,
+/// prices 0..40 (pre-bump), gas 0..290k (pre-floor).
+fn ops() -> impl Strategy<Value = Vec<(u8, u64, u64, u64)>> {
+    vec((0u8..4, 0u64..5, 0u64..40, 0u64..290_000), 1..48)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Σ declared gas of a packed block never exceeds the block gas
+    /// limit, whatever was pooled.
+    #[test]
+    fn packed_blocks_respect_the_gas_limit(
+        ops in ops(),
+        limit in 10_000u64..1_000_000,
+    ) {
+        let mut r = replay(&ops, 4096);
+        let block = r.pool.pack(limit, |_| 0);
+        let declared: u64 = block.iter().map(|(m, _)| m.gas_limit).sum();
+        prop_assert!(
+            declared <= limit,
+            "declared {} over limit {}",
+            declared,
+            limit
+        );
+    }
+
+    /// A packed block carries each sender's transactions in strictly
+    /// increasing nonce order, starting at the account nonce, with no
+    /// gaps — the order the chain will execute them in.
+    #[test]
+    fn packing_preserves_per_sender_nonce_order(ops in ops()) {
+        let mut r = replay(&ops, 4096);
+        let block = r.pool.pack(u64::MAX, |_| 0);
+        let mut next: HashMap<Address, u64> = HashMap::new();
+        for (m, _) in &block {
+            let want = next.entry(m.sender).or_insert(0);
+            prop_assert_eq!(
+                m.nonce, *want,
+                "sender {:?} packed nonce {} where {} was executable",
+                m.sender, m.nonce, *want
+            );
+            *want += 1;
+        }
+    }
+
+    /// No transaction is ever silently lost: every hash the pool
+    /// accepted is afterwards packed, reported displaced, or still
+    /// resident — and those sets are disjoint.
+    #[test]
+    fn admitted_transactions_are_conserved(
+        ops in ops(),
+        capacity in 1usize..12,
+        limit in 10_000u64..600_000,
+    ) {
+        let mut r = replay(&ops, capacity);
+        let packed: BTreeSet<H256> =
+            r.pool.pack(limit, |_| 0).iter().map(|(m, _)| m.hash).collect();
+        let resident: BTreeSet<H256> = r.pool.iter_meta().map(|m| m.hash).collect();
+
+        prop_assert!(packed.is_disjoint(&resident), "packed txs must leave the pool");
+        prop_assert!(packed.is_disjoint(&r.displaced), "packed txs were never displaced");
+
+        let mut accounted: BTreeSet<H256> = packed.clone();
+        accounted.extend(resident.iter().copied());
+        prop_assert_eq!(
+            &accounted, &r.accepted,
+            "every accepted tx is packed or resident (displaced already removed)"
+        );
+        prop_assert_eq!(
+            r.pool.len(),
+            resident.len(),
+            "len agrees with the resident iterator"
+        );
+    }
+}

@@ -7,6 +7,7 @@
 //! * [`primitives`] — 256-bit words, addresses, hashes, hex, RLP, ABI.
 //! * [`crypto`] — keccak-256 and secp256k1 ECDSA (sign / verify / recover).
 //! * [`evm`] — a from-scratch EVM interpreter with Yellow-Paper gas costs.
+//! * [`mempool`] — a deterministic transaction pool and fee market.
 //! * [`chain`] — a single-node Ethereum-style chain simulator ("Kovan").
 //! * [`lang`] — MiniSol, a deterministic Solidity-subset compiler.
 //! * [`contracts`] — the paper's betting contracts and baselines in MiniSol.
@@ -19,4 +20,5 @@ pub use sc_core as core;
 pub use sc_crypto as crypto;
 pub use sc_evm as evm;
 pub use sc_lang as lang;
+pub use sc_mempool as mempool;
 pub use sc_primitives as primitives;

@@ -212,3 +212,128 @@ fn long_chain_blockhash_window_holds() {
         assert_eq!(b.parent_hash, net.block(n - 1).unwrap().hash);
     }
 }
+
+/// The pooled-mining scale target: 1024 heterogeneous sessions
+/// multiplexed over one shared chain with the fee-market mempool
+/// packing blocks. Expensive (minutes in release), so it is ignored in
+/// the default run and exercised by the scheduled CI stress job:
+/// `cargo test --release -- --ignored pooled_scale`.
+#[test]
+#[ignore = "scheduled stress job: minutes of wall clock at N = 1024"]
+fn pooled_scale_1024_sessions_settle_and_share_blocks() {
+    use onoffchain::core::{
+        check_conservation, BettingSpec, ChallengeSpec, CrashPoint, SessionScheduler, SessionSpec,
+        Strategy, SubmitStrategy, WatchStrategy,
+    };
+    use onoffchain::mempool::PoolConfig;
+
+    let mut secrets = BetSecrets {
+        secret_a: U256::from_u64(41),
+        secret_b: U256::from_u64(42),
+        weight: 16,
+    };
+    while !secrets.winner_is_bob() {
+        secrets.secret_a = secrets.secret_a.wrapping_add(U256::ONE);
+    }
+
+    let specs: Vec<SessionSpec> = (0..1024u32)
+        .map(|i| {
+            let fault_seed = (i % 4 == 0).then_some(0x1024_0000_u64 + u64::from(i));
+            let start_delay = u64::from(i % 128) * 30;
+            match i % 10 {
+                0 => SessionSpec::Betting(BettingSpec {
+                    secrets,
+                    fault_seed,
+                    start_delay,
+                    ..BettingSpec::default()
+                }),
+                1 => SessionSpec::Betting(BettingSpec {
+                    alice: Strategy::SilentLoser,
+                    secrets,
+                    fault_seed,
+                    start_delay,
+                    ..BettingSpec::default()
+                }),
+                2 => SessionSpec::Betting(BettingSpec {
+                    alice: Strategy::ForgingLoser,
+                    secrets,
+                    fault_seed,
+                    start_delay,
+                    ..BettingSpec::default()
+                }),
+                3 => SessionSpec::Betting(BettingSpec {
+                    bob: Strategy::NoShow,
+                    secrets,
+                    fault_seed,
+                    start_delay,
+                    ..BettingSpec::default()
+                }),
+                4 => SessionSpec::Betting(BettingSpec {
+                    bob: Strategy::RefusesToSign,
+                    secrets,
+                    fault_seed,
+                    start_delay,
+                    ..BettingSpec::default()
+                }),
+                5 => SessionSpec::Betting(BettingSpec {
+                    alice: Strategy::SignsTampered,
+                    secrets,
+                    fault_seed,
+                    start_delay,
+                    ..BettingSpec::default()
+                }),
+                6 => SessionSpec::Challenge(ChallengeSpec {
+                    secrets,
+                    fault_seed,
+                    start_delay,
+                    ..ChallengeSpec::default()
+                }),
+                7 => SessionSpec::Challenge(ChallengeSpec {
+                    secrets,
+                    submit: SubmitStrategy::False,
+                    fault_seed,
+                    start_delay,
+                    ..ChallengeSpec::default()
+                }),
+                8 => SessionSpec::Challenge(ChallengeSpec {
+                    secrets,
+                    submit: SubmitStrategy::False,
+                    watch: WatchStrategy::Asleep,
+                    fault_seed,
+                    start_delay,
+                    ..ChallengeSpec::default()
+                }),
+                _ => SessionSpec::Challenge(ChallengeSpec {
+                    secrets,
+                    crash: CrashPoint::BeforeSubmit,
+                    fault_seed,
+                    start_delay,
+                    ..ChallengeSpec::default()
+                }),
+            }
+        })
+        .collect();
+
+    let mut sched = SessionScheduler::new_pooled(specs, PoolConfig::default());
+    let reports = sched.run();
+    let stats = sched.stats();
+
+    assert_eq!(reports.len(), 1024);
+    for r in &reports {
+        assert!(
+            r.error.is_none() && r.outcome.is_some(),
+            "session {} ({}): outcome {:?}, error {:?}",
+            r.id,
+            r.kind,
+            r.outcome,
+            r.error
+        );
+    }
+    check_conservation(sched.net()).unwrap();
+    assert!(
+        stats.mean_txs_per_block() > 4.0,
+        "pooled mining must pack shared blocks at scale: {} txs over {} blocks",
+        stats.txs_mined,
+        stats.blocks_mined
+    );
+}
