@@ -1,0 +1,63 @@
+//! S3 — authenticated-state overhead: the same transfer + storage
+//! workload mined with header Merkle commitments off vs on.
+//!
+//! Prints the comparison at N ∈ {1, 16, 256} (wall-clock both ways,
+//! the seal-time overhead, raw trie build time and proof size), writes
+//! `BENCH_trie.json` at the repository root, asserts the acceptance
+//! bound (≤ 25% overhead at N = 256), then Criterion-times the rooted
+//! N = 16 run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::print_gas_table;
+use sc_bench::trie::{artifact_path, measure_point, run_and_write};
+
+fn print_comparison() {
+    let report = run_and_write().expect("write BENCH_trie.json");
+    let rows: Vec<(&str, String)> = report
+        .points
+        .iter()
+        .map(|p| {
+            let label: &str = match p.n {
+                1 => "N = 1",
+                16 => "N = 16",
+                _ => "N = 256",
+            };
+            (
+                label,
+                format!(
+                    "baseline {:>7.2} ms, rooted {:>7.2} ms ({:+.1}% over {} blocks, \
+                     {:.1} proof nodes)",
+                    p.baseline_ns as f64 / 1e6,
+                    p.rooted_ns as f64 / 1e6,
+                    p.overhead_pct(),
+                    p.blocks_mined,
+                    p.mean_proof_nodes,
+                ),
+            )
+        })
+        .collect();
+    print_gas_table("S3 — Merkle commitment overhead per sealed block", &rows);
+    println!("  wrote {}", artifact_path().display());
+
+    let at_256 = report
+        .points
+        .iter()
+        .find(|p| p.n == 256)
+        .expect("N = 256 measured");
+    assert!(
+        at_256.overhead_pct() <= 25.0,
+        "root commitment exceeded the 25% seal-time budget at N = 256: {:.2}%",
+        at_256.overhead_pct()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_comparison();
+    let mut group = c.benchmark_group("trie");
+    group.sample_size(10);
+    group.bench_function("rooted/16_accounts", |b| b.iter(|| measure_point(16)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

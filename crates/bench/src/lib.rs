@@ -11,6 +11,7 @@
 pub mod mempool;
 pub mod pipeline;
 pub mod sessions;
+pub mod trie;
 
 use sc_chain::Testnet;
 use sc_contracts::{BetSecrets, MonolithicContract, Timeline};

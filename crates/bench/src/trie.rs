@@ -1,0 +1,258 @@
+//! Measures what the authenticated state costs: the same transfer +
+//! storage-write workload mined twice per N — once with Merkle-root
+//! commitments disabled (`commit_roots: false`, headers carry zero
+//! roots) and once with the default full commitment (account trie,
+//! per-account storage tries, receipts trie folded at every seal).
+//!
+//! Reported per point: raw trie build time and mean proof size at N
+//! keys, plus baseline vs rooted wall-clock for the chain workload and
+//! the seal-time overhead percentage. The numbers land in
+//! `BENCH_trie.json` at the repository root; the acceptance bound is
+//! ≤ 25% added block-seal time at N = 256.
+
+use sc_chain::{ChainConfig, Testnet};
+use sc_crypto::keccak256;
+use sc_primitives::{Address, U256};
+use sc_trie::SecureTrie;
+use std::time::Instant;
+
+/// Runtime that stores calldata word 1 at the slot named by calldata
+/// word 0: `PUSH1 32 CALLDATALOAD PUSH1 0 CALLDATALOAD SSTORE STOP`.
+const SSTORE_RUNTIME: [u8; 8] = [0x60, 0x20, 0x35, 0x60, 0x00, 0x35, 0x55, 0x00];
+
+/// Initcode returning [`SSTORE_RUNTIME`]: `PUSH8 <runtime> PUSH1 0
+/// MSTORE` leaves the 8 code bytes at memory 24..32, then `RETURN(24, 8)`.
+fn sstore_initcode() -> Vec<u8> {
+    let mut code = vec![0x67];
+    code.extend_from_slice(&SSTORE_RUNTIME);
+    code.extend_from_slice(&[0x60, 0x00, 0x52, 0x60, 0x08, 0x60, 0x18, 0xf3]);
+    code
+}
+
+/// `store(key, value)` calldata for the [`SSTORE_RUNTIME`] contract.
+fn store_calldata(key: U256, value: U256) -> Vec<u8> {
+    let mut data = Vec::with_capacity(64);
+    data.extend_from_slice(&key.to_be_bytes());
+    data.extend_from_slice(&value.to_be_bytes());
+    data
+}
+
+/// One N's worth of numbers.
+#[derive(Debug, Clone)]
+pub struct TriePoint {
+    /// Distinct accounts in the chain workload / keys in the raw trie.
+    pub n: usize,
+    /// Nanoseconds to insert `n` hashed keys into a fresh [`SecureTrie`]
+    /// and compute its root.
+    pub trie_build_ns: u128,
+    /// Mean Merkle-path length (nodes) across all `n` inclusion proofs.
+    pub mean_proof_nodes: f64,
+    /// Wall-clock nanoseconds of the workload with `commit_roots: false`.
+    pub baseline_ns: u128,
+    /// Wall-clock nanoseconds of the same workload with commitments on.
+    pub rooted_ns: u128,
+    /// Blocks each run mined (identical by construction).
+    pub blocks_mined: u64,
+}
+
+impl TriePoint {
+    /// Added block-seal time of root commitment, in percent of the
+    /// uncommitted baseline.
+    pub fn overhead_pct(&self) -> f64 {
+        let base = self.baseline_ns.max(1) as f64;
+        (self.rooted_ns as f64 - base) / base * 100.0
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"n\": {},\n",
+                "      \"trie_build_ns\": {},\n",
+                "      \"mean_proof_nodes\": {:.2},\n",
+                "      \"baseline_ns\": {},\n",
+                "      \"rooted_ns\": {},\n",
+                "      \"blocks_mined\": {},\n",
+                "      \"overhead_pct\": {:.2}\n",
+                "    }}"
+            ),
+            self.n,
+            self.trie_build_ns,
+            self.mean_proof_nodes,
+            self.baseline_ns,
+            self.rooted_ns,
+            self.blocks_mined,
+            self.overhead_pct(),
+        )
+    }
+}
+
+/// Results of the trie measurement across all N.
+#[derive(Debug, Clone)]
+pub struct TrieReport {
+    /// One point per measured N, in ascending order.
+    pub points: Vec<TriePoint>,
+}
+
+impl TrieReport {
+    /// Serialises the report as a small JSON object (hand-rolled: the
+    /// workspace is std-only by design).
+    pub fn to_json(&self) -> String {
+        let points = self
+            .points
+            .iter()
+            .map(TriePoint::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"trie\",\n",
+                "  \"points\": [\n{}\n  ]\n",
+                "}}\n"
+            ),
+            points,
+        )
+    }
+}
+
+/// Deterministic 32-byte key for index `i`.
+fn key(i: usize) -> [u8; 32] {
+    keccak256(&(i as u64).to_be_bytes()).0
+}
+
+/// Times inserting `n` keys into a fresh secure trie + one root fold,
+/// and measures the mean inclusion-proof length.
+fn measure_raw_trie(n: usize) -> (u128, f64) {
+    let start = Instant::now();
+    let mut secure = SecureTrie::new();
+    for i in 0..n {
+        secure.insert(&key(i), key(i).to_vec());
+    }
+    let _root = secure.root();
+    let build_ns = start.elapsed().as_nanos();
+
+    // Mean Merkle-path length — the nodes a light client replays.
+    let total_nodes: usize = (0..n).map(|i| secure.prove(&key(i)).len()).sum();
+    (build_ns, total_nodes as f64 / n.max(1) as f64)
+}
+
+/// Runs the chain workload — `n` funded accounts, each storing two
+/// slots in a shared contract and sending one plain transfer — and
+/// returns `(elapsed_ns, blocks_mined)`. Every transaction mines its
+/// own block, so the run times `3n + 1` seals end to end.
+fn run_workload(n: usize, commit_roots: bool) -> (u128, u64) {
+    let config = ChainConfig {
+        commit_roots,
+        ..ChainConfig::default()
+    };
+    let start = Instant::now();
+    let mut net = Testnet::with_config(config);
+    let wallets: Vec<_> = (0..n)
+        .map(|i| net.funded_wallet(&format!("w{i}"), sc_primitives::ether(10)))
+        .collect();
+    let r = net
+        .deploy(&wallets[0], sstore_initcode(), U256::ZERO, 100_000)
+        .expect("deploy store contract");
+    assert!(r.success, "store contract deploy failed: {:?}", r.failure);
+    let store = r.contract_address.expect("created");
+
+    for (i, w) in wallets.iter().enumerate() {
+        for round in 0..2u64 {
+            let slot = U256::from_u64((i as u64) * 2 + round);
+            let value = U256::from_u64(0x1000 + i as u64);
+            let r = net
+                .execute(w, store, U256::ZERO, store_calldata(slot, value), 60_000)
+                .expect("store call");
+            assert!(r.success, "store call failed: {:?}", r.failure);
+        }
+        net.execute(
+            w,
+            Address([0xba; 20]),
+            U256::from_u64(1),
+            Vec::new(),
+            21_000,
+        )
+        .expect("transfer");
+    }
+    let blocks = net.head().number;
+    (start.elapsed().as_nanos(), blocks)
+}
+
+/// Measures one N: raw trie timings plus the baseline/rooted workload
+/// pair.
+pub fn measure_point(n: usize) -> TriePoint {
+    let (trie_build_ns, mean_proof_nodes) = measure_raw_trie(n);
+    let (baseline_ns, baseline_blocks) = run_workload(n, false);
+    let (rooted_ns, rooted_blocks) = run_workload(n, true);
+    assert_eq!(baseline_blocks, rooted_blocks, "identical workloads");
+    TriePoint {
+        n,
+        trie_build_ns,
+        mean_proof_nodes,
+        baseline_ns,
+        rooted_ns,
+        blocks_mined: rooted_blocks,
+    }
+}
+
+/// Measures the full comparison at N ∈ {1, 16, 256}.
+pub fn measure() -> TrieReport {
+    TrieReport {
+        points: [1, 16, 256].into_iter().map(measure_point).collect(),
+    }
+}
+
+/// Path of the JSON artifact at the repository root.
+pub fn artifact_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_trie.json")
+}
+
+/// Runs the measurement, writes `BENCH_trie.json` at the repo root and
+/// returns the report.
+pub fn run_and_write() -> std::io::Result<TrieReport> {
+    let report = measure();
+    std::fs::write(artifact_path(), report.to_json())?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_workload_and_report_shape() {
+        let p = measure_point(4);
+        assert_eq!(p.n, 4);
+        // Deploy + 4 × (2 stores + 1 transfer) = 13 blocks.
+        assert_eq!(p.blocks_mined, 13);
+        assert!(p.trie_build_ns > 0);
+        assert!(p.mean_proof_nodes >= 1.0);
+        let json = TrieReport { points: vec![p] }.to_json();
+        assert!(json.contains("\"bench\": \"trie\""));
+        assert!(json.contains("\"n\": 4"));
+        assert!(json.contains("\"overhead_pct\""));
+    }
+
+    #[test]
+    fn store_contract_writes_the_named_slot() {
+        let mut net = Testnet::new();
+        let w = net.funded_wallet("w", sc_primitives::ether(1));
+        let r = net
+            .deploy(&w, sstore_initcode(), U256::ZERO, 100_000)
+            .unwrap();
+        assert!(r.success, "deploy: {:?}", r.failure);
+        let store = r.contract_address.unwrap();
+        let r = net
+            .execute(
+                &w,
+                store,
+                U256::ZERO,
+                store_calldata(U256::from_u64(5), U256::from_u64(77)),
+                60_000,
+            )
+            .unwrap();
+        assert!(r.success, "store: {:?}", r.failure);
+        assert_eq!(net.storage_at(store, U256::from_u64(5)), U256::from_u64(77));
+    }
+}

@@ -52,6 +52,12 @@ pub struct Block {
     pub parent_hash: H256,
     /// This block's hash.
     pub hash: H256,
+    /// Root of the account trie after executing this block — the
+    /// commitment light verifiers check storage proofs against.
+    pub state_root: H256,
+    /// Root of the trie over this block's RLP-encoded receipts, keyed
+    /// by `rlp(index)`.
+    pub receipts_root: H256,
     /// Included transactions.
     pub transactions: Vec<SignedTransaction>,
     /// Total gas used by the block.
@@ -59,11 +65,16 @@ pub struct Block {
 }
 
 impl Block {
-    /// Computes a block hash from header-ish fields and the tx list.
+    /// Computes a block hash from the header fields — including the
+    /// state and receipts commitments and the gas total, so tampering
+    /// with any of them changes the block identity — and the tx list.
     pub fn compute_hash(
         number: u64,
         timestamp: u64,
         parent_hash: H256,
+        state_root: H256,
+        receipts_root: H256,
+        gas_used: u64,
         transactions: &[SignedTransaction],
     ) -> H256 {
         let tx_hashes: Vec<Item> = transactions
@@ -74,23 +85,111 @@ impl Block {
             Item::u64(number),
             Item::u64(timestamp),
             Item::bytes(parent_hash.0.to_vec()),
+            Item::bytes(state_root.0.to_vec()),
+            Item::bytes(receipts_root.0.to_vec()),
+            Item::u64(gas_used),
             Item::List(tx_hashes),
         ]);
         keccak256(&payload)
     }
 }
 
+impl Receipt {
+    /// Canonical RLP of the receipt's consensus fields — `[status,
+    /// gas_used, logs]` with each log as `[address, topics, data]` —
+    /// the leaf committed into a block's receipts trie. (Indexing
+    /// fields like `tx_hash` stay out: the trie key `rlp(index)`
+    /// already fixes the position.)
+    pub fn rlp_encode(&self) -> Vec<u8> {
+        let logs: Vec<Item> = self
+            .logs
+            .iter()
+            .map(|log| {
+                Item::List(vec![
+                    Item::address(log.address),
+                    Item::List(
+                        log.topics
+                            .iter()
+                            .map(|t| Item::bytes(t.0.to_vec()))
+                            .collect(),
+                    ),
+                    Item::bytes(log.data.clone()),
+                ])
+            })
+            .collect();
+        rlp::encode_list(&[
+            Item::u64(self.success as u64),
+            Item::u64(self.gas_used),
+            Item::List(logs),
+        ])
+    }
+}
+
+/// Root of the trie over a block's receipts, keyed by `rlp(index)` —
+/// the `receipts_root` sealed into the header. Receipts must be passed
+/// in transaction order with `tx_index` already assigned.
+pub fn receipts_root<'a>(receipts: impl IntoIterator<Item = &'a Receipt>) -> H256 {
+    let mut trie = sc_trie::Trie::new();
+    for r in receipts {
+        trie.insert(&rlp::encode(&Item::u64(r.tx_index as u64)), r.rlp_encode());
+    }
+    trie.root()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sc_trie::empty_root;
+
+    fn hash_with(number: u64, timestamp: u64, state_root: H256, gas: u64) -> H256 {
+        Block::compute_hash(
+            number,
+            timestamp,
+            H256::ZERO,
+            state_root,
+            empty_root(),
+            gas,
+            &[],
+        )
+    }
 
     #[test]
     fn block_hash_depends_on_contents() {
-        let h1 = Block::compute_hash(1, 100, H256::ZERO, &[]);
-        let h2 = Block::compute_hash(2, 100, H256::ZERO, &[]);
-        let h3 = Block::compute_hash(1, 101, H256::ZERO, &[]);
-        assert_ne!(h1, h2);
-        assert_ne!(h1, h3);
-        assert_eq!(h1, Block::compute_hash(1, 100, H256::ZERO, &[]));
+        let h1 = hash_with(1, 100, empty_root(), 0);
+        assert_ne!(h1, hash_with(2, 100, empty_root(), 0), "number");
+        assert_ne!(h1, hash_with(1, 101, empty_root(), 0), "timestamp");
+        assert_ne!(h1, hash_with(1, 100, H256::ZERO, 0), "state root");
+        assert_ne!(h1, hash_with(1, 100, empty_root(), 21_000), "gas used");
+        assert_eq!(h1, hash_with(1, 100, empty_root(), 0));
+    }
+
+    #[test]
+    fn receipts_root_commits_contents_and_order() {
+        let receipt = |i: usize, gas: u64| Receipt {
+            tx_hash: H256::ZERO,
+            block_number: 1,
+            tx_index: i,
+            success: true,
+            gas_used: gas,
+            contract_address: None,
+            logs: vec![],
+            output: vec![],
+            failure: None,
+        };
+        assert_eq!(receipts_root([]), empty_root());
+        let a = [receipt(0, 21_000), receipt(1, 30_000)];
+        let b = [receipt(0, 21_000), receipt(1, 30_001)];
+        let swapped = [receipt(0, 30_000), receipt(1, 21_000)];
+        assert_eq!(receipts_root(a.iter()), receipts_root(a.iter()));
+        assert_ne!(receipts_root(a.iter()), receipts_root(b.iter()), "gas");
+        assert_ne!(
+            receipts_root(a.iter()),
+            receipts_root(swapped.iter()),
+            "order"
+        );
+        // Status and logs are committed too.
+        let mut failed = a.clone();
+        failed[1].success = false;
+        assert_ne!(receipts_root(a.iter()), receipts_root(failed.iter()));
     }
 }

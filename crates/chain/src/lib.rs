@@ -7,18 +7,23 @@
 //!
 //! * [`state`] — journaled [`state::WorldState`] implementing `sc_evm::Host`.
 //! * [`tx`] — transactions, signing, [`tx::Wallet`].
-//! * [`block`] — blocks and [`block::Receipt`]s.
+//! * [`block`] — blocks and [`block::Receipt`]s, sealed with
+//!   `state_root` / `receipts_root` Merkle commitments.
+//! * [`proof`] — [`proof::StorageProof`]: stateless light verification
+//!   of a storage slot against a header's `state_root`.
 //! * [`testnet`] — the [`testnet::Testnet`] facade.
 
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod proof;
 pub mod state;
 pub mod testnet;
 pub mod tx;
 
-pub use block::{Block, FailureReason, Receipt};
-pub use state::{Account, WorldState};
+pub use block::{receipts_root, Block, FailureReason, Receipt};
+pub use proof::{ProofVerifyError, StorageProof};
+pub use state::{encode_account, Account, WorldState};
 pub use testnet::{CallResult, ChainConfig, Testnet, TxError};
 pub use tx::{SignedTransaction, Transaction, Wallet};
 // The pool types travel with the chain so downstream crates (the

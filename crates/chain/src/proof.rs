@@ -1,0 +1,252 @@
+//! Light verification of storage against a block's `state_root`.
+//!
+//! A [`StorageProof`] carries the two Merkle paths a stateless verifier
+//! needs: the account's inclusion proof in the state trie (which
+//! commits the account's `storage_root`) and the slot's proof in that
+//! storage trie. [`StorageProof::verify`] replays both against a root
+//! taken from a block header — no access to the world state required,
+//! which is exactly what the paper's challenge stage needs: a
+//! participant can check what the chain committed to without trusting
+//! the representative's node.
+
+use sc_primitives::rlp::{self, Item};
+use sc_primitives::{Address, H256, U256};
+use sc_trie::{verify_secure_proof, ProofError};
+use std::fmt;
+
+/// Why a [`StorageProof`] failed to check out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofVerifyError {
+    /// A Merkle path was malformed or incomplete (includes tampering —
+    /// a modified node breaks a hash link to the root).
+    Trie(ProofError),
+    /// The account leaf did not decode as `[nonce, balance,
+    /// storage_root, code_hash]`.
+    BadAccount,
+    /// Both paths verified, but against a different value than claimed.
+    ValueMismatch {
+        /// What the root actually commits the slot to.
+        proven: U256,
+        /// What the proof claimed.
+        claimed: U256,
+    },
+}
+
+impl fmt::Display for ProofVerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofVerifyError::Trie(e) => write!(f, "storage proof rejected: {e}"),
+            ProofVerifyError::BadAccount => write!(f, "malformed account leaf in storage proof"),
+            ProofVerifyError::ValueMismatch { proven, claimed } => write!(
+                f,
+                "storage proof value mismatch: root commits {proven}, claimed {claimed}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProofVerifyError {}
+
+impl From<ProofError> for ProofVerifyError {
+    fn from(e: ProofError) -> Self {
+        ProofVerifyError::Trie(e)
+    }
+}
+
+/// A self-contained storage witness: address, slot, claimed value, and
+/// the account + storage Merkle paths, plus the state root the prover
+/// anchored to (so a verifier can compare it against a block header
+/// before replaying the paths).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageProof {
+    /// Account whose storage is being proven.
+    pub address: Address,
+    /// Storage slot.
+    pub slot: U256,
+    /// Claimed slot value ([`U256::ZERO`] for exclusion proofs).
+    pub value: U256,
+    /// The state root the prover generated this proof against.
+    pub root: H256,
+    /// Merkle path of the account in the state trie.
+    pub account_proof: Vec<Vec<u8>>,
+    /// Merkle path of the slot in the account's storage trie.
+    pub storage_proof: Vec<Vec<u8>>,
+}
+
+impl StorageProof {
+    /// Replays the proof against `state_root` and returns the value the
+    /// root actually commits the slot to. An account proven absent, or
+    /// a slot proven absent in its storage trie, commits to zero.
+    pub fn proven_value(&self, state_root: H256) -> Result<U256, ProofVerifyError> {
+        let account =
+            verify_secure_proof(state_root, self.address.as_bytes(), &self.account_proof)?;
+        let Some(account) = account else {
+            // Account exclusion: every slot of a nonexistent account is
+            // zero, and there is no storage root to walk.
+            return Ok(U256::ZERO);
+        };
+        let storage_root = decode_storage_root(&account).ok_or(ProofVerifyError::BadAccount)?;
+        let value =
+            verify_secure_proof(storage_root, &self.slot.to_be_bytes(), &self.storage_proof)?;
+        match value {
+            None => Ok(U256::ZERO),
+            Some(enc) => rlp::decode(&enc)
+                .ok()
+                .and_then(|item| item.as_uint())
+                .ok_or(ProofVerifyError::BadAccount),
+        }
+    }
+
+    /// Verifies that `state_root` commits `self.slot` to `self.value`.
+    pub fn verify(&self, state_root: H256) -> Result<(), ProofVerifyError> {
+        let proven = self.proven_value(state_root)?;
+        if proven == self.value {
+            Ok(())
+        } else {
+            Err(ProofVerifyError::ValueMismatch {
+                proven,
+                claimed: self.value,
+            })
+        }
+    }
+}
+
+/// Pulls `storage_root` out of an RLP `[nonce, balance, storage_root,
+/// code_hash]` account leaf.
+fn decode_storage_root(account_rlp: &[u8]) -> Option<H256> {
+    let Ok(Item::List(fields)) = rlp::decode(account_rlp) else {
+        return None;
+    };
+    if fields.len() != 4 {
+        return None;
+    }
+    let Item::Bytes(root) = &fields[2] else {
+        return None;
+    };
+    if root.len() != 32 {
+        return None;
+    }
+    let mut h = H256::ZERO;
+    h.0.copy_from_slice(root);
+    Some(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::WorldState;
+    use sc_evm::host::Host;
+
+    fn addr(b: u8) -> Address {
+        Address([b; 20])
+    }
+
+    /// Builds a state with a couple of storage-bearing contracts and
+    /// some plain accounts.
+    fn populated_state() -> WorldState {
+        let mut s = WorldState::new();
+        for i in 1u8..5 {
+            s.mint(addr(i), U256::from_u64(1_000_000 + i as u64));
+        }
+        s.install_code(addr(10), vec![0x5b, 0x00]);
+        s.set_storage(addr(10), U256::from_u64(7), U256::from_u64(0xdead));
+        s.set_storage(addr(10), U256::from_u64(8), U256::from_u64(0xbeef));
+        s.install_code(addr(11), vec![0x5b, 0x01]);
+        s.set_storage(addr(11), U256::from_u64(7), U256::from_u64(42));
+        s.clear_tx_scratch();
+        s
+    }
+
+    #[test]
+    fn storage_proof_roundtrip() {
+        let mut s = populated_state();
+        let root = s.state_root();
+        let proof = s.prove_storage(addr(10), U256::from_u64(7));
+        assert_eq!(proof.root, root);
+        assert_eq!(proof.value, U256::from_u64(0xdead));
+        proof.verify(root).expect("honest proof verifies");
+        assert_eq!(proof.proven_value(root).unwrap(), U256::from_u64(0xdead));
+    }
+
+    #[test]
+    fn tampered_value_is_rejected() {
+        let mut s = populated_state();
+        let root = s.state_root();
+        let mut proof = s.prove_storage(addr(10), U256::from_u64(7));
+        proof.value = U256::from_u64(0xdeaf);
+        match proof.verify(root) {
+            Err(ProofVerifyError::ValueMismatch { proven, claimed }) => {
+                assert_eq!(proven, U256::from_u64(0xdead));
+                assert_eq!(claimed, U256::from_u64(0xdeaf));
+            }
+            other => panic!("expected ValueMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_nodes_are_rejected() {
+        let mut s = populated_state();
+        let root = s.state_root();
+        let honest = s.prove_storage(addr(10), U256::from_u64(7));
+        for (which, len) in [
+            (0, honest.account_proof.len()),
+            (1, honest.storage_proof.len()),
+        ] {
+            for i in 0..len {
+                let mut forged = honest.clone();
+                let nodes = if which == 0 {
+                    &mut forged.account_proof
+                } else {
+                    &mut forged.storage_proof
+                };
+                nodes[i][0] ^= 0x01;
+                assert!(
+                    forged.verify(root).is_err(),
+                    "forged node {i} in proof part {which} must not verify"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn absent_slot_and_absent_account_prove_zero() {
+        let mut s = populated_state();
+        let root = s.state_root();
+
+        // Slot never written: exclusion in the storage trie.
+        let proof = s.prove_storage(addr(10), U256::from_u64(99));
+        assert_eq!(proof.value, U256::ZERO);
+        proof.verify(root).expect("slot exclusion verifies");
+
+        // Account never touched: exclusion in the account trie.
+        let proof = s.prove_storage(addr(0xee), U256::from_u64(7));
+        assert_eq!(proof.value, U256::ZERO);
+        proof.verify(root).expect("account exclusion verifies");
+    }
+
+    #[test]
+    fn proof_against_stale_root_fails() {
+        let mut s = populated_state();
+        let old_root = s.state_root();
+        s.set_storage(addr(10), U256::from_u64(7), U256::from_u64(1234));
+        s.clear_tx_scratch();
+        let proof = s.prove_storage(addr(10), U256::from_u64(7));
+        assert_ne!(proof.root, old_root);
+        // Against the new root the new value verifies…
+        proof.verify(proof.root).expect("fresh proof verifies");
+        // …but the same paths cannot satisfy the old commitment.
+        assert!(proof.verify(old_root).is_err());
+    }
+
+    #[test]
+    fn state_root_reflects_account_encoding() {
+        // Two states that differ only in one nonce must produce
+        // different roots; identical states must agree.
+        let mut a = populated_state();
+        let mut b = populated_state();
+        assert_eq!(a.state_root(), b.state_root());
+        b.bump_nonce(addr(1));
+        b.clear_tx_scratch();
+        assert_ne!(a.state_root(), b.state_root());
+    }
+}

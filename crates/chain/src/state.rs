@@ -2,8 +2,10 @@
 
 use sc_crypto::keccak256;
 use sc_evm::host::{Host, LogEntry};
+use sc_primitives::rlp::{self, Item};
 use sc_primitives::{Address, H256, U256};
-use std::collections::HashMap;
+use sc_trie::SecureTrie;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
 
 /// `keccak256("")` — the code hash of every codeless account.
@@ -26,6 +28,10 @@ pub struct Account {
     pub code_hash: H256,
     /// Contract storage.
     pub storage: HashMap<U256, U256>,
+    /// Root of the account's storage trie as of the last
+    /// [`WorldState::state_root`] fold ([`sc_trie::empty_root`] for an
+    /// account that has never stored anything).
+    pub storage_root: H256,
 }
 
 impl Default for Account {
@@ -36,6 +42,7 @@ impl Default for Account {
             code: Arc::default(),
             code_hash: empty_code_hash(),
             storage: HashMap::new(),
+            storage_root: sc_trie::empty_root(),
         }
     }
 }
@@ -45,6 +52,23 @@ impl Account {
     pub fn exists(&self) -> bool {
         self.nonce != 0 || !self.balance.is_zero() || !self.code.is_empty()
     }
+}
+
+/// Canonical RLP account encoding committed into the account trie:
+/// `[nonce, balance, storage_root, code_hash]`.
+pub fn encode_account(nonce: u64, balance: U256, storage_root: H256, code_hash: H256) -> Vec<u8> {
+    rlp::encode_list(&[
+        Item::u64(nonce),
+        Item::uint(balance),
+        Item::bytes(storage_root.as_bytes().to_vec()),
+        Item::bytes(code_hash.as_bytes().to_vec()),
+    ])
+}
+
+/// Canonical RLP storage-value encoding committed into storage tries:
+/// the big-endian integer with leading zeros trimmed.
+pub fn encode_storage_value(value: U256) -> Vec<u8> {
+    rlp::encode(&Item::uint(value))
 }
 
 /// Reversible operations recorded while executing a transaction.
@@ -71,8 +95,22 @@ pub struct WorldState {
     /// Gas refund accumulated by the current transaction.
     pub tx_refund: u64,
     journal: Vec<JournalOp>,
-    /// Hashes of past blocks for `BLOCKHASH` (maintained by the chain).
+    /// Hashes of past blocks for `BLOCKHASH` (maintained by the chain,
+    /// which bounds it to the EVM's 256-block window).
     pub block_hashes: HashMap<u64, H256>,
+    /// Secure trie over `[nonce, balance, storage_root, code_hash]`
+    /// accounts, keyed by `keccak(address)`. Kept in sync lazily: the
+    /// dirty sets below record what changed and [`WorldState::state_root`]
+    /// folds them in one pass per block.
+    account_trie: SecureTrie,
+    /// Per-account storage tries keyed by `keccak(slot)`.
+    storage_tries: HashMap<Address, SecureTrie>,
+    /// Accounts whose trie entry is stale. Marking is conservative —
+    /// reverts don't unmark — because the fold reconciles against the
+    /// live account anyway; re-folding an unchanged value is a no-op.
+    dirty_accounts: HashSet<Address>,
+    /// Storage slots whose trie entry is stale.
+    dirty_storage: HashMap<Address, HashSet<U256>>,
 }
 
 impl WorldState {
@@ -91,6 +129,7 @@ impl WorldState {
     pub fn mint(&mut self, a: Address, amount: U256) {
         let acct = self.accounts.entry(a).or_default();
         acct.balance = acct.balance.wrapping_add(amount);
+        self.dirty_accounts.insert(a);
     }
 
     /// Installs code directly (genesis-style; bypasses the journal).
@@ -101,6 +140,7 @@ impl WorldState {
         if acct.nonce == 0 {
             acct.nonce = 1;
         }
+        self.dirty_accounts.insert(a);
     }
 
     /// Drops per-transaction scratch (journal, logs, refund). Called by the
@@ -130,6 +170,84 @@ impl WorldState {
     fn entry(&mut self, a: Address) -> &mut Account {
         self.accounts.entry(a).or_default()
     }
+
+    /// Marks one storage slot (and its account) stale in the tries.
+    fn touch_storage(&mut self, a: Address, key: U256) {
+        self.dirty_storage.entry(a).or_default().insert(key);
+        self.dirty_accounts.insert(a);
+    }
+
+    /// Every address ever touched, for independent state-root audits.
+    /// Includes addresses whose account has since become empty — callers
+    /// filter on [`Account::exists`] exactly like the fold does.
+    pub fn addresses(&self) -> Vec<Address> {
+        self.accounts.keys().copied().collect()
+    }
+
+    /// Folds every dirty slot and account into the authenticated tries
+    /// and returns the account-trie root — the `state_root` a sealed
+    /// block commits to. Called once per block (not per op): between
+    /// folds the dirty sets batch arbitrarily many writes, and the
+    /// trie's node caches make each fold proportional to what changed.
+    ///
+    /// Idempotent: folding with empty dirty sets just re-reads the
+    /// cached root.
+    pub fn state_root(&mut self) -> H256 {
+        for (a, keys) in std::mem::take(&mut self.dirty_storage) {
+            self.dirty_accounts.insert(a);
+            let storage = self.accounts.get(&a).map(|acct| &acct.storage);
+            let trie = self.storage_tries.entry(a).or_default();
+            for key in keys {
+                let k = key.to_be_bytes();
+                match storage.and_then(|s| s.get(&key)) {
+                    Some(v) if !v.is_zero() => trie.insert(&k, encode_storage_value(*v)),
+                    _ => {
+                        trie.remove(&k);
+                    }
+                }
+            }
+            let root = trie.root();
+            if let Some(acct) = self.accounts.get_mut(&a) {
+                acct.storage_root = root;
+            }
+        }
+        for a in std::mem::take(&mut self.dirty_accounts) {
+            match self.accounts.get(&a) {
+                Some(acct) if acct.exists() => {
+                    let enc =
+                        encode_account(acct.nonce, acct.balance, acct.storage_root, acct.code_hash);
+                    self.account_trie.insert(a.as_bytes(), enc);
+                }
+                _ => {
+                    self.account_trie.remove(a.as_bytes());
+                }
+            }
+        }
+        self.account_trie.root()
+    }
+
+    /// Merkle proof that `(a, key)` holds its current value under the
+    /// current [`WorldState::state_root`] (the fold runs first, so the
+    /// proof anchors to the root the *next* sealed block would commit —
+    /// identical to the head block's root whenever nothing changed since
+    /// it sealed).
+    pub fn prove_storage(&mut self, a: Address, key: U256) -> crate::proof::StorageProof {
+        let root = self.state_root();
+        let account_proof = self.account_trie.prove(a.as_bytes());
+        let storage_proof = self
+            .storage_tries
+            .get_mut(&a)
+            .map(|t| t.prove(&key.to_be_bytes()))
+            .unwrap_or_default();
+        crate::proof::StorageProof {
+            address: a,
+            slot: key,
+            value: self.storage(a, key),
+            root,
+            account_proof,
+            storage_proof,
+        }
+    }
 }
 
 impl Host for WorldState {
@@ -156,6 +274,7 @@ impl Host for WorldState {
         let prev = self.storage(a, key);
         self.journal.push(JournalOp::Storage(a, key, prev));
         self.entry(a).storage.insert(key, value);
+        self.touch_storage(a, key);
     }
 
     fn nonce(&self, a: Address) -> u64 {
@@ -166,6 +285,7 @@ impl Host for WorldState {
         let prev = self.nonce(a);
         self.journal.push(JournalOp::Nonce(a, prev));
         self.entry(a).nonce = prev + 1;
+        self.dirty_accounts.insert(a);
     }
 
     fn account_exists(&self, a: Address) -> bool {
@@ -177,10 +297,22 @@ impl Host for WorldState {
         if acct.nonce != 0 || !acct.code.is_empty() {
             return false;
         }
+        // Journal the storage this creation evicts *before* the
+        // `AccountCreated` marker: `revert` pops in reverse, so the
+        // created-account teardown (nonce = 0, storage cleared) runs
+        // first and the evicted slots are restored on top of it.
+        let evicted: Vec<(U256, U256)> = acct.storage.iter().map(|(k, v)| (*k, *v)).collect();
+        for &(k, v) in &evicted {
+            self.journal.push(JournalOp::Storage(a, k, v));
+        }
         self.journal.push(JournalOp::AccountCreated(a));
         let acct = self.entry(a);
         acct.nonce = 1;
         acct.storage.clear();
+        for (k, _) in evicted {
+            self.touch_storage(a, k);
+        }
+        self.dirty_accounts.insert(a);
         true
     }
 
@@ -197,6 +329,7 @@ impl Host for WorldState {
         let acct = self.entry(a);
         acct.code_hash = keccak256(&code);
         acct.code = Arc::new(code);
+        self.dirty_accounts.insert(a);
     }
 
     fn transfer(&mut self, from: Address, to: Address, value: U256) -> bool {
@@ -213,6 +346,8 @@ impl Host for WorldState {
         self.journal.push(JournalOp::Balance(to, to_bal));
         self.entry(from).balance = from_bal.wrapping_sub(value);
         self.entry(to).balance = to_bal.wrapping_add(value);
+        self.dirty_accounts.insert(from);
+        self.dirty_accounts.insert(to);
         true
     }
 
@@ -265,6 +400,16 @@ impl Host for WorldState {
     fn add_refund(&mut self, amount: u64) {
         self.journal.push(JournalOp::Refund(self.tx_refund));
         self.tx_refund += amount;
+    }
+
+    fn storage_entries(&self, a: Address) -> Vec<(U256, U256)> {
+        self.accounts.get(&a).map_or_else(Vec::new, |acct| {
+            acct.storage
+                .iter()
+                .filter(|(_, v)| !v.is_zero())
+                .map(|(k, v)| (*k, *v))
+                .collect()
+        })
     }
 }
 
@@ -362,6 +507,92 @@ mod tests {
             empty_code_hash(),
             "fresh account reverts to empty"
         );
+    }
+
+    #[test]
+    fn create_contract_revert_restores_evicted_storage() {
+        // Regression: creating over a storage-bearing address cleared
+        // the old slots without journaling them, so a reverted creation
+        // lost them forever.
+        let mut s = WorldState::new();
+        s.set_storage(addr(7), U256::ONE, U256::from_u64(111));
+        s.set_storage(addr(7), U256::from_u64(2), U256::from_u64(222));
+        s.clear_tx_scratch();
+
+        let snap = s.snapshot();
+        assert!(s.create_contract(addr(7)), "nonce 0, no code: creatable");
+        assert_eq!(
+            s.storage(addr(7), U256::ONE),
+            U256::ZERO,
+            "creation evicts pre-existing storage"
+        );
+        // The constructor writes something of its own before failing.
+        s.set_storage(addr(7), U256::from_u64(3), U256::from_u64(333));
+        s.revert(snap);
+
+        assert_eq!(s.nonce(addr(7)), 0, "creation undone");
+        assert_eq!(
+            s.storage(addr(7), U256::ONE),
+            U256::from_u64(111),
+            "evicted slot restored"
+        );
+        assert_eq!(
+            s.storage(addr(7), U256::from_u64(2)),
+            U256::from_u64(222),
+            "evicted slot restored"
+        );
+        assert_eq!(
+            s.storage(addr(7), U256::from_u64(3)),
+            U256::ZERO,
+            "constructor write undone"
+        );
+    }
+
+    #[test]
+    fn state_root_folds_dirty_sets_and_matches_rebuild() {
+        let mut s = WorldState::new();
+        s.mint(addr(1), U256::from_u64(500));
+        s.set_storage(addr(2), U256::ONE, U256::from_u64(9));
+        s.install_code(addr(2), vec![0x00]);
+        s.clear_tx_scratch();
+        let r1 = s.state_root();
+        assert_eq!(r1, s.state_root(), "fold is idempotent");
+
+        // Rebuild the same logical state from scratch: roots agree.
+        let mut fresh = WorldState::new();
+        fresh.set_storage(addr(2), U256::ONE, U256::from_u64(9));
+        fresh.install_code(addr(2), vec![0x00]);
+        fresh.mint(addr(1), U256::from_u64(500));
+        fresh.clear_tx_scratch();
+        assert_eq!(fresh.state_root(), r1, "write order is immaterial");
+
+        // Zeroing the slot and a revert-restored write both reconcile.
+        let snap = s.snapshot();
+        s.set_storage(addr(2), U256::ONE, U256::from_u64(10));
+        s.revert(snap);
+        s.clear_tx_scratch();
+        assert_eq!(s.state_root(), r1, "reverted write leaves root unchanged");
+        s.set_storage(addr(2), U256::ONE, U256::ZERO);
+        s.clear_tx_scratch();
+        assert_ne!(s.state_root(), r1);
+        let mut only_account = WorldState::new();
+        only_account.install_code(addr(2), vec![0x00]);
+        only_account.mint(addr(1), U256::from_u64(500));
+        assert_eq!(
+            s.state_root(),
+            only_account.state_root(),
+            "zeroed slot equals never-written slot"
+        );
+    }
+
+    #[test]
+    fn storage_entries_lists_nonzero_slots() {
+        let mut s = WorldState::new();
+        assert!(s.storage_entries(addr(1)).is_empty());
+        s.set_storage(addr(1), U256::ONE, U256::from_u64(5));
+        s.set_storage(addr(1), U256::from_u64(2), U256::ZERO);
+        let entries = s.storage_entries(addr(1));
+        assert_eq!(entries, vec![(U256::ONE, U256::from_u64(5))]);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! intrinsic gas, execution, the refund cap of `gas_used / 2`, and miner
 //! payment.
 
-use crate::block::{Block, FailureReason, Receipt};
+use crate::block::{self, Block, FailureReason, Receipt};
+use crate::proof::StorageProof;
 use crate::state::WorldState;
 use crate::tx::{SignedTransaction, Transaction, Wallet};
 use sc_crypto::ecdsa::recover_addresses_batch;
@@ -110,6 +111,11 @@ pub struct ChainConfig {
     pub genesis_timestamp: u64,
     /// Gas price assumed by the convenience senders.
     pub default_gas_price: U256,
+    /// Whether sealed blocks carry real `state_root` / `receipts_root`
+    /// commitments (the default). Disabling skips the trie folds and
+    /// seals zero roots — only the root-overhead benchmark should do
+    /// this, as it breaks every proof and commitment invariant.
+    pub commit_roots: bool,
 }
 
 impl Default for ChainConfig {
@@ -120,6 +126,7 @@ impl Default for ChainConfig {
             coinbase: Address([0xc0; 20]),
             genesis_timestamp: 1_550_000_000, // Feb 2019, the paper's era
             default_gas_price: sc_primitives::gwei(1),
+            commit_roots: true,
         }
     }
 }
@@ -196,11 +203,22 @@ impl Testnet {
 
     /// Boots a chain with a custom configuration.
     pub fn with_config(config: ChainConfig) -> Self {
+        // Genesis commits the empty tries: nothing exists yet.
         let genesis = Block {
             number: 0,
             timestamp: config.genesis_timestamp,
             parent_hash: H256::ZERO,
-            hash: Block::compute_hash(0, config.genesis_timestamp, H256::ZERO, &[]),
+            hash: Block::compute_hash(
+                0,
+                config.genesis_timestamp,
+                H256::ZERO,
+                sc_trie::empty_root(),
+                sc_trie::empty_root(),
+                0,
+                &[],
+            ),
+            state_root: sc_trie::empty_root(),
+            receipts_root: sc_trie::empty_root(),
             transactions: Vec::new(),
             gas_used: 0,
         };
@@ -233,6 +251,20 @@ impl Testnet {
     /// Current head block.
     pub fn head(&self) -> &Block {
         self.blocks.last().expect("genesis always present")
+    }
+
+    /// Merkle proof that `(address, slot)` holds its current value,
+    /// anchored to the current folded state root. Immediately after a
+    /// block seals (and until the next faucet mint or write) that root
+    /// *is* the head header's `state_root`, so the proof lets a light
+    /// verifier check the slot against the chain's own commitment —
+    /// see [`StorageProof::verify`].
+    pub fn prove_storage(&mut self, address: Address, slot: U256) -> StorageProof {
+        debug_assert!(
+            self.config.commit_roots,
+            "storage proofs need commit_roots enabled"
+        );
+        self.state.prove_storage(address, slot)
     }
 
     /// Block by number.
@@ -617,16 +649,42 @@ impl Testnet {
             receipts.push(receipt);
         }
 
+        // Fold the block's writes into the authenticated tries once,
+        // here — not per op — and seal the commitments into the header.
+        let (state_root, receipts_root) = if self.config.commit_roots {
+            (
+                self.state.state_root(),
+                block::receipts_root(receipts.iter()),
+            )
+        } else {
+            (H256::ZERO, H256::ZERO)
+        };
+
         let txs: Vec<SignedTransaction> = txs.into_iter().map(|p| p.signed).collect();
         let block = Block {
             number,
             timestamp,
             parent_hash,
-            hash: Block::compute_hash(number, timestamp, parent_hash, &txs),
+            hash: Block::compute_hash(
+                number,
+                timestamp,
+                parent_hash,
+                state_root,
+                receipts_root,
+                block_gas,
+                &txs,
+            ),
+            state_root,
+            receipts_root,
             transactions: txs,
             gas_used: block_gas,
         };
         self.state.block_hashes.insert(number, block.hash);
+        // BLOCKHASH only reaches 256 ancestors: retire the hash that
+        // just left the window so the map stays bounded.
+        if number >= 256 {
+            self.state.block_hashes.remove(&(number - 256));
+        }
         for r in receipts {
             for log in &r.logs {
                 let blocks = self.log_index.entry(log.address).or_default();
@@ -1159,6 +1217,102 @@ mod tests {
         let b2 = net.mine_block();
         assert_eq!(b2.parent_hash, b1.hash);
         assert_eq!(net.block(1).unwrap().hash, b1.hash);
+    }
+
+    #[test]
+    fn blockhash_window_is_bounded_to_256() {
+        let mut net = Testnet::new();
+        for _ in 0..300 {
+            net.mine_block();
+        }
+        let head = net.head().number;
+        assert_eq!(head, 300);
+        assert_eq!(
+            net.state.block_hash(head - 257),
+            H256::ZERO,
+            "hash 257 blocks back has left the BLOCKHASH window"
+        );
+        assert_eq!(net.state.block_hash(head - 256), H256::ZERO);
+        assert_ne!(
+            net.state.block_hash(head - 255),
+            H256::ZERO,
+            "youngest 256 ancestors stay visible"
+        );
+        assert_eq!(
+            net.state.block_hash(head - 255),
+            net.block(head - 255).unwrap().hash
+        );
+        assert_eq!(net.state.block_hashes.len(), 256, "map stays bounded");
+    }
+
+    #[test]
+    fn mined_blocks_commit_state_and_receipts_roots() {
+        // Both mining paths (outbox and pooled) must seal real roots
+        // that move with state and match an independent recomputation.
+        for pooled in [false, true] {
+            let mut net = Testnet::new();
+            if pooled {
+                net.enable_pool(PoolConfig::default());
+            }
+            assert_eq!(net.head().state_root, sc_trie::empty_root());
+            assert_eq!(net.head().receipts_root, sc_trie::empty_root());
+
+            let alice = net.funded_wallet("alice", ether(10));
+            let receipt = net
+                .execute(
+                    &alice,
+                    Address([9; 20]),
+                    U256::from_u64(123),
+                    vec![],
+                    21_000,
+                )
+                .unwrap();
+            let block = net.block(receipt.block_number).unwrap().clone();
+            assert_ne!(block.state_root, sc_trie::empty_root(), "state moved");
+            assert_ne!(block.state_root, H256::ZERO);
+            assert_ne!(block.receipts_root, sc_trie::empty_root(), "1 receipt");
+            assert_eq!(
+                block.receipts_root,
+                block::receipts_root(net.receipts_in_block(block.number).into_iter()),
+                "header matches recomputed receipts trie (pooled={pooled})"
+            );
+            assert_eq!(
+                block.state_root,
+                net.state.state_root(),
+                "nothing changed since seal: folded root is the header root"
+            );
+
+            // An empty block re-commits the same state root.
+            let empty = net.mine_block();
+            assert_eq!(empty.state_root, block.state_root);
+            assert_eq!(empty.receipts_root, sc_trie::empty_root());
+        }
+    }
+
+    #[test]
+    fn storage_proof_verifies_against_header_root() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        // PUSH1 42 PUSH1 1 SSTORE STOP as constructor: writes slot 1.
+        let initcode = vec![0x60, 0x2a, 0x60, 0x01, 0x55, 0x00];
+        let target = net
+            .deploy(&alice, initcode, U256::ZERO, 200_000)
+            .unwrap()
+            .contract_address
+            .unwrap();
+        let header_root = net.head().state_root;
+
+        let proof = net.prove_storage(target, U256::ONE);
+        assert_eq!(proof.value, U256::from_u64(42));
+        assert_eq!(proof.root, header_root, "proof anchors to the head header");
+        proof.verify(header_root).expect("honest proof verifies");
+
+        let mut forged = proof.clone();
+        forged.value = U256::from_u64(43);
+        assert!(
+            forged.verify(header_root).is_err(),
+            "tampered value rejected against the header root"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Post-run invariants of the protocol: what must hold after every game
 //! no matter which faults were injected or which strategies were played.
 //!
-//! Three claims are checked by the chaos suite after each run:
+//! Four claims are checked by the chaos suite after each run:
 //!
 //! 1. **Ether conservation** — the EVM and gas settlement only ever
 //!    *move* wei, so the sum over all accounts equals the chain's total
@@ -12,9 +12,15 @@
 //! 3. **Termination** — the driver returned a valid `Outcome` at all
 //!    (enforced by the type system; the suite additionally checks the
 //!    report is self-consistent).
+//! 4. **State commitments** — every sealed header's `receipts_root` and
+//!    `gas_used` match a recomputation from the stored receipts, and the
+//!    head's `state_root` matches a state trie rebuilt from scratch
+//!    through the host boundary ([`check_state_commitments`]).
 
-use sc_chain::Testnet;
+use sc_chain::{block, encode_account, Testnet};
+use sc_evm::host::Host;
 use sc_primitives::{Address, U256};
+use sc_trie::SecureTrie;
 use std::fmt;
 
 /// A violated invariant, with enough context to debug the seed.
@@ -41,6 +47,76 @@ pub fn check_conservation(net: &Testnet) -> Result<(), InvariantViolation> {
             "ether not conserved: accounts hold {total}, minted {minted}"
         )))
     }
+}
+
+/// State commitments: every header's Merkle roots are honest.
+///
+/// Per block, the `receipts_root` and `gas_used` sealed into the header
+/// must match a recomputation over the receipts the chain stored. At
+/// the head, the `state_root` must match an *independent* rebuild of
+/// the full account and storage tries — walked through the public host
+/// boundary (`addresses` / account fields / `storage_entries`), never
+/// trusting the chain's own incremental tries or cached storage roots.
+///
+/// Historical states are not retained by the simulator, so only the
+/// head's state root is recomputable; it is meaningful at block
+/// boundaries (faucet mints after the last seal would legitimately move
+/// the live state ahead of the sealed commitment — callers check after
+/// runs, when every effect has been mined).
+pub fn check_state_commitments(net: &Testnet) -> Result<(), InvariantViolation> {
+    let head = net.head().number;
+    for number in 0..=head {
+        let header = net.block(number).expect("block in range");
+        let receipts = net.receipts_in_block(number);
+        let recomputed = block::receipts_root(receipts.iter().copied());
+        if recomputed != header.receipts_root {
+            return Err(InvariantViolation(format!(
+                "block {number}: header receipts_root {} != recomputed {recomputed}",
+                header.receipts_root
+            )));
+        }
+        let gas: u64 = receipts.iter().map(|r| r.gas_used).sum();
+        if gas != header.gas_used {
+            return Err(InvariantViolation(format!(
+                "block {number}: header gas_used {} != receipt sum {gas}",
+                header.gas_used
+            )));
+        }
+    }
+
+    let mut account_trie = SecureTrie::new();
+    for a in net.state.addresses() {
+        let Some(acct) = net.state.account(a) else {
+            continue;
+        };
+        if !acct.exists() {
+            continue;
+        }
+        let mut storage_trie = SecureTrie::new();
+        for (slot, value) in net.state.storage_entries(a) {
+            storage_trie.insert(
+                &slot.to_be_bytes(),
+                sc_chain::state::encode_storage_value(value),
+            );
+        }
+        account_trie.insert(
+            a.as_bytes(),
+            encode_account(
+                acct.nonce,
+                acct.balance,
+                storage_trie.root(),
+                acct.code_hash,
+            ),
+        );
+    }
+    let rebuilt = account_trie.root();
+    let sealed = net.head().state_root;
+    if rebuilt != sealed {
+        return Err(InvariantViolation(format!(
+            "head block {head}: header state_root {sealed} != scratch rebuild {rebuilt}"
+        )));
+    }
+    Ok(())
 }
 
 /// The honest floor: `final >= initial − deposit − gas_spent`.
@@ -97,6 +173,22 @@ mod tests {
             .unwrap();
         assert!(r.success);
         check_conservation(&net).unwrap();
+    }
+
+    #[test]
+    fn state_commitments_hold_across_transfers_and_storage_writes() {
+        let mut net = Testnet::new();
+        check_state_commitments(&net).unwrap();
+        let a = net.funded_wallet("a", ether(5));
+        // `PUSH1 42 PUSH1 1 SSTORE STOP` as initcode: the deployed
+        // contract is empty but slot 1 of its account holds 42, so the
+        // rebuild exercises a non-empty storage trie.
+        let initcode = vec![0x60, 0x2a, 0x60, 0x01, 0x55, 0x00];
+        let r = net.deploy(&a, initcode, U256::ZERO, 200_000).unwrap();
+        assert!(r.success);
+        net.execute(&a, Address([9; 20]), ether(1), Vec::new(), 21_000)
+            .unwrap();
+        check_state_commitments(&net).unwrap();
     }
 
     #[test]

@@ -22,7 +22,8 @@
 //!   state machines, plus a [`SessionScheduler`] multiplexing N
 //!   heterogeneous sessions over one shared chain with shared blocks.
 //! * [`invariants`] — post-run checks (ether conservation, the honest
-//!   participant floor) used by the chaos suite.
+//!   participant floor, header Merkle-root commitments) used by the
+//!   chaos suite.
 
 #![warn(missing_docs)]
 
@@ -46,7 +47,10 @@ pub use faults::{
     XorShift64, MAX_INJECTED_SECS,
 };
 pub use generate::{generate_pair, GenerateError, GeneratedPair};
-pub use invariants::{check_conservation, check_honest_floor, gas_spent_by, InvariantViolation};
+pub use invariants::{
+    check_conservation, check_honest_floor, check_state_commitments, gas_spent_by,
+    InvariantViolation,
+};
 pub use participant::{Participant, Strategy};
 pub use protocol::{
     BettingGame, GameConfig, Outcome, ProtocolError, ProtocolReport, Stage, TxRecord,

@@ -154,6 +154,9 @@ pub enum ProtocolError {
     TxFailed(String),
     /// The verified instance address was not recorded on-chain.
     NoVerifiedInstance,
+    /// A state read could not be authenticated against the chain's
+    /// `state_root` commitment (bad Merkle proof or value mismatch).
+    StateUnverified(String),
 }
 
 impl fmt::Display for ProtocolError {
@@ -161,6 +164,9 @@ impl fmt::Display for ProtocolError {
         match self {
             ProtocolError::TxFailed(l) => write!(f, "required transaction failed: {l}"),
             ProtocolError::NoVerifiedInstance => write!(f, "deployedAddr not set"),
+            ProtocolError::StateUnverified(l) => {
+                write!(f, "state read failed Merkle verification: {l}")
+            }
         }
     }
 }

@@ -229,12 +229,17 @@ impl ChallengeSession {
     }
 
     /// The address the miner-enforced resolution instance was deployed
-    /// to by a successful `challenge()`.
-    fn challenge_instance(&self, ctx: &SessionCtx<'_>) -> Address {
-        Address::from_u256(
-            ctx.chain
-                .storage_at(self.onchain, U256::from_u64(CHALLENGE_DEPLOYED_ADDR_SLOT)),
-        )
+    /// to by a successful `challenge()` — read *light-client style*:
+    /// the `deployedAddr` slot is fetched with a Merkle proof and
+    /// verified against the header's `state_root` commitment rather
+    /// than trusted from the node's storage map.
+    fn challenge_instance(&self, ctx: &mut SessionCtx<'_>) -> Result<Address, ProtocolError> {
+        let slot = U256::from_u64(CHALLENGE_DEPLOYED_ADDR_SLOT);
+        let value = ctx
+            .chain
+            .verified_storage_at(self.onchain, slot)
+            .map_err(|e| ProtocolError::StateUnverified(format!("deployedAddr: {e}")))?;
+        Ok(Address::from_u256(value))
     }
 
     /// Polls the current task; a landed receipt is recorded and must be
@@ -412,7 +417,7 @@ impl ChallengeSession {
 
             Phase::StaleResolve | Phase::ChallengeResolve => {
                 if self.task.is_none() {
-                    let instance = self.challenge_instance(ctx);
+                    let instance = self.challenge_instance(ctx)?;
                     self.task = Some(TxTask::new(
                         "returnDisputeResolution",
                         self.bob.wallet.clone(),

@@ -39,7 +39,9 @@ use crate::faults::{
 };
 use crate::protocol::ProtocolError;
 use crate::whisper::{Envelope, Whisper};
-use sc_chain::{Receipt, SignedTransaction, Testnet, Transaction, TxError, Wallet};
+use sc_chain::{
+    ProofVerifyError, Receipt, SignedTransaction, Testnet, Transaction, TxError, Wallet,
+};
 use sc_primitives::{Address, H256, U256};
 use std::collections::HashMap;
 
@@ -142,6 +144,33 @@ impl ChainPort<'_> {
             ChainPort::Immediate(net) => net.storage_at(a, key),
             ChainPort::Shared { net, .. } => net.storage_at(a, key),
         }
+    }
+
+    /// Light-verified storage read: fetches a Merkle proof for the slot
+    /// and checks it against the chain's `state_root` commitment before
+    /// returning the value, instead of trusting the node's storage map.
+    ///
+    /// When the live state still matches the sealed head (always true
+    /// immediately after a block, which is when sessions read results),
+    /// the proof is checked against the **head header's** `state_root` —
+    /// exactly what a stateless light client would do. If other
+    /// sessions' faucet funding has already moved the live state past
+    /// the last seal, the proof necessarily anchors to the root the
+    /// *next* header will commit; it still binds the value to the trie.
+    pub fn verified_storage_at(&mut self, a: Address, key: U256) -> Result<U256, ProofVerifyError> {
+        let net: &mut Testnet = match self {
+            ChainPort::Immediate(net) => net,
+            ChainPort::Shared { net, .. } => net,
+        };
+        let proof = net.prove_storage(a, key);
+        let sealed = net.head().state_root;
+        let anchor = if proof.root == sealed {
+            sealed
+        } else {
+            proof.root
+        };
+        proof.verify(anchor)?;
+        Ok(proof.value)
     }
 
     /// Mints balance for a session wallet (scheduler-funded sessions).

@@ -3,6 +3,7 @@
 //! expected outcome, and ether is conserved in every cell — including
 //! the design's accepted residual risk (`LieStood`).
 
+use sc_contracts::challenge::CHALLENGE_DEPLOYED_ADDR_SLOT;
 use sc_contracts::BetSecrets;
 use sc_core::{
     check_conservation, ChallengeGame, ChallengeOutcome, CrashPoint, SubmitStrategy, WatchStrategy,
@@ -38,6 +39,37 @@ fn run_cell(submit: SubmitStrategy, watch: WatchStrategy, crash: CrashPoint) -> 
         );
     }
     report.outcome
+}
+
+/// Acceptance for the authenticated-state loop: after a disputed game,
+/// the `deployedAddr` slot the driver consumed light-client style is
+/// provable against the head header's `state_root`, while a forged
+/// value or a tampered Merkle path is rejected.
+#[test]
+fn dispute_winner_slot_proves_against_header_root() {
+    let game = ChallengeGame::new(secrets_bob_wins(), WINDOW);
+    let (mut game, report) = game.run(SubmitStrategy::False, WatchStrategy::Vigilant);
+    assert_eq!(report.outcome, ChallengeOutcome::ResolvedByChallenge);
+
+    let onchain = game.onchain;
+    let slot = U256::from_u64(CHALLENGE_DEPLOYED_ADDR_SLOT);
+    let trusted = game.net.storage_at(onchain, slot);
+    assert_ne!(trusted, U256::ZERO, "challenge() recorded deployedAddr");
+
+    let proof = game.net.prove_storage(onchain, slot);
+    let header_root = game.net.head().state_root;
+    assert_eq!(proof.root, header_root, "proof anchors to the sealed head");
+    assert_eq!(proof.value, trusted);
+    proof.verify(header_root).expect("honest witness verifies");
+
+    // A forged winner address cannot satisfy the commitment…
+    let mut forged = proof.clone();
+    forged.value = forged.value.wrapping_add(U256::ONE);
+    assert!(forged.verify(header_root).is_err());
+    // …and neither can a tampered Merkle path.
+    let mut cut = proof.clone();
+    cut.storage_proof.last_mut().unwrap()[0] ^= 0x01;
+    assert!(cut.verify(header_root).is_err());
 }
 
 #[test]

@@ -27,8 +27,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use sc_contracts::challenge::{security_deposit, stake};
 use sc_contracts::BetSecrets;
 use sc_core::{
-    check_conservation, check_honest_floor, BettingGame, ChallengeGame, CrashPoint, FaultPlan,
-    GameConfig, Participant, Strategy, SubmitStrategy, WatchStrategy, XorShift64,
+    check_conservation, check_honest_floor, check_state_commitments, BettingGame, ChallengeGame,
+    CrashPoint, FaultPlan, GameConfig, Participant, Strategy, SubmitStrategy, WatchStrategy,
+    XorShift64,
 };
 use sc_primitives::{ether, gwei, U256};
 
@@ -151,6 +152,7 @@ fn betting_cell(seed: u64, alice_strategy: Strategy, bob_strategy: Strategy) {
     let (game, report) = game.run().expect("driver terminates cleanly");
 
     check_conservation(&game.net).unwrap();
+    check_state_commitments(&game.net).unwrap();
     for (who, addr, strategy) in [
         ("alice", alice_addr, alice_strategy),
         ("bob", bob_addr, bob_strategy),
@@ -172,6 +174,7 @@ fn challenge_cell(seed: u64, submit: SubmitStrategy, watch: WatchStrategy, crash
     let (game, report) = game.run_with_crash(submit, watch, crash);
 
     check_conservation(&game.net).unwrap();
+    check_state_commitments(&game.net).unwrap();
     let deposit = stake().wrapping_add(security_deposit());
     // The watcher is honest under every watch behaviour; the
     // representative is honest when submitting truthfully (crashing is

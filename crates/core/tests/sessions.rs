@@ -19,8 +19,8 @@ use proptest::prelude::*;
 use sc_chain::PoolConfig;
 use sc_contracts::BetSecrets;
 use sc_core::{
-    check_conservation, BettingSpec, ChallengeSpec, CrashPoint, SessionReport, SessionScheduler,
-    SessionSpec, Strategy, SubmitStrategy, WatchStrategy,
+    check_conservation, check_state_commitments, BettingSpec, ChallengeSpec, CrashPoint,
+    SessionReport, SessionScheduler, SessionSpec, Strategy, SubmitStrategy, WatchStrategy,
 };
 use sc_primitives::U256;
 
@@ -193,6 +193,7 @@ fn shared_chain_conserves_ether_under_mixed_byzantine_load() {
         assert!(r.outcome.is_some(), "session {} has no outcome", r.id);
     }
     check_conservation(sched.net()).unwrap();
+    check_state_commitments(sched.net()).unwrap();
 }
 
 /// The scale target: 256 concurrent mixed sessions over one shared
@@ -225,6 +226,7 @@ fn sessions_share_blocks_at_scale_256() {
         );
     }
     check_conservation(sched.net()).unwrap();
+    check_state_commitments(sched.net()).unwrap();
     assert!(
         stats.mean_txs_per_block() > 1.0,
         "sessions did not share blocks: {} txs over {} blocks",
@@ -307,6 +309,7 @@ fn pooled_chain_settles_conserves_and_packs_denser_blocks() {
         assert_eq!(staged, r.total_gas, "stage gas must sum to total gas");
     }
     check_conservation(pooled.net()).unwrap();
+    check_state_commitments(pooled.net()).unwrap();
     assert_eq!(
         pooled.stats().txs_mined,
         outbox.stats().txs_mined,

@@ -118,6 +118,15 @@ pub trait Host {
     fn block_hash(&self, number: u64) -> H256;
     /// Accumulates an SSTORE-clear / selfdestruct refund.
     fn add_refund(&mut self, amount: u64);
+    /// Every non-zero storage slot of an account, in no particular
+    /// order — the iteration hook authenticated-state layers use to
+    /// fold or audit a contract's storage commitment. Hosts that do not
+    /// track full storage (mocks, stateless shims) may keep the default
+    /// empty answer.
+    fn storage_entries(&self, a: Address) -> Vec<(U256, U256)> {
+        let _ = a;
+        Vec::new()
+    }
 }
 
 /// A simple journaled in-memory host for interpreter unit tests.

@@ -1,0 +1,168 @@
+//! Stateless Merkle-proof verification.
+//!
+//! A proof is the list of RLP-encoded nodes a light verifier needs to
+//! walk from the root commitment to the key: every hash-referenced node
+//! on the path (inlined nodes travel inside their parent's encoding).
+//! Verification resolves each reference against the keccak-256 of the
+//! supplied nodes, so a tampered node or value changes a hash somewhere
+//! on the path and the walk fails. The same walk proves *exclusion*:
+//! when the path ends in an empty slot or diverges from the stored
+//! partial path, the proof demonstrates the key is absent.
+
+use crate::nibbles::{hp_decode, to_nibbles};
+use crate::{empty_root, Trie};
+use sc_crypto::keccak256;
+use sc_primitives::rlp::{self, Item};
+use sc_primitives::H256;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a proof failed to verify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofError {
+    /// A node's RLP did not decode, or decoded to an impossible shape.
+    BadNode,
+    /// The walk hit a hash reference with no matching node in the proof.
+    MissingNode(H256),
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::BadNode => write!(f, "malformed trie node in proof"),
+            ProofError::MissingNode(h) => write!(f, "proof is missing node {h}"),
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+impl Trie {
+    /// Merkle proof for `key`: the RLP encodings of every
+    /// hash-referenced node on the lookup path, root first. Works for
+    /// present keys (inclusion) and absent keys (exclusion) alike; the
+    /// empty trie proves every exclusion with an empty proof.
+    pub fn prove(&mut self, key: &[u8]) -> Vec<Vec<u8>> {
+        let mut proof = Vec::new();
+        let Some(root) = self.root.as_mut() else {
+            return proof;
+        };
+        proof.push(root.encode());
+        let mut cur = root;
+        let n = to_nibbles(key);
+        let mut at = 0usize;
+        loop {
+            let next = match &mut cur.node {
+                crate::node::Node::Leaf { .. } => return proof,
+                crate::node::Node::Extension { path, child } => {
+                    if n[at..].starts_with(path) {
+                        at += path.len();
+                        child
+                    } else {
+                        return proof;
+                    }
+                }
+                crate::node::Node::Branch { children, .. } => {
+                    if at == n.len() {
+                        return proof;
+                    }
+                    let idx = n[at] as usize;
+                    at += 1;
+                    match children[idx].as_mut() {
+                        Some(child) => child,
+                        None => return proof,
+                    }
+                }
+            };
+            if next.is_hash_referenced() {
+                proof.push(next.encode());
+            }
+            cur = next;
+        }
+    }
+}
+
+/// Verifies a Merkle proof for `key` against a trie `root`.
+///
+/// Returns `Ok(Some(value))` when the proof shows the key bound to
+/// `value` (inclusion), `Ok(None)` when it shows the key absent
+/// (exclusion), and `Err` when the proof is malformed or incomplete —
+/// which includes any tampering with a node or value, since that breaks
+/// a hash link back to the root.
+pub fn verify_proof(
+    root: H256,
+    key: &[u8],
+    proof: &[Vec<u8>],
+) -> Result<Option<Vec<u8>>, ProofError> {
+    if root == empty_root() {
+        return Ok(None);
+    }
+    let by_hash: HashMap<H256, &[u8]> = proof
+        .iter()
+        .map(|enc| (keccak256(enc), enc.as_slice()))
+        .collect();
+    let mut reference = Item::Bytes(root.as_bytes().to_vec());
+    let n = to_nibbles(key);
+    let mut at = 0usize;
+    loop {
+        let node = match resolve(&reference, &by_hash)? {
+            Some(node) => node,
+            None => return Ok(None), // empty slot: proven absent
+        };
+        let Item::List(items) = node else {
+            return Err(ProofError::BadNode);
+        };
+        match items.len() {
+            2 => {
+                let [hp, target]: [Item; 2] = items.try_into().expect("len checked");
+                let Item::Bytes(hp) = hp else {
+                    return Err(ProofError::BadNode);
+                };
+                let (path, is_leaf) = hp_decode(&hp)?;
+                if is_leaf {
+                    let Item::Bytes(value) = target else {
+                        return Err(ProofError::BadNode);
+                    };
+                    return Ok((n[at..] == path[..]).then_some(value));
+                }
+                if path.is_empty() {
+                    return Err(ProofError::BadNode); // canonical extensions never have empty paths
+                }
+                if !n[at..].starts_with(&path) {
+                    return Ok(None); // path diverges: proven absent
+                }
+                at += path.len();
+                reference = target;
+            }
+            17 => {
+                if at == n.len() {
+                    let Some(Item::Bytes(value)) = items.into_iter().nth(16) else {
+                        return Err(ProofError::BadNode);
+                    };
+                    return Ok((!value.is_empty()).then_some(value));
+                }
+                let idx = n[at] as usize;
+                at += 1;
+                reference = items.into_iter().nth(idx).expect("len checked");
+            }
+            _ => return Err(ProofError::BadNode),
+        }
+    }
+}
+
+/// Resolves a node reference: inline lists stand for themselves, 32-byte
+/// strings index the proof by hash, the empty string is an empty slot.
+fn resolve(reference: &Item, by_hash: &HashMap<H256, &[u8]>) -> Result<Option<Item>, ProofError> {
+    match reference {
+        Item::List(_) => Ok(Some(reference.clone())),
+        Item::Bytes(b) if b.is_empty() => Ok(None),
+        Item::Bytes(b) if b.len() == 32 => {
+            let mut h = H256::ZERO;
+            h.0.copy_from_slice(b);
+            let enc = by_hash.get(&h).ok_or(ProofError::MissingNode(h))?;
+            let item = rlp::decode(enc).map_err(|_| ProofError::BadNode)?;
+            Ok(Some(item))
+        }
+        Item::Bytes(_) => Err(ProofError::BadNode),
+    }
+}

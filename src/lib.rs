@@ -6,6 +6,8 @@
 //!
 //! * [`primitives`] — 256-bit words, addresses, hashes, hex, RLP, ABI.
 //! * [`crypto`] — keccak-256 and secp256k1 ECDSA (sign / verify / recover).
+//! * [`trie`] — secure Merkle-Patricia trie: authenticated state roots
+//!   and inclusion/exclusion proofs.
 //! * [`evm`] — a from-scratch EVM interpreter with Yellow-Paper gas costs.
 //! * [`mempool`] — a deterministic transaction pool and fee market.
 //! * [`chain`] — a single-node Ethereum-style chain simulator ("Kovan").
@@ -22,3 +24,4 @@ pub use sc_evm as evm;
 pub use sc_lang as lang;
 pub use sc_mempool as mempool;
 pub use sc_primitives as primitives;
+pub use sc_trie as trie;
