@@ -1,0 +1,29 @@
+//! CI bench-regression gate: `bench_check <baseline_dir> <fresh_dir>`.
+//!
+//! Compares the fresh `BENCH_*.json` artifacts against the committed
+//! baselines through the metric registry in [`sc_bench::regress`],
+//! prints the per-metric table and exits non-zero if any gated metric
+//! regressed beyond its tolerance.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline, fresh] = args.as_slice() else {
+        eprintln!("usage: bench_check <baseline_dir> <fresh_dir>");
+        return ExitCode::from(2);
+    };
+    let report = sc_bench::regress::compare(Path::new(baseline), Path::new(fresh));
+    println!("bench regression gate: {baseline} (baseline) vs {fresh} (fresh)");
+    println!();
+    print!("{}", report.render());
+    println!();
+    if report.pass() {
+        println!("all gated metrics within tolerance");
+        ExitCode::SUCCESS
+    } else {
+        println!("bench regression detected — see FAIL rows above");
+        ExitCode::FAILURE
+    }
+}

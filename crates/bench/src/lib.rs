@@ -9,7 +9,9 @@
 #![warn(missing_docs)]
 
 pub mod mempool;
+pub mod parallel_evm;
 pub mod pipeline;
+pub mod regress;
 pub mod sessions;
 pub mod trie;
 

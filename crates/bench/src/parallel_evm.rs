@@ -1,0 +1,312 @@
+//! Measures what optimistic parallel execution buys at the seal: the
+//! same packed block committed three ways —
+//!
+//! * **reference serial** — [`Testnet::mine_block_serial`], the
+//!   determinism baseline that re-derives every sender and hash before
+//!   executing one-by-one;
+//! * **cached serial** — [`Testnet::mine_block`] with
+//!   [`ExecMode::Serial`], admission caches hot;
+//! * **parallel** — [`Testnet::mine_block`] with
+//!   [`ExecMode::Parallel`], Block-STM-style speculation plus in-order
+//!   validation.
+//!
+//! Two workloads per N: *conflict-light* (every sender writes its own
+//! storage slot — the whole block validates speculatively) and
+//! *conflict-heavy* (every transaction read-modify-writes slot 0 of one
+//! contract — only the first speculation survives, the rest re-execute
+//! serially). The three blocks are asserted byte-identical before any
+//! number is reported. Results land in `BENCH_parallel_evm.json` at the
+//! repository root; the acceptance bound is ≥ 2× seal speedup over the
+//! reference at N = 256 conflict-light.
+
+use sc_chain::{ChainConfig, ExecMode, SealReport, Testnet, Transaction};
+use sc_primitives::{gwei, U256};
+use std::time::Instant;
+
+/// Runtime that stores calldata word 1 at the slot named by calldata
+/// word 0 (shared with the trie bench).
+const STORE_RUNTIME: [u8; 8] = [0x60, 0x20, 0x35, 0x60, 0x00, 0x35, 0x55, 0x00];
+
+/// Runtime that increments slot 0 — `PUSH1 0 SLOAD PUSH1 1 ADD PUSH1 0
+/// SSTORE STOP` — so every call both reads and writes the same hot
+/// slot: the worst case for speculation.
+const RMW_RUNTIME: [u8; 10] = [0x60, 0x00, 0x54, 0x60, 0x01, 0x01, 0x60, 0x00, 0x55, 0x00];
+
+/// The two block shapes measured at every N.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Disjoint senders, disjoint slots — zero conflicts.
+    ConflictLight,
+    /// Every transaction read-modify-writes the same slot.
+    ConflictHeavy,
+}
+
+impl Workload {
+    /// Stable label used in the JSON artifact.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::ConflictLight => "conflict_light",
+            Workload::ConflictHeavy => "conflict_heavy",
+        }
+    }
+}
+
+/// One (workload, N) measurement.
+#[derive(Debug, Clone)]
+pub struct ParallelPoint {
+    /// Transactions in the measured block.
+    pub n: usize,
+    /// Which block shape was mined.
+    pub workload: Workload,
+    /// Seal time of [`Testnet::mine_block_serial`] (re-derivation +
+    /// serial execution), nanoseconds.
+    pub reference_serial_ns: u128,
+    /// Seal time of the cached serial path, nanoseconds.
+    pub cached_serial_ns: u128,
+    /// Seal time of the parallel executor, nanoseconds.
+    pub parallel_ns: u128,
+    /// Transactions whose speculation validated and committed directly.
+    pub speculative: usize,
+    /// Transactions that conflicted and re-executed in commit order.
+    pub reexecuted: usize,
+    /// Worker threads available to the speculation fan-out.
+    pub workers: usize,
+}
+
+impl ParallelPoint {
+    /// Headline speedup: reference serial seal time over parallel seal
+    /// time.
+    pub fn speedup(&self) -> f64 {
+        self.reference_serial_ns as f64 / self.parallel_ns.max(1) as f64
+    }
+
+    /// Fraction of the block that conflicted (0.0 for a fully
+    /// speculative block).
+    pub fn abort_rate(&self) -> f64 {
+        self.reexecuted as f64 / (self.speculative + self.reexecuted).max(1) as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"workload\": \"{}\",\n",
+                "      \"n\": {},\n",
+                "      \"reference_serial_ns\": {},\n",
+                "      \"cached_serial_ns\": {},\n",
+                "      \"parallel_ns\": {},\n",
+                "      \"speculative\": {},\n",
+                "      \"reexecuted\": {},\n",
+                "      \"abort_rate\": {:.4},\n",
+                "      \"speedup\": {:.3}\n",
+                "    }}"
+            ),
+            self.workload.label(),
+            self.n,
+            self.reference_serial_ns,
+            self.cached_serial_ns,
+            self.parallel_ns,
+            self.speculative,
+            self.reexecuted,
+            self.abort_rate(),
+            self.speedup(),
+        )
+    }
+}
+
+/// Results of the parallel-execution measurement across all points.
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// Worker threads the fan-out could use.
+    pub workers: usize,
+    /// Every (workload, N) point, conflict-light first, N ascending.
+    pub points: Vec<ParallelPoint>,
+}
+
+impl ParallelReport {
+    /// The conflict-light point at the given N, if measured.
+    pub fn light_at(&self, n: usize) -> Option<&ParallelPoint> {
+        self.points
+            .iter()
+            .find(|p| p.workload == Workload::ConflictLight && p.n == n)
+    }
+
+    /// Serialises the report as a small JSON object (hand-rolled: the
+    /// workspace is std-only by design).
+    pub fn to_json(&self) -> String {
+        let points = self
+            .points
+            .iter()
+            .map(ParallelPoint::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"parallel_evm\",\n",
+                "  \"workers\": {},\n",
+                "  \"points\": [\n{}\n  ]\n",
+                "}}\n"
+            ),
+            self.workers, points,
+        )
+    }
+}
+
+/// Initcode deploying an arbitrary short runtime (≤ 32 bytes).
+fn initcode(runtime: &[u8]) -> Vec<u8> {
+    sc_evm::wrap_initcode(runtime)
+}
+
+/// `store(slot, value)` calldata for [`STORE_RUNTIME`].
+fn store_calldata(slot: u64, value: u64) -> Vec<u8> {
+    let mut data = Vec::with_capacity(64);
+    data.extend_from_slice(&U256::from_u64(slot).to_be_bytes());
+    data.extend_from_slice(&U256::from_u64(value).to_be_bytes());
+    data
+}
+
+/// Boots one chain in `mode`, deploys the workload contract and queues
+/// the block's transactions without mining them.
+fn prepare(mode: ExecMode, workload: Workload, n: usize) -> Testnet {
+    let mut net = Testnet::with_config(ChainConfig {
+        exec: mode,
+        // All N calls must land in ONE block — the unit this bench
+        // times — so the limit scales with the widest point.
+        block_gas_limit: 64_000_000,
+        ..ChainConfig::default()
+    });
+    let deployer = net.funded_wallet("deployer", sc_primitives::ether(10));
+    let runtime: &[u8] = match workload {
+        Workload::ConflictLight => &STORE_RUNTIME,
+        Workload::ConflictHeavy => &RMW_RUNTIME,
+    };
+    let r = net
+        .deploy(&deployer, initcode(runtime), U256::ZERO, 200_000)
+        .expect("workload contract deploy admitted");
+    assert!(r.success, "workload deploy failed: {:?}", r.failure);
+    let target = r.contract_address.expect("created");
+
+    for i in 0..n {
+        let w = net.funded_wallet(&format!("w{i}"), sc_primitives::ether(1));
+        let data = match workload {
+            Workload::ConflictLight => store_calldata(i as u64, 0x1000 + i as u64),
+            Workload::ConflictHeavy => Vec::new(),
+        };
+        let tx = Transaction {
+            nonce: 0,
+            gas_price: gwei(1),
+            gas_limit: 80_000,
+            to: Some(target),
+            value: U256::ZERO,
+            data,
+        };
+        net.submit(tx.sign(&w.key)).expect("bench tx admitted");
+    }
+    net
+}
+
+/// Measures one (workload, N): three identically-prepared chains, one
+/// timed seal each, blocks asserted byte-identical before reporting.
+pub fn measure_point(workload: Workload, n: usize) -> ParallelPoint {
+    let mut reference = prepare(ExecMode::Serial, workload, n);
+    let mut cached = prepare(ExecMode::Serial, workload, n);
+    let mut parallel = prepare(ExecMode::Parallel, workload, n);
+
+    let start = Instant::now();
+    let ref_block = reference.mine_block_serial();
+    let reference_serial_ns = start.elapsed().as_nanos();
+
+    let start = Instant::now();
+    let cached_block = cached.mine_block();
+    let cached_serial_ns = start.elapsed().as_nanos();
+
+    let start = Instant::now();
+    let par_block = parallel.mine_block();
+    let parallel_ns = start.elapsed().as_nanos();
+
+    assert_eq!(ref_block.hash, cached_block.hash, "cached serial diverged");
+    assert_eq!(ref_block.hash, par_block.hash, "parallel seal diverged");
+    assert_eq!(ref_block.transactions.len(), n, "block dropped txs");
+
+    let SealReport {
+        speculative,
+        reexecuted,
+        ..
+    } = parallel.last_seal_report().expect("sealed");
+    ParallelPoint {
+        n,
+        workload,
+        reference_serial_ns,
+        cached_serial_ns,
+        parallel_ns,
+        speculative,
+        reexecuted,
+        workers: std::thread::available_parallelism().map_or(1, |p| p.get()),
+    }
+}
+
+/// Measures both workloads at N ∈ {1, 16, 256}.
+pub fn measure() -> ParallelReport {
+    let mut points = Vec::new();
+    for workload in [Workload::ConflictLight, Workload::ConflictHeavy] {
+        for n in [1usize, 16, 256] {
+            points.push(measure_point(workload, n));
+        }
+    }
+    ParallelReport {
+        workers: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        points,
+    }
+}
+
+/// Path of the JSON artifact at the repository root.
+pub fn artifact_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel_evm.json")
+}
+
+/// Runs the measurement, writes `BENCH_parallel_evm.json` at the repo
+/// root and returns the report.
+pub fn run_and_write() -> std::io::Result<ParallelReport> {
+    let report = measure();
+    std::fs::write(artifact_path(), report.to_json())?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_point_is_fully_speculative() {
+        let p = measure_point(Workload::ConflictLight, 8);
+        assert_eq!(p.n, 8);
+        assert_eq!(p.speculative, 8);
+        assert_eq!(p.reexecuted, 0);
+        assert_eq!(p.abort_rate(), 0.0);
+        assert!(p.reference_serial_ns > 0 && p.parallel_ns > 0);
+    }
+
+    #[test]
+    fn heavy_point_conflicts_everywhere_but_first() {
+        let p = measure_point(Workload::ConflictHeavy, 8);
+        assert_eq!(p.speculative, 1, "only the first RMW validates");
+        assert_eq!(p.reexecuted, 7);
+        assert!(p.abort_rate() > 0.8);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = ParallelReport {
+            workers: 4,
+            points: vec![measure_point(Workload::ConflictLight, 4)],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"parallel_evm\""));
+        assert!(json.contains("\"workload\": \"conflict_light\""));
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"abort_rate\""));
+        assert!(report.light_at(4).is_some());
+        assert!(report.light_at(999).is_none());
+    }
+}

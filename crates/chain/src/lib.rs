@@ -11,17 +11,21 @@
 //!   `state_root` / `receipts_root` Merkle commitments.
 //! * [`proof`] — [`proof::StorageProof`]: stateless light verification
 //!   of a storage slot against a header's `state_root`.
+//! * [`parallel`] — optimistic parallel block execution
+//!   ([`parallel::ExecMode`], Block-STM-style speculation).
 //! * [`testnet`] — the [`testnet::Testnet`] facade.
 
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod parallel;
 pub mod proof;
 pub mod state;
 pub mod testnet;
 pub mod tx;
 
 pub use block::{receipts_root, Block, FailureReason, Receipt};
+pub use parallel::{ExecMode, SealReport};
 pub use proof::{ProofVerifyError, StorageProof};
 pub use state::{encode_account, Account, WorldState};
 pub use testnet::{CallResult, ChainConfig, Testnet, TxError};

@@ -184,6 +184,47 @@ impl WorldState {
         self.accounts.keys().copied().collect()
     }
 
+    /// Sets a balance directly, outside any journal (commit path of the
+    /// optimistic executor: effects are final when applied).
+    pub(crate) fn set_balance_raw(&mut self, a: Address, v: U256) {
+        self.entry(a).balance = v;
+        self.dirty_accounts.insert(a);
+    }
+
+    /// Adds `delta` wei to a balance directly (the executor's
+    /// commutative coinbase fee credit).
+    pub(crate) fn add_balance_raw(&mut self, a: Address, delta: U256) {
+        let acct = self.entry(a);
+        acct.balance = acct.balance.wrapping_add(delta);
+        self.dirty_accounts.insert(a);
+    }
+
+    /// Sets a nonce directly, outside any journal.
+    pub(crate) fn set_nonce_raw(&mut self, a: Address, v: u64) {
+        self.entry(a).nonce = v;
+        self.dirty_accounts.insert(a);
+    }
+
+    /// Installs code (with its precomputed hash) directly, outside any
+    /// journal.
+    pub(crate) fn set_code_raw(&mut self, a: Address, code: Arc<Vec<u8>>, hash: H256) {
+        let acct = self.entry(a);
+        acct.code = code;
+        acct.code_hash = hash;
+        self.dirty_accounts.insert(a);
+    }
+
+    /// Writes a storage slot directly, outside any journal (zero
+    /// removes the entry, like a reverted write would).
+    pub(crate) fn set_storage_raw(&mut self, a: Address, key: U256, value: U256) {
+        if value.is_zero() {
+            self.entry(a).storage.remove(&key);
+        } else {
+            self.entry(a).storage.insert(key, value);
+        }
+        self.touch_storage(a, key);
+    }
+
     /// Folds every dirty slot and account into the authenticated tries
     /// and returns the account-trie root — the `state_root` a sealed
     /// block commits to. Called once per block (not per op): between
@@ -193,23 +234,27 @@ impl WorldState {
     /// Idempotent: folding with empty dirty sets just re-reads the
     /// cached root.
     pub fn state_root(&mut self) -> H256 {
-        for (a, keys) in std::mem::take(&mut self.dirty_storage) {
-            self.dirty_accounts.insert(a);
-            let storage = self.accounts.get(&a).map(|acct| &acct.storage);
-            let trie = self.storage_tries.entry(a).or_default();
-            for key in keys {
-                let k = key.to_be_bytes();
-                match storage.and_then(|s| s.get(&key)) {
-                    Some(v) if !v.is_zero() => trie.insert(&k, encode_storage_value(*v)),
-                    _ => {
-                        trie.remove(&k);
-                    }
+        // Per-account storage tries are independent: take each dirty
+        // account's trie out of the map and fold them as a batch —
+        // concurrently when the batch is big enough to pay for threads.
+        let mut jobs: Vec<StorageFoldJob> = std::mem::take(&mut self.dirty_storage)
+            .into_iter()
+            .map(|(a, keys)| {
+                self.dirty_accounts.insert(a);
+                StorageFoldJob {
+                    address: a,
+                    keys,
+                    trie: self.storage_tries.remove(&a).unwrap_or_default(),
+                    root: H256::ZERO,
                 }
+            })
+            .collect();
+        fold_storage_jobs(&self.accounts, &mut jobs);
+        for job in jobs {
+            if let Some(acct) = self.accounts.get_mut(&job.address) {
+                acct.storage_root = job.root;
             }
-            let root = trie.root();
-            if let Some(acct) = self.accounts.get_mut(&a) {
-                acct.storage_root = root;
-            }
+            self.storage_tries.insert(job.address, job.trie);
         }
         for a in std::mem::take(&mut self.dirty_accounts) {
             match self.accounts.get(&a) {
@@ -248,6 +293,52 @@ impl WorldState {
             storage_proof,
         }
     }
+}
+
+/// One dirty account's storage-trie fold: the stale keys plus the trie
+/// itself, taken out of [`WorldState::storage_tries`] for the duration.
+struct StorageFoldJob {
+    address: Address,
+    keys: HashSet<U256>,
+    trie: SecureTrie,
+    root: H256,
+}
+
+/// Dirty accounts below this count fold inline — thread setup would
+/// dominate the trie work.
+const PARALLEL_FOLD_THRESHOLD: usize = 8;
+
+/// Folds every job's stale keys into its trie and records the new root.
+/// Jobs are independent (one trie per account, shared read-only view of
+/// the accounts map), so big batches fan out over scoped threads; MPT
+/// roots are canonical regardless of insertion order, making the result
+/// identical either way.
+fn fold_storage_jobs(accounts: &HashMap<Address, Account>, jobs: &mut [StorageFoldJob]) {
+    let fold_one = |job: &mut StorageFoldJob| {
+        let storage = accounts.get(&job.address).map(|acct| &acct.storage);
+        for key in &job.keys {
+            let k = key.to_be_bytes();
+            match storage.and_then(|s| s.get(key)) {
+                Some(v) if !v.is_zero() => job.trie.insert(&k, encode_storage_value(*v)),
+                _ => {
+                    job.trie.remove(&k);
+                }
+            }
+        }
+        job.root = job.trie.root();
+    };
+
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if jobs.len() < PARALLEL_FOLD_THRESHOLD || workers < 2 {
+        jobs.iter_mut().for_each(fold_one);
+        return;
+    }
+    let chunk_len = jobs.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for chunk in jobs.chunks_mut(chunk_len) {
+            scope.spawn(|| chunk.iter_mut().for_each(&fold_one));
+        }
+    });
 }
 
 impl Host for WorldState {

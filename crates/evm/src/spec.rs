@@ -1,0 +1,606 @@
+//! Speculative execution view: the read/write-set tracker behind the
+//! chain's optimistic parallel executor (Block-STM-style).
+//!
+//! [`SpeculativeHost`] wraps a *shared, immutable* base [`Host`] and
+//! implements [`Host`] itself: writes land in a private overlay, reads
+//! fall through to the base and are recorded (once per key, with the
+//! value observed) in an interior-mutable read log. A transaction
+//! executed against the wrapper therefore produces
+//!
+//! * a **read set** — every `(key, value)` the execution depended on,
+//! * a **write set** — the overlay, the net effect on the world,
+//!
+//! and nothing else: the base is never mutated, so many transactions
+//! can speculate concurrently over one `&H`.
+//!
+//! Commit-time validation replays only the read set: if every recorded
+//! key still holds its recorded value in the committed state, the
+//! speculative execution is byte-for-byte what a serial re-execution
+//! would produce (execution is a deterministic function of its base
+//! reads), and the overlay can be applied directly. Any mismatch — or a
+//! read the wrapper cannot track precisely, which sets the *poisoned*
+//! flag — demands deterministic re-execution in commit order.
+//!
+//! Reads that poison instead of recording:
+//!
+//! * the balance of the *volatile address* (the chain registers its
+//!   coinbase here: every transaction credits it fees, so its balance
+//!   is never stable within a block);
+//! * contract creation over an address with pre-existing storage (the
+//!   serial path journals every evicted slot; that eviction cannot be
+//!   buffered precisely in a flat overlay).
+
+use crate::host::{Host, LogEntry};
+use sc_primitives::{Address, H256, U256};
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// One recorded base-state read: the key and the value observed.
+///
+/// [`ReadRecord::still_holds`] re-checks the observation against another
+/// host — the committed state at validation time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadRecord {
+    /// Account balance observed.
+    Balance(Address, U256),
+    /// Account nonce observed.
+    Nonce(Address, u64),
+    /// Account code observed (compared by its keccak hash).
+    CodeHash(Address, H256),
+    /// Storage slot value observed.
+    Storage(Address, U256, U256),
+    /// The account's storage was observed entirely empty (recorded by
+    /// contract creation, whose semantics clear the slate).
+    StorageEmpty(Address),
+}
+
+impl ReadRecord {
+    /// True iff the committed state still agrees with the observation.
+    pub fn still_holds<H: Host>(&self, state: &H) -> bool {
+        match self {
+            ReadRecord::Balance(a, v) => state.balance(*a) == *v,
+            ReadRecord::Nonce(a, v) => state.nonce(*a) == *v,
+            ReadRecord::CodeHash(a, h) => state.code_hash(*a) == *h,
+            ReadRecord::Storage(a, k, v) => state.storage(*a, *k) == *v,
+            ReadRecord::StorageEmpty(a) => state.storage_entries(*a).is_empty(),
+        }
+    }
+}
+
+/// Hashable key of a [`ReadRecord`], for first-read-wins deduplication.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum ReadKey {
+    Balance(Address),
+    Nonce(Address),
+    Code(Address),
+    Storage(Address, U256),
+    StorageEmpty(Address),
+}
+
+/// The buffered effects of one speculative execution — everything a
+/// commit must apply to make the base state agree with the overlay.
+#[derive(Clone, Debug, Default)]
+pub struct WriteSet {
+    /// Final balance per touched account.
+    pub balances: HashMap<Address, U256>,
+    /// Final nonce per touched account.
+    pub nonces: HashMap<Address, u64>,
+    /// Final code (and its keccak hash) per touched account.
+    pub codes: HashMap<Address, (Arc<Vec<u8>>, H256)>,
+    /// Final value per touched storage slot (zero means cleared).
+    pub storage: HashMap<(Address, U256), U256>,
+    /// Addresses created by the execution. Tracking guarantees they had
+    /// no pre-existing storage unless the speculation was poisoned.
+    pub created: Vec<Address>,
+}
+
+/// Reversible operations over the overlay: each op remembers the
+/// *previous overlay entry* so [`Host::revert`] restores the wrapper to
+/// the exact pre-snapshot view.
+enum SpecJournalOp {
+    Balance(Address, Option<U256>),
+    Nonce(Address, Option<u64>),
+    Code(Address, Option<(Arc<Vec<u8>>, H256)>),
+    Storage(Address, U256, Option<U256>),
+    /// Contract creation: restores the previous overlay nonce and drops
+    /// the address from the created set again.
+    Created(Address, Option<u64>),
+    Log,
+    Refund(u64),
+}
+
+/// The recorded observations of one speculative run: dedup set + log.
+#[derive(Default)]
+struct ReadLog {
+    seen: HashSet<ReadKey>,
+    records: Vec<ReadRecord>,
+}
+
+impl ReadLog {
+    fn record(&mut self, key: ReadKey, record: impl FnOnce() -> ReadRecord) {
+        if self.seen.insert(key) {
+            self.records.push(record());
+        }
+    }
+}
+
+/// Journaled read-tracking write-buffering [`Host`] over a shared base.
+pub struct SpeculativeHost<'a, H: Host> {
+    base: &'a H,
+    balances: HashMap<Address, U256>,
+    nonces: HashMap<Address, u64>,
+    codes: HashMap<Address, (Arc<Vec<u8>>, H256)>,
+    storage: HashMap<(Address, U256), U256>,
+    /// Addresses created by this execution: their storage reads answer
+    /// zero without consulting the base (creation cleared the slate).
+    created: HashSet<Address>,
+    reads: RefCell<ReadLog>,
+    journal: Vec<SpecJournalOp>,
+    /// Logs emitted by the speculative transaction.
+    pub tx_logs: Vec<LogEntry>,
+    /// Refund counter of the speculative transaction.
+    pub tx_refund: u64,
+    volatile_balance: Option<Address>,
+    poisoned: Cell<bool>,
+}
+
+impl<'a, H: Host> SpeculativeHost<'a, H> {
+    /// Wraps a shared base state.
+    pub fn new(base: &'a H) -> Self {
+        SpeculativeHost {
+            base,
+            balances: HashMap::new(),
+            nonces: HashMap::new(),
+            codes: HashMap::new(),
+            storage: HashMap::new(),
+            created: HashSet::new(),
+            reads: RefCell::new(ReadLog::default()),
+            journal: Vec::new(),
+            tx_logs: Vec::new(),
+            tx_refund: 0,
+            volatile_balance: None,
+            poisoned: Cell::new(false),
+        }
+    }
+
+    /// Registers the address whose balance is *volatile* within a block
+    /// (the coinbase: every transaction credits it fees). Reading its
+    /// balance poisons the speculation instead of recording a read that
+    /// could never validate.
+    #[must_use]
+    pub fn with_volatile_balance(mut self, a: Address) -> Self {
+        self.volatile_balance = Some(a);
+        self
+    }
+
+    /// Marks the speculation as non-committable: the executor must
+    /// re-execute this transaction serially in commit order.
+    pub fn poison(&self) {
+        self.poisoned.set(true);
+    }
+
+    /// True iff a read escaped precise tracking.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned.get()
+    }
+
+    /// The recorded read set (cloned out of the interior log).
+    pub fn reads(&self) -> Vec<ReadRecord> {
+        self.reads.borrow().records.clone()
+    }
+
+    /// Validates every recorded read against a committed state.
+    pub fn reads_still_hold<B: Host>(&self, state: &B) -> bool {
+        self.reads
+            .borrow()
+            .records
+            .iter()
+            .all(|r| r.still_holds(state))
+    }
+
+    /// Consumes the wrapper, returning `(reads, writes, poisoned)`.
+    pub fn into_parts(self) -> (Vec<ReadRecord>, WriteSet, bool) {
+        let writes = WriteSet {
+            balances: self.balances,
+            nonces: self.nonces,
+            codes: self.codes,
+            storage: self.storage,
+            created: self.created.into_iter().collect(),
+        };
+        (self.reads.into_inner().records, writes, self.poisoned.get())
+    }
+
+    /// Takes the per-transaction scratch (logs, refund counter) exactly
+    /// like `WorldState::clear_tx_scratch` does on the serial path.
+    pub fn take_tx_scratch(&mut self) -> (Vec<LogEntry>, u64) {
+        self.journal.clear();
+        let refund = self.tx_refund;
+        self.tx_refund = 0;
+        (std::mem::take(&mut self.tx_logs), refund)
+    }
+
+    /// Journaled overlay balance write (the executor's gas-settlement
+    /// hook; fee credits to the volatile address are tracked separately
+    /// by the caller as a commutative delta).
+    pub fn write_balance(&mut self, a: Address, v: U256) {
+        let prev = self.balances.insert(a, v);
+        self.journal.push(SpecJournalOp::Balance(a, prev));
+    }
+
+    fn base_balance(&self, a: Address) -> U256 {
+        if self.volatile_balance == Some(a) {
+            // Every transaction in the block credits this address fees;
+            // its base balance can never validate. Give up on this tx.
+            self.poison();
+        }
+        let v = self.base.balance(a);
+        self.reads
+            .borrow_mut()
+            .record(ReadKey::Balance(a), || ReadRecord::Balance(a, v));
+        v
+    }
+
+    fn base_nonce(&self, a: Address) -> u64 {
+        let v = self.base.nonce(a);
+        self.reads
+            .borrow_mut()
+            .record(ReadKey::Nonce(a), || ReadRecord::Nonce(a, v));
+        v
+    }
+
+    fn record_base_code(&self, a: Address) {
+        let h = self.base.code_hash(a);
+        self.reads
+            .borrow_mut()
+            .record(ReadKey::Code(a), || ReadRecord::CodeHash(a, h));
+    }
+
+    fn base_storage(&self, a: Address, key: U256) -> U256 {
+        if self.created.contains(&a) {
+            return U256::ZERO;
+        }
+        let v = self.base.storage(a, key);
+        self.reads
+            .borrow_mut()
+            .record(ReadKey::Storage(a, key), || ReadRecord::Storage(a, key, v));
+        v
+    }
+}
+
+impl<H: Host> Host for SpeculativeHost<'_, H> {
+    fn balance(&self, a: Address) -> U256 {
+        if let Some(v) = self.balances.get(&a) {
+            return *v;
+        }
+        self.base_balance(a)
+    }
+
+    fn code(&self, a: Address) -> Arc<Vec<u8>> {
+        if let Some((code, _)) = self.codes.get(&a) {
+            return code.clone();
+        }
+        self.record_base_code(a);
+        self.base.code(a)
+    }
+
+    fn code_hash(&self, a: Address) -> H256 {
+        if let Some((_, hash)) = self.codes.get(&a) {
+            return *hash;
+        }
+        self.record_base_code(a);
+        self.base.code_hash(a)
+    }
+
+    fn storage(&self, a: Address, key: U256) -> U256 {
+        if let Some(v) = self.storage.get(&(a, key)) {
+            return *v;
+        }
+        self.base_storage(a, key)
+    }
+
+    fn set_storage(&mut self, a: Address, key: U256, value: U256) {
+        // The serial journal records the previous value, i.e. performs
+        // a read; mirror it so the read set captures SSTORE
+        // dependencies (serial gas metering reads the slot anyway).
+        let _ = self.storage(a, key);
+        let prev = self.storage.insert((a, key), value);
+        self.journal.push(SpecJournalOp::Storage(a, key, prev));
+    }
+
+    fn nonce(&self, a: Address) -> u64 {
+        if let Some(v) = self.nonces.get(&a) {
+            return *v;
+        }
+        self.base_nonce(a)
+    }
+
+    fn bump_nonce(&mut self, a: Address) {
+        let next = self.nonce(a) + 1;
+        let prev = self.nonces.insert(a, next);
+        self.journal.push(SpecJournalOp::Nonce(a, prev));
+    }
+
+    fn account_exists(&self, a: Address) -> bool {
+        // The serial path inspects the whole account; reading all three
+        // components records each dependency.
+        !self.balance(a).is_zero() || self.nonce(a) != 0 || !self.code(a).is_empty()
+    }
+
+    fn create_contract(&mut self, a: Address) -> bool {
+        if self.nonce(a) != 0 || !self.code(a).is_empty() {
+            return false;
+        }
+        // Serial creation journals every evicted slot, which requires
+        // iterating the live storage. An address with pre-existing
+        // storage (base or overlay) escapes precise tracking: poison.
+        if !self.base.storage_entries(a).is_empty()
+            || self.storage.keys().any(|(addr, _)| *addr == a)
+        {
+            self.poison();
+        }
+        self.reads
+            .borrow_mut()
+            .record(ReadKey::StorageEmpty(a), || ReadRecord::StorageEmpty(a));
+        let prev = self.nonces.insert(a, 1);
+        self.created.insert(a);
+        self.journal.push(SpecJournalOp::Created(a, prev));
+        true
+    }
+
+    fn set_code(&mut self, a: Address, code: Vec<u8>) {
+        // Serial set_code journals the previous code: a read.
+        if !self.codes.contains_key(&a) {
+            self.record_base_code(a);
+        }
+        let hash = sc_crypto::keccak256(&code);
+        let prev = self.codes.insert(a, (Arc::new(code), hash));
+        self.journal.push(SpecJournalOp::Code(a, prev));
+    }
+
+    fn transfer(&mut self, from: Address, to: Address, value: U256) -> bool {
+        let from_bal = self.balance(from);
+        if from_bal < value {
+            return false;
+        }
+        if from == to {
+            // Self-transfer: only the balance check matters (mirrors
+            // the journaled world state exactly).
+            return true;
+        }
+        let to_bal = self.balance(to);
+        self.write_balance(from, from_bal.wrapping_sub(value));
+        self.write_balance(to, to_bal.wrapping_add(value));
+        true
+    }
+
+    fn snapshot(&mut self) -> usize {
+        self.journal.len()
+    }
+
+    fn revert(&mut self, snapshot: usize) {
+        while self.journal.len() > snapshot {
+            match self.journal.pop().expect("journal entry") {
+                SpecJournalOp::Balance(a, prev) => {
+                    restore(&mut self.balances, a, prev);
+                }
+                SpecJournalOp::Nonce(a, prev) => {
+                    restore(&mut self.nonces, a, prev);
+                }
+                SpecJournalOp::Code(a, prev) => {
+                    restore(&mut self.codes, a, prev);
+                }
+                SpecJournalOp::Storage(a, k, prev) => {
+                    restore(&mut self.storage, (a, k), prev);
+                }
+                SpecJournalOp::Created(a, prev) => {
+                    self.created.remove(&a);
+                    restore(&mut self.nonces, a, prev);
+                }
+                SpecJournalOp::Log => {
+                    self.tx_logs.pop();
+                }
+                SpecJournalOp::Refund(prev) => self.tx_refund = prev,
+            }
+        }
+    }
+
+    fn log(&mut self, entry: LogEntry) {
+        self.journal.push(SpecJournalOp::Log);
+        self.tx_logs.push(entry);
+    }
+
+    fn block_hash(&self, number: u64) -> H256 {
+        // The ancestor-hash window is immutable for the whole block
+        // (the sealing block's own hash is unknown during execution on
+        // the serial path too): safe to read untracked.
+        self.base.block_hash(number)
+    }
+
+    fn add_refund(&mut self, amount: u64) {
+        self.journal.push(SpecJournalOp::Refund(self.tx_refund));
+        self.tx_refund += amount;
+    }
+
+    fn storage_entries(&self, a: Address) -> Vec<(U256, U256)> {
+        // Audit hook, not consulted during transaction execution: merge
+        // untracked for completeness.
+        let mut merged: HashMap<U256, U256> = if self.created.contains(&a) {
+            HashMap::new()
+        } else {
+            self.base.storage_entries(a).into_iter().collect()
+        };
+        for ((addr, k), v) in &self.storage {
+            if *addr == a {
+                merged.insert(*k, *v);
+            }
+        }
+        merged.into_iter().filter(|(_, v)| !v.is_zero()).collect()
+    }
+}
+
+fn restore<K: std::hash::Hash + Eq, V>(map: &mut HashMap<K, V>, key: K, prev: Option<V>) {
+    match prev {
+        Some(v) => {
+            map.insert(key, v);
+        }
+        None => {
+            map.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::MockHost;
+
+    fn addr(b: u8) -> Address {
+        Address([b; 20])
+    }
+
+    #[test]
+    fn reads_fall_through_and_are_recorded_once() {
+        let mut base = MockHost::new();
+        base.fund(addr(1), U256::from_u64(100));
+        base.set_storage(addr(2), U256::ONE, U256::from_u64(7));
+        let spec = SpeculativeHost::new(&base);
+
+        assert_eq!(spec.balance(addr(1)), U256::from_u64(100));
+        assert_eq!(spec.balance(addr(1)), U256::from_u64(100));
+        assert_eq!(spec.storage(addr(2), U256::ONE), U256::from_u64(7));
+        assert_eq!(
+            spec.reads(),
+            vec![
+                ReadRecord::Balance(addr(1), U256::from_u64(100)),
+                ReadRecord::Storage(addr(2), U256::ONE, U256::from_u64(7)),
+            ]
+        );
+    }
+
+    #[test]
+    fn writes_stay_in_the_overlay() {
+        let mut base = MockHost::new();
+        base.fund(addr(1), U256::from_u64(100));
+        let mut spec = SpeculativeHost::new(&base);
+        assert!(spec.transfer(addr(1), addr(2), U256::from_u64(30)));
+        spec.set_storage(addr(3), U256::ONE, U256::from_u64(9));
+        assert_eq!(spec.balance(addr(1)), U256::from_u64(70));
+        assert_eq!(spec.balance(addr(2)), U256::from_u64(30));
+        // The base never moved.
+        assert_eq!(base.balance(addr(1)), U256::from_u64(100));
+        assert_eq!(base.balance(addr(2)), U256::ZERO);
+        assert_eq!(base.storage(addr(3), U256::ONE), U256::ZERO);
+    }
+
+    #[test]
+    fn snapshot_revert_restores_the_overlay_view() {
+        let mut base = MockHost::new();
+        base.fund(addr(1), U256::from_u64(100));
+        let mut spec = SpeculativeHost::new(&base);
+        assert!(spec.transfer(addr(1), addr(2), U256::from_u64(10)));
+        let snap = spec.snapshot();
+        assert!(spec.transfer(addr(1), addr(2), U256::from_u64(20)));
+        spec.set_storage(addr(2), U256::ONE, U256::from_u64(5));
+        spec.bump_nonce(addr(1));
+        spec.log(LogEntry {
+            address: addr(2),
+            topics: vec![],
+            data: vec![],
+        });
+        spec.add_refund(15_000);
+        spec.revert(snap);
+        assert_eq!(spec.balance(addr(1)), U256::from_u64(90));
+        assert_eq!(spec.balance(addr(2)), U256::from_u64(10));
+        assert_eq!(spec.storage(addr(2), U256::ONE), U256::ZERO);
+        assert_eq!(spec.nonce(addr(1)), 0);
+        assert!(spec.tx_logs.is_empty());
+        assert_eq!(spec.tx_refund, 0);
+    }
+
+    #[test]
+    fn validation_detects_a_changed_base() {
+        let mut base = MockHost::new();
+        base.fund(addr(1), U256::from_u64(100));
+        let spec = SpeculativeHost::new(&base);
+        let _ = spec.balance(addr(1));
+        assert!(spec.reads_still_hold(&base));
+        let (reads, _, _) = spec.into_parts();
+        base.fund(addr(1), U256::from_u64(1));
+        assert!(!reads.iter().all(|r| r.still_holds(&base)));
+    }
+
+    #[test]
+    fn volatile_balance_read_poisons() {
+        let mut base = MockHost::new();
+        base.fund(addr(9), U256::from_u64(1));
+        let spec = SpeculativeHost::new(&base).with_volatile_balance(addr(9));
+        assert!(!spec.poisoned());
+        let _ = spec.balance(addr(1));
+        assert!(!spec.poisoned(), "other balances track normally");
+        let _ = spec.balance(addr(9));
+        assert!(spec.poisoned());
+    }
+
+    #[test]
+    fn overlaid_volatile_balance_does_not_poison() {
+        let base = MockHost::new();
+        let mut spec = SpeculativeHost::new(&base).with_volatile_balance(addr(9));
+        spec.write_balance(addr(9), U256::from_u64(5));
+        assert_eq!(spec.balance(addr(9)), U256::from_u64(5));
+        assert!(!spec.poisoned(), "overlay hit needs no base read");
+    }
+
+    #[test]
+    fn created_contract_reads_zero_storage_and_reverts_clean() {
+        let base = MockHost::new();
+        let mut spec = SpeculativeHost::new(&base);
+        let snap = spec.snapshot();
+        assert!(spec.create_contract(addr(4)));
+        assert!(!spec.poisoned(), "fresh address: precise tracking");
+        assert_eq!(spec.nonce(addr(4)), 1);
+        spec.set_storage(addr(4), U256::ONE, U256::from_u64(3));
+        assert_eq!(spec.storage(addr(4), U256::ONE), U256::from_u64(3));
+        spec.revert(snap);
+        assert_eq!(spec.nonce(addr(4)), 0);
+        assert_eq!(spec.storage(addr(4), U256::ONE), U256::ZERO);
+        // Second creation after revert works again.
+        assert!(spec.create_contract(addr(4)));
+    }
+
+    #[test]
+    fn creation_over_overlay_storage_poisons() {
+        let base = MockHost::new();
+        let mut spec = SpeculativeHost::new(&base);
+        spec.set_storage(addr(5), U256::ONE, U256::from_u64(1));
+        assert!(spec.create_contract(addr(5)));
+        assert!(spec.poisoned());
+    }
+
+    #[test]
+    fn storage_empty_read_is_recorded_on_creation() {
+        let base = MockHost::new();
+        let mut spec = SpeculativeHost::new(&base);
+        assert!(spec.create_contract(addr(4)));
+        assert!(spec.reads().contains(&ReadRecord::StorageEmpty(addr(4))));
+        assert!(spec.reads_still_hold(&base));
+    }
+
+    #[test]
+    fn write_set_carries_the_net_effect() {
+        let mut base = MockHost::new();
+        base.fund(addr(1), U256::from_u64(100));
+        let mut spec = SpeculativeHost::new(&base);
+        assert!(spec.transfer(addr(1), addr(2), U256::from_u64(30)));
+        spec.bump_nonce(addr(1));
+        spec.set_storage(addr(3), U256::ONE, U256::from_u64(9));
+        spec.set_code(addr(3), vec![0x00]);
+        let (_, writes, poisoned) = spec.into_parts();
+        assert!(!poisoned);
+        assert_eq!(writes.balances[&addr(1)], U256::from_u64(70));
+        assert_eq!(writes.balances[&addr(2)], U256::from_u64(30));
+        assert_eq!(writes.nonces[&addr(1)], 1);
+        assert_eq!(writes.storage[&(addr(3), U256::ONE)], U256::from_u64(9));
+        assert_eq!(*writes.codes[&addr(3)].0, vec![0x00]);
+    }
+}
