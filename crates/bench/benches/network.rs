@@ -1,0 +1,77 @@
+//! S3 — multi-node network: partition convergence, orphan rate, and
+//! gossip throughput at 2/4/8 nodes.
+//!
+//! Prints both experiment tables, writes `BENCH_network.json` at the
+//! repository root, then Criterion-times the 4-node gossip run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::network::{artifact_path, measure_gossip, run_and_write, PARTITION_ROUNDS};
+use sc_bench::print_gas_table;
+
+fn print_report() {
+    let report = run_and_write().expect("write BENCH_network.json");
+    let rows: Vec<(&str, String)> = report
+        .convergence
+        .iter()
+        .map(|p| {
+            let label: &str = match p.nodes {
+                2 => "N = 2",
+                4 => "N = 4",
+                _ => "N = 8",
+            };
+            (
+                label,
+                format!(
+                    "{} rounds to converge, {}/{} blocks canonical (orphan rate {:.2}), {} reorgs",
+                    p.rounds_to_converge,
+                    p.canonical_height,
+                    p.blocks_sealed,
+                    p.orphan_rate(),
+                    p.reorgs,
+                ),
+            )
+        })
+        .collect();
+    print_gas_table(
+        &format!("S3a — convergence after a {PARTITION_ROUNDS}-round partition"),
+        &rows,
+    );
+
+    let rows: Vec<(&str, String)> = report
+        .gossip
+        .iter()
+        .map(|p| {
+            let label: &str = match p.nodes {
+                2 => "N = 2",
+                4 => "N = 4",
+                _ => "N = 8",
+            };
+            (
+                label,
+                format!(
+                    "{:.2} sessions/s, {} frames ({:.0}/s), {} blocks, {} reorgs",
+                    p.sessions_per_sec(),
+                    p.frames_delivered,
+                    p.frames_per_sec(),
+                    p.blocks_sealed,
+                    p.reorgs,
+                ),
+            )
+        })
+        .collect();
+    print_gas_table("S3b — gossip throughput (8 mixed sessions)", &rows);
+    println!("  wrote {}", artifact_path().display());
+}
+
+fn bench(c: &mut Criterion) {
+    print_report();
+    let mut group = c.benchmark_group("network");
+    group.sample_size(10);
+    group.bench_function("gossip/4_nodes_8_sessions", |b| {
+        b.iter(|| measure_gossip(4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod mempool;
+pub mod network;
 pub mod parallel_evm;
 pub mod pipeline;
 pub mod regress;

@@ -1,0 +1,278 @@
+//! Measures the multi-node network: partition convergence, orphan
+//! rate, and gossip throughput at 2/4/8 nodes.
+//!
+//! Two experiments land in `BENCH_network.json`:
+//!
+//! * **Convergence** — a bare N-node network is cut in half for a fixed
+//!   number of rounds; both sides seal competing blocks, then the cut
+//!   heals. Reported per N: rounds from heal to one canonical head on
+//!   every node, blocks sealed vs canonical height, and the orphan rate
+//!   (sealed blocks the canonical chain abandoned). All deterministic —
+//!   the regression gate pins them exactly.
+//! * **Gossip throughput** — a fixed 8-session protocol workload runs
+//!   over 2, 4 and 8 nodes. Reported per N: wall-clock sessions/sec,
+//!   frames delivered (and per second), blocks sealed and reorgs. The
+//!   frame counts are deterministic; the wall-clock rates are context
+//!   only.
+
+use sc_chain::PoolConfig;
+use sc_core::{FaultPlan, Network, NetworkScheduler};
+use std::time::Instant;
+
+use crate::sessions::mixed_specs;
+
+/// Node counts measured by both experiments.
+pub const NODE_COUNTS: [usize; 3] = [2, 4, 8];
+
+/// Rounds the forced partition lasts in the convergence experiment.
+pub const PARTITION_ROUNDS: u64 = 6;
+
+/// Sessions in the gossip-throughput workload (fixed across N so the
+/// curve isolates the cost of fan-out, not of extra work).
+pub const GOSSIP_SESSIONS: usize = 8;
+
+/// One point of the convergence experiment.
+#[derive(Debug, Clone)]
+pub struct ConvergencePoint {
+    /// Nodes in the network.
+    pub nodes: usize,
+    /// Rounds from heal to every node agreeing on one head.
+    pub rounds_to_converge: u64,
+    /// Blocks sealed across all miners (both fork sides).
+    pub blocks_sealed: u64,
+    /// Height of the canonical chain after convergence.
+    pub canonical_height: u64,
+    /// Reorgs executed while converging.
+    pub reorgs: u64,
+}
+
+impl ConvergencePoint {
+    /// Fraction of sealed blocks the canonical chain abandoned.
+    pub fn orphan_rate(&self) -> f64 {
+        if self.blocks_sealed == 0 {
+            return 0.0;
+        }
+        1.0 - self.canonical_height as f64 / self.blocks_sealed as f64
+    }
+}
+
+/// One point of the gossip-throughput experiment.
+#[derive(Debug, Clone)]
+pub struct GossipPoint {
+    /// Nodes the sessions were homed across.
+    pub nodes: usize,
+    /// Sessions in the workload.
+    pub sessions: usize,
+    /// Wall-clock nanoseconds for the full run.
+    pub elapsed_ns: u128,
+    /// Gossip frames delivered into inboxes.
+    pub frames_delivered: u64,
+    /// Blocks sealed across all nodes.
+    pub blocks_sealed: u64,
+    /// Reorgs executed.
+    pub reorgs: u64,
+}
+
+impl GossipPoint {
+    /// Completed sessions per wall-clock second.
+    pub fn sessions_per_sec(&self) -> f64 {
+        self.sessions as f64 / (self.elapsed_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Delivered gossip frames per wall-clock second.
+    pub fn frames_per_sec(&self) -> f64 {
+        self.frames_delivered as f64 / (self.elapsed_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// Results of both experiments across all node counts.
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// Convergence points, ascending node count.
+    pub convergence: Vec<ConvergencePoint>,
+    /// Gossip points, ascending node count.
+    pub gossip: Vec<GossipPoint>,
+}
+
+impl NetworkReport {
+    /// Serialises the report as a small JSON object (hand-rolled: the
+    /// workspace is std-only by design).
+    pub fn to_json(&self) -> String {
+        let convergence = self
+            .convergence
+            .iter()
+            .map(|p| {
+                format!(
+                    concat!(
+                        "    {{\n",
+                        "      \"nodes\": {},\n",
+                        "      \"partition_rounds\": {},\n",
+                        "      \"rounds_to_converge\": {},\n",
+                        "      \"blocks_sealed\": {},\n",
+                        "      \"canonical_height\": {},\n",
+                        "      \"reorgs\": {},\n",
+                        "      \"orphan_rate\": {:.3}\n",
+                        "    }}"
+                    ),
+                    p.nodes,
+                    PARTITION_ROUNDS,
+                    p.rounds_to_converge,
+                    p.blocks_sealed,
+                    p.canonical_height,
+                    p.reorgs,
+                    p.orphan_rate(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let gossip = self
+            .gossip
+            .iter()
+            .map(|p| {
+                format!(
+                    concat!(
+                        "    {{\n",
+                        "      \"nodes\": {},\n",
+                        "      \"sessions\": {},\n",
+                        "      \"elapsed_ns\": {},\n",
+                        "      \"sessions_per_sec\": {:.3},\n",
+                        "      \"frames_delivered\": {},\n",
+                        "      \"frames_per_sec\": {:.1},\n",
+                        "      \"blocks_sealed\": {},\n",
+                        "      \"reorgs\": {}\n",
+                        "    }}"
+                    ),
+                    p.nodes,
+                    p.sessions,
+                    p.elapsed_ns,
+                    p.sessions_per_sec(),
+                    p.frames_delivered,
+                    p.frames_per_sec(),
+                    p.blocks_sealed,
+                    p.reorgs,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"bench\": \"network\",\n  \"convergence\": [\n{convergence}\n  ],\n  \"gossip\": [\n{gossip}\n  ]\n}}\n"
+        )
+    }
+}
+
+/// Cuts an idle `n`-node network in half for [`PARTITION_ROUNDS`]
+/// rounds (both sides seal competing empty blocks), heals it, and
+/// counts the rounds until every node agrees on one head.
+pub fn measure_convergence(n: usize) -> ConvergencePoint {
+    let mut net = Network::new(n, &FaultPlan::none(), PoolConfig::default(), &[]);
+    net.force_partition((0..n / 2).collect(), PARTITION_ROUNDS);
+    // Play out the cut itself.
+    for _ in 0..PARTITION_ROUNDS {
+        net.round();
+    }
+    let rounds_to_converge = net.run_until_converged(10_000);
+    let stats = net.stats();
+    ConvergencePoint {
+        nodes: n,
+        rounds_to_converge,
+        blocks_sealed: stats.blocks_sealed,
+        canonical_height: net.node(0).head().number,
+        reorgs: stats.reorgs,
+    }
+}
+
+/// Runs the fixed [`GOSSIP_SESSIONS`]-session workload over `n` nodes
+/// and measures it, asserting convergence and termination first.
+pub fn measure_gossip(n: usize) -> GossipPoint {
+    let mut sched =
+        NetworkScheduler::new(mixed_specs(GOSSIP_SESSIONS), n, PoolConfig::default(), None);
+    let start = Instant::now();
+    let reports = sched.run();
+    let elapsed_ns = start.elapsed().as_nanos();
+    for r in &reports {
+        assert!(
+            r.outcome.is_some() || r.error.is_some(),
+            "session {} did not settle",
+            r.id
+        );
+    }
+    assert!(sched.network().converged(), "network failed to converge");
+    let stats = sched.network().stats();
+    GossipPoint {
+        nodes: n,
+        sessions: GOSSIP_SESSIONS,
+        elapsed_ns,
+        frames_delivered: stats.frames_delivered,
+        blocks_sealed: stats.blocks_sealed,
+        reorgs: stats.reorgs,
+    }
+}
+
+/// Measures both experiments at every node count.
+pub fn measure() -> NetworkReport {
+    NetworkReport {
+        convergence: NODE_COUNTS.into_iter().map(measure_convergence).collect(),
+        gossip: NODE_COUNTS.into_iter().map(measure_gossip).collect(),
+    }
+}
+
+/// Path of the JSON artifact at the repository root.
+pub fn artifact_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_network.json")
+}
+
+/// Runs the measurement, writes `BENCH_network.json` at the repo root
+/// and returns the report.
+pub fn run_and_write() -> std::io::Result<NetworkReport> {
+    let report = measure();
+    std::fs::write(artifact_path(), report.to_json())?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convergence_smoke_4_nodes() {
+        let p = measure_convergence(4);
+        assert_eq!(p.nodes, 4);
+        assert!(p.blocks_sealed > 0, "partition must seal competing blocks");
+        assert!(p.reorgs > 0, "healing must reorg the losing side");
+        assert!(p.orphan_rate() > 0.0 && p.orphan_rate() < 1.0);
+    }
+
+    #[test]
+    fn gossip_smoke_2_nodes() {
+        let p = measure_gossip(2);
+        assert_eq!(p.sessions, GOSSIP_SESSIONS);
+        assert!(p.frames_delivered > 0, "gossip must actually flow");
+        assert!(p.blocks_sealed > 0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let r = NetworkReport {
+            convergence: vec![ConvergencePoint {
+                nodes: 4,
+                rounds_to_converge: 3,
+                blocks_sealed: 12,
+                canonical_height: 6,
+                reorgs: 2,
+            }],
+            gossip: vec![GossipPoint {
+                nodes: 4,
+                sessions: 8,
+                elapsed_ns: 2_000_000_000,
+                frames_delivered: 100,
+                blocks_sealed: 20,
+                reorgs: 0,
+            }],
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"orphan_rate\": 0.500"));
+        assert!(json.contains("\"sessions_per_sec\": 4.000"));
+        assert!(json.contains("\"frames_per_sec\": 50.0"));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

@@ -314,6 +314,24 @@ fn parallel_light_abort_rate_256(doc: &Json) -> Option<f64> {
         .as_f64()
 }
 
+fn network_point_at<'a>(doc: &'a Json, section: &str, nodes: f64) -> Option<&'a Json> {
+    doc.find_in(section, |p| {
+        p.get("nodes").and_then(Json::as_f64) == Some(nodes)
+    })
+}
+
+fn network_convergence_rounds_8(doc: &Json) -> Option<f64> {
+    network_point_at(doc, "convergence", 8.0)?
+        .get("rounds_to_converge")?
+        .as_f64()
+}
+
+fn network_orphan_rate_8(doc: &Json) -> Option<f64> {
+    network_point_at(doc, "convergence", 8.0)?
+        .get("orphan_rate")?
+        .as_f64()
+}
+
 /// Every metric the CI gate enforces.
 pub fn registry() -> Vec<Metric> {
     vec![
@@ -346,6 +364,21 @@ pub fn registry() -> Vec<Metric> {
             name: "parallel light abort_rate @256",
             extract: parallel_light_abort_rate_256,
             tolerance: Tolerance::AbsoluteMax(0.0),
+        },
+        // Deterministic network numbers: convergence is a pure function
+        // of the round protocol, so any rise means gossip or fork
+        // choice regressed, not the machine.
+        Metric {
+            file: "BENCH_network.json",
+            name: "network convergence rounds @8",
+            extract: network_convergence_rounds_8,
+            tolerance: Tolerance::MaxRisePct(50.0),
+        },
+        Metric {
+            file: "BENCH_network.json",
+            name: "network orphan_rate @8",
+            extract: network_orphan_rate_8,
+            tolerance: Tolerance::AbsoluteMax(0.6),
         },
     ]
 }

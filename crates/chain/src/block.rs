@@ -1,6 +1,7 @@
-//! Blocks and transaction receipts.
+//! Blocks, headers, and transaction receipts.
 
 use crate::tx::SignedTransaction;
+use crate::wire::{self, WireError};
 use sc_crypto::keccak256;
 use sc_evm::host::LogEntry;
 use sc_evm::VmError;
@@ -64,6 +65,137 @@ pub struct Block {
     pub gas_used: u64,
 }
 
+/// A block header on its own: the commitments without the transaction
+/// bodies. This is everything a light client tracks — enough to verify
+/// chain linkage (`parent_hash`), pick between forks (height with hash
+/// tiebreak), and check storage proofs against `state_root`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// Height.
+    pub number: u64,
+    /// Unix timestamp.
+    pub timestamp: u64,
+    /// Hash of the parent block.
+    pub parent_hash: H256,
+    /// Root of the account trie after this block.
+    pub state_root: H256,
+    /// Root of the receipts trie for this block.
+    pub receipts_root: H256,
+    /// Total gas used by the block.
+    pub gas_used: u64,
+    /// Hashes of the included transactions, in order. The block hash
+    /// commits to these, so a header can't silently claim a different
+    /// body than the full block it summarizes.
+    pub tx_hashes: Vec<H256>,
+    /// This header's hash — always recomputed locally from the fields
+    /// above, never trusted from the wire.
+    pub hash: H256,
+}
+
+/// The one hashing core shared by full blocks and bare headers: keccak
+/// of the RLP `[number, timestamp, parent_hash, state_root,
+/// receipts_root, gas_used, [tx_hashes]]`.
+fn hash_header_parts(
+    number: u64,
+    timestamp: u64,
+    parent_hash: H256,
+    state_root: H256,
+    receipts_root: H256,
+    gas_used: u64,
+    tx_hashes: &[H256],
+) -> H256 {
+    let tx_items: Vec<Item> = tx_hashes
+        .iter()
+        .map(|h| Item::bytes(h.0.to_vec()))
+        .collect();
+    let payload = rlp::encode_list(&[
+        Item::u64(number),
+        Item::u64(timestamp),
+        Item::bytes(parent_hash.0.to_vec()),
+        Item::bytes(state_root.0.to_vec()),
+        Item::bytes(receipts_root.0.to_vec()),
+        Item::u64(gas_used),
+        Item::List(tx_items),
+    ]);
+    keccak256(&payload)
+}
+
+impl Header {
+    /// Builds a header from its fields, computing the hash.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        number: u64,
+        timestamp: u64,
+        parent_hash: H256,
+        state_root: H256,
+        receipts_root: H256,
+        gas_used: u64,
+        tx_hashes: Vec<H256>,
+    ) -> Header {
+        let hash = hash_header_parts(
+            number,
+            timestamp,
+            parent_hash,
+            state_root,
+            receipts_root,
+            gas_used,
+            &tx_hashes,
+        );
+        Header {
+            number,
+            timestamp,
+            parent_hash,
+            state_root,
+            receipts_root,
+            gas_used,
+            tx_hashes,
+            hash,
+        }
+    }
+
+    /// Canonical wire bytes of the seven hashed fields. The hash itself
+    /// is never serialized — receivers recompute it.
+    pub fn encode(&self) -> Vec<u8> {
+        let tx_items: Vec<Item> = self
+            .tx_hashes
+            .iter()
+            .map(|h| Item::bytes(h.0.to_vec()))
+            .collect();
+        rlp::encode_list(&[
+            Item::u64(self.number),
+            Item::u64(self.timestamp),
+            Item::bytes(self.parent_hash.0.to_vec()),
+            Item::bytes(self.state_root.0.to_vec()),
+            Item::bytes(self.receipts_root.0.to_vec()),
+            Item::u64(self.gas_used),
+            Item::List(tx_items),
+        ])
+    }
+
+    /// Decodes wire bytes produced by [`Header::encode`], recomputing
+    /// the hash from the decoded fields.
+    pub fn decode(bytes: &[u8]) -> Result<Header, WireError> {
+        let item = rlp::decode(bytes)?;
+        let items = wire::as_list(&item, "header: expected list")?;
+        if items.len() != 7 {
+            return Err(WireError::Malformed("header: expected 7 fields"));
+        }
+        let tx_hashes = wire::as_list(&items[6], "header: tx hashes")?
+            .iter()
+            .map(|it| wire::as_h256(it, "header: tx hash"))
+            .collect::<Result<Vec<H256>, WireError>>()?;
+        Ok(Header::new(
+            wire::as_u64(&items[0], "header: number")?,
+            wire::as_u64(&items[1], "header: timestamp")?,
+            wire::as_h256(&items[2], "header: parent_hash")?,
+            wire::as_h256(&items[3], "header: state_root")?,
+            wire::as_h256(&items[4], "header: receipts_root")?,
+            wire::as_u64(&items[5], "header: gas_used")?,
+            tx_hashes,
+        ))
+    }
+}
+
 impl Block {
     /// Computes a block hash from the header fields — including the
     /// state and receipts commitments and the gas total, so tampering
@@ -77,20 +209,85 @@ impl Block {
         gas_used: u64,
         transactions: &[SignedTransaction],
     ) -> H256 {
-        let tx_hashes: Vec<Item> = transactions
+        let tx_hashes: Vec<H256> = transactions.iter().map(|t| t.hash()).collect();
+        hash_header_parts(
+            number,
+            timestamp,
+            parent_hash,
+            state_root,
+            receipts_root,
+            gas_used,
+            &tx_hashes,
+        )
+    }
+
+    /// The header view of this block: same hash, no transaction bodies.
+    pub fn header(&self) -> Header {
+        Header {
+            number: self.number,
+            timestamp: self.timestamp,
+            parent_hash: self.parent_hash,
+            state_root: self.state_root,
+            receipts_root: self.receipts_root,
+            gas_used: self.gas_used,
+            tx_hashes: self.transactions.iter().map(|t| t.hash()).collect(),
+            hash: self.hash,
+        }
+    }
+
+    /// Canonical wire bytes: the six header fields followed by the full
+    /// transaction bodies (each as its signed nine-item RLP).
+    pub fn encode(&self) -> Vec<u8> {
+        let tx_items: Vec<Item> = self.transactions.iter().map(|t| t.rlp_item()).collect();
+        rlp::encode_list(&[
+            Item::u64(self.number),
+            Item::u64(self.timestamp),
+            Item::bytes(self.parent_hash.0.to_vec()),
+            Item::bytes(self.state_root.0.to_vec()),
+            Item::bytes(self.receipts_root.0.to_vec()),
+            Item::u64(self.gas_used),
+            Item::List(tx_items),
+        ])
+    }
+
+    /// Decodes wire bytes produced by [`Block::encode`], recomputing the
+    /// block hash from the decoded contents — so a gossiped block's
+    /// identity is always locally derived, never trusted.
+    pub fn decode(bytes: &[u8]) -> Result<Block, WireError> {
+        let item = rlp::decode(bytes)?;
+        let items = wire::as_list(&item, "block: expected list")?;
+        if items.len() != 7 {
+            return Err(WireError::Malformed("block: expected 7 fields"));
+        }
+        let transactions = wire::as_list(&items[6], "block: txs")?
             .iter()
-            .map(|t| Item::bytes(t.hash().0.to_vec()))
-            .collect();
-        let payload = rlp::encode_list(&[
-            Item::u64(number),
-            Item::u64(timestamp),
-            Item::bytes(parent_hash.0.to_vec()),
-            Item::bytes(state_root.0.to_vec()),
-            Item::bytes(receipts_root.0.to_vec()),
-            Item::u64(gas_used),
-            Item::List(tx_hashes),
-        ]);
-        keccak256(&payload)
+            .map(SignedTransaction::from_item)
+            .collect::<Result<Vec<SignedTransaction>, WireError>>()?;
+        let number = wire::as_u64(&items[0], "block: number")?;
+        let timestamp = wire::as_u64(&items[1], "block: timestamp")?;
+        let parent_hash = wire::as_h256(&items[2], "block: parent_hash")?;
+        let state_root = wire::as_h256(&items[3], "block: state_root")?;
+        let receipts_root = wire::as_h256(&items[4], "block: receipts_root")?;
+        let gas_used = wire::as_u64(&items[5], "block: gas_used")?;
+        let hash = Block::compute_hash(
+            number,
+            timestamp,
+            parent_hash,
+            state_root,
+            receipts_root,
+            gas_used,
+            &transactions,
+        );
+        Ok(Block {
+            number,
+            timestamp,
+            parent_hash,
+            hash,
+            state_root,
+            receipts_root,
+            transactions,
+            gas_used,
+        })
     }
 }
 
@@ -161,6 +358,72 @@ mod tests {
         assert_ne!(h1, hash_with(1, 100, H256::ZERO, 0), "state root");
         assert_ne!(h1, hash_with(1, 100, empty_root(), 21_000), "gas used");
         assert_eq!(h1, hash_with(1, 100, empty_root(), 0));
+    }
+
+    #[test]
+    fn header_matches_block_and_roundtrips() {
+        use crate::tx::{Transaction, Wallet};
+        use sc_primitives::U256;
+        let alice = Wallet::from_seed("alice");
+        let tx = Transaction {
+            nonce: 0,
+            gas_price: sc_primitives::gwei(1),
+            gas_limit: 21_000,
+            to: Some(Address([0x11; 20])),
+            value: U256::ONE,
+            data: vec![],
+        }
+        .sign(&alice.key);
+        let hash = Block::compute_hash(
+            7,
+            1000,
+            H256([3; 32]),
+            H256([4; 32]),
+            empty_root(),
+            21_000,
+            std::slice::from_ref(&tx),
+        );
+        let block = Block {
+            number: 7,
+            timestamp: 1000,
+            parent_hash: H256([3; 32]),
+            hash,
+            state_root: H256([4; 32]),
+            receipts_root: empty_root(),
+            transactions: vec![tx],
+            gas_used: 21_000,
+        };
+        let header = block.header();
+        assert_eq!(header.hash, block.hash, "header hashes like the block");
+        let decoded_header = Header::decode(&header.encode()).unwrap();
+        assert_eq!(decoded_header, header);
+        let decoded_block = Block::decode(&block.encode()).unwrap();
+        assert_eq!(decoded_block, block);
+        assert_eq!(decoded_block.hash, block.hash, "identity re-derived");
+    }
+
+    #[test]
+    fn decode_recomputes_hash_from_contents() {
+        // Tampering with an encoded block changes the locally derived
+        // hash — a peer can't forward a block under a false identity.
+        let block = Block {
+            number: 1,
+            timestamp: 50,
+            parent_hash: H256([9; 32]),
+            hash: Block::compute_hash(1, 50, H256([9; 32]), H256([2; 32]), empty_root(), 0, &[]),
+            state_root: H256([2; 32]),
+            receipts_root: empty_root(),
+            transactions: vec![],
+            gas_used: 0,
+        };
+        let mut tampered = block.clone();
+        tampered.state_root = H256([5; 32]); // keep the stale hash field
+        let decoded = Block::decode(&tampered.encode()).unwrap();
+        assert_ne!(decoded.hash, block.hash);
+        assert_eq!(
+            decoded.hash,
+            Block::compute_hash(1, 50, H256([9; 32]), H256([5; 32]), empty_root(), 0, &[])
+        );
     }
 
     #[test]

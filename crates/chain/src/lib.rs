@@ -13,23 +13,32 @@
 //!   of a storage slot against a header's `state_root`.
 //! * [`parallel`] — optimistic parallel block execution
 //!   ([`parallel::ExecMode`], Block-STM-style speculation).
-//! * [`testnet`] — the [`testnet::Testnet`] facade.
+//! * [`wire`] — RLP wire codec for gossiped blocks, headers and
+//!   transactions (identities re-derived locally on decode).
+//! * [`light`] — [`light::HeaderClient`]: a light client tracking
+//!   verified headers only, serving proof-checked storage reads.
+//! * [`testnet`] — the [`testnet::Testnet`] facade, including block
+//!   import, fork choice and reorg rollback/replay.
 
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod light;
 pub mod parallel;
 pub mod proof;
 pub mod state;
 pub mod testnet;
 pub mod tx;
+pub mod wire;
 
-pub use block::{receipts_root, Block, FailureReason, Receipt};
+pub use block::{receipts_root, Block, FailureReason, Header, Receipt};
+pub use light::{HeaderClient, HeaderImport, HeaderImportError};
 pub use parallel::{ExecMode, SealReport};
 pub use proof::{ProofVerifyError, StorageProof};
-pub use state::{encode_account, Account, WorldState};
-pub use testnet::{CallResult, ChainConfig, Testnet, TxError};
+pub use state::{encode_account, Account, BlockUndo, WorldState};
+pub use testnet::{CallResult, ChainConfig, ImportError, ImportOutcome, Testnet, TxError};
 pub use tx::{SignedTransaction, Transaction, Wallet};
+pub use wire::WireError;
 // The pool types travel with the chain so downstream crates (the
 // session engine, benches) need no direct sc-mempool dependency.
 pub use sc_mempool::{Admitted, PoolConfig, PoolError, TxMeta};

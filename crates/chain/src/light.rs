@@ -1,0 +1,382 @@
+//! Light client: verified headers only, no state, no transaction bodies.
+//!
+//! A [`HeaderClient`] starts from a trusted genesis header and follows
+//! the chain by importing gossiped headers. Every import re-derives the
+//! header hash from its fields (never trusting the wire), checks chain
+//! linkage, and runs the same fork choice as a full node — height first,
+//! smaller hash as the tiebreak — so a fleet of light clients converges
+//! on the same head as the full nodes feeding them, reorgs included.
+//!
+//! Storage reads are served by checking a [`StorageProof`] against the
+//! `state_root` of a tracked header ([`HeaderClient::verified_storage`]),
+//! which is the paper's "stateless verifier" role: a session participant
+//! that holds no chain state but still refuses unproven answers.
+
+use crate::block::Header;
+use crate::proof::{ProofVerifyError, StorageProof};
+use sc_primitives::{H256, U256};
+use std::collections::HashMap;
+
+/// Outcome of a header import that did not error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HeaderImport {
+    /// The header (or its hash) was already tracked.
+    AlreadyKnown,
+    /// The header extended the canonical head.
+    Extended,
+    /// Stored on a side branch (or still detached); head unchanged.
+    Side,
+    /// A competing branch won fork choice and became canonical.
+    Reorged {
+        /// Headers removed from the canonical chain.
+        reverted: u64,
+        /// Headers that replaced them.
+        applied: u64,
+    },
+}
+
+/// Why a header import was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HeaderImportError {
+    /// The header's `hash` field does not match a hash recomputed from
+    /// its contents (only possible for hand-built headers — the wire
+    /// decoder always recomputes).
+    HashMismatch,
+}
+
+impl std::fmt::Display for HeaderImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeaderImportError::HashMismatch => {
+                write!(f, "header hash does not commit the contents")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeaderImportError {}
+
+/// A light client tracking verified headers only.
+#[derive(Clone, Debug)]
+pub struct HeaderClient {
+    /// Canonical header chain; index == height.
+    headers: Vec<Header>,
+    /// Canonical hash → height.
+    canon: HashMap<H256, u64>,
+    /// Non-canonical headers by hash: competing branches, reorg
+    /// orphans, and detached headers waiting for their parent.
+    side: HashMap<H256, Header>,
+}
+
+impl HeaderClient {
+    /// Starts a client from a trusted genesis (or checkpoint) header.
+    pub fn new(genesis: Header) -> HeaderClient {
+        let canon = HashMap::from([(genesis.hash, 0)]);
+        HeaderClient {
+            headers: vec![genesis],
+            canon,
+            side: HashMap::new(),
+        }
+    }
+
+    /// The tracked canonical head.
+    pub fn head(&self) -> &Header {
+        self.headers.last().expect("genesis always present")
+    }
+
+    /// Height of the tracked head.
+    pub fn height(&self) -> u64 {
+        self.head().number
+    }
+
+    /// Canonical header at `number`, if tracked.
+    pub fn header(&self, number: u64) -> Option<&Header> {
+        let offset = self.headers.first()?.number;
+        self.headers.get(number.checked_sub(offset)? as usize)
+    }
+
+    /// Canonical header lookup by hash.
+    pub fn header_by_hash(&self, hash: H256) -> Option<&Header> {
+        self.canon.get(&hash).and_then(|&n| self.header(n))
+    }
+
+    /// Number of non-canonical headers currently stored.
+    pub fn side_count(&self) -> usize {
+        self.side.len()
+    }
+
+    /// Imports one header: verifies its hash commits its contents,
+    /// stores it, and moves the head when fork choice prefers the
+    /// branch it completes. Detached headers are retained and reconnect
+    /// automatically once the gap fills.
+    pub fn import_header(&mut self, header: Header) -> Result<HeaderImport, HeaderImportError> {
+        let recomputed = Header::new(
+            header.number,
+            header.timestamp,
+            header.parent_hash,
+            header.state_root,
+            header.receipts_root,
+            header.gas_used,
+            header.tx_hashes.clone(),
+        );
+        if recomputed.hash != header.hash {
+            return Err(HeaderImportError::HashMismatch);
+        }
+        if self.canon.contains_key(&header.hash) || self.side.contains_key(&header.hash) {
+            return Ok(HeaderImport::AlreadyKnown);
+        }
+        self.side.insert(header.hash, header);
+        Ok(match self.adopt_best() {
+            Some((0, _)) => HeaderImport::Extended,
+            Some((reverted, applied)) => HeaderImport::Reorged { reverted, applied },
+            None => HeaderImport::Side,
+        })
+    }
+
+    /// Longest-chain fork choice, identical to the full node's.
+    fn preferred(number: u64, hash: H256, over_number: u64, over_hash: H256) -> bool {
+        number > over_number || (number == over_number && hash.0 < over_hash.0)
+    }
+
+    /// Walks `tip`'s ancestry through the side store to the canonical
+    /// chain; `None` while detached or height-inconsistent.
+    fn connected_branch(&self, tip: &Header) -> Option<(u64, Vec<Header>)> {
+        let mut rev: Vec<&Header> = vec![tip];
+        let mut cur = tip;
+        loop {
+            if let Some(&n) = self.canon.get(&cur.parent_hash) {
+                if n + 1 != cur.number {
+                    return None;
+                }
+                return Some((n, rev.into_iter().rev().cloned().collect()));
+            }
+            let parent = self.side.get(&cur.parent_hash)?;
+            if parent.number + 1 != cur.number {
+                return None;
+            }
+            rev.push(parent);
+            cur = parent;
+        }
+    }
+
+    /// Adopts the best connected branch, if any beats the head.
+    /// Returns `(reverted, applied)` when the head moved. Headers carry
+    /// no state, so a reorg is a truncate-and-extend of the header vec.
+    fn adopt_best(&mut self) -> Option<(u64, u64)> {
+        let head = (self.head().number, self.head().hash);
+        let mut best: Option<(u64, Vec<Header>)> = None;
+        for tip in self.side.values() {
+            if !Self::preferred(tip.number, tip.hash, head.0, head.1) {
+                continue;
+            }
+            if let Some(found) = self.connected_branch(tip) {
+                let better = match &best {
+                    None => true,
+                    Some((_, b)) => {
+                        let cur = b.last().expect("branch never empty");
+                        Self::preferred(tip.number, tip.hash, cur.number, cur.hash)
+                    }
+                };
+                if better {
+                    best = Some(found);
+                }
+            }
+        }
+        let (fork, branch) = best?;
+        let base = self.headers.first().expect("genesis").number;
+        let keep = (fork - base + 1) as usize;
+        let orphans = self.headers.split_off(keep);
+        let reverted = orphans.len() as u64;
+        for h in orphans {
+            self.canon.remove(&h.hash);
+            self.side.insert(h.hash, h);
+        }
+        let applied = branch.len() as u64;
+        for h in branch {
+            self.side.remove(&h.hash);
+            self.canon.insert(h.hash, h.number);
+            self.headers.push(h);
+        }
+        Some((reverted, applied))
+    }
+
+    /// Checks a storage proof against the tracked head's `state_root`,
+    /// returning the proven value. This is the only read path a light
+    /// client has — no proof, no answer. (To read against an older
+    /// tracked header, pick it with [`HeaderClient::header`] and call
+    /// [`StorageProof::verify`] directly.)
+    pub fn verified_storage(&self, proof: &StorageProof) -> Result<U256, ProofVerifyError> {
+        proof.verify(self.head().state_root)?;
+        Ok(proof.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testnet::Testnet;
+    use crate::tx::Wallet;
+    use sc_primitives::{ether, Address};
+
+    /// A chain with a deployed contract holding `42` in slot 1, plus the
+    /// proof for that slot anchored at the head.
+    fn chain_with_storage() -> (Testnet, Address, StorageProof) {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        // `PUSH1 42 PUSH1 1 SSTORE STOP` as initcode.
+        let initcode = vec![0x60, 0x2a, 0x60, 0x01, 0x55, 0x00];
+        let receipt = net.deploy(&alice, initcode, U256::ZERO, 200_000).unwrap();
+        let contract = receipt.contract_address.unwrap();
+        let proof = net.prove_storage(contract, U256::ONE);
+        (net, contract, proof)
+    }
+
+    #[test]
+    fn follows_headers_and_verifies_storage() {
+        let (mut net, _, proof) = chain_with_storage();
+        let alice = Wallet::from_seed("alice");
+        net.execute(&alice, Address([9; 20]), ether(1), vec![], 100_000)
+            .unwrap();
+
+        let mut client = HeaderClient::new(net.block(0).unwrap().header());
+        for n in 1..=net.head().number {
+            let out = client
+                .import_header(net.block(n).unwrap().header())
+                .unwrap();
+            assert_eq!(out, HeaderImport::Extended);
+        }
+        assert_eq!(client.height(), net.head().number);
+        assert_eq!(client.head().hash, net.head().hash);
+
+        // The proof was anchored at block 1; verify against that header.
+        let h1 = client.header(1).unwrap();
+        proof.verify(h1.state_root).unwrap();
+        // Against the head's root it must fail (alice's transfer moved
+        // the account trie): a light client never accepts stale proofs.
+        assert!(client.verified_storage(&proof).is_err());
+    }
+
+    #[test]
+    fn out_of_order_headers_connect_and_tampering_is_rejected() {
+        let (mut net, _, _) = chain_with_storage();
+        let alice = Wallet::from_seed("alice");
+        for _ in 0..3 {
+            net.execute(&alice, Address([9; 20]), ether(1), vec![], 100_000)
+                .unwrap();
+        }
+        let mut client = HeaderClient::new(net.block(0).unwrap().header());
+        // Newest-first delivery: everything parks, then block 1 connects
+        // the whole branch at once.
+        for n in [4u64, 3, 2] {
+            assert_eq!(
+                client
+                    .import_header(net.block(n).unwrap().header())
+                    .unwrap(),
+                HeaderImport::Side
+            );
+        }
+        assert_eq!(
+            client
+                .import_header(net.block(1).unwrap().header())
+                .unwrap(),
+            HeaderImport::Extended
+        );
+        assert_eq!(client.height(), 4);
+        assert_eq!(client.side_count(), 0);
+
+        // A header whose hash doesn't commit its fields is refused.
+        let mut forged = net.block(2).unwrap().header();
+        forged.gas_used += 1;
+        assert_eq!(
+            client.import_header(forged),
+            Err(HeaderImportError::HashMismatch)
+        );
+    }
+
+    #[test]
+    fn header_reorg_tracks_the_heavier_fork() {
+        // Two full nodes diverge; the light client hears fork A first,
+        // then the heavier fork B, and must switch.
+        let mk = || {
+            let mut net = Testnet::new();
+            net.funded_wallet("alice", ether(10));
+            net.funded_wallet("carol", ether(10));
+            net
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let alice = Wallet::from_seed("alice");
+        let carol = Wallet::from_seed("carol");
+        a.execute(&alice, Address([0xb0; 20]), ether(1), vec![], 100_000)
+            .unwrap();
+        b.execute(&carol, Address([0xda; 20]), ether(1), vec![], 100_000)
+            .unwrap();
+        b.execute(&carol, Address([0xda; 20]), ether(1), vec![], 100_000)
+            .unwrap();
+
+        let mut client = HeaderClient::new(a.block(0).unwrap().header());
+        assert_eq!(
+            client.import_header(a.block(1).unwrap().header()).unwrap(),
+            HeaderImport::Extended
+        );
+        // Equal height: whether the client switches now depends only on
+        // the hash tiebreak, so accept both shapes…
+        let mid = client.import_header(b.block(1).unwrap().header()).unwrap();
+        assert!(matches!(
+            mid,
+            HeaderImport::Side
+                | HeaderImport::Reorged {
+                    reverted: 1,
+                    applied: 1
+                }
+        ));
+        // …but once fork B is strictly heavier, the client must be on it.
+        let out = client.import_header(b.block(2).unwrap().header()).unwrap();
+        match mid {
+            HeaderImport::Side => assert_eq!(
+                out,
+                HeaderImport::Reorged {
+                    reverted: 1,
+                    applied: 2
+                }
+            ),
+            _ => assert_eq!(out, HeaderImport::Extended),
+        }
+        assert_eq!(client.head().hash, b.head().hash);
+        assert_eq!(client.side_count(), 1, "fork A's header is orphaned");
+    }
+
+    #[test]
+    fn thousand_light_clients_smoke() {
+        let (mut net, _, proof) = chain_with_storage();
+        let alice = Wallet::from_seed("alice");
+        for _ in 0..4 {
+            net.execute(&alice, Address([9; 20]), ether(1), vec![], 100_000)
+                .unwrap();
+        }
+        let headers: Vec<Header> = (0..=net.head().number)
+            .map(|n| net.block(n).unwrap().header())
+            .collect();
+        let head_hash = net.head().hash;
+
+        for i in 0..1000 {
+            let mut client = HeaderClient::new(headers[0].clone());
+            // Half the fleet receives headers in order, half reversed —
+            // both must converge on the same verified head.
+            if i % 2 == 0 {
+                for h in &headers[1..] {
+                    client.import_header(h.clone()).unwrap();
+                }
+            } else {
+                for h in headers[1..].iter().rev() {
+                    client.import_header(h.clone()).unwrap();
+                }
+            }
+            assert_eq!(client.head().hash, head_hash);
+            assert_eq!(client.side_count(), 0);
+            // Every client refuses the stale proof at its head but
+            // accepts it against the header it was anchored to.
+            assert!(client.verified_storage(&proof).is_err());
+            proof.verify(client.header(1).unwrap().state_root).unwrap();
+        }
+    }
+}

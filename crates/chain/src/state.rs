@@ -71,6 +71,33 @@ pub fn encode_storage_value(value: U256) -> Vec<u8> {
     rlp::encode(&Item::uint(value))
 }
 
+/// The undo layer for one block: every account the block touched,
+/// mapped to its full state *before* the first touch (`None` when the
+/// account did not exist yet). Applying the layer restores the world
+/// exactly as it was when the layer opened — the primitive reorg
+/// rollback is built on.
+///
+/// Layers snapshot whole accounts on first touch rather than journaling
+/// individual operations: blocks touch few accounts many times, so one
+/// clone per touched account is cheaper than an op log, and applying is
+/// order-independent.
+#[derive(Default)]
+pub struct BlockUndo {
+    accounts: HashMap<Address, Option<Account>>,
+}
+
+impl BlockUndo {
+    /// Number of accounts this layer snapshotted.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// True when the block touched no accounts.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+}
+
 /// Reversible operations recorded while executing a transaction.
 enum JournalOp {
     Balance(Address, U256),
@@ -111,6 +138,10 @@ pub struct WorldState {
     dirty_accounts: HashSet<Address>,
     /// Storage slots whose trie entry is stale.
     dirty_storage: HashMap<Address, HashSet<U256>>,
+    /// When `Some`, the open undo layer: the first mutation of each
+    /// account records its prior state. `None` (the default) disables
+    /// recording entirely, so single-chain users pay nothing.
+    undo: Option<BlockUndo>,
 }
 
 impl WorldState {
@@ -127,6 +158,7 @@ impl WorldState {
     /// Mints `amount` wei to an address outside any journal (genesis
     /// allocation / faucet).
     pub fn mint(&mut self, a: Address, amount: U256) {
+        self.touch_undo(a);
         let acct = self.accounts.entry(a).or_default();
         acct.balance = acct.balance.wrapping_add(amount);
         self.dirty_accounts.insert(a);
@@ -134,6 +166,7 @@ impl WorldState {
 
     /// Installs code directly (genesis-style; bypasses the journal).
     pub fn install_code(&mut self, a: Address, code: Vec<u8>) {
+        self.touch_undo(a);
         let acct = self.accounts.entry(a).or_default();
         acct.code_hash = keccak256(&code);
         acct.code = Arc::new(code);
@@ -177,6 +210,72 @@ impl WorldState {
         self.dirty_accounts.insert(a);
     }
 
+    /// Records an account's pre-mutation state into the open undo layer
+    /// (first touch per layer only). Every mutation entry point calls
+    /// this *before* changing anything; the journal's `revert` needs no
+    /// hook because it only rewrites accounts a mutator already touched.
+    fn touch_undo(&mut self, a: Address) {
+        if let Some(undo) = &mut self.undo {
+            undo.accounts
+                .entry(a)
+                .or_insert_with(|| self.accounts.get(&a).cloned());
+        }
+    }
+
+    /// Starts undo recording with a fresh, empty layer. Until
+    /// [`WorldState::end_undo`], every mutation snapshots the touched
+    /// account's prior state on first touch.
+    pub fn begin_undo_layer(&mut self) {
+        self.undo = Some(BlockUndo::default());
+    }
+
+    /// Closes the open undo layer and returns it, immediately opening a
+    /// fresh one (recording stays on). The chain calls this at each
+    /// seal, stacking one layer per block.
+    pub fn take_undo_layer(&mut self) -> BlockUndo {
+        self.undo.replace(BlockUndo::default()).unwrap_or_default()
+    }
+
+    /// Stops undo recording and discards any open layer.
+    pub fn end_undo(&mut self) {
+        self.undo = None;
+    }
+
+    /// True while an undo layer is open.
+    pub fn recording_undo(&self) -> bool {
+        self.undo.is_some()
+    }
+
+    /// Applies an undo layer: every snapshotted account is restored to
+    /// its pre-layer state (or removed if it did not exist). The dirty
+    /// sets are marked for the union of before/after storage keys so
+    /// the next [`WorldState::state_root`] fold reconciles the tries.
+    ///
+    /// The restore itself is *not* recorded into any open layer — the
+    /// caller sequences layers (it pops them newest-first).
+    pub fn apply_undo(&mut self, undo: BlockUndo) {
+        for (a, before) in undo.accounts {
+            let mut stale: HashSet<U256> = self
+                .accounts
+                .get(&a)
+                .map(|acct| acct.storage.keys().copied().collect())
+                .unwrap_or_default();
+            match before {
+                Some(acct) => {
+                    stale.extend(acct.storage.keys().copied());
+                    self.accounts.insert(a, acct);
+                }
+                None => {
+                    self.accounts.remove(&a);
+                }
+            }
+            for k in stale {
+                self.touch_storage(a, k);
+            }
+            self.dirty_accounts.insert(a);
+        }
+    }
+
     /// Every address ever touched, for independent state-root audits.
     /// Includes addresses whose account has since become empty — callers
     /// filter on [`Account::exists`] exactly like the fold does.
@@ -187,6 +286,7 @@ impl WorldState {
     /// Sets a balance directly, outside any journal (commit path of the
     /// optimistic executor: effects are final when applied).
     pub(crate) fn set_balance_raw(&mut self, a: Address, v: U256) {
+        self.touch_undo(a);
         self.entry(a).balance = v;
         self.dirty_accounts.insert(a);
     }
@@ -194,6 +294,7 @@ impl WorldState {
     /// Adds `delta` wei to a balance directly (the executor's
     /// commutative coinbase fee credit).
     pub(crate) fn add_balance_raw(&mut self, a: Address, delta: U256) {
+        self.touch_undo(a);
         let acct = self.entry(a);
         acct.balance = acct.balance.wrapping_add(delta);
         self.dirty_accounts.insert(a);
@@ -201,6 +302,7 @@ impl WorldState {
 
     /// Sets a nonce directly, outside any journal.
     pub(crate) fn set_nonce_raw(&mut self, a: Address, v: u64) {
+        self.touch_undo(a);
         self.entry(a).nonce = v;
         self.dirty_accounts.insert(a);
     }
@@ -208,6 +310,7 @@ impl WorldState {
     /// Installs code (with its precomputed hash) directly, outside any
     /// journal.
     pub(crate) fn set_code_raw(&mut self, a: Address, code: Arc<Vec<u8>>, hash: H256) {
+        self.touch_undo(a);
         let acct = self.entry(a);
         acct.code = code;
         acct.code_hash = hash;
@@ -217,6 +320,7 @@ impl WorldState {
     /// Writes a storage slot directly, outside any journal (zero
     /// removes the entry, like a reverted write would).
     pub(crate) fn set_storage_raw(&mut self, a: Address, key: U256, value: U256) {
+        self.touch_undo(a);
         if value.is_zero() {
             self.entry(a).storage.remove(&key);
         } else {
@@ -362,6 +466,7 @@ impl Host for WorldState {
     }
 
     fn set_storage(&mut self, a: Address, key: U256, value: U256) {
+        self.touch_undo(a);
         let prev = self.storage(a, key);
         self.journal.push(JournalOp::Storage(a, key, prev));
         self.entry(a).storage.insert(key, value);
@@ -373,6 +478,7 @@ impl Host for WorldState {
     }
 
     fn bump_nonce(&mut self, a: Address) {
+        self.touch_undo(a);
         let prev = self.nonce(a);
         self.journal.push(JournalOp::Nonce(a, prev));
         self.entry(a).nonce = prev + 1;
@@ -384,6 +490,7 @@ impl Host for WorldState {
     }
 
     fn create_contract(&mut self, a: Address) -> bool {
+        self.touch_undo(a);
         let acct = self.entry(a);
         if acct.nonce != 0 || !acct.code.is_empty() {
             return false;
@@ -414,6 +521,7 @@ impl Host for WorldState {
     }
 
     fn set_code(&mut self, a: Address, code: Vec<u8>) {
+        self.touch_undo(a);
         let prev = self.code(a);
         let prev_hash = self.code_hash(a);
         self.journal.push(JournalOp::Code(a, prev, prev_hash));
@@ -432,6 +540,8 @@ impl Host for WorldState {
             // Self-transfer: only the balance check matters.
             return true;
         }
+        self.touch_undo(from);
+        self.touch_undo(to);
         self.journal.push(JournalOp::Balance(from, from_bal));
         let to_bal = self.balance(to);
         self.journal.push(JournalOp::Balance(to, to_bal));
@@ -674,6 +784,101 @@ mod tests {
             only_account.state_root(),
             "zeroed slot equals never-written slot"
         );
+    }
+
+    #[test]
+    fn undo_layer_restores_accounts_and_root() {
+        let mut s = WorldState::new();
+        s.mint(addr(1), U256::from_u64(500));
+        s.install_code(addr(2), vec![0x00]);
+        s.set_storage(addr(2), U256::ONE, U256::from_u64(9));
+        s.clear_tx_scratch();
+        let baseline_root = s.state_root();
+        let baseline_total = s.total_balance();
+
+        s.begin_undo_layer();
+        // A "block" of mixed writes: existing accounts, fresh accounts,
+        // storage overwrite + delete, code swap, account creation.
+        s.transfer(addr(1), addr(3), U256::from_u64(100));
+        s.bump_nonce(addr(1));
+        s.set_storage(addr(2), U256::ONE, U256::from_u64(77));
+        s.set_storage(addr(2), U256::from_u64(2), U256::from_u64(5));
+        s.set_code(addr(2), vec![0x60, 0x01]);
+        s.create_contract(addr(4));
+        s.set_storage(addr(4), U256::ONE, U256::from_u64(1));
+        s.mint(addr(5), U256::from_u64(3));
+        s.clear_tx_scratch();
+        assert_ne!(s.state_root(), baseline_root);
+
+        let undo = s.take_undo_layer();
+        assert!(!undo.is_empty());
+        s.apply_undo(undo);
+        assert_eq!(s.state_root(), baseline_root, "root restored exactly");
+        assert_eq!(s.total_balance(), baseline_total);
+        assert_eq!(s.balance(addr(1)), U256::from_u64(500));
+        assert_eq!(s.nonce(addr(1)), 0);
+        assert_eq!(s.storage(addr(2), U256::ONE), U256::from_u64(9));
+        assert_eq!(s.storage(addr(2), U256::from_u64(2)), U256::ZERO);
+        assert_eq!(s.code(addr(2)).as_slice(), &[0x00]);
+        assert!(!s.account_exists(addr(3)));
+        assert!(!s.account_exists(addr(4)));
+        assert!(!s.account_exists(addr(5)));
+    }
+
+    #[test]
+    fn undo_layers_stack_per_block() {
+        let mut s = WorldState::new();
+        s.mint(addr(1), U256::from_u64(10));
+        let root0 = s.state_root();
+
+        s.begin_undo_layer();
+        s.mint(addr(1), U256::from_u64(1));
+        let root1 = s.state_root();
+        let layer1 = s.take_undo_layer();
+        s.mint(addr(2), U256::from_u64(2));
+        let layer2 = s.take_undo_layer();
+
+        // Pop newest-first, like a reorg rollback does.
+        s.apply_undo(layer2);
+        assert_eq!(s.state_root(), root1);
+        s.apply_undo(layer1);
+        assert_eq!(s.state_root(), root0);
+        assert_eq!(s.balance(addr(1)), U256::from_u64(10));
+    }
+
+    #[test]
+    fn undo_recording_off_by_default_and_after_end() {
+        let mut s = WorldState::new();
+        assert!(!s.recording_undo());
+        s.mint(addr(1), U256::ONE);
+        assert!(s.take_undo_layer().is_empty(), "nothing recorded when off");
+        s.begin_undo_layer();
+        assert!(s.recording_undo());
+        s.end_undo();
+        s.mint(addr(1), U256::ONE);
+        assert!(s.take_undo_layer().is_empty());
+    }
+
+    #[test]
+    fn undo_restores_revert_evicted_creation_storage() {
+        // The journal revert path rewrites accounts without hooks; the
+        // undo layer must still capture them (it snapshots on the
+        // *mutator* call that preceded the revert).
+        let mut s = WorldState::new();
+        s.set_storage(addr(7), U256::ONE, U256::from_u64(111));
+        s.clear_tx_scratch();
+        let root = s.state_root();
+
+        s.begin_undo_layer();
+        let snap = s.snapshot();
+        s.create_contract(addr(7));
+        s.set_storage(addr(7), U256::from_u64(3), U256::from_u64(333));
+        s.revert(snap);
+        s.clear_tx_scratch();
+        let undo = s.take_undo_layer();
+        s.apply_undo(undo);
+        assert_eq!(s.state_root(), root);
+        assert_eq!(s.storage(addr(7), U256::ONE), U256::from_u64(111));
     }
 
     #[test]

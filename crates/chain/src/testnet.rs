@@ -10,7 +10,7 @@
 use crate::block::{self, Block, FailureReason, Receipt};
 use crate::parallel::{self, ExecMode, SealReport};
 use crate::proof::StorageProof;
-use crate::state::WorldState;
+use crate::state::{BlockUndo, WorldState};
 use crate::tx::{SignedTransaction, Transaction, Wallet};
 use sc_crypto::ecdsa::recover_addresses_batch;
 use sc_evm::gas;
@@ -85,6 +85,58 @@ impl fmt::Display for TxError {
 }
 
 impl std::error::Error for TxError {}
+
+/// Why [`Testnet::import_block`] refused a gossiped block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// Replaying the block's transactions did not reproduce the header:
+    /// a signature failed to recover, an admission rule was violated,
+    /// or the recomputed `state_root` / `receipts_root` / gas total
+    /// disagreed with what the header claims.
+    InvalidBlock {
+        /// Which check failed.
+        reason: &'static str,
+    },
+    /// Adopting the block's branch would roll back below the oldest
+    /// undo layer this chain still holds (or history tracking is off).
+    TooDeep,
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::InvalidBlock { reason } => write!(f, "invalid block: {reason}"),
+            ImportError::TooDeep => write!(f, "reorg deeper than retained history"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// What [`Testnet::import_block`] did with a gossiped block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportOutcome {
+    /// The block was already canonical or already stored as a side
+    /// block — nothing changed. (Receivers use this to stop flooding.)
+    AlreadyKnown,
+    /// Stored as a side block; the canonical head did not change
+    /// (lighter branch, or its ancestry has not connected yet).
+    Side,
+    /// The block extended the canonical head directly.
+    Extended,
+    /// A heavier branch won fork choice: `reverted` canonical blocks
+    /// were rolled back and `applied` branch blocks replayed.
+    Reorged {
+        /// Canonical blocks rolled back.
+        reverted: u64,
+        /// Branch blocks applied in their place.
+        applied: u64,
+        /// Transactions that were in the reverted blocks but not in the
+        /// new branch — no receipt exists for them any more, and their
+        /// senders must resubmit.
+        orphaned_txs: Vec<SignedTransaction>,
+    },
+}
 
 /// Result of a read-only [`Testnet::call`].
 ///
@@ -203,6 +255,36 @@ pub struct Testnet {
     analysis_cache: Arc<AnalysisCache>,
     /// Executor statistics of the most recently sealed block.
     last_seal: Option<SealReport>,
+    /// Canonical hash → height index, maintained through seals and
+    /// reorgs so gossip dedup and fork-point walks are O(1) per block.
+    canon_index: HashMap<H256, u64>,
+    /// Blocks received via gossip that are not canonical (competing
+    /// branches, or blocks whose ancestry has not connected yet),
+    /// keyed by hash. Canonical blocks that a reorg orphans move here
+    /// so a counter-reorg can restore them without re-gossip.
+    side_blocks: HashMap<H256, Block>,
+    /// Per-block undo layers and rollback bookkeeping, when
+    /// [`Testnet::enable_history`] has armed reorg support.
+    history: Option<HistoryTracking>,
+}
+
+/// Rollback bookkeeping for one sealed block: the state undo layer plus
+/// the chain-level values (`minted`, clock) as they stood when the
+/// layer opened, i.e. right after the parent sealed.
+struct BlockUndoRec {
+    undo: BlockUndo,
+    minted_before: U256,
+    time_before: u64,
+}
+
+/// Reorg support state: one undo record per block sealed since history
+/// was enabled, newest last, plus the open-layer snapshot values.
+struct HistoryTracking {
+    undo_stack: Vec<BlockUndoRec>,
+    /// `minted` when the currently open undo layer began.
+    open_minted: U256,
+    /// The clock when the currently open undo layer began.
+    open_time: u64,
 }
 
 impl Testnet {
@@ -234,6 +316,7 @@ impl Testnet {
         };
         let mut state = WorldState::new();
         state.block_hashes.insert(0, genesis.hash);
+        let canon_index = HashMap::from([(genesis.hash, 0)]);
         Testnet {
             state,
             time: config.genesis_timestamp,
@@ -246,6 +329,9 @@ impl Testnet {
             minted: U256::ZERO,
             analysis_cache: Arc::new(AnalysisCache::new()),
             last_seal: None,
+            canon_index,
+            side_blocks: HashMap::new(),
+            history: None,
         }
     }
 
@@ -712,6 +798,16 @@ impl Testnet {
             transactions: txs,
             gas_used: block_gas,
         };
+        self.commit_block(&block, receipts);
+        block
+    }
+
+    /// Commit tail shared by local sealing and gossip import: indexes
+    /// the block and its receipts, maintains the 256-entry `BLOCKHASH`
+    /// window, and closes the block's undo layer when history tracking
+    /// is armed.
+    fn commit_block(&mut self, block: &Block, receipts: Vec<Receipt>) {
+        let number = block.number;
         self.state.block_hashes.insert(number, block.hash);
         // BLOCKHASH only reaches 256 ancestors: retire the hash that
         // just left the window so the map stays bounded.
@@ -727,8 +823,17 @@ impl Testnet {
             }
             self.receipts.insert(r.tx_hash, r);
         }
+        self.canon_index.insert(block.hash, number);
         self.blocks.push(block.clone());
-        block
+        if let Some(h) = &mut self.history {
+            h.undo_stack.push(BlockUndoRec {
+                undo: self.state.take_undo_layer(),
+                minted_before: h.open_minted,
+                time_before: h.open_time,
+            });
+            h.open_minted = self.minted;
+            h.open_time = self.time;
+        }
     }
 
     /// Optimistic parallel block execution: speculate every transaction
@@ -997,6 +1102,355 @@ impl Testnet {
             reverted: !out.success,
             output: out.output,
         }
+    }
+
+    // ---- multi-node support: history, block import, fork choice ----
+
+    /// Arms reorg support: from now on every sealed or imported block
+    /// closes a per-block state undo layer, so the chain can roll back
+    /// to any block boundary after this call. Multi-node operation
+    /// requires it — [`Testnet::import_block`] refuses to run unarmed,
+    /// because an import that failed halfway could not restore state.
+    pub fn enable_history(&mut self) {
+        if self.history.is_some() {
+            return;
+        }
+        self.state.begin_undo_layer();
+        self.history = Some(HistoryTracking {
+            undo_stack: Vec::new(),
+            open_minted: self.minted,
+            open_time: self.time,
+        });
+    }
+
+    /// True once [`Testnet::enable_history`] has armed reorg support.
+    pub fn history_enabled(&self) -> bool {
+        self.history.is_some()
+    }
+
+    /// How many blocks the chain can currently roll back (the undo
+    /// layers retained since history was enabled).
+    pub fn rollback_capacity(&self) -> usize {
+        self.history.as_ref().map_or(0, |h| h.undo_stack.len())
+    }
+
+    /// Number of non-canonical blocks currently stored (competing
+    /// branches and reorg orphans) — the numerator of an orphan-rate
+    /// metric.
+    pub fn side_block_count(&self) -> usize {
+        self.side_blocks.len()
+    }
+
+    /// Canonical block lookup by hash.
+    pub fn block_by_hash(&self, hash: H256) -> Option<&Block> {
+        self.canon_index.get(&hash).and_then(|&n| self.block(n))
+    }
+
+    /// True when the transaction is queued locally (outbox or pool)
+    /// but not yet mined.
+    pub fn tx_is_pending(&self, hash: H256) -> bool {
+        self.pending.iter().any(|p| p.hash == hash)
+            || self.pool.as_ref().is_some_and(|p| p.contains(hash))
+    }
+
+    /// Drops pooled transactions whose nonce the canonical chain has
+    /// already consumed — mined via an imported block, or made stale by
+    /// a reorg. Pruned hashes land in the pool's evicted log, so
+    /// callers draining evictions must check for a receipt first (a
+    /// mined-elsewhere transaction is *done*, not displaced).
+    pub fn prune_pool(&mut self) {
+        if let Some(mut pool) = self.pool.take() {
+            pool.prune(|a| self.state.nonce(a));
+            self.pool = Some(pool);
+        }
+    }
+
+    /// Longest-chain fork choice: the higher block wins; equal heights
+    /// break toward the smaller hash, so both sides of a healed
+    /// partition pick the same winner without negotiating. (Every block
+    /// has difficulty 1 here, so height *is* total difficulty.)
+    fn preferred(number: u64, hash: H256, over_number: u64, over_hash: H256) -> bool {
+        number > over_number || (number == over_number && hash.0 < over_hash.0)
+    }
+
+    /// Rolls the canonical head back one block, restoring state,
+    /// `minted`, the clock, receipts, the log index and the 256-entry
+    /// `BLOCKHASH` window to the parent's seal boundary. Out-of-band
+    /// writes since the head sealed (faucet mints) roll back too.
+    ///
+    /// Returns the orphaned block, or `None` at genesis / when history
+    /// tracking holds no layer for the head. The block is *not* moved
+    /// to the side store — callers decide its fate.
+    pub fn rollback_head_block(&mut self) -> Option<Block> {
+        if self.blocks.len() <= 1 {
+            return None;
+        }
+        let rec = self.history.as_mut()?.undo_stack.pop()?;
+        // Undo writes made since the head sealed, then the head block's
+        // own layer (newest first).
+        let open = self.state.take_undo_layer();
+        self.state.apply_undo(open);
+        self.state.apply_undo(rec.undo);
+        self.minted = rec.minted_before;
+        self.time = rec.time_before;
+        if let Some(h) = &mut self.history {
+            h.open_minted = rec.minted_before;
+            h.open_time = rec.time_before;
+        }
+
+        let block = self.blocks.pop().expect("non-genesis head");
+        self.canon_index.remove(&block.hash);
+        self.state.block_hashes.remove(&block.number);
+        if block.number >= 256 {
+            // The seal pruned this ancestor out of the window; restore it.
+            let n = block.number - 256;
+            let hash = self.blocks[n as usize].hash;
+            self.state.block_hashes.insert(n, hash);
+        }
+        for t in &block.transactions {
+            if let Some(r) = self.receipts.remove(&t.hash()) {
+                for log in &r.logs {
+                    if let Some(blocks) = self.log_index.get_mut(&log.address) {
+                        if blocks.last() == Some(&block.number) {
+                            blocks.pop();
+                        }
+                    }
+                }
+            }
+        }
+        Some(block)
+    }
+
+    /// Imports a gossiped block: verifies its hash commits its
+    /// contents, stores it, and runs fork choice. A block on the best
+    /// branch is replayed transaction by transaction with the
+    /// `state_root` / `receipts_root` / gas commitments re-verified
+    /// against the header; a heavier competing branch triggers a
+    /// rollback-and-replay reorg. Requires [`Testnet::enable_history`].
+    pub fn import_block(&mut self, block: Block) -> Result<ImportOutcome, ImportError> {
+        if self.history.is_none() {
+            return Err(ImportError::TooDeep);
+        }
+        let computed = Block::compute_hash(
+            block.number,
+            block.timestamp,
+            block.parent_hash,
+            block.state_root,
+            block.receipts_root,
+            block.gas_used,
+            &block.transactions,
+        );
+        if computed != block.hash {
+            return Err(ImportError::InvalidBlock {
+                reason: "hash does not commit the contents",
+            });
+        }
+        if self.canon_index.contains_key(&block.hash) || self.side_blocks.contains_key(&block.hash)
+        {
+            return Ok(ImportOutcome::AlreadyKnown);
+        }
+        // Uniform store-then-adopt: a direct head child is simply a
+        // depth-0 "reorg" (nothing reverted, one block applied), and the
+        // same walk picks up previously detached descendants that this
+        // block just connected.
+        self.side_blocks.insert(block.hash, block);
+        match self.try_adopt_best()? {
+            Some((0, _, _)) => Ok(ImportOutcome::Extended),
+            Some((reverted, applied, orphaned_txs)) => Ok(ImportOutcome::Reorged {
+                reverted,
+                applied,
+                orphaned_txs,
+            }),
+            None => Ok(ImportOutcome::Side),
+        }
+    }
+
+    /// Walks `tip`'s ancestry through the side-block store until it
+    /// meets the canonical chain. Returns the fork height and the
+    /// branch oldest-first; `None` while the ancestry is detached (a
+    /// gap gossip has not filled yet) or height-inconsistent.
+    fn connected_branch(&self, tip: &Block) -> Option<(u64, Vec<Block>)> {
+        let mut rev: Vec<&Block> = vec![tip];
+        let mut cur = tip;
+        loop {
+            if let Some(&n) = self.canon_index.get(&cur.parent_hash) {
+                if n + 1 != cur.number {
+                    return None;
+                }
+                return Some((n, rev.into_iter().rev().cloned().collect()));
+            }
+            let parent = self.side_blocks.get(&cur.parent_hash)?;
+            if parent.number + 1 != cur.number {
+                return None;
+            }
+            rev.push(parent);
+            cur = parent;
+        }
+    }
+
+    /// Finds the best connected side tip and adopts its branch when
+    /// fork choice prefers it over the head. Returns `Some((reverted,
+    /// applied, orphaned_txs))` when the head moved. The ordering
+    /// (height, then smaller hash) is total, so the winner is
+    /// independent of store iteration order — determinism holds.
+    fn try_adopt_best(
+        &mut self,
+    ) -> Result<Option<(u64, u64, Vec<SignedTransaction>)>, ImportError> {
+        let head = (self.head().number, self.head().hash);
+        let mut best: Option<(u64, Vec<Block>)> = None;
+        for tip in self.side_blocks.values() {
+            if !Self::preferred(tip.number, tip.hash, head.0, head.1) {
+                continue;
+            }
+            if let Some(found) = self.connected_branch(tip) {
+                let better = match &best {
+                    None => true,
+                    Some((_, b)) => {
+                        let cur = b.last().expect("branch never empty");
+                        Self::preferred(tip.number, tip.hash, cur.number, cur.hash)
+                    }
+                };
+                if better {
+                    best = Some(found);
+                }
+            }
+        }
+        let Some((fork, branch)) = best else {
+            return Ok(None);
+        };
+        self.adopt_branch(fork, branch).map(Some)
+    }
+
+    /// Rolls back to `fork` and replays `branch` (oldest-first). On a
+    /// replay failure the half-applied branch is unwound and the
+    /// original chain re-applied, so state is exactly as before.
+    fn adopt_branch(
+        &mut self,
+        fork: u64,
+        branch: Vec<Block>,
+    ) -> Result<(u64, u64, Vec<SignedTransaction>), ImportError> {
+        let depth = self.head().number - fork;
+        let feasible = self
+            .history
+            .as_ref()
+            .is_some_and(|h| h.undo_stack.len() as u64 >= depth);
+        if !feasible {
+            return Err(ImportError::TooDeep);
+        }
+        let mut orphans = Vec::with_capacity(depth as usize);
+        for _ in 0..depth {
+            orphans.push(self.rollback_head_block().expect("depth checked"));
+        }
+        orphans.reverse(); // oldest first
+        for (i, b) in branch.iter().enumerate() {
+            if let Err(e) = self.apply_block(b) {
+                // Invalid branch: unwind the part that applied and
+                // restore the original chain.
+                for _ in 0..i {
+                    self.rollback_head_block()
+                        .expect("applied blocks have undo layers");
+                }
+                for ob in &orphans {
+                    self.apply_block(ob)
+                        .expect("previously canonical blocks replay");
+                }
+                self.side_blocks.remove(&b.hash);
+                return Err(e);
+            }
+        }
+        for b in &branch {
+            self.side_blocks.remove(&b.hash);
+        }
+        let new_txs: std::collections::HashSet<H256> = branch
+            .iter()
+            .flat_map(|b| b.transactions.iter().map(SignedTransaction::hash))
+            .collect();
+        let mut orphaned_txs = Vec::new();
+        for ob in orphans {
+            for t in &ob.transactions {
+                if !new_txs.contains(&t.hash()) {
+                    orphaned_txs.push(t.clone());
+                }
+            }
+            self.side_blocks.insert(ob.hash, ob);
+        }
+        // Pooled nonces the new chain consumed are stale now.
+        self.prune_pool();
+        Ok((depth, branch.len() as u64, orphaned_txs))
+    }
+
+    /// Replays one block on top of the current head: transactions
+    /// re-validated (signature, nonce sequence, gas bounds, upfront
+    /// balance) and re-executed, commitments re-verified against the
+    /// header. Atomic — on any failure the open undo layer rewinds
+    /// every write the attempt made.
+    fn apply_block(&mut self, block: &Block) -> Result<(), ImportError> {
+        debug_assert!(self.history.is_some(), "imports require history");
+        let fail = |reason| ImportError::InvalidBlock { reason };
+        let head = self.head();
+        if block.parent_hash != head.hash || block.number != head.number + 1 {
+            return Err(fail("does not extend the head"));
+        }
+        // Sender recovery is pure: derive before touching state.
+        let mut ptxs = Vec::with_capacity(block.transactions.len());
+        for tx in &block.transactions {
+            let ptx =
+                PendingTx::derive(tx.clone()).map_err(|_| fail("signature does not recover"))?;
+            ptxs.push(ptx);
+        }
+        let (number, timestamp) = (block.number, block.timestamp);
+        self.time = timestamp;
+        let mut receipts = Vec::with_capacity(ptxs.len());
+        let mut error = None;
+        for ptx in &ptxs {
+            let tx = &ptx.signed.tx;
+            if tx.nonce != self.state.nonce(ptx.sender) {
+                error = Some("nonce out of sequence");
+                break;
+            }
+            if tx.gas_limit < ptx.intrinsic || tx.gas_limit > self.config.block_gas_limit {
+                error = Some("gas limit out of bounds");
+                break;
+            }
+            let upfront = U256::from_u64(tx.gas_limit)
+                .wrapping_mul(tx.gas_price)
+                .wrapping_add(tx.value);
+            if self.state.balance(ptx.sender) < upfront {
+                error = Some("sender cannot cover upfront cost");
+                break;
+            }
+            // Serial replay: the parallel executor is equivalence-gated
+            // to this path, so roots match however the miner sealed.
+            receipts.push(self.execute_transaction(ptx, number, timestamp));
+        }
+        let mut block_gas = 0u64;
+        for (index, receipt) in receipts.iter_mut().enumerate() {
+            receipt.tx_index = index;
+            block_gas += receipt.gas_used;
+        }
+        if error.is_none() && block_gas != block.gas_used {
+            error = Some("gas total mismatch");
+        }
+        if error.is_none() && self.config.commit_roots {
+            if self.state.state_root() != block.state_root {
+                error = Some("state root mismatch");
+            } else if block::receipts_root(receipts.iter()) != block.receipts_root {
+                error = Some("receipts root mismatch");
+            }
+        }
+        if let Some(reason) = error {
+            // Atomic failure: rewind everything the attempt wrote
+            // (including out-of-band writes the open layer held).
+            let open = self.state.take_undo_layer();
+            self.state.apply_undo(open);
+            if let Some(h) = &self.history {
+                self.minted = h.open_minted;
+                self.time = h.open_time;
+            }
+            return Err(fail(reason));
+        }
+        self.commit_block(block, receipts);
+        Ok(())
     }
 }
 
@@ -1849,5 +2303,201 @@ mod tests {
         assert!(!receipt.success);
         assert!(receipt.contract_address.is_none());
         assert_eq!(net.nonce_of(alice.address), 1);
+    }
+
+    /// Two nodes with identical genesis state (same funding, same
+    /// config), histories armed — the fixture every import/reorg test
+    /// builds on.
+    fn twin_nets() -> (Testnet, Testnet) {
+        let mk = || {
+            let mut net = Testnet::new();
+            net.funded_wallet("alice", ether(10));
+            net.funded_wallet("carol", ether(10));
+            net.enable_history();
+            net
+        };
+        (mk(), mk())
+    }
+
+    #[test]
+    fn import_extends_peer_and_replays_identically() {
+        let (mut a, mut b) = twin_nets();
+        let alice = Wallet::from_seed("alice");
+        a.execute(&alice, Address([9; 20]), ether(1), vec![], 100_000)
+            .unwrap();
+        let block = a.head().clone();
+        assert_eq!(
+            b.import_block(block.clone()).unwrap(),
+            ImportOutcome::Extended
+        );
+        assert_eq!(b.head().hash, a.head().hash);
+        assert_eq!(b.balance_of(Address([9; 20])), ether(1));
+        assert_eq!(b.nonce_of(alice.address), 1);
+        // Receipts materialize on the importer too.
+        let tx_hash = block.transactions[0].hash();
+        assert!(b.receipt(tx_hash).is_some());
+        // A second delivery (gossip echo) dedups.
+        assert_eq!(b.import_block(block).unwrap(), ImportOutcome::AlreadyKnown);
+    }
+
+    #[test]
+    fn import_rejects_tampered_blocks() {
+        let (mut a, mut b) = twin_nets();
+        let alice = Wallet::from_seed("alice");
+        a.execute(&alice, Address([9; 20]), ether(1), vec![], 100_000)
+            .unwrap();
+        let good = a.head().clone();
+
+        // Content tampered without recomputing the hash: caught by the
+        // hash check before any execution.
+        let mut forged = good.clone();
+        forged.gas_used += 1;
+        assert!(matches!(
+            b.import_block(forged),
+            Err(ImportError::InvalidBlock { reason }) if reason.contains("hash")
+        ));
+
+        // Root tampered *with* a recomputed hash: replay catches the
+        // dishonest commitment, and the failed import leaves no trace.
+        let mut forged = good.clone();
+        forged.state_root = H256([0xee; 32]);
+        forged.hash = Block::compute_hash(
+            forged.number,
+            forged.timestamp,
+            forged.parent_hash,
+            forged.state_root,
+            forged.receipts_root,
+            forged.gas_used,
+            &forged.transactions,
+        );
+        assert!(matches!(
+            b.import_block(forged),
+            Err(ImportError::InvalidBlock { reason }) if reason.contains("state root")
+        ));
+        assert_eq!(b.head().number, 0, "failed import must not advance");
+        assert_eq!(b.balance_of(Address([9; 20])), U256::ZERO);
+        assert_eq!(b.nonce_of(alice.address), 0);
+
+        // The honest original still imports cleanly afterwards.
+        assert_eq!(b.import_block(good).unwrap(), ImportOutcome::Extended);
+    }
+
+    #[test]
+    fn rollback_restores_state_receipts_and_clock() {
+        let mut net = Testnet::new();
+        let alice = net.funded_wallet("alice", ether(10));
+        net.enable_history();
+        let t0 = net.head().timestamp;
+        let r = net
+            .execute(&alice, Address([9; 20]), ether(2), vec![], 100_000)
+            .unwrap();
+        let minted = net.total_minted();
+
+        let orphan = net.rollback_head_block().expect("one layer retained");
+        assert_eq!(orphan.number, 1);
+        assert_eq!(net.head().number, 0);
+        assert_eq!(net.head().timestamp, t0);
+        assert_eq!(net.balance_of(alice.address), ether(10));
+        assert_eq!(net.balance_of(Address([9; 20])), U256::ZERO);
+        assert_eq!(net.nonce_of(alice.address), 0);
+        assert!(net.receipt(r.tx_hash).is_none());
+        assert_eq!(net.total_minted(), minted, "mints predate the block");
+        assert_eq!(net.rollback_capacity(), 0);
+        assert!(net.rollback_head_block().is_none(), "genesis stays");
+
+        // The chain keeps working: the same transfer mines again.
+        net.execute(&alice, Address([9; 20]), ether(2), vec![], 100_000)
+            .unwrap();
+        assert_eq!(net.balance_of(Address([9; 20])), ether(2));
+    }
+
+    #[test]
+    fn heavier_fork_reorgs_and_reports_orphaned_txs() {
+        let (mut a, mut b) = twin_nets();
+        let alice = Wallet::from_seed("alice");
+        let carol = Wallet::from_seed("carol");
+        // a mines one block paying bob; b mines two blocks paying dave.
+        a.execute(&alice, Address([0xb0; 20]), ether(1), vec![], 100_000)
+            .unwrap();
+        b.execute(&carol, Address([0xda; 20]), ether(1), vec![], 100_000)
+            .unwrap();
+        b.execute(&carol, Address([0xda; 20]), ether(1), vec![], 100_000)
+            .unwrap();
+        let orphaned_hash = a.head().transactions[0].hash();
+        let b1 = b.block(1).unwrap().clone();
+        let b2 = b.block(2).unwrap().clone();
+
+        // b2 arrives first: detached, parked on the side.
+        assert_eq!(a.import_block(b2.clone()).unwrap(), ImportOutcome::Side);
+        // b1 fills the gap; the two-block branch beats height 1.
+        match a.import_block(b1).unwrap() {
+            ImportOutcome::Reorged {
+                reverted,
+                applied,
+                orphaned_txs,
+            } => {
+                assert_eq!((reverted, applied), (1, 2));
+                assert_eq!(orphaned_txs.len(), 1);
+                assert_eq!(orphaned_txs[0].hash(), orphaned_hash);
+            }
+            other => panic!("expected reorg, got {other:?}"),
+        }
+        assert_eq!(a.head().hash, b2.hash);
+        assert_eq!(a.balance_of(Address([0xda; 20])), ether(2));
+        assert_eq!(a.balance_of(Address([0xb0; 20])), U256::ZERO);
+        assert!(a.receipt(orphaned_hash).is_none());
+        assert_eq!(a.side_block_count(), 1, "a's old head is now an orphan");
+        assert_eq!(a.state.total_balance(), a.total_minted());
+        // The orphaned transfer is still valid on the new chain —
+        // alice's nonce rolled back with it — so resubmission lands.
+        assert_eq!(a.nonce_of(alice.address), 0);
+        a.execute(&alice, Address([0xb0; 20]), ether(1), vec![], 100_000)
+            .unwrap();
+        assert_eq!(a.balance_of(Address([0xb0; 20])), ether(1));
+    }
+
+    #[test]
+    fn equal_height_forks_converge_on_the_smaller_hash() {
+        let (mut a, mut b) = twin_nets();
+        let alice = Wallet::from_seed("alice");
+        let carol = Wallet::from_seed("carol");
+        a.execute(&alice, Address([0xb0; 20]), ether(1), vec![], 100_000)
+            .unwrap();
+        b.execute(&carol, Address([0xda; 20]), ether(1), vec![], 100_000)
+            .unwrap();
+        let block_a = a.head().clone();
+        let block_b = b.head().clone();
+        assert_eq!(block_a.number, block_b.number);
+        let a_out = a.import_block(block_b.clone()).unwrap();
+        let b_out = b.import_block(block_a.clone()).unwrap();
+        // Exactly one side switches — the one holding the larger hash.
+        if block_a.hash.0 < block_b.hash.0 {
+            assert_eq!(a_out, ImportOutcome::Side);
+            assert!(matches!(b_out, ImportOutcome::Reorged { .. }));
+        } else {
+            assert!(matches!(a_out, ImportOutcome::Reorged { .. }));
+            assert_eq!(b_out, ImportOutcome::Side);
+        }
+        assert_eq!(a.head().hash, b.head().hash, "fork choice converges");
+    }
+
+    #[test]
+    fn import_requires_history() {
+        let (mut a, mut b) = twin_nets();
+        let alice = Wallet::from_seed("alice");
+        a.execute(&alice, Address([9; 20]), ether(1), vec![], 100_000)
+            .unwrap();
+        let mut cold = Testnet::new();
+        cold.funded_wallet("alice", ether(10));
+        cold.funded_wallet("carol", ether(10));
+        assert!(matches!(
+            cold.import_block(a.head().clone()),
+            Err(ImportError::TooDeep)
+        ));
+        // And the armed twin accepts the very same block.
+        assert_eq!(
+            b.import_block(a.head().clone()).unwrap(),
+            ImportOutcome::Extended
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! Transactions: RLP signing payloads, ECDSA signatures, sender recovery.
 
+use crate::wire::{self, WireError};
 use sc_crypto::ecdsa::{recover_address, EcdsaError, PrivateKey, Signature};
 use sc_crypto::keccak256;
 use sc_primitives::rlp::{self, Item};
@@ -81,11 +82,62 @@ impl SignedTransaction {
 
     /// Transaction hash: keccak of the full signed RLP.
     pub fn hash(&self) -> H256 {
+        keccak256(&self.encode())
+    }
+
+    /// The nine-item signed RLP — the six signing fields followed by
+    /// `v, r, s` — as a nestable [`Item`] (so a block can embed whole
+    /// transactions in its own wire encoding).
+    pub fn rlp_item(&self) -> Item {
         let mut items = self.tx.rlp_items();
         items.push(Item::u64(self.signature.v as u64));
         items.push(Item::uint(self.signature.r.to_u256()));
         items.push(Item::uint(self.signature.s.to_u256()));
-        keccak256(&rlp::encode_list(&items))
+        Item::List(items)
+    }
+
+    /// Canonical wire bytes: the same RLP the transaction hash commits
+    /// to, so `keccak(encode())` is the transaction identity on every
+    /// node that decodes it.
+    pub fn encode(&self) -> Vec<u8> {
+        rlp::encode(&self.rlp_item())
+    }
+
+    /// Decodes wire bytes produced by [`SignedTransaction::encode`].
+    ///
+    /// Only the shape is validated here; the sender is *not* recovered
+    /// (importers call [`SignedTransaction::sender`] themselves, so a
+    /// forged signature surfaces as an invalid-sender error, never as a
+    /// trusted address).
+    pub fn decode(bytes: &[u8]) -> Result<SignedTransaction, WireError> {
+        SignedTransaction::from_item(&rlp::decode(bytes)?)
+    }
+
+    /// Decodes one transaction from an already-parsed RLP item.
+    pub(crate) fn from_item(item: &Item) -> Result<SignedTransaction, WireError> {
+        let items = wire::as_list(item, "tx: expected list")?;
+        if items.len() != 9 {
+            return Err(WireError::Malformed("tx: expected 9 fields"));
+        }
+        let v = wire::as_u64(&items[6], "tx: v")?;
+        if v > u8::MAX as u64 {
+            return Err(WireError::Malformed("tx: v out of range"));
+        }
+        Ok(SignedTransaction {
+            tx: Transaction {
+                nonce: wire::as_u64(&items[0], "tx: nonce")?,
+                gas_price: wire::as_uint(&items[1], "tx: gas_price")?,
+                gas_limit: wire::as_u64(&items[2], "tx: gas_limit")?,
+                to: wire::as_opt_address(&items[3], "tx: to")?,
+                value: wire::as_uint(&items[4], "tx: value")?,
+                data: wire::as_bytes(&items[5], "tx: data")?.to_vec(),
+            },
+            signature: Signature {
+                v: v as u8,
+                r: H256::from_u256(wire::as_uint(&items[7], "tx: r")?),
+                s: H256::from_u256(wire::as_uint(&items[8], "tx: s")?),
+            },
+        })
     }
 }
 
@@ -181,6 +233,45 @@ mod tests {
     fn signing_hash_is_stable() {
         // Determinism pin: the same payload always hashes identically.
         assert_eq!(sample_tx().signing_hash(), sample_tx().signing_hash());
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_identity() {
+        let alice = Wallet::from_seed("alice");
+        for tx in [
+            sample_tx(),
+            Transaction {
+                to: None,
+                value: U256::ZERO,
+                data: vec![],
+                ..sample_tx()
+            },
+        ] {
+            let signed = tx.sign(&alice.key);
+            let decoded = SignedTransaction::decode(&signed.encode()).unwrap();
+            assert_eq!(decoded, signed);
+            assert_eq!(decoded.hash(), signed.hash());
+            assert_eq!(decoded.sender().unwrap(), alice.address);
+        }
+    }
+
+    #[test]
+    fn wire_decode_rejects_malformed() {
+        let signed = sample_tx().sign(&Wallet::from_seed("alice").key);
+        let mut bytes = signed.encode();
+        bytes.push(0x00);
+        assert!(matches!(
+            SignedTransaction::decode(&bytes),
+            Err(WireError::Rlp(_))
+        ));
+        // An 8-item list (missing s) decodes as RLP but fails the schema.
+        let mut items = signed.tx.rlp_items();
+        items.push(Item::u64(signed.signature.v as u64));
+        items.push(Item::uint(signed.signature.r.to_u256()));
+        assert!(matches!(
+            SignedTransaction::decode(&rlp::encode_list(&items)),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Wire codec for gossiped chain objects.
+//!
+//! Blocks, headers and signed transactions travel between nodes as
+//! canonical RLP so a peer can re-derive every identity locally: block
+//! and header decoders recompute the hash from the decoded fields, and
+//! transaction senders are recovered from the signature, never trusted
+//! from the wire.
+
+use sc_primitives::rlp::{self, Item};
+use sc_primitives::{Address, H256, U256};
+use std::fmt;
+
+/// Error decoding a gossiped payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The bytes are not canonical RLP.
+    Rlp(rlp::DecodeError),
+    /// The RLP decoded, but its shape doesn't match the schema; the
+    /// string names the offending field.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Rlp(e) => write!(f, "invalid RLP: {e}"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<rlp::DecodeError> for WireError {
+    fn from(e: rlp::DecodeError) -> WireError {
+        WireError::Rlp(e)
+    }
+}
+
+pub(crate) fn as_list<'a>(item: &'a Item, what: &'static str) -> Result<&'a [Item], WireError> {
+    match item {
+        Item::List(items) => Ok(items),
+        Item::Bytes(_) => Err(WireError::Malformed(what)),
+    }
+}
+
+pub(crate) fn as_uint(item: &Item, what: &'static str) -> Result<U256, WireError> {
+    item.as_uint().ok_or(WireError::Malformed(what))
+}
+
+pub(crate) fn as_u64(item: &Item, what: &'static str) -> Result<u64, WireError> {
+    as_uint(item, what)?
+        .to_u64()
+        .ok_or(WireError::Malformed(what))
+}
+
+pub(crate) fn as_h256(item: &Item, what: &'static str) -> Result<H256, WireError> {
+    match item {
+        Item::Bytes(b) if b.len() == 32 => {
+            let mut h = [0u8; 32];
+            h.copy_from_slice(b);
+            Ok(H256(h))
+        }
+        _ => Err(WireError::Malformed(what)),
+    }
+}
+
+pub(crate) fn as_bytes<'a>(item: &'a Item, what: &'static str) -> Result<&'a [u8], WireError> {
+    match item {
+        Item::Bytes(b) => Ok(b),
+        Item::List(_) => Err(WireError::Malformed(what)),
+    }
+}
+
+/// Decodes the `to` field: the empty string means contract creation,
+/// 20 raw bytes mean a call target; anything else is malformed.
+pub(crate) fn as_opt_address(
+    item: &Item,
+    what: &'static str,
+) -> Result<Option<Address>, WireError> {
+    match item {
+        Item::Bytes(b) if b.is_empty() => Ok(None),
+        Item::Bytes(b) if b.len() == 20 => {
+            let mut a = [0u8; 20];
+            a.copy_from_slice(b);
+            Ok(Some(Address(a)))
+        }
+        _ => Err(WireError::Malformed(what)),
+    }
+}

@@ -115,6 +115,22 @@ pub struct FaultPlan {
     pub max_admission_delay_secs: u64,
     /// Total pool faults allowed before admission turns perfect.
     pub pool_fault_budget: u32,
+    /// Per-round chance (‰) a network partition starts (multi-node
+    /// runs only).
+    pub partition_permille: u32,
+    /// Longest a partition may last, in gossip rounds (4..=15 — long
+    /// enough to force competing chains, short enough that the reorg
+    /// stays within retained undo history).
+    pub max_partition_rounds: u64,
+    /// Per-message chance (‰) a link holds a gossiped frame back extra
+    /// rounds (multi-node runs only).
+    pub link_delay_permille: u32,
+    /// Longest an injected link delay may hold a frame, in rounds
+    /// (1..=3).
+    pub max_link_delay_rounds: u64,
+    /// Total link faults (partitions + delays) allowed before every
+    /// link turns perfect.
+    pub link_fault_budget: u32,
 }
 
 impl FaultPlan {
@@ -138,6 +154,11 @@ impl FaultPlan {
             admission_delay_permille: 0,
             max_admission_delay_secs: 0,
             pool_fault_budget: 0,
+            partition_permille: 0,
+            max_partition_rounds: 0,
+            link_delay_permille: 0,
+            max_link_delay_rounds: 0,
+            link_fault_budget: 0,
         }
     }
 
@@ -168,6 +189,15 @@ impl FaultPlan {
             admission_delay_permille: (splitmix64(&mut s) % 201) as u32,
             max_admission_delay_secs: splitmix64(&mut s) % MAX_INJECTED_SECS + 1,
             pool_fault_budget: (splitmix64(&mut s) % 9) as u32,
+            // Link-level faults (multi-node) draw after *every* earlier
+            // field — the same append-only contract as the pool block
+            // above, so all pinned single-node chaos outcomes replay
+            // bit-identically.
+            partition_permille: (splitmix64(&mut s) % 81) as u32,
+            max_partition_rounds: splitmix64(&mut s) % 12 + 4,
+            link_delay_permille: (splitmix64(&mut s) % 151) as u32,
+            max_link_delay_rounds: splitmix64(&mut s) % 3 + 1,
+            link_fault_budget: (splitmix64(&mut s) % 7) as u32,
         }
     }
 
@@ -527,6 +557,95 @@ impl ChainFaults {
     }
 }
 
+/// A network partition drawn from a [`LinkFaults`] schedule: nodes in
+/// `side_a` cannot exchange gossip with the rest until `heal_at`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Node indices on one side of the cut (the complement forms the
+    /// other side). Never empty, never all nodes.
+    pub side_a: Vec<usize>,
+    /// First round in which traffic flows across the cut again.
+    pub heal_at: u64,
+}
+
+/// The per-network link fault state: PRNG stream, budget and the
+/// injected-fault log for partitions and per-link delivery delays.
+/// Drawn from its own stream (site 4), so arming a multi-node network
+/// never perturbs the whisper, chain or pool schedules existing chaos
+/// pins depend on.
+pub struct LinkFaults {
+    rng: XorShift64,
+    plan: FaultPlan,
+    budget: u32,
+    injected: Vec<String>,
+}
+
+impl LinkFaults {
+    /// Link fault state for one network.
+    pub fn new(plan: &FaultPlan) -> LinkFaults {
+        LinkFaults {
+            rng: plan.stream(4),
+            plan: plan.clone(),
+            budget: plan.link_fault_budget,
+            injected: Vec::new(),
+        }
+    }
+
+    /// Rolls for a partition starting this round. On a hit, cuts the
+    /// `nodes` indices into two non-empty sides and returns the cut
+    /// with its heal round; duration is 4..=`max_partition_rounds`
+    /// rounds so both sides mine competing blocks but the eventual
+    /// reorg stays within retained history.
+    pub fn maybe_partition(&mut self, round: u64, nodes: usize) -> Option<Partition> {
+        if self.budget == 0 || nodes < 2 {
+            return None;
+        }
+        let roll = self.rng.below(1000) as u32;
+        if roll >= self.plan.partition_permille {
+            return None;
+        }
+        self.budget -= 1;
+        let span = self.plan.max_partition_rounds.max(4) - 3; // 4..=max
+        let duration = self.rng.below(span) + 4;
+        // A random cut point keeps both sides non-empty.
+        let cut = self.rng.below(nodes as u64 - 1) as usize + 1;
+        let side_a: Vec<usize> = (0..cut).collect();
+        self.injected
+            .push(format!("partition {side_a:?} for {duration} rounds"));
+        Some(Partition {
+            side_a,
+            heal_at: round + duration,
+        })
+    }
+
+    /// Rolls for an injected delivery delay on one gossiped frame.
+    /// Returns the extra rounds the link holds the frame (0 = deliver
+    /// normally).
+    pub fn link_delay(&mut self) -> u64 {
+        if self.budget == 0 {
+            return 0;
+        }
+        let roll = self.rng.below(1000) as u32;
+        if roll >= self.plan.link_delay_permille {
+            return 0;
+        }
+        self.budget -= 1;
+        let extra = self.rng.below(self.plan.max_link_delay_rounds.max(1)) + 1;
+        self.injected.push(format!("link delayed {extra} rounds"));
+        extra
+    }
+
+    /// Human-readable log of every link fault injected so far.
+    pub fn injected_faults(&self) -> &[String] {
+        &self.injected
+    }
+
+    /// Link fault budget still unspent.
+    pub fn remaining_budget(&self) -> u32 {
+        self.budget
+    }
+}
+
 /// A [`Testnet`] whose convenience senders fail transiently and whose
 /// mining sometimes happens late, per the plan. Derefs to the inner
 /// chain so the full read API (`balance_of`, `storage_at`, `now`, …)
@@ -816,6 +935,107 @@ mod tests {
             let ps: Vec<SubmitFault> = (0..32).map(|_| with_pool.pre_submit()).collect();
             let qs: Vec<SubmitFault> = (0..32).map(|_| without.pre_submit()).collect();
             assert_eq!(ps, qs, "pool stream is independent of the submit stream");
+        }
+    }
+
+    #[test]
+    fn link_draws_never_perturb_earlier_fields() {
+        // Golden pin: the fifteen pre-existing plan fields for three
+        // seeds, captured before the link-fault fields were appended.
+        // If any of these move, every pinned chaos seed in the suite
+        // replays differently — the append-only contract is broken.
+        let golden: [(u64, [u64; 15]); 3] = [
+            (
+                0x5EED_C0FF_EE15_600D,
+                [
+                    227, 41, 44, 139, 231, 3, 181, 153, 103, 8, 2, 123, 155, 86, 4,
+                ],
+            ),
+            (
+                0x5eed,
+                [6, 125, 53, 102, 98, 3, 215, 248, 36, 21, 6, 154, 82, 114, 3],
+            ),
+            (
+                0x1,
+                [107, 7, 63, 280, 87, 1, 196, 178, 1, 0, 7, 133, 56, 83, 4],
+            ),
+        ];
+        for (seed, want) in golden {
+            let p = FaultPlan::from_seed(seed);
+            let got = [
+                p.drop_permille as u64,
+                p.duplicate_permille as u64,
+                p.corrupt_permille as u64,
+                p.delay_permille as u64,
+                p.reorder_permille as u64,
+                p.max_delay_polls as u64,
+                p.submit_fail_permille as u64,
+                p.mining_delay_permille as u64,
+                p.max_mining_delay_secs,
+                p.whisper_fault_budget as u64,
+                p.chain_fault_budget as u64,
+                p.gossip_drop_permille as u64,
+                p.admission_delay_permille as u64,
+                p.max_admission_delay_secs,
+                p.pool_fault_budget as u64,
+            ];
+            assert_eq!(got, want, "seed {seed:#x}: pre-link fields moved");
+        }
+        // And the appended fields respect their documented ranges.
+        for seed in 0..256u64 {
+            let p = FaultPlan::from_seed(seed);
+            assert!(p.partition_permille <= 80);
+            assert!((4..=15).contains(&p.max_partition_rounds));
+            assert!(p.link_delay_permille <= 150);
+            assert!((1..=3).contains(&p.max_link_delay_rounds));
+            assert!(p.link_fault_budget <= 6);
+        }
+    }
+
+    #[test]
+    fn link_faults_replay_are_budgeted_and_cut_both_sides() {
+        for seed in [1u64, 0x5eed, 0xdead_beef] {
+            let plan = FaultPlan {
+                // Force high rates so the budget actually gets exercised.
+                partition_permille: 500,
+                link_delay_permille: 500,
+                ..FaultPlan::from_seed(seed)
+            };
+            let run = |plan: &FaultPlan| {
+                let mut lf = LinkFaults::new(plan);
+                let mut events = Vec::new();
+                for round in 0..64u64 {
+                    if let Some(p) = lf.maybe_partition(round, 4) {
+                        events.push(format!("p {:?} {}", p.side_a, p.heal_at));
+                        assert!(!p.side_a.is_empty() && p.side_a.len() < 4);
+                        assert!(
+                            (4..=plan.max_partition_rounds).contains(&(p.heal_at - round)),
+                            "duration within bounds"
+                        );
+                    }
+                    let d = lf.link_delay();
+                    assert!(d <= plan.max_link_delay_rounds);
+                    if d > 0 {
+                        events.push(format!("d {d}"));
+                    }
+                }
+                (events, lf.remaining_budget())
+            };
+            let (ea, ba) = run(&plan);
+            let (eb, bb) = run(&plan);
+            assert_eq!(ea, eb, "same seed, same link schedule");
+            assert_eq!(ba, bb);
+            assert!(ea.len() as u32 <= plan.link_fault_budget);
+            // A spent budget means perfect links forever after.
+            if ba == 0 {
+                let mut lf = LinkFaults::new(&plan);
+                for round in 0..64u64 {
+                    lf.maybe_partition(round, 4);
+                    lf.link_delay();
+                }
+                assert!(lf.maybe_partition(64, 4).is_none());
+                assert_eq!(lf.link_delay(), 0);
+            }
         }
     }
 

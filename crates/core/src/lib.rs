@@ -21,6 +21,9 @@
 //! * [`session`] — the session engine: both protocols as resumable
 //!   state machines, plus a [`SessionScheduler`] multiplexing N
 //!   heterogeneous sessions over one shared chain with shared blocks.
+//! * [`net`] — the multi-node network: N gossiping chain nodes under
+//!   seeded partitions and link delays, longest-chain fork choice with
+//!   reorgs, and a [`NetworkScheduler`] running sessions on top.
 //! * [`invariants`] — post-run checks (ether conservation, the honest
 //!   participant floor, header Merkle-root commitments) used by the
 //!   chaos suite.
@@ -31,6 +34,7 @@ pub mod challenge_protocol;
 pub mod faults;
 pub mod generate;
 pub mod invariants;
+pub mod net;
 pub mod participant;
 pub mod protocol;
 pub mod session;
@@ -43,14 +47,15 @@ pub use challenge_protocol::{
     WatchStrategy,
 };
 pub use faults::{
-    ChainFaults, FaultPlan, FaultyWhisper, FlakyNet, NetError, SubmitFault, WhisperFaults,
-    XorShift64, MAX_INJECTED_SECS,
+    ChainFaults, FaultPlan, FaultyWhisper, FlakyNet, LinkFaults, NetError, Partition, SubmitFault,
+    WhisperFaults, XorShift64, MAX_INJECTED_SECS,
 };
 pub use generate::{generate_pair, GenerateError, GeneratedPair};
 pub use invariants::{
     check_conservation, check_honest_floor, check_state_commitments, gas_spent_by,
     InvariantViolation,
 };
+pub use net::{NetStats, Network, NetworkScheduler};
 pub use participant::{Participant, Strategy};
 pub use protocol::{
     BettingGame, GameConfig, Outcome, ProtocolError, ProtocolReport, Stage, TxRecord,

@@ -87,6 +87,24 @@ pub enum ChainPort<'a> {
         /// Admission errors from the last flush, routed back by tx hash.
         rejections: &'a mut HashMap<H256, TxError>,
     },
+    /// Multi-node mode: the session is homed on one node of a gossiping
+    /// network. Mechanically identical to `Shared` — self-sign, queue,
+    /// flush — but reorg-aware: the home chain's head can *move
+    /// backwards* when a heavier fork arrives, so verified reads
+    /// re-prove against whatever the current head commits, and
+    /// [`ChainPort::tx_known`] lets a task detect that its queued
+    /// transaction was orphaned by a reorg (no receipt, no longer
+    /// pooled) and resubmit instead of waiting forever.
+    Node {
+        /// The home node's chain.
+        net: &'a mut Testnet,
+        /// This session's chain fault schedule.
+        faults: &'a mut ChainFaults,
+        /// The round's per-node transaction queue.
+        outbox: &'a mut Vec<(Address, SignedTransaction)>,
+        /// Admission errors from the last flush, routed back by tx hash.
+        rejections: &'a mut HashMap<H256, TxError>,
+    },
 }
 
 /// Result of one [`ChainPort::submit`] attempt.
@@ -112,7 +130,7 @@ impl ChainPort<'_> {
     pub fn now(&self) -> u64 {
         match self {
             ChainPort::Immediate(net) => net.now(),
-            ChainPort::Shared { net, .. } => net.now(),
+            ChainPort::Shared { net, .. } | ChainPort::Node { net, .. } => net.now(),
         }
     }
 
@@ -120,7 +138,7 @@ impl ChainPort<'_> {
     pub fn head_timestamp(&self) -> u64 {
         match self {
             ChainPort::Immediate(net) => net.head().timestamp,
-            ChainPort::Shared { net, .. } => net.head().timestamp,
+            ChainPort::Shared { net, .. } | ChainPort::Node { net, .. } => net.head().timestamp,
         }
     }
 
@@ -134,7 +152,7 @@ impl ChainPort<'_> {
         };
         match self {
             ChainPort::Immediate(net) => lookup(net),
-            ChainPort::Shared { net, .. } => lookup(net),
+            ChainPort::Shared { net, .. } | ChainPort::Node { net, .. } => lookup(net),
         }
     }
 
@@ -142,7 +160,7 @@ impl ChainPort<'_> {
     pub fn storage_at(&self, a: Address, key: U256) -> U256 {
         match self {
             ChainPort::Immediate(net) => net.storage_at(a, key),
-            ChainPort::Shared { net, .. } => net.storage_at(a, key),
+            ChainPort::Shared { net, .. } | ChainPort::Node { net, .. } => net.storage_at(a, key),
         }
     }
 
@@ -157,10 +175,15 @@ impl ChainPort<'_> {
     /// sessions' faucet funding has already moved the live state past
     /// the last seal, the proof necessarily anchors to the root the
     /// *next* header will commit; it still binds the value to the trie.
+    /// In `Node` mode the anchoring is what makes reads reorg-safe: a
+    /// proof generated before a reorg would anchor to the orphaned
+    /// fork's root, but this method fetches a *fresh* proof from the
+    /// live trie on every call, so after a rollback-and-replay it
+    /// re-proves against exactly what the current head commits.
     pub fn verified_storage_at(&mut self, a: Address, key: U256) -> Result<U256, ProofVerifyError> {
         let net: &mut Testnet = match self {
             ChainPort::Immediate(net) => net,
-            ChainPort::Shared { net, .. } => net,
+            ChainPort::Shared { net, .. } | ChainPort::Node { net, .. } => net,
         };
         let proof = net.prove_storage(a, key);
         let sealed = net.head().state_root;
@@ -174,18 +197,43 @@ impl ChainPort<'_> {
     }
 
     /// Mints balance for a session wallet (scheduler-funded sessions).
+    /// Multi-node sessions are funded at genesis instead — an
+    /// out-of-band mint on one node would desynchronize replay
+    /// verification of its blocks on every other node.
     pub fn faucet(&mut self, a: Address, amount: U256) {
         match self {
             ChainPort::Immediate(net) => net.faucet(a, amount),
-            ChainPort::Shared { net, .. } => net.faucet(a, amount),
+            ChainPort::Shared { net, .. } | ChainPort::Node { net, .. } => net.faucet(a, amount),
         }
     }
 
-    /// Receipt of a previously queued transaction, once mined.
+    /// Receipt of a previously queued transaction, once mined. In
+    /// `Node` mode this reflects the *canonical* chain only: a reorg
+    /// that orphans the transaction makes the receipt disappear again.
     pub fn receipt(&self, hash: H256) -> Option<Receipt> {
         match self {
             ChainPort::Immediate(net) => net.receipt(hash).cloned(),
-            ChainPort::Shared { net, .. } => net.receipt(hash).cloned(),
+            ChainPort::Shared { net, .. } | ChainPort::Node { net, .. } => {
+                net.receipt(hash).cloned()
+            }
+        }
+    }
+
+    /// True while the chain still knows about a queued transaction:
+    /// mined (receipt), pooled/outboxed (awaiting a block), or queued in
+    /// this round's outbox. `false` in `Node` mode means a reorg
+    /// orphaned it *and* the new branch didn't re-include it — the task
+    /// must resubmit. Single-chain modes can never lose a transaction,
+    /// so they are always `true` (which keeps pinned single-node chaos
+    /// schedules untouched).
+    pub fn tx_known(&self, hash: H256) -> bool {
+        match self {
+            ChainPort::Immediate(_) | ChainPort::Shared { .. } => true,
+            ChainPort::Node { net, outbox, .. } => {
+                net.receipt(hash).is_some()
+                    || net.tx_is_pending(hash)
+                    || outbox.iter().any(|(_, tx)| tx.hash() == hash)
+            }
         }
     }
 
@@ -194,7 +242,9 @@ impl ChainPort<'_> {
     pub fn take_rejection(&mut self, hash: H256) -> Option<TxError> {
         match self {
             ChainPort::Immediate(_) => None,
-            ChainPort::Shared { rejections, .. } => rejections.remove(&hash),
+            ChainPort::Shared { rejections, .. } | ChainPort::Node { rejections, .. } => {
+                rejections.remove(&hash)
+            }
         }
     }
 
@@ -203,7 +253,9 @@ impl ChainPort<'_> {
     pub fn default_gas_price(&self) -> U256 {
         match self {
             ChainPort::Immediate(net) => net.config().default_gas_price,
-            ChainPort::Shared { net, .. } => net.config().default_gas_price,
+            ChainPort::Shared { net, .. } | ChainPort::Node { net, .. } => {
+                net.config().default_gas_price
+            }
         }
     }
 
@@ -238,6 +290,12 @@ impl ChainPort<'_> {
                 }
             }
             ChainPort::Shared {
+                net,
+                faults,
+                outbox,
+                ..
+            }
+            | ChainPort::Node {
                 net,
                 faults,
                 outbox,

@@ -107,6 +107,18 @@ impl TxTask {
     /// queued transaction) and reports how to proceed.
     pub fn poll(&mut self, chain: &mut ChainPort<'_>) -> TaskPoll {
         if let Some(hash) = self.in_flight {
+            // Receipt first: on a multi-node chain a transaction can be
+            // mined via a *gossiped* block and still show up in the
+            // eviction log when the pool prunes its now-stale nonce. A
+            // mined transaction is done — a routed rejection for it is a
+            // stale price signal, not a failure. (Single-chain modes
+            // never produce both, so the order is observationally
+            // unchanged there.)
+            if let Some(r) = chain.receipt(hash) {
+                self.in_flight = None;
+                let _ = chain.take_rejection(hash);
+                return TaskPoll::Landed(r);
+            }
             if let Some(e) = chain.take_rejection(hash) {
                 self.in_flight = None;
                 // Fee-market rejections (pooled mode) are price signals,
@@ -125,13 +137,15 @@ impl TxTask {
                     other => return TaskPoll::Rejected(other),
                 }
             }
-            return match chain.receipt(hash) {
-                Some(r) => {
-                    self.in_flight = None;
-                    TaskPoll::Landed(r)
-                }
-                None => TaskPoll::Pending,
-            };
+            if chain.tx_known(hash) {
+                return TaskPoll::Pending;
+            }
+            // The transaction vanished: a reorg orphaned it and the new
+            // branch didn't re-include it (node mode only — single-chain
+            // ports report every queued transaction as known). Fall
+            // through to resubmission against the new canonical chain,
+            // still bounded by the deadline and the attempt cap.
+            self.in_flight = None;
         }
         if let Some(d) = self.deadline {
             if chain.now() >= d {

@@ -178,6 +178,92 @@ struct Slot {
     error: Option<String>,
 }
 
+/// Compiled contracts shared across sessions of one run (compiled once
+/// per variant, cloned into each session that needs them).
+#[derive(Default)]
+pub(crate) struct ContractCache {
+    betting: Option<(OnChainContract, OffChainContract)>,
+    challenge: Option<ChallengeContracts>,
+}
+
+/// The deterministic wallets a session slot plays with, derivable from
+/// the slot id alone — what lets a multi-node run pre-fund every
+/// participant at genesis, before the session even exists.
+pub(crate) fn session_wallets(id: usize) -> [sc_chain::Wallet; 2] {
+    [
+        sc_chain::Wallet::from_seed(&format!("s{id}-alice")),
+        sc_chain::Wallet::from_seed(&format!("s{id}-bob")),
+    ]
+}
+
+/// Builds one session state machine from its spec.
+///
+/// `topic` namespaces the session's off-chain traffic on the shared
+/// bus; `funding` is minted to each participant at the session's first
+/// step — `None` when the wallets are pre-funded at genesis, which
+/// multi-node runs require (an out-of-band mint on one node would break
+/// replay verification of its blocks everywhere else).
+///
+/// Returns the boxed machine, its kind label, and the fault seed.
+pub(crate) fn build_session(
+    id: usize,
+    spec: SessionSpec,
+    topic: String,
+    funding: Option<sc_primitives::U256>,
+    contracts: &mut ContractCache,
+) -> (Box<dyn Session>, &'static str, Option<u64>) {
+    match spec {
+        SessionSpec::Betting(s) => {
+            let pair = contracts
+                .betting
+                .get_or_insert_with(|| (OnChainContract::new(), OffChainContract::new()))
+                .clone();
+            let session = BettingSession::new(BettingSessionParams {
+                alice: Participant::with_strategy(&format!("s{id}-alice"), s.alice),
+                bob: Participant::with_strategy(&format!("s{id}-bob"), s.bob),
+                config: GameConfig {
+                    phase_seconds: s.phase_seconds,
+                    secrets: s.secrets,
+                },
+                topic,
+                contracts: pair,
+                timeline: None,
+                start_delay: s.start_delay,
+                funding,
+            });
+            (
+                Box::new(session) as Box<dyn Session>,
+                "betting",
+                s.fault_seed,
+            )
+        }
+        SessionSpec::Challenge(s) => {
+            let pair = contracts
+                .challenge
+                .get_or_insert_with(ChallengeContracts::new)
+                .clone();
+            let session = ChallengeSession::new(ChallengeSessionParams {
+                alice: Participant::honest(&format!("s{id}-alice")),
+                bob: Participant::honest(&format!("s{id}-bob")),
+                secrets: s.secrets,
+                window: s.window,
+                contracts: pair,
+                timeline: None,
+                start_delay: s.start_delay,
+                funding,
+                submit: s.submit,
+                watch: s.watch,
+                crash: s.crash,
+            });
+            (
+                Box::new(session) as Box<dyn Session>,
+                "challenge",
+                s.fault_seed,
+            )
+        }
+    }
+}
+
 /// Drives N sessions to completion over one shared [`Testnet`] and one
 /// shared [`Whisper`] bus.
 pub struct SessionScheduler {
@@ -202,62 +288,18 @@ impl SessionScheduler {
     /// from the slot id (`"s<id>-alice"` / `"s<id>-bob"`) and are funded
     /// with 1000 ether each at the session's first step.
     pub fn new(specs: Vec<SessionSpec>) -> SessionScheduler {
-        let mut betting_contracts: Option<(OnChainContract, OffChainContract)> = None;
-        let mut challenge_contracts: Option<ChallengeContracts> = None;
+        let mut contracts = ContractCache::default();
         let slots = specs
             .into_iter()
             .enumerate()
             .map(|(id, spec)| {
-                let (session, kind, seed): (Box<dyn Session>, _, _) = match spec {
-                    SessionSpec::Betting(s) => {
-                        let contracts = betting_contracts
-                            .get_or_insert_with(|| {
-                                (OnChainContract::new(), OffChainContract::new())
-                            })
-                            .clone();
-                        let session = BettingSession::new(BettingSessionParams {
-                            alice: Participant::with_strategy(&format!("s{id}-alice"), s.alice),
-                            bob: Participant::with_strategy(&format!("s{id}-bob"), s.bob),
-                            config: GameConfig {
-                                phase_seconds: s.phase_seconds,
-                                secrets: s.secrets,
-                            },
-                            topic: Topic::scoped(id as u64, "signed-copy"),
-                            contracts,
-                            timeline: None,
-                            start_delay: s.start_delay,
-                            funding: Some(ether(1000)),
-                        });
-                        (
-                            Box::new(session) as Box<dyn Session>,
-                            "betting",
-                            s.fault_seed,
-                        )
-                    }
-                    SessionSpec::Challenge(s) => {
-                        let contracts = challenge_contracts
-                            .get_or_insert_with(ChallengeContracts::new)
-                            .clone();
-                        let session = ChallengeSession::new(ChallengeSessionParams {
-                            alice: Participant::honest(&format!("s{id}-alice")),
-                            bob: Participant::honest(&format!("s{id}-bob")),
-                            secrets: s.secrets,
-                            window: s.window,
-                            contracts,
-                            timeline: None,
-                            start_delay: s.start_delay,
-                            funding: Some(ether(1000)),
-                            submit: s.submit,
-                            watch: s.watch,
-                            crash: s.crash,
-                        });
-                        (
-                            Box::new(session) as Box<dyn Session>,
-                            "challenge",
-                            s.fault_seed,
-                        )
-                    }
-                };
+                let (session, kind, seed) = build_session(
+                    id,
+                    spec,
+                    Topic::scoped(id as u64, "signed-copy"),
+                    Some(ether(1000)),
+                    &mut contracts,
+                );
                 let plan = match seed {
                     Some(seed) => FaultPlan::from_seed(seed),
                     None => FaultPlan::none(),

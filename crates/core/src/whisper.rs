@@ -38,6 +38,26 @@ impl Topic {
     pub fn scoped(session_id: u64, name: &str) -> String {
         format!("session/{session_id}/{name}")
     }
+
+    /// The node-scoped topic `node/<i>/<name>`, e.g.
+    /// `Topic::node_scoped(2, "blocks")` → `"node/2/blocks"`.
+    ///
+    /// In a multi-node run every node's gossip inbox (blocks, pooled
+    /// transactions) and the session traffic *homed* on that node live
+    /// under its own numeric namespace, so two nodes sharing one bus can
+    /// never read each other's inbound frames — the network layer alone
+    /// decides what crosses between nodes, which is what makes
+    /// partitions enforceable.
+    pub fn node_scoped(node_id: usize, name: &str) -> String {
+        format!("node/{node_id}/{name}")
+    }
+
+    /// A session topic homed on one node: `node/<i>/session/<id>/<name>`.
+    /// Sessions running on different nodes of the same network stay
+    /// isolated even with identical session ids.
+    pub fn node_session(node_id: usize, session_id: u64, name: &str) -> String {
+        format!("node/{node_id}/session/{session_id}/{name}")
+    }
 }
 
 /// A topic-based broadcast bus with per-reader cursors.
@@ -189,6 +209,36 @@ mod tests {
         let s1 = w.poll(addr(9), &t1);
         assert_eq!(s1.len(), 2);
         assert!(s1.iter().all(|e| e.payload != vec![0xa0]));
+    }
+
+    #[test]
+    fn node_scoped_topics_cannot_bleed_across_nodes() {
+        // Two nodes share one bus. Node 0's block inbox and node 1's
+        // block inbox are distinct topics, and a crafted session name
+        // cannot alias another node's namespace because the node id is
+        // numeric and the layout is fixed.
+        let mut w = Whisper::new();
+        let n0 = Topic::node_scoped(0, "blocks");
+        let n1 = Topic::node_scoped(1, "blocks");
+        assert_ne!(n0, n1);
+        w.post(addr(1), &n0, vec![0xb0]);
+        w.post(addr(1), &n1, vec![0xb1]);
+        let got = w.poll(addr(9), &n0);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, vec![0xb0]);
+
+        // Same session id on two different nodes: isolated.
+        let s_on_0 = Topic::node_session(0, 7, "signed-copies");
+        let s_on_1 = Topic::node_session(1, 7, "signed-copies");
+        assert_ne!(s_on_0, s_on_1);
+        w.post(addr(2), &s_on_0, vec![0xc0]);
+        assert!(w.poll(addr(9), &s_on_1).is_empty());
+        assert_eq!(w.poll(addr(9), &s_on_0).len(), 1);
+
+        // No crafted name collides with another node's gossip inbox:
+        // "session/…" under node 0 can't equal any node_scoped(1, …).
+        assert_ne!(Topic::node_scoped(0, "session/1/blocks"), n1);
+        assert_ne!(Topic::node_session(0, 1, "blocks"), n1);
     }
 
     #[test]

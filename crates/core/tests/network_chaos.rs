@@ -1,0 +1,172 @@
+//! Partition-chaos suite: protocol sessions over a 4-node gossiping
+//! network under seeded link faults (partitions, delivery delays) *and*
+//! per-session chain/whisper faults, with invariants checked on every
+//! node after every run.
+//!
+//! Property checked per seed:
+//!
+//! * the run **terminates** — every session reaches a valid outcome or
+//!   degrades to a reported protocol error (never a panic, never a hang);
+//! * every node **converges** on one canonical head once the chaos
+//!   stops;
+//! * **ether is conserved** on every node, and every node's header
+//!   commitments (`state_root`, `receipts_root`) re-verify from scratch
+//!   — reorgs must leave no trace of orphaned branches in state;
+//! * the run is **bit-identical** per seed: heads, stats and outcomes.
+//!
+//! Every failure message contains the single `u64` seed that reproduces
+//! it. The default sweep keeps tier-1 fast; the 64-seed matrix is
+//! `#[ignore]`d and run in release mode by the CI `partition-chaos` job:
+//!
+//! ```sh
+//! cargo test --release -p sc-core --test network_chaos -- --ignored --nocapture
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use sc_chain::PoolConfig;
+use sc_core::{
+    check_conservation, check_state_commitments, BettingSpec, ChallengeSpec, CrashPoint,
+    NetworkScheduler, SessionSpec, Strategy, SubmitStrategy, WatchStrategy, XorShift64,
+};
+
+/// Base of the pinned seed schedule — the same base the single-chain
+/// chaos suite uses, so one constant governs every CI sweep.
+const CHAOS_BASE_SEED: u64 = 0x5EED_C0FF_EE15_600D;
+
+/// Seeds in CI's pinned full sweep.
+const FULL_SWEEP: usize = 64;
+
+/// Seeds in the default (tier-1) sweep.
+const QUICK_SWEEP: usize = 4;
+
+/// Nodes in every chaos network.
+const NODES: usize = 4;
+
+fn chaos_seeds(n: usize) -> Vec<u64> {
+    let mut rng = XorShift64::new(CHAOS_BASE_SEED);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+/// Runs `f`; on panic, re-panics with the reproducing seed in the
+/// message so one `u64` is all a debugging session needs.
+fn with_seed<T>(seed: u64, what: &str, f: impl FnOnce() -> T) -> T {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => v,
+        Err(cause) => {
+            let msg = cause
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| cause.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic");
+            panic!("network chaos failure in {what} (reproduce with seed {seed:#018x}): {msg}");
+        }
+    }
+}
+
+/// The session mix homed across the nodes: honest and byzantine betting
+/// games plus truthful and false-submission challenge games, two of
+/// them carrying their own chain/whisper fault schedules derived from
+/// the network seed.
+fn mixed_specs(seed: u64) -> Vec<SessionSpec> {
+    vec![
+        SessionSpec::Betting(BettingSpec::default()),
+        SessionSpec::Betting(BettingSpec {
+            alice: Strategy::SilentLoser,
+            fault_seed: Some(seed ^ 0x1),
+            start_delay: 600,
+            ..BettingSpec::default()
+        }),
+        SessionSpec::Challenge(ChallengeSpec::default()),
+        SessionSpec::Challenge(ChallengeSpec {
+            submit: SubmitStrategy::False,
+            watch: WatchStrategy::Vigilant,
+            crash: CrashPoint::None,
+            fault_seed: Some(seed ^ 0x2),
+            start_delay: 1200,
+            ..ChallengeSpec::default()
+        }),
+    ]
+}
+
+/// One network run under `seed`: returns the fingerprint a determinism
+/// check compares (heads, stats, per-session outcome/error).
+fn network_cell(seed: u64) -> (Vec<sc_primitives::H256>, sc_core::NetStats, Vec<String>) {
+    let mut sched =
+        NetworkScheduler::new(mixed_specs(seed), NODES, PoolConfig::default(), Some(seed));
+    let reports = sched.run();
+
+    // Termination with grace: every session either finished with a
+    // valid outcome or degraded to a *reported* protocol error.
+    for r in &reports {
+        assert!(
+            r.outcome.is_some() || r.error.is_some(),
+            "session {} ({}) settled without outcome or error",
+            r.id,
+            r.kind
+        );
+    }
+
+    let net = sched.network();
+    assert!(
+        net.converged(),
+        "nodes failed to converge: heads {:?}, stats {:?}",
+        net.heads(),
+        net.stats()
+    );
+    assert!(
+        !net.frames_in_flight(),
+        "run ended with gossip frames still queued"
+    );
+    for i in 0..net.len() {
+        check_conservation(net.node(i)).unwrap_or_else(|e| panic!("conservation on node {i}: {e}"));
+        check_state_commitments(net.node(i))
+            .unwrap_or_else(|e| panic!("commitments on node {i}: {e}"));
+    }
+
+    let fingerprint: Vec<String> = reports
+        .iter()
+        .map(|r| format!("{}:{:?}:{:?}", r.id, r.outcome, r.error))
+        .collect();
+    (net.heads(), net.stats(), fingerprint)
+}
+
+fn sweep(seeds: &[u64]) {
+    for &seed in seeds {
+        let stats = with_seed(seed, "network run", || network_cell(seed)).1;
+        println!(
+            "network chaos seed {seed:#018x}: converged after {} rounds, \
+             {} blocks sealed, {} reorgs (max depth {}), {} partitions, \
+             {} orphans resubmitted",
+            stats.rounds,
+            stats.blocks_sealed,
+            stats.reorgs,
+            stats.max_reorg_depth,
+            stats.partitions,
+            stats.orphans_resubmitted
+        );
+    }
+}
+
+#[test]
+fn network_chaos_small_sweep() {
+    sweep(&chaos_seeds(QUICK_SWEEP));
+}
+
+/// The CI partition-chaos job's pinned 64-seed sweep. Run:
+/// `cargo test --release -p sc-core --test network_chaos -- --ignored --nocapture`
+#[test]
+#[ignore = "64-seed partition sweep; run in release by the CI partition-chaos job"]
+fn network_chaos_full_sweep_64_seeds() {
+    sweep(&chaos_seeds(FULL_SWEEP));
+}
+
+/// Same seed ⇒ bit-identical network: every node's head, the aggregate
+/// stats, and every session's outcome and error string.
+#[test]
+fn network_chaos_runs_are_deterministic_per_seed() {
+    let seed = chaos_seeds(1)[0];
+    let a = with_seed(seed, "determinism run A", || network_cell(seed));
+    let b = with_seed(seed, "determinism run B", || network_cell(seed));
+    assert_eq!(a, b, "same seed produced different networks");
+}
