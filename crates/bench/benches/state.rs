@@ -1,0 +1,80 @@
+//! S4 — flat-state engine: read latency across three decades of
+//! account count, seal-time folding, and pruning-archive memory.
+//!
+//! Prints the read-latency curve at 10k / 100k / 1M accounts and the
+//! 10 000-block pruning churn, writes `BENCH_state.json` at the
+//! repository root, asserts the acceptance bounds (1M-account reads
+//! within 1.5× of 10k; archived trie nodes plateau within 1.5× of the
+//! halfway mark), then Criterion-times the 10k-account read point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::print_gas_table;
+use sc_bench::state::{artifact_path, measure_read_point, run_and_write};
+
+fn print_comparison() {
+    let report = run_and_write().expect("write BENCH_state.json");
+    let mut rows: Vec<(&str, String)> = report
+        .read_points
+        .iter()
+        .map(|p| {
+            let label: &str = match p.accounts {
+                10_000 => "reads @ 10k accounts",
+                100_000 => "reads @ 100k accounts",
+                _ => "reads @ 1M accounts",
+            };
+            (label, format!("{:>7.1} ns mean", p.mean_read_ns))
+        })
+        .collect();
+    rows.push((
+        "1M / 10k read ratio",
+        format!("{:.3}×", report.read_ratio_largest_over_smallest()),
+    ));
+    rows.push((
+        "seal (fold + archive)",
+        format!(
+            "{:>7.1} µs mean over {} blocks (window {})",
+            report.seal.mean_seal_ns / 1e3,
+            report.seal.blocks,
+            report.seal.window,
+        ),
+    ));
+    rows.push((
+        "archived trie nodes",
+        format!(
+            "mid {} / peak {} ({:.3}× plateau), live {}",
+            report.seal.mid_trie_nodes,
+            report.seal.peak_trie_nodes,
+            report.seal.plateau_ratio(),
+            report.seal.live_trie_nodes,
+        ),
+    ));
+    print_gas_table(
+        "S4 — flat-state reads, seal time and pruned trie memory",
+        &rows,
+    );
+    println!("  wrote {}", artifact_path().display());
+
+    let ratio = report.read_ratio_largest_over_smallest();
+    assert!(
+        ratio <= 1.5,
+        "flat-read latency scaled with account count: 1M is {ratio:.3}× the 10k point"
+    );
+    let plateau = report.seal.plateau_ratio();
+    assert!(
+        plateau <= 1.5,
+        "pruning archive failed to plateau: peak is {plateau:.3}× the halfway node count"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_comparison();
+    let mut group = c.benchmark_group("state");
+    group.sample_size(10);
+    group.bench_function("flat_reads/10k_accounts", |b| {
+        b.iter(|| measure_read_point(10_000, 100_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -14,6 +14,7 @@ pub mod parallel_evm;
 pub mod pipeline;
 pub mod regress;
 pub mod sessions;
+pub mod state;
 pub mod trie;
 
 use sc_chain::Testnet;

@@ -332,6 +332,14 @@ fn network_orphan_rate_8(doc: &Json) -> Option<f64> {
         .as_f64()
 }
 
+fn state_read_ratio(doc: &Json) -> Option<f64> {
+    doc.get("read_ratio_largest_over_smallest")?.as_f64()
+}
+
+fn state_plateau_ratio(doc: &Json) -> Option<f64> {
+    doc.get("seal")?.get("plateau_ratio")?.as_f64()
+}
+
 /// Every metric the CI gate enforces.
 pub fn registry() -> Vec<Metric> {
     vec![
@@ -379,6 +387,20 @@ pub fn registry() -> Vec<Metric> {
             name: "network orphan_rate @8",
             extract: network_orphan_rate_8,
             tolerance: Tolerance::AbsoluteMax(0.6),
+        },
+        // Flat-state engine: reads must stay O(1) in account count and
+        // the pruning window must bound trie-node memory.
+        Metric {
+            file: "BENCH_state.json",
+            name: "state flat-read ratio 1M/10k",
+            extract: state_read_ratio,
+            tolerance: Tolerance::AbsoluteMax(1.5),
+        },
+        Metric {
+            file: "BENCH_state.json",
+            name: "state trie-node plateau ratio",
+            extract: state_plateau_ratio,
+            tolerance: Tolerance::AbsoluteMax(1.5),
         },
     ]
 }

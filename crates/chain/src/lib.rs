@@ -5,7 +5,12 @@
 //! sealing with controllable timestamps, receipts, and exact Yellow-Paper
 //! gas settlement (intrinsic gas, refund cap, miner payment).
 //!
-//! * [`state`] — journaled [`state::WorldState`] implementing `sc_evm::Host`.
+//! * [`overlay`] — flat-state [`overlay::StateOverlay`]: the `(address,
+//!   slot) → value` maps every read and write hits, with per-block
+//!   [`overlay::DiffLayer`]s recording first-touch priors.
+//! * [`state`] — journaled [`state::WorldState`] implementing `sc_evm::Host`
+//!   over the overlay, reconciling tries at seal time and archiving
+//!   retained-window roots for pruning + historical proofs.
 //! * [`tx`] — transactions, signing, [`tx::Wallet`].
 //! * [`block`] — blocks and [`block::Receipt`]s, sealed with
 //!   `state_root` / `receipts_root` Merkle commitments.
@@ -24,6 +29,7 @@
 
 pub mod block;
 pub mod light;
+pub mod overlay;
 pub mod parallel;
 pub mod proof;
 pub mod state;
@@ -33,9 +39,10 @@ pub mod wire;
 
 pub use block::{receipts_root, Block, FailureReason, Header, Receipt};
 pub use light::{HeaderClient, HeaderImport, HeaderImportError};
+pub use overlay::{Account, DiffLayer, StateOverlay};
 pub use parallel::{ExecMode, SealReport};
 pub use proof::{ProofVerifyError, StorageProof};
-pub use state::{encode_account, Account, BlockUndo, WorldState};
+pub use state::{encode_account, SnapshotError, WorldState};
 pub use testnet::{CallResult, ChainConfig, ImportError, ImportOutcome, Testnet, TxError};
 pub use tx::{SignedTransaction, Transaction, Wallet};
 pub use wire::WireError;

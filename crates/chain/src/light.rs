@@ -202,11 +202,27 @@ impl HeaderClient {
 
     /// Checks a storage proof against the tracked head's `state_root`,
     /// returning the proven value. This is the only read path a light
-    /// client has — no proof, no answer. (To read against an older
-    /// tracked header, pick it with [`HeaderClient::header`] and call
-    /// [`StorageProof::verify`] directly.)
+    /// client has — no proof, no answer.
     pub fn verified_storage(&self, proof: &StorageProof) -> Result<U256, ProofVerifyError> {
         proof.verify(self.head().state_root)?;
+        Ok(proof.value)
+    }
+
+    /// Checks a storage proof against the `state_root` of the tracked
+    /// canonical header at `number` — the historical-read counterpart
+    /// of [`HeaderClient::verified_storage`], pairing with a full
+    /// node's archive proofs ([`crate::testnet::Testnet::prove_storage_at`]).
+    /// Fails with [`ProofVerifyError::UntrackedHeader`] when the client
+    /// does not track that height.
+    pub fn verified_storage_at(
+        &self,
+        number: u64,
+        proof: &StorageProof,
+    ) -> Result<U256, ProofVerifyError> {
+        let header = self
+            .header(number)
+            .ok_or(ProofVerifyError::UntrackedHeader(number))?;
+        proof.verify(header.state_root)?;
         Ok(proof.value)
     }
 }
@@ -249,8 +265,11 @@ mod tests {
         assert_eq!(client.head().hash, net.head().hash);
 
         // The proof was anchored at block 1; verify against that header.
-        let h1 = client.header(1).unwrap();
-        proof.verify(h1.state_root).unwrap();
+        assert_eq!(client.verified_storage_at(1, &proof).unwrap(), proof.value);
+        assert_eq!(
+            client.verified_storage_at(99, &proof),
+            Err(ProofVerifyError::UntrackedHeader(99))
+        );
         // Against the head's root it must fail (alice's transfer moved
         // the account trie): a light client never accepts stale proofs.
         assert!(client.verified_storage(&proof).is_err());

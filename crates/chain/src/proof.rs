@@ -30,6 +30,9 @@ pub enum ProofVerifyError {
         /// What the proof claimed.
         claimed: U256,
     },
+    /// The verifier holds no header for this block number, so there is
+    /// no trusted root to check the proof against.
+    UntrackedHeader(u64),
 }
 
 impl fmt::Display for ProofVerifyError {
@@ -41,6 +44,9 @@ impl fmt::Display for ProofVerifyError {
                 f,
                 "storage proof value mismatch: root commits {proven}, claimed {claimed}"
             ),
+            ProofVerifyError::UntrackedHeader(n) => {
+                write!(f, "no tracked header for block {n}")
+            }
         }
     }
 }
@@ -113,7 +119,7 @@ impl StorageProof {
 
 /// Pulls `storage_root` out of an RLP `[nonce, balance, storage_root,
 /// code_hash]` account leaf.
-fn decode_storage_root(account_rlp: &[u8]) -> Option<H256> {
+pub(crate) fn decode_storage_root(account_rlp: &[u8]) -> Option<H256> {
     let Ok(Item::List(fields)) = rlp::decode(account_rlp) else {
         return None;
     };

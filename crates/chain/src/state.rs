@@ -1,58 +1,26 @@
-//! Journaled world state: the chain's implementation of [`sc_evm::Host`].
+//! Journaled world state over the flat [`StateOverlay`]: the chain's
+//! implementation of [`sc_evm::Host`], plus the seal-time trie fold,
+//! the pruning archive, and deterministic snapshot export/import.
+//!
+//! Reads and writes never touch a Merkle trie — they hit the overlay's
+//! flat maps and mark dirty sets. [`WorldState::state_root`] reconciles
+//! the authenticated tries from those sets once per block (batched,
+//! folding big batches across threads), and when pruning is enabled
+//! ([`WorldState::enable_pruning`]) each seal also commits the changed
+//! trie spines into a refcounted [`TrieArchive`] window so historical
+//! roots stay provable while node memory stays bounded.
 
+use crate::overlay::StateOverlay;
 use sc_crypto::keccak256;
 use sc_evm::host::{Host, LogEntry};
 use sc_primitives::rlp::{self, Item};
 use sc_primitives::{Address, H256, U256};
-use sc_trie::SecureTrie;
-use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, OnceLock};
+use sc_trie::{ProofError, SecureTrie, TrieArchive};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
 
-/// `keccak256("")` — the code hash of every codeless account.
-pub fn empty_code_hash() -> H256 {
-    static EMPTY: OnceLock<H256> = OnceLock::new();
-    *EMPTY.get_or_init(|| keccak256(&[]))
-}
-
-/// A single account: EOA (no code) or contract account.
-#[derive(Clone, Debug)]
-pub struct Account {
-    /// Transaction / creation counter.
-    pub nonce: u64,
-    /// Balance in wei.
-    pub balance: U256,
-    /// Runtime code (empty for EOAs).
-    pub code: Arc<Vec<u8>>,
-    /// `keccak256(code)`, maintained on every code write so the EVM's
-    /// analysis-cache key costs a field read instead of a hash.
-    pub code_hash: H256,
-    /// Contract storage.
-    pub storage: HashMap<U256, U256>,
-    /// Root of the account's storage trie as of the last
-    /// [`WorldState::state_root`] fold ([`sc_trie::empty_root`] for an
-    /// account that has never stored anything).
-    pub storage_root: H256,
-}
-
-impl Default for Account {
-    fn default() -> Self {
-        Account {
-            nonce: 0,
-            balance: U256::ZERO,
-            code: Arc::default(),
-            code_hash: empty_code_hash(),
-            storage: HashMap::new(),
-            storage_root: sc_trie::empty_root(),
-        }
-    }
-}
-
-impl Account {
-    /// True iff the account is distinguishable from a nonexistent one.
-    pub fn exists(&self) -> bool {
-        self.nonce != 0 || !self.balance.is_zero() || !self.code.is_empty()
-    }
-}
+pub use crate::overlay::{empty_code_hash, Account, DiffLayer};
 
 /// Canonical RLP account encoding committed into the account trie:
 /// `[nonce, balance, storage_root, code_hash]`.
@@ -71,33 +39,6 @@ pub fn encode_storage_value(value: U256) -> Vec<u8> {
     rlp::encode(&Item::uint(value))
 }
 
-/// The undo layer for one block: every account the block touched,
-/// mapped to its full state *before* the first touch (`None` when the
-/// account did not exist yet). Applying the layer restores the world
-/// exactly as it was when the layer opened — the primitive reorg
-/// rollback is built on.
-///
-/// Layers snapshot whole accounts on first touch rather than journaling
-/// individual operations: blocks touch few accounts many times, so one
-/// clone per touched account is cheaper than an op log, and applying is
-/// order-independent.
-#[derive(Default)]
-pub struct BlockUndo {
-    accounts: HashMap<Address, Option<Account>>,
-}
-
-impl BlockUndo {
-    /// Number of accounts this layer snapshotted.
-    pub fn len(&self) -> usize {
-        self.accounts.len()
-    }
-
-    /// True when the block touched no accounts.
-    pub fn is_empty(&self) -> bool {
-        self.accounts.is_empty()
-    }
-}
-
 /// Reversible operations recorded while executing a transaction.
 enum JournalOp {
     Balance(Address, U256),
@@ -109,6 +50,50 @@ enum JournalOp {
     Refund(u64),
 }
 
+/// Why a snapshot blob was rejected by [`WorldState::import_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The RLP envelope or an account entry did not decode to the
+    /// expected shape.
+    Malformed,
+    /// Accounts were not strictly ascending by address (the canonical
+    /// form [`WorldState::export_snapshot`] emits), so the blob cannot
+    /// round-trip deterministically.
+    Unordered,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Malformed => write!(f, "malformed state snapshot"),
+            SnapshotError::Unordered => write!(f, "snapshot accounts not in canonical order"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// One sealed block's archive bookkeeping: the account-trie root it
+/// committed plus, per account whose storage root moved, the root it
+/// displaced and the one it installed ([`sc_trie::empty_root`] encodes
+/// "no storage").
+struct SealRecord {
+    account_root: H256,
+    changed: Vec<(Address, H256, H256)>,
+}
+
+/// The pruning archive: a refcounted node store holding every trie node
+/// reachable from the last `window` sealed roots, and nothing else.
+struct EngineArchive {
+    store: TrieArchive,
+    window: usize,
+    records: VecDeque<SealRecord>,
+    /// Storage root currently archived per account (absent = empty).
+    committed_storage: HashMap<Address, H256>,
+    /// Accounts whose storage trie was re-folded since the last commit.
+    pending: HashSet<Address>,
+}
+
 /// The full world state with a transaction-scoped journal.
 ///
 /// Mutations during EVM execution are journaled so nested call frames can
@@ -116,7 +101,8 @@ enum JournalOp {
 /// journal, log buffer and refund counter between transactions.
 #[derive(Default)]
 pub struct WorldState {
-    accounts: HashMap<Address, Account>,
+    /// Flat account/storage maps — the only thing reads ever touch.
+    overlay: StateOverlay,
     /// Logs emitted by the transaction currently executing.
     pub tx_logs: Vec<LogEntry>,
     /// Gas refund accumulated by the current transaction.
@@ -130,7 +116,10 @@ pub struct WorldState {
     /// dirty sets below record what changed and [`WorldState::state_root`]
     /// folds them in one pass per block.
     account_trie: SecureTrie,
-    /// Per-account storage tries keyed by `keccak(slot)`.
+    /// Per-account storage tries keyed by `keccak(slot)`. An account
+    /// destroyed or emptied by a block has its trie *dropped* at the
+    /// next fold (it no longer contributes to the root); a later
+    /// resurrection rebuilds it from the overlay's flat slots.
     storage_tries: HashMap<Address, SecureTrie>,
     /// Accounts whose trie entry is stale. Marking is conservative —
     /// reverts don't unmark — because the fold reconciles against the
@@ -138,10 +127,9 @@ pub struct WorldState {
     dirty_accounts: HashSet<Address>,
     /// Storage slots whose trie entry is stale.
     dirty_storage: HashMap<Address, HashSet<U256>>,
-    /// When `Some`, the open undo layer: the first mutation of each
-    /// account records its prior state. `None` (the default) disables
-    /// recording entirely, so single-chain users pay nothing.
-    undo: Option<BlockUndo>,
+    /// Trie-node pruning and historical-proof archive, when
+    /// [`WorldState::enable_pruning`] armed it.
+    archive: Option<EngineArchive>,
 }
 
 impl WorldState {
@@ -152,22 +140,20 @@ impl WorldState {
 
     /// Read-only account view.
     pub fn account(&self, a: Address) -> Option<&Account> {
-        self.accounts.get(&a)
+        self.overlay.account(a)
     }
 
     /// Mints `amount` wei to an address outside any journal (genesis
     /// allocation / faucet).
     pub fn mint(&mut self, a: Address, amount: U256) {
-        self.touch_undo(a);
-        let acct = self.accounts.entry(a).or_default();
+        let acct = self.overlay.account_mut(a);
         acct.balance = acct.balance.wrapping_add(amount);
         self.dirty_accounts.insert(a);
     }
 
     /// Installs code directly (genesis-style; bypasses the journal).
     pub fn install_code(&mut self, a: Address, code: Vec<u8>) {
-        self.touch_undo(a);
-        let acct = self.accounts.entry(a).or_default();
+        let acct = self.overlay.account_mut(a);
         acct.code_hash = keccak256(&code);
         acct.code = Arc::new(code);
         if acct.nonce == 0 {
@@ -187,7 +173,7 @@ impl WorldState {
 
     /// Number of existing accounts (diagnostics).
     pub fn account_count(&self) -> usize {
-        self.accounts.values().filter(|a| a.exists()).count()
+        self.overlay.account_count()
     }
 
     /// Sum of every account's balance — the whole world's wei. The EVM
@@ -195,13 +181,7 @@ impl WorldState {
     /// the chain's total minted supply after every block (the ether
     /// conservation invariant checked by the chaos suite).
     pub fn total_balance(&self) -> U256 {
-        self.accounts
-            .values()
-            .fold(U256::ZERO, |acc, a| acc.wrapping_add(a.balance))
-    }
-
-    fn entry(&mut self, a: Address) -> &mut Account {
-        self.accounts.entry(a).or_default()
+        self.overlay.total_balance()
     }
 
     /// Marks one storage slot (and its account) stale in the tries.
@@ -210,69 +190,43 @@ impl WorldState {
         self.dirty_accounts.insert(a);
     }
 
-    /// Records an account's pre-mutation state into the open undo layer
-    /// (first touch per layer only). Every mutation entry point calls
-    /// this *before* changing anything; the journal's `revert` needs no
-    /// hook because it only rewrites accounts a mutator already touched.
-    fn touch_undo(&mut self, a: Address) {
-        if let Some(undo) = &mut self.undo {
-            undo.accounts
-                .entry(a)
-                .or_insert_with(|| self.accounts.get(&a).cloned());
-        }
-    }
-
     /// Starts undo recording with a fresh, empty layer. Until
-    /// [`WorldState::end_undo`], every mutation snapshots the touched
-    /// account's prior state on first touch.
+    /// [`WorldState::end_undo`], the first touch of every account and
+    /// slot records its prior value.
     pub fn begin_undo_layer(&mut self) {
-        self.undo = Some(BlockUndo::default());
+        self.overlay.begin_recording();
     }
 
     /// Closes the open undo layer and returns it, immediately opening a
     /// fresh one (recording stays on). The chain calls this at each
     /// seal, stacking one layer per block.
-    pub fn take_undo_layer(&mut self) -> BlockUndo {
-        self.undo.replace(BlockUndo::default()).unwrap_or_default()
+    pub fn take_undo_layer(&mut self) -> DiffLayer {
+        self.overlay.take_layer()
     }
 
     /// Stops undo recording and discards any open layer.
     pub fn end_undo(&mut self) {
-        self.undo = None;
+        self.overlay.stop_recording();
     }
 
     /// True while an undo layer is open.
     pub fn recording_undo(&self) -> bool {
-        self.undo.is_some()
+        self.overlay.recording()
     }
 
-    /// Applies an undo layer: every snapshotted account is restored to
-    /// its pre-layer state (or removed if it did not exist). The dirty
-    /// sets are marked for the union of before/after storage keys so
-    /// the next [`WorldState::state_root`] fold reconciles the tries.
+    /// Applies an undo layer: every recorded prior is restored, and the
+    /// dirty sets are marked so the next [`WorldState::state_root`] fold
+    /// reconciles the tries.
     ///
     /// The restore itself is *not* recorded into any open layer — the
     /// caller sequences layers (it pops them newest-first).
-    pub fn apply_undo(&mut self, undo: BlockUndo) {
-        for (a, before) in undo.accounts {
-            let mut stale: HashSet<U256> = self
-                .accounts
-                .get(&a)
-                .map(|acct| acct.storage.keys().copied().collect())
-                .unwrap_or_default();
-            match before {
-                Some(acct) => {
-                    stale.extend(acct.storage.keys().copied());
-                    self.accounts.insert(a, acct);
-                }
-                None => {
-                    self.accounts.remove(&a);
-                }
-            }
-            for k in stale {
-                self.touch_storage(a, k);
-            }
+    pub fn apply_undo(&mut self, undo: DiffLayer) {
+        let (accounts, slots) = self.overlay.apply_layer(undo);
+        for a in accounts {
             self.dirty_accounts.insert(a);
+        }
+        for (a, k) in slots {
+            self.touch_storage(a, k);
         }
     }
 
@@ -280,38 +234,34 @@ impl WorldState {
     /// Includes addresses whose account has since become empty — callers
     /// filter on [`Account::exists`] exactly like the fold does.
     pub fn addresses(&self) -> Vec<Address> {
-        self.accounts.keys().copied().collect()
+        self.overlay.addresses()
     }
 
     /// Sets a balance directly, outside any journal (commit path of the
     /// optimistic executor: effects are final when applied).
     pub(crate) fn set_balance_raw(&mut self, a: Address, v: U256) {
-        self.touch_undo(a);
-        self.entry(a).balance = v;
+        self.overlay.account_mut(a).balance = v;
         self.dirty_accounts.insert(a);
     }
 
     /// Adds `delta` wei to a balance directly (the executor's
     /// commutative coinbase fee credit).
     pub(crate) fn add_balance_raw(&mut self, a: Address, delta: U256) {
-        self.touch_undo(a);
-        let acct = self.entry(a);
+        let acct = self.overlay.account_mut(a);
         acct.balance = acct.balance.wrapping_add(delta);
         self.dirty_accounts.insert(a);
     }
 
     /// Sets a nonce directly, outside any journal.
     pub(crate) fn set_nonce_raw(&mut self, a: Address, v: u64) {
-        self.touch_undo(a);
-        self.entry(a).nonce = v;
+        self.overlay.account_mut(a).nonce = v;
         self.dirty_accounts.insert(a);
     }
 
     /// Installs code (with its precomputed hash) directly, outside any
     /// journal.
     pub(crate) fn set_code_raw(&mut self, a: Address, code: Arc<Vec<u8>>, hash: H256) {
-        self.touch_undo(a);
-        let acct = self.entry(a);
+        let acct = self.overlay.account_mut(a);
         acct.code = code;
         acct.code_hash = hash;
         self.dirty_accounts.insert(a);
@@ -320,12 +270,7 @@ impl WorldState {
     /// Writes a storage slot directly, outside any journal (zero
     /// removes the entry, like a reverted write would).
     pub(crate) fn set_storage_raw(&mut self, a: Address, key: U256, value: U256) {
-        self.touch_undo(a);
-        if value.is_zero() {
-            self.entry(a).storage.remove(&key);
-        } else {
-            self.entry(a).storage.insert(key, value);
-        }
+        self.overlay.set_storage(a, key, value);
         self.touch_storage(a, key);
     }
 
@@ -343,36 +288,90 @@ impl WorldState {
         // concurrently when the batch is big enough to pay for threads.
         let mut jobs: Vec<StorageFoldJob> = std::mem::take(&mut self.dirty_storage)
             .into_iter()
-            .map(|(a, keys)| {
+            .map(|(a, mut keys)| {
                 self.dirty_accounts.insert(a);
+                let trie = match self.storage_tries.remove(&a) {
+                    Some(t) => t,
+                    None => {
+                        // No cached trie (fresh account, or dropped when
+                        // the account was destroyed): fold every live
+                        // slot so the rebuild is complete, not just the
+                        // dirty subset.
+                        keys.extend(self.overlay.slot_keys(a));
+                        SecureTrie::new()
+                    }
+                };
                 StorageFoldJob {
                     address: a,
                     keys,
-                    trie: self.storage_tries.remove(&a).unwrap_or_default(),
+                    trie,
                     root: H256::ZERO,
                 }
             })
             .collect();
-        fold_storage_jobs(&self.accounts, &mut jobs);
+        fold_storage_jobs(self.overlay.storage_map(), &mut jobs);
         for job in jobs {
-            if let Some(acct) = self.accounts.get_mut(&job.address) {
-                acct.storage_root = job.root;
+            self.overlay.set_storage_root(job.address, job.root);
+            // An emptied trie is dropped, not retained: it contributes
+            // nothing to any root and would otherwise pin node memory.
+            if !job.trie.is_empty() {
+                self.storage_tries.insert(job.address, job.trie);
             }
-            self.storage_tries.insert(job.address, job.trie);
         }
         for a in std::mem::take(&mut self.dirty_accounts) {
-            match self.accounts.get(&a) {
-                Some(acct) if acct.exists() => {
-                    let enc =
-                        encode_account(acct.nonce, acct.balance, acct.storage_root, acct.code_hash);
-                    self.account_trie.insert(a.as_bytes(), enc);
+            // Every dirty account is an archive candidate: destruction
+            // drops a storage root and resurrection re-introduces one
+            // even when no slot was written this block. Unchanged roots
+            // are skipped cheaply at commit (memoized root compare).
+            if let Some(arch) = &mut self.archive {
+                arch.pending.insert(a);
+            }
+            let meta = self
+                .overlay
+                .account(a)
+                .map(|acct| (acct.exists(), acct.nonce, acct.balance, acct.code_hash));
+            match meta {
+                Some((true, nonce, balance, code_hash)) => {
+                    let root = self.live_storage_root(a);
+                    self.account_trie.insert(
+                        a.as_bytes(),
+                        encode_account(nonce, balance, root, code_hash),
+                    );
+                    self.overlay.set_storage_root(a, root);
                 }
                 _ => {
                     self.account_trie.remove(a.as_bytes());
+                    // A destroyed/emptied account's storage trie no
+                    // longer backs any commitment: drop it so long runs
+                    // don't accumulate dead tries. Its flat slots stay
+                    // in the overlay (absent-account semantics), and a
+                    // resurrection rebuilds the trie from them.
+                    self.storage_tries.remove(&a);
                 }
             }
         }
         self.account_trie.root()
+    }
+
+    /// The storage root backing `a`'s next account-trie entry, read
+    /// from the live trie (memoized — free when clean). When no trie is
+    /// cached but the overlay holds slots (a resurrected account), the
+    /// trie is rebuilt from the flat map first.
+    fn live_storage_root(&mut self, a: Address) -> H256 {
+        if let Some(t) = self.storage_tries.get_mut(&a) {
+            return t.root();
+        }
+        let entries = self.overlay.entries(a);
+        if entries.is_empty() {
+            return sc_trie::empty_root();
+        }
+        let mut t = SecureTrie::new();
+        for (k, v) in entries {
+            t.insert(&k.to_be_bytes(), encode_storage_value(v));
+        }
+        let root = t.root();
+        self.storage_tries.insert(a, t);
+        root
     }
 
     /// Merkle proof that `(a, key)` holds its current value under the
@@ -397,6 +396,281 @@ impl WorldState {
             storage_proof,
         }
     }
+
+    // ---- pruning archive ----
+
+    /// Arms the pruning archive with a retention window of `window`
+    /// sealed roots (min 1). From the next [`WorldState::commit_archive`]
+    /// on, every seal's changed trie spines are archived, historical
+    /// storage proofs within the window are served by
+    /// [`WorldState::prove_storage_at`], and nodes unreachable from the
+    /// retained roots are freed as seals slide the window forward.
+    pub fn enable_pruning(&mut self, window: usize) {
+        self.archive = Some(EngineArchive {
+            store: TrieArchive::new(),
+            window: window.max(1),
+            records: VecDeque::new(),
+            committed_storage: HashMap::new(),
+            pending: HashSet::new(),
+        });
+    }
+
+    /// True once [`WorldState::enable_pruning`] armed the archive.
+    pub fn pruning_enabled(&self) -> bool {
+        self.archive.is_some()
+    }
+
+    /// Nodes currently held by the archive (bounded by the window).
+    pub fn archived_node_count(&self) -> usize {
+        self.archive.as_ref().map_or(0, |a| a.store.node_count())
+    }
+
+    /// Total encoded bytes currently held by the archive.
+    pub fn archived_byte_size(&self) -> usize {
+        self.archive.as_ref().map_or(0, |a| a.store.byte_size())
+    }
+
+    /// Nodes held by the live (unarchived) account and storage tries.
+    pub fn live_trie_node_count(&self) -> usize {
+        self.account_trie.node_count()
+            + self
+                .storage_tries
+                .values()
+                .map(|t| t.node_count())
+                .sum::<usize>()
+    }
+
+    /// True while `root` is still reachable in the archive (i.e. inside
+    /// the retention window).
+    pub fn archived_root_available(&self, root: H256) -> bool {
+        self.archive
+            .as_ref()
+            .is_some_and(|a| a.store.contains_root(root))
+    }
+
+    /// Commits the current sealed tries into the archive: the account
+    /// trie plus every storage trie re-folded since the last commit
+    /// whose root actually moved. When the record count exceeds the
+    /// window, the oldest record's displaced roots are released, freeing
+    /// every node no retained root reaches. No-op with pruning off.
+    ///
+    /// Call once per sealed block, *after* [`WorldState::state_root`].
+    pub fn commit_archive(&mut self) {
+        let Some(arch) = &mut self.archive else {
+            return;
+        };
+        let account_root = arch.store.commit_secure(&mut self.account_trie);
+        let mut pending: Vec<Address> = arch.pending.drain().collect();
+        pending.sort_unstable();
+        let mut changed = Vec::new();
+        for a in pending {
+            let old = arch
+                .committed_storage
+                .get(&a)
+                .copied()
+                .unwrap_or_else(sc_trie::empty_root);
+            let new = match self.storage_tries.get_mut(&a) {
+                Some(t) => t.root(),
+                None => sc_trie::empty_root(),
+            };
+            if old == new {
+                continue;
+            }
+            if new == sc_trie::empty_root() {
+                arch.committed_storage.remove(&a);
+            } else {
+                if let Some(t) = self.storage_tries.get_mut(&a) {
+                    arch.store.commit_secure(t);
+                }
+                arch.committed_storage.insert(a, new);
+            }
+            changed.push((a, old, new));
+        }
+        arch.records.push_back(SealRecord {
+            account_root,
+            changed,
+        });
+        while arch.records.len() > arch.window {
+            let rec = arch.records.pop_front().expect("len > window >= 1");
+            arch.store.release(rec.account_root);
+            for (_, old, _) in rec.changed {
+                // `old` was current up to this record's block; with the
+                // record evicted no retained block can reference it.
+                arch.store.release(old);
+            }
+        }
+    }
+
+    /// Rolls the archive back one sealed record, releasing the roots
+    /// that seal installed and restoring the displaced storage roots as
+    /// current. Call once per [`WorldState::apply_undo`]'d block, newest
+    /// first. Rolling back deeper than the window leaves the archive
+    /// correct but may strand (never free) nodes from the un-tracked
+    /// depth — reorgs are expected to be shallower than the window.
+    pub fn rollback_archive(&mut self) {
+        let Some(arch) = &mut self.archive else {
+            return;
+        };
+        let Some(rec) = arch.records.pop_back() else {
+            return;
+        };
+        arch.store.release(rec.account_root);
+        for (a, old, new) in rec.changed {
+            arch.store.release(new);
+            if old == sc_trie::empty_root() {
+                arch.committed_storage.remove(&a);
+            } else {
+                arch.committed_storage.insert(a, old);
+            }
+        }
+    }
+
+    /// Merkle proof that `(a, key)` held `value` under the *historical*
+    /// `state_root` — any root still inside the pruning window. The
+    /// proof is built statelessly from archived nodes, so it verifies
+    /// with [`crate::proof::StorageProof::verify`] exactly like a live
+    /// proof. Errors with [`ProofError::MissingNode`] once the root has
+    /// been pruned (or was never archived).
+    pub fn prove_storage_at(
+        &self,
+        state_root: H256,
+        a: Address,
+        key: U256,
+    ) -> Result<crate::proof::StorageProof, ProofError> {
+        let Some(arch) = &self.archive else {
+            return Err(ProofError::MissingNode(state_root));
+        };
+        let account_proof = arch.store.prove_secure(state_root, a.as_bytes())?;
+        let account_rlp = arch.store.get_secure(state_root, a.as_bytes())?;
+        let (value, storage_proof) = match account_rlp {
+            None => (U256::ZERO, Vec::new()),
+            Some(enc) => {
+                let storage_root =
+                    crate::proof::decode_storage_root(&enc).ok_or(ProofError::BadNode)?;
+                let storage_proof = arch.store.prove_secure(storage_root, &key.to_be_bytes())?;
+                let value = match arch.store.get_secure(storage_root, &key.to_be_bytes())? {
+                    None => U256::ZERO,
+                    Some(v) => rlp::decode(&v)
+                        .ok()
+                        .and_then(|i| i.as_uint())
+                        .ok_or(ProofError::BadNode)?,
+                };
+                (value, storage_proof)
+            }
+        };
+        Ok(crate::proof::StorageProof {
+            address: a,
+            slot: key,
+            value,
+            root: state_root,
+            account_proof,
+            storage_proof,
+        })
+    }
+
+    // ---- snapshots ----
+
+    /// Serialises the live state into the canonical snapshot blob: an
+    /// RLP list of `[address, nonce, balance, code, [[slot, value]…]]`
+    /// entries, strictly ascending by address with slots ascending, so
+    /// two nodes holding the same state always emit identical bytes.
+    /// Accounts that neither exist nor hold slots are omitted.
+    pub fn export_snapshot(&self) -> Vec<u8> {
+        let mut addrs = self.overlay.addresses();
+        addrs.sort_unstable();
+        let mut items = Vec::new();
+        for a in addrs {
+            let meta = self.overlay.account(a);
+            let entries = self.overlay.entries(a);
+            if !meta.is_some_and(Account::exists) && entries.is_empty() {
+                continue;
+            }
+            let (nonce, balance, code) = meta.map_or_else(
+                || (0, U256::ZERO, Arc::default()),
+                |m| (m.nonce, m.balance, m.code.clone()),
+            );
+            let slots = entries
+                .into_iter()
+                .map(|(k, v)| Item::List(vec![Item::uint(k), Item::uint(v)]))
+                .collect();
+            items.push(Item::List(vec![
+                Item::address(a),
+                Item::u64(nonce),
+                Item::uint(balance),
+                Item::bytes(code.as_slice().to_vec()),
+                Item::List(slots),
+            ]));
+        }
+        rlp::encode_list(&items)
+    }
+
+    /// Rebuilds a state from a snapshot blob. Everything is marked
+    /// dirty, so the first [`WorldState::state_root`] reconstructs the
+    /// tries — importing a node's snapshot and folding must reproduce
+    /// the exporter's root bit for bit. Rejects blobs that are not in
+    /// the canonical (strictly address-ascending) form.
+    pub fn import_snapshot(data: &[u8]) -> Result<WorldState, SnapshotError> {
+        let Ok(Item::List(entries)) = rlp::decode(data) else {
+            return Err(SnapshotError::Malformed);
+        };
+        let mut state = WorldState::new();
+        let mut last: Option<Address> = None;
+        for entry in entries {
+            let Item::List(fields) = entry else {
+                return Err(SnapshotError::Malformed);
+            };
+            let [addr, nonce, balance, code, slots] = fields.as_slice() else {
+                return Err(SnapshotError::Malformed);
+            };
+            let Item::Bytes(addr) = addr else {
+                return Err(SnapshotError::Malformed);
+            };
+            if addr.len() != 20 {
+                return Err(SnapshotError::Malformed);
+            }
+            let mut a = Address([0; 20]);
+            a.0.copy_from_slice(addr);
+            if last.is_some_and(|prev| prev >= a) {
+                return Err(SnapshotError::Unordered);
+            }
+            last = Some(a);
+            let nonce = nonce
+                .as_uint()
+                .and_then(|v| v.to_u64())
+                .ok_or(SnapshotError::Malformed)?;
+            let balance = balance.as_uint().ok_or(SnapshotError::Malformed)?;
+            let Item::Bytes(code) = code else {
+                return Err(SnapshotError::Malformed);
+            };
+            if nonce != 0 || !balance.is_zero() || !code.is_empty() {
+                let acct = state.overlay.account_mut(a);
+                acct.nonce = nonce;
+                acct.balance = balance;
+                acct.code_hash = keccak256(code);
+                acct.code = Arc::new(code.clone());
+            }
+            state.dirty_accounts.insert(a);
+            let Item::List(slots) = slots else {
+                return Err(SnapshotError::Malformed);
+            };
+            for slot in slots {
+                let Item::List(kv) = slot else {
+                    return Err(SnapshotError::Malformed);
+                };
+                let [k, v] = kv.as_slice() else {
+                    return Err(SnapshotError::Malformed);
+                };
+                let k = k.as_uint().ok_or(SnapshotError::Malformed)?;
+                let v = v.as_uint().ok_or(SnapshotError::Malformed)?;
+                if v.is_zero() {
+                    return Err(SnapshotError::Malformed);
+                }
+                state.overlay.set_storage(a, k, v);
+                state.touch_storage(a, k);
+            }
+        }
+        Ok(state)
+    }
 }
 
 /// One dirty account's storage-trie fold: the stale keys plus the trie
@@ -414,15 +688,14 @@ const PARALLEL_FOLD_THRESHOLD: usize = 8;
 
 /// Folds every job's stale keys into its trie and records the new root.
 /// Jobs are independent (one trie per account, shared read-only view of
-/// the accounts map), so big batches fan out over scoped threads; MPT
-/// roots are canonical regardless of insertion order, making the result
-/// identical either way.
-fn fold_storage_jobs(accounts: &HashMap<Address, Account>, jobs: &mut [StorageFoldJob]) {
+/// the flat storage map), so big batches fan out over scoped threads;
+/// MPT roots are canonical regardless of insertion order, making the
+/// result identical either way.
+fn fold_storage_jobs(storage: &HashMap<(Address, U256), U256>, jobs: &mut [StorageFoldJob]) {
     let fold_one = |job: &mut StorageFoldJob| {
-        let storage = accounts.get(&job.address).map(|acct| &acct.storage);
         for key in &job.keys {
             let k = key.to_be_bytes();
-            match storage.and_then(|s| s.get(key)) {
+            match storage.get(&(job.address, *key)) {
                 Some(v) if !v.is_zero() => job.trie.insert(&k, encode_storage_value(*v)),
                 _ => {
                     job.trie.remove(&k);
@@ -447,51 +720,46 @@ fn fold_storage_jobs(accounts: &HashMap<Address, Account>, jobs: &mut [StorageFo
 
 impl Host for WorldState {
     fn balance(&self, a: Address) -> U256 {
-        self.accounts
-            .get(&a)
+        self.overlay
+            .account(a)
             .map_or(U256::ZERO, |acct| acct.balance)
     }
 
     fn code(&self, a: Address) -> Arc<Vec<u8>> {
-        self.accounts
-            .get(&a)
+        self.overlay
+            .account(a)
             .map_or_else(Default::default, |acct| acct.code.clone())
     }
 
     fn storage(&self, a: Address, key: U256) -> U256 {
-        self.accounts
-            .get(&a)
-            .and_then(|acct| acct.storage.get(&key).copied())
-            .unwrap_or(U256::ZERO)
+        self.overlay.storage(a, key)
     }
 
     fn set_storage(&mut self, a: Address, key: U256, value: U256) {
-        self.touch_undo(a);
-        let prev = self.storage(a, key);
+        let prev = self.overlay.storage(a, key);
         self.journal.push(JournalOp::Storage(a, key, prev));
-        self.entry(a).storage.insert(key, value);
+        self.overlay.set_storage(a, key, value);
         self.touch_storage(a, key);
     }
 
     fn nonce(&self, a: Address) -> u64 {
-        self.accounts.get(&a).map_or(0, |acct| acct.nonce)
+        self.overlay.account(a).map_or(0, |acct| acct.nonce)
     }
 
     fn bump_nonce(&mut self, a: Address) {
-        self.touch_undo(a);
-        let prev = self.nonce(a);
+        let acct = self.overlay.account_mut(a);
+        let prev = acct.nonce;
+        acct.nonce = prev + 1;
         self.journal.push(JournalOp::Nonce(a, prev));
-        self.entry(a).nonce = prev + 1;
         self.dirty_accounts.insert(a);
     }
 
     fn account_exists(&self, a: Address) -> bool {
-        self.accounts.get(&a).is_some_and(Account::exists)
+        self.overlay.account(a).is_some_and(Account::exists)
     }
 
     fn create_contract(&mut self, a: Address) -> bool {
-        self.touch_undo(a);
-        let acct = self.entry(a);
+        let acct = self.overlay.account_mut(a);
         if acct.nonce != 0 || !acct.code.is_empty() {
             return false;
         }
@@ -499,15 +767,14 @@ impl Host for WorldState {
         // `AccountCreated` marker: `revert` pops in reverse, so the
         // created-account teardown (nonce = 0, storage cleared) runs
         // first and the evicted slots are restored on top of it.
-        let evicted: Vec<(U256, U256)> = acct.storage.iter().map(|(k, v)| (*k, *v)).collect();
+        let evicted = self.overlay.entries(a);
         for &(k, v) in &evicted {
             self.journal.push(JournalOp::Storage(a, k, v));
         }
         self.journal.push(JournalOp::AccountCreated(a));
-        let acct = self.entry(a);
-        acct.nonce = 1;
-        acct.storage.clear();
+        self.overlay.account_mut(a).nonce = 1;
         for (k, _) in evicted {
+            self.overlay.set_storage(a, k, U256::ZERO);
             self.touch_storage(a, k);
         }
         self.dirty_accounts.insert(a);
@@ -515,17 +782,16 @@ impl Host for WorldState {
     }
 
     fn code_hash(&self, a: Address) -> H256 {
-        self.accounts
-            .get(&a)
+        self.overlay
+            .account(a)
             .map_or_else(empty_code_hash, |acct| acct.code_hash)
     }
 
     fn set_code(&mut self, a: Address, code: Vec<u8>) {
-        self.touch_undo(a);
         let prev = self.code(a);
         let prev_hash = self.code_hash(a);
         self.journal.push(JournalOp::Code(a, prev, prev_hash));
-        let acct = self.entry(a);
+        let acct = self.overlay.account_mut(a);
         acct.code_hash = keccak256(&code);
         acct.code = Arc::new(code);
         self.dirty_accounts.insert(a);
@@ -540,13 +806,11 @@ impl Host for WorldState {
             // Self-transfer: only the balance check matters.
             return true;
         }
-        self.touch_undo(from);
-        self.touch_undo(to);
         self.journal.push(JournalOp::Balance(from, from_bal));
         let to_bal = self.balance(to);
         self.journal.push(JournalOp::Balance(to, to_bal));
-        self.entry(from).balance = from_bal.wrapping_sub(value);
-        self.entry(to).balance = to_bal.wrapping_add(value);
+        self.overlay.account_mut(from).balance = from_bal.wrapping_sub(value);
+        self.overlay.account_mut(to).balance = to_bal.wrapping_add(value);
         self.dirty_accounts.insert(from);
         self.dirty_accounts.insert(to);
         true
@@ -559,24 +823,19 @@ impl Host for WorldState {
     fn revert(&mut self, snapshot: usize) {
         while self.journal.len() > snapshot {
             match self.journal.pop().expect("journal entry") {
-                JournalOp::Balance(a, v) => self.entry(a).balance = v,
-                JournalOp::Nonce(a, v) => self.entry(a).nonce = v,
-                JournalOp::Storage(a, k, v) => {
-                    if v.is_zero() {
-                        self.entry(a).storage.remove(&k);
-                    } else {
-                        self.entry(a).storage.insert(k, v);
-                    }
-                }
+                JournalOp::Balance(a, v) => self.overlay.account_mut(a).balance = v,
+                JournalOp::Nonce(a, v) => self.overlay.account_mut(a).nonce = v,
+                JournalOp::Storage(a, k, v) => self.overlay.set_storage(a, k, v),
                 JournalOp::Code(a, c, h) => {
-                    let acct = self.entry(a);
+                    let acct = self.overlay.account_mut(a);
                     acct.code = c;
                     acct.code_hash = h;
                 }
                 JournalOp::AccountCreated(a) => {
-                    let acct = self.entry(a);
-                    acct.nonce = 0;
-                    acct.storage.clear();
+                    self.overlay.account_mut(a).nonce = 0;
+                    for (k, _) in self.overlay.entries(a) {
+                        self.overlay.set_storage(a, k, U256::ZERO);
+                    }
                 }
                 JournalOp::Log => {
                     self.tx_logs.pop();
@@ -604,13 +863,7 @@ impl Host for WorldState {
     }
 
     fn storage_entries(&self, a: Address) -> Vec<(U256, U256)> {
-        self.accounts.get(&a).map_or_else(Vec::new, |acct| {
-            acct.storage
-                .iter()
-                .filter(|(_, v)| !v.is_zero())
-                .map(|(k, v)| (*k, *v))
-                .collect()
-        })
+        self.overlay.entries(a)
     }
 }
 
@@ -663,7 +916,7 @@ mod tests {
         let snap = s.snapshot();
         s.set_storage(addr(1), U256::ONE, U256::from_u64(5));
         s.revert(snap);
-        assert!(s.account(addr(1)).is_none_or(|a| a.storage.is_empty()));
+        assert!(s.storage_entries(addr(1)).is_empty());
     }
 
     #[test]
@@ -861,9 +1114,10 @@ mod tests {
 
     #[test]
     fn undo_restores_revert_evicted_creation_storage() {
-        // The journal revert path rewrites accounts without hooks; the
-        // undo layer must still capture them (it snapshots on the
-        // *mutator* call that preceded the revert).
+        // The journal revert path rewrites state without extra hooks;
+        // the undo layer must still capture the priors (first-touch
+        // recording fires on the *mutator* calls that preceded the
+        // revert).
         let mut s = WorldState::new();
         s.set_storage(addr(7), U256::ONE, U256::from_u64(111));
         s.clear_tx_scratch();
@@ -902,5 +1156,231 @@ mod tests {
             !s.account_exists(addr(8)),
             "zero-balance touch is not existence"
         );
+    }
+
+    #[test]
+    fn emptied_account_drops_its_storage_trie_but_resurrects_exactly() {
+        let mut s = WorldState::new();
+        s.mint(addr(1), U256::from_u64(5));
+        s.set_storage(addr(1), U256::ONE, U256::from_u64(42));
+        s.clear_tx_scratch();
+        let funded_root = s.state_root();
+        assert_eq!(s.storage_tries.len(), 1);
+
+        // Empty the account: its trie must be dropped at the next fold…
+        s.transfer(addr(1), addr(2), U256::from_u64(5));
+        s.transfer(addr(2), addr(3), U256::from_u64(5));
+        s.clear_tx_scratch();
+        // …empty addr(2) too so only addr(3) exists.
+        s.state_root();
+        assert!(
+            !s.storage_tries.contains_key(&addr(1)),
+            "destroyed account's storage trie is dropped"
+        );
+
+        // Resurrect: the trie is rebuilt from the flat slots and the
+        // root matches the original funded state exactly.
+        s.transfer(addr(3), addr(1), U256::from_u64(5));
+        s.clear_tx_scratch();
+        assert_eq!(
+            s.state_root(),
+            funded_root,
+            "resurrection rebuilds the trie"
+        );
+        assert_eq!(s.storage(addr(1), U256::ONE), U256::from_u64(42));
+    }
+
+    #[test]
+    fn resurrection_with_same_block_storage_write_rebuilds_fully() {
+        // The dropped-trie rebuild must cover *all* live slots, not just
+        // the block's dirty ones.
+        let mut s = WorldState::new();
+        s.mint(addr(1), U256::ONE);
+        s.set_storage(addr(1), U256::ONE, U256::from_u64(11));
+        s.set_storage(addr(1), U256::from_u64(2), U256::from_u64(22));
+        s.clear_tx_scratch();
+        s.state_root();
+        s.transfer(addr(1), addr(9), U256::ONE);
+        s.clear_tx_scratch();
+        s.state_root(); // drops addr(1)'s trie
+
+        s.mint(addr(1), U256::ONE);
+        s.set_storage(addr(1), U256::from_u64(3), U256::from_u64(33));
+        s.clear_tx_scratch();
+        let root = s.state_root();
+
+        let mut fresh = WorldState::new();
+        fresh.mint(addr(1), U256::ONE);
+        fresh.mint(addr(9), U256::ONE);
+        fresh.set_storage(addr(1), U256::ONE, U256::from_u64(11));
+        fresh.set_storage(addr(1), U256::from_u64(2), U256::from_u64(22));
+        fresh.set_storage(addr(1), U256::from_u64(3), U256::from_u64(33));
+        fresh.clear_tx_scratch();
+        assert_eq!(fresh.state_root(), root);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_deterministic_and_root_preserving() {
+        let mut s = WorldState::new();
+        s.mint(addr(1), U256::from_u64(1_000_000));
+        s.install_code(addr(2), vec![0x5b, 0x00]);
+        for i in 1..40u64 {
+            s.set_storage(addr(2), U256::from_u64(i * 7), U256::from_u64(i));
+        }
+        s.bump_nonce(addr(1));
+        // A storage-only address (no metadata) must survive the trip.
+        s.set_storage(addr(9), U256::ONE, U256::from_u64(3));
+        s.clear_tx_scratch();
+        let root = s.state_root();
+
+        let blob = s.export_snapshot();
+        assert_eq!(blob, s.export_snapshot(), "export is deterministic");
+        let mut imported = WorldState::import_snapshot(&blob).expect("round-trip");
+        assert_eq!(imported.state_root(), root, "imported fold matches");
+        assert_eq!(imported.export_snapshot(), blob, "re-export is identical");
+        assert_eq!(imported.balance(addr(1)), U256::from_u64(1_000_000));
+        assert_eq!(imported.nonce(addr(1)), 1);
+        assert_eq!(imported.code(addr(2)).as_slice(), &[0x5b, 0x00]);
+        assert_eq!(imported.storage(addr(9), U256::ONE), U256::from_u64(3));
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage_and_unordered_blobs() {
+        assert!(matches!(
+            WorldState::import_snapshot(&[0xff, 0x00]),
+            Err(SnapshotError::Malformed)
+        ));
+        let mut s = WorldState::new();
+        s.mint(addr(2), U256::ONE);
+        s.mint(addr(1), U256::ONE);
+        let blob = s.export_snapshot();
+        // Reverse the two account entries: decode must refuse the
+        // non-canonical order.
+        let Ok(Item::List(mut entries)) = rlp::decode(&blob) else {
+            panic!("snapshot decodes");
+        };
+        entries.swap(0, 1);
+        let swapped = rlp::encode_list(&entries);
+        assert!(matches!(
+            WorldState::import_snapshot(&swapped),
+            Err(SnapshotError::Unordered)
+        ));
+    }
+
+    #[test]
+    fn archive_serves_historical_proofs_inside_the_window() {
+        let mut s = WorldState::new();
+        s.enable_pruning(2);
+        s.mint(addr(1), U256::ONE);
+        s.set_storage(addr(1), U256::ONE, U256::from_u64(10));
+        s.clear_tx_scratch();
+        let root_a = s.state_root();
+        s.commit_archive();
+
+        s.set_storage(addr(1), U256::ONE, U256::from_u64(20));
+        s.clear_tx_scratch();
+        let root_b = s.state_root();
+        s.commit_archive();
+
+        // Both roots are in the window: each proves its own value.
+        for (root, v) in [(root_a, 10u64), (root_b, 20)] {
+            let p = s
+                .prove_storage_at(root, addr(1), U256::ONE)
+                .expect("in window");
+            assert_eq!(p.value, U256::from_u64(v));
+            p.verify(root).expect("archived proof verifies");
+        }
+        // Exclusion proofs work against history too.
+        let p = s
+            .prove_storage_at(root_a, addr(1), U256::from_u64(99))
+            .expect("slot exclusion");
+        assert_eq!(p.value, U256::ZERO);
+        p.verify(root_a).expect("exclusion verifies");
+        let p = s
+            .prove_storage_at(root_a, addr(0xee), U256::ONE)
+            .expect("account exclusion");
+        assert_eq!(p.value, U256::ZERO);
+        p.verify(root_a).expect("account exclusion verifies");
+
+        // A third seal slides root_a out of the 2-root window.
+        s.set_storage(addr(1), U256::ONE, U256::from_u64(30));
+        s.clear_tx_scratch();
+        s.state_root();
+        s.commit_archive();
+        assert!(
+            matches!(
+                s.prove_storage_at(root_a, addr(1), U256::ONE),
+                Err(ProofError::MissingNode(_))
+            ),
+            "pruned root no longer provable"
+        );
+        assert!(s.archived_root_available(root_b));
+        assert!(!s.archived_root_available(root_a));
+    }
+
+    #[test]
+    fn archive_node_memory_plateaus_under_churn() {
+        let mut s = WorldState::new();
+        s.enable_pruning(4);
+        for a in 1..=8u8 {
+            s.mint(addr(a), U256::from_u64(1_000));
+        }
+        s.clear_tx_scratch();
+        s.state_root();
+        s.commit_archive();
+
+        let mut peak = 0usize;
+        let mut at_50 = 0usize;
+        for round in 0u64..200 {
+            for a in 1..=8u8 {
+                s.set_storage(
+                    addr(a),
+                    U256::from_u64(round % 16),
+                    U256::from_u64(round + a as u64),
+                );
+            }
+            s.clear_tx_scratch();
+            s.state_root();
+            s.commit_archive();
+            peak = peak.max(s.archived_node_count());
+            if round == 50 {
+                at_50 = s.archived_node_count();
+            }
+        }
+        assert!(peak > 0);
+        assert!(
+            peak <= at_50 * 2,
+            "windowed archive must plateau: peak {peak} vs round-50 {at_50}"
+        );
+    }
+
+    #[test]
+    fn archive_rollback_releases_the_orphaned_seal() {
+        let mut s = WorldState::new();
+        s.enable_pruning(8);
+        s.mint(addr(1), U256::ONE);
+        s.set_storage(addr(1), U256::ONE, U256::from_u64(1));
+        s.clear_tx_scratch();
+        let root_a = s.state_root();
+        s.commit_archive();
+        let nodes_a = s.archived_node_count();
+
+        s.begin_undo_layer();
+        s.set_storage(addr(1), U256::from_u64(2), U256::from_u64(2));
+        s.clear_tx_scratch();
+        let root_b = s.state_root();
+        s.commit_archive();
+        assert!(s.archived_root_available(root_b));
+
+        let layer = s.take_undo_layer();
+        s.apply_undo(layer);
+        s.rollback_archive();
+        assert_eq!(
+            s.archived_node_count(),
+            nodes_a,
+            "rollback frees exactly the orphaned seal's nodes"
+        );
+        assert!(s.archived_root_available(root_a));
+        assert_eq!(s.state_root(), root_a);
     }
 }

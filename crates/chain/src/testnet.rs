@@ -10,7 +10,7 @@
 use crate::block::{self, Block, FailureReason, Receipt};
 use crate::parallel::{self, ExecMode, SealReport};
 use crate::proof::StorageProof;
-use crate::state::{BlockUndo, WorldState};
+use crate::state::{DiffLayer, WorldState};
 use crate::tx::{SignedTransaction, Transaction, Wallet};
 use sc_crypto::ecdsa::recover_addresses_batch;
 use sc_evm::gas;
@@ -169,6 +169,15 @@ pub struct ChainConfig {
     /// seals zero roots — only the root-overhead benchmark should do
     /// this, as it breaks every proof and commitment invariant.
     pub commit_roots: bool,
+    /// When set, arms the state engine's pruning archive with this
+    /// retention window: each sealed block's changed trie spines are
+    /// committed into a refcounted node store, historical storage
+    /// proofs within the window are served by
+    /// [`Testnet::prove_storage_at`], and nodes no retained root
+    /// reaches are freed as the window slides. `None` (the default)
+    /// keeps the archive off — live tries only, no extra memory.
+    /// Requires `commit_roots`.
+    pub prune_window: Option<usize>,
     /// How blocks execute their transactions. The default honours the
     /// `SC_EXEC_MODE` environment variable (see [`ExecMode::from_env`])
     /// and is [`ExecMode::Serial`] when unset, so the chaos suite and
@@ -186,6 +195,7 @@ impl Default for ChainConfig {
             genesis_timestamp: 1_550_000_000, // Feb 2019, the paper's era
             default_gas_price: sc_primitives::gwei(1),
             commit_roots: true,
+            prune_window: None,
             exec: ExecMode::from_env(),
         }
     }
@@ -272,7 +282,7 @@ pub struct Testnet {
 /// the chain-level values (`minted`, clock) as they stood when the
 /// layer opened, i.e. right after the parent sealed.
 struct BlockUndoRec {
-    undo: BlockUndo,
+    undo: DiffLayer,
     minted_before: U256,
     time_before: u64,
 }
@@ -315,6 +325,14 @@ impl Testnet {
             gas_used: 0,
         };
         let mut state = WorldState::new();
+        if let Some(window) = config.prune_window {
+            debug_assert!(config.commit_roots, "pruning archive needs commit_roots");
+            state.enable_pruning(window);
+            // Archive the genesis commitment (the empty tries) so the
+            // window starts populated at block 0.
+            state.state_root();
+            state.commit_archive();
+        }
         state.block_hashes.insert(0, genesis.hash);
         let canon_index = HashMap::from([(genesis.hash, 0)]);
         Testnet {
@@ -362,6 +380,22 @@ impl Testnet {
             "storage proofs need commit_roots enabled"
         );
         self.state.prove_storage(address, slot)
+    }
+
+    /// Merkle proof that `(address, slot)` held its value at block
+    /// `number` — served statelessly from the pruning archive, so it
+    /// works for any canonical block whose root is still inside the
+    /// retention window. `None` when the block is unknown, pruning is
+    /// off ([`ChainConfig::prune_window`]), or the root has slid out of
+    /// the window.
+    pub fn prove_storage_at(
+        &self,
+        number: u64,
+        address: Address,
+        slot: U256,
+    ) -> Option<StorageProof> {
+        let root = self.block(number)?.state_root;
+        self.state.prove_storage_at(root, address, slot).ok()
     }
 
     /// Block by number.
@@ -808,6 +842,11 @@ impl Testnet {
     /// is armed.
     fn commit_block(&mut self, block: &Block, receipts: Vec<Receipt>) {
         let number = block.number;
+        if self.config.commit_roots {
+            // Archive this seal's trie spines (and slide the pruning
+            // window). No-op unless `prune_window` armed the archive.
+            self.state.commit_archive();
+        }
         self.state.block_hashes.insert(number, block.hash);
         // BLOCKHASH only reaches 256 ancestors: retire the hash that
         // just left the window so the map stays bounded.
@@ -1191,6 +1230,8 @@ impl Testnet {
         let open = self.state.take_undo_layer();
         self.state.apply_undo(open);
         self.state.apply_undo(rec.undo);
+        // The rolled-back seal's archive record is orphaned with it.
+        self.state.rollback_archive();
         self.minted = rec.minted_before;
         self.time = rec.time_before;
         if let Some(h) = &mut self.history {

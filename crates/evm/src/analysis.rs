@@ -20,7 +20,7 @@
 
 use crate::opcode::analyze_jumpdests;
 use sc_primitives::H256;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -75,24 +75,77 @@ impl CacheStats {
     }
 }
 
-/// A thread-safe memo of [`CodeAnalysis`] keyed by `keccak256(code)`.
+/// The default [`AnalysisCache::capacity`]: far above any realistic
+/// count of distinct live bytecodes, small enough that an adversary
+/// deploying throwaway contracts cannot grow the map without bound.
+pub const DEFAULT_ANALYSIS_CAPACITY: usize = 4096;
+
+/// Entries plus their insertion order, guarded by one lock so eviction
+/// and lookup can't race.
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<H256, Arc<CodeAnalysis>>,
+    /// Insertion order, oldest first — the FIFO eviction queue.
+    order: VecDeque<H256>,
+}
+
+/// A thread-safe, *bounded* memo of [`CodeAnalysis`] keyed by
+/// `keccak256(code)`.
 ///
 /// Keying by content hash (not by `Arc` pointer identity) means two
 /// deployments of the same bytecode — e.g. the on-chain copy and a
 /// dispute-path re-deployment — share one entry. The chain already knows
 /// each account's code hash (it is cached on the account record), so
 /// lookups cost a `HashMap` probe, not a keccak.
-#[derive(Default, Debug)]
+///
+/// The cache holds at most [`AnalysisCache::capacity`] bytecodes
+/// (default [`DEFAULT_ANALYSIS_CAPACITY`]), evicting oldest-first once
+/// full, so a long-lived node that sees an unbounded stream of distinct
+/// deployments keeps a bounded footprint.
+#[derive(Debug)]
 pub struct AnalysisCache {
-    entries: Mutex<HashMap<H256, Arc<CodeAnalysis>>>,
+    inner: Mutex<CacheInner>,
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for AnalysisCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_ANALYSIS_CAPACITY)
+    }
 }
 
 impl AnalysisCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache holding at most
+    /// [`DEFAULT_ANALYSIS_CAPACITY`] bytecodes.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache holding at most `capacity` bytecodes
+    /// (min 1). When full, the oldest entry is evicted first; a
+    /// re-requested evictee is simply re-analysed and re-admitted, so
+    /// the bound only ever costs speed, never correctness.
+    pub fn with_capacity(capacity: usize) -> Self {
+        AnalysisCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of distinct bytecodes retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries evicted to enforce the capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Returns the analysis for `code`, computing and memoizing it on
@@ -102,9 +155,10 @@ impl AnalysisCache {
     /// chain maintains that invariant on its account records.
     pub fn get_or_analyze(&self, code_hash: H256, code: &[u8]) -> Arc<CodeAnalysis> {
         if let Some(hit) = self
-            .entries
+            .inner
             .lock()
             .expect("analysis cache poisoned")
+            .entries
             .get(&code_hash)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -115,10 +169,21 @@ impl AnalysisCache {
         // produces an identical value, so last-write-wins is harmless.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let analysis = Arc::new(CodeAnalysis::analyze(code));
-        self.entries
-            .lock()
-            .expect("analysis cache poisoned")
-            .insert(code_hash, Arc::clone(&analysis));
+        let mut inner = self.inner.lock().expect("analysis cache poisoned");
+        if inner
+            .entries
+            .insert(code_hash, Arc::clone(&analysis))
+            .is_none()
+        {
+            // First sight (a racing duplicate insert keeps the hash's
+            // existing queue slot).
+            inner.order.push_back(code_hash);
+        }
+        while inner.entries.len() > self.capacity {
+            let oldest = inner.order.pop_front().expect("order tracks entries");
+            inner.entries.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
         analysis
     }
 
@@ -132,7 +197,11 @@ impl AnalysisCache {
 
     /// Number of distinct bytecodes cached.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("analysis cache poisoned").len()
+        self.inner
+            .lock()
+            .expect("analysis cache poisoned")
+            .entries
+            .len()
     }
 
     /// True iff no bytecode has been analysed yet.
@@ -142,12 +211,12 @@ impl AnalysisCache {
 
     /// Drops all entries and zeroes the counters (bench cold starts).
     pub fn clear(&self) {
-        self.entries
-            .lock()
-            .expect("analysis cache poisoned")
-            .clear();
+        let mut inner = self.inner.lock().expect("analysis cache poisoned");
+        inner.entries.clear();
+        inner.order.clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -213,6 +282,38 @@ mod tests {
         assert_eq!(s.hit_ratio(), 0.0);
         let s = CacheStats { hits: 3, misses: 1 };
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_bounds_the_cache_with_fifo_eviction() {
+        // Regression: the cache grew one entry per distinct bytecode
+        // forever, so an adversarial deployment stream was an unbounded
+        // memory leak in every long-lived node.
+        let cache = AnalysisCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let codes: Vec<Vec<u8>> = (0u8..5).map(|i| vec![0x5b, 0x60, i]).collect();
+        let hashes: Vec<H256> = codes.iter().map(|c| keccak256(c)).collect();
+        for (h, c) in hashes.iter().zip(&codes) {
+            cache.get_or_analyze(*h, c);
+            assert!(cache.len() <= 2, "capacity is a hard bound");
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 3, "oldest three were displaced");
+
+        // The two newest survive (hits); an evictee re-analyses (miss)
+        // with an identical result — the bound never changes answers.
+        let before = cache.stats();
+        cache.get_or_analyze(hashes[4], &codes[4]);
+        cache.get_or_analyze(hashes[3], &codes[3]);
+        assert_eq!(cache.stats().hits, before.hits + 2);
+        let readmitted = cache.get_or_analyze(hashes[0], &codes[0]);
+        assert_eq!(cache.stats().misses, before.misses + 1);
+        assert_eq!(*readmitted, CodeAnalysis::analyze(&codes[0]));
+        assert_eq!(cache.len(), 2);
+
+        cache.clear();
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.capacity(), 2, "clear keeps the bound");
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod opcode;
 pub mod precompile;
 pub mod spec;
 
-pub use analysis::{AnalysisCache, CacheStats, CodeAnalysis};
+pub use analysis::{AnalysisCache, CacheStats, CodeAnalysis, DEFAULT_ANALYSIS_CAPACITY};
 pub use asm::{disassemble, wrap_initcode, Asm};
 pub use exec::{contract_address, CallOutcome, CallParams, CreateOutcome, Evm, VmError};
 pub use host::{BlockEnv, Env, Host, LogEntry, MockHost, TxEnv};

@@ -1,0 +1,450 @@
+//! Reference-counted node archive: the pruning store behind the chain's
+//! retained-root window.
+//!
+//! A [`TrieArchive`] holds the RLP encoding of every hash-referenced
+//! node reachable from a set of *committed* roots, each node tagged
+//! with a reference count (one per parent node, plus one per committed
+//! root). Committing a trie walks it top-down and stops at the first
+//! node the archive already holds — identical subtree hash means
+//! identical subtree — so re-committing after a block of writes costs
+//! O(changed spine), not O(trie). Releasing a root decrements down the
+//! same structure and frees every node whose count reaches zero, which
+//! is exactly the set reachable *only* from that root.
+//!
+//! The archive answers reads and proofs for any committed root
+//! ([`TrieArchive::get`] / [`TrieArchive::prove`]) with the same
+//! stateless walk as [`crate::verify_proof`], so historical state in
+//! the retained window stays provable after the live tries move on.
+
+use crate::nibbles::{hp_decode, to_nibbles};
+use crate::node::{Entry, Node};
+use crate::proof::ProofError;
+use crate::{empty_root, SecureTrie, Trie};
+use sc_crypto::keccak256;
+use sc_primitives::rlp::{self, Item};
+use sc_primitives::H256;
+use std::collections::HashMap;
+
+/// One archived node: its full RLP encoding and how many committed
+/// roots / parent nodes currently reference it.
+#[derive(Debug, Clone)]
+struct ArchivedNode {
+    encoding: Vec<u8>,
+    refs: u64,
+}
+
+/// A content-addressed node store with structural-sharing refcounts.
+#[derive(Debug, Clone, Default)]
+pub struct TrieArchive {
+    nodes: HashMap<H256, ArchivedNode>,
+}
+
+impl TrieArchive {
+    /// An empty archive.
+    pub fn new() -> TrieArchive {
+        TrieArchive::default()
+    }
+
+    /// Archives every hash-referenced node reachable from the trie's
+    /// root and returns the root hash. Nodes already archived get one
+    /// more reference and are not descended into (their subtree is
+    /// already held), so the walk is proportional to what changed since
+    /// the subtree was last committed. The empty root is never stored.
+    pub fn commit(&mut self, trie: &mut Trie) -> H256 {
+        match trie.root.as_mut() {
+            None => empty_root(),
+            Some(entry) => self.archive_entry(entry),
+        }
+    }
+
+    /// [`TrieArchive::commit`] for a [`SecureTrie`].
+    pub fn commit_secure(&mut self, trie: &mut SecureTrie) -> H256 {
+        self.commit(&mut trie.inner)
+    }
+
+    /// Re-references an already-committed root without walking it (the
+    /// per-block "this root is still current" bump). Returns false when
+    /// the root is not archived — the caller must [`TrieArchive::commit`]
+    /// the live trie instead. The empty root needs no references.
+    pub fn retain(&mut self, root: H256) -> bool {
+        if root == empty_root() {
+            return true;
+        }
+        match self.nodes.get_mut(&root) {
+            Some(node) => {
+                node.refs += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn archive_entry(&mut self, entry: &mut Entry) -> H256 {
+        let enc = entry.encode();
+        let hash = keccak256(&enc);
+        if let Some(node) = self.nodes.get_mut(&hash) {
+            node.refs += 1;
+            return hash;
+        }
+        self.nodes.insert(
+            hash,
+            ArchivedNode {
+                encoding: enc,
+                refs: 1,
+            },
+        );
+        // Only hash-referenced children are separate archive entries;
+        // inline children travel inside this node's encoding (and are
+        // too small to themselves contain a 33-byte hash reference).
+        match &mut entry.node {
+            Node::Leaf { .. } => {}
+            Node::Extension { child, .. } => {
+                if child.is_hash_referenced() {
+                    self.archive_entry(child);
+                }
+            }
+            Node::Branch { children, .. } => {
+                for slot in children.iter_mut().flatten() {
+                    if slot.is_hash_referenced() {
+                        self.archive_entry(slot);
+                    }
+                }
+            }
+        }
+        hash
+    }
+
+    /// Drops one reference from `root`, freeing every node that becomes
+    /// unreachable from the remaining committed roots. Unknown hashes
+    /// are ignored (the empty root, or a root released more often than
+    /// committed — the caller's window bookkeeping is trusted).
+    pub fn release(&mut self, root: H256) {
+        let mut stack = vec![root];
+        while let Some(hash) = stack.pop() {
+            let Some(node) = self.nodes.get_mut(&hash) else {
+                continue;
+            };
+            node.refs -= 1;
+            if node.refs == 0 {
+                let node = self.nodes.remove(&hash).expect("entry just seen");
+                stack.extend(child_hashes(&node.encoding));
+            }
+        }
+    }
+
+    /// Number of resident archived nodes — the pruning bench's memory
+    /// metric.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total bytes of archived node encodings.
+    pub fn byte_size(&self) -> usize {
+        self.nodes.values().map(|n| n.encoding.len()).sum()
+    }
+
+    /// True when `root` is committed (or empty).
+    pub fn contains_root(&self, root: H256) -> bool {
+        root == empty_root() || self.nodes.contains_key(&root)
+    }
+
+    /// Looks `key` up under a committed `root`: `Ok(Some(value))` /
+    /// `Ok(None)` for present/absent, `Err(MissingNode)` when the walk
+    /// needs a node the archive no longer holds (root outside the
+    /// retained window).
+    pub fn get(&self, root: H256, key: &[u8]) -> Result<Option<Vec<u8>>, ProofError> {
+        self.walk(root, key, |_| {})
+    }
+
+    /// [`TrieArchive::get`] with a keccak-hashed key (secure tries).
+    pub fn get_secure(&self, root: H256, key: &[u8]) -> Result<Option<Vec<u8>>, ProofError> {
+        self.get(root, keccak256(key).as_bytes())
+    }
+
+    /// Merkle proof for `key` under a committed `root`: the same node
+    /// list [`Trie::prove`] yields from the live trie, verifiable with
+    /// [`crate::verify_proof`] against the historical root.
+    pub fn prove(&self, root: H256, key: &[u8]) -> Result<Vec<Vec<u8>>, ProofError> {
+        let mut proof = Vec::new();
+        self.walk(root, key, |enc| proof.push(enc.to_vec()))?;
+        Ok(proof)
+    }
+
+    /// [`TrieArchive::prove`] with a keccak-hashed key (secure tries).
+    pub fn prove_secure(&self, root: H256, key: &[u8]) -> Result<Vec<Vec<u8>>, ProofError> {
+        self.prove(root, keccak256(key).as_bytes())
+    }
+
+    /// The stateless root-to-key walk shared by [`TrieArchive::get`] and
+    /// [`TrieArchive::prove`]; `visit` sees each hash-referenced node's
+    /// encoding in walk order (root first).
+    fn walk(
+        &self,
+        root: H256,
+        key: &[u8],
+        mut visit: impl FnMut(&[u8]),
+    ) -> Result<Option<Vec<u8>>, ProofError> {
+        if root == empty_root() {
+            return Ok(None);
+        }
+        let n = to_nibbles(key);
+        let mut at = 0usize;
+        let mut reference = Item::Bytes(root.as_bytes().to_vec());
+        loop {
+            let node = match &reference {
+                Item::List(_) => reference.clone(),
+                Item::Bytes(b) if b.is_empty() => return Ok(None),
+                Item::Bytes(b) if b.len() == 32 => {
+                    let mut h = H256::ZERO;
+                    h.0.copy_from_slice(b);
+                    let archived = self.nodes.get(&h).ok_or(ProofError::MissingNode(h))?;
+                    visit(&archived.encoding);
+                    rlp::decode(&archived.encoding).map_err(|_| ProofError::BadNode)?
+                }
+                Item::Bytes(_) => return Err(ProofError::BadNode),
+            };
+            let Item::List(items) = node else {
+                return Err(ProofError::BadNode);
+            };
+            match items.len() {
+                2 => {
+                    let [hp, target]: [Item; 2] = items.try_into().expect("len checked");
+                    let Item::Bytes(hp) = hp else {
+                        return Err(ProofError::BadNode);
+                    };
+                    let (path, is_leaf) = hp_decode(&hp)?;
+                    if is_leaf {
+                        let Item::Bytes(value) = target else {
+                            return Err(ProofError::BadNode);
+                        };
+                        return Ok((n[at..] == path[..]).then_some(value));
+                    }
+                    if path.is_empty() || !n[at..].starts_with(&path) {
+                        return if path.is_empty() {
+                            Err(ProofError::BadNode)
+                        } else {
+                            Ok(None)
+                        };
+                    }
+                    at += path.len();
+                    reference = target;
+                }
+                17 => {
+                    if at == n.len() {
+                        let Some(Item::Bytes(value)) = items.into_iter().nth(16) else {
+                            return Err(ProofError::BadNode);
+                        };
+                        return Ok((!value.is_empty()).then_some(value));
+                    }
+                    let idx = n[at] as usize;
+                    at += 1;
+                    reference = items.into_iter().nth(idx).expect("len checked");
+                }
+                _ => return Err(ProofError::BadNode),
+            }
+        }
+    }
+}
+
+/// Extracts the hash references a node's encoding embeds — the
+/// structural children [`TrieArchive::release`] cascades into. Leaf
+/// values are never mistaken for children: the hex-prefix flag
+/// distinguishes a leaf (no child) from an extension (one child).
+fn child_hashes(encoding: &[u8]) -> Vec<H256> {
+    let Ok(Item::List(items)) = rlp::decode(encoding) else {
+        return Vec::new();
+    };
+    let as_hash = |item: &Item| match item {
+        Item::Bytes(b) if b.len() == 32 => {
+            let mut h = H256::ZERO;
+            h.0.copy_from_slice(b);
+            Some(h)
+        }
+        _ => None,
+    };
+    match items.len() {
+        2 => {
+            let Item::Bytes(hp) = &items[0] else {
+                return Vec::new();
+            };
+            match hp_decode(hp) {
+                Ok((_, false)) => as_hash(&items[1]).into_iter().collect(),
+                _ => Vec::new(), // leaf: the second item is a value
+            }
+        }
+        17 => items[..16].iter().filter_map(as_hash).collect(),
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_proof;
+
+    fn key(i: u64) -> [u8; 32] {
+        keccak256(&i.to_be_bytes()).0
+    }
+
+    fn filled_trie(n: u64) -> Trie {
+        let mut t = Trie::new();
+        for i in 0..n {
+            t.insert(&key(i), key(i).to_vec());
+        }
+        t
+    }
+
+    #[test]
+    fn commit_then_get_and_prove_every_key() {
+        let mut t = filled_trie(50);
+        let live_root = t.root();
+        let mut arch = TrieArchive::new();
+        let root = arch.commit(&mut t);
+        assert_eq!(root, live_root);
+        assert!(arch.contains_root(root));
+        for i in 0..50 {
+            let got = arch.get(root, &key(i)).expect("walk ok");
+            assert_eq!(got.as_deref(), Some(&key(i)[..]));
+            let proof = arch.prove(root, &key(i)).expect("provable");
+            assert_eq!(
+                verify_proof(root, &key(i), &proof).expect("verifies"),
+                Some(key(i).to_vec())
+            );
+        }
+        assert_eq!(arch.get(root, &key(999)).expect("walk ok"), None);
+    }
+
+    #[test]
+    fn empty_trie_commits_to_empty_root_without_nodes() {
+        let mut arch = TrieArchive::new();
+        let root = arch.commit(&mut Trie::new());
+        assert_eq!(root, empty_root());
+        assert_eq!(arch.node_count(), 0);
+        assert!(arch.contains_root(root));
+        assert_eq!(arch.get(root, b"x").expect("walk ok"), None);
+        arch.release(root); // no-op, must not underflow
+    }
+
+    #[test]
+    fn release_frees_exactly_the_unshared_nodes() {
+        let mut arch = TrieArchive::new();
+        let mut t = filled_trie(40);
+        let r1 = arch.commit(&mut t);
+        let after_one = arch.node_count();
+
+        // One more key: the second commit only adds the changed spine.
+        t.insert(&key(1000), key(1000).to_vec());
+        let r2 = arch.commit(&mut t);
+        assert_ne!(r1, r2);
+        let after_two = arch.node_count();
+        assert!(after_two > after_one);
+        assert!(
+            after_two - after_one < after_one,
+            "second commit shares most nodes ({after_one} -> {after_two})"
+        );
+
+        // Releasing the old root keeps the new one fully readable…
+        arch.release(r1);
+        assert!(!arch.contains_root(r1));
+        for i in 0..40 {
+            assert_eq!(
+                arch.get(r2, &key(i)).expect("walk ok").as_deref(),
+                Some(&key(i)[..])
+            );
+        }
+        // …and releasing the new root empties the archive completely.
+        arch.release(r2);
+        assert_eq!(arch.node_count(), 0, "no leaked nodes");
+        assert_eq!(arch.byte_size(), 0);
+    }
+
+    #[test]
+    fn windowed_commits_stay_bounded() {
+        // Simulate a block-per-commit chain with a 4-root window: the
+        // resident node count must plateau instead of growing with the
+        // number of commits.
+        let mut arch = TrieArchive::new();
+        let mut t = filled_trie(64);
+        let mut window = std::collections::VecDeque::new();
+        let mut high_water = 0usize;
+        for block in 0..200u64 {
+            t.insert(&key(block % 16), keccak256(&block.to_be_bytes()).0.to_vec());
+            let root = arch.commit(&mut t);
+            window.push_back(root);
+            if window.len() > 4 {
+                arch.release(window.pop_front().expect("non-empty"));
+            }
+            if block == 50 {
+                high_water = arch.node_count();
+            }
+            if block > 50 {
+                assert!(
+                    arch.node_count() <= high_water + 32,
+                    "resident nodes grew without bound: {} at block {block}",
+                    arch.node_count()
+                );
+            }
+        }
+        // Every retained root still serves proofs.
+        for &root in &window {
+            let proof = arch.prove(root, &key(3)).expect("in window");
+            assert!(verify_proof(root, &key(3), &proof)
+                .expect("verifies")
+                .is_some());
+        }
+        // A long-released root no longer resolves.
+        assert!(window.len() == 4);
+    }
+
+    #[test]
+    fn released_root_reports_missing_nodes() {
+        let mut arch = TrieArchive::new();
+        let mut t = filled_trie(32);
+        let r1 = arch.commit(&mut t);
+        t.insert(&key(77), key(77).to_vec());
+        let r2 = arch.commit(&mut t);
+        arch.release(r1);
+        // r1's unique nodes are gone: the walk reports which hash is
+        // missing instead of fabricating an answer.
+        match arch.get(r1, &key(0)) {
+            Err(ProofError::MissingNode(_)) => {}
+            other => panic!("expected MissingNode, got {other:?}"),
+        }
+        assert!(arch
+            .get(r2, &key(0))
+            .expect("current root intact")
+            .is_some());
+    }
+
+    #[test]
+    fn retain_bumps_without_walking() {
+        let mut arch = TrieArchive::new();
+        let mut t = filled_trie(16);
+        let root = arch.commit(&mut t);
+        assert!(arch.retain(root), "committed root retains");
+        assert!(!arch.retain(keccak256(b"unknown")), "unknown root refused");
+        assert!(arch.retain(empty_root()), "empty root trivially retained");
+        arch.release(root);
+        assert!(arch.contains_root(root), "second reference keeps it alive");
+        arch.release(root);
+        assert_eq!(arch.node_count(), 0);
+    }
+
+    #[test]
+    fn secure_commit_matches_secure_trie_root() {
+        let mut secure = SecureTrie::new();
+        for i in 0..20u64 {
+            secure.insert(&i.to_be_bytes(), key(i).to_vec());
+        }
+        let live = secure.root();
+        let mut arch = TrieArchive::new();
+        assert_eq!(arch.commit_secure(&mut secure), live);
+        let got = arch.get_secure(live, &7u64.to_be_bytes()).expect("walk ok");
+        assert_eq!(got.as_deref(), Some(&key(7)[..]));
+        let proof = arch.prove_secure(live, &7u64.to_be_bytes()).expect("ok");
+        assert_eq!(
+            crate::verify_secure_proof(live, &7u64.to_be_bytes(), &proof).expect("verifies"),
+            Some(key(7).to_vec())
+        );
+    }
+}
