@@ -1,0 +1,82 @@
+//! C1 — the confidential settle-later stack: commitment-backend
+//! throughput, the full channel gas ledger against the monolithic
+//! baseline, and settle-later session throughput at N ∈ {1, 16, 256}.
+//!
+//! Prints all three tables, writes `BENCH_confidential.json` at the
+//! repository root, then Criterion-times the N = 16 scheduler run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::confidential::{artifact_path, measure_point, run_and_write};
+use sc_bench::{fmt_gas, print_gas_table};
+
+fn print_report() {
+    let report = run_and_write().expect("write BENCH_confidential.json");
+
+    let c = &report.crypto;
+    print_gas_table(
+        "C1a — commitment backend throughput",
+        &[
+            (
+                "pedersen commit",
+                format!("{:>8.0} /s", c.commits_per_sec()),
+            ),
+            ("range prove (16 bit)", format!("{} ns", c.range_prove_ns)),
+            (
+                "range verify (16 bit)",
+                format!("{:>8.0} /s", c.range_verifies_per_sec()),
+            ),
+        ],
+    );
+
+    let l = &report.lifecycle;
+    print_gas_table(
+        "C1b — confidential channel gas vs monolithic",
+        &[
+            ("deploy", fmt_gas(l.deploy_gas)),
+            ("fund (public stake)", fmt_gas(l.fund_gas)),
+            ("depositCommitted", fmt_gas(l.deposit_committed_gas)),
+            ("activate", fmt_gas(l.activate_gas)),
+            ("settle (voucher)", fmt_gas(l.settle_gas)),
+            ("withdraw", fmt_gas(l.withdraw_gas)),
+            ("channel total", fmt_gas(l.total())),
+            ("monolithic total", fmt_gas(l.monolithic_total_gas)),
+            ("ratio", format!("{:.2}x", l.ratio_vs_monolithic())),
+        ],
+    );
+
+    let rows: Vec<(&str, String)> = report
+        .points
+        .iter()
+        .map(|p| {
+            let label: &str = match p.sessions {
+                1 => "N = 1",
+                16 => "N = 16",
+                _ => "N = 256",
+            };
+            (
+                label,
+                format!(
+                    "{:>8.2} sessions/s, {} gas/session, {:.2} txs/block",
+                    p.sessions_per_sec(),
+                    fmt_gas(p.mean_gas_per_session),
+                    p.mean_txs_per_block(),
+                ),
+            )
+        })
+        .collect();
+    print_gas_table("C1c — settle-later session throughput", &rows);
+    println!("  wrote {}", artifact_path().display());
+}
+
+fn bench(c: &mut Criterion) {
+    print_report();
+    let mut group = c.benchmark_group("confidential");
+    group.sample_size(10);
+    group.bench_function("scheduler/16_settle_later", |b| {
+        b.iter(|| measure_point(16))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod confidential;
 pub mod mempool;
 pub mod network;
 pub mod parallel_evm;

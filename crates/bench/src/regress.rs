@@ -340,6 +340,20 @@ fn state_plateau_ratio(doc: &Json) -> Option<f64> {
     doc.get("seal")?.get("plateau_ratio")?.as_f64()
 }
 
+fn confidential_deposit_gas(doc: &Json) -> Option<f64> {
+    doc.get("lifecycle")?.get("deposit_committed_gas")?.as_f64()
+}
+
+fn confidential_settle_gas(doc: &Json) -> Option<f64> {
+    doc.get("lifecycle")?.get("settle_gas")?.as_f64()
+}
+
+fn confidential_gas_ratio(doc: &Json) -> Option<f64> {
+    doc.get("lifecycle")?
+        .get("gas_ratio_vs_monolithic")?
+        .as_f64()
+}
+
 /// Every metric the CI gate enforces.
 pub fn registry() -> Vec<Metric> {
     vec![
@@ -401,6 +415,28 @@ pub fn registry() -> Vec<Metric> {
             name: "state trie-node plateau ratio",
             extract: state_plateau_ratio,
             tolerance: Tolerance::AbsoluteMax(1.5),
+        },
+        // Confidential channel: the gas figures are deterministic
+        // (fixed contract, fixed proofs), so any rise means the
+        // compiler, the precompile pricing, or the range-proof encoding
+        // regressed. Wall-clock crypto timings are deliberately ungated.
+        Metric {
+            file: "BENCH_confidential.json",
+            name: "confidential depositCommitted gas",
+            extract: confidential_deposit_gas,
+            tolerance: Tolerance::MaxRisePct(10.0),
+        },
+        Metric {
+            file: "BENCH_confidential.json",
+            name: "confidential settle gas",
+            extract: confidential_settle_gas,
+            tolerance: Tolerance::MaxRisePct(10.0),
+        },
+        Metric {
+            file: "BENCH_confidential.json",
+            name: "confidential gas ratio vs monolithic",
+            extract: confidential_gas_ratio,
+            tolerance: Tolerance::MaxRisePct(15.0),
         },
     ]
 }

@@ -1,0 +1,68 @@
+//! Confidential values for on/off-chain contracts: Pedersen commitments
+//! over the stack's own secp256k1, a bounded bit-decomposition range
+//! argument, and co-signed settlement vouchers whose nullifiers make
+//! "settle later" replay-safe.
+//!
+//! The crate is deliberately split along the trust boundary:
+//!
+//! * [`pedersen`] — the commitment scheme itself: a nothing-up-my-sleeve
+//!   second generator `H`, `C = v·G + r·H`, homomorphic add/sub, and the
+//!   canonical 64-byte point wire encoding shared with the EVM
+//!   precompiles.
+//! * [`range`] — a Σ-protocol range argument (per-bit Chaum-Pedersen OR
+//!   proofs, Fiat-Shamir) bounding committed deposits below `2^bits`.
+//! * [`voucher`] — off-chain settlement artifacts: the voucher digest
+//!   (mirrored bit-for-bit by the MiniSol `hash2` chain), ECDSA
+//!   co-signing, and the domain-separated nullifier.
+//!
+//! Everything verifiable on-chain goes through [`CommitmentBackend`], so
+//! a real SNARK verifier could replace the sigma-protocol backend
+//! without touching the contracts or sessions that consume it.
+
+pub mod pedersen;
+pub mod range;
+pub mod voucher;
+
+use sc_primitives::U256;
+
+pub use pedersen::{decode_point, encode_point, Commitment, DecodeError, PedersenBackend};
+pub use range::RangeProof;
+pub use voucher::{
+    hash2, nullifier, SettlementVoucher, SignedVoucher, NULLIFIER_DOMAIN, VOUCHER_DOMAIN,
+};
+
+/// The pluggable verifier boundary: everything a contract-facing
+/// verifier (today the precompiles, tomorrow a SNARK circuit) needs
+/// from a commitment scheme. Proving-side helpers live on the concrete
+/// backend; this trait is the verification surface plus the homomorphic
+/// algebra both sides share.
+pub trait CommitmentBackend {
+    /// Commits to `value` under `blinding` (both taken mod the group
+    /// order).
+    fn commit(&self, value: U256, blinding: U256) -> Commitment;
+
+    /// True iff `c` opens to `(value, blinding)`.
+    fn verify_opening(&self, c: &Commitment, value: U256, blinding: U256) -> bool;
+
+    /// Homomorphic sum: `commit(v1+v2, r1+r2)`.
+    fn add(&self, a: &Commitment, b: &Commitment) -> Commitment;
+
+    /// Homomorphic difference: `commit(v1-v2, r1-r2)`.
+    fn sub(&self, a: &Commitment, b: &Commitment) -> Commitment;
+
+    /// True iff `a + b == total` as group elements (the conservation
+    /// check contracts run at activation and settlement).
+    fn verify_sum(&self, a: &Commitment, b: &Commitment, total: &Commitment) -> bool {
+        self.add(a, b) == *total
+    }
+
+    /// Produces a range proof that the committed value lies in
+    /// `[0, 2^bits)`; `None` if the value is out of range or `bits` is
+    /// unsupported.
+    fn prove_range(&self, value: U256, blinding: U256, bits: u32) -> Option<RangeProof>;
+
+    /// Verifies a serialized range proof against a commitment. Must
+    /// reject malformed bytes cleanly — this is the exact routine the
+    /// `RANGE_VERIFY` precompile exposes to untrusted calldata.
+    fn verify_range(&self, c: &Commitment, bits: u32, proof: &[u8]) -> bool;
+}

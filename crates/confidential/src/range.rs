@@ -1,0 +1,254 @@
+//! A bounded range argument: the committed value lies in `[0, 2^bits)`.
+//!
+//! Classic bit-decomposition construction. The prover commits to each
+//! bit, `C_i = b_i·G + r_i·H`, choosing the bit blindings so that
+//! `Σ 2^i·C_i = C`; the verifier re-checks that linear relation, which
+//! leaves only "each `C_i` hides 0 or 1" to prove. That disjunction is
+//! a per-bit Chaum-Pedersen OR proof (CDS composition): the prover
+//! simulates the false branch, answers the true branch honestly, and
+//! splits a Fiat-Shamir challenge `e = e_0 + e_1` between them — the
+//! verifier checks `z_j·H == A_j + e_j·Y_j` with `Y_0 = C_i` and
+//! `Y_1 = C_i − G`.
+//!
+//! The proof is a fixed 288 bytes per bit
+//! (`C_i ‖ A_0 ‖ A_1 ‖ e_0 ‖ z_0 ‖ z_1`), so calldata cost scales
+//! linearly with the bound — which is why deposits use scaled units and
+//! a 16-bit default rather than full 64-bit amounts.
+
+use crate::pedersen::{
+    decode_point, encode_point, generator_h, points_equal, scalar_sub, Commitment, PedersenBackend,
+};
+use sc_crypto::keccak::keccak256;
+use sc_crypto::secp256k1::{n, scalar, Point};
+use sc_primitives::U256;
+
+/// Serialized size of one per-bit entry.
+pub const BYTES_PER_BIT: usize = 288;
+
+/// Largest supported bit width.
+pub const MAX_BITS: u32 = 64;
+
+/// Default bit width for deposits (values are in scaled units).
+pub const DEFAULT_BITS: u32 = 16;
+
+/// A serialized range proof for a specific bit width.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RangeProof {
+    bits: u32,
+    bytes: Vec<u8>,
+}
+
+impl RangeProof {
+    /// The bit width this proof was produced for.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The wire bytes (what goes into calldata).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the proof into its wire bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Deterministic hash-to-scalar for prover-side nonces and simulated
+/// branch values. These only need to be unpredictable to outsiders, and
+/// determinism keeps every fixture and golden vector reproducible.
+fn h2s(tag: &[u8], r: U256, i: u64) -> U256 {
+    let mut buf = Vec::with_capacity(tag.len() + 40);
+    buf.extend_from_slice(tag);
+    buf.extend_from_slice(&r.to_be_bytes());
+    buf.extend_from_slice(&i.to_be_bytes());
+    scalar::reduce(keccak256(&buf).to_u256())
+}
+
+/// The per-bit Fiat-Shamir challenge, bound to the outer commitment,
+/// the bit index and both first-round messages.
+fn challenge(c: &Commitment, i: u64, a0: &Point, a1: &Point) -> U256 {
+    let mut buf = Vec::with_capacity(16 + 64 * 3 + 8);
+    buf.extend_from_slice(b"sc-range-chal-v1");
+    buf.extend_from_slice(&c.to_bytes());
+    buf.extend_from_slice(&i.to_be_bytes());
+    buf.extend_from_slice(&encode_point(a0));
+    buf.extend_from_slice(&encode_point(a1));
+    scalar::reduce(keccak256(&buf).to_u256())
+}
+
+/// Produces a proof that `commit(value, blinding)` hides a value in
+/// `[0, 2^bits)`. Returns `None` for unsupported widths or out-of-range
+/// values.
+pub fn prove(
+    backend: &PedersenBackend,
+    value: U256,
+    blinding: U256,
+    bits: u32,
+) -> Option<RangeProof> {
+    use crate::CommitmentBackend;
+
+    if bits == 0 || bits > MAX_BITS || value.bits() > bits {
+        return None;
+    }
+    let r = scalar::reduce(blinding);
+    let c = backend.commit(value, r);
+    let g = Point::generator();
+    let h = generator_h();
+
+    // Bit blindings: r_1..r_{bits-1} are hash-derived, r_0 closes the
+    // linear relation Σ 2^i·r_i = r.
+    let mut bit_r = vec![U256::ZERO; bits as usize];
+    let mut acc = U256::ZERO;
+    for (i, slot) in bit_r.iter_mut().enumerate().skip(1) {
+        let ri = h2s(b"sc-range-blind-v1", r, i as u64);
+        *slot = ri;
+        let pow2 = U256::ONE.shl_bits(i as u32);
+        acc = scalar::add(acc, scalar::mul(pow2, ri));
+    }
+    bit_r[0] = scalar_sub(r, acc);
+
+    let mut bytes = Vec::with_capacity(bits as usize * BYTES_PER_BIT);
+    for (i, &ri) in bit_r.iter().enumerate() {
+        let b = value.bit(i as u32);
+        let ci = {
+            let rh = h.mul_scalar(ri);
+            if b {
+                g.add(&rh)
+            } else {
+                rh
+            }
+        };
+
+        // Simulate the false branch, then answer the true one.
+        let e_sim = h2s(b"sc-range-sim-e-v1", ri, i as u64);
+        let z_sim = h2s(b"sc-range-sim-z-v1", ri, i as u64);
+        let y_sim = if b { ci } else { ci.add(&g.negate()) };
+        let a_sim = h.mul_scalar(z_sim).add(&y_sim.mul_scalar(e_sim).negate());
+        let k = h2s(b"sc-range-nonce-v1", ri, i as u64);
+        let a_real = h.mul_scalar(k);
+
+        let (a0, a1) = if b { (a_sim, a_real) } else { (a_real, a_sim) };
+        let e = challenge(&c, i as u64, &a0, &a1);
+        let e_real = scalar_sub(e, e_sim);
+        let z_real = scalar::add(k, scalar::mul(e_real, ri));
+        let (e0, z0, z1) = if b {
+            (e_sim, z_sim, z_real)
+        } else {
+            (e_real, z_real, z_sim)
+        };
+
+        bytes.extend_from_slice(&encode_point(&ci));
+        bytes.extend_from_slice(&encode_point(&a0));
+        bytes.extend_from_slice(&encode_point(&a1));
+        bytes.extend_from_slice(&e0.to_be_bytes());
+        bytes.extend_from_slice(&z0.to_be_bytes());
+        bytes.extend_from_slice(&z1.to_be_bytes());
+    }
+    Some(RangeProof { bits, bytes })
+}
+
+/// Verifies a serialized range proof against a commitment. Rejects any
+/// malformed input (wrong length, off-curve or non-canonical points,
+/// non-canonical scalars) — never panics. This is the routine the
+/// `RANGE_VERIFY` precompile runs on raw calldata.
+pub fn verify(c: &Commitment, bits: u32, proof: &[u8]) -> bool {
+    if bits == 0 || bits > MAX_BITS {
+        return false;
+    }
+    if proof.len() != bits as usize * BYTES_PER_BIT {
+        return false;
+    }
+    let g_neg = Point::generator().negate();
+    let h = generator_h();
+    let mut acc = Point::INFINITY;
+    for i in 0..bits as usize {
+        let entry = &proof[i * BYTES_PER_BIT..(i + 1) * BYTES_PER_BIT];
+        let Ok(ci) = decode_point(&entry[..64]) else {
+            return false;
+        };
+        let Ok(a0) = decode_point(&entry[64..128]) else {
+            return false;
+        };
+        let Ok(a1) = decode_point(&entry[128..192]) else {
+            return false;
+        };
+        let e0 = U256::from_be_slice(&entry[192..224]);
+        let z0 = U256::from_be_slice(&entry[224..256]);
+        let z1 = U256::from_be_slice(&entry[256..288]);
+        if e0 >= n() || z0 >= n() || z1 >= n() {
+            return false;
+        }
+        let e = challenge(c, i as u64, &a0, &a1);
+        let e1 = scalar_sub(e, e0);
+
+        // Branch 0: C_i hides 0, i.e. C_i = r·H.
+        if !points_equal(&h.mul_scalar(z0), &a0.add(&ci.mul_scalar(e0))) {
+            return false;
+        }
+        // Branch 1: C_i hides 1, i.e. C_i − G = r·H.
+        let y1 = ci.add(&g_neg);
+        if !points_equal(&h.mul_scalar(z1), &a1.add(&y1.mul_scalar(e1))) {
+            return false;
+        }
+
+        acc = acc.add(&ci.mul_scalar(U256::ONE.shl_bits(i as u32)));
+    }
+    points_equal(&acc, &c.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CommitmentBackend;
+
+    #[test]
+    fn roundtrip_various_values() {
+        let b = PedersenBackend;
+        for (v, r, bits) in [
+            (0u64, 1u64, 8u32),
+            (1, 2, 8),
+            (255, 3, 8),
+            (42, 7, 16),
+            (65535, 11, 16),
+        ] {
+            let v = U256::from_u64(v);
+            let r = U256::from_u64(r);
+            let proof = b.prove_range(v, r, bits).unwrap();
+            let c = b.commit(v, r);
+            assert!(
+                b.verify_range(&c, bits, proof.as_bytes()),
+                "v fits {bits} bits"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_value_at_prove_time() {
+        let b = PedersenBackend;
+        assert!(b.prove_range(U256::from_u64(256), U256::ONE, 8).is_none());
+        assert!(b.prove_range(U256::ONE, U256::ONE, 0).is_none());
+        assert!(b.prove_range(U256::ONE, U256::ONE, 65).is_none());
+    }
+
+    #[test]
+    fn rejects_wrong_commitment_and_tampered_proof() {
+        let b = PedersenBackend;
+        let (v, r) = (U256::from_u64(42), U256::from_u64(9));
+        let proof = b.prove_range(v, r, 8).unwrap();
+        let other = b.commit(U256::from_u64(43), r);
+        assert!(!b.verify_range(&other, 8, proof.as_bytes()));
+
+        // Any single flipped byte must invalidate the proof.
+        let c = b.commit(v, r);
+        let mut tampered = proof.as_bytes().to_vec();
+        tampered[100] ^= 1;
+        assert!(!b.verify_range(&c, 8, &tampered));
+
+        // Truncated / oversized / wrong-width inputs fail cleanly.
+        assert!(!b.verify_range(&c, 8, &proof.as_bytes()[..proof.as_bytes().len() - 1]));
+        assert!(!b.verify_range(&c, 16, proof.as_bytes()));
+        assert!(!b.verify_range(&c, 8, &[]));
+    }
+}

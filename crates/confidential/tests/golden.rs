@@ -1,0 +1,134 @@
+//! Golden vectors pinning the confidential subsystem's wire artifacts:
+//! the derived generator `H`, commitment bytes for fixed `(v, r)`,
+//! voucher digests and nullifier hashes. These values are consensus —
+//! contracts store commitments by these exact coordinates and registry
+//! keys are these exact nullifiers — so any drift is a hard break, not
+//! a refactor.
+//!
+//! Plus a proptest oracle for the homomorphism: the sum of commitments
+//! is the commitment of the sums.
+
+use proptest::prelude::*;
+use sc_confidential::pedersen::generator_h;
+use sc_confidential::{nullifier, CommitmentBackend, PedersenBackend, SettlementVoucher};
+use sc_crypto::ecdsa::PrivateKey;
+use sc_crypto::secp256k1::scalar;
+use sc_primitives::{Address, H256, U256};
+
+fn u(hex: &str) -> U256 {
+    U256::from_hex_str(hex).unwrap()
+}
+
+#[test]
+fn golden_generator_h() {
+    let h = generator_h().to_affine().unwrap();
+    assert_eq!(
+        h.x,
+        u("ef96f4af945747f025e5ed9c092d0edf332fadb677c6ce66b898f199b3dbf9aa")
+    );
+    assert_eq!(
+        h.y,
+        u("12925d27420cbaa4cbf15bec4fcdd7e373dd6eff2cf1a5093446c3a0cf41d434")
+    );
+}
+
+#[test]
+fn golden_commitment_bytes() {
+    let b = PedersenBackend;
+    let c = b.commit(U256::from_u64(42), U256::from_u64(7));
+    assert_eq!(
+        c.x(),
+        u("c8e962bae3e994e21b089585e5966390f6d4583350c6da6cabb3cad4760b2319")
+    );
+    assert_eq!(
+        c.y(),
+        u("8726491adaf2b66a391512fa6d8bffc022bab3a0c9cc46da56e447de30984154")
+    );
+    let mut expected = [0u8; 64];
+    expected[..32].copy_from_slice(&c.x().to_be_bytes());
+    expected[32..].copy_from_slice(&c.y().to_be_bytes());
+    assert_eq!(c.to_bytes(), expected);
+
+    // commit(0, 1) is H itself — the blinding base, unmixed.
+    let h = generator_h().to_affine().unwrap();
+    let c01 = b.commit(U256::ZERO, U256::ONE);
+    assert_eq!((c01.x(), c01.y()), (h.x, h.y));
+}
+
+#[test]
+fn golden_nullifier_hashes() {
+    assert_eq!(
+        nullifier(&[]),
+        H256::from_hex("9fa3056eca02cbb7170e21500ef54a9be2654351f5305dd6750b16a369de9318").unwrap()
+    );
+    assert_eq!(
+        nullifier(&[1]),
+        H256::from_hex("a48b359fe3a86ba798ef4a864e4d094f8c4df34f2414ad76ae9a3cef5564211a").unwrap()
+    );
+}
+
+#[test]
+fn golden_voucher_digest_and_nullifier() {
+    let b = PedersenBackend;
+    let voucher = SettlementVoucher {
+        contract: Address::from_u256(U256::from_u64(0xc0ffee)),
+        out_a: b.commit(U256::from_u64(30), U256::from_u64(5)),
+        out_b: b.commit(U256::from_u64(12), U256::from_u64(6)),
+    };
+    assert_eq!(
+        voucher.digest(),
+        H256::from_hex("5c7e0d3cf6448ae25b505d52b100a23c0698b287c963365cc1f2206847fb4255").unwrap()
+    );
+    let signed = voucher.co_sign(
+        &PrivateKey::from_seed("voucher-alice"),
+        &PrivateKey::from_seed("voucher-bob"),
+    );
+    assert_eq!(
+        signed.nullifier(),
+        H256::from_hex("924b06e5385ebb483d86c94bdc3c4466e27b5af82efca88ae8d6556fc3855f2a").unwrap()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The homomorphic oracle: Σ commit(v_i, r_i) == commit(Σv_i, Σr_i)
+    /// with the sums taken mod the group order.
+    #[test]
+    fn homomorphic_sum_matches_commitment_of_sums(
+        vals in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..8)
+    ) {
+        let b = PedersenBackend;
+        let mut acc = sc_confidential::Commitment::ZERO;
+        let mut v_sum = U256::ZERO;
+        let mut r_sum = U256::ZERO;
+        for &(v, r) in &vals {
+            let v = U256::from_u64(v);
+            let r = U256::from_u64(r);
+            acc = b.add(&acc, &b.commit(v, r));
+            v_sum = scalar::add(v_sum, v);
+            r_sum = scalar::add(r_sum, r);
+        }
+        prop_assert_eq!(acc, b.commit(v_sum, r_sum));
+    }
+}
+
+proptest! {
+    // Range proofs cost ~100 scalar muls per case; keep the sweep small
+    // so tier-1 stays fast (the unit tests cover the edge widths).
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Range proofs round-trip for arbitrary 16-bit values and verify
+    /// only against their own commitment.
+    #[test]
+    fn range_proof_roundtrip_16_bit(v in any::<u16>(), r in any::<u64>()) {
+        let b = PedersenBackend;
+        let v = U256::from_u64(v as u64);
+        let r = U256::from_u64(r);
+        let proof = b.prove_range(v, r, 16).unwrap();
+        let c = b.commit(v, r);
+        prop_assert!(b.verify_range(&c, 16, proof.as_bytes()));
+        let other = b.commit(v.wrapping_add(U256::ONE), r);
+        prop_assert!(!b.verify_range(&other, 16, proof.as_bytes()));
+    }
+}

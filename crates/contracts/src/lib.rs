@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod challenge;
+pub mod confidential;
 pub mod gen;
 pub mod sources;
 

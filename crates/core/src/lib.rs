@@ -63,7 +63,8 @@ pub use protocol::{
 pub use session::{
     stage_bucket, BettingSession, BettingSessionParams, BettingSpec, BusPort, ChainPort,
     ChallengeSession, ChallengeSessionParams, ChallengeSpec, SchedulerStats, Session, SessionCtx,
-    SessionReport, SessionScheduler, SessionSpec, StepOutcome, STAGE_NAMES,
+    SessionReport, SessionScheduler, SessionSpec, SettleLaterCrash, SettleLaterOutcome,
+    SettleLaterSession, SettleLaterSessionParams, SettleLaterSpec, StepOutcome, STAGE_NAMES,
 };
 pub use signedcopy::{bytecode_hash, sign_bytecode, SignedCopy, SignedCopyError};
 pub use splitter::{classify_function, split, Classification, FunctionClass, SplitPlan};

@@ -24,6 +24,7 @@ pub mod betting;
 pub mod challenge;
 pub mod retry;
 pub mod scheduler;
+pub mod settle_later;
 pub mod sign;
 
 pub use betting::{BettingSession, BettingSessionParams};
@@ -31,6 +32,10 @@ pub use challenge::{ChallengeSession, ChallengeSessionParams};
 pub use retry::{TaskPoll, TxTask, BACKOFF_BASE_SECS, MAX_ATTEMPTS};
 pub use scheduler::{
     BettingSpec, ChallengeSpec, SchedulerStats, SessionReport, SessionScheduler, SessionSpec,
+};
+pub use settle_later::{
+    SettleLaterCrash, SettleLaterOutcome, SettleLaterSession, SettleLaterSessionParams,
+    SettleLaterSpec,
 };
 pub use sign::{SignExchange, MAX_SIGN_ROUNDS, SIGN_ROUND_SECS};
 
@@ -431,7 +436,7 @@ pub const STAGE_NAMES: [&str; 4] = ["deploy", "deposit", "submit", "dispute"];
 pub fn stage_bucket(label: &str) -> usize {
     if label.starts_with("deploy on") {
         0
-    } else if label.starts_with("deposit") {
+    } else if label.starts_with("deposit") || label == "activate" {
         1
     } else if matches!(
         label,
@@ -441,6 +446,9 @@ pub fn stage_bucket(label: &str) -> usize {
             | "refundRoundTwo"
             | "finalize"
             | "reclaimNoSubmission"
+            | "settle"
+            | "withdraw"
+            | "reclaim"
     ) {
         2
     } else {

@@ -18,7 +18,8 @@
 
 use super::{
     BettingSession, BettingSessionParams, BusPort, ChainPort, ChallengeSession,
-    ChallengeSessionParams, Session, SessionCtx, StepOutcome,
+    ChallengeSessionParams, Session, SessionCtx, SettleLaterSession, SettleLaterSessionParams,
+    SettleLaterSpec, StepOutcome,
 };
 use crate::challenge_protocol::{CrashPoint, SubmitStrategy, WatchStrategy};
 use crate::faults::{ChainFaults, FaultPlan, WhisperFaults};
@@ -27,6 +28,7 @@ use crate::protocol::GameConfig;
 use crate::whisper::{Topic, Whisper};
 use sc_chain::{PoolConfig, SignedTransaction, Testnet, TxError};
 use sc_contracts::challenge::ChallengeContracts;
+use sc_contracts::confidential::ConfidentialContracts;
 use sc_contracts::{BetSecrets, OffChainContract, OnChainContract};
 use sc_primitives::{ether, Address, H256};
 use std::collections::HashMap;
@@ -106,6 +108,8 @@ pub enum SessionSpec {
     Betting(BettingSpec),
     /// A submit/challenge game.
     Challenge(ChallengeSpec),
+    /// A confidential channel settled later by voucher.
+    SettleLater(SettleLaterSpec),
 }
 
 /// Terminal record of one multiplexed session.
@@ -113,7 +117,7 @@ pub enum SessionSpec {
 pub struct SessionReport {
     /// Slot index (also the wallet-seed and topic namespace).
     pub id: usize,
-    /// `"betting"` or `"challenge"`.
+    /// `"betting"`, `"challenge"` or `"settle-later"`.
     pub kind: &'static str,
     /// Outcome label, `None` if the session failed.
     pub outcome: Option<&'static str>,
@@ -184,6 +188,7 @@ struct Slot {
 pub(crate) struct ContractCache {
     betting: Option<(OnChainContract, OffChainContract)>,
     challenge: Option<ChallengeContracts>,
+    confidential: Option<ConfidentialContracts>,
 }
 
 /// The deterministic wallets a session slot plays with, derivable from
@@ -259,6 +264,27 @@ pub(crate) fn build_session(
                 Box::new(session) as Box<dyn Session>,
                 "challenge",
                 s.fault_seed,
+            )
+        }
+        SessionSpec::SettleLater(s) => {
+            let contracts = contracts
+                .confidential
+                .get_or_insert_with(ConfidentialContracts::new)
+                .clone();
+            let [alice, bob] = session_wallets(id);
+            let fault_seed = s.fault_seed;
+            let session = SettleLaterSession::new(SettleLaterSessionParams {
+                alice,
+                bob,
+                spec: s,
+                topic,
+                contracts,
+                funding,
+            });
+            (
+                Box::new(session) as Box<dyn Session>,
+                "settle-later",
+                fault_seed,
             )
         }
     }

@@ -1,0 +1,695 @@
+//! The confidential settle-later protocol as a resumable state machine.
+//!
+//! Two parties open a confidential channel on the
+//! [`confidentialDeposit`](sc_contracts::confidential) contract: public
+//! stakes, committed claims (Pedersen commitment + range proof, no
+//! amount in calldata), and an activation step that pins the
+//! conservation anchor. The *outcome* never touches the chain while
+//! both parties are live — they exchange a co-signed
+//! [`SettlementVoucher`] over whisper, and **either** participant
+//! (including one that crashed right after co-signing and came back, or
+//! one stranded behind a partition) submits it on-chain later. The
+//! contract burns one nullifier per voucher digest, so a double
+//! submission — same voucher from both parties, possibly racing across
+//! nodes — settles exactly once and every replay reverts.
+//!
+//! The machine drives both wallets, mirroring the other session
+//! variants: crash and double-submit behaviour are spec knobs routed at
+//! the settle phase, whisper faults stress the voucher exchange, and an
+//! exchange that never completes degrades to the post-deadline reclaim
+//! path.
+
+use super::sign::{SignExchange, MAX_SIGN_ROUNDS, SIGN_ROUND_SECS};
+use super::{Session, SessionCtx, StepOutcome, TaskPoll, TxTask};
+use crate::protocol::ProtocolError;
+use sc_chain::{Receipt, Wallet};
+use sc_confidential::{CommitmentBackend, PedersenBackend, SettlementVoucher, SignedVoucher};
+use sc_contracts::confidential::{ConfidentialContracts, ConfidentialParams};
+use sc_crypto::keccak256;
+use sc_crypto::secp256k1::{n as curve_order, scalar};
+use sc_primitives::{Address, U256};
+
+/// Whether (and which) participant crashes after co-signing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SettleLaterCrash {
+    /// Both parties stay up.
+    #[default]
+    None,
+    /// Party A goes dark right after the voucher exchange: B submits
+    /// the voucher alone and A never withdraws (their share stays
+    /// claimable in the contract).
+    AAfterCosign,
+}
+
+/// Specification of one settle-later session.
+#[derive(Debug, Clone)]
+pub struct SettleLaterSpec {
+    /// Party A's stake in units.
+    pub units_a: u64,
+    /// Party B's stake in units.
+    pub units_b: u64,
+    /// Units the voucher moves from A to B.
+    pub delta_units: u64,
+    /// Wei per unit.
+    pub unit_scale: u64,
+    /// Range-proof width for deposit commitments.
+    pub range_bits: u32,
+    /// `false` skips the voucher exchange entirely: the channel times
+    /// out and both parties reclaim their stakes.
+    pub exchange_voucher: bool,
+    /// Crash behaviour after co-signing.
+    pub crash: SettleLaterCrash,
+    /// Both parties submit the same voucher (the second lands as a
+    /// nullifier revert).
+    pub double_submit: bool,
+    /// Seconds between co-signing and the on-chain submission — the
+    /// "later" in settle-later.
+    pub settle_delay: u64,
+    /// Reclaim deadline, seconds after deployment.
+    pub deadline_secs: u64,
+    /// `Some(seed)` injects that deterministic fault schedule.
+    pub fault_seed: Option<u64>,
+    /// Seconds after scheduler start before this session begins.
+    pub start_delay: u64,
+}
+
+impl Default for SettleLaterSpec {
+    fn default() -> Self {
+        SettleLaterSpec {
+            units_a: 30,
+            units_b: 12,
+            delta_units: 9,
+            unit_scale: 1_000_000_000, // 1 gwei per unit
+            range_bits: 16,
+            exchange_voucher: true,
+            crash: SettleLaterCrash::None,
+            double_submit: false,
+            settle_delay: 900,
+            deadline_secs: 7200,
+            fault_seed: None,
+            start_delay: 0,
+        }
+    }
+}
+
+/// Terminal outcome of a settle-later session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SettleLaterOutcome {
+    /// The voucher landed (submitted by whoever was up) and every live
+    /// party withdrew its opening.
+    Settled,
+    /// Both parties submitted; the first won the nullifier, the
+    /// replay reverted, withdrawals still went through.
+    SettledDoubleSubmit,
+    /// No voucher ever completed; both stakes were reclaimed after the
+    /// deadline.
+    ReclaimedUnsettled,
+}
+
+/// One on-chain transaction of a settle-later run.
+#[derive(Debug, Clone)]
+struct SettleTx {
+    label: String,
+    gas_used: u64,
+    success: bool,
+}
+
+/// Where the machine is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Fund wallets, wait out the staggered start.
+    Start,
+    /// Deploy the confidential-deposit contract.
+    Deploy,
+    /// Public stake of participant `0`/`1`.
+    Fund(usize),
+    /// Committed claim (+ range proof) of participant `0`/`1`.
+    Deposit(usize),
+    /// Pin the conservation anchor.
+    Activate,
+    /// Off-chain voucher co-signing over whisper.
+    Exchange,
+    /// Hold the co-signed voucher off-chain for `settle_delay`.
+    SettleHold,
+    /// Submission `idx` of the submitter list (double submit = 2).
+    Settle(usize),
+    /// Withdrawal of participant `0`/`1` (crashed parties skip).
+    Withdraw(usize),
+    /// No voucher: wait out the reclaim deadline.
+    AwaitDeadline,
+    /// Post-deadline stake reclamation of participant `0`/`1`.
+    Reclaim(usize),
+    /// Terminal.
+    Done,
+}
+
+/// Construction parameters for a [`SettleLaterSession`].
+pub struct SettleLaterSessionParams {
+    /// Party A's wallet.
+    pub alice: Wallet,
+    /// Party B's wallet.
+    pub bob: Wallet,
+    /// Behaviour knobs.
+    pub spec: SettleLaterSpec,
+    /// Whisper topic for the voucher exchange.
+    pub topic: String,
+    /// Compiled contract (compile once, clone per session).
+    pub contracts: ConfidentialContracts,
+    /// Wei to mint per wallet at the first step (`None` = pre-funded).
+    pub funding: Option<U256>,
+}
+
+/// One confidential settle-later channel as a pollable state machine.
+pub struct SettleLaterSession {
+    contracts: ConfidentialContracts,
+    alice: Wallet,
+    bob: Wallet,
+    spec: SettleLaterSpec,
+    topic: String,
+    funding: Option<U256>,
+    /// Deployed contract address.
+    pub onchain: Address,
+    params: Option<ConfidentialParams>,
+    phase: Phase,
+    task: Option<TxTask>,
+    exchange: Option<SignExchange>,
+    start_at: Option<u64>,
+    settle_at: u64,
+    posts: usize,
+    txs: Vec<SettleTx>,
+    outcome: Option<SettleLaterOutcome>,
+}
+
+/// A mandatory send either landed successfully or tells the caller how
+/// to hold; everything else already became a [`ProtocolError`].
+enum Mandatory {
+    Landed(Receipt),
+    Hold(StepOutcome),
+}
+
+/// A session-deterministic blinding scalar: every run derives the same
+/// commitments from the same topic, which is what keeps chaos replays
+/// bit-identical.
+fn derive_blinding(topic: &str, tag: &str) -> U256 {
+    let mut buf = Vec::with_capacity(topic.len() + tag.len() + 1);
+    buf.extend_from_slice(topic.as_bytes());
+    buf.push(b'|');
+    buf.extend_from_slice(tag.as_bytes());
+    scalar::reduce(keccak256(&buf).to_u256())
+}
+
+impl SettleLaterSession {
+    /// Builds the machine at its start state.
+    pub fn new(params: SettleLaterSessionParams) -> SettleLaterSession {
+        SettleLaterSession {
+            contracts: params.contracts,
+            alice: params.alice,
+            bob: params.bob,
+            spec: params.spec,
+            topic: params.topic,
+            funding: params.funding,
+            onchain: Address::ZERO,
+            params: None,
+            phase: Phase::Start,
+            task: None,
+            exchange: None,
+            start_at: None,
+            settle_at: 0,
+            posts: 0,
+            txs: Vec::new(),
+            outcome: None,
+        }
+    }
+
+    /// The terminal outcome, once the session is done.
+    pub fn outcome(&self) -> Option<SettleLaterOutcome> {
+        self.outcome
+    }
+
+    /// The channel parameters, fixed at deploy time.
+    fn channel(&self) -> ConfidentialParams {
+        self.params.expect("channel deployed")
+    }
+
+    /// Input blindings: A's derives from the topic, B's cancels it so
+    /// the deposit commitments sum to `potUnits·G`.
+    fn input_blindings(&self) -> (U256, U256) {
+        let ra = derive_blinding(&self.topic, "in-a");
+        (ra, curve_order().wrapping_sub(ra))
+    }
+
+    /// Output blindings, same cancellation.
+    fn output_blindings(&self) -> (U256, U256) {
+        let ra = derive_blinding(&self.topic, "out-a");
+        (ra, curve_order().wrapping_sub(ra))
+    }
+
+    /// The final split the voucher encodes.
+    fn final_units(&self) -> (u64, u64) {
+        (
+            self.spec.units_a - self.spec.delta_units,
+            self.spec.units_b + self.spec.delta_units,
+        )
+    }
+
+    /// The settlement voucher both parties sign.
+    fn voucher(&self) -> SettlementVoucher {
+        let backend = PedersenBackend;
+        let (va, vb) = self.final_units();
+        let (ra, rb) = self.output_blindings();
+        SettlementVoucher {
+            contract: self.onchain,
+            out_a: backend.commit(U256::from_u64(va), ra),
+            out_b: backend.commit(U256::from_u64(vb), rb),
+        }
+    }
+
+    /// The co-signed voucher (the exchange phase simulates delivery;
+    /// the signatures themselves are deterministic).
+    fn signed_voucher(&self) -> SignedVoucher {
+        self.voucher().co_sign(&self.alice.key, &self.bob.key)
+    }
+
+    /// The submitter order at the settle phase.
+    fn submitters(&self) -> Vec<Wallet> {
+        match (self.spec.crash, self.spec.double_submit) {
+            (SettleLaterCrash::AAfterCosign, _) => vec![self.bob.clone()],
+            (SettleLaterCrash::None, true) => vec![self.alice.clone(), self.bob.clone()],
+            (SettleLaterCrash::None, false) => vec![self.alice.clone()],
+        }
+    }
+
+    fn record(&mut self, label: &str, r: &Receipt) {
+        self.txs.push(SettleTx {
+            label: label.into(),
+            gas_used: r.gas_used,
+            success: r.success,
+        });
+    }
+
+    fn finish(&mut self, outcome: SettleLaterOutcome) -> StepOutcome {
+        self.outcome = Some(outcome);
+        self.phase = Phase::Done;
+        StepOutcome::Done
+    }
+
+    /// Polls the current task; a landed receipt is recorded and must be
+    /// successful, anything else is a protocol failure.
+    fn poll_mandatory(&mut self, ctx: &mut SessionCtx<'_>) -> Result<Mandatory, ProtocolError> {
+        let task = self.task.as_mut().expect("task set");
+        let label = task.label();
+        match task.poll(&mut ctx.chain) {
+            TaskPoll::Landed(r) => {
+                self.task = None;
+                self.record(label, &r);
+                if !r.success {
+                    return Err(ProtocolError::TxFailed(label.into()));
+                }
+                Ok(Mandatory::Landed(r))
+            }
+            TaskPoll::Pending => Ok(Mandatory::Hold(StepOutcome::Pending)),
+            TaskPoll::Wait(t) => Ok(Mandatory::Hold(StepOutcome::WaitUntil(t))),
+            TaskPoll::DeadlineMissed => Err(ProtocolError::TxFailed(label.into())),
+            TaskPoll::Rejected(e) => Err(ProtocolError::TxFailed(format!("{label}: {e}"))),
+        }
+    }
+
+    /// Makes one bounded unit of progress.
+    pub fn step(&mut self, ctx: &mut SessionCtx<'_>) -> Result<StepOutcome, ProtocolError> {
+        match self.phase {
+            Phase::Start => {
+                if let Some(amount) = self.funding.take() {
+                    ctx.chain.faucet(self.alice.address, amount);
+                    ctx.chain.faucet(self.bob.address, amount);
+                }
+                let now = ctx.chain.now();
+                let start = *self.start_at.get_or_insert(now + self.spec.start_delay);
+                if now < start {
+                    return Ok(StepOutcome::WaitUntil(start));
+                }
+                self.phase = Phase::Deploy;
+                Ok(StepOutcome::Progress)
+            }
+
+            Phase::Deploy => {
+                if self.task.is_none() {
+                    let p = *self.params.get_or_insert(ConfidentialParams {
+                        units_a: self.spec.units_a,
+                        units_b: self.spec.units_b,
+                        unit_scale: U256::from_u64(self.spec.unit_scale),
+                        range_bits: self.spec.range_bits,
+                        deadline: ctx.chain.now() + self.spec.deadline_secs,
+                    });
+                    let initcode = self
+                        .contracts
+                        .initcode(self.alice.address, self.bob.address, p);
+                    self.task = Some(TxTask::new(
+                        "deploy onConfidentialDeposit",
+                        self.alice.clone(),
+                        None,
+                        U256::ZERO,
+                        initcode,
+                        5_000_000,
+                        None,
+                    ));
+                }
+                match self.poll_mandatory(ctx)? {
+                    Mandatory::Landed(r) => {
+                        self.onchain = r.contract_address.expect("created");
+                        self.phase = Phase::Fund(0);
+                        Ok(StepOutcome::Progress)
+                    }
+                    Mandatory::Hold(h) => Ok(h),
+                }
+            }
+
+            Phase::Fund(idx) => {
+                if idx >= 2 {
+                    self.phase = Phase::Deposit(0);
+                    return Ok(StepOutcome::Progress);
+                }
+                let p = self.channel();
+                let (wallet, units) = if idx == 0 {
+                    (self.alice.clone(), p.units_a)
+                } else {
+                    (self.bob.clone(), p.units_b)
+                };
+                if self.task.is_none() {
+                    self.task = Some(TxTask::new(
+                        "deposit stake",
+                        wallet,
+                        Some(self.onchain),
+                        p.stake_wei(units),
+                        self.contracts.fund(),
+                        300_000,
+                        Some(p.deadline),
+                    ));
+                }
+                match self.poll_mandatory(ctx)? {
+                    Mandatory::Landed(_) => {
+                        self.phase = Phase::Fund(idx + 1);
+                        Ok(StepOutcome::Progress)
+                    }
+                    Mandatory::Hold(h) => Ok(h),
+                }
+            }
+
+            Phase::Deposit(idx) => {
+                if idx >= 2 {
+                    self.phase = Phase::Activate;
+                    return Ok(StepOutcome::Progress);
+                }
+                let p = self.channel();
+                let backend = PedersenBackend;
+                let (r_a, r_b) = self.input_blindings();
+                let (wallet, units, r) = if idx == 0 {
+                    (self.alice.clone(), p.units_a, r_a)
+                } else {
+                    (self.bob.clone(), p.units_b, r_b)
+                };
+                if self.task.is_none() {
+                    let c = backend.commit(U256::from_u64(units), r);
+                    let proof = backend
+                        .prove_range(U256::from_u64(units), r, p.range_bits)
+                        .ok_or_else(|| {
+                            ProtocolError::TxFailed("stake exceeds range width".into())
+                        })?;
+                    self.task = Some(TxTask::new(
+                        "depositCommitted",
+                        wallet,
+                        Some(self.onchain),
+                        U256::ZERO,
+                        self.contracts
+                            .deposit_committed(&c, p.range_bits, proof.as_bytes()),
+                        2_500_000,
+                        Some(p.deadline),
+                    ));
+                }
+                match self.poll_mandatory(ctx)? {
+                    Mandatory::Landed(_) => {
+                        self.phase = Phase::Deposit(idx + 1);
+                        Ok(StepOutcome::Progress)
+                    }
+                    Mandatory::Hold(h) => Ok(h),
+                }
+            }
+
+            Phase::Activate => {
+                if self.task.is_none() {
+                    let p = self.channel();
+                    let backend = PedersenBackend;
+                    let (r_a, r_b) = self.input_blindings();
+                    let c_a = backend.commit(U256::from_u64(p.units_a), r_a);
+                    let c_b = backend.commit(U256::from_u64(p.units_b), r_b);
+                    let sum = backend.add(&c_a, &c_b);
+                    self.task = Some(TxTask::new(
+                        "activate",
+                        self.alice.clone(),
+                        Some(self.onchain),
+                        U256::ZERO,
+                        self.contracts.activate(&sum),
+                        600_000,
+                        Some(p.deadline),
+                    ));
+                }
+                match self.poll_mandatory(ctx)? {
+                    Mandatory::Landed(_) => {
+                        self.phase = Phase::Exchange;
+                        Ok(StepOutcome::Progress)
+                    }
+                    Mandatory::Hold(h) => Ok(h),
+                }
+            }
+
+            Phase::Exchange => {
+                if !self.spec.exchange_voucher {
+                    self.phase = Phase::AwaitDeadline;
+                    return Ok(StepOutcome::Progress);
+                }
+                let digest = self.voucher().digest();
+                let expected = [self.alice.address, self.bob.address];
+                if self.exchange.is_none() {
+                    self.exchange = Some(SignExchange::new(digest, expected));
+                }
+                // One exchange round: both parties (re-)post their
+                // voucher signature, then absorb whatever the faulty bus
+                // delivered.
+                let sig_a = self.voucher().sign(&self.alice.key);
+                let sig_b = self.voucher().sign(&self.bob.key);
+                let topic = self.topic.clone();
+                ctx.bus
+                    .post(self.alice.address, &topic, sig_a.to_bytes().to_vec());
+                ctx.bus
+                    .post(self.bob.address, &topic, sig_b.to_bytes().to_vec());
+                self.posts += 2;
+                let deadline = self.channel().deadline;
+                let ex = self.exchange.as_mut().expect("exchange started");
+                ex.absorb(&mut ctx.bus, &topic);
+                ex.advance_round();
+                if ex.complete() {
+                    self.settle_at = ctx.chain.now() + self.spec.settle_delay;
+                    self.phase = Phase::SettleHold;
+                    return Ok(StepOutcome::Progress);
+                }
+                let now = ctx.chain.now();
+                if ex.rounds_run() >= MAX_SIGN_ROUNDS || now + SIGN_ROUND_SECS >= deadline {
+                    // The bus ate every copy: no co-signed voucher exists,
+                    // fall back to the timeout path.
+                    self.phase = Phase::AwaitDeadline;
+                    return Ok(StepOutcome::Progress);
+                }
+                Ok(StepOutcome::WaitUntil(now + SIGN_ROUND_SECS))
+            }
+
+            Phase::SettleHold => {
+                // The voucher lives off-chain; nobody is in a hurry. A
+                // crash in this window is exactly what settle-later
+                // absorbs: the voucher is all either party needs.
+                let now = ctx.chain.now();
+                if now < self.settle_at {
+                    return Ok(StepOutcome::WaitUntil(self.settle_at));
+                }
+                self.phase = Phase::Settle(0);
+                Ok(StepOutcome::Progress)
+            }
+
+            Phase::Settle(idx) => {
+                let submitters = self.submitters();
+                if idx >= submitters.len() {
+                    self.phase = Phase::Withdraw(0);
+                    return Ok(StepOutcome::Progress);
+                }
+                if self.task.is_none() {
+                    let signed = self.signed_voucher();
+                    self.task = Some(TxTask::new(
+                        "settle",
+                        submitters[idx].clone(),
+                        Some(self.onchain),
+                        U256::ZERO,
+                        self.contracts.settle(&signed),
+                        1_500_000,
+                        None,
+                    ));
+                }
+                if idx == 0 {
+                    // The first submission must land and succeed.
+                    match self.poll_mandatory(ctx)? {
+                        Mandatory::Landed(_) => {
+                            self.phase = Phase::Settle(idx + 1);
+                            Ok(StepOutcome::Progress)
+                        }
+                        Mandatory::Hold(h) => Ok(h),
+                    }
+                } else {
+                    // The replay must land and *revert*: the nullifier is
+                    // burned. A second success would be a double
+                    // settlement — a protocol violation, not bad luck.
+                    let task = self.task.as_mut().expect("task set");
+                    match task.poll(&mut ctx.chain) {
+                        TaskPoll::Landed(r) => {
+                            self.task = None;
+                            self.record("settle", &r);
+                            if r.success {
+                                return Err(ProtocolError::TxFailed(
+                                    "voucher settled twice".into(),
+                                ));
+                            }
+                            self.phase = Phase::Settle(idx + 1);
+                            Ok(StepOutcome::Progress)
+                        }
+                        TaskPoll::Pending => Ok(StepOutcome::Pending),
+                        TaskPoll::Wait(t) => Ok(StepOutcome::WaitUntil(t)),
+                        TaskPoll::DeadlineMissed | TaskPoll::Rejected(_) => {
+                            self.task = None;
+                            self.phase = Phase::Settle(idx + 1);
+                            Ok(StepOutcome::Progress)
+                        }
+                    }
+                }
+            }
+
+            Phase::Withdraw(idx) => {
+                if idx >= 2 {
+                    let outcome = if self.spec.double_submit {
+                        SettleLaterOutcome::SettledDoubleSubmit
+                    } else {
+                        SettleLaterOutcome::Settled
+                    };
+                    return Ok(self.finish(outcome));
+                }
+                if idx == 0 && self.spec.crash == SettleLaterCrash::AAfterCosign {
+                    // A is still dark; their share stays claimable.
+                    self.phase = Phase::Withdraw(1);
+                    return Ok(StepOutcome::Progress);
+                }
+                let (va, vb) = self.final_units();
+                let (ra, rb) = self.output_blindings();
+                let (wallet, v, r) = if idx == 0 {
+                    (self.alice.clone(), va, ra)
+                } else {
+                    (self.bob.clone(), vb, rb)
+                };
+                if self.task.is_none() {
+                    self.task = Some(TxTask::new(
+                        "withdraw",
+                        wallet,
+                        Some(self.onchain),
+                        U256::ZERO,
+                        self.contracts.withdraw(U256::from_u64(v), r),
+                        600_000,
+                        None,
+                    ));
+                }
+                match self.poll_mandatory(ctx)? {
+                    Mandatory::Landed(_) => {
+                        self.phase = Phase::Withdraw(idx + 1);
+                        Ok(StepOutcome::Progress)
+                    }
+                    Mandatory::Hold(h) => Ok(h),
+                }
+            }
+
+            Phase::AwaitDeadline => {
+                let deadline = self.channel().deadline;
+                let now = ctx.chain.now();
+                if now < deadline {
+                    return Ok(StepOutcome::WaitUntil(deadline + 60));
+                }
+                self.phase = Phase::Reclaim(0);
+                Ok(StepOutcome::Progress)
+            }
+
+            Phase::Reclaim(idx) => {
+                if idx >= 2 {
+                    return Ok(self.finish(SettleLaterOutcome::ReclaimedUnsettled));
+                }
+                let wallet = if idx == 0 {
+                    self.alice.clone()
+                } else {
+                    self.bob.clone()
+                };
+                if self.task.is_none() {
+                    self.task = Some(TxTask::new(
+                        "reclaim",
+                        wallet,
+                        Some(self.onchain),
+                        U256::ZERO,
+                        self.contracts.reclaim(),
+                        300_000,
+                        None,
+                    ));
+                }
+                match self.poll_mandatory(ctx)? {
+                    Mandatory::Landed(_) => {
+                        self.phase = Phase::Reclaim(idx + 1);
+                        Ok(StepOutcome::Progress)
+                    }
+                    Mandatory::Hold(h) => Ok(h),
+                }
+            }
+
+            Phase::Done => Ok(StepOutcome::Done),
+        }
+    }
+}
+
+impl Session for SettleLaterSession {
+    fn step(&mut self, ctx: &mut SessionCtx<'_>) -> Result<StepOutcome, ProtocolError> {
+        SettleLaterSession::step(self, ctx)
+    }
+
+    fn is_done(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    fn outcome_label(&self) -> Option<&'static str> {
+        self.outcome.map(|o| match o {
+            SettleLaterOutcome::Settled => "settled",
+            SettleLaterOutcome::SettledDoubleSubmit => "settled-double-submit",
+            SettleLaterOutcome::ReclaimedUnsettled => "reclaimed-unsettled",
+        })
+    }
+
+    fn total_gas(&self) -> u64 {
+        self.txs.iter().map(|t| t.gas_used).sum()
+    }
+
+    fn tx_trace(&self) -> Vec<(String, bool)> {
+        self.txs
+            .iter()
+            .map(|t| (t.label.clone(), t.success))
+            .collect()
+    }
+
+    fn messages_posted(&self) -> usize {
+        self.posts
+    }
+
+    fn gas_by_stage(&self) -> [u64; 4] {
+        let mut buckets = [0u64; 4];
+        for t in &self.txs {
+            buckets[super::stage_bucket(&t.label)] += t.gas_used;
+        }
+        buckets
+    }
+}

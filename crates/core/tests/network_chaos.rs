@@ -170,3 +170,276 @@ fn network_chaos_runs_are_deterministic_per_seed() {
     let b = with_seed(seed, "determinism run B", || network_cell(seed));
     assert_eq!(a, b, "same seed produced different networks");
 }
+
+// ---------------------------------------------------------------------
+// Confidential double-submit race
+// ---------------------------------------------------------------------
+//
+// The settle-later guarantee under the worst schedule: both parties
+// hold the same co-signed voucher, a partition splits the network, and
+// each submits the voucher on a *different side* of the cut. Both
+// sides mine their submission into competing branches; healing forces
+// a reorg, the losing branch's settle is orphaned and resubmitted, and
+// it must then revert on the burned nullifier. Exactly one settlement
+// survives on every node, every node converges and conserves ether,
+// and the whole race replays bit-identically per seed.
+
+use sc_chain::{Transaction, Wallet};
+use sc_confidential::{CommitmentBackend, PedersenBackend, SettlementVoucher};
+use sc_contracts::confidential::{ConfidentialContracts, ConfidentialParams};
+use sc_core::{FaultPlan, NetStats, Network};
+use sc_crypto::secp256k1::{n as curve_order, scalar};
+use sc_primitives::{ether, Address, H256, U256};
+
+/// Self-signs one transaction against `node`'s current nonce view and
+/// submits it into that node's pool only — gossip spreads it no further
+/// than the blocks that mine it, which is what lets a partition hold
+/// different submissions on its two sides.
+fn submit_on(
+    net: &mut Network,
+    node: usize,
+    wallet: &Wallet,
+    to: Option<Address>,
+    value: U256,
+    data: Vec<u8>,
+    gas: u64,
+) -> H256 {
+    let chain = net.node(node);
+    let tx = Transaction {
+        nonce: chain.effective_nonce(wallet.address),
+        gas_price: chain.config().default_gas_price,
+        gas_limit: gas,
+        to,
+        value,
+        data,
+    };
+    let signed = tx.sign(&wallet.key);
+    let hash = signed.hash();
+    net.node_mut(node)
+        .submit(signed)
+        .unwrap_or_else(|e| panic!("node {node} rejected submission: {e:?}"));
+    hash
+}
+
+/// Runs rounds until every hash has a receipt on every node and the
+/// network has converged with no frames in flight.
+fn land_everywhere(net: &mut Network, hashes: &[H256], max_rounds: u64) {
+    for _ in 0..max_rounds {
+        net.round();
+        let landed = hashes
+            .iter()
+            .all(|h| (0..net.len()).all(|i| net.node(i).receipt(*h).is_some()));
+        if landed && net.converged() && !net.frames_in_flight() {
+            return;
+        }
+    }
+    panic!(
+        "transactions failed to land on every node within {max_rounds} rounds; heads: {:?}",
+        net.heads()
+    );
+}
+
+/// One double-submit race under `seed`; returns the fingerprint the
+/// determinism check compares.
+fn double_submit_cell(seed: u64) -> (Vec<H256>, NetStats, bool, bool) {
+    let alice = Wallet::from_seed("ds-alice");
+    let bob = Wallet::from_seed("ds-bob");
+    let funding = [(alice.address, ether(10)), (bob.address, ether(10))];
+    let mut net = Network::new(NODES, &FaultPlan::none(), PoolConfig::default(), &funding);
+    let contracts = ConfidentialContracts::new();
+    let backend = PedersenBackend;
+    let p = ConfidentialParams {
+        units_a: 30,
+        units_b: 12,
+        unit_scale: U256::from_u64(1_000_000_000),
+        range_bits: 16,
+        deadline: net.node(0).now() + 1_000_000,
+    };
+
+    // Channel setup, landed network-wide before any cut: deploy, both
+    // public stakes, both committed deposits (cancelling blindings, so
+    // the sum commitment opens to the pot), activation.
+    let deploy = submit_on(
+        &mut net,
+        0,
+        &alice,
+        None,
+        U256::ZERO,
+        contracts.initcode(alice.address, bob.address, p),
+        5_000_000,
+    );
+    land_everywhere(&mut net, &[deploy], 64);
+    let receipt = net.node(0).receipt(deploy).expect("deploy mined").clone();
+    assert!(receipt.success, "deploy reverted");
+    let contract = receipt.contract_address.expect("created");
+
+    let r_a = scalar::reduce(U256::from_u64(seed | 1));
+    let r_b = curve_order().wrapping_sub(r_a);
+    let c_a = backend.commit(U256::from_u64(p.units_a), r_a);
+    let c_b = backend.commit(U256::from_u64(p.units_b), r_b);
+    let setup = [
+        submit_on(
+            &mut net,
+            0,
+            &alice,
+            Some(contract),
+            p.stake_wei(p.units_a),
+            contracts.fund(),
+            300_000,
+        ),
+        submit_on(
+            &mut net,
+            1,
+            &bob,
+            Some(contract),
+            p.stake_wei(p.units_b),
+            contracts.fund(),
+            300_000,
+        ),
+    ];
+    land_everywhere(&mut net, &setup, 64);
+    let proof_a = backend
+        .prove_range(U256::from_u64(p.units_a), r_a, p.range_bits)
+        .expect("in range");
+    let proof_b = backend
+        .prove_range(U256::from_u64(p.units_b), r_b, p.range_bits)
+        .expect("in range");
+    let deposits = [
+        submit_on(
+            &mut net,
+            0,
+            &alice,
+            Some(contract),
+            U256::ZERO,
+            contracts.deposit_committed(&c_a, p.range_bits, proof_a.as_bytes()),
+            2_500_000,
+        ),
+        submit_on(
+            &mut net,
+            1,
+            &bob,
+            Some(contract),
+            U256::ZERO,
+            contracts.deposit_committed(&c_b, p.range_bits, proof_b.as_bytes()),
+            2_500_000,
+        ),
+    ];
+    land_everywhere(&mut net, &deposits, 64);
+    let activate = submit_on(
+        &mut net,
+        0,
+        &alice,
+        Some(contract),
+        U256::ZERO,
+        contracts.activate(&backend.add(&c_a, &c_b)),
+        600_000,
+    );
+    land_everywhere(&mut net, &[activate], 64);
+    for h in setup.iter().chain(&deposits).chain([&activate]) {
+        assert!(
+            net.node(0).receipt(*h).expect("mined").success,
+            "channel setup transaction reverted"
+        );
+    }
+
+    // The co-signed voucher: 9 units move from A to B, output blindings
+    // cancel. This is the artifact both parties hold off-chain.
+    let out_ra = scalar::reduce(U256::from_u64(seed ^ 0xAB1E));
+    let out_rb = curve_order().wrapping_sub(out_ra);
+    let voucher = SettlementVoucher {
+        contract,
+        out_a: backend.commit(U256::from_u64(21), out_ra),
+        out_b: backend.commit(U256::from_u64(21), out_rb),
+    };
+    let signed = voucher.co_sign(&alice.key, &bob.key);
+    let settle_data = contracts.settle(&signed);
+
+    // The race: cut {0,1} from {2,3}, then submit the same voucher from
+    // Alice on one side and Bob on the other. Both sides mine it.
+    let cut_rounds = 6 + seed % 6;
+    net.force_partition(vec![0, 1], cut_rounds);
+    let settle_a = submit_on(
+        &mut net,
+        0,
+        &alice,
+        Some(contract),
+        U256::ZERO,
+        settle_data.clone(),
+        1_500_000,
+    );
+    let settle_b = submit_on(
+        &mut net,
+        3,
+        &bob,
+        Some(contract),
+        U256::ZERO,
+        settle_data.clone(),
+        1_500_000,
+    );
+    land_everywhere(&mut net, &[settle_a, settle_b], 256);
+
+    // Exactly one settlement, agreed on by every node.
+    let a_won = net.node(0).receipt(settle_a).expect("mined").success;
+    let b_won = net.node(0).receipt(settle_b).expect("mined").success;
+    assert!(
+        a_won ^ b_won,
+        "exactly one settle must succeed (alice {a_won}, bob {b_won})"
+    );
+    for i in 0..net.len() {
+        assert_eq!(
+            net.node(i).receipt(settle_a).expect("mined").success,
+            a_won,
+            "node {i} disagrees on alice's settle"
+        );
+        assert_eq!(
+            net.node(i).receipt(settle_b).expect("mined").success,
+            b_won,
+            "node {i} disagrees on bob's settle"
+        );
+    }
+
+    // A post-heal replay of the same voucher reverts everywhere: the
+    // nullifier is burned in the canonical state, not in a branch.
+    let replay = submit_on(
+        &mut net,
+        2,
+        &alice,
+        Some(contract),
+        U256::ZERO,
+        settle_data,
+        1_500_000,
+    );
+    land_everywhere(&mut net, &[replay], 64);
+    assert!(
+        !net.node(0).receipt(replay).expect("mined").success,
+        "replay after the race must revert"
+    );
+
+    for i in 0..net.len() {
+        check_conservation(net.node(i)).unwrap_or_else(|e| panic!("conservation on node {i}: {e}"));
+        check_state_commitments(net.node(i))
+            .unwrap_or_else(|e| panic!("commitments on node {i}: {e}"));
+    }
+    (net.heads(), net.stats(), a_won, b_won)
+}
+
+#[test]
+fn confidential_double_submit_settles_exactly_once_across_a_partition() {
+    for seed in chaos_seeds(2) {
+        let seed = seed ^ 0x00D0_B1E5;
+        with_seed(seed, "double-submit race", || double_submit_cell(seed));
+    }
+}
+
+/// Same seed ⇒ the same race: winner, heads and stats all identical.
+#[test]
+fn confidential_double_submit_race_is_deterministic_per_seed() {
+    let seed = chaos_seeds(1)[0] ^ 0x00D0_B1E5;
+    let a = with_seed(seed, "double-submit determinism A", || {
+        double_submit_cell(seed)
+    });
+    let b = with_seed(seed, "double-submit determinism B", || {
+        double_submit_cell(seed)
+    });
+    assert_eq!(a, b, "same seed produced a different race");
+}

@@ -84,6 +84,18 @@ pub mod g {
     pub const IDENTITY_BASE: u64 = 15;
     /// `identity` precompile per word.
     pub const IDENTITY_WORD: u64 = 3;
+    /// `commit_verify` precompile (0x09): two scalar muls + one add.
+    pub const COMMIT_VERIFY: u64 = 6_000;
+    /// `commit_add_check` precompile (0x0a): point adds only.
+    pub const COMMIT_ADD: u64 = 500;
+    /// `nullifier` precompile (0x0b) base (keccak-shaped).
+    pub const NULLIFIER_BASE: u64 = 60;
+    /// `nullifier` precompile per word of input.
+    pub const NULLIFIER_WORD: u64 = 12;
+    /// `range_verify` precompile (0x0c) base.
+    pub const RANGE_VERIFY_BASE: u64 = 10_000;
+    /// `range_verify` per proved bit (≈4 scalar muls each).
+    pub const RANGE_VERIFY_BIT: u64 = 4_000;
 }
 
 /// Number of 32-byte words needed to hold `bytes` bytes.

@@ -1,11 +1,28 @@
-//! Precompiled contracts at addresses 0x01–0x04.
+//! Precompiled contracts.
 //!
-//! Only the three the stack needs are provided: `ecrecover` (0x01) — the
-//! linchpin of the paper's signed-copy verification — plus `sha256` (0x02)
-//! and `identity` (0x04).
+//! Addresses 0x01–0x04 are the classic trio the stack needs: `ecrecover`
+//! (0x01) — the linchpin of the paper's signed-copy verification — plus
+//! `sha256` (0x02) and `identity` (0x04).
+//!
+//! Addresses 0x09–0x0c are the confidential-value verifier family
+//! backing `sc-confidential`: Pedersen opening checks, homomorphic
+//! add checks, domain-separated nullifier hashing and range-proof
+//! verification, so MiniSol contracts can verify committed deposits
+//! without reimplementing curve math in bytecode.
+//!
+//! Every precompile follows mainnet error semantics at the dispatch
+//! boundary: malformed input burns the gas and returns *empty output*
+//! (never a panic, never a trap); only an insufficient `gas_limit`
+//! yields `None` (out-of-gas in the precompile frame). The typed
+//! `*_typed` entry points underneath expose *why* an input was rejected
+//! — the hardening tests drive those directly.
 
 use crate::gas::{self, g};
+use sc_confidential::{
+    decode_point, nullifier, Commitment, CommitmentBackend, DecodeError, PedersenBackend,
+};
 use sc_crypto::ecdsa::{recover_address, Signature};
+use sc_crypto::secp256k1::n;
 use sc_crypto::sha256;
 use sc_primitives::{Address, H256, U256};
 
@@ -17,10 +34,52 @@ pub struct PrecompileResult {
     pub output: Vec<u8>,
 }
 
+/// Why a precompile rejected its input. Surfaced by the `*_typed`
+/// entry points; the EVM-facing [`run`] collapses every variant to
+/// "gas burned, empty output".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrecompileError {
+    /// Input is not the exact length the precompile requires.
+    BadLength {
+        /// Required input length in bytes.
+        expected: usize,
+        /// Actual input length.
+        got: usize,
+    },
+    /// A 64-byte point encoding had a coordinate `>= p`.
+    NonCanonicalPoint,
+    /// A 64-byte point encoding is not on the curve.
+    PointNotOnCurve,
+    /// A scalar field element was `>= n`.
+    NonCanonicalScalar,
+    /// `range_verify` bit width outside `1..=64`.
+    UnsupportedBits,
+    /// `ecrecover` recovery id outside `{27, 28}`.
+    BadRecoveryId,
+    /// `ecrecover` signature did not recover to any address.
+    Unrecoverable,
+}
+
+impl From<DecodeError> for PrecompileError {
+    fn from(e: DecodeError) -> Self {
+        match e {
+            DecodeError::Length => PrecompileError::BadLength {
+                expected: 64,
+                got: 0,
+            },
+            DecodeError::NonCanonical => PrecompileError::NonCanonicalPoint,
+            DecodeError::NotOnCurve => PrecompileError::PointNotOnCurve,
+        }
+    }
+}
+
 /// Returns `Some` if `address` designates a precompile.
 pub fn is_precompile(address: Address) -> bool {
     let word = address.to_u256();
-    word >= U256::ONE && word <= U256::from_u64(4) && word != U256::from_u64(3)
+    let Some(id) = word.to_u64() else {
+        return false;
+    };
+    matches!(id, 1 | 2 | 4 | 9..=12)
 }
 
 /// Runs a precompile. Returns `None` when `gas_limit` is insufficient
@@ -31,8 +90,19 @@ pub fn run(address: Address, input: &[u8], gas_limit: u64) -> Option<PrecompileR
         1 => ecrecover(input, gas_limit),
         2 => sha256_precompile(input, gas_limit),
         4 => identity(input, gas_limit),
+        9 => commit_verify(input, gas_limit),
+        10 => commit_add_check(input, gas_limit),
+        11 => nullifier_precompile(input, gas_limit),
+        12 => range_verify(input, gas_limit),
         _ => None,
     }
+}
+
+/// Encodes a bool as a 32-byte EVM word.
+fn bool_word(b: bool) -> Vec<u8> {
+    let mut out = vec![0u8; 32];
+    out[31] = b as u8;
+    out
 }
 
 /// 0x01: `ecrecover(hash, v, r, s) -> address` (32-byte left-padded).
@@ -43,6 +113,23 @@ fn ecrecover(input: &[u8], gas_limit: u64) -> Option<PrecompileResult> {
     if gas_limit < g::ECRECOVER {
         return None;
     }
+    let output = match ecrecover_typed(input) {
+        Ok(addr) => {
+            let mut out = vec![0u8; 32];
+            out[12..].copy_from_slice(addr.as_bytes());
+            out
+        }
+        Err(_) => Vec::new(),
+    };
+    Some(PrecompileResult {
+        gas_cost: g::ECRECOVER,
+        output,
+    })
+}
+
+/// Typed core of `ecrecover`. Input is zero-padded/truncated to 128
+/// bytes first (mainnet semantics), so length itself is never an error.
+pub fn ecrecover_typed(input: &[u8]) -> Result<Address, PrecompileError> {
     let mut padded = [0u8; 128];
     let take = input.len().min(128);
     padded[..take].copy_from_slice(&input[..take]);
@@ -52,24 +139,12 @@ fn ecrecover(input: &[u8], gas_limit: u64) -> Option<PrecompileResult> {
     let r = H256(padded[64..96].try_into().expect("fixed slice"));
     let s = H256(padded[96..128].try_into().expect("fixed slice"));
 
-    let output = match v_word.to_u64() {
-        Some(v @ 27..=28) => {
-            let sig = Signature { v: v as u8, r, s };
-            match recover_address(hash, &sig) {
-                Ok(addr) => {
-                    let mut out = vec![0u8; 32];
-                    out[12..].copy_from_slice(addr.as_bytes());
-                    out
-                }
-                Err(_) => Vec::new(),
-            }
-        }
-        _ => Vec::new(),
+    let v = match v_word.to_u64() {
+        Some(v @ 27..=28) => v as u8,
+        _ => return Err(PrecompileError::BadRecoveryId),
     };
-    Some(PrecompileResult {
-        gas_cost: g::ECRECOVER,
-        output,
-    })
+    let sig = Signature { v, r, s };
+    recover_address(hash, &sig).map_err(|_| PrecompileError::Unrecoverable)
 }
 
 /// 0x02: SHA-256 of the input.
@@ -96,6 +171,146 @@ fn identity(input: &[u8], gas_limit: u64) -> Option<PrecompileResult> {
     })
 }
 
+/// 0x09: `commit_verify(cx, cy, v, r) -> bool` — does the Pedersen
+/// commitment `(cx, cy)` open to value `v` under blinding `r`?
+///
+/// Input: exactly 128 bytes `cx ‖ cy ‖ v ‖ r`. Blindings must be
+/// canonical scalars (`< n`) so that a commitment has one on-chain
+/// spelling per opening.
+fn commit_verify(input: &[u8], gas_limit: u64) -> Option<PrecompileResult> {
+    if gas_limit < g::COMMIT_VERIFY {
+        return None;
+    }
+    let output = match commit_verify_typed(input) {
+        Ok(ok) => bool_word(ok),
+        Err(_) => Vec::new(),
+    };
+    Some(PrecompileResult {
+        gas_cost: g::COMMIT_VERIFY,
+        output,
+    })
+}
+
+/// Typed core of `commit_verify`.
+pub fn commit_verify_typed(input: &[u8]) -> Result<bool, PrecompileError> {
+    if input.len() != 128 {
+        return Err(PrecompileError::BadLength {
+            expected: 128,
+            got: input.len(),
+        });
+    }
+    let c = Commitment(decode_point(&input[..64])?);
+    let v = U256::from_be_slice(&input[64..96]);
+    let r = U256::from_be_slice(&input[96..128]);
+    if r >= n() {
+        return Err(PrecompileError::NonCanonicalScalar);
+    }
+    Ok(PedersenBackend.verify_opening(&c, v, r))
+}
+
+/// 0x0a: `commit_add_check(ax, ay, bx, by, cx, cy) -> bool` — is
+/// `A + B == C` as curve points? The homomorphic conservation check:
+/// `commit(v1,r1) + commit(v2,r2) == commit(v1+v2, r1+r2)`.
+///
+/// Input: exactly 192 bytes; `(0,0)` encodes the identity.
+fn commit_add_check(input: &[u8], gas_limit: u64) -> Option<PrecompileResult> {
+    if gas_limit < g::COMMIT_ADD {
+        return None;
+    }
+    let output = match commit_add_check_typed(input) {
+        Ok(ok) => bool_word(ok),
+        Err(_) => Vec::new(),
+    };
+    Some(PrecompileResult {
+        gas_cost: g::COMMIT_ADD,
+        output,
+    })
+}
+
+/// Typed core of `commit_add_check`.
+pub fn commit_add_check_typed(input: &[u8]) -> Result<bool, PrecompileError> {
+    if input.len() != 192 {
+        return Err(PrecompileError::BadLength {
+            expected: 192,
+            got: input.len(),
+        });
+    }
+    let a = decode_point(&input[..64])?;
+    let b = decode_point(&input[64..128])?;
+    let c = decode_point(&input[128..192])?;
+    Ok(Commitment(a.add(&b)) == Commitment(c))
+}
+
+/// 0x0b: `nullifier(data) -> bytes32` — the domain-separated nullifier
+/// `keccak("sc-nullifier-v1" ‖ data)`. Any input length is valid.
+fn nullifier_precompile(input: &[u8], gas_limit: u64) -> Option<PrecompileResult> {
+    let cost = g::NULLIFIER_BASE + g::NULLIFIER_WORD * gas::words(input.len() as u64);
+    if gas_limit < cost {
+        return None;
+    }
+    Some(PrecompileResult {
+        gas_cost: cost,
+        output: nullifier(input).as_bytes().to_vec(),
+    })
+}
+
+/// 0x0c: `range_verify(cx, cy, bits, proof) -> bool` — does the proof
+/// show the commitment hides a value in `[0, 2^bits)`?
+///
+/// Input: `cx ‖ cy ‖ bits-word ‖ proof` where the proof is exactly
+/// `bits · 288` bytes. Gas scales with the *declared* bit width, so the
+/// cost is knowable before any curve work.
+fn range_verify(input: &[u8], gas_limit: u64) -> Option<PrecompileResult> {
+    // Charge by declared width when the header parses; malformed
+    // headers burn the base cost.
+    let declared_bits = if input.len() >= 96 {
+        // A width too large for u64 still bills the 64-bit cap below.
+        U256::from_be_slice(&input[64..96])
+            .to_u64()
+            .unwrap_or(u64::MAX)
+    } else {
+        0
+    };
+    let billable = declared_bits.min(sc_confidential::range::MAX_BITS as u64);
+    let cost = g::RANGE_VERIFY_BASE + g::RANGE_VERIFY_BIT * billable;
+    if gas_limit < cost {
+        return None;
+    }
+    let output = match range_verify_typed(input) {
+        Ok(ok) => bool_word(ok),
+        Err(_) => Vec::new(),
+    };
+    Some(PrecompileResult {
+        gas_cost: cost,
+        output,
+    })
+}
+
+/// Typed core of `range_verify`.
+pub fn range_verify_typed(input: &[u8]) -> Result<bool, PrecompileError> {
+    if input.len() < 96 {
+        return Err(PrecompileError::BadLength {
+            expected: 96,
+            got: input.len(),
+        });
+    }
+    let c = Commitment(decode_point(&input[..64])?);
+    let bits_word = U256::from_be_slice(&input[64..96]);
+    let bits = match bits_word.to_u64() {
+        Some(b @ 1..=64) => b as u32,
+        _ => return Err(PrecompileError::UnsupportedBits),
+    };
+    let proof = &input[96..];
+    let expected = 96 + bits as usize * sc_confidential::range::BYTES_PER_BIT;
+    if input.len() != expected {
+        return Err(PrecompileError::BadLength {
+            expected,
+            got: input.len(),
+        });
+    }
+    Ok(PedersenBackend.verify_range(&c, bits, proof))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +321,13 @@ mod tests {
         Address::from_u256(U256::from_u64(n))
     }
 
+    fn commit_input(c: &Commitment, v: u64, r: u64) -> Vec<u8> {
+        let mut input = c.to_bytes().to_vec();
+        input.extend_from_slice(&U256::from_u64(v).to_be_bytes());
+        input.extend_from_slice(&U256::from_u64(r).to_be_bytes());
+        input
+    }
+
     #[test]
     fn address_classification() {
         assert!(is_precompile(precompile_addr(1)));
@@ -113,6 +335,12 @@ mod tests {
         assert!(!is_precompile(precompile_addr(3)), "ripemd not implemented");
         assert!(is_precompile(precompile_addr(4)));
         assert!(!is_precompile(precompile_addr(5)));
+        assert!(!is_precompile(precompile_addr(8)));
+        assert!(is_precompile(precompile_addr(9)), "commit_verify");
+        assert!(is_precompile(precompile_addr(10)), "commit_add_check");
+        assert!(is_precompile(precompile_addr(11)), "nullifier");
+        assert!(is_precompile(precompile_addr(12)), "range_verify");
+        assert!(!is_precompile(precompile_addr(13)));
         assert!(!is_precompile(Address::ZERO));
         assert!(!is_precompile(Address([0xff; 20])));
     }
@@ -144,12 +372,37 @@ mod tests {
         let res = run(precompile_addr(1), &input, 100_000).unwrap();
         assert!(res.output.is_empty());
         assert_eq!(res.gas_cost, 3_000, "gas still charged");
+        assert_eq!(ecrecover_typed(&input), Err(PrecompileError::BadRecoveryId));
     }
 
     #[test]
     fn ecrecover_short_input_is_padded() {
         let res = run(precompile_addr(1), &[], 100_000).unwrap();
         assert!(res.output.is_empty());
+    }
+
+    #[test]
+    fn ecrecover_oversized_input_is_truncated() {
+        let key = PrivateKey::from_seed("alice");
+        let digest = keccak256(b"tail bytes must not matter");
+        let sig = key.sign(digest);
+        let mut input = Vec::new();
+        input.extend_from_slice(digest.as_bytes());
+        let mut v = [0u8; 32];
+        v[31] = sig.v;
+        input.extend_from_slice(&v);
+        input.extend_from_slice(sig.r.as_bytes());
+        input.extend_from_slice(sig.s.as_bytes());
+        input.extend_from_slice(&[0xab; 57]);
+        let res = run(precompile_addr(1), &input, 100_000).unwrap();
+        assert_eq!(&res.output[12..], key.address().as_bytes());
+    }
+
+    #[test]
+    fn ecrecover_zero_sig_is_unrecoverable() {
+        let mut input = vec![0u8; 128];
+        input[63] = 27;
+        assert_eq!(ecrecover_typed(&input), Err(PrecompileError::Unrecoverable));
     }
 
     #[test]
@@ -172,5 +425,186 @@ mod tests {
         let res = run(precompile_addr(4), b"hello world!", 100_000).unwrap();
         assert_eq!(res.output, b"hello world!");
         assert_eq!(res.gas_cost, 15 + 3);
+    }
+
+    #[test]
+    fn commit_verify_accepts_valid_opening() {
+        let c = PedersenBackend.commit(U256::from_u64(42), U256::from_u64(7));
+        let input = commit_input(&c, 42, 7);
+        let res = run(precompile_addr(9), &input, 100_000).unwrap();
+        assert_eq!(res.gas_cost, g::COMMIT_VERIFY);
+        assert_eq!(res.output[31], 1);
+
+        let wrong = commit_input(&c, 43, 7);
+        let res = run(precompile_addr(9), &wrong, 100_000).unwrap();
+        assert_eq!(res.output[31], 0, "wrong value is a clean false");
+    }
+
+    #[test]
+    fn commit_verify_malformed_inputs_burn_gas_and_fail_clean() {
+        let c = PedersenBackend.commit(U256::from_u64(1), U256::from_u64(2));
+        let good = commit_input(&c, 1, 2);
+
+        // Truncated.
+        let res = run(precompile_addr(9), &good[..127], 100_000).unwrap();
+        assert!(res.output.is_empty());
+        assert_eq!(res.gas_cost, g::COMMIT_VERIFY);
+        assert_eq!(
+            commit_verify_typed(&good[..127]),
+            Err(PrecompileError::BadLength {
+                expected: 128,
+                got: 127
+            })
+        );
+
+        // Oversized.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(run(precompile_addr(9), &long, 100_000)
+            .unwrap()
+            .output
+            .is_empty());
+
+        // Off-curve point.
+        let mut off = good.clone();
+        off[63] ^= 1;
+        assert!(run(precompile_addr(9), &off, 100_000)
+            .unwrap()
+            .output
+            .is_empty());
+        assert_eq!(
+            commit_verify_typed(&off),
+            Err(PrecompileError::PointNotOnCurve)
+        );
+
+        // Non-canonical coordinate (x = p, curve-valid residue or not,
+        // must be rejected before any curve math).
+        let mut noncanon = good.clone();
+        noncanon[..32].copy_from_slice(&sc_crypto::secp256k1::p().to_be_bytes());
+        assert_eq!(
+            commit_verify_typed(&noncanon),
+            Err(PrecompileError::NonCanonicalPoint)
+        );
+
+        // Non-canonical blinding scalar (r = n).
+        let mut badscalar = good.clone();
+        badscalar[96..128].copy_from_slice(&n().to_be_bytes());
+        assert_eq!(
+            commit_verify_typed(&badscalar),
+            Err(PrecompileError::NonCanonicalScalar)
+        );
+
+        // Out of gas is the only `None`.
+        assert!(run(precompile_addr(9), &good, g::COMMIT_VERIFY - 1).is_none());
+    }
+
+    #[test]
+    fn commit_add_check_is_homomorphic() {
+        let b = PedersenBackend;
+        let c1 = b.commit(U256::from_u64(10), U256::from_u64(3));
+        let c2 = b.commit(U256::from_u64(32), U256::from_u64(4));
+        let sum = b.commit(U256::from_u64(42), U256::from_u64(7));
+
+        let mut input = c1.to_bytes().to_vec();
+        input.extend_from_slice(&c2.to_bytes());
+        input.extend_from_slice(&sum.to_bytes());
+        let res = run(precompile_addr(10), &input, 100_000).unwrap();
+        assert_eq!(res.gas_cost, g::COMMIT_ADD);
+        assert_eq!(res.output[31], 1);
+
+        // Wrong sum → clean false.
+        let mut wrong = c1.to_bytes().to_vec();
+        wrong.extend_from_slice(&c2.to_bytes());
+        wrong.extend_from_slice(&c1.to_bytes());
+        let res = run(precompile_addr(10), &wrong, 100_000).unwrap();
+        assert_eq!(res.output[31], 0);
+
+        // Identity encoding: C + 0 == C.
+        let mut with_zero = c1.to_bytes().to_vec();
+        with_zero.extend_from_slice(&[0u8; 64]);
+        with_zero.extend_from_slice(&c1.to_bytes());
+        let res = run(precompile_addr(10), &with_zero, 100_000).unwrap();
+        assert_eq!(res.output[31], 1);
+
+        // Truncated input burns gas, empty output.
+        let res = run(precompile_addr(10), &input[..191], 100_000).unwrap();
+        assert!(res.output.is_empty());
+        assert_eq!(
+            commit_add_check_typed(&input[..191]),
+            Err(PrecompileError::BadLength {
+                expected: 192,
+                got: 191
+            })
+        );
+    }
+
+    #[test]
+    fn nullifier_matches_library_and_charges_by_word() {
+        let res = run(precompile_addr(11), b"voucher digest bytes", 100_000).unwrap();
+        assert_eq!(res.output, nullifier(b"voucher digest bytes").as_bytes());
+        assert_eq!(res.gas_cost, g::NULLIFIER_BASE + g::NULLIFIER_WORD);
+
+        let res = run(precompile_addr(11), &[], 100_000).unwrap();
+        assert_eq!(res.gas_cost, g::NULLIFIER_BASE);
+        assert_eq!(res.output, nullifier(&[]).as_bytes());
+    }
+
+    #[test]
+    fn range_verify_end_to_end() {
+        let b = PedersenBackend;
+        let (v, r) = (U256::from_u64(42), U256::from_u64(9));
+        let c = b.commit(v, r);
+        let proof = b.prove_range(v, r, 8).unwrap();
+
+        let mut input = c.to_bytes().to_vec();
+        input.extend_from_slice(&U256::from_u64(8).to_be_bytes());
+        input.extend_from_slice(proof.as_bytes());
+        let res = run(precompile_addr(12), &input, 10_000_000).unwrap();
+        assert_eq!(res.gas_cost, g::RANGE_VERIFY_BASE + 8 * g::RANGE_VERIFY_BIT);
+        assert_eq!(res.output[31], 1);
+
+        // Tampered proof → clean false, same gas.
+        let mut bad = input.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        let res = run(precompile_addr(12), &bad, 10_000_000).unwrap();
+        assert_eq!(res.output[31], 0);
+
+        // Truncated proof → typed length error, empty output.
+        let res = run(precompile_addr(12), &input[..input.len() - 1], 10_000_000).unwrap();
+        assert!(res.output.is_empty());
+        assert!(matches!(
+            range_verify_typed(&input[..input.len() - 1]),
+            Err(PrecompileError::BadLength { .. })
+        ));
+
+        // bits = 0 and bits > 64 are unsupported.
+        let mut zero_bits = c.to_bytes().to_vec();
+        zero_bits.extend_from_slice(&U256::ZERO.to_be_bytes());
+        assert_eq!(
+            range_verify_typed(&zero_bits),
+            Err(PrecompileError::UnsupportedBits)
+        );
+        let mut wide = c.to_bytes().to_vec();
+        wide.extend_from_slice(&U256::from_u64(65).to_be_bytes());
+        assert_eq!(
+            range_verify_typed(&wide),
+            Err(PrecompileError::UnsupportedBits)
+        );
+
+        // Gas scales with the declared width; a huge declared width
+        // cannot be used to dodge the charge.
+        assert!(run(precompile_addr(12), &input, g::RANGE_VERIFY_BASE).is_none());
+        let mut huge = c.to_bytes().to_vec();
+        huge.extend_from_slice(&U256::MAX.to_be_bytes());
+        assert!(
+            run(
+                precompile_addr(12),
+                &huge,
+                g::RANGE_VERIFY_BASE + 63 * g::RANGE_VERIFY_BIT
+            )
+            .is_none(),
+            "declared width beyond max still bills the 64-bit cap"
+        );
     }
 }

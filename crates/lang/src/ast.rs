@@ -146,6 +146,21 @@ pub enum Expr {
     /// `create(bytes)` — deploy raw bytecode, returns the address
     /// (MiniSol's stand-in for the paper's inline assembly `create`).
     Create(Box<Expr>),
+    /// `hash2(a, b)` — `keccak256(a ‖ b)` over two 32-byte words; the
+    /// digest-chain primitive settlement vouchers are built from.
+    Hash2(Box<Expr>, Box<Expr>),
+    /// `commit_verify(cx, cy, v, r)` — Pedersen opening check via the
+    /// 0x09 precompile.
+    CommitVerify(Box<Expr>, Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `commit_add_check(ax, ay, bx, by, cx, cy)` — homomorphic
+    /// `A + B == C` check via the 0x0a precompile.
+    CommitAddCheck(Box<[Expr; 6]>),
+    /// `nullifier(x)` — domain-separated nullifier of one word via the
+    /// 0x0b precompile.
+    Nullifier(Box<Expr>),
+    /// `range_verify(cx, cy, bits, proof)` — range-proof check over a
+    /// `bytes` proof via the 0x0c precompile.
+    RangeVerify(Box<Expr>, Box<Expr>, Box<Expr>, Box<Expr>),
     /// Internal call to a contract function (inlined).
     InternalCall(String, Vec<Expr>),
     /// External call: `Iface(addr).method(args)`.

@@ -602,39 +602,40 @@ impl Gen<'_> {
                 a.op(Op::Keccak256); // pops offset, len
             }
             Expr::EcRecover(h, v, r, s) => {
-                // Scratch region allocated from the FMP (bumped, so the
-                // argument sub-expressions can't clobber it):
-                // p: store h,v,r,s at p..p+128; zero p+128;
-                // STATICCALL(gas, 1, p, 128, p+128, 32); MLOAD(p+128).
-                let tmp = ctx.alloc_anon(); // hold p across sub-exprs
-                a.push_u64(0x40).op(Op::MLoad); // [p]
-                a.op(Op::Dup1).push_u64(160).op(Op::Add);
-                a.push_u64(0x40).op(Op::MStore); // FMP += 160
-                a.push_u64(tmp).op(Op::MStore);
-                for (i, part) in [h, v, r, s].into_iter().enumerate() {
-                    self.gen_expr(a, ctx, part)?; // [val]
-                    a.push_u64(tmp).op(Op::MLoad);
-                    if i > 0 {
-                        a.push_u64(32 * i as u64).op(Op::Add);
-                    }
-                    a.op(Op::MStore);
-                }
-                // Zero the output word.
-                a.push_u64(0);
-                a.push_u64(tmp).op(Op::MLoad).push_u64(128).op(Op::Add);
-                a.op(Op::MStore);
-                // STATICCALL pops gas,to,in_off,in_len,out_off,out_len →
-                // push reverse.
-                a.push_u64(32); // out_len
-                a.push_u64(tmp).op(Op::MLoad).push_u64(128).op(Op::Add); // out_off
-                a.push_u64(128); // in_len
-                a.push_u64(tmp).op(Op::MLoad); // in_off
-                a.push_u64(1); // to = ecrecover
-                a.op(Op::Gas); // gas
-                a.op(Op::StaticCall);
-                a.op(Op::Pop); // ignore success flag (output pre-zeroed)
-                a.push_u64(tmp).op(Op::MLoad).push_u64(128).op(Op::Add);
-                a.op(Op::MLoad);
+                self.gen_precompile_words(
+                    a,
+                    ctx,
+                    1,
+                    &[h.as_ref(), v.as_ref(), r.as_ref(), s.as_ref()],
+                )?;
+            }
+            Expr::Hash2(lhs, rhs) => {
+                // keccak256(a ‖ b) with scratch at 0x00 — evaluate both
+                // operands *before* touching the scratch so nested
+                // hash2/mapping hashes can't clobber it.
+                self.gen_expr(a, ctx, lhs)?;
+                self.gen_expr(a, ctx, rhs)?; // [a, b]
+                a.push_u64(0x20).op(Op::MStore); // mem[0x20] = b
+                a.push_u64(0).op(Op::MStore); // mem[0x00] = a
+                a.push_u64(0x40).push_u64(0).op(Op::Keccak256);
+            }
+            Expr::CommitVerify(cx, cy, v, r) => {
+                self.gen_precompile_words(
+                    a,
+                    ctx,
+                    9,
+                    &[cx.as_ref(), cy.as_ref(), v.as_ref(), r.as_ref()],
+                )?;
+            }
+            Expr::CommitAddCheck(parts) => {
+                let refs: Vec<&Expr> = parts.iter().collect();
+                self.gen_precompile_words(a, ctx, 10, &refs)?;
+            }
+            Expr::Nullifier(x) => {
+                self.gen_precompile_words(a, ctx, 11, &[x.as_ref()])?;
+            }
+            Expr::RangeVerify(cx, cy, bits, proof) => {
+                self.gen_range_verify(a, ctx, cx, cy, bits, proof)?;
             }
             Expr::Create(code) => {
                 self.gen_expr(a, ctx, code)?; // [ptr]
@@ -713,6 +714,115 @@ impl Gen<'_> {
                 Ok(())
             }
         }
+    }
+
+    /// STATICCALLs a precompile over `parts.len()` fixed 32-byte input
+    /// words, leaving the single output word on the stack. The scratch
+    /// region is FMP-allocated (and the FMP bumped first) so argument
+    /// sub-expressions can't clobber it; the output word is pre-zeroed
+    /// so a failed precompile reads as 0.
+    fn gen_precompile_words(
+        &self,
+        a: &mut Asm,
+        ctx: &mut FnCtx,
+        precompile: u64,
+        parts: &[&Expr],
+    ) -> Result<(), CodegenError> {
+        let in_len = 32 * parts.len() as u64;
+        let tmp = ctx.alloc_anon(); // hold p across sub-exprs
+        a.push_u64(0x40).op(Op::MLoad); // [p]
+        a.op(Op::Dup1).push_u64(in_len + 32).op(Op::Add);
+        a.push_u64(0x40).op(Op::MStore); // FMP += in_len + 32
+        a.push_u64(tmp).op(Op::MStore);
+        for (i, part) in parts.iter().enumerate() {
+            self.gen_expr(a, ctx, part)?; // [val]
+            a.push_u64(tmp).op(Op::MLoad);
+            if i > 0 {
+                a.push_u64(32 * i as u64).op(Op::Add);
+            }
+            a.op(Op::MStore);
+        }
+        // Zero the output word.
+        a.push_u64(0);
+        a.push_u64(tmp).op(Op::MLoad).push_u64(in_len).op(Op::Add);
+        a.op(Op::MStore);
+        // STATICCALL pops gas,to,in_off,in_len,out_off,out_len →
+        // push reverse.
+        a.push_u64(32); // out_len
+        a.push_u64(tmp).op(Op::MLoad).push_u64(in_len).op(Op::Add); // out_off
+        a.push_u64(in_len); // in_len
+        a.push_u64(tmp).op(Op::MLoad); // in_off
+        a.push_u64(precompile); // to
+        a.op(Op::Gas); // gas
+        a.op(Op::StaticCall);
+        a.op(Op::Pop); // ignore success flag (output pre-zeroed)
+        a.push_u64(tmp).op(Op::MLoad).push_u64(in_len).op(Op::Add);
+        a.op(Op::MLoad);
+        Ok(())
+    }
+
+    /// `range_verify(cx, cy, bits, proof)` — assembles the 0x0c
+    /// precompile input `cx ‖ cy ‖ bits ‖ proof-bytes` in FMP scratch
+    /// (the proof is length-dynamic, copied via the identity
+    /// precompile) and leaves the verifier's bool word on the stack.
+    fn gen_range_verify(
+        &self,
+        a: &mut Asm,
+        ctx: &mut FnCtx,
+        cx: &Expr,
+        cy: &Expr,
+        bits: &Expr,
+        proof: &Expr,
+    ) -> Result<(), CodegenError> {
+        let tmp = ctx.alloc_anon(); // input region base `p`
+        let tproof = ctx.alloc_anon(); // proof pointer `pp` (len-prefixed)
+        self.gen_expr(a, ctx, proof)?; // [pp]
+        a.push_u64(tproof).op(Op::MStore);
+        // p = FMP; FMP += 96 (header) + len + 32 (output word).
+        a.push_u64(0x40).op(Op::MLoad); // [p]
+        a.op(Op::Dup1); // [p, p]
+        a.push_u64(tproof).op(Op::MLoad).op(Op::MLoad); // [p, p, len]
+        a.op(Op::Add).push_u64(128).op(Op::Add); // [p, p+len+128]
+        a.push_u64(0x40).op(Op::MStore); // [p]
+        a.push_u64(tmp).op(Op::MStore);
+        for (i, part) in [cx, cy, bits].into_iter().enumerate() {
+            self.gen_expr(a, ctx, part)?; // [val]
+            a.push_u64(tmp).op(Op::MLoad);
+            if i > 0 {
+                a.push_u64(32 * i as u64).op(Op::Add);
+            }
+            a.op(Op::MStore);
+        }
+        // Copy the proof bytes to p+96 with the identity precompile.
+        a.push_u64(tproof).op(Op::MLoad).op(Op::MLoad); // out_len = len
+        a.push_u64(tmp).op(Op::MLoad).push_u64(96).op(Op::Add); // out_off
+        a.push_u64(tproof).op(Op::MLoad).op(Op::MLoad); // in_len = len
+        a.push_u64(tproof).op(Op::MLoad).push_u64(32).op(Op::Add); // in_off
+        a.push_u64(4); // to = identity
+        a.op(Op::Gas);
+        a.op(Op::StaticCall).op(Op::Pop);
+        // Zero the output word at p + 96 + len.
+        a.push_u64(0);
+        a.push_u64(tmp).op(Op::MLoad).push_u64(96).op(Op::Add);
+        a.push_u64(tproof).op(Op::MLoad).op(Op::MLoad).op(Op::Add);
+        a.op(Op::MStore);
+        // STATICCALL range_verify: in = p .. p+96+len, out = one word.
+        a.push_u64(32); // out_len
+        a.push_u64(tmp).op(Op::MLoad).push_u64(96).op(Op::Add);
+        a.push_u64(tproof).op(Op::MLoad).op(Op::MLoad).op(Op::Add); // out_off
+        a.push_u64(tproof)
+            .op(Op::MLoad)
+            .op(Op::MLoad)
+            .push_u64(96)
+            .op(Op::Add); // in_len
+        a.push_u64(tmp).op(Op::MLoad); // in_off
+        a.push_u64(12); // to = range_verify
+        a.op(Op::Gas);
+        a.op(Op::StaticCall).op(Op::Pop);
+        a.push_u64(tmp).op(Op::MLoad).push_u64(96).op(Op::Add);
+        a.push_u64(tproof).op(Op::MLoad).op(Op::MLoad).op(Op::Add);
+        a.op(Op::MLoad);
+        Ok(())
     }
 
     /// Leaves the storage slot of `base[idx]` on the stack.

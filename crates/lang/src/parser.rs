@@ -113,6 +113,71 @@ impl Parser {
         }
     }
 
+    /// Parses one of the confidential-value builtins after its name
+    /// token has been consumed. Out of line from `primary` so the
+    /// recursive expression path keeps a small stack frame.
+    fn confidential_builtin(&mut self, name: &str) -> Result<Expr, ParseError> {
+        match name {
+            "hash2" => {
+                let mut args = self.builtin_args(2)?;
+                let b = args.pop().expect("arity checked");
+                let a = args.pop().expect("arity checked");
+                Ok(Expr::Hash2(Box::new(a), Box::new(b)))
+            }
+            "commit_verify" => {
+                let mut args = self.builtin_args(4)?;
+                let r = args.pop().expect("arity checked");
+                let v = args.pop().expect("arity checked");
+                let cy = args.pop().expect("arity checked");
+                let cx = args.pop().expect("arity checked");
+                Ok(Expr::CommitVerify(
+                    Box::new(cx),
+                    Box::new(cy),
+                    Box::new(v),
+                    Box::new(r),
+                ))
+            }
+            "commit_add_check" => {
+                let args = self.builtin_args(6)?;
+                let arr: [Expr; 6] = args.try_into().expect("arity checked");
+                Ok(Expr::CommitAddCheck(Box::new(arr)))
+            }
+            "nullifier" => {
+                let mut args = self.builtin_args(1)?;
+                let e = args.pop().expect("arity checked");
+                Ok(Expr::Nullifier(Box::new(e)))
+            }
+            "range_verify" => {
+                let mut args = self.builtin_args(4)?;
+                let proof = args.pop().expect("arity checked");
+                let bits = args.pop().expect("arity checked");
+                let cy = args.pop().expect("arity checked");
+                let cx = args.pop().expect("arity checked");
+                Ok(Expr::RangeVerify(
+                    Box::new(cx),
+                    Box::new(cy),
+                    Box::new(bits),
+                    Box::new(proof),
+                ))
+            }
+            other => self.err(format!("unknown builtin `{other}`")),
+        }
+    }
+
+    /// Parses `(e1, …, eN)` for a fixed-arity builtin.
+    fn builtin_args(&mut self, arity: usize) -> Result<Vec<Expr>, ParseError> {
+        self.expect_punct("(")?;
+        let mut args = Vec::with_capacity(arity);
+        for i in 0..arity {
+            if i > 0 {
+                self.expect_punct(",")?;
+            }
+            args.push(self.expr()?);
+        }
+        self.expect_punct(")")?;
+        Ok(args)
+    }
+
     fn eat_kw(&mut self, kw: &str) -> bool {
         if self.peek().is_kw(kw) {
             self.advance();
@@ -833,6 +898,13 @@ impl Parser {
                     let code = self.expr()?;
                     self.expect_punct(")")?;
                     Ok(Expr::Create(Box::new(code)))
+                }
+                "hash2" | "commit_verify" | "commit_add_check" | "nullifier" | "range_verify" => {
+                    // Parsed out of line to keep this (deeply recursive)
+                    // frame small.
+                    let name = id.clone();
+                    self.advance();
+                    self.confidential_builtin(&name)
                 }
                 "address" | "uint256" | "uint" | "uint8" | "bool" | "bytes32" => {
                     let ty = match id.as_str() {

@@ -243,6 +243,26 @@ pub fn print_expr(e: &Expr) -> String {
             print_expr(s)
         ),
         Expr::Create(x) => format!("create({})", print_expr(x)),
+        Expr::Hash2(a, b) => format!("hash2({}, {})", print_expr(a), print_expr(b)),
+        Expr::CommitVerify(cx, cy, v, r) => format!(
+            "commit_verify({}, {}, {}, {})",
+            print_expr(cx),
+            print_expr(cy),
+            print_expr(v),
+            print_expr(r)
+        ),
+        Expr::CommitAddCheck(parts) => format!(
+            "commit_add_check({})",
+            parts.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+        ),
+        Expr::Nullifier(x) => format!("nullifier({})", print_expr(x)),
+        Expr::RangeVerify(cx, cy, bits, proof) => format!(
+            "range_verify({}, {}, {}, {})",
+            print_expr(cx),
+            print_expr(cy),
+            print_expr(bits),
+            print_expr(proof)
+        ),
         Expr::InternalCall(n, args) => format!(
             "{n}({})",
             args.iter().map(print_expr).collect::<Vec<_>>().join(", ")

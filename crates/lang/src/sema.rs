@@ -274,17 +274,25 @@ impl Resolver<'_> {
             | Expr::Neg(x)
             | Expr::Keccak(x)
             | Expr::Create(x)
+            | Expr::Nullifier(x)
             | Expr::ArrayLength(x)
             | Expr::Cast(_, x) => self.resolve_expr(x)?,
-            Expr::Index(a, b) | Expr::Bin(_, a, b) => {
+            Expr::Index(a, b) | Expr::Bin(_, a, b) | Expr::Hash2(a, b) => {
                 self.resolve_expr(a)?;
                 self.resolve_expr(b)?;
             }
-            Expr::EcRecover(a, b, c, d) => {
+            Expr::EcRecover(a, b, c, d)
+            | Expr::CommitVerify(a, b, c, d)
+            | Expr::RangeVerify(a, b, c, d) => {
                 self.resolve_expr(a)?;
                 self.resolve_expr(b)?;
                 self.resolve_expr(c)?;
                 self.resolve_expr(d)?;
+            }
+            Expr::CommitAddCheck(parts) => {
+                for part in parts.iter_mut() {
+                    self.resolve_expr(part)?;
+                }
             }
             Expr::InternalCall(_, args) => {
                 for a in args {
@@ -334,17 +342,25 @@ fn detect_cycles(contract: &Contract, fn_names: &HashMap<String, usize>) -> Resu
                 | Expr::Neg(x)
                 | Expr::Keccak(x)
                 | Expr::Create(x)
+                | Expr::Nullifier(x)
                 | Expr::ArrayLength(x)
                 | Expr::Cast(_, x) => expr(x, out),
-                Expr::Index(a, b) | Expr::Bin(_, a, b) => {
+                Expr::Index(a, b) | Expr::Bin(_, a, b) | Expr::Hash2(a, b) => {
                     expr(a, out);
                     expr(b, out);
                 }
-                Expr::EcRecover(a, b, c, d) => {
+                Expr::EcRecover(a, b, c, d)
+                | Expr::CommitVerify(a, b, c, d)
+                | Expr::RangeVerify(a, b, c, d) => {
                     expr(a, out);
                     expr(b, out);
                     expr(c, out);
                     expr(d, out);
+                }
+                Expr::CommitAddCheck(parts) => {
+                    for part in parts.iter() {
+                        expr(part, out);
+                    }
                 }
                 Expr::ExternalCall { addr, args, .. } => {
                     expr(addr, out);
@@ -693,6 +709,52 @@ impl TypeChecker<'_> {
                     return err("create expects a `bytes` value");
                 }
                 Type::Address
+            }
+            Expr::Hash2(a, b) => {
+                let ta = self.infer(a, scope)?;
+                self.require_assignable(&Type::Bytes32, &ta, "hash2 first word")?;
+                let tb = self.infer(b, scope)?;
+                self.require_assignable(&Type::Bytes32, &tb, "hash2 second word")?;
+                Type::Bytes32
+            }
+            Expr::CommitVerify(cx, cy, v, r) => {
+                for (e, what) in [
+                    (cx, "commit_verify cx"),
+                    (cy, "commit_verify cy"),
+                    (v, "commit_verify value"),
+                    (r, "commit_verify blinding"),
+                ] {
+                    let t = self.infer(e, scope)?;
+                    self.require_assignable(&Type::Uint256, &t, what)?;
+                }
+                Type::Bool
+            }
+            Expr::CommitAddCheck(parts) => {
+                for part in parts.iter() {
+                    let t = self.infer(part, scope)?;
+                    self.require_assignable(&Type::Uint256, &t, "commit_add_check coordinate")?;
+                }
+                Type::Bool
+            }
+            Expr::Nullifier(x) => {
+                let t = self.infer(x, scope)?;
+                self.require_assignable(&Type::Bytes32, &t, "nullifier preimage")?;
+                Type::Bytes32
+            }
+            Expr::RangeVerify(cx, cy, bits, proof) => {
+                for (e, what) in [
+                    (cx, "range_verify cx"),
+                    (cy, "range_verify cy"),
+                    (bits, "range_verify bits"),
+                ] {
+                    let t = self.infer(e, scope)?;
+                    self.require_assignable(&Type::Uint256, &t, what)?;
+                }
+                let tp = self.infer(proof, scope)?;
+                if tp != Type::Bytes {
+                    return err("range_verify expects a `bytes` proof");
+                }
+                Type::Bool
             }
             Expr::InternalCall(name, args) => {
                 let f = self

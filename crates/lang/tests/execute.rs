@@ -652,3 +652,149 @@ fn abi_bool_normalized() {
     assert_eq!(d.call_word("flip", &[Value::Bool(false)]), U256::ONE);
     assert_eq!(d.call_word("flip", &[Value::Bool(true)]), U256::ZERO);
 }
+
+#[test]
+fn hash2_matches_native() {
+    let src = r#"
+        contract pairhash {
+            function h(bytes32 a, bytes32 b) public returns (bytes32) {
+                return hash2(a, b);
+            }
+            function nested(bytes32 a, bytes32 b, bytes32 c) public returns (bytes32) {
+                return hash2(hash2(a, b), c);
+            }
+        }
+    "#;
+    let mut d = deploy(src, "pairhash", &[]);
+    let a = sc_crypto::keccak256(b"left");
+    let b = sc_crypto::keccak256(b"right");
+    let c = sc_crypto::keccak256(b"tail");
+    let out = d.call("h", &[Value::Bytes32(a), Value::Bytes32(b)], U256::ZERO);
+    assert!(out.success, "{:?}", out.error);
+    assert_eq!(out.output, sc_confidential::hash2(a, b).as_bytes());
+    // Nested calls must not clobber each other's scratch space.
+    let out = d.call(
+        "nested",
+        &[Value::Bytes32(a), Value::Bytes32(b), Value::Bytes32(c)],
+        U256::ZERO,
+    );
+    assert!(out.success, "{:?}", out.error);
+    assert_eq!(
+        out.output,
+        sc_confidential::hash2(sc_confidential::hash2(a, b), c).as_bytes()
+    );
+}
+
+#[test]
+fn nullifier_builtin_matches_native() {
+    let src = r#"
+        contract nul {
+            function n(bytes32 d) public returns (bytes32) {
+                return nullifier(d);
+            }
+        }
+    "#;
+    let mut d = deploy(src, "nul", &[]);
+    let digest = sc_crypto::keccak256(b"settlement voucher digest");
+    let out = d.call("n", &[Value::Bytes32(digest)], U256::ZERO);
+    assert!(out.success, "{:?}", out.error);
+    assert_eq!(
+        out.output,
+        sc_confidential::nullifier(digest.as_bytes()).as_bytes()
+    );
+}
+
+#[test]
+fn commit_builtins_verify_real_commitments() {
+    use sc_confidential::{CommitmentBackend, PedersenBackend};
+    let src = r#"
+        contract comm {
+            function open(uint256 cx, uint256 cy, uint256 v, uint256 r) public returns (bool) {
+                return commit_verify(cx, cy, v, r);
+            }
+            function sum(uint256 ax, uint256 ay, uint256 bx, uint256 by, uint256 tx, uint256 ty)
+                public returns (bool)
+            {
+                return commit_add_check(ax, ay, bx, by, tx, ty);
+            }
+        }
+    "#;
+    let mut d = deploy(src, "comm", &[]);
+    let backend = PedersenBackend;
+    let a = backend.commit(U256::from_u64(30), U256::from_u64(5));
+    let b = backend.commit(U256::from_u64(12), U256::from_u64(6));
+    let total = backend.add(&a, &b);
+
+    let open = |d: &mut Deployed, c: &sc_confidential::Commitment, v: u64, r: u64| {
+        d.call_word(
+            "open",
+            &[
+                Value::Uint(c.x()),
+                Value::Uint(c.y()),
+                Value::Uint(U256::from_u64(v)),
+                Value::Uint(U256::from_u64(r)),
+            ],
+        )
+    };
+    assert_eq!(open(&mut d, &a, 30, 5), U256::ONE);
+    assert_eq!(open(&mut d, &a, 31, 5), U256::ZERO);
+    assert_eq!(open(&mut d, &a, 30, 6), U256::ZERO);
+
+    let sum = |d: &mut Deployed, t: &sc_confidential::Commitment| {
+        d.call_word(
+            "sum",
+            &[
+                Value::Uint(a.x()),
+                Value::Uint(a.y()),
+                Value::Uint(b.x()),
+                Value::Uint(b.y()),
+                Value::Uint(t.x()),
+                Value::Uint(t.y()),
+            ],
+        )
+    };
+    assert_eq!(sum(&mut d, &total), U256::ONE);
+    // Note commit(42, 11) would pass — homomorphism — so perturb the value.
+    let wrong = backend.commit(U256::from_u64(43), U256::from_u64(11));
+    assert_eq!(sum(&mut d, &wrong), U256::ZERO);
+}
+
+#[test]
+fn range_verify_builtin_checks_real_proof() {
+    use sc_confidential::{CommitmentBackend, PedersenBackend};
+    let src = r#"
+        contract ranged {
+            function check(uint256 cx, uint256 cy, uint256 bits, bytes memory proof)
+                public returns (bool)
+            {
+                return range_verify(cx, cy, bits, proof);
+            }
+        }
+    "#;
+    let mut d = deploy(src, "ranged", &[]);
+    let backend = PedersenBackend;
+    let value = U256::from_u64(777);
+    let blinding = U256::from_u64(123_456);
+    let c = backend.commit(value, blinding);
+    let proof = backend.prove_range(value, blinding, 16).expect("prove");
+
+    let args = |proof_bytes: Vec<u8>| {
+        vec![
+            Value::Uint(c.x()),
+            Value::Uint(c.y()),
+            Value::Uint(U256::from_u64(16)),
+            Value::Bytes(proof_bytes),
+        ]
+    };
+    assert_eq!(
+        d.call_word("check", &args(proof.as_bytes().to_vec())),
+        U256::ONE
+    );
+    // Tampered proof fails cleanly (returns false, does not revert).
+    let mut bad = proof.as_bytes().to_vec();
+    bad[0] ^= 1;
+    assert_eq!(d.call_word("check", &args(bad)), U256::ZERO);
+    // Truncated proof also returns false.
+    let short = proof.as_bytes()[..proof.as_bytes().len() - 1].to_vec();
+    assert_eq!(d.call_word("check", &args(short)), U256::ZERO);
+}
