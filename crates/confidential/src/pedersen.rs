@@ -80,8 +80,8 @@ impl Commitment {
 /// Why a 64-byte point encoding was rejected.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DecodeError {
-    /// Input is not exactly 64 bytes.
-    Length,
+    /// Input is not exactly 64 bytes; carries the actual length.
+    Length(usize),
     /// A coordinate is `>= p` — a non-canonical field encoding.
     NonCanonical,
     /// The coordinates do not satisfy the curve equation.
@@ -102,7 +102,7 @@ pub fn encode_point(pt: &Point) -> [u8; 64] {
 /// elements and curve membership. All-zeros decodes to the identity.
 pub fn decode_point(bytes: &[u8]) -> Result<Point, DecodeError> {
     if bytes.len() != 64 {
-        return Err(DecodeError::Length);
+        return Err(DecodeError::Length(bytes.len()));
     }
     let x = U256::from_be_slice(&bytes[..32]);
     let y = U256::from_be_slice(&bytes[32..]);
@@ -200,7 +200,7 @@ mod tests {
         assert_eq!(Commitment::from_bytes(&bytes).unwrap(), c);
         assert_eq!(
             Commitment::from_bytes(&bytes[..63]),
-            Err(DecodeError::Length)
+            Err(DecodeError::Length(63))
         );
         assert_eq!(Commitment::ZERO.to_bytes(), [0u8; 64]);
         assert_eq!(

@@ -66,13 +66,20 @@ fn h2s(tag: &[u8], r: U256, i: u64) -> U256 {
     scalar::reduce(keccak256(&buf).to_u256())
 }
 
-/// The per-bit Fiat-Shamir challenge, bound to the outer commitment,
-/// the bit index and both first-round messages.
-fn challenge(c: &Commitment, i: u64, a0: &Point, a1: &Point) -> U256 {
-    let mut buf = Vec::with_capacity(16 + 64 * 3 + 8);
-    buf.extend_from_slice(b"sc-range-chal-v1");
+/// The per-bit Fiat-Shamir challenge, bound to the *full* per-bit
+/// statement: the outer commitment, the proof width, the bit index, the
+/// per-bit commitment `C_i` and both first-round messages. Binding
+/// `C_i` is soundness-critical — if the challenge were independent of
+/// `C_i`, a prover could fix `e` first and then solve either branch for
+/// a `C_i` of its choosing (e.g. `e_0 = 0`, `A_0 = z_0·H` makes branch
+/// 0 hold for *any* `C_i`), forging per-bit proofs for non-bit values.
+fn challenge(c: &Commitment, bits: u32, i: u64, ci: &Point, a0: &Point, a1: &Point) -> U256 {
+    let mut buf = Vec::with_capacity(16 + 64 + 4 + 8 + 64 * 3);
+    buf.extend_from_slice(b"sc-range-chal-v2");
     buf.extend_from_slice(&c.to_bytes());
+    buf.extend_from_slice(&bits.to_be_bytes());
     buf.extend_from_slice(&i.to_be_bytes());
+    buf.extend_from_slice(&encode_point(ci));
     buf.extend_from_slice(&encode_point(a0));
     buf.extend_from_slice(&encode_point(a1));
     scalar::reduce(keccak256(&buf).to_u256())
@@ -130,7 +137,7 @@ pub fn prove(
         let a_real = h.mul_scalar(k);
 
         let (a0, a1) = if b { (a_sim, a_real) } else { (a_real, a_sim) };
-        let e = challenge(&c, i as u64, &a0, &a1);
+        let e = challenge(&c, bits, i as u64, &ci, &a0, &a1);
         let e_real = scalar_sub(e, e_sim);
         let z_real = scalar::add(k, scalar::mul(e_real, ri));
         let (e0, z0, z1) = if b {
@@ -180,7 +187,7 @@ pub fn verify(c: &Commitment, bits: u32, proof: &[u8]) -> bool {
         if e0 >= n() || z0 >= n() || z1 >= n() {
             return false;
         }
-        let e = challenge(c, i as u64, &a0, &a1);
+        let e = challenge(c, bits, i as u64, &ci, &a0, &a1);
         let e1 = scalar_sub(e, e0);
 
         // Branch 0: C_i hides 0, i.e. C_i = r·H.
@@ -230,6 +237,86 @@ mod tests {
         assert!(b.prove_range(U256::from_u64(256), U256::ONE, 8).is_none());
         assert!(b.prove_range(U256::ONE, U256::ONE, 0).is_none());
         assert!(b.prove_range(U256::ONE, U256::ONE, 65).is_none());
+    }
+
+    #[test]
+    fn challenge_binding_blocks_per_bit_forgery() {
+        // Regression for weak Fiat-Shamir: before `C_i` was bound into
+        // the challenge, a prover could set `e0 = 0` with `A0 = z0·H`
+        // (branch 0 then holds for ANY `C_i`), fix `A1 = u·G + a·H`,
+        // learn `e`, and back-solve branch 1 with
+        //   `C_i = (1 − u/e)·G + ((z1 − a)/e)·H`,
+        // a per-bit "proof" of the attacker-known non-bit value
+        // `1 − u/e`; a k-list match on the sum relation then stitches
+        // such entries into a passing proof for an out-of-range
+        // commitment. With `C_i` hashed the back-solve is circular:
+        // the `C_i` the equations accept changes the challenge it was
+        // solved against.
+        let backend = PedersenBackend;
+        let g = Point::generator();
+        let h = generator_h();
+        let bits = 2u32;
+
+        // Target: C hides 5, outside [0, 4).
+        let r_c = U256::from_u64(77);
+        let c = backend.commit(U256::from_u64(5), r_c);
+
+        // Honest entry for bit index 1 (bit value 1, blinding r1).
+        let r1 = U256::from_u64(33);
+        let ci1 = g.add(&h.mul_scalar(r1));
+        let (e0_1, z0_1) = (U256::from_u64(11), U256::from_u64(22));
+        let a0_1 = h.mul_scalar(z0_1).add(&ci1.mul_scalar(e0_1).negate());
+        let k = U256::from_u64(44);
+        let a1_1 = h.mul_scalar(k);
+        let e_1 = challenge(&c, bits, 1, &ci1, &a0_1, &a1_1);
+        let z1_1 = scalar::add(k, scalar::mul(scalar_sub(e_1, e0_1), r1));
+
+        // The sum relation then forces entry 0 to commit to 3:
+        // C_0 = C − 2·C_1.
+        let ci0_needed = c.0.add(&ci1.mul_scalar(U256::from_u64(2)).negate());
+
+        // Forge entry 0 the pre-fix way.
+        let z0_f = U256::from_u64(55);
+        let a0_f = h.mul_scalar(z0_f);
+        let (u, a) = (U256::from_u64(66), U256::from_u64(88));
+        let a1_f = g.mul_scalar(u).add(&h.mul_scalar(a));
+        let z1_f = U256::from_u64(99);
+
+        // The attacker now needs `e` before choosing `C_0` — but `C_0`
+        // is hashed. Guess the point the sum check needs, then
+        // back-solve branch 1 under that challenge.
+        let e_f = challenge(&c, bits, 0, &ci0_needed, &a0_f, &a1_f);
+        let e_inv = scalar::inv(e_f);
+        let v_solved = scalar_sub(U256::ONE, scalar::mul(u, e_inv));
+        let rho = scalar::mul(scalar_sub(z1_f, a), e_inv);
+        let ci0_solved = g.mul_scalar(v_solved).add(&h.mul_scalar(rho));
+
+        // The circle does not close: the accepted point differs from
+        // the guessed one, so re-hashing it shifts the challenge.
+        assert!(!points_equal(&ci0_solved, &ci0_needed));
+        assert_ne!(
+            challenge(&c, bits, 0, &ci0_solved, &a0_f, &a1_f),
+            e_f,
+            "substituting the solved C_0 must shift the challenge"
+        );
+
+        // Either spelling of the forged entry fails verification.
+        for ci0 in [ci0_needed, ci0_solved] {
+            let mut proof = Vec::with_capacity(2 * BYTES_PER_BIT);
+            for pt in [&ci0, &a0_f, &a1_f] {
+                proof.extend_from_slice(&encode_point(pt));
+            }
+            proof.extend_from_slice(&U256::ZERO.to_be_bytes()); // e0 = 0
+            proof.extend_from_slice(&z0_f.to_be_bytes());
+            proof.extend_from_slice(&z1_f.to_be_bytes());
+            for pt in [&ci1, &a0_1, &a1_1] {
+                proof.extend_from_slice(&encode_point(pt));
+            }
+            proof.extend_from_slice(&e0_1.to_be_bytes());
+            proof.extend_from_slice(&z0_1.to_be_bytes());
+            proof.extend_from_slice(&z1_1.to_be_bytes());
+            assert!(!verify(&c, bits, &proof), "forged proof must be rejected");
+        }
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //! 5. each party `withdraw(v, r)`s by opening their own output
 //!    commitment (revealing only their own final balance), or
 //!    `reclaim()`s their stake after the deadline if no voucher ever
-//!    landed.
+//!    landed. Settle and reclaim are mutually exclusive — `settle`
+//!    reverts once any stake was reclaimed, `reclaim` reverts once
+//!    settled — so no party can ever be paid on both paths.
 //!
 //! Outputs carry no range proofs at `settle` time: a voucher is only
 //! valid with both signatures, and each party validates the other's
@@ -133,12 +135,18 @@ contract confidentialDeposit {
     }
 
     // Settle-later: either party submits the co-signed voucher whenever
-    // they come back online. First nullifier wins; replays revert.
+    // they come back online. First nullifier wins; replays revert. The
+    // settle and reclaim paths are mutually exclusive: once any stake
+    // has been reclaimed the pot no longer covers the voucher, so a
+    // voucher can never land after a reclaim (and reclaim() requires
+    // !settled for the converse) — otherwise a party could reclaim its
+    // stake after the deadline and then still cash the voucher.
     function settle(uint256 cax, uint256 cay, uint256 cbx, uint256 cby,
                     uint8 va, bytes32 ra, bytes32 sa,
                     uint8 vb, bytes32 rb, bytes32 sb) public participantOnly {
         require(active);
         require(!settled);
+        require(!reclaimed[participant[0]] && !reclaimed[participant[1]]);
         bytes32 digest = voucherDigest(cax, cay, cbx, cby);
         require(ecrecover(digest, va, ra, sa) == participant[0]);
         require(ecrecover(digest, vb, rb, sb) == participant[1]);
@@ -156,6 +164,7 @@ contract confidentialDeposit {
     function withdraw(uint256 v, uint256 r) public participantOnly {
         require(settled);
         require(!withdrawn[msg.sender]);
+        require(!reclaimed[msg.sender]);
         if (msg.sender == participant[0]) {
             require(commit_verify(outAX, outAY, v, r));
         } else {
@@ -649,6 +658,48 @@ mod tests {
             .execute(&alice, addr, U256::ZERO, cc.activate(&sum), 1_000_000)
             .unwrap();
         assert!(!r.success, "non-cancelling blindings must fail activation");
+    }
+
+    #[test]
+    fn settle_and_withdraw_blocked_after_reclaim() {
+        let mut ch = activated_channel();
+        let (signed, _, _, vb, rb) = voucher_for(&ch, 9);
+        ch.net.advance_time(4000);
+        // Alice takes her stake back after the deadline...
+        let r = ch
+            .net
+            .execute(&ch.alice, ch.addr, U256::ZERO, ch.cc.reclaim(), 300_000)
+            .unwrap();
+        assert!(r.success, "reclaim: {:?}", r.failure);
+        // ...so the still-valid co-signed voucher must no longer land —
+        // from either party — or Alice would be paid twice and Bob's
+        // withdraw would hit an insolvent pot.
+        for w in [&ch.alice, &ch.bob] {
+            let r = ch
+                .net
+                .execute(w, ch.addr, U256::ZERO, ch.cc.settle(&signed), 2_000_000)
+                .unwrap();
+            assert!(!r.success, "settle after a reclaim must revert");
+        }
+        // And with settlement impossible, the voucher opening pays nobody.
+        let r = ch
+            .net
+            .execute(
+                &ch.bob,
+                ch.addr,
+                U256::ZERO,
+                ch.cc.withdraw(U256::from_u64(vb), rb),
+                1_000_000,
+            )
+            .unwrap();
+        assert!(!r.success, "withdraw without settlement must revert");
+        // Bob's recourse is his own stake; the pot ends exactly empty.
+        let r = ch
+            .net
+            .execute(&ch.bob, ch.addr, U256::ZERO, ch.cc.reclaim(), 300_000)
+            .unwrap();
+        assert!(r.success, "reclaim: {:?}", r.failure);
+        assert_eq!(ch.net.balance_of(ch.addr), U256::ZERO, "pot conserved");
     }
 
     #[test]

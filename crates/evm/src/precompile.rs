@@ -63,10 +63,7 @@ pub enum PrecompileError {
 impl From<DecodeError> for PrecompileError {
     fn from(e: DecodeError) -> Self {
         match e {
-            DecodeError::Length => PrecompileError::BadLength {
-                expected: 64,
-                got: 0,
-            },
+            DecodeError::Length(got) => PrecompileError::BadLength { expected: 64, got },
             DecodeError::NonCanonical => PrecompileError::NonCanonicalPoint,
             DecodeError::NotOnCurve => PrecompileError::PointNotOnCurve,
         }
@@ -174,9 +171,10 @@ fn identity(input: &[u8], gas_limit: u64) -> Option<PrecompileResult> {
 /// 0x09: `commit_verify(cx, cy, v, r) -> bool` — does the Pedersen
 /// commitment `(cx, cy)` open to value `v` under blinding `r`?
 ///
-/// Input: exactly 128 bytes `cx ‖ cy ‖ v ‖ r`. Blindings must be
-/// canonical scalars (`< n`) so that a commitment has one on-chain
-/// spelling per opening.
+/// Input: exactly 128 bytes `cx ‖ cy ‖ v ‖ r`. Both the value and the
+/// blinding must be canonical scalars (`< n`) so that a commitment has
+/// one on-chain spelling per opening — otherwise `v` and `v + n` would
+/// open the same commitment.
 fn commit_verify(input: &[u8], gas_limit: u64) -> Option<PrecompileResult> {
     if gas_limit < g::COMMIT_VERIFY {
         return None;
@@ -202,7 +200,7 @@ pub fn commit_verify_typed(input: &[u8]) -> Result<bool, PrecompileError> {
     let c = Commitment(decode_point(&input[..64])?);
     let v = U256::from_be_slice(&input[64..96]);
     let r = U256::from_be_slice(&input[96..128]);
-    if r >= n() {
+    if v >= n() || r >= n() {
         return Err(PrecompileError::NonCanonicalScalar);
     }
     Ok(PedersenBackend.verify_opening(&c, v, r))
@@ -493,6 +491,19 @@ mod tests {
             commit_verify_typed(&badscalar),
             Err(PrecompileError::NonCanonicalScalar)
         );
+
+        // Non-canonical value: v + n opens the same commitment as v, so
+        // it must be rejected — one on-chain spelling per opening.
+        let mut badval = good.clone();
+        badval[64..96].copy_from_slice(&n().wrapping_add(U256::ONE).to_be_bytes());
+        assert_eq!(
+            commit_verify_typed(&badval),
+            Err(PrecompileError::NonCanonicalScalar)
+        );
+        assert!(run(precompile_addr(9), &badval, 100_000)
+            .unwrap()
+            .output
+            .is_empty());
 
         // Out of gas is the only `None`.
         assert!(run(precompile_addr(9), &good, g::COMMIT_VERIFY - 1).is_none());
