@@ -60,6 +60,39 @@ fn print_report() {
         })
         .collect();
     print_gas_table("S3b — gossip throughput (8 mixed sessions)", &rows);
+
+    let rows: Vec<(&str, String)> = report
+        .light_fleet
+        .iter()
+        .map(|p| {
+            (
+                "fleet",
+                format!(
+                    "{} clients / {} nodes: {} rounds to converge, {} headers ({} bytes)",
+                    p.clients, p.nodes, p.rounds_to_converge, p.headers_imported, p.header_bytes,
+                ),
+            )
+        })
+        .chain(report.light_sessions.iter().map(|p| {
+            (
+                "sessions",
+                format!(
+                    "{} stateless sessions / {} nodes: {:.2} sessions/s, {} proofs + {} receipts verified, {} witness bytes ({}/session)",
+                    p.sessions,
+                    p.nodes,
+                    p.sessions_per_sec(),
+                    p.proofs_verified,
+                    p.receipts_verified,
+                    p.witness_bytes,
+                    p.witness_bytes_per_session(),
+                ),
+            )
+        }))
+        .collect();
+    print_gas_table(
+        "S3c — light clients (header fleet + stateless sessions)",
+        &rows,
+    );
     println!("  wrote {}", artifact_path().display());
 }
 

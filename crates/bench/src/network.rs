@@ -15,7 +15,7 @@
 //!   frame counts are deterministic; the wall-clock rates are context
 //!   only.
 
-use sc_chain::PoolConfig;
+use sc_chain::{HeaderClient, PoolConfig};
 use sc_core::{FaultPlan, Network, NetworkScheduler};
 use std::time::Instant;
 
@@ -30,6 +30,15 @@ pub const PARTITION_ROUNDS: u64 = 6;
 /// Sessions in the gossip-throughput workload (fixed across N so the
 /// curve isolates the cost of fan-out, not of extra work).
 pub const GOSSIP_SESSIONS: usize = 8;
+
+/// Header clients in the light-fleet convergence experiment.
+pub const LIGHT_FLEET: usize = 1000;
+
+/// Nodes serving the light experiments.
+pub const LIGHT_NODES: usize = 4;
+
+/// Sessions in the light-session throughput workload.
+pub const LIGHT_SESSIONS: usize = 8;
 
 /// One point of the convergence experiment.
 #[derive(Debug, Clone)]
@@ -85,13 +94,66 @@ impl GossipPoint {
     }
 }
 
-/// Results of both experiments across all node counts.
+/// One point of the light-fleet convergence experiment: how fast a
+/// fleet of header-only clients re-converges on one head after a
+/// partition heals under them, and what the header traffic costs.
+#[derive(Debug, Clone)]
+pub struct LightFleetPoint {
+    /// Header clients in the fleet.
+    pub clients: usize,
+    /// Full nodes the fleet is homed across.
+    pub nodes: usize,
+    /// Rounds from heal to every client tracking the canonical head.
+    pub rounds_to_converge: u64,
+    /// Headers imported across the whole fleet (reorg branches
+    /// included).
+    pub headers_imported: u64,
+    /// Encoded header bytes the fleet downloaded.
+    pub header_bytes: u64,
+}
+
+/// One point of the light-session throughput experiment: the gossip
+/// workload rerun with every session stateless on a [`sc_core::LightPort`].
+#[derive(Debug, Clone)]
+pub struct LightSessionPoint {
+    /// Nodes the sessions' relays span.
+    pub nodes: usize,
+    /// Sessions in the workload.
+    pub sessions: usize,
+    /// Wall-clock nanoseconds for the full run.
+    pub elapsed_ns: u128,
+    /// State/account witnesses verified across all sessions.
+    pub proofs_verified: u64,
+    /// Receipt-inclusion witnesses verified across all sessions.
+    pub receipts_verified: u64,
+    /// Merkle-path bytes downloaded across all sessions.
+    pub witness_bytes: u64,
+}
+
+impl LightSessionPoint {
+    /// Completed sessions per wall-clock second.
+    pub fn sessions_per_sec(&self) -> f64 {
+        self.sessions as f64 / (self.elapsed_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Witness download per session — the marginal bandwidth cost of
+    /// running one session stateless.
+    pub fn witness_bytes_per_session(&self) -> u64 {
+        self.witness_bytes / self.sessions.max(1) as u64
+    }
+}
+
+/// Results of all experiments across all node counts.
 #[derive(Debug, Clone)]
 pub struct NetworkReport {
     /// Convergence points, ascending node count.
     pub convergence: Vec<ConvergencePoint>,
     /// Gossip points, ascending node count.
     pub gossip: Vec<GossipPoint>,
+    /// Light-fleet convergence points.
+    pub light_fleet: Vec<LightFleetPoint>,
+    /// Light-session throughput points.
+    pub light_sessions: Vec<LightSessionPoint>,
 }
 
 impl NetworkReport {
@@ -154,8 +216,68 @@ impl NetworkReport {
             })
             .collect::<Vec<_>>()
             .join(",\n");
+        let light_fleet = self
+            .light_fleet
+            .iter()
+            .map(|p| {
+                format!(
+                    concat!(
+                        "    {{\n",
+                        "      \"clients\": {},\n",
+                        "      \"nodes\": {},\n",
+                        "      \"partition_rounds\": {},\n",
+                        "      \"rounds_to_converge\": {},\n",
+                        "      \"headers_imported\": {},\n",
+                        "      \"header_bytes\": {}\n",
+                        "    }}"
+                    ),
+                    p.clients,
+                    p.nodes,
+                    PARTITION_ROUNDS,
+                    p.rounds_to_converge,
+                    p.headers_imported,
+                    p.header_bytes,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let light_sessions = self
+            .light_sessions
+            .iter()
+            .map(|p| {
+                format!(
+                    concat!(
+                        "    {{\n",
+                        "      \"nodes\": {},\n",
+                        "      \"sessions\": {},\n",
+                        "      \"elapsed_ns\": {},\n",
+                        "      \"sessions_per_sec\": {:.3},\n",
+                        "      \"proofs_verified\": {},\n",
+                        "      \"receipts_verified\": {},\n",
+                        "      \"witness_bytes\": {},\n",
+                        "      \"witness_bytes_per_session\": {}\n",
+                        "    }}"
+                    ),
+                    p.nodes,
+                    p.sessions,
+                    p.elapsed_ns,
+                    p.sessions_per_sec(),
+                    p.proofs_verified,
+                    p.receipts_verified,
+                    p.witness_bytes,
+                    p.witness_bytes_per_session(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
         format!(
-            "{{\n  \"bench\": \"network\",\n  \"convergence\": [\n{convergence}\n  ],\n  \"gossip\": [\n{gossip}\n  ]\n}}\n"
+            concat!(
+                "{{\n  \"bench\": \"network\",\n  \"convergence\": [\n{}\n  ],\n",
+                "  \"gossip\": [\n{}\n  ],\n",
+                "  \"light_fleet\": [\n{}\n  ],\n",
+                "  \"light_sessions\": [\n{}\n  ]\n}}\n"
+            ),
+            convergence, gossip, light_fleet, light_sessions
         )
     }
 }
@@ -208,11 +330,125 @@ pub fn measure_gossip(n: usize) -> GossipPoint {
     }
 }
 
-/// Measures both experiments at every node count.
+/// Catches a fleet of header clients up to their home nodes' canonical
+/// heads (the [`sc_core::LightPort`] pull path, inlined over bare
+/// headers), counting imports and downloaded header bytes.
+fn sync_fleet(net: &Network, clients: &mut [HeaderClient], imported: &mut u64, bytes: &mut u64) {
+    let nodes = net.len();
+    for (i, client) in clients.iter_mut().enumerate() {
+        let node = net.node(i % nodes);
+        if client.head().hash == node.head().hash {
+            continue;
+        }
+        let mut missing = Vec::new();
+        let mut cur = node.head().header();
+        loop {
+            if client.header_by_hash(cur.hash).is_some() {
+                break;
+            }
+            let parent_hash = cur.parent_hash;
+            let number = cur.number;
+            missing.push(cur);
+            if number == 0 {
+                break;
+            }
+            match node.block_by_hash(parent_hash) {
+                Some(b) => cur = b.header(),
+                None => break,
+            }
+        }
+        for h in missing.into_iter().rev() {
+            *bytes += h.encode().len() as u64;
+            if client.import_header(h).is_ok() {
+                *imported += 1;
+            }
+        }
+    }
+}
+
+/// Cuts a [`LIGHT_NODES`]-node network in half under a fleet of
+/// [`LIGHT_FLEET`] header clients, heals it, and counts the rounds
+/// until **every client** tracks the one canonical head — the fleet
+/// follows forks and reorgs from header gossip alone, so this measures
+/// fork choice at light-client scale plus the header bandwidth it
+/// costs. Deterministic; the regression gate pins it.
+pub fn measure_light_fleet() -> LightFleetPoint {
+    let nodes = LIGHT_NODES;
+    let mut net = Network::new(nodes, &FaultPlan::none(), PoolConfig::default(), &[]);
+    let mut clients: Vec<HeaderClient> = (0..LIGHT_FLEET)
+        .map(|i| HeaderClient::new(net.node(i % nodes).block(0).expect("genesis").header()))
+        .collect();
+    let mut headers_imported = 0u64;
+    let mut header_bytes = 0u64;
+    net.force_partition((0..nodes / 2).collect(), PARTITION_ROUNDS);
+    for _ in 0..PARTITION_ROUNDS {
+        net.round();
+        sync_fleet(&net, &mut clients, &mut headers_imported, &mut header_bytes);
+    }
+    let mut rounds = 0u64;
+    let fleet_converged = |net: &Network, clients: &[HeaderClient]| {
+        net.converged()
+            && !net.frames_in_flight()
+            && clients
+                .iter()
+                .all(|c| c.head().hash == net.node(0).head().hash)
+    };
+    while !fleet_converged(&net, &clients) {
+        net.round();
+        sync_fleet(&net, &mut clients, &mut headers_imported, &mut header_bytes);
+        rounds += 1;
+        assert!(rounds <= 10_000, "light fleet failed to converge");
+    }
+    LightFleetPoint {
+        clients: LIGHT_FLEET,
+        nodes,
+        rounds_to_converge: rounds,
+        headers_imported,
+        header_bytes,
+    }
+}
+
+/// Runs the fixed [`LIGHT_SESSIONS`]-session workload with every
+/// session stateless over [`LIGHT_NODES`] relay nodes and measures the
+/// witness traffic statelessness costs. The witness counts are
+/// deterministic (quiet network, fixed specs); the wall-clock rate is
+/// context only.
+pub fn measure_light_sessions() -> LightSessionPoint {
+    let mut sched = NetworkScheduler::new_light(
+        mixed_specs(LIGHT_SESSIONS),
+        LIGHT_NODES,
+        PoolConfig::default(),
+        None,
+    );
+    let start = Instant::now();
+    let reports = sched.run();
+    let elapsed_ns = start.elapsed().as_nanos();
+    for r in &reports {
+        assert!(
+            r.outcome.is_some() || r.error.is_some(),
+            "light session {} did not settle",
+            r.id
+        );
+    }
+    assert!(sched.network().converged(), "network failed to converge");
+    let stats = sched.light_stats();
+    LightSessionPoint {
+        nodes: LIGHT_NODES,
+        sessions: LIGHT_SESSIONS,
+        elapsed_ns,
+        proofs_verified: stats.proofs_verified,
+        receipts_verified: stats.receipts_verified,
+        witness_bytes: stats.witness_bytes,
+    }
+}
+
+/// Measures all experiments at every node count.
 pub fn measure() -> NetworkReport {
     NetworkReport {
         convergence: NODE_COUNTS.into_iter().map(measure_convergence).collect(),
         gossip: NODE_COUNTS.into_iter().map(measure_gossip).collect(),
+        light_fleet: vec![measure_light_fleet()],
+        light_sessions: vec![measure_light_sessions()],
     }
 }
 
@@ -268,11 +504,43 @@ mod tests {
                 blocks_sealed: 20,
                 reorgs: 0,
             }],
+            light_fleet: vec![LightFleetPoint {
+                clients: 1000,
+                nodes: 4,
+                rounds_to_converge: 5,
+                headers_imported: 9000,
+                header_bytes: 1_000_000,
+            }],
+            light_sessions: vec![LightSessionPoint {
+                nodes: 4,
+                sessions: 8,
+                elapsed_ns: 1_000_000_000,
+                proofs_verified: 64,
+                receipts_verified: 48,
+                witness_bytes: 40_000,
+            }],
         };
         let json = r.to_json();
         assert!(json.contains("\"orphan_rate\": 0.500"));
         assert!(json.contains("\"sessions_per_sec\": 4.000"));
         assert!(json.contains("\"frames_per_sec\": 50.0"));
+        assert!(json.contains("\"clients\": 1000"));
+        assert!(json.contains("\"witness_bytes_per_session\": 5000"));
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn light_fleet_smoke() {
+        let p = measure_light_fleet();
+        assert_eq!(p.clients, LIGHT_FLEET);
+        assert!(
+            p.headers_imported >= LIGHT_FLEET as u64,
+            "fleet never synced"
+        );
+        assert!(p.header_bytes > 0);
+        // Determinism: the gate pins this number, so it must replay.
+        let q = measure_light_fleet();
+        assert_eq!(p.rounds_to_converge, q.rounds_to_converge);
+        assert_eq!(p.header_bytes, q.header_bytes);
     }
 }

@@ -332,6 +332,22 @@ fn network_orphan_rate_8(doc: &Json) -> Option<f64> {
         .as_f64()
 }
 
+fn light_fleet_convergence_rounds_1000(doc: &Json) -> Option<f64> {
+    doc.find_in("light_fleet", |p| {
+        p.get("clients").and_then(Json::as_f64) == Some(1000.0)
+    })?
+    .get("rounds_to_converge")?
+    .as_f64()
+}
+
+fn light_witness_bytes_per_session_8(doc: &Json) -> Option<f64> {
+    doc.find_in("light_sessions", |p| {
+        p.get("sessions").and_then(Json::as_f64) == Some(8.0)
+    })?
+    .get("witness_bytes_per_session")?
+    .as_f64()
+}
+
 fn state_read_ratio(doc: &Json) -> Option<f64> {
     doc.get("read_ratio_largest_over_smallest")?.as_f64()
 }
@@ -401,6 +417,22 @@ pub fn registry() -> Vec<Metric> {
             name: "network orphan_rate @8",
             extract: network_orphan_rate_8,
             tolerance: Tolerance::AbsoluteMax(0.6),
+        },
+        // Light clients: fleet convergence is deterministic (headers +
+        // fork choice only), and witness bytes per stateless session
+        // are a pure function of the protocol's read pattern — a rise
+        // means reads got heavier or proofs got fatter.
+        Metric {
+            file: "BENCH_network.json",
+            name: "light fleet convergence rounds @1000",
+            extract: light_fleet_convergence_rounds_1000,
+            tolerance: Tolerance::MaxRisePct(50.0),
+        },
+        Metric {
+            file: "BENCH_network.json",
+            name: "light witness bytes/session @8",
+            extract: light_witness_bytes_per_session_8,
+            tolerance: Tolerance::MaxRisePct(50.0),
         },
         // Flat-state engine: reads must stay O(1) in account count and
         // the pruning window must bound trie-node memory.

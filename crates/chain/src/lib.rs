@@ -41,7 +41,7 @@ pub use block::{receipts_root, Block, FailureReason, Header, Receipt};
 pub use light::{HeaderClient, HeaderImport, HeaderImportError};
 pub use overlay::{Account, DiffLayer, StateOverlay};
 pub use parallel::{ExecMode, SealReport};
-pub use proof::{ProofVerifyError, StorageProof};
+pub use proof::{AccountProof, ProofVerifyError, ReceiptProof, StorageProof};
 pub use state::{encode_account, SnapshotError, WorldState};
 pub use testnet::{CallResult, ChainConfig, ImportError, ImportOutcome, Testnet, TxError};
 pub use tx::{SignedTransaction, Transaction, Wallet};

@@ -13,7 +13,7 @@
 //! that holds no chain state but still refuses unproven answers.
 
 use crate::block::Header;
-use crate::proof::{ProofVerifyError, StorageProof};
+use crate::proof::{AccountProof, ProofVerifyError, ReceiptProof, StorageProof};
 use sc_primitives::{H256, U256};
 use std::collections::HashMap;
 
@@ -225,6 +225,48 @@ impl HeaderClient {
         proof.verify(header.state_root)?;
         Ok(proof.value)
     }
+
+    /// Checks an account proof against the tracked head's `state_root`,
+    /// returning the proven `(nonce, balance)`. A light *submitter*
+    /// uses this to bound its own nonce and funds without trusting the
+    /// relay's account map.
+    pub fn verified_account(&self, proof: &AccountProof) -> Result<(u64, U256), ProofVerifyError> {
+        proof.verify(self.head().state_root)?;
+        Ok((proof.nonce, proof.balance))
+    }
+
+    /// Checks an account proof against the tracked canonical header at
+    /// `number` — the historical counterpart of
+    /// [`HeaderClient::verified_account`], pairing with
+    /// [`crate::testnet::Testnet::prove_account_at`].
+    pub fn verified_account_at(
+        &self,
+        number: u64,
+        proof: &AccountProof,
+    ) -> Result<(u64, U256), ProofVerifyError> {
+        let header = self
+            .header(number)
+            .ok_or(ProofVerifyError::UntrackedHeader(number))?;
+        proof.verify(header.state_root)?;
+        Ok((proof.nonce, proof.balance))
+    }
+
+    /// Confirms transaction inclusion from headers alone: the claimed
+    /// block must be a *tracked canonical* header, that header must
+    /// commit the transaction hash, and the receipt's Merkle path must
+    /// check out against the header's `receipts_root`. After a reorg
+    /// orphans the block, the header at that height changes and the
+    /// same witness is rejected — which is exactly what forces a light
+    /// session to resubmit.
+    pub fn verified_receipt(&self, proof: &ReceiptProof) -> Result<(), ProofVerifyError> {
+        let header = self
+            .header(proof.block_number)
+            .ok_or(ProofVerifyError::UntrackedHeader(proof.block_number))?;
+        if !header.tx_hashes.contains(&proof.tx_hash) {
+            return Err(ProofVerifyError::TxNotCommitted(proof.tx_hash));
+        }
+        proof.verify(header.receipts_root)
+    }
 }
 
 #[cfg(test)]
@@ -397,5 +439,184 @@ mod tests {
             assert!(client.verified_storage(&proof).is_err());
             proof.verify(client.header(1).unwrap().state_root).unwrap();
         }
+    }
+
+    /// A client tracking `net`'s full canonical chain.
+    fn synced_client(net: &Testnet) -> HeaderClient {
+        let mut client = HeaderClient::new(net.block(0).unwrap().header());
+        for n in 1..=net.head().number {
+            client
+                .import_header(net.block(n).unwrap().header())
+                .unwrap();
+        }
+        client
+    }
+
+    #[test]
+    fn receipt_inclusion_verifies_and_forgeries_are_rejected() {
+        let (mut net, contract, _) = chain_with_storage();
+        let alice = Wallet::from_seed("alice");
+        let r = net
+            .execute(&alice, contract, U256::ZERO, vec![], 100_000)
+            .unwrap();
+        let client = synced_client(&net);
+
+        let proof = net.prove_receipt(r.tx_hash).expect("mined tx has a proof");
+        client.verified_receipt(&proof).expect("honest inclusion");
+
+        // Unknown height: typed error, no trusted root to check against.
+        let mut forged = proof.clone();
+        forged.block_number = 99;
+        assert_eq!(
+            client.verified_receipt(&forged),
+            Err(ProofVerifyError::UntrackedHeader(99))
+        );
+        // A tx hash the header never committed.
+        let mut forged = proof.clone();
+        forged.tx_hash = H256([0xab; 32]);
+        assert_eq!(
+            client.verified_receipt(&forged),
+            Err(ProofVerifyError::TxNotCommitted(H256([0xab; 32])))
+        );
+        // A doctored receipt payload (claiming success bits it never
+        // had) breaks the leaf match.
+        let mut forged = proof.clone();
+        forged.receipt_rlp[0] ^= 0x01;
+        assert!(client.verified_receipt(&forged).is_err());
+        // A claimed index the root commits a different receipt at.
+        let mut forged = proof.clone();
+        forged.tx_index += 1;
+        assert!(client.verified_receipt(&forged).is_err());
+    }
+
+    #[test]
+    fn forged_account_witness_is_rejected_typed() {
+        let (mut net, _, _) = chain_with_storage();
+        let alice = Wallet::from_seed("alice");
+        let client = synced_client(&net);
+        let proof = net.prove_account(alice.address);
+        assert!(proof.nonce > 0, "alice deployed, so her nonce moved");
+        let (nonce, balance) = client.verified_account(&proof).unwrap();
+        assert_eq!((nonce, balance), (proof.nonce, proof.balance));
+
+        // Tampered balance and nonce: path verifies, claim does not.
+        let mut forged = proof.clone();
+        forged.balance = forged.balance.wrapping_add(U256::ONE);
+        assert!(matches!(
+            client.verified_account(&forged),
+            Err(ProofVerifyError::AccountMismatch { .. })
+        ));
+        let mut forged = proof.clone();
+        forged.nonce += 1;
+        assert!(matches!(
+            client.verified_account(&forged),
+            Err(ProofVerifyError::AccountMismatch { .. })
+        ));
+        assert_eq!(
+            client.verified_account_at(99, &proof),
+            Err(ProofVerifyError::UntrackedHeader(99))
+        );
+    }
+
+    /// Every structurally-corrupted witness must surface a typed error —
+    /// never a panic — no matter which byte an adversarial relay mangles.
+    #[test]
+    fn malformed_witness_corpus_yields_typed_errors() {
+        let (mut net, contract, storage_proof) = chain_with_storage();
+        let alice = Wallet::from_seed("alice");
+        let r = net
+            .execute(&alice, contract, U256::ZERO, vec![], 100_000)
+            .unwrap();
+        let client = synced_client(&net);
+        let account_proof = net.prove_account(alice.address);
+        let receipt_proof = net.prove_receipt(r.tx_hash).unwrap();
+
+        // Corrupt every byte of every path node, plus truncations and
+        // node swaps — all must decode to Err, none may panic.
+        let mut corpus = 0usize;
+        for i in 0..storage_proof.account_proof.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut p = storage_proof.clone();
+                for b in p.account_proof[i].iter_mut() {
+                    *b ^= bit;
+                }
+                assert!(client.verified_storage_at(1, &p).is_err());
+                corpus += 1;
+            }
+        }
+        for i in 0..account_proof.account_proof.len() {
+            let mut p = account_proof.clone();
+            p.account_proof[i] = vec![0xc0]; // replaced by an empty list
+            assert!(client.verified_account(&p).is_err());
+            corpus += 1;
+        }
+        let mut p = account_proof.clone();
+        p.account_proof.clear(); // truncated to nothing
+        assert!(client.verified_account(&p).is_err());
+        let mut p = storage_proof.clone();
+        p.storage_proof.reverse(); // nodes out of path order still hash-checked
+        p.value = p.value.wrapping_add(U256::ONE);
+        assert!(client.verified_storage_at(1, &p).is_err());
+        for i in 0..receipt_proof.proof.len() {
+            let mut p = receipt_proof.clone();
+            p.proof[i] = vec![0xff; 3];
+            assert!(client.verified_receipt(&p).is_err());
+            corpus += 1;
+        }
+        let mut p = receipt_proof.clone();
+        p.receipt_rlp = vec![]; // empty consensus payload
+        assert!(client.verified_receipt(&p).is_err());
+        assert!(corpus >= 4, "corpus exercised {corpus} mutations");
+    }
+
+    #[test]
+    fn stale_witness_is_rejected_after_reorg() {
+        // The client follows fork A, proves a read against A's head,
+        // then reorgs to fork B: the witness anchored to A's root must
+        // be rejected at the new head, and a fresh proof from B's chain
+        // must verify. This is the re-prove obligation a light session
+        // discharges after every reorg.
+        let mk = || {
+            let mut net = Testnet::new();
+            net.funded_wallet("alice", ether(10));
+            net.funded_wallet("carol", ether(10));
+            net
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let alice = Wallet::from_seed("alice");
+        let carol = Wallet::from_seed("carol");
+        a.execute(&alice, Address([0xb0; 20]), ether(1), vec![], 100_000)
+            .unwrap();
+        b.execute(&carol, Address([0xda; 20]), ether(2), vec![], 100_000)
+            .unwrap();
+        b.execute(&carol, Address([0xda; 20]), ether(1), vec![], 100_000)
+            .unwrap();
+
+        let mut client = HeaderClient::new(a.block(0).unwrap().header());
+        client.import_header(a.block(1).unwrap().header()).unwrap();
+        // An account witness whose value genuinely differs between the
+        // forks: fork A paid 0xb0, fork B never did.
+        let stale_account = a.prove_account(Address([0xb0; 20]));
+        client
+            .verified_account(&stale_account)
+            .expect("fresh on fork A");
+
+        // Fork B is heavier: the client must switch…
+        client.import_header(b.block(1).unwrap().header()).unwrap();
+        let out = client.import_header(b.block(2).unwrap().header()).unwrap();
+        assert!(matches!(
+            out,
+            HeaderImport::Reorged { .. } | HeaderImport::Extended
+        ));
+        assert_eq!(client.head().hash, b.head().hash);
+        // …and the stale fork-A witness must now be rejected, while a
+        // fresh fork-B witness for the same account verifies.
+        assert!(client.verified_account(&stale_account).is_err());
+        let fresh = b.prove_account(Address([0xb0; 20]));
+        assert_eq!(
+            client.verified_account(&fresh).unwrap(),
+            (0, U256::ZERO),
+            "fork B never paid 0xb0"
+        );
     }
 }

@@ -11,10 +11,11 @@
 
 use sc_primitives::rlp::{self, Item};
 use sc_primitives::{Address, H256, U256};
-use sc_trie::{verify_secure_proof, ProofError};
+use sc_trie::{verify_proof, verify_secure_proof, ProofError};
 use std::fmt;
 
-/// Why a [`StorageProof`] failed to check out.
+/// Why a witness ([`StorageProof`], [`AccountProof`] or
+/// [`ReceiptProof`]) failed to check out.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProofVerifyError {
     /// A Merkle path was malformed or incomplete (includes tampering —
@@ -30,6 +31,25 @@ pub enum ProofVerifyError {
         /// What the proof claimed.
         claimed: U256,
     },
+    /// The account path verified, but the root commits different
+    /// account fields than the witness claims (a tampered balance or
+    /// nonce).
+    AccountMismatch {
+        /// Nonce the root actually commits.
+        proven_nonce: u64,
+        /// Balance the root actually commits.
+        proven_balance: U256,
+        /// Nonce the witness claimed.
+        claimed_nonce: u64,
+        /// Balance the witness claimed.
+        claimed_balance: U256,
+    },
+    /// The header the receipt claims inclusion in does not commit the
+    /// transaction hash at all.
+    TxNotCommitted(H256),
+    /// The receipts root commits a different receipt (or none) at the
+    /// claimed index than the witness carries.
+    ReceiptMismatch,
     /// The verifier holds no header for this block number, so there is
     /// no trusted root to check the proof against.
     UntrackedHeader(u64),
@@ -44,6 +64,22 @@ impl fmt::Display for ProofVerifyError {
                 f,
                 "storage proof value mismatch: root commits {proven}, claimed {claimed}"
             ),
+            ProofVerifyError::AccountMismatch {
+                proven_nonce,
+                proven_balance,
+                claimed_nonce,
+                claimed_balance,
+            } => write!(
+                f,
+                "account proof mismatch: root commits nonce {proven_nonce} balance \
+                 {proven_balance}, claimed nonce {claimed_nonce} balance {claimed_balance}"
+            ),
+            ProofVerifyError::TxNotCommitted(h) => {
+                write!(f, "header does not commit transaction {h}")
+            }
+            ProofVerifyError::ReceiptMismatch => {
+                write!(f, "receipts root commits a different receipt than claimed")
+            }
             ProofVerifyError::UntrackedHeader(n) => {
                 write!(f, "no tracked header for block {n}")
             }
@@ -115,6 +151,124 @@ impl StorageProof {
             })
         }
     }
+
+    /// Bytes of Merkle-path data this witness carries — what a light
+    /// client actually downloads per read (the bench's
+    /// witness-bytes-per-session metric).
+    pub fn witness_bytes(&self) -> usize {
+        path_bytes(&self.account_proof) + path_bytes(&self.storage_proof)
+    }
+}
+
+/// A self-contained *account* witness: address, claimed nonce and
+/// balance, and the account's Merkle path in the state trie. This is
+/// the top level of the two-level state witness on its own — what a
+/// light submitter needs to check its own nonce and funds against a
+/// header's `state_root` without trusting the relay's account map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccountProof {
+    /// Account being proven.
+    pub address: Address,
+    /// Claimed nonce (0 for exclusion proofs).
+    pub nonce: u64,
+    /// Claimed balance ([`U256::ZERO`] for exclusion proofs).
+    pub balance: U256,
+    /// The state root the prover generated this proof against.
+    pub root: H256,
+    /// Merkle path of the account in the state trie.
+    pub account_proof: Vec<Vec<u8>>,
+}
+
+impl AccountProof {
+    /// Replays the path against `state_root` and returns the `(nonce,
+    /// balance)` the root actually commits. An account proven absent
+    /// commits `(0, 0)`.
+    pub fn proven_parts(&self, state_root: H256) -> Result<(u64, U256), ProofVerifyError> {
+        let account =
+            verify_secure_proof(state_root, self.address.as_bytes(), &self.account_proof)?;
+        match account {
+            None => Ok((0, U256::ZERO)),
+            Some(enc) => decode_account_parts(&enc).ok_or(ProofVerifyError::BadAccount),
+        }
+    }
+
+    /// Verifies that `state_root` commits exactly the claimed nonce and
+    /// balance.
+    pub fn verify(&self, state_root: H256) -> Result<(), ProofVerifyError> {
+        let (proven_nonce, proven_balance) = self.proven_parts(state_root)?;
+        if proven_nonce == self.nonce && proven_balance == self.balance {
+            Ok(())
+        } else {
+            Err(ProofVerifyError::AccountMismatch {
+                proven_nonce,
+                proven_balance,
+                claimed_nonce: self.nonce,
+                claimed_balance: self.balance,
+            })
+        }
+    }
+
+    /// Bytes of Merkle-path data this witness carries.
+    pub fn witness_bytes(&self) -> usize {
+        path_bytes(&self.account_proof)
+    }
+}
+
+/// A receipt-inclusion witness: the consensus encoding of one receipt
+/// plus its Merkle path in the block's receipts trie (keyed by RLP
+/// transaction index, exactly as [`crate::block::receipts_root`] builds
+/// it). A light client confirms a submitted transaction landed by
+/// checking this against the `receipts_root` of a *tracked* header —
+/// the relay can withhold a receipt, but cannot fabricate one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceiptProof {
+    /// Transaction whose receipt is proven.
+    pub tx_hash: H256,
+    /// Block the receipt claims inclusion in.
+    pub block_number: u64,
+    /// Index of the transaction within that block.
+    pub tx_index: u64,
+    /// The receipt's consensus encoding (`[status, gas_used, logs]`).
+    pub receipt_rlp: Vec<u8>,
+    /// Merkle path of the receipt in the block's receipts trie.
+    pub proof: Vec<Vec<u8>>,
+}
+
+impl ReceiptProof {
+    /// Verifies that `receipts_root` commits exactly `self.receipt_rlp`
+    /// at `self.tx_index`.
+    pub fn verify(&self, receipts_root: H256) -> Result<(), ProofVerifyError> {
+        let key = rlp::encode(&Item::u64(self.tx_index));
+        match verify_proof(receipts_root, &key, &self.proof)? {
+            Some(leaf) if leaf == self.receipt_rlp => Ok(()),
+            _ => Err(ProofVerifyError::ReceiptMismatch),
+        }
+    }
+
+    /// Bytes of Merkle-path data this witness carries (plus the receipt
+    /// payload itself, which the verifier must download too).
+    pub fn witness_bytes(&self) -> usize {
+        path_bytes(&self.proof) + self.receipt_rlp.len()
+    }
+}
+
+/// Total encoded bytes of one Merkle path.
+fn path_bytes(path: &[Vec<u8>]) -> usize {
+    path.iter().map(Vec::len).sum()
+}
+
+/// Pulls `(nonce, balance)` out of an RLP `[nonce, balance,
+/// storage_root, code_hash]` account leaf.
+pub(crate) fn decode_account_parts(account_rlp: &[u8]) -> Option<(u64, U256)> {
+    let Ok(Item::List(fields)) = rlp::decode(account_rlp) else {
+        return None;
+    };
+    if fields.len() != 4 {
+        return None;
+    }
+    let nonce = fields[0].as_uint()?.to_u64()?;
+    let balance = fields[1].as_uint()?;
+    Some((nonce, balance))
 }
 
 /// Pulls `storage_root` out of an RLP `[nonce, balance, storage_root,
@@ -242,6 +396,59 @@ mod tests {
         proof.verify(proof.root).expect("fresh proof verifies");
         // …but the same paths cannot satisfy the old commitment.
         assert!(proof.verify(old_root).is_err());
+    }
+
+    #[test]
+    fn account_proof_roundtrip_and_forgery_rejected() {
+        let mut s = populated_state();
+        let root = s.state_root();
+        let proof = s.prove_account(addr(1));
+        assert_eq!(proof.root, root);
+        assert_eq!(proof.balance, U256::from_u64(1_000_001));
+        proof.verify(root).expect("honest account proof verifies");
+        assert_eq!(
+            proof.proven_parts(root).unwrap(),
+            (0, U256::from_u64(1_000_001))
+        );
+        assert!(proof.witness_bytes() > 0);
+
+        // Tampered balance: the path still verifies, the claim does not.
+        let mut forged = proof.clone();
+        forged.balance = U256::from_u64(9_999_999);
+        match forged.verify(root) {
+            Err(ProofVerifyError::AccountMismatch {
+                proven_balance,
+                claimed_balance,
+                ..
+            }) => {
+                assert_eq!(proven_balance, U256::from_u64(1_000_001));
+                assert_eq!(claimed_balance, U256::from_u64(9_999_999));
+            }
+            other => panic!("expected AccountMismatch, got {other:?}"),
+        }
+        // Tampered nonce, same story.
+        let mut forged = proof.clone();
+        forged.nonce = 7;
+        assert!(matches!(
+            forged.verify(root),
+            Err(ProofVerifyError::AccountMismatch { .. })
+        ));
+        // A flipped path node breaks the hash chain outright.
+        let mut forged = proof.clone();
+        forged.account_proof[0][0] ^= 0x01;
+        assert!(matches!(
+            forged.verify(root),
+            Err(ProofVerifyError::Trie(_))
+        ));
+    }
+
+    #[test]
+    fn absent_account_proves_zero_nonce_and_balance() {
+        let mut s = populated_state();
+        let root = s.state_root();
+        let proof = s.prove_account(addr(0xee));
+        assert_eq!((proof.nonce, proof.balance), (0, U256::ZERO));
+        proof.verify(root).expect("account exclusion verifies");
     }
 
     #[test]

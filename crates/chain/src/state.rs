@@ -397,6 +397,30 @@ impl WorldState {
         }
     }
 
+    /// Merkle proof that `a` currently holds its nonce and balance
+    /// under the current [`WorldState::state_root`] — the single-level
+    /// account counterpart of [`WorldState::prove_storage`], with the
+    /// same anchoring rule (the fold runs first).
+    pub fn prove_account(&mut self, a: Address) -> crate::proof::AccountProof {
+        let root = self.state_root();
+        let account_proof = self.account_trie.prove(a.as_bytes());
+        // Mirror exactly what the fold commits: only existing accounts
+        // have a leaf; everything else proves the (0, 0) exclusion.
+        let (nonce, balance) = self
+            .overlay
+            .account(a)
+            .filter(|m| m.exists())
+            .map(|m| (m.nonce, m.balance))
+            .unwrap_or((0, U256::ZERO));
+        crate::proof::AccountProof {
+            address: a,
+            nonce,
+            balance,
+            root,
+            account_proof,
+        }
+    }
+
     // ---- pruning archive ----
 
     /// Arms the pruning archive with a retention window of `window`
@@ -565,6 +589,32 @@ impl WorldState {
             root: state_root,
             account_proof,
             storage_proof,
+        })
+    }
+
+    /// Merkle proof that `a` held its nonce and balance under the
+    /// *historical* `state_root` — any root still inside the pruning
+    /// window, served statelessly from archived nodes like
+    /// [`WorldState::prove_storage_at`].
+    pub fn prove_account_at(
+        &self,
+        state_root: H256,
+        a: Address,
+    ) -> Result<crate::proof::AccountProof, ProofError> {
+        let Some(arch) = &self.archive else {
+            return Err(ProofError::MissingNode(state_root));
+        };
+        let account_proof = arch.store.prove_secure(state_root, a.as_bytes())?;
+        let (nonce, balance) = match arch.store.get_secure(state_root, a.as_bytes())? {
+            None => (0, U256::ZERO),
+            Some(enc) => crate::proof::decode_account_parts(&enc).ok_or(ProofError::BadNode)?,
+        };
+        Ok(crate::proof::AccountProof {
+            address: a,
+            nonce,
+            balance,
+            root: state_root,
+            account_proof,
         })
     }
 

@@ -9,7 +9,7 @@
 
 use crate::block::{self, Block, FailureReason, Receipt};
 use crate::parallel::{self, ExecMode, SealReport};
-use crate::proof::StorageProof;
+use crate::proof::{AccountProof, ReceiptProof, StorageProof};
 use crate::state::{DiffLayer, WorldState};
 use crate::tx::{SignedTransaction, Transaction, Wallet};
 use sc_crypto::ecdsa::recover_addresses_batch;
@@ -396,6 +396,57 @@ impl Testnet {
     ) -> Option<StorageProof> {
         let root = self.block(number)?.state_root;
         self.state.prove_storage_at(root, address, slot).ok()
+    }
+
+    /// Merkle proof that `address` holds its current nonce and balance,
+    /// anchored to the current folded state root (see
+    /// [`Testnet::prove_storage`] for the anchoring rule). This is what
+    /// a light submitter requests from its relay to cross-check nonce
+    /// advice against the chain's own commitment.
+    pub fn prove_account(&mut self, address: Address) -> AccountProof {
+        debug_assert!(
+            self.config.commit_roots,
+            "account proofs need commit_roots enabled"
+        );
+        self.state.prove_account(address)
+    }
+
+    /// Merkle proof that `address` held its nonce and balance at block
+    /// `number` — served statelessly from the pruning archive like
+    /// [`Testnet::prove_storage_at`]. `None` when the block is unknown,
+    /// pruning is off, or the root slid out of the retention window.
+    pub fn prove_account_at(&self, number: u64, address: Address) -> Option<AccountProof> {
+        let root = self.block(number)?.state_root;
+        self.state.prove_account_at(root, address).ok()
+    }
+
+    /// Receipt-inclusion proof for a mined transaction: the receipt's
+    /// consensus encoding plus its Merkle path in the block's receipts
+    /// trie, verifiable against that header's `receipts_root` by a
+    /// verifier holding nothing but headers
+    /// ([`crate::light::HeaderClient::verified_receipt`]). `None` while
+    /// the transaction is not mined on the canonical chain.
+    pub fn prove_receipt(&self, tx_hash: H256) -> Option<ReceiptProof> {
+        let receipt = self.receipt(tx_hash)?;
+        let (block_number, tx_index) = (receipt.block_number, receipt.tx_index as u64);
+        let receipt_rlp = receipt.rlp_encode();
+        let mut trie = sc_trie::Trie::new();
+        for r in self.receipts_in_block(block_number) {
+            trie.insert(
+                &sc_primitives::rlp::encode(&sc_primitives::rlp::Item::u64(r.tx_index as u64)),
+                r.rlp_encode(),
+            );
+        }
+        let proof = trie.prove(&sc_primitives::rlp::encode(&sc_primitives::rlp::Item::u64(
+            tx_index,
+        )));
+        Some(ReceiptProof {
+            tx_hash,
+            block_number,
+            tx_index,
+            receipt_rlp,
+            proof,
+        })
     }
 
     /// Block by number.

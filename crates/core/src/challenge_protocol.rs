@@ -208,8 +208,9 @@ impl ChallengeGame {
     fn drive(&mut self, until: impl Fn(&ChallengeSession) -> bool) {
         while !until(&self.session) && self.session.outcome().is_none() {
             let outcome = {
+                let mut port = ChainPort::Immediate(&mut self.net);
                 let mut ctx = SessionCtx {
-                    chain: ChainPort::Immediate(&mut self.net),
+                    chain: &mut port,
                     bus: BusPort::Owned(&mut self.bus),
                 };
                 self.session.step(&mut ctx)

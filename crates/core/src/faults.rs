@@ -131,6 +131,15 @@ pub struct FaultPlan {
     /// Total link faults (partitions + delays) allowed before every
     /// link turns perfect.
     pub link_fault_budget: u32,
+    /// Per-fetch chance (‰) a witness requested from the relay is
+    /// dropped in transit (light sessions only — the port refetches).
+    pub proof_drop_permille: u32,
+    /// Per-round chance (‰) a light client's header push is withheld
+    /// for the round (the port's pull path recovers on demand).
+    pub header_lag_permille: u32,
+    /// Total light faults (dropped proofs + lagged headers) allowed
+    /// before the relay turns perfect.
+    pub light_fault_budget: u32,
 }
 
 impl FaultPlan {
@@ -159,6 +168,9 @@ impl FaultPlan {
             link_delay_permille: 0,
             max_link_delay_rounds: 0,
             link_fault_budget: 0,
+            proof_drop_permille: 0,
+            header_lag_permille: 0,
+            light_fault_budget: 0,
         }
     }
 
@@ -198,6 +210,12 @@ impl FaultPlan {
             link_delay_permille: (splitmix64(&mut s) % 151) as u32,
             max_link_delay_rounds: splitmix64(&mut s) % 3 + 1,
             link_fault_budget: (splitmix64(&mut s) % 7) as u32,
+            // Light-session faults draw last — the same append-only
+            // contract again, so every pinned single-node *and*
+            // multi-node chaos outcome replays bit-identically.
+            proof_drop_permille: (splitmix64(&mut s) % 201) as u32,
+            header_lag_permille: (splitmix64(&mut s) % 151) as u32,
+            light_fault_budget: (splitmix64(&mut s) % 9) as u32,
         }
     }
 
@@ -646,6 +664,73 @@ impl LinkFaults {
     }
 }
 
+/// Per-session light-client fault state: dropped witnesses and withheld
+/// header pushes. Drawn from its own stream (site 5), so arming a light
+/// fleet never perturbs the whisper, chain, pool or link schedules
+/// existing chaos pins depend on. Both fault kinds are *liveness*
+/// faults by construction — a dropped proof is refetched and a lagged
+/// header is pulled on demand — so a light session under this schedule
+/// reaches the same outcome as its full-node twin, just with more wire
+/// traffic.
+pub struct LightFaults {
+    rng: XorShift64,
+    plan: FaultPlan,
+    budget: u32,
+    injected: Vec<String>,
+}
+
+impl LightFaults {
+    /// Light fault state for one session.
+    pub fn new(plan: &FaultPlan) -> LightFaults {
+        LightFaults {
+            rng: plan.stream(5),
+            plan: plan.clone(),
+            budget: plan.light_fault_budget,
+            injected: Vec::new(),
+        }
+    }
+
+    /// Rolls for a witness fetch being dropped in transit (the port
+    /// must request it again).
+    pub fn drop_proof(&mut self) -> bool {
+        if self.budget == 0 {
+            return false;
+        }
+        let roll = self.rng.below(1000) as u32;
+        if roll >= self.plan.proof_drop_permille {
+            return false;
+        }
+        self.budget -= 1;
+        self.injected.push("witness dropped in transit".to_string());
+        true
+    }
+
+    /// Rolls for this round's header push being withheld from the
+    /// client (stale until it pulls).
+    pub fn lag_headers(&mut self) -> bool {
+        if self.budget == 0 {
+            return false;
+        }
+        let roll = self.rng.below(1000) as u32;
+        if roll >= self.plan.header_lag_permille {
+            return false;
+        }
+        self.budget -= 1;
+        self.injected.push("header push withheld".to_string());
+        true
+    }
+
+    /// Human-readable log of every light fault injected so far.
+    pub fn injected_faults(&self) -> &[String] {
+        &self.injected
+    }
+
+    /// Light fault budget still unspent.
+    pub fn remaining_budget(&self) -> u32 {
+        self.budget
+    }
+}
+
 /// A [`Testnet`] whose convenience senders fail transiently and whose
 /// mining sometimes happens late, per the plan. Derefs to the inner
 /// chain so the full read API (`balance_of`, `storage_at`, `now`, …)
@@ -990,6 +1075,64 @@ mod tests {
             assert!((1..=3).contains(&p.max_link_delay_rounds));
             assert!(p.link_fault_budget <= 6);
         }
+    }
+
+    #[test]
+    fn light_draws_never_perturb_earlier_fields() {
+        // Golden pin for the next append: the five link fields for the
+        // same three seeds, captured before the light-fault fields were
+        // appended. Breaking these breaks every pinned multi-node chaos
+        // seed.
+        let golden: [(u64, [u64; 5]); 3] = [
+            (0x5EED_C0FF_EE15_600D, [12, 14, 27, 3, 5]),
+            (0x5eed, [21, 13, 36, 1, 3]),
+            (0x1, [77, 7, 95, 3, 1]),
+        ];
+        for (seed, want) in golden {
+            let p = FaultPlan::from_seed(seed);
+            let got = [
+                p.partition_permille as u64,
+                p.max_partition_rounds,
+                p.link_delay_permille as u64,
+                p.max_link_delay_rounds,
+                p.link_fault_budget as u64,
+            ];
+            assert_eq!(got, want, "seed {seed:#x}: pre-light fields moved");
+        }
+        // The light fields respect their documented ranges, and the
+        // schedule is budgeted: rates can be high, injections cannot be
+        // unbounded.
+        for seed in 0..256u64 {
+            let p = FaultPlan::from_seed(seed);
+            assert!(p.proof_drop_permille <= 200);
+            assert!(p.header_lag_permille <= 150);
+            assert!(p.light_fault_budget <= 8);
+        }
+        let plan = FaultPlan {
+            proof_drop_permille: 1000,
+            header_lag_permille: 1000,
+            ..FaultPlan::from_seed(0x5eed)
+        };
+        let mut lf = LightFaults::new(&plan);
+        let mut fired = 0;
+        for i in 0..128 {
+            if if i % 2 == 0 {
+                lf.drop_proof()
+            } else {
+                lf.lag_headers()
+            } {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, plan.light_fault_budget);
+        assert_eq!(lf.remaining_budget(), 0);
+        assert_eq!(lf.injected_faults().len(), fired as usize);
+        // Replays of the same plan draw the identical schedule.
+        let replay = |plan: &FaultPlan| {
+            let mut lf = LightFaults::new(plan);
+            (0..32).map(|_| lf.drop_proof()).collect::<Vec<_>>()
+        };
+        assert_eq!(replay(&plan), replay(&plan));
     }
 
     #[test]

@@ -47,8 +47,8 @@ pub use challenge_protocol::{
     WatchStrategy,
 };
 pub use faults::{
-    ChainFaults, FaultPlan, FaultyWhisper, FlakyNet, LinkFaults, NetError, Partition, SubmitFault,
-    WhisperFaults, XorShift64, MAX_INJECTED_SECS,
+    ChainFaults, FaultPlan, FaultyWhisper, FlakyNet, LightFaults, LinkFaults, NetError, Partition,
+    SubmitFault, WhisperFaults, XorShift64, MAX_INJECTED_SECS,
 };
 pub use generate::{generate_pair, GenerateError, GeneratedPair};
 pub use invariants::{
@@ -61,10 +61,11 @@ pub use protocol::{
     BettingGame, GameConfig, Outcome, ProtocolError, ProtocolReport, Stage, TxRecord,
 };
 pub use session::{
-    stage_bucket, BettingSession, BettingSessionParams, BettingSpec, BusPort, ChainPort,
-    ChallengeSession, ChallengeSessionParams, ChallengeSpec, SchedulerStats, Session, SessionCtx,
-    SessionReport, SessionScheduler, SessionSpec, SettleLaterCrash, SettleLaterOutcome,
-    SettleLaterSession, SettleLaterSessionParams, SettleLaterSpec, StepOutcome, STAGE_NAMES,
+    stage_bucket, BettingSession, BettingSessionParams, BettingSpec, BusPort, ChainAccess,
+    ChainPort, ChainReader, ChallengeSession, ChallengeSessionParams, ChallengeSpec, LightPort,
+    LightStats, SchedulerStats, Session, SessionCtx, SessionReport, SessionScheduler, SessionSpec,
+    SettleLaterCrash, SettleLaterOutcome, SettleLaterSession, SettleLaterSessionParams,
+    SettleLaterSpec, StepOutcome, TxSubmitter, STAGE_NAMES,
 };
 pub use signedcopy::{bytecode_hash, sign_bytecode, SignedCopy, SignedCopyError};
 pub use splitter::{classify_function, split, Classification, FunctionClass, SplitPlan};

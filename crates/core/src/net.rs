@@ -33,13 +33,16 @@
 //! all fixed-order, so two runs from the same specs and seed produce
 //! bit-identical chains on every node.
 
-use crate::faults::{ChainFaults, FaultPlan, LinkFaults, Partition, WhisperFaults};
+use crate::faults::{ChainFaults, FaultPlan, LightFaults, LinkFaults, Partition, WhisperFaults};
 use crate::session::scheduler::{build_session, session_wallets, ContractCache};
 use crate::session::{
-    BusPort, ChainPort, Session, SessionCtx, SessionReport, SessionSpec, StepOutcome,
+    BusPort, ChainPort, LightPort, LightStats, Session, SessionCtx, SessionReport, SessionSpec,
+    StepOutcome,
 };
 use crate::whisper::{Topic, Whisper};
-use sc_chain::{Block, ImportOutcome, PoolConfig, SignedTransaction, Testnet, TxError};
+use sc_chain::{
+    Block, Header, HeaderClient, ImportOutcome, PoolConfig, SignedTransaction, Testnet, TxError,
+};
 use sc_primitives::{ether, Address, H256};
 use std::collections::HashMap;
 
@@ -56,6 +59,16 @@ fn node_addr(i: usize) -> Address {
     let mut b = [0xeeu8; 20];
     b[18] = (i >> 8) as u8;
     b[19] = i as u8;
+    Address(b)
+}
+
+/// The reader address light client `id` drains its header inbox with —
+/// distinct from every node address so per-reader bus cursors never
+/// collide.
+fn light_addr(id: usize) -> Address {
+    let mut b = [0xccu8; 20];
+    b[18] = (id >> 8) as u8;
+    b[19] = id as u8;
     Address(b)
 }
 
@@ -518,13 +531,22 @@ enum NetSlotState {
     Failed,
 }
 
-/// One session homed on a node, plus its private fault state.
+/// One session homed on a node, plus its private fault state. In light
+/// mode the slot additionally carries its own [`HeaderClient`] — the
+/// session's entire view of the chain — plus the light-fault schedule
+/// and witness-traffic counters.
 struct NetSlot {
     session: Box<dyn Session>,
     kind: &'static str,
     home: usize,
     chain_faults: ChainFaults,
     whisper_faults: WhisperFaults,
+    /// `Some` in light mode: the session steps through a [`LightPort`]
+    /// wrapping this client, with the home node demoted to an untrusted
+    /// witness relay.
+    client: Option<HeaderClient>,
+    light_faults: LightFaults,
+    light_stats: LightStats,
     state: NetSlotState,
     error: Option<String>,
 }
@@ -557,6 +579,34 @@ impl NetworkScheduler {
         pool: PoolConfig,
         net_fault_seed: Option<u64>,
     ) -> NetworkScheduler {
+        NetworkScheduler::build(specs, nodes, pool, net_fault_seed, false)
+    }
+
+    /// Like [`NetworkScheduler::new`], but every session runs
+    /// *stateless*: it owns a [`HeaderClient`] seeded with its home
+    /// node's genesis header, follows the chain through per-session
+    /// header pushes over whisper (plus the pull path when a push
+    /// lags), and reaches the chain through a [`LightPort`] — every
+    /// read witness-verified, inclusion confirmed against
+    /// `receipts_root`, the home node demoted to an untrusted relay.
+    /// Same specs + same seeds produce reports bit-identical to
+    /// [`NetworkScheduler::new`]'s.
+    pub fn new_light(
+        specs: Vec<SessionSpec>,
+        nodes: usize,
+        pool: PoolConfig,
+        net_fault_seed: Option<u64>,
+    ) -> NetworkScheduler {
+        NetworkScheduler::build(specs, nodes, pool, net_fault_seed, true)
+    }
+
+    fn build(
+        specs: Vec<SessionSpec>,
+        nodes: usize,
+        pool: PoolConfig,
+        net_fault_seed: Option<u64>,
+        light: bool,
+    ) -> NetworkScheduler {
         let link_plan = match net_fault_seed {
             Some(seed) => FaultPlan::from_seed(seed),
             None => FaultPlan::none(),
@@ -584,12 +634,20 @@ impl NetworkScheduler {
                     Some(seed) => FaultPlan::from_seed(seed),
                     None => FaultPlan::none(),
                 };
+                // A light client trusts exactly one thing: its home
+                // node's genesis header. Everything after is verified.
+                let client = light.then(|| {
+                    HeaderClient::new(network.nodes[home].block(0).expect("genesis").header())
+                });
                 NetSlot {
                     session,
                     kind,
                     home,
                     chain_faults: ChainFaults::new(&plan),
                     whisper_faults: WhisperFaults::new(&plan),
+                    client,
+                    light_faults: LightFaults::new(&plan),
+                    light_stats: LightStats::default(),
                     state: NetSlotState::Runnable,
                     error: None,
                 }
@@ -607,6 +665,80 @@ impl NetworkScheduler {
     /// assertions after a run).
     pub fn network(&self) -> &Network {
         &self.network
+    }
+
+    /// Mutable network access, for tests that force partitions or
+    /// inject frames around a scheduler run.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Fleet-wide witness-traffic totals (all zero outside light mode).
+    pub fn light_stats(&self) -> LightStats {
+        let mut total = LightStats::default();
+        for slot in &self.slots {
+            total.absorb(&slot.light_stats);
+        }
+        total
+    }
+
+    /// Per-slot witness-traffic counters, in slot order.
+    pub fn light_stats_by_session(&self) -> Vec<LightStats> {
+        self.slots.iter().map(|s| s.light_stats).collect()
+    }
+
+    /// Pushes each light client the canonical headers it is missing,
+    /// as encoded [`Header`] frames over that session's scoped whisper
+    /// topic, then lets the client drain its inbox and import whatever
+    /// verifies (hashes are recomputed on decode, so a tampered frame
+    /// cannot take effect). A header-lag fault withholds this round's
+    /// push — the client stays stale until the [`LightPort`] pull path
+    /// catches it up on its next read, which is the fault's whole
+    /// observable effect.
+    fn sync_light_clients(&mut self) {
+        let Network { nodes, bus, .. } = &mut self.network;
+        for (id, slot) in self.slots.iter_mut().enumerate() {
+            let Some(client) = slot.client.as_mut() else {
+                continue;
+            };
+            let node = &nodes[slot.home];
+            if client.head().hash == node.head().hash {
+                continue;
+            }
+            if slot.light_faults.lag_headers() {
+                continue;
+            }
+            let topic = Topic::node_session(slot.home, id as u64, "headers");
+            // The home node walks its canonical chain back to the last
+            // header the client tracks and pushes the gap oldest-first
+            // (crossing the fork point after a reorg, so the client's
+            // fork choice flips too).
+            let mut missing = Vec::new();
+            let mut cur = node.head().header();
+            loop {
+                if client.header_by_hash(cur.hash).is_some() {
+                    break;
+                }
+                let parent_hash = cur.parent_hash;
+                let number = cur.number;
+                missing.push(cur);
+                if number == 0 {
+                    break;
+                }
+                match node.block_by_hash(parent_hash) {
+                    Some(b) => cur = b.header(),
+                    None => break,
+                }
+            }
+            for h in missing.iter().rev() {
+                bus.post(node_addr(slot.home), &topic, h.encode());
+            }
+            for env in bus.poll(light_addr(id), &topic) {
+                if let Ok(header) = Header::decode(&env.payload) {
+                    let _ = client.import_header(header);
+                }
+            }
+        }
     }
 
     /// Transactions displaced from any node's pool and routed back for
@@ -644,6 +776,12 @@ impl NetworkScheduler {
         self.network.partition_step();
         self.network.deliver_due();
         self.network.process_inboxes();
+        // Light clients catch up on headers *after* the round's imports
+        // land and *before* sessions step, so a light session observes
+        // its relay's head at exactly the point a full-node session
+        // would read its own — which is what keeps the two modes'
+        // reports bit-identical under the same seed.
+        self.sync_light_clients();
 
         let now_by_node: Vec<u64> = self.network.nodes.iter().map(|n| n.now()).collect();
         for slot in &mut self.slots {
@@ -661,19 +799,50 @@ impl NetworkScheduler {
             let rejections = &mut self.rejections;
             for slot in self.slots.iter_mut() {
                 while slot.state == NetSlotState::Runnable {
-                    let mut ctx = SessionCtx {
-                        chain: ChainPort::Node {
-                            net: &mut nodes[slot.home],
-                            faults: &mut slot.chain_faults,
-                            outbox: &mut outboxes[slot.home],
-                            rejections,
-                        },
-                        bus: BusPort::Shared {
-                            bus,
-                            faults: &mut slot.whisper_faults,
-                        },
+                    // Full-node slots step through `ChainPort::Node`
+                    // against their home chain; light slots step through
+                    // a `LightPort` wrapping their own header client,
+                    // with that same home chain demoted to an untrusted
+                    // witness relay. Both are `dyn ChainAccess`, so the
+                    // session cannot tell which it got.
+                    let step = match slot.client.as_mut() {
+                        Some(client) => {
+                            let mut port = LightPort {
+                                client,
+                                relay: &mut nodes[slot.home],
+                                faults: &mut slot.chain_faults,
+                                light_faults: &mut slot.light_faults,
+                                outbox: &mut outboxes[slot.home],
+                                rejections,
+                                stats: &mut slot.light_stats,
+                            };
+                            let mut ctx = SessionCtx {
+                                chain: &mut port,
+                                bus: BusPort::Shared {
+                                    bus,
+                                    faults: &mut slot.whisper_faults,
+                                },
+                            };
+                            slot.session.step(&mut ctx)
+                        }
+                        None => {
+                            let mut port = ChainPort::Node {
+                                net: &mut nodes[slot.home],
+                                faults: &mut slot.chain_faults,
+                                outbox: &mut outboxes[slot.home],
+                                rejections,
+                            };
+                            let mut ctx = SessionCtx {
+                                chain: &mut port,
+                                bus: BusPort::Shared {
+                                    bus,
+                                    faults: &mut slot.whisper_faults,
+                                },
+                            };
+                            slot.session.step(&mut ctx)
+                        }
                     };
-                    match slot.session.step(&mut ctx) {
+                    match step {
                         Ok(StepOutcome::Progress) => {}
                         Ok(StepOutcome::Pending) => slot.state = NetSlotState::Pending,
                         Ok(StepOutcome::WaitUntil(t)) => slot.state = NetSlotState::Waiting(t),

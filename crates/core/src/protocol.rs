@@ -268,8 +268,9 @@ impl BettingGame {
     pub fn run(mut self) -> Result<(BettingGame, ProtocolReport), ProtocolError> {
         loop {
             let outcome = {
+                let mut port = ChainPort::Immediate(&mut self.net);
                 let mut ctx = SessionCtx {
-                    chain: ChainPort::Immediate(&mut self.net),
+                    chain: &mut port,
                     bus: BusPort::Owned(&mut self.whisper),
                 };
                 self.session.step(&mut ctx)?

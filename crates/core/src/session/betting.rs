@@ -289,7 +289,7 @@ impl BettingSession {
                         Some(self.timeline.t1),
                     ));
                 }
-                match self.task.as_mut().expect("task set").poll(&mut ctx.chain) {
+                match self.task.as_mut().expect("task set").poll(ctx.chain) {
                     TaskPoll::Landed(r) => {
                         self.task = None;
                         self.record(
@@ -371,7 +371,7 @@ impl BettingSession {
                         Some(self.timeline.t1),
                     ));
                 }
-                match self.task.as_mut().expect("task set").poll(&mut ctx.chain) {
+                match self.task.as_mut().expect("task set").poll(ctx.chain) {
                     TaskPoll::Landed(r) => {
                         self.task = None;
                         self.record(Stage::SubmitChallenge, "deposit", p.wallet.address, &r);
@@ -422,7 +422,7 @@ impl BettingSession {
                         Some(self.timeline.t2),
                     ));
                 }
-                match self.task.as_mut().expect("task set").poll(&mut ctx.chain) {
+                match self.task.as_mut().expect("task set").poll(ctx.chain) {
                     TaskPoll::Landed(r) => {
                         self.task = None;
                         self.record(
@@ -477,7 +477,7 @@ impl BettingSession {
                         Some(self.timeline.t3),
                     ));
                 }
-                match self.task.as_mut().expect("task set").poll(&mut ctx.chain) {
+                match self.task.as_mut().expect("task set").poll(ctx.chain) {
                     TaskPoll::Landed(r) => {
                         self.task = None;
                         self.record(Stage::SubmitChallenge, "reassign", loser.wallet.address, &r);
@@ -539,7 +539,7 @@ impl BettingSession {
                         None,
                     ));
                 }
-                match self.task.as_mut().expect("task set").poll(&mut ctx.chain) {
+                match self.task.as_mut().expect("task set").poll(ctx.chain) {
                     TaskPoll::Landed(r) => {
                         self.task = None;
                         self.record(
@@ -590,7 +590,7 @@ impl BettingSession {
                         None,
                     ));
                 }
-                match self.task.as_mut().expect("task set").poll(&mut ctx.chain) {
+                match self.task.as_mut().expect("task set").poll(ctx.chain) {
                     TaskPoll::Landed(r) => {
                         self.task = None;
                         self.record(
@@ -638,7 +638,7 @@ impl BettingSession {
                         None,
                     ));
                 }
-                match self.task.as_mut().expect("task set").poll(&mut ctx.chain) {
+                match self.task.as_mut().expect("task set").poll(ctx.chain) {
                     TaskPoll::Landed(r) => {
                         self.task = None;
                         self.record(

@@ -253,7 +253,7 @@ impl ChallengeSession {
     ) -> Result<Mandatory, ProtocolError> {
         let task = self.task.as_mut().expect("task set");
         let label = task.label();
-        match task.poll(&mut ctx.chain) {
+        match task.poll(ctx.chain) {
             TaskPoll::Landed(r) => {
                 self.task = None;
                 self.record(label, sender, &r);
@@ -526,7 +526,7 @@ impl ChallengeSession {
                 }
                 let sender = self.bob.wallet.address;
                 let task = self.task.as_mut().expect("task set");
-                match task.poll(&mut ctx.chain) {
+                match task.poll(ctx.chain) {
                     TaskPoll::Landed(r) => {
                         self.task = None;
                         self.record("challenge", sender, &r);

@@ -22,6 +22,7 @@
 
 pub mod betting;
 pub mod challenge;
+pub mod light;
 pub mod retry;
 pub mod scheduler;
 pub mod settle_later;
@@ -29,6 +30,7 @@ pub mod sign;
 
 pub use betting::{BettingSession, BettingSessionParams};
 pub use challenge::{ChallengeSession, ChallengeSessionParams};
+pub use light::{LightPort, LightStats};
 pub use retry::{TaskPoll, TxTask, BACKOFF_BASE_SECS, MAX_ATTEMPTS};
 pub use scheduler::{
     BettingSpec, ChallengeSpec, SchedulerStats, SessionReport, SessionScheduler, SessionSpec,
@@ -112,7 +114,7 @@ pub enum ChainPort<'a> {
     },
 }
 
-/// Result of one [`ChainPort::submit`] attempt.
+/// Result of one [`TxSubmitter::submit`] attempt.
 pub enum SendOutcome {
     /// The transaction was mined (immediate mode only).
     Landed(Receipt),
@@ -130,27 +132,105 @@ pub enum SendOutcome {
     Rejected(TxError),
 }
 
-impl ChainPort<'_> {
+/// The read half of the chain-access boundary: everything a session
+/// needs to *observe* the chain. A full-node port answers from its own
+/// state; a [`light::LightPort`] answers only what it can check against
+/// a tracked header — which is why the mutating `&mut self` receivers
+/// exist even for reads (a light reader fetches and verifies witnesses,
+/// and may pull missing headers, on the way to an answer).
+pub trait ChainReader {
     /// The timestamp the next block will carry.
-    pub fn now(&self) -> u64 {
+    fn now(&self) -> u64;
+
+    /// Timestamp of the current head block.
+    fn head_timestamp(&self) -> u64;
+
+    /// Timestamp of the block a receipt landed in (head's timestamp if
+    /// the number is somehow unknown, which cannot happen for a mined
+    /// receipt).
+    fn block_timestamp(&self, number: u64) -> u64;
+
+    /// Storage slot lookup. Full-node ports read their own trie; a
+    /// light port returns the *proven* value of a fetched witness.
+    fn storage_at(&mut self, a: Address, key: U256) -> U256;
+
+    /// Light-verified storage read: the value is only returned after a
+    /// Merkle proof for the slot checked out against the chain's
+    /// `state_root` commitment.
+    fn verified_storage_at(&mut self, a: Address, key: U256) -> Result<U256, ProofVerifyError>;
+
+    /// Receipt of a previously queued transaction, once mined on the
+    /// canonical chain. A reorg that orphans the transaction makes the
+    /// receipt disappear again; a light port additionally refuses
+    /// receipts it cannot prove included under a tracked header.
+    fn receipt(&mut self, hash: H256) -> Option<Receipt>;
+
+    /// True while the chain still knows about a queued transaction:
+    /// mined (receipt), pooled (awaiting a block), or queued in this
+    /// round's outbox. `false` means a reorg orphaned it *and* the new
+    /// branch didn't re-include it — the task must resubmit.
+    fn tx_known(&self, hash: H256) -> bool;
+}
+
+/// The write half of the chain-access boundary: submitting transactions
+/// and observing their admission fate.
+pub trait TxSubmitter {
+    /// Submits one transaction through the session's fault schedule.
+    /// `gas_price: None` bids the chain's default; tasks re-pricing
+    /// after a fee-market rejection pass their raised bid. `roll_fault`
+    /// is false when resuming after [`SendOutcome::HeldFor`] (that
+    /// submission's fault was already drawn).
+    #[allow(clippy::too_many_arguments)] // mirrors the Transaction fields
+    fn submit(
+        &mut self,
+        wallet: &Wallet,
+        to: Option<Address>,
+        value: U256,
+        data: Vec<u8>,
+        gas_limit: u64,
+        gas_price: Option<U256>,
+        roll_fault: bool,
+    ) -> SendOutcome;
+
+    /// Takes the admission error routed back for a queued transaction,
+    /// if its batch flush rejected it.
+    fn take_rejection(&mut self, hash: H256) -> Option<TxError>;
+
+    /// The gas price the chain's convenience senders assume — the
+    /// starting bid for fee-market re-pricing.
+    fn default_gas_price(&self) -> U256;
+
+    /// Mints balance for a session wallet (scheduler-funded sessions).
+    /// Multi-node and light sessions are funded at genesis instead — an
+    /// out-of-band mint on one node would desynchronize replay
+    /// verification of its blocks on every other node.
+    fn faucet(&mut self, a: Address, amount: U256);
+}
+
+/// The full capability set a session steps against: reads + submission.
+/// Blanket-implemented, so any `ChainReader + TxSubmitter` — the
+/// [`ChainPort`] variants or a [`light::LightPort`] — is a
+/// `dyn ChainAccess` without further ceremony.
+pub trait ChainAccess: ChainReader + TxSubmitter {}
+
+impl<T: ChainReader + TxSubmitter + ?Sized> ChainAccess for T {}
+
+impl ChainReader for ChainPort<'_> {
+    fn now(&self) -> u64 {
         match self {
             ChainPort::Immediate(net) => net.now(),
             ChainPort::Shared { net, .. } | ChainPort::Node { net, .. } => net.now(),
         }
     }
 
-    /// Timestamp of the current head block.
-    pub fn head_timestamp(&self) -> u64 {
+    fn head_timestamp(&self) -> u64 {
         match self {
             ChainPort::Immediate(net) => net.head().timestamp,
             ChainPort::Shared { net, .. } | ChainPort::Node { net, .. } => net.head().timestamp,
         }
     }
 
-    /// Timestamp of the block a receipt landed in (head's timestamp if
-    /// the number is somehow unknown, which cannot happen for a mined
-    /// receipt).
-    pub fn block_timestamp(&self, number: u64) -> u64 {
+    fn block_timestamp(&self, number: u64) -> u64 {
         let lookup = |net: &Testnet| {
             net.block(number)
                 .map_or_else(|| net.head().timestamp, |b| b.timestamp)
@@ -161,8 +241,7 @@ impl ChainPort<'_> {
         }
     }
 
-    /// Storage slot lookup.
-    pub fn storage_at(&self, a: Address, key: U256) -> U256 {
+    fn storage_at(&mut self, a: Address, key: U256) -> U256 {
         match self {
             ChainPort::Immediate(net) => net.storage_at(a, key),
             ChainPort::Shared { net, .. } | ChainPort::Node { net, .. } => net.storage_at(a, key),
@@ -185,7 +264,7 @@ impl ChainPort<'_> {
     /// fork's root, but this method fetches a *fresh* proof from the
     /// live trie on every call, so after a rollback-and-replay it
     /// re-proves against exactly what the current head commits.
-    pub fn verified_storage_at(&mut self, a: Address, key: U256) -> Result<U256, ProofVerifyError> {
+    fn verified_storage_at(&mut self, a: Address, key: U256) -> Result<U256, ProofVerifyError> {
         let net: &mut Testnet = match self {
             ChainPort::Immediate(net) => net,
             ChainPort::Shared { net, .. } | ChainPort::Node { net, .. } => net,
@@ -201,21 +280,10 @@ impl ChainPort<'_> {
         Ok(proof.value)
     }
 
-    /// Mints balance for a session wallet (scheduler-funded sessions).
-    /// Multi-node sessions are funded at genesis instead — an
-    /// out-of-band mint on one node would desynchronize replay
-    /// verification of its blocks on every other node.
-    pub fn faucet(&mut self, a: Address, amount: U256) {
-        match self {
-            ChainPort::Immediate(net) => net.faucet(a, amount),
-            ChainPort::Shared { net, .. } | ChainPort::Node { net, .. } => net.faucet(a, amount),
-        }
-    }
-
     /// Receipt of a previously queued transaction, once mined. In
     /// `Node` mode this reflects the *canonical* chain only: a reorg
     /// that orphans the transaction makes the receipt disappear again.
-    pub fn receipt(&self, hash: H256) -> Option<Receipt> {
+    fn receipt(&mut self, hash: H256) -> Option<Receipt> {
         match self {
             ChainPort::Immediate(net) => net.receipt(hash).cloned(),
             ChainPort::Shared { net, .. } | ChainPort::Node { net, .. } => {
@@ -224,14 +292,11 @@ impl ChainPort<'_> {
         }
     }
 
-    /// True while the chain still knows about a queued transaction:
-    /// mined (receipt), pooled/outboxed (awaiting a block), or queued in
-    /// this round's outbox. `false` in `Node` mode means a reorg
-    /// orphaned it *and* the new branch didn't re-include it — the task
-    /// must resubmit. Single-chain modes can never lose a transaction,
-    /// so they are always `true` (which keeps pinned single-node chaos
-    /// schedules untouched).
-    pub fn tx_known(&self, hash: H256) -> bool {
+    /// Single-chain modes can never lose a transaction, so `Immediate`
+    /// and `Shared` are always `true` (which keeps pinned single-node
+    /// chaos schedules untouched); only `Node` mode can answer `false`,
+    /// after a reorg orphaned the transaction.
+    fn tx_known(&self, hash: H256) -> bool {
         match self {
             ChainPort::Immediate(_) | ChainPort::Shared { .. } => true,
             ChainPort::Node { net, outbox, .. } => {
@@ -241,10 +306,17 @@ impl ChainPort<'_> {
             }
         }
     }
+}
 
-    /// Takes the admission error routed back for a queued transaction,
-    /// if its batch flush rejected it.
-    pub fn take_rejection(&mut self, hash: H256) -> Option<TxError> {
+impl TxSubmitter for ChainPort<'_> {
+    fn faucet(&mut self, a: Address, amount: U256) {
+        match self {
+            ChainPort::Immediate(net) => net.faucet(a, amount),
+            ChainPort::Shared { net, .. } | ChainPort::Node { net, .. } => net.faucet(a, amount),
+        }
+    }
+
+    fn take_rejection(&mut self, hash: H256) -> Option<TxError> {
         match self {
             ChainPort::Immediate(_) => None,
             ChainPort::Shared { rejections, .. } | ChainPort::Node { rejections, .. } => {
@@ -253,9 +325,7 @@ impl ChainPort<'_> {
         }
     }
 
-    /// The gas price the chain's convenience senders assume — the
-    /// starting bid for fee-market re-pricing.
-    pub fn default_gas_price(&self) -> U256 {
+    fn default_gas_price(&self) -> U256 {
         match self {
             ChainPort::Immediate(net) => net.config().default_gas_price,
             ChainPort::Shared { net, .. } | ChainPort::Node { net, .. } => {
@@ -264,15 +334,10 @@ impl ChainPort<'_> {
         }
     }
 
-    /// Submits one transaction through the session's fault schedule.
-    /// `gas_price: None` bids the chain's default; tasks re-pricing
-    /// after a fee-market rejection pass their raised bid (shared mode
-    /// only — immediate mode has no fee market and always pays the
-    /// default). `roll_fault` is false when resuming after
-    /// [`SendOutcome::HeldFor`] (that submission's fault was already
-    /// drawn).
-    #[allow(clippy::too_many_arguments)] // mirrors the Transaction fields
-    pub fn submit(
+    /// Immediate mode has no fee market and always pays the default
+    /// price; shared and node modes self-sign against the mempool-aware
+    /// nonce and queue into the tick's shared outbox.
+    fn submit(
         &mut self,
         wallet: &Wallet,
         to: Option<Address>,
@@ -377,9 +442,14 @@ impl BusPort<'_> {
 }
 
 /// Everything a session may touch during one step.
+///
+/// The chain is a capability object, not a concrete port: sessions are
+/// generic over *how* they reach the chain (a private [`ChainPort`], a
+/// shared one, a networked node, or a stateless [`light::LightPort`])
+/// and can only do what [`ChainReader`] + [`TxSubmitter`] allow.
 pub struct SessionCtx<'a> {
-    /// The chain, immediate or shared.
-    pub chain: ChainPort<'a>,
+    /// The chain, behind whichever capability stack homes this session.
+    pub chain: &'a mut (dyn ChainAccess + 'a),
     /// The message bus, owned or shared.
     pub bus: BusPort<'a>,
 }

@@ -8,7 +8,7 @@
 //! what the caller should do next, so a scheduler can interleave many
 //! sessions' retries instead of blocking on one.
 
-use super::{ChainPort, SendOutcome};
+use super::{ChainAccess, SendOutcome};
 use crate::faults::MAX_INJECTED_SECS;
 use sc_chain::{Receipt, TxError, Wallet};
 use sc_primitives::{Address, H256, U256};
@@ -104,8 +104,10 @@ impl TxTask {
     }
 
     /// Makes at most one submission attempt (or checks on an in-flight
-    /// queued transaction) and reports how to proceed.
-    pub fn poll(&mut self, chain: &mut ChainPort<'_>) -> TaskPoll {
+    /// queued transaction) and reports how to proceed. Generic over the
+    /// chain capability, so the same retry machine drives a private
+    /// chain, a shared one, a networked node, or a light relay.
+    pub fn poll(&mut self, chain: &mut (dyn ChainAccess + '_)) -> TaskPoll {
         if let Some(hash) = self.in_flight {
             // Receipt first: on a multi-node chain a transaction can be
             // mined via a *gossiped* block and still show up in the
@@ -196,7 +198,7 @@ impl TxTask {
     /// before resubmitting. Consumes an attempt, so a sender that keeps
     /// losing the fee market stalls deterministically instead of
     /// spinning.
-    fn reprice(&mut self, chain: &ChainPort<'_>, new_price: U256) -> TaskPoll {
+    fn reprice(&mut self, chain: &(dyn ChainAccess + '_), new_price: U256) -> TaskPoll {
         let current = self.gas_price.unwrap_or_else(|| chain.default_gas_price());
         self.gas_price = Some(if new_price > current {
             new_price

@@ -112,8 +112,10 @@ pub enum SessionSpec {
     SettleLater(SettleLaterSpec),
 }
 
-/// Terminal record of one multiplexed session.
-#[derive(Debug, Clone)]
+/// Terminal record of one multiplexed session. `PartialEq` because the
+/// light-session acceptance test compares whole reports bit-for-bit
+/// against a full-node run under the same seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionReport {
     /// Slot index (also the wallet-seed and topic namespace).
     pub id: usize,
@@ -437,13 +439,14 @@ impl SessionScheduler {
         } = self;
         for slot in slots.iter_mut() {
             while slot.state == SlotState::Runnable {
+                let mut port = ChainPort::Shared {
+                    net,
+                    faults: &mut slot.chain_faults,
+                    outbox: &mut outbox,
+                    rejections,
+                };
                 let mut ctx = SessionCtx {
-                    chain: ChainPort::Shared {
-                        net,
-                        faults: &mut slot.chain_faults,
-                        outbox: &mut outbox,
-                        rejections,
-                    },
+                    chain: &mut port,
                     bus: BusPort::Shared {
                         bus,
                         faults: &mut slot.whisper_faults,

@@ -298,7 +298,7 @@ impl SettleLaterSession {
     fn poll_mandatory(&mut self, ctx: &mut SessionCtx<'_>) -> Result<Mandatory, ProtocolError> {
         let task = self.task.as_mut().expect("task set");
         let label = task.label();
-        match task.poll(&mut ctx.chain) {
+        match task.poll(ctx.chain) {
             TaskPoll::Landed(r) => {
                 self.task = None;
                 self.record(label, &r);
@@ -545,7 +545,7 @@ impl SettleLaterSession {
                     // burned. A second success would be a double
                     // settlement — a protocol violation, not bad luck.
                     let task = self.task.as_mut().expect("task set");
-                    match task.poll(&mut ctx.chain) {
+                    match task.poll(ctx.chain) {
                         TaskPoll::Landed(r) => {
                             self.task = None;
                             self.record("settle", &r);
